@@ -1,0 +1,81 @@
+// Ablation: the watermark factor f (paper Section 3.4, "Appropriate f
+// Value").
+//
+// f trades shedding eagerness against partition size: a high f avoids
+// shedding during short bursts but shrinks the dropping buffer
+// (qmax - f*qmax), forcing more partitions per window and potentially the
+// dropping of high-utility events.  This bench sweeps f for Q1/Q2 and also
+// prints what the f-advisor (utility clustering, Otsu split) suggests.
+#include <iostream>
+
+#include "core/f_advisor.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+using namespace espice;
+
+namespace {
+
+void run_family(const std::string& title, const QueryDef& query,
+                std::size_t num_types, const std::vector<Event>& events,
+                std::size_t train, std::size_t measure, std::size_t bin_size) {
+  print_section(std::cout, title);
+  const TrainedModel trained = train_model(
+      query, num_types, std::span<const Event>(events).subspan(0, train),
+      bin_size);
+
+  Table table({"f", "%FN", "%FP", "%dropped", "mean latency (s)",
+               "max latency (s)", "LB violations %"});
+  for (const double f : {0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    ExperimentConfig config;
+    config.query = query;
+    config.num_types = num_types;
+    config.train_events = train;
+    config.measure_events = measure;
+    config.bin_size = bin_size;
+    config.rate_factor = 1.3;
+    config.f = f;
+    config.shedder = ShedderKind::kEspice;
+    const auto r = run_experiment(config, events, &trained);
+    table.add_row({fmt(f, 2), fmt(r.quality.fn_percent(), 1),
+                   fmt(r.quality.fp_percent(), 1), fmt(r.drop_percent(), 1),
+                   fmt(r.latency.mean, 3), fmt(r.latency.max, 3),
+                   fmt(r.latency.violation_percent(), 2)});
+  }
+  table.print(std::cout);
+
+  // What would the advisor pick?  qmax ~ LB * th; x estimated from a 30%
+  // surplus over one partition of the advised layout.
+  const double th = 1.0 / (OperatorCostModel{}.base_cost +
+                           OperatorCostModel{}.per_window_cost *
+                               trained.avg_windows_per_event);
+  const double qmax = 1.0 * th;
+  const double x_estimate =
+      0.3 * static_cast<double>(trained.model->n_positions()) / 1.3;
+  const FAdvice advice = suggest_f(*trained.model, qmax, x_estimate);
+  std::cout << "f-advisor: f = " << fmt(advice.f, 2)
+            << ", partitions = " << advice.partitions
+            << ", low-utility class boundary = " << advice.low_class_boundary
+            << (advice.feasible ? "" : " (best effort, infeasible demand)")
+            << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: watermark factor f (rate = 1.3 * th, LB = 1 s)\n";
+
+  TypeRegistry rtls_reg;
+  RtlsGenerator rtls(RtlsConfig{}, rtls_reg);
+  const auto rtls_events = rtls.generate(260'000);
+  run_family("Q1 (n=4, RTLS)", make_q1(rtls, 4), rtls_reg.size(), rtls_events,
+             130'000, 120'000, 1);
+
+  TypeRegistry stock_reg;
+  StockGenerator stock(StockConfig{}, stock_reg);
+  const auto stock_events = stock.generate(620'000);
+  run_family("Q2 (n=20, NYSE)", make_q2(stock, 20), stock_reg.size(),
+             stock_events, 470'000, 140'000, 4);
+
+  return 0;
+}

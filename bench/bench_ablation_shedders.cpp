@@ -1,0 +1,65 @@
+// Ablation: eSPICE vs the BL baseline vs uniform-random shedding, on both
+// datasets.  Not a single paper figure, but the cross-cutting claim of the
+// whole evaluation: utility-based, position-aware shedding beats type-only
+// (BL) and blind (random) shedding on quality while all three hold the
+// latency bound.
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+using namespace espice;
+
+namespace {
+
+void run_dataset(const std::string& title, const QueryDef& query,
+                 std::size_t num_types, const std::vector<Event>& events,
+                 std::size_t train, std::size_t measure) {
+  print_section(std::cout, title);
+  Table table({"shedder", "rate", "golden", "detected", "%FN", "%FP",
+               "%dropped", "max latency (s)", "LB violations %"});
+  for (const double rate : {1.2, 1.4}) {
+    for (const ShedderKind kind :
+         {ShedderKind::kEspice, ShedderKind::kBaseline, ShedderKind::kRandom}) {
+      ExperimentConfig config;
+      config.query = query;
+      config.num_types = num_types;
+      config.train_events = train;
+      config.measure_events = measure;
+      config.rate_factor = rate;
+      config.shedder = kind;
+      const ExperimentResult r = run_experiment(config, events);
+      table.add_row({shedder_kind_name(kind), "R=th*" + fmt(rate, 1),
+                     std::to_string(r.quality.golden),
+                     std::to_string(r.quality.detected),
+                     fmt(r.quality.fn_percent(), 1),
+                     fmt(r.quality.fp_percent(), 1), fmt(r.drop_percent(), 1),
+                     fmt(r.latency.max, 3),
+                     fmt(r.latency.violation_percent(), 2)});
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: shedder comparison (eSPICE vs BL vs random)\n";
+
+  {
+    TypeRegistry registry;
+    RtlsGenerator gen(RtlsConfig{}, registry);
+    const auto events = gen.generate(250'000);
+    run_dataset("RTLS / Q1 (n=4, first selection)", make_q1(gen, 4),
+                registry.size(), events, 120'000, 120'000);
+  }
+  {
+    TypeRegistry registry;
+    StockConfig sc;
+    StockGenerator gen(sc, registry);
+    const auto events = gen.generate(300'000);
+    run_dataset("NYSE / Q2 (n=20, first selection)", make_q2(gen, 20),
+                registry.size(), events, 150'000, 140'000);
+  }
+  return 0;
+}

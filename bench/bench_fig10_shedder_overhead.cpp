@@ -1,0 +1,193 @@
+// Figure 10: run-time overhead of the load shedder relative to event
+// processing, as a function of the window size (M = 500 event types,
+// N = ws up to 16000 positions).
+//
+// Two measurements:
+//  * google-benchmark micro-benchmarks of the O(1) drop decision for growing
+//    utility tables (bigger tables -> more cache misses, the effect the
+//    paper attributes the growing overhead to), and
+//  * a wall-clock ratio table: shedder decision time vs the measured
+//    per-(event,window) processing time of the real matcher pipeline.
+//
+// Expected shape (paper): overhead grows with the window size but stays a
+// few percent of processing time.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/espice_shedder.hpp"
+#include "datasets/stock.hpp"
+#include "harness/queries.hpp"
+#include "sim/operator_sim.hpp"
+
+namespace espice {
+namespace {
+
+constexpr std::size_t kNumTypes = 500;
+
+std::shared_ptr<const UtilityModel> random_model(std::size_t n_positions,
+                                                 std::uint64_t seed = 5) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> ut(kNumTypes * n_positions);
+  std::vector<double> shares(kNumTypes * n_positions);
+  for (std::size_t i = 0; i < ut.size(); ++i) {
+    ut[i] = static_cast<std::uint8_t>(rng.uniform_int(101));
+    shares[i] = rng.uniform(0.0, 2.0 / static_cast<double>(kNumTypes));
+  }
+  return std::make_shared<UtilityModel>(kNumTypes, n_positions, 1,
+                                        std::move(ut), std::move(shares));
+}
+
+EspiceShedder make_active_shedder(std::shared_ptr<const UtilityModel> model) {
+  EspiceShedder shedder(std::move(model));
+  DropCommand cmd;
+  cmd.active = true;
+  cmd.x = 10.0;
+  cmd.partitions = 4;
+  shedder.on_command(cmd);
+  return shedder;
+}
+
+// Random (event, position) lookups spanning the whole table.
+struct LookupWorkload {
+  std::vector<Event> events;
+  std::vector<std::uint32_t> positions;
+
+  explicit LookupWorkload(std::size_t n_positions, std::size_t count = 1 << 16) {
+    Rng rng(17);
+    events.resize(count);
+    positions.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      events[i].type = static_cast<EventTypeId>(rng.uniform_int(kNumTypes));
+      events[i].value = 1.0;
+      positions[i] = static_cast<std::uint32_t>(rng.uniform_int(n_positions));
+    }
+  }
+};
+
+void BM_ShedderDecision(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto shedder = make_active_shedder(random_model(n));
+  const LookupWorkload workload(n);
+  const double ws = static_cast<double>(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        shedder.should_drop(workload.events[i], workload.positions[i], ws));
+    i = (i + 1) & (workload.events.size() - 1);
+  }
+  state.counters["UT_bytes"] =
+      static_cast<double>(shedder.model().footprint_bytes());
+}
+BENCHMARK(BM_ShedderDecision)
+    ->Arg(2000)
+    ->Arg(3000)
+    ->Arg(4000)
+    ->Arg(8000)
+    ->Arg(16000);
+
+void BM_ThresholdRecompute(benchmark::State& state) {
+  // Control-plane cost: recomputing per-partition thresholds on a command.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto shedder = make_active_shedder(random_model(n));
+  DropCommand cmd;
+  cmd.active = true;
+  cmd.partitions = 4;
+  double x = 1.0;
+  for (auto _ : state) {
+    cmd.x = x;
+    x = x < 64.0 ? x * 2.0 : 1.0;  // vary x; partition count stays cached
+    shedder.on_command(cmd);
+  }
+}
+BENCHMARK(BM_ThresholdRecompute)->Arg(2000)->Arg(16000);
+
+// ---------------------------------------------------------------------------
+// Wall-clock ratio: shedder decision vs real per-(event,window) processing.
+// ---------------------------------------------------------------------------
+
+double measure_decision_ns(std::size_t n_positions) {
+  auto shedder = make_active_shedder(random_model(n_positions));
+  const LookupWorkload workload(n_positions);
+  const double ws = static_cast<double>(n_positions);
+  // Warm up, then measure.
+  bool sink = false;
+  for (std::size_t i = 0; i < workload.events.size(); ++i) {
+    sink ^= shedder.should_drop(workload.events[i], workload.positions[i], ws);
+  }
+  const std::size_t iters = 1 << 22;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t i = 0;
+  for (std::size_t k = 0; k < iters; ++k) {
+    sink ^= shedder.should_drop(workload.events[i], workload.positions[i], ws);
+    i = (i + 1) & (workload.events.size() - 1);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (sink) std::fprintf(stderr, " ");  // keep the loop observable
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(iters);
+}
+
+// Measures the matcher pipeline's processing cost per (event, window) pair
+// on a Q2-style workload with count windows of `ws` events.
+double measure_processing_ns(const std::vector<Event>& events,
+                             const StockGenerator& gen, std::size_t ws) {
+  QueryDef query = make_q2(gen, 20);
+  query.window.span_kind = WindowSpan::kCount;
+  query.window.span_events = ws;
+  std::size_t memberships = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  run_pipeline(events, query.window, query.make_matcher(), nullptr, 0.0,
+               [&](const Window& w, const std::vector<ComplexEvent>&) {
+                 memberships += w.size();
+               });
+  const auto t1 = std::chrono::steady_clock::now();
+  if (memberships == 0) return 0.0;
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(memberships);
+}
+
+void print_overhead_table() {
+  TypeRegistry reg;
+  StockGenerator gen(StockConfig{}, reg);
+  const auto events = gen.generate(120'000);
+
+  // Two denominators:
+  //  * "this matcher": the repository's own C++ pipeline cost per
+  //    (event, window) pair.  It is ~3 orders of magnitude cheaper than the
+  //    paper's Java operator, which inflates the relative overhead, so
+  //  * "calibrated op": the simulator's calibrated per-(event,window)
+  //    operator cost (OperatorCostModel), which is the scale the paper's
+  //    1-5% refers to.
+  // The paper's actual claim -- O(1) decisions whose absolute cost grows
+  // mildly with the table size (cache misses) and stays negligible against
+  // a realistic operator -- shows up in the last column.
+  const double calibrated_ns = OperatorCostModel{}.per_window_cost * 1e9;
+  std::printf("\n=== Fig 10: LS overhead vs window size (M = 500) ===\n");
+  std::printf("| %-15s | %-13s | %-18s | %-17s | %-17s |\n", "window (events)",
+              "decision (ns)", "this matcher (ns)", "overhead % (this)",
+              "overhead % (calib)");
+  for (const std::size_t n : {2000u, 3000u, 4000u, 8000u, 16000u}) {
+    const double decision = measure_decision_ns(n);
+    const double processing = measure_processing_ns(events, gen, n);
+    std::printf("| %-15zu | %-13.1f | %-18.1f | %-17.2f | %-17.3f |\n", n,
+                decision, processing,
+                processing > 0 ? 100.0 * decision / processing : 0.0,
+                100.0 * decision / calibrated_ns);
+  }
+}
+
+}  // namespace
+}  // namespace espice
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  espice::print_overhead_table();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 6: percentage of false positives for Q1 (pattern-size sweep) and
+// Q3 (window-size sweep), first selection, rates R1/R2, eSPICE vs BL.
+//
+// Expected shape (paper): mirrors the false-negative trends; Q1's any
+// operator produces alternatives, so dropped constituents often get falsely
+// replaced (FP grows with pattern size and rate); Q3's exact sequence keeps
+// eSPICE near zero while BL's FP grows with the window size.
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+using namespace espice;
+
+namespace {
+
+void run_sweep(const std::string& title, const std::vector<QueryDef>& queries,
+               const std::vector<std::string>& labels, const std::string& x,
+               std::size_t num_types, const std::vector<Event>& events,
+               std::size_t train, std::size_t measure, std::size_t bin_size) {
+  print_section(std::cout, title);
+  Table table({x, "golden", "R1 eSPICE %FP", "R1 BL %FP", "R2 eSPICE %FP",
+               "R2 BL %FP"});
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ExperimentConfig config;
+    config.query = queries[i];
+    config.num_types = num_types;
+    config.train_events = train;
+    config.measure_events = measure;
+    config.bin_size = bin_size;
+    const TrainedModel trained = train_model(
+        config.query, num_types,
+        std::span<const Event>(events).subspan(0, train), bin_size);
+    std::vector<std::string> row{labels[i], ""};
+    for (const double rate : {1.2, 1.4}) {
+      for (const ShedderKind kind : {ShedderKind::kEspice, ShedderKind::kBaseline}) {
+        config.rate_factor = rate;
+        config.shedder = kind;
+        const auto r = run_experiment(config, events, &trained);
+        row[1] = std::to_string(r.quality.golden);
+        row.push_back(fmt(r.quality.fp_percent(), 1));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Figure 6: false positives (lower is better; eSPICE vs BL)\n";
+
+  TypeRegistry rtls_reg;
+  RtlsGenerator rtls(RtlsConfig{}, rtls_reg);
+  const auto rtls_events = rtls.generate(260'000);
+  {
+    std::vector<QueryDef> queries;
+    std::vector<std::string> labels;
+    for (const std::size_t n : {2u, 3u, 4u, 5u, 6u}) {
+      queries.push_back(make_q1(rtls, n));
+      labels.push_back(std::to_string(n));
+    }
+    run_sweep("Fig 6a: Q1, first selection (RTLS)", queries, labels,
+              "pattern size", rtls_reg.size(), rtls_events, 130'000, 120'000, 1);
+  }
+
+  TypeRegistry stock_reg;
+  StockGenerator stock(StockConfig{}, stock_reg);
+  const auto stock_events = stock.generate(620'000);
+  {
+    std::vector<QueryDef> queries;
+    std::vector<std::string> labels;
+    for (const std::size_t ws : {1200u, 1500u, 1800u, 2000u}) {
+      queries.push_back(make_q3(stock, ws));
+      labels.push_back(std::to_string(ws));
+    }
+    run_sweep("Fig 6b: Q3, first selection (NYSE)", queries, labels,
+              "window size", stock_reg.size(), stock_events, 470'000, 140'000,
+              4);
+  }
+  return 0;
+}

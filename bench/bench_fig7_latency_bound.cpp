@@ -1,0 +1,71 @@
+// Figure 7: event processing latency over time for Q1 under R1 and R2 with
+// LB = 1 s and f = 0.8.
+//
+// Expected shape (paper): the latency never crosses the 1 s bound and
+// hovers around (or below) f * LB = 0.8 s once shedding engages.
+#include <algorithm>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+using namespace espice;
+
+int main() {
+  std::cout << "Figure 7: event latency over time (Q1, LB = 1 s, f = 0.8)\n";
+
+  TypeRegistry reg;
+  RtlsGenerator gen(RtlsConfig{}, reg);
+  const auto events = gen.generate(260'000);
+
+  const std::size_t train = 130'000;
+  const std::size_t measure = 120'000;
+  const QueryDef query = make_q1(gen, 4);
+  const TrainedModel trained =
+      train_model(query, reg.size(),
+                  std::span<const Event>(events).subspan(0, train), 1);
+
+  struct Series {
+    double rate;
+    LatencySummary summary;
+  };
+  std::vector<Series> series;
+  for (const double rate : {1.2, 1.4}) {
+    ExperimentConfig config;
+    config.query = query;
+    config.num_types = reg.size();
+    config.train_events = train;
+    config.measure_events = measure;
+    config.rate_factor = rate;
+    config.shedder = ShedderKind::kEspice;
+    const auto r = run_experiment(config, events, &trained);
+    series.push_back({rate, r.latency});
+  }
+
+  print_section(std::cout, "latency (s) per virtual-time second");
+  Table table({"time (s)", "R1 mean", "R1 max", "R2 mean", "R2 max"});
+  const std::size_t rows =
+      std::min(series[0].summary.buckets.size(), series[1].summary.buckets.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto& b1 = series[0].summary.buckets[i];
+    const auto& b2 = series[1].summary.buckets[i];
+    table.add_row({fmt(b1.start_ts, 0), fmt(b1.mean, 3), fmt(b1.max, 3),
+                   fmt(b2.mean, 3), fmt(b2.max, 3)});
+  }
+  table.print(std::cout);
+
+  print_section(std::cout, "summary");
+  Table summary({"rate", "mean (s)", "p99 (s)", "max (s)", "LB violations %"});
+  for (const auto& s : series) {
+    summary.add_row({"R=th*" + fmt(s.rate, 1), fmt(s.summary.mean, 3),
+                     fmt(s.summary.p99, 3), fmt(s.summary.max, 3),
+                     fmt(s.summary.violation_percent(), 3)});
+  }
+  summary.print(std::cout);
+
+  const bool ok = series[0].summary.violations == 0 &&
+                  series[1].summary.violations == 0;
+  std::cout << (ok ? "\nlatency bound held for both rates\n"
+                   : "\nWARNING: latency bound violated\n");
+  return ok ? 0 : 1;
+}

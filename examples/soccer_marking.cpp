@@ -1,0 +1,85 @@
+// Soccer man-marking analytics (the paper's Q1 scenario) with model
+// introspection.
+//
+// A sports analyst detects "man marking": a striker possesses the ball and
+// n defenders engage him within the next 15 seconds.  This example trains
+// the utility model, then *inspects* it: which (defender, window-position)
+// cells did eSPICE learn to protect?  It finishes with the f-advisor's
+// recommendation for the watermark factor.
+#include <algorithm>
+#include <iostream>
+
+#include "core/f_advisor.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+int main() {
+  using namespace espice;
+
+  TypeRegistry registry;
+  RtlsGenerator generator(RtlsConfig{}, registry);
+  const auto events = generator.generate(260'000);
+
+  const QueryDef query = make_q1(generator, /*n=*/4);
+  const TrainedModel trained =
+      train_model(query, registry.size(),
+                  std::span<const Event>(events).subspan(0, 130'000),
+                  /*bin_size=*/1);
+  const UtilityModel& model = *trained.model;
+
+  std::cout << "trained on " << trained.windows << " windows, "
+            << trained.matches << " man-marking detections\n"
+            << "utility table: " << model.num_types() << " types x "
+            << model.cols() << " positions ("
+            << model.footprint_bytes() / 1024 << " KiB)\n";
+
+  // --- Where does the utility mass live? -----------------------------------
+  // Report each type's peak utility and where it peaks (in seconds from the
+  // window start -- the possession event).
+  struct Peak {
+    EventTypeId type;
+    int utility;
+    double at_seconds;
+  };
+  std::vector<Peak> peaks;
+  const double events_per_second = generator.aggregate_rate();
+  for (std::size_t t = 0; t < model.num_types(); ++t) {
+    Peak peak{static_cast<EventTypeId>(t), 0, 0.0};
+    for (std::size_t c = 0; c < model.cols(); ++c) {
+      const int u = model.utility_cell(static_cast<EventTypeId>(t), c);
+      if (u > peak.utility) {
+        peak.utility = u;
+        peak.at_seconds =
+            static_cast<double>(c * model.bin_size()) / events_per_second;
+      }
+    }
+    if (peak.utility > 0) peaks.push_back(peak);
+  }
+  std::sort(peaks.begin(), peaks.end(),
+            [](const Peak& a, const Peak& b) { return a.utility > b.utility; });
+
+  Table table({"event type", "peak utility", "peak at (s after possession)"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(peaks.size(), 10); ++i) {
+    table.add_row({registry.name_of(peaks[i].type),
+                   std::to_string(peaks[i].utility),
+                   fmt(peaks[i].at_seconds, 1)});
+  }
+  std::cout << "\ntop learned utility peaks:\n";
+  table.print(std::cout);
+  std::cout << "\nthe strikers (window openers) and their assigned markers\n"
+               "dominate; marker utility peaks a few seconds after the\n"
+               "possession event, reflecting the markers' reaction lags.\n";
+
+  // --- f-advisor ------------------------------------------------------------
+  const double th = 1.0 / (OperatorCostModel{}.base_cost +
+                           OperatorCostModel{}.per_window_cost *
+                               trained.avg_windows_per_event);
+  const FAdvice advice =
+      suggest_f(model, /*qmax=*/1.0 * th,
+                /*x=*/0.25 * static_cast<double>(model.n_positions()));
+  std::cout << "\nf-advisor: use f = " << fmt(advice.f, 2) << " ("
+            << advice.partitions
+            << " partition(s) per window; low-utility class boundary "
+            << advice.low_class_boundary << ")\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Stock-market monitoring (the paper's Q2 scenario).
+//
+// An analyst watches for situations where a rising quote of a leading
+// technology stock is followed by rising quotes of 20 other symbols within
+// 4 minutes.  The feed exceeds the operator's capacity at peak times, so a
+// load shedder must keep the 1-second latency bound.  This example compares
+// all three shedders on the same overload and also exports a slice of the
+// synthetic feed to CSV (plug in your own feed by loading a CSV instead).
+#include <iostream>
+
+#include "datasets/csv.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+int main() {
+  using namespace espice;
+
+  // --- Dataset: 500 symbols, 5 leaders, per-minute quotes ------------------
+  TypeRegistry registry;
+  StockGenerator generator(StockConfig{}, registry);
+  const auto events = generator.generate(600'000);
+
+  // Export a sample so users can inspect the feed format (type,seq,ts,...).
+  const std::string sample_path = "stock_sample.csv";
+  save_events_csv(sample_path,
+                  std::vector<Event>(events.begin(), events.begin() + 1000),
+                  registry);
+  std::cout << "wrote a 1000-event feed sample to " << sample_path << "\n\n";
+
+  // --- Query: Q2 with n = 20 correlated risers ------------------------------
+  const QueryDef query = make_q2(generator, 20);
+
+  // --- Compare shedders under a 30% overload --------------------------------
+  Table table({"shedder", "golden", "detected", "%FN", "%FP", "max latency (s)"});
+  for (const ShedderKind kind :
+       {ShedderKind::kEspice, ShedderKind::kBaseline, ShedderKind::kRandom}) {
+    ExperimentConfig config;
+    config.query = query;
+    config.num_types = registry.size();
+    config.train_events = 450'000;
+    config.measure_events = 140'000;
+    config.rate_factor = 1.3;
+    config.bin_size = 4;
+    config.shedder = kind;
+    const ExperimentResult r = run_experiment(config, events);
+    table.add_row({shedder_kind_name(kind), std::to_string(r.quality.golden),
+                   std::to_string(r.quality.detected),
+                   fmt(r.quality.fn_percent(), 1),
+                   fmt(r.quality.fp_percent(), 1), fmt(r.latency.max, 3)});
+  }
+  std::cout << "Q2 under 1.3x overload (LB = 1 s):\n";
+  table.print(std::cout);
+  std::cout << "\neSPICE keeps most correlated-rise detections; type-only (BL)\n"
+               "and random shedding destroy them because every symbol looks\n"
+               "equally important without the position dimension.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Primitive event model.
+//
+// An event carries the meta-data the paper requires (type, global sequence
+// number, timestamp) plus a small fixed payload.  Events are value types and
+// trivially copyable: windows store copies, which keeps the matcher cache
+// friendly and the simulation free of lifetime questions.
+#pragma once
+
+#include <cstdint>
+
+namespace espice {
+
+/// Dense identifier for an event type (a stock symbol, a player, ...).
+/// Assigned by TypeRegistry, contiguous from 0.
+using EventTypeId = std::uint16_t;
+
+/// A primitive event in the input stream.
+struct Event {
+  EventTypeId type = 0;
+  /// Global, gap-free sequence number; defines the total order of the stream.
+  std::uint64_t seq = 0;
+  /// Source timestamp in seconds (monotone non-decreasing with seq).
+  double ts = 0.0;
+  /// Primary attribute.  Convention used by the bundled datasets:
+  ///  * stock quotes: signed price change (value > 0 means "rising"),
+  ///  * RTLS: distance / intensity of the action (sign unused, >= 0).
+  double value = 0.0;
+  /// Secondary attribute (free for dataset-specific use).
+  double aux = 0.0;
+
+  /// Direction of the event as used by query predicates:
+  /// +1 if value > 0, -1 if value < 0, 0 if value == 0.
+  int direction() const {
+    if (value > 0.0) return +1;
+    if (value < 0.0) return -1;
+    return 0;
+  }
+};
+
+/// Events are ordered by sequence number; timestamps may tie.
+inline bool stream_order_less(const Event& a, const Event& b) {
+  return a.seq < b.seq;
+}
+
+}  // namespace espice

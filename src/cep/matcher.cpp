@@ -1,0 +1,307 @@
+#include "cep/matcher.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/error.hpp"
+
+namespace espice {
+
+Matcher::Matcher(Pattern pattern, SelectionPolicy selection,
+                 ConsumptionPolicy consumption, std::size_t max_matches_per_window)
+    : pattern_(std::move(pattern)),
+      selection_(selection),
+      consumption_(consumption),
+      max_matches_(max_matches_per_window) {
+  pattern_.validate();
+  ESPICE_REQUIRE(max_matches_ > 0, "max_matches_per_window must be positive");
+}
+
+std::vector<ComplexEvent> Matcher::match_window(const Window& w) const {
+  std::vector<ComplexEvent> out;
+  if (w.kept.empty()) return out;
+  switch (pattern_.kind) {
+    case PatternKind::kSequence:
+      if (selection_ == SelectionPolicy::kFirst) {
+        match_sequence_first(w, out);
+      } else {
+        match_sequence_last(w, out);
+      }
+      break;
+    case PatternKind::kTriggerAny:
+      match_trigger_any(w, out);
+      break;
+  }
+  return out;
+}
+
+ComplexEvent Matcher::build_match(const Window& w,
+                                  const std::vector<std::size_t>& event_indices,
+                                  bool trigger_any) const {
+  ComplexEvent ce;
+  ce.window = w.id;
+  ce.constituents.reserve(event_indices.size());
+  for (std::size_t k = 0; k < event_indices.size(); ++k) {
+    const std::size_t i = event_indices[k];
+    Constituent c;
+    // Any-candidates are an interchangeable set: give them all element id 1
+    // so that match identity does not depend on enumeration order.
+    c.element = trigger_any ? (k == 0 ? 0u : 1u) : static_cast<std::uint32_t>(k);
+    c.position = w.kept_pos[i];
+    c.event = w.kept[i];
+    ce.detection_ts = std::max(ce.detection_ts, w.kept[i].ts);
+    ce.constituents.push_back(std::move(c));
+  }
+  return ce;
+}
+
+// ---------------------------------------------------------------------------
+// Sequence, first selection.
+//
+// Greedy earliest binding.  Under `consumed` the constituents of an emitted
+// match are excluded and the scan restarts (this reproduces the paper's
+// first+consumed example: {A1 A2 B3 B4} -> (A1,B3), (A2,B4)).  Under `zero`
+// each additional match must *complete* strictly after the previous
+// completion but may reuse earlier constituents.
+// ---------------------------------------------------------------------------
+// Negated variant: single-pass online matching with earliest bindings.  The
+// partial prefix grows with the earliest matching instances; an event
+// matching the negation of the *pending* gap invalidates the gap's left
+// anchor (the element must re-bind after the poison).  Consumed matches do
+// not revisit earlier events (online semantics).
+void Matcher::match_sequence_first_negated(
+    const Window& w, std::vector<ComplexEvent>& out) const {
+  const auto& ev = w.kept;
+  const std::size_t n = ev.size();
+  const std::size_t k = pattern_.elements.size();
+
+  // negation_for[g]: spec forbidden between elements g and g+1, or nullptr.
+  std::vector<const ElementSpec*> negation_for(k, nullptr);
+  for (const auto& neg : pattern_.negations) negation_for[neg.gap] = &neg.spec;
+
+  std::vector<std::size_t> bind;
+  bind.reserve(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t p = bind.size();
+    // Extension is checked before the negation: an event that *binds* the
+    // pending element sits at the gap's right edge, not inside it
+    // (seq(A; !B; B) must match "A B").
+    if (p < k && pattern_.elements[p].matches(ev[i])) {
+      bind.push_back(i);
+      if (bind.size() == k) {
+        out.push_back(build_match(w, bind, /*trigger_any=*/false));
+        bind.clear();  // consumed and zero alike: continue with fresh state
+        if (out.size() >= max_matches_) return;
+      }
+      continue;
+    }
+    if (p > 0 && p < k && negation_for[p - 1] != nullptr &&
+        negation_for[p - 1]->matches(ev[i])) {
+      // Poisoned pending gap: the left anchor must re-bind after this event.
+      bind.pop_back();
+    }
+  }
+}
+
+void Matcher::match_sequence_first(const Window& w,
+                                   std::vector<ComplexEvent>& out) const {
+  if (!pattern_.negations.empty()) {
+    match_sequence_first_negated(w, out);
+    return;
+  }
+  const auto& ev = w.kept;
+  const std::size_t n = ev.size();
+  const std::size_t k = pattern_.elements.size();
+  std::vector<bool> consumed(n, false);
+  std::size_t last_completion_excl = 0;  // min index of the completing event
+
+  while (out.size() < max_matches_) {
+    std::vector<std::size_t> bind;
+    bind.reserve(k);
+    std::size_t from = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const bool final_element = (j == k - 1);
+      std::size_t i = from;
+      if (final_element && consumption_ == ConsumptionPolicy::kZero) {
+        i = std::max(i, last_completion_excl);
+      }
+      bool found = false;
+      for (; i < n; ++i) {
+        if (consumed[i]) continue;
+        if (pattern_.elements[j].matches(ev[i])) {
+          bind.push_back(i);
+          from = i + 1;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return;  // no further match possible
+    }
+    out.push_back(build_match(w, bind, /*trigger_any=*/false));
+    if (consumption_ == ConsumptionPolicy::kConsumed) {
+      for (std::size_t i : bind) consumed[i] = true;
+    } else {
+      last_completion_excl = bind.back() + 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sequence, last selection.
+//
+// Online partial-match replacement: partial[j] is the latest-known binding of
+// elements 0..j-1.  When an event matches element j it *replaces* partial
+// [j+1] (later instances win), and when it matches the final element the
+// match completes with the latest prefix.  Reproduces the paper's example:
+// {A1 A2 B3 B4}, last+consumed -> (A2,B3); last+zero -> (A2,B3), (A2,B4).
+// ---------------------------------------------------------------------------
+void Matcher::match_sequence_last(const Window& w,
+                                  std::vector<ComplexEvent>& out) const {
+  const auto& ev = w.kept;
+  const std::size_t n = ev.size();
+  const std::size_t k = pattern_.elements.size();
+  std::vector<bool> consumed(n, false);
+
+  std::vector<const ElementSpec*> negation_for(k, nullptr);
+  for (const auto& neg : pattern_.negations) negation_for[neg.gap] = &neg.spec;
+
+  // partial[j]: indices binding elements 0..j-1 (empty optional = none yet).
+  std::vector<std::optional<std::vector<std::size_t>>> partial(k + 1);
+  partial[0].emplace();  // the empty prefix always exists
+
+  auto reset_partials = [&] {
+    for (std::size_t j = 1; j <= k; ++j) partial[j].reset();
+  };
+
+  // Prefix slots written by the current event's extensions; kills must skip
+  // them (an event binding element j sits at the edge of gap j-1, not
+  // inside it).
+  std::vector<bool> extended(k + 1, false);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (consumed[i]) continue;
+    std::fill(extended.begin(), extended.end(), false);
+    // Descending element order so an event extends existing prefixes before
+    // creating the shorter prefix it also matches (no self-reuse).
+    for (std::size_t j = k; j-- > 0;) {
+      if (!partial[j].has_value()) continue;
+      if (!pattern_.elements[j].matches(ev[i])) continue;
+      if (j == k - 1) {
+        auto bind = *partial[j];
+        bind.push_back(i);
+        out.push_back(build_match(w, bind, /*trigger_any=*/false));
+        if (out.size() >= max_matches_) return;
+        if (consumption_ == ConsumptionPolicy::kConsumed) {
+          // Last selection never falls back to superseded (older) instances:
+          // consuming a match clears the partial state instead of replaying
+          // earlier events (this reproduces the paper's example, where
+          // {A1 A2 B3 B4} under last+consumed yields only (A2, B3)).
+          for (std::size_t b : bind) consumed[b] = true;
+          reset_partials();
+          break;
+        }
+        // zero consumption: prefixes stay available for later completions.
+      } else {
+        auto next = *partial[j];
+        next.push_back(i);
+        partial[j + 1] = std::move(next);
+        extended[j + 1] = true;
+      }
+    }
+    // Negations: a forbidden event inside the pending gap of prefix j+1
+    // kills that prefix (its last element must re-bind from later events).
+    // Prefixes the same event just created are exempt: the event is the
+    // gap's left anchor, not inside it.
+    for (std::size_t j = 0; j + 1 < k; ++j) {
+      if (partial[j + 1].has_value() && !extended[j + 1] &&
+          negation_for[j] != nullptr && negation_for[j]->matches(ev[i])) {
+        partial[j + 1].reset();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trigger-any: seq(trigger; any(n, candidates)).
+//
+// first: earliest trigger, then the earliest n candidates after it (distinct
+//        types if required).
+// last:  earliest trigger, then the *latest* n candidates after it.
+// Under consumed, constituents are excluded and the search repeats; under
+// zero, the next match uses the next trigger occurrence.
+// ---------------------------------------------------------------------------
+void Matcher::match_trigger_any(const Window& w,
+                                std::vector<ComplexEvent>& out) const {
+  const auto& ev = w.kept;
+  const std::size_t n = ev.size();
+  const ElementSpec& trigger = pattern_.elements[0];
+  std::vector<bool> consumed(n, false);
+  std::size_t trigger_from = 0;
+
+  auto candidate_matches = [&](const Event& e) {
+    if (!pattern_.any_candidates.matches(e.type)) return false;
+    switch (pattern_.any_direction) {
+      case DirectionFilter::kAny:
+        return true;
+      case DirectionFilter::kRising:
+        return e.direction() > 0;
+      case DirectionFilter::kFalling:
+        return e.direction() < 0;
+    }
+    return false;
+  };
+
+  while (out.size() < max_matches_) {
+    // 1. Find the next usable trigger.
+    std::size_t ti = trigger_from;
+    for (; ti < n; ++ti) {
+      if (!consumed[ti] && trigger.matches(ev[ti])) break;
+    }
+    if (ti >= n) return;
+
+    // 2. Collect candidates after the trigger.
+    std::vector<std::size_t> chosen;
+    std::vector<bool> type_used;
+    auto try_take = [&](std::size_t i) {
+      if (consumed[i] || !candidate_matches(ev[i])) return;
+      if (pattern_.any_distinct_types) {
+        if (ev[i].type >= type_used.size()) type_used.resize(ev[i].type + 1, false);
+        if (type_used[ev[i].type]) return;
+        type_used[ev[i].type] = true;
+      }
+      chosen.push_back(i);
+    };
+
+    if (selection_ == SelectionPolicy::kFirst) {
+      for (std::size_t i = ti + 1; i < n && chosen.size() < pattern_.any_n; ++i) {
+        try_take(i);
+      }
+    } else {
+      for (std::size_t i = n; i-- > ti + 1 && chosen.size() < pattern_.any_n;) {
+        try_take(i);
+      }
+      std::reverse(chosen.begin(), chosen.end());
+    }
+
+    if (chosen.size() < pattern_.any_n) {
+      // This trigger cannot complete; try the next one.
+      trigger_from = ti + 1;
+      continue;
+    }
+
+    std::vector<std::size_t> bind;
+    bind.reserve(1 + chosen.size());
+    bind.push_back(ti);
+    bind.insert(bind.end(), chosen.begin(), chosen.end());
+    out.push_back(build_match(w, bind, /*trigger_any=*/true));
+
+    if (consumption_ == ConsumptionPolicy::kConsumed) {
+      for (std::size_t b : bind) consumed[b] = true;
+      trigger_from = 0;  // earlier triggers may still be unconsumed
+    } else {
+      trigger_from = ti + 1;  // zero: advance to the next trigger occurrence
+    }
+  }
+}
+
+}  // namespace espice

@@ -1,0 +1,221 @@
+// Pattern / query model (a pragmatic subset of Tesla / SASE / Snoop).
+//
+// The reproduction needs the operator classes the paper evaluates:
+//   * sequence:                  seq(E1; E2; ...; Ek)           (Q3)
+//   * sequence with repetition:  seq(E1; E1; E2; ...)           (Q4)
+//   * sequence with any:         seq(trigger; any(n, C1..Cm))   (Q1, Q2)
+// all with skip-till-next/any-match semantics, the *first* / *last* selection
+// policies and the *consumed* / *zero* consumption policies.
+//
+// Elements are described by introspectable data (type sets + direction
+// filters) rather than opaque callables.  This serves two purposes: matching
+// stays deterministic and cheap, and the He-et-al.-style baseline shedder can
+// derive per-type utilities from the pattern structure, exactly as the
+// paper's BL does.  The eSPICE shedder itself never looks at the pattern.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "cep/event.hpp"
+#include "common/error.hpp"
+
+namespace espice {
+
+/// Which event instances are chosen when several combinations match.
+enum class SelectionPolicy { kFirst, kLast };
+
+/// Whether events used in a detected complex event may be reused by
+/// subsequent matches in the same window.
+enum class ConsumptionPolicy { kConsumed, kZero };
+
+/// A set of event types, stored as a bitmap over the dense id space.
+/// An *empty* TypeSet means "any type" (used by Q2's `any stock symbol`).
+class TypeSet {
+ public:
+  TypeSet() = default;
+  TypeSet(std::initializer_list<EventTypeId> ids) {
+    for (EventTypeId id : ids) insert(id);
+  }
+
+  void insert(EventTypeId id) {
+    if (id >= mask_.size()) mask_.resize(id + 1, false);
+    if (!mask_[id]) {
+      mask_[id] = true;
+      ++count_;
+    }
+  }
+
+  /// True if the set matches `id`.  The empty set matches everything.
+  bool matches(EventTypeId id) const {
+    if (count_ == 0) return true;
+    return id < mask_.size() && mask_[id];
+  }
+
+  /// True if `id` is explicitly a member (empty set contains nothing).
+  bool contains(EventTypeId id) const {
+    return id < mask_.size() && mask_[id];
+  }
+
+  bool is_any() const { return count_ == 0; }
+  std::size_t explicit_count() const { return count_; }
+
+  /// Explicit members in ascending id order (empty for the "any" set).
+  std::vector<EventTypeId> members() const {
+    std::vector<EventTypeId> out;
+    out.reserve(count_);
+    for (std::size_t id = 0; id < mask_.size(); ++id) {
+      if (mask_[id]) out.push_back(static_cast<EventTypeId>(id));
+    }
+    return out;
+  }
+
+ private:
+  std::vector<bool> mask_;
+  std::size_t count_ = 0;
+};
+
+/// Direction filter applied to Event::direction().
+enum class DirectionFilter : std::int8_t {
+  kAny = 0,
+  kRising = +1,   // value > 0
+  kFalling = -1,  // value < 0
+};
+
+/// One position in a pattern: "an event whose type is in `types` and whose
+/// direction passes `direction`".
+struct ElementSpec {
+  std::string name;  ///< for diagnostics / reports only
+  TypeSet types;     ///< empty = any type
+  DirectionFilter direction = DirectionFilter::kAny;
+
+  bool matches(const Event& e) const {
+    if (!types.matches(e.type)) return false;
+    switch (direction) {
+      case DirectionFilter::kAny:
+        return true;
+      case DirectionFilter::kRising:
+        return e.direction() > 0;
+      case DirectionFilter::kFalling:
+        return e.direction() < 0;
+    }
+    return false;  // unreachable
+  }
+};
+
+/// Pattern kinds supported by the matcher.
+enum class PatternKind {
+  kSequence,    ///< seq(e0; e1; ...; ek-1), elements may repeat (Q3, Q4)
+  kTriggerAny,  ///< seq(trigger; any(n, candidates)) (Q1, Q2)
+};
+
+/// Negation constraint on a sequence: no event matching `spec` may occur
+/// between the bindings of elements `gap` and `gap + 1`
+/// (Snoop/SASE-style "seq(A; !C; B)").
+struct SequenceNegation {
+  std::size_t gap = 0;
+  ElementSpec spec;
+};
+
+/// A complete pattern.  For kSequence, `elements` holds the ordered element
+/// list.  For kTriggerAny, `elements[0]` is the trigger and `any_candidates` /
+/// `any_n` describe the any-operator.
+struct Pattern {
+  PatternKind kind = PatternKind::kSequence;
+  std::vector<ElementSpec> elements;
+
+  /// Negated gaps (kSequence only).  Negations on *adjacent* gaps are
+  /// rejected: the online matcher re-binds the left anchor of a poisoned
+  /// gap, which is exact only when the preceding gap carries no negation.
+  std::vector<SequenceNegation> negations;
+
+  // --- kTriggerAny only ---
+  TypeSet any_candidates;        ///< candidate set of the any operator
+  DirectionFilter any_direction = DirectionFilter::kAny;
+  std::size_t any_n = 0;         ///< how many candidate events are required
+  /// Require the `any_n` chosen candidates to have pairwise distinct types
+  /// (e.g. n *different* defenders / stock symbols).
+  bool any_distinct_types = true;
+
+  /// Number of pattern positions a full match binds.
+  std::size_t match_width() const {
+    return kind == PatternKind::kSequence ? elements.size() : 1 + any_n;
+  }
+
+  void validate() const {
+    ESPICE_REQUIRE(!elements.empty(), "pattern needs at least one element");
+    if (!negations.empty()) {
+      ESPICE_REQUIRE(kind == PatternKind::kSequence,
+                     "negations are only supported on sequences");
+      std::vector<bool> negated(elements.size(), false);
+      for (const auto& n : negations) {
+        ESPICE_REQUIRE(n.gap + 1 < elements.size(),
+                       "negation gap index out of range");
+        negated[n.gap] = true;
+      }
+      for (std::size_t g = 1; g < negated.size(); ++g) {
+        ESPICE_REQUIRE(!(negated[g] && negated[g - 1]),
+                       "negations on adjacent gaps are not supported");
+      }
+    }
+    if (kind == PatternKind::kTriggerAny) {
+      ESPICE_REQUIRE(elements.size() == 1,
+                     "trigger-any pattern must have exactly one trigger element");
+      ESPICE_REQUIRE(any_n > 0, "any(n, ...) needs n > 0");
+      ESPICE_REQUIRE(
+          any_candidates.is_any() || any_candidates.explicit_count() >= any_n ||
+              !any_distinct_types,
+          "any(n, ...) with distinct types needs at least n candidate types");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Convenience builders (used by tests, examples and the query factories).
+// ---------------------------------------------------------------------------
+
+inline ElementSpec element(std::string name, TypeSet types,
+                           DirectionFilter dir = DirectionFilter::kAny) {
+  return ElementSpec{std::move(name), std::move(types), dir};
+}
+
+/// seq(e0; e1; ...; ek-1)
+inline Pattern make_sequence(std::vector<ElementSpec> elements) {
+  Pattern p;
+  p.kind = PatternKind::kSequence;
+  p.elements = std::move(elements);
+  p.validate();
+  return p;
+}
+
+/// seq(e0; ...; ek-1) with negated gaps, e.g. seq(A; !C; B) ==
+/// make_sequence_with_negations({A, B}, {{0, C}}).
+inline Pattern make_sequence_with_negations(
+    std::vector<ElementSpec> elements, std::vector<SequenceNegation> negations) {
+  Pattern p;
+  p.kind = PatternKind::kSequence;
+  p.elements = std::move(elements);
+  p.negations = std::move(negations);
+  p.validate();
+  return p;
+}
+
+/// seq(trigger; any(n, candidates))
+inline Pattern make_trigger_any(ElementSpec trigger, TypeSet candidates,
+                                std::size_t n,
+                                DirectionFilter candidate_dir = DirectionFilter::kAny,
+                                bool distinct_types = true) {
+  Pattern p;
+  p.kind = PatternKind::kTriggerAny;
+  p.elements.push_back(std::move(trigger));
+  p.any_candidates = std::move(candidates);
+  p.any_direction = candidate_dir;
+  p.any_n = n;
+  p.any_distinct_types = distinct_types;
+  p.validate();
+  return p;
+}
+
+}  // namespace espice

@@ -1,0 +1,36 @@
+#include "cep/type_registry.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace espice {
+
+EventTypeId TypeRegistry::intern(std::string_view name) {
+  if (auto it = ids_.find(std::string(name)); it != ids_.end()) {
+    return it->second;
+  }
+  ESPICE_ASSERT(names_.size() < std::numeric_limits<EventTypeId>::max(),
+                "event-type universe exceeds EventTypeId range");
+  const auto id = static_cast<EventTypeId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+EventTypeId TypeRegistry::id_of(std::string_view name) const {
+  const auto it = ids_.find(std::string(name));
+  ESPICE_ASSERT(it != ids_.end(), "unknown event-type name");
+  return it->second;
+}
+
+bool TypeRegistry::contains(std::string_view name) const {
+  return ids_.find(std::string(name)) != ids_.end();
+}
+
+const std::string& TypeRegistry::name_of(EventTypeId id) const {
+  ESPICE_ASSERT(id < names_.size(), "event-type id out of range");
+  return names_[id];
+}
+
+}  // namespace espice

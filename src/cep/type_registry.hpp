@@ -1,0 +1,42 @@
+// Mapping between human-readable event-type names and dense EventTypeIds.
+//
+// The shedding data structures (utility table, position shares) are indexed
+// by EventTypeId, so ids must be dense and known up front.  The registry is
+// append-only; looking up a name that was never registered is a programming
+// error in this codebase (datasets create their full type universe eagerly).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cep/event.hpp"
+
+namespace espice {
+
+class TypeRegistry {
+ public:
+  /// Registers `name` if new and returns its id; returns the existing id
+  /// otherwise.  Ids are assigned contiguously starting at 0.
+  EventTypeId intern(std::string_view name);
+
+  /// Id for an already-registered name; asserts if unknown.
+  EventTypeId id_of(std::string_view name) const;
+
+  /// True if `name` has been registered.
+  bool contains(std::string_view name) const;
+
+  /// Name for a registered id; asserts if out of range.
+  const std::string& name_of(EventTypeId id) const;
+
+  /// Number of registered types (== M, the utility table's row count).
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, EventTypeId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace espice

@@ -1,0 +1,115 @@
+#include "cep/window.hpp"
+
+#include <algorithm>
+
+namespace espice {
+
+WindowManager::WindowManager(WindowSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+}
+
+std::vector<WindowManager::Membership>& WindowManager::offer(const Event& e) {
+  scratch_.clear();
+
+  // 1. Close windows that can no longer accept events.  Windows close in
+  //    open order: every open window receives every event, so the oldest
+  //    window always reaches its span first.
+  auto expired = [&](const Window& w) {
+    switch (spec_.span_kind) {
+      case WindowSpan::kTime:
+        return e.ts >= w.open_ts + spec_.span_seconds;
+      case WindowSpan::kCount:
+        return w.arrivals >= spec_.span_events;
+      case WindowSpan::kPredicate:
+        return w.close_pending || w.arrivals >= spec_.span_events;
+    }
+    return false;  // unreachable
+  };
+  // Predicate-closed windows may close out of open order (an old window may
+  // outlive a newer one that saw its closer), so scan the whole deque.
+  for (std::size_t i = 0; i < open_.size();) {
+    if (expired(open_[i])) {
+      closed_size_sum_ += static_cast<double>(open_[i].arrivals);
+      ++closed_count_;
+      closed_.push_back(std::move(open_[i]));
+      open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  // 2. Open a new window if the spec says so.  The opening event itself is
+  //    the new window's first (position 0) event.
+  switch (spec_.open_kind) {
+    case WindowOpen::kPredicate:
+      if (spec_.opener.matches(e)) open_window(e);
+      break;
+    case WindowOpen::kCountSlide:
+      if (events_seen_ % spec_.slide_events == 0) open_window(e);
+      break;
+  }
+  ++events_seen_;
+
+  // 3. Route the event to every open window.
+  scratch_.reserve(open_.size());
+  for (auto& w : open_) {
+    ESPICE_ASSERT(w.arrivals < (1ULL << 32), "window position overflows 32 bits");
+    scratch_.push_back(Membership{w.id, static_cast<std::uint32_t>(w.arrivals)});
+    ++w.arrivals;
+  }
+
+  // 4. Pattern-based closing: a closer event ends every open window (it is
+  //    part of them -- it was routed above -- and they close before the
+  //    next event).
+  if (spec_.span_kind == WindowSpan::kPredicate && spec_.closer.matches(e)) {
+    for (auto& w : open_) w.close_pending = true;
+  }
+  return scratch_;
+}
+
+void WindowManager::keep(const Membership& m, const Event& e) {
+  Window* w = find_open(m.window);
+  ESPICE_ASSERT(w != nullptr, "keep() on a window that is not open");
+  w->kept.push_back(e);
+  w->kept_pos.push_back(m.position);
+}
+
+Window* WindowManager::find_open(WindowId id) {
+  // Ids are assigned in open order, so open_ is sorted by id.
+  auto it = std::lower_bound(
+      open_.begin(), open_.end(), id,
+      [](const Window& w, WindowId target) { return w.id < target; });
+  if (it == open_.end() || it->id != id) return nullptr;
+  return &*it;
+}
+
+std::vector<Window> WindowManager::drain_closed() {
+  std::vector<Window> out;
+  out.swap(closed_);
+  return out;
+}
+
+void WindowManager::close_all() {
+  for (auto& w : open_) {
+    closed_size_sum_ += static_cast<double>(w.arrivals);
+    ++closed_count_;
+    closed_.push_back(std::move(w));
+  }
+  open_.clear();
+  scratch_.clear();
+}
+
+double WindowManager::avg_closed_window_size() const {
+  if (closed_count_ == 0) return 0.0;
+  return closed_size_sum_ / static_cast<double>(closed_count_);
+}
+
+void WindowManager::open_window(const Event& e) {
+  Window w;
+  w.id = next_id_++;
+  w.open_ts = e.ts;
+  w.open_seq = e.seq;
+  open_.push_back(std::move(w));
+}
+
+}  // namespace espice

@@ -1,0 +1,140 @@
+// Window model and window lifecycle management.
+//
+// The paper assumes windows are formed *upstream* of the operator's input
+// queue ("windows of primitive events are first pushed to the input queue"),
+// and the load shedder then thins the contents of individual windows.  Two
+// consequences drive this design:
+//
+//  1. The set of windows (their open/close boundaries) is identical with and
+//     without shedding, which makes golden-vs-shed quality comparison exact.
+//  2. An event's *position* in a window is its arrival index among all events
+//     offered to that window, independent of which events were dropped.
+//
+// Supported strategies (all used by the paper's queries):
+//  * span: time-based (ws seconds) or count-based (ws events),
+//  * opening: predicate-opened (a new window per event matching an opener
+//    element, Q1/Q2/Q3) or count-sliding (a new window every `slide` events,
+//    Q4).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cep/event.hpp"
+#include "cep/pattern.hpp"
+#include "common/error.hpp"
+
+namespace espice {
+
+using WindowId = std::uint64_t;
+
+enum class WindowSpan {
+  kTime,       ///< closes span_seconds after opening
+  kCount,      ///< closes after span_events offered events
+  kPredicate,  ///< closes on an event matching `closer` (pattern-based
+               ///< window, e.g. "possession start .. possession end");
+               ///< span_events caps runaway windows
+};
+enum class WindowOpen { kPredicate, kCountSlide };
+
+struct WindowSpec {
+  WindowSpan span_kind = WindowSpan::kCount;
+  double span_seconds = 0.0;    ///< for kTime
+  std::size_t span_events = 0;  ///< for kCount; safety cap for kPredicate
+  ElementSpec closer;           ///< for kPredicate span (closing event is
+                                ///< included in the window)
+
+  WindowOpen open_kind = WindowOpen::kCountSlide;
+  ElementSpec opener;           ///< for kPredicate open
+  std::size_t slide_events = 0; ///< for kCountSlide
+
+  void validate() const {
+    switch (span_kind) {
+      case WindowSpan::kTime:
+        ESPICE_REQUIRE(span_seconds > 0.0, "time window span must be positive");
+        break;
+      case WindowSpan::kCount:
+        ESPICE_REQUIRE(span_events > 0, "count window span must be positive");
+        break;
+      case WindowSpan::kPredicate:
+        ESPICE_REQUIRE(span_events > 0,
+                       "predicate windows need a span_events safety cap");
+        break;
+    }
+    if (open_kind == WindowOpen::kCountSlide) {
+      ESPICE_REQUIRE(slide_events > 0, "slide must be positive");
+    }
+  }
+};
+
+/// A window instance.  `arrivals` counts every event offered to the window
+/// (this defines positions); `kept` / `kept_pos` hold the events that
+/// survived shedding, in arrival order, with their original positions.
+struct Window {
+  WindowId id = 0;
+  double open_ts = 0.0;
+  std::uint64_t open_seq = 0;
+  std::size_t arrivals = 0;
+  /// Set when a closer predicate matched (kPredicate spans): the window
+  /// closes before the next event is routed.
+  bool close_pending = false;
+  std::vector<Event> kept;
+  std::vector<std::uint32_t> kept_pos;
+
+  /// Number of events offered (== the window size ws used for scaling).
+  std::size_t size() const { return arrivals; }
+};
+
+/// Drives window opening, event-to-window routing and window closing.
+///
+/// Usage per event, in stream order:
+///   auto memberships = mgr.offer(e);       // may open/close windows
+///   for (auto& m : memberships)
+///     if (!shedder.should_drop(...)) mgr.keep(m, e);
+///   for (auto& w : mgr.drain_closed()) ... // match closed windows
+class WindowManager {
+ public:
+  explicit WindowManager(WindowSpec spec);
+
+  struct Membership {
+    WindowId window;
+    std::uint32_t position;  ///< arrival index of the event in that window
+  };
+
+  /// Routes `e`: closes expired windows, opens new ones as dictated by the
+  /// spec, and returns the (window, position) pairs `e` belongs to.
+  /// Membership entries stay valid until the next offer()/close_all() call.
+  std::vector<Membership>& offer(const Event& e);
+
+  /// Records `e` as kept (not shed) in the given window.
+  void keep(const Membership& m, const Event& e);
+
+  /// Windows closed since the last drain, in closing order.
+  std::vector<Window> drain_closed();
+
+  /// Force-closes all open windows (end of stream).
+  void close_all();
+
+  std::size_t open_count() const { return open_.size(); }
+  std::uint64_t windows_opened() const { return next_id_; }
+
+  /// Mean offered size of all closed windows so far (0 if none closed).
+  /// Used to pick N, the utility table's position-space size.
+  double avg_closed_window_size() const;
+
+ private:
+  void open_window(const Event& e);
+  Window* find_open(WindowId id);
+
+  WindowSpec spec_;
+  std::deque<Window> open_;          // ordered by open time
+  std::vector<Window> closed_;
+  std::vector<Membership> scratch_;  // reused membership buffer
+  WindowId next_id_ = 0;
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t closed_count_ = 0;
+  double closed_size_sum_ = 0.0;
+};
+
+}  // namespace espice

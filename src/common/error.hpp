@@ -1,0 +1,52 @@
+// Error-handling primitives shared by every eSPICE module.
+//
+// Policy (follows the C++ Core Guidelines, E.*):
+//  * Programming errors (broken invariants, out-of-contract arguments on
+//    internal interfaces) abort via ESPICE_ASSERT -- they are bugs, not
+//    recoverable conditions.
+//  * User-facing configuration errors throw espice::ConfigError so that
+//    examples / benches can print a friendly message.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace espice {
+
+/// Thrown when a user-supplied configuration value is invalid
+/// (e.g. a latency bound of zero or a window size of zero).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "espice: assertion `%s` failed at %s:%d: %s\n", expr, file,
+               line, msg);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace espice
+
+/// Internal invariant check. Active in all build types: the shedding
+/// hot path never uses it (it is for control-plane code), so the cost is
+/// irrelevant and the debugging value is high.
+#define ESPICE_ASSERT(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::espice::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                  \
+  } while (false)
+
+/// Validate a user-supplied configuration value; throws ConfigError.
+#define ESPICE_REQUIRE(expr, msg)              \
+  do {                                         \
+    if (!(expr)) {                             \
+      throw ::espice::ConfigError((msg));      \
+    }                                          \
+  } while (false)

@@ -1,0 +1,56 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace espice {
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  ESPICE_ASSERT(n > 0, "uniform_int(0) is ill-defined");
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = -n % n;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double rate) {
+  ESPICE_ASSERT(rate > 0.0, "exponential rate must be positive");
+  // uniform() may return 0; 1-u is in (0, 1].
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+double Rng::normal() {
+  // Marsaglia polar method; consumes a variable number of uniforms but is
+  // deterministic for a given generator state.
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  ESPICE_ASSERT(mean >= 0.0, "poisson mean must be non-negative");
+  if (mean == 0.0) return 0;
+  // Knuth's algorithm; adequate for the small means used by the generators.
+  const double limit = std::exp(-mean);
+  double prod = uniform();
+  std::uint64_t n = 0;
+  while (prod > limit) {
+    ++n;
+    prod *= uniform();
+  }
+  return n;
+}
+
+}  // namespace espice

@@ -1,0 +1,85 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace espice {
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  ESPICE_ASSERT(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
+}
+
+void Ewma::observe(double value) {
+  if (!seeded_) {
+    value_ = value;
+    seeded_ = true;
+  } else {
+    value_ = alpha_ * value + (1.0 - alpha_) * value_;
+  }
+}
+
+void Ewma::reset() {
+  seeded_ = false;
+  value_ = 0.0;
+}
+
+double Ewma::value() const {
+  ESPICE_ASSERT(seeded_, "EWMA read before first observation");
+  return value_;
+}
+
+void RunningStats::observe(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const {
+  ESPICE_ASSERT(count_ > 0, "mean of empty RunningStats");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  ESPICE_ASSERT(count_ > 0, "min of empty RunningStats");
+  return min_;
+}
+
+double RunningStats::max() const {
+  ESPICE_ASSERT(count_ > 0, "max of empty RunningStats");
+  return max_;
+}
+
+double PercentileTracker::percentile(double q) const {
+  ESPICE_ASSERT(!values_.empty(), "percentile of empty tracker");
+  ESPICE_ASSERT(q >= 0.0 && q <= 1.0, "percentile rank out of range");
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  if (values_.size() == 1) return values_.front();
+  const double rank = q * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+}  // namespace espice

@@ -1,0 +1,75 @@
+// Small statistics helpers used by the overload detector (EWMA of processing
+// latency / arrival rate), the metrics module (latency percentiles) and the
+// benches (mean / standard deviation across repeated runs).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace espice {
+
+/// Exponentially weighted moving average.  `alpha` is the weight of the most
+/// recent observation; alpha = 1 degenerates to "last value wins".
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.2);
+
+  void observe(double value);
+  void reset();
+
+  /// Current estimate.  Returns `fallback` until the first observation.
+  double value_or(double fallback) const { return seeded_ ? value_ : fallback; }
+  bool seeded() const { return seeded_; }
+  double value() const;
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+class RunningStats {
+ public:
+  void observe(double value);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores every observation and answers percentile queries exactly.
+/// Intended for offline analysis of bounded-size experiment output
+/// (latency traces), not for unbounded production streams.
+class PercentileTracker {
+ public:
+  void observe(double value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+  std::size_t count() const { return values_.size(); }
+
+  /// q in [0, 1]; linear interpolation between closest ranks.
+  /// Must not be called on an empty tracker.
+  double percentile(double q) const;
+  double median() const { return percentile(0.5); }
+  double max() const { return percentile(1.0); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace espice

@@ -1,0 +1,58 @@
+// BL: the baseline load shedder the paper compares against (Section 4.1
+// "Baseline"), modelled after He et al. [12] and weighted-sampling stream
+// shedders [29].
+//
+// BL assigns each event *type* a utility proportional to its repetition in
+// the pattern and inversely proportional to its frequency in windows; it then
+// decides how many events to drop from each type and drops them by uniform
+// sampling within the type.  It deliberately ignores the order/position of
+// events -- that is the gap eSPICE exploits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cep/pattern.hpp"
+#include "common/rng.hpp"
+#include "core/shedder.hpp"
+
+namespace espice {
+
+class BaselineShedder final : public Shedder {
+ public:
+  /// `pattern` provides per-type repetition counts; `type_frequencies` gives
+  /// the expected number of events of each type per window (measured during
+  /// training); `window_size_events` is the normalized window size N.
+  BaselineShedder(const Pattern& pattern, std::vector<double> type_frequencies,
+                  std::size_t window_size_events, std::uint64_t seed = 42);
+
+  bool should_drop(const Event& e, std::uint32_t position,
+                   double predicted_ws) override;
+  void on_command(const DropCommand& cmd) override;
+  const char* name() const override { return "BL"; }
+
+  /// Per-type pattern-repetition counts derived from the pattern (visible
+  /// for tests).
+  const std::vector<double>& repetitions() const { return repetitions_; }
+  /// Current per-type drop probabilities (empty-ish while inactive).
+  const std::vector<double>& drop_probabilities() const { return drop_prob_; }
+
+  /// Computes per-type repetition counts for `num_types` types from a
+  /// pattern: each sequence element adds 1 to every type it can match; the
+  /// trigger of a trigger-any adds 1; every explicit any-candidate adds 1
+  /// (an "any type" candidate set adds 1 to all types).
+  static std::vector<double> pattern_repetitions(const Pattern& pattern,
+                                                 std::size_t num_types);
+
+ private:
+  void recompute(double x_per_window);
+
+  std::vector<double> repetitions_;
+  std::vector<double> freq_;
+  std::vector<double> drop_prob_;
+  std::size_t window_size_events_;
+  Rng rng_;
+  bool active_ = false;
+};
+
+}  // namespace espice

@@ -1,0 +1,45 @@
+#include "core/cdt.hpp"
+
+namespace espice {
+
+int Cdt::threshold(double x) const {
+  for (int u = 0; u <= kMaxUtility; ++u) {
+    if (table_[static_cast<std::size_t>(u)] >= x) return u;
+  }
+  return kMaxUtility;
+}
+
+std::vector<Cdt> Cdt::build_partitions(const UtilityModel& model,
+                                       std::size_t partitions) {
+  ESPICE_REQUIRE(partitions > 0, "need at least one partition");
+  const std::size_t n = model.n_positions();
+  const std::size_t m = model.num_types();
+  std::vector<Cdt> out(partitions);
+
+  // Occurrence counting (Algorithm 1 lines 2-5), per partition.  We walk the
+  // normalized position space so that bin columns straddling a partition
+  // boundary contribute proportionally to both partitions.
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t part = p * partitions / n;
+    const std::size_t col = p / model.bin_size();
+    const double width = static_cast<double>(model.col_width(col));
+    for (std::size_t t = 0; t < m; ++t) {
+      const auto type = static_cast<EventTypeId>(t);
+      const double share_per_pos = model.share_cell(type, col) / width;
+      if (share_per_pos <= 0.0) continue;
+      const int u = model.utility_cell(type, col);
+      out[part].table_[static_cast<std::size_t>(u)] += share_per_pos;
+    }
+  }
+
+  // Accumulate in ascending utility order (Algorithm 1 lines 7-9).
+  for (auto& cdt : out) {
+    for (int u = 1; u <= kMaxUtility; ++u) {
+      cdt.table_[static_cast<std::size_t>(u)] +=
+          cdt.table_[static_cast<std::size_t>(u - 1)];
+    }
+  }
+  return out;
+}
+
+}  // namespace espice

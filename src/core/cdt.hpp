@@ -1,0 +1,48 @@
+// CDT: cumulative utility occurrences O(u) and the utility threshold
+// (paper Section 3.3, Algorithm 1; Section 3.4 "Dropping Interval").
+//
+// For a window partition, CDT(u) is the expected number of events per window
+// whose utility is <= u, computed by summing the position shares S(T, P) of
+// every (type, position) cell whose utility equals u and accumulating in
+// ascending utility order.  The utility threshold for dropping x events is
+// the smallest u with CDT(u) >= x (Algorithm 2, lines 1-7).
+//
+// When the window is split into rho partitions, every partition gets its own
+// CDT over its slice of the position space.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/utility_model.hpp"
+
+namespace espice {
+
+class Cdt {
+ public:
+  Cdt() { table_.fill(0.0); }
+
+  /// O(u): expected events per window(-partition) with utility <= u.
+  double at(int u) const {
+    ESPICE_ASSERT(u >= 0 && u <= kMaxUtility, "utility out of range");
+    return table_[static_cast<std::size_t>(u)];
+  }
+
+  /// Total expected events in the partition (== O(100)).
+  double total() const { return table_[kMaxUtility]; }
+
+  /// Smallest utility threshold uth with O(uth) >= x.  If even dropping
+  /// everything cannot reach x, returns kMaxUtility (drop all).
+  int threshold(double x) const;
+
+  /// Builds the CDTs of all `partitions` equal slices of the model's
+  /// normalized position space (Algorithm 1, generalized to partitions).
+  static std::vector<Cdt> build_partitions(const UtilityModel& model,
+                                           std::size_t partitions);
+
+ private:
+  std::array<double, kMaxUtility + 1> table_;
+};
+
+}  // namespace espice

@@ -1,0 +1,78 @@
+// Statistical retraining trigger (the paper's Section 3.6 leaves "a
+// statistical approach that triggers the need to retrain the model" as
+// future work; this implements it).
+//
+// Idea: the utility model is only as good as the stability of the
+// type-at-position distribution it learned.  The detector maintains two
+// windowed histograms of (type, bin-column) occurrences -- the reference
+// (what the model was trained on, seeded from the model's position shares)
+// and a sliding recent histogram -- and compares them with the Jensen-
+// Shannon divergence.  When the divergence exceeds a threshold for
+// `patience` consecutive evaluations, retraining is signalled.
+//
+// The detector is deliberately independent of match results: under heavy
+// shedding the detected complex events are biased by the shedder itself,
+// but the *input* composition is not.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cep/event.hpp"
+#include "common/error.hpp"
+#include "core/utility_model.hpp"
+
+namespace espice {
+
+struct DriftDetectorConfig {
+  /// Events per evaluation batch.
+  std::size_t batch_size = 20'000;
+  /// Jensen-Shannon divergence (in bits, range [0, 1]) above which a batch
+  /// counts as drifted.
+  double divergence_threshold = 0.1;
+  /// Consecutive drifted batches before retraining is signalled.
+  std::size_t patience = 2;
+
+  void validate() const {
+    ESPICE_REQUIRE(batch_size > 0, "batch size must be positive");
+    ESPICE_REQUIRE(divergence_threshold > 0.0 && divergence_threshold < 1.0,
+                   "divergence threshold must be in (0, 1)");
+    ESPICE_REQUIRE(patience > 0, "patience must be positive");
+  }
+};
+
+class DriftDetector {
+ public:
+  /// The reference distribution is taken from `model`'s position shares
+  /// (what the utility model believes the windows look like).
+  DriftDetector(const UtilityModel& model, DriftDetectorConfig config = {});
+
+  /// Feeds one (event, window-position) observation from the live stream.
+  /// Returns true when retraining is due (at batch boundaries only).
+  bool observe(const Event& e, std::uint32_t position, double predicted_ws);
+
+  /// Resets the drift state after the caller retrained the model.
+  /// Adopts `model`'s shares as the new reference.
+  void rebase(const UtilityModel& model);
+
+  /// Most recent batch divergence (bits); 0 before the first batch.
+  double last_divergence() const { return last_divergence_; }
+  std::size_t drifted_batches() const { return consecutive_drifted_; }
+
+ private:
+  void load_reference(const UtilityModel& model);
+  double finish_batch();
+
+  DriftDetectorConfig config_;
+  std::size_t num_types_;
+  std::size_t cols_;
+  std::size_t bin_size_;
+  std::size_t n_positions_;
+  std::vector<double> reference_;  // normalized [type][col]
+  std::vector<double> recent_;     // raw counts [type][col]
+  std::size_t batch_fill_ = 0;
+  std::size_t consecutive_drifted_ = 0;
+  double last_divergence_ = 0.0;
+};
+
+}  // namespace espice

@@ -1,0 +1,175 @@
+#include "core/espice_operator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace espice {
+
+EspiceOperator::EspiceOperator(EspiceOperatorConfig config,
+                               MatchCallback on_match)
+    : config_(std::move(config)),
+      on_match_(std::move(on_match)),
+      matcher_(config_.pattern, config_.selection, config_.consumption,
+               config_.max_matches_per_window),
+      windows_(config_.window),
+      detector_([&] {
+        // The detector's window size is refined once N is known; seed it
+        // with something valid.
+        auto d = config_.detector;
+        d.window_size_events = std::max<std::size_t>(d.window_size_events, 1);
+        return d;
+      }()) {
+  config_.validate();
+  ESPICE_REQUIRE(on_match_ != nullptr, "match callback must be set");
+
+  // N known up front?  Count-based windows and explicit overrides skip the
+  // sizing phase.
+  std::size_t n = config_.n_positions;
+  if (n == 0 && config_.window.span_kind == WindowSpan::kCount) {
+    n = config_.window.span_events;
+  }
+  if (n > 0) {
+    begin_training(n);
+  }
+}
+
+void EspiceOperator::begin_training(std::size_t n_positions) {
+  ModelBuilderConfig mb;
+  mb.num_types = config_.num_types;
+  mb.n_positions = n_positions;
+  mb.bin_size = std::min(config_.bin_size, n_positions);
+  builder_.emplace(mb);
+  predicted_ws_ = static_cast<double>(n_positions);
+  phase_ = Phase::kTraining;
+}
+
+void EspiceOperator::push(const Event& e) {
+  ESPICE_ASSERT(e.type < config_.num_types, "event type outside the universe");
+  auto& memberships = windows_.offer(e);
+  const bool shedding = phase_ == Phase::kShedding;
+  for (const auto& m : memberships) {
+    if (shedding) {
+      // Statistics are fed *pre-drop* so the position shares (and the drift
+      // reference) stay unbiased by the shedder's own decisions.
+      builder_->observe_position(e.type, m.position, predicted_ws_);
+      if (drift_ && drift_->observe(e, m.position, predicted_ws_)) {
+        drift_pending_ = true;  // retrain after this event's routing
+      }
+      if (shedder_->should_drop(e, m.position, predicted_ws_)) continue;
+    }
+    windows_.keep(m, e);
+  }
+  close_windows();
+  if (drift_pending_) {
+    drift_pending_ = false;
+    retrain();
+  }
+}
+
+void EspiceOperator::close_windows() {
+  for (Window& w : windows_.drain_closed()) {
+    const auto matches = matcher_.match_window(w);
+    switch (phase_) {
+      case Phase::kSizing: {
+        sizing_size_sum_ += static_cast<double>(w.size());
+        if (++sizing_count_ >= config_.sizing_windows) {
+          const auto n = static_cast<std::size_t>(std::max<long>(
+              1, std::lround(sizing_size_sum_ /
+                             static_cast<double>(sizing_count_))));
+          begin_training(n);
+        }
+        break;
+      }
+      case Phase::kTraining: {
+        builder_->observe_window(w);
+        for (const auto& m : matches) builder_->observe_match(m, w.size());
+        if (builder_->windows_observed() >= config_.training_windows) {
+          build_and_arm();
+        }
+        break;
+      }
+      case Phase::kShedding: {
+        // Positions were already fed pre-drop in push(); only the window
+        // count and the match evidence are recorded here.
+        builder_->count_window();
+        for (const auto& m : matches) builder_->observe_match(m, w.size());
+        if (config_.rebuild_every_windows > 0 &&
+            ++windows_since_rebuild_ >= config_.rebuild_every_windows) {
+          refresh_model(/*rebase_drift=*/false);
+        }
+        break;
+      }
+    }
+    for (const auto& m : matches) on_match_(m);
+  }
+}
+
+void EspiceOperator::build_and_arm() {
+  auto model = builder_->build();
+  // Refine the detector's notion of the window size (rho / psize).
+  auto detector_config = config_.detector;
+  detector_config.window_size_events = model->n_positions();
+  detector_ = OverloadDetector(detector_config);
+  shedder_ = std::make_unique<EspiceShedder>(model, config_.exact_amount);
+  shedder_->set_exploration(config_.exploration);
+  if (config_.drift_retraining) {
+    drift_.emplace(*model, config_.drift);
+  }
+  phase_ = Phase::kShedding;
+}
+
+void EspiceOperator::refresh_model(bool rebase_drift) {
+  auto model = builder_->build();
+  shedder_->set_model(model);
+  // Periodic refreshes keep the drift reference (and its batch state)
+  // untouched: the reference tracks what the *original* training saw until
+  // an actual drift retrain rebases it.
+  if (rebase_drift && drift_) drift_->rebase(*model);
+  windows_since_rebuild_ = 0;
+}
+
+void EspiceOperator::retrain() {
+  ESPICE_ASSERT(phase_ == Phase::kShedding, "retrain before model exists");
+  // Old evidence fades so the recent batches the drift detector flagged
+  // dominate the rebuilt model.
+  builder_->decay(config_.retrain_decay);
+  refresh_model(/*rebase_drift=*/true);
+  ++retrains_;
+}
+
+void EspiceOperator::finish() {
+  windows_.close_all();
+  close_windows();
+}
+
+void EspiceOperator::observe_cost(double seconds) {
+  detector_.observe_processing_cost(seconds);
+}
+
+void EspiceOperator::on_tick(double /*now*/, std::size_t queue_size) {
+  if (phase_ != Phase::kShedding) return;
+  const DropCommand cmd = detector_.tick(queue_size);
+  shedder_->on_command(cmd);
+}
+
+bool EspiceOperator::shedding_active() const {
+  return phase_ == Phase::kShedding && shedder_->active();
+}
+
+const UtilityModel* EspiceOperator::model() const {
+  return shedder_ ? &shedder_->model() : nullptr;
+}
+
+std::uint64_t EspiceOperator::drops() const {
+  return shedder_ ? shedder_->drops() : 0;
+}
+
+std::uint64_t EspiceOperator::decisions() const {
+  return shedder_ ? shedder_->decisions() : 0;
+}
+
+std::size_t EspiceOperator::windows_observed() const {
+  return builder_ ? builder_->windows_observed() : sizing_count_;
+}
+
+}  // namespace espice

@@ -1,0 +1,148 @@
+// EspiceOperator: the embeddable, online facade over the whole framework.
+//
+// run_experiment() (harness) is built for offline evaluation -- separate
+// training and measurement passes over a stored stream.  A production host
+// embeds eSPICE differently: one object consumes the live stream, trains
+// itself, starts shedding when the host's input queue grows, and retrains
+// when the stream drifts.  This class wires WindowManager + Matcher +
+// ModelBuilder + OverloadDetector + EspiceShedder + DriftDetector into that
+// lifecycle:
+//
+//   EspiceOperator op(config, [](const ComplexEvent& ce) { ... });
+//   loop:
+//     op.push(event);                  // per dequeued event
+//     op.observe_cost(seconds);        // measured processing cost (optional)
+//     every tick: op.on_tick(queue_size);
+//
+// Lifecycle:
+//  * kSizing: the first windows only measure the average window size N
+//    (skipped for count-based windows, where N is the span),
+//  * kTraining: statistics accumulate until `training_windows` windows were
+//    observed, then the utility model is built and shedding becomes armed,
+//  * kShedding: drop decisions follow the overload detector's commands; the
+//    model keeps learning from detected matches, the drift detector watches
+//    the input composition and triggers decay + rebuild on drift.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "cep/matcher.hpp"
+#include "cep/pattern.hpp"
+#include "cep/window.hpp"
+#include "core/drift_detector.hpp"
+#include "core/espice_shedder.hpp"
+#include "core/model_builder.hpp"
+#include "core/overload_detector.hpp"
+
+namespace espice {
+
+struct EspiceOperatorConfig {
+  // --- query ---------------------------------------------------------------
+  Pattern pattern;
+  WindowSpec window;
+  SelectionPolicy selection = SelectionPolicy::kFirst;
+  ConsumptionPolicy consumption = ConsumptionPolicy::kConsumed;
+  std::size_t max_matches_per_window = 1;
+
+  // --- model ---------------------------------------------------------------
+  std::size_t num_types = 0;       ///< M: event-type universe size
+  std::size_t bin_size = 1;        ///< bs
+  std::size_t n_positions = 0;     ///< N; 0 = derive (sizing phase / span)
+  std::size_t sizing_windows = 100;   ///< windows used to estimate N
+  std::size_t training_windows = 500; ///< windows before the model is built
+
+  // --- control plane ---------------------------------------------------------
+  OverloadDetectorConfig detector;  ///< window_size_events is filled in
+  bool exact_amount = false;        ///< see EspiceShedder
+
+  // --- retraining ------------------------------------------------------------
+  bool drift_retraining = true;
+  DriftDetectorConfig drift;
+  /// Decay applied to the accumulated statistics when drift triggers a
+  /// rebuild (old evidence fades, recent evidence dominates).
+  double retrain_decay = 0.1;
+  /// Fraction of would-be-dropped events kept for relearning (see
+  /// EspiceShedder::set_exploration).  Without exploration, a drifted cell
+  /// that the stale model sheds can never regain match evidence.
+  double exploration = 0.05;
+  /// Rebuild the shedder's model from the accumulated statistics every this
+  /// many closed windows while shedding (0 = only on drift triggers).
+  std::size_t rebuild_every_windows = 2000;
+
+  void validate() const {
+    ESPICE_REQUIRE(num_types > 0, "num_types must be set");
+    ESPICE_REQUIRE(training_windows > 0, "training_windows must be positive");
+    ESPICE_REQUIRE(retrain_decay > 0.0 && retrain_decay <= 1.0,
+                   "retrain_decay must be in (0, 1]");
+    window.validate();
+  }
+};
+
+class EspiceOperator {
+ public:
+  enum class Phase { kSizing, kTraining, kShedding };
+
+  using MatchCallback = std::function<void(const ComplexEvent&)>;
+
+  EspiceOperator(EspiceOperatorConfig config, MatchCallback on_match);
+
+  /// Consumes the next event of the stream (in order).  Window routing,
+  /// shedding and matching happen inside; detected complex events are
+  /// delivered through the callback.
+  void push(const Event& e);
+
+  /// Flushes all open windows (end of stream).
+  void finish();
+
+  /// Host signal: measured processing cost of one event (seconds).  Feeds
+  /// the overload detector's l(p) estimate.
+  void observe_cost(double seconds);
+
+  /// Host signal: current input-queue size; call periodically (every
+  /// detector tick period).  Also feeds the arrival-rate estimate through
+  /// `now` (the host's clock, seconds).
+  void on_tick(double now, std::size_t queue_size);
+
+  /// Host signal: one event arrived at `ts` (for the rate estimate).
+  void observe_arrival(double ts) { detector_.observe_arrival(ts); }
+
+  // --- introspection ---------------------------------------------------------
+  Phase phase() const { return phase_; }
+  bool shedding_active() const;
+  /// nullptr until training completes.
+  const UtilityModel* model() const;
+  std::uint64_t drops() const;
+  std::uint64_t decisions() const;
+  std::size_t retrains() const { return retrains_; }
+  std::size_t windows_observed() const;
+
+ private:
+  void close_windows();
+  void begin_training(std::size_t n_positions);
+  void build_and_arm();
+  void refresh_model(bool rebase_drift);
+  void retrain();
+
+  EspiceOperatorConfig config_;
+  MatchCallback on_match_;
+  Matcher matcher_;
+  WindowManager windows_;
+  OverloadDetector detector_;
+
+  Phase phase_ = Phase::kSizing;
+  std::size_t sizing_count_ = 0;
+  double sizing_size_sum_ = 0.0;
+
+  std::optional<ModelBuilder> builder_;
+  std::unique_ptr<EspiceShedder> shedder_;
+  std::optional<DriftDetector> drift_;
+  double predicted_ws_ = 0.0;
+  std::size_t retrains_ = 0;
+  std::size_t windows_since_rebuild_ = 0;
+  bool drift_pending_ = false;
+};
+
+}  // namespace espice

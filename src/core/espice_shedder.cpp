@@ -1,0 +1,105 @@
+#include "core/espice_shedder.hpp"
+
+#include <algorithm>
+
+namespace espice {
+
+EspiceShedder::EspiceShedder(std::shared_ptr<const UtilityModel> model,
+                             bool exact_amount, std::uint64_t seed)
+    : model_(std::move(model)), exact_amount_(exact_amount), rng_(seed) {
+  ESPICE_REQUIRE(model_ != nullptr, "eSPICE shedder needs a utility model");
+}
+
+void EspiceShedder::set_exploration(double fraction) {
+  ESPICE_REQUIRE(fraction >= 0.0 && fraction < 1.0,
+                 "exploration fraction must be in [0, 1)");
+  exploration_ = fraction;
+}
+
+void EspiceShedder::set_model(std::shared_ptr<const UtilityModel> model) {
+  ESPICE_REQUIRE(model != nullptr, "eSPICE shedder needs a utility model");
+  model_ = std::move(model);
+  cdt_cache_.clear();
+  if (active_) {
+    // Recompute thresholds under the new model with the last command.
+    DropCommand cmd;
+    cmd.active = true;
+    cmd.partitions = partitions_;
+    cmd.x = last_x_;
+    on_command(cmd);
+  }
+}
+
+const std::vector<Cdt>& EspiceShedder::cdts_for(std::size_t partitions) {
+  auto it = cdt_cache_.find(partitions);
+  if (it == cdt_cache_.end()) {
+    it = cdt_cache_.emplace(partitions,
+                            Cdt::build_partitions(*model_, partitions))
+             .first;
+  }
+  return it->second;
+}
+
+void EspiceShedder::on_command(const DropCommand& cmd) {
+  active_ = cmd.active;
+  if (!active_) {
+    thresholds_.clear();
+    boundary_drop_.clear();
+    return;
+  }
+  ESPICE_ASSERT(cmd.partitions > 0, "command with zero partitions");
+  partitions_ = cmd.partitions;
+  last_x_ = cmd.x;
+  const auto& cdts = cdts_for(partitions_);
+  thresholds_.resize(partitions_);
+  boundary_drop_.resize(partitions_);
+  for (std::size_t p = 0; p < partitions_; ++p) {
+    const int uth = cdts[p].threshold(cmd.x);
+    thresholds_[p] = uth;
+    double frac = 1.0;
+    if (exact_amount_) {
+      const double below = uth > 0 ? cdts[p].at(uth - 1) : 0.0;
+      const double at = cdts[p].at(uth);
+      if (at > below && cmd.x > below) {
+        frac = std::min(1.0, (cmd.x - below) / (at - below));
+      } else if (cmd.x <= below) {
+        frac = 1.0;  // threshold() already minimal; defensive default
+      }
+    }
+    boundary_drop_[p] = frac;
+  }
+}
+
+bool EspiceShedder::should_drop(const Event& e, std::uint32_t position,
+                                double predicted_ws) {
+  if (!active_) {
+    count_decision(false);
+    return false;
+  }
+  // Partition of the event: computed over the normalized position space so
+  // that partition boundaries agree with the CDTs (Algorithm 2, line 12).
+  const double norm = model_->normalize_position(position, predicted_ws);
+  const auto part = std::min(
+      static_cast<std::size_t>(norm * static_cast<double>(partitions_) /
+                               static_cast<double>(model_->n_positions())),
+      partitions_ - 1);
+  const int u = model_->utility(e.type, position, predicted_ws);
+  bool drop;
+  if (u < thresholds_[part]) {
+    drop = true;
+  } else if (u == thresholds_[part]) {
+    // At the boundary utility, drop just the fraction needed for an expected
+    // amount of exactly x (1.0 when exact_amount is disabled).
+    const double frac = boundary_drop_[part];
+    drop = frac >= 1.0 || rng_.bernoulli(frac);
+  } else {
+    drop = false;
+  }
+  if (drop && exploration_ > 0.0 && rng_.bernoulli(exploration_)) {
+    drop = false;  // exploration: spare this event so the model can relearn
+  }
+  count_decision(drop);
+  return drop;
+}
+
+}  // namespace espice

@@ -1,0 +1,86 @@
+#include "core/f_advisor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "core/cdt.hpp"
+
+namespace espice {
+
+int low_utility_class_boundary(const UtilityModel& model) {
+  // Share-weighted histogram of utilities.
+  std::array<double, kMaxUtility + 1> hist{};
+  for (std::size_t t = 0; t < model.num_types(); ++t) {
+    for (std::size_t c = 0; c < model.cols(); ++c) {
+      const auto type = static_cast<EventTypeId>(t);
+      hist[static_cast<std::size_t>(model.utility_cell(type, c))] +=
+          model.share_cell(type, c);
+    }
+  }
+  const double total = std::accumulate(hist.begin(), hist.end(), 0.0);
+  if (total <= 0.0) return 0;
+
+  // Otsu: choose the boundary maximizing between-class variance.
+  double sum_all = 0.0;
+  for (int u = 0; u <= kMaxUtility; ++u) {
+    sum_all += static_cast<double>(u) * hist[static_cast<std::size_t>(u)];
+  }
+  double w0 = 0.0;
+  double sum0 = 0.0;
+  double best_sigma = -1.0;
+  int best_u = 0;
+  for (int u = 0; u < kMaxUtility; ++u) {
+    w0 += hist[static_cast<std::size_t>(u)];
+    if (w0 <= 0.0) continue;
+    const double w1 = total - w0;
+    if (w1 <= 0.0) break;
+    sum0 += static_cast<double>(u) * hist[static_cast<std::size_t>(u)];
+    const double mu0 = sum0 / w0;
+    const double mu1 = (sum_all - sum0) / w1;
+    const double sigma = w0 * w1 * (mu0 - mu1) * (mu0 - mu1);
+    if (sigma > best_sigma) {
+      best_sigma = sigma;
+      best_u = u;
+    }
+  }
+  return best_u;
+}
+
+FAdvice suggest_f(const UtilityModel& model, double qmax, double x,
+                  double f_min, double f_max, double step) {
+  ESPICE_REQUIRE(qmax > 0.0, "qmax must be positive");
+  ESPICE_REQUIRE(step > 0.0 && f_min <= f_max, "invalid f scan range");
+
+  const int boundary = low_utility_class_boundary(model);
+  const auto n = static_cast<double>(model.n_positions());
+
+  FAdvice best;
+  best.low_class_boundary = boundary;
+  double best_slack = -1.0;
+
+  for (double f = f_max; f >= f_min - 1e-12; f -= step) {
+    const double buffer = std::max(qmax * (1.0 - f), 1.0);
+    const auto rho =
+        static_cast<std::size_t>(std::max(1.0, std::ceil(n / buffer)));
+    const auto cdts = Cdt::build_partitions(model, rho);
+    // Worst partition: the least expected low-class events.
+    double worst = cdts.front().at(boundary);
+    for (const Cdt& cdt : cdts) worst = std::min(worst, cdt.at(boundary));
+    if (worst >= x) {
+      best.f = f;
+      best.partitions = rho;
+      best.feasible = true;
+      return best;  // scanning from high f: first hit is the largest f
+    }
+    if (worst > best_slack) {
+      best_slack = worst;
+      best.f = f;
+      best.partitions = rho;
+    }
+  }
+  return best;
+}
+
+}  // namespace espice

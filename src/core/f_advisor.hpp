@@ -1,0 +1,44 @@
+// "Appropriate f Value" advisor (paper Section 3.4).
+//
+// The watermark factor f trades off two risks: a low f sheds during harmless
+// short bursts, a high f shrinks the dropping buffer (qmax - f*qmax), forcing
+// small partitions in which the shedder may have to drop high-utility events.
+// The paper proposes clustering the utilities in UT into importance classes
+// and choosing the largest f for which every resulting partition still holds
+// at least x low-class events.
+//
+// We implement exactly that: a weighted 2-class split of the utility
+// distribution (Otsu's criterion over the share-weighted utility histogram)
+// defines "low-utility", and suggest_f() scans f from high to low until every
+// partition's CDT reaches x within the low class.
+#pragma once
+
+#include <cstddef>
+
+#include "core/utility_model.hpp"
+
+namespace espice {
+
+/// Boundary utility of the low-importance class: the threshold that best
+/// separates the share-weighted utility histogram into two classes
+/// (maximizing between-class variance).  Returns a value in [0, 100);
+/// utilities <= the boundary are "low class".
+int low_utility_class_boundary(const UtilityModel& model);
+
+struct FAdvice {
+  double f = 0.8;            ///< suggested watermark factor
+  std::size_t partitions = 1;///< rho implied by f
+  int low_class_boundary = 0;///< utility boundary used for the check
+  bool feasible = false;     ///< false if no f in the scan range works
+};
+
+/// Finds the largest f in [f_min, f_max] (scanned in `step` decrements) such
+/// that, with qmax events of queue budget, every one of the
+/// ceil(N / ((1-f)*qmax)) partitions contains at least `x` expected events of
+/// the low-utility class.  If no f qualifies, returns the f whose partitions
+/// come closest (feasible = false).
+FAdvice suggest_f(const UtilityModel& model, double qmax, double x,
+                  double f_min = 0.05, double f_max = 0.95,
+                  double step = 0.05);
+
+}  // namespace espice

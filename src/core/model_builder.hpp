@@ -1,0 +1,90 @@
+// Online statistics collection and utility-model construction (paper
+// Section 3.3 "Model Building" and Section 3.6 "Model Retraining").
+//
+// The builder consumes only what a black-box operator reveals:
+//   * closed windows (their type-at-position composition)  -> position shares
+//   * detected complex events (constituent types/positions) -> utilities
+//
+// Building is not time-critical (it runs off the hot path), so the builder
+// favours clarity over micro-optimization.  Retraining is supported through
+// exponential decay of the accumulated counts: calling decay(g) multiplies
+// all counts by g in (0, 1], letting fresh observations dominate after a
+// distribution shift.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "cep/matcher.hpp"
+#include "cep/window.hpp"
+#include "core/utility_model.hpp"
+
+namespace espice {
+
+struct ModelBuilderConfig {
+  std::size_t num_types = 0;    ///< M: size of the event-type universe
+  std::size_t n_positions = 0;  ///< N: normalized window size (positions)
+  std::size_t bin_size = 1;     ///< bs: positions per UT column
+
+  void validate() const {
+    ESPICE_REQUIRE(num_types > 0, "num_types must be positive");
+    ESPICE_REQUIRE(n_positions > 0, "n_positions must be positive");
+    ESPICE_REQUIRE(bin_size > 0, "bin_size must be positive");
+    ESPICE_REQUIRE(bin_size <= n_positions, "bin_size cannot exceed N");
+  }
+};
+
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(ModelBuilderConfig config);
+
+  /// Records the composition of a closed window: every kept event's type and
+  /// (scaled) position feed the position shares.
+  void observe_window(const Window& w);
+
+  /// Online variant for use *under shedding*: feed every offered
+  /// (pre-shedding) (type, position) membership as it is routed, then call
+  /// count_window() once per closed window.  Equivalent to observe_window()
+  /// on the unshedded window contents; keeps the position shares unbiased by
+  /// the shedder's own decisions.
+  void observe_position(EventTypeId type, std::uint32_t position, double ws);
+  void count_window();
+
+  /// Records a detected complex event; `ws` is the offered size of the
+  /// window it was detected in (needed for position scaling).
+  void observe_match(const ComplexEvent& ce, std::size_t ws);
+
+  /// Multiplies all accumulated counts by `factor` in (0, 1]; used for
+  /// retraining after distribution changes.
+  void decay(double factor);
+
+  /// Discards all accumulated statistics.
+  void reset();
+
+  std::size_t windows_observed() const;
+  std::size_t matches_observed() const { return matches_observed_; }
+
+  /// Builds an immutable utility model from the statistics accumulated so
+  /// far.  Requires at least one observed window; a model with no observed
+  /// matches has all-zero utilities (everything equally droppable).
+  std::shared_ptr<const UtilityModel> build() const;
+
+  const ModelBuilderConfig& config() const { return config_; }
+
+ private:
+  /// Distributes `weight` of an event at `position` of a `ws`-sized window
+  /// over the scaled bin columns it covers, invoking add(col, w).
+  template <typename AddFn>
+  void for_each_scaled_col(std::uint32_t position, double ws, AddFn add) const;
+
+  ModelBuilderConfig config_;
+  std::size_t cols_;
+  std::vector<double> match_counts_;  // [type][col]
+  std::vector<double> pos_counts_;    // [type][col]
+  double windows_weight_ = 0.0;       // decayed window count
+  std::size_t windows_observed_ = 0;  // raw (undecayed) counter
+  std::size_t matches_observed_ = 0;
+};
+
+}  // namespace espice

@@ -1,0 +1,79 @@
+#include "core/overload_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace espice {
+
+OverloadDetector::OverloadDetector(OverloadDetectorConfig config)
+    : config_(config), lp_(config.ewma_alpha), rate_(config.ewma_alpha) {
+  config_.validate();
+}
+
+void OverloadDetector::observe_processing_cost(double seconds) {
+  ESPICE_ASSERT(seconds > 0.0, "processing cost must be positive");
+  lp_.observe(seconds);
+}
+
+void OverloadDetector::observe_arrival(double ts) {
+  if (last_arrival_ts_ >= 0.0 && ts > last_arrival_ts_) {
+    rate_.observe(1.0 / (ts - last_arrival_ts_));
+  }
+  last_arrival_ts_ = ts;
+}
+
+double OverloadDetector::qmax() const {
+  const double lp = lp_.value_or(0.0);
+  if (lp <= 0.0) return 0.0;
+  return config_.latency_bound / lp;
+}
+
+DropCommand OverloadDetector::tick(std::size_t queue_size) {
+  DropCommand cmd;
+  const double q_max = qmax();
+  if (q_max <= 0.0 || !rate_.seeded()) {
+    // Nothing measured yet; cannot make an informed decision.
+    active_ = false;
+    return cmd;
+  }
+
+  const double watermark = config_.f * q_max;
+  const auto qsize = static_cast<double>(queue_size);
+
+  if (!active_ && qsize > watermark) {
+    active_ = true;
+  } else if (active_ && qsize < config_.deactivate_fraction * watermark) {
+    active_ = false;
+  }
+  cmd.active = active_;
+  if (!active_) return cmd;
+
+  // Dropping interval: the buffer between the watermark and qmax is
+  // (1-f)*qmax events; partitions must not exceed it (Section 3.4).
+  const double buffer = std::max(q_max - watermark, 1.0);
+  const auto n = static_cast<double>(config_.window_size_events);
+  const auto rho =
+      static_cast<std::size_t>(std::max(1.0, std::ceil(n / buffer)));
+  const double psize = n / static_cast<double>(rho);
+
+  // Dropping amount: x = delta * psize / R with delta = R - th.
+  const double rate = rate_.value();
+  const double th = 1.0 / lp_.value();
+  const double delta = std::max(0.0, rate - th);
+  double x = delta * psize / rate;
+
+  if (config_.drain_backlog && qsize > watermark) {
+    // Drain the backlog above the watermark over one LB period: the queue
+    // holds (qsize - watermark) surplus events; spread their removal over
+    // the partitions that will pass through the shedder in LB seconds.
+    const double partitions_per_lb =
+        std::max(1.0, rate * config_.latency_bound / psize);
+    x += (qsize - watermark) / partitions_per_lb;
+  }
+
+  cmd.partitions = rho;
+  cmd.x = x;
+  return cmd;
+}
+
+}  // namespace espice

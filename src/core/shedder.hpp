@@ -1,0 +1,71 @@
+// Load-shedder interface.
+//
+// A shedder answers one question per (event, window) pair on the operator's
+// hot path: should this event be dropped from this window?  The overload
+// detector (core/overload_detector.hpp) steers every shedder through
+// DropCommand messages, so eSPICE, the He-et-al.-style baseline and the
+// random shedder are interchangeable in the simulator and the harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cep/event.hpp"
+
+namespace espice {
+
+/// Command issued by the overload detector (paper Section 3.4/3.5).
+struct DropCommand {
+  /// Whether shedding is active at all.
+  bool active = false;
+  /// Number of events to drop per partition of each window (x).  Fractional
+  /// values are meaningful: the CDT is compared against x directly.
+  double x = 0.0;
+  /// Number of partitions per window (rho).  At least 1.
+  std::size_t partitions = 1;
+};
+
+class Shedder {
+ public:
+  virtual ~Shedder() = default;
+
+  /// Drop decision for an event at `position` of a window whose *predicted*
+  /// total size is `predicted_ws` events.  Called once per (event, window)
+  /// membership on the hot path -- implementations must be O(1) and must not
+  /// allocate.
+  virtual bool should_drop(const Event& e, std::uint32_t position,
+                           double predicted_ws) = 0;
+
+  /// Applies a new command from the overload detector (control plane; may do
+  /// non-trivial work such as recomputing utility thresholds).
+  virtual void on_command(const DropCommand& cmd) = 0;
+
+  virtual const char* name() const = 0;
+
+  /// Statistics: how many decisions / drops this shedder has made.
+  std::uint64_t decisions() const { return decisions_; }
+  std::uint64_t drops() const { return drops_; }
+
+ protected:
+  void count_decision(bool dropped) {
+    ++decisions_;
+    if (dropped) ++drops_;
+  }
+
+ private:
+  std::uint64_t decisions_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+/// Never drops anything; used for golden (ground-truth) runs.
+class NullShedder final : public Shedder {
+ public:
+  bool should_drop(const Event&, std::uint32_t, double) override {
+    count_decision(false);
+    return false;
+  }
+  void on_command(const DropCommand&) override {}
+  const char* name() const override { return "none"; }
+};
+
+}  // namespace espice

@@ -1,0 +1,68 @@
+#include "datasets/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace espice {
+
+void write_events_csv(std::ostream& out, const std::vector<Event>& events,
+                      const TypeRegistry& registry) {
+  out << "type,seq,ts,value,aux\n";
+  for (const Event& e : events) {
+    out << registry.name_of(e.type) << ',' << e.seq << ',' << e.ts << ','
+        << e.value << ',' << e.aux << '\n';
+  }
+}
+
+std::vector<Event> read_events_csv(std::istream& in, TypeRegistry& registry) {
+  std::vector<Event> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line_no == 1 && line.rfind("type,", 0) == 0) continue;  // header
+    std::istringstream row(line);
+    std::string field;
+    Event e;
+    auto next = [&](const char* what) {
+      ESPICE_REQUIRE(std::getline(row, field, ','),
+                     "CSV row " + std::to_string(line_no) + ": missing " + what);
+      return field;
+    };
+    try {
+      e.type = registry.intern(next("type"));
+      e.seq = std::stoull(next("seq"));
+      e.ts = std::stod(next("ts"));
+      e.value = std::stod(next("value"));
+      e.aux = std::stod(next("aux"));
+    } catch (const std::invalid_argument&) {
+      throw ConfigError("CSV row " + std::to_string(line_no) +
+                        ": malformed numeric field '" + field + "'");
+    } catch (const std::out_of_range&) {
+      throw ConfigError("CSV row " + std::to_string(line_no) +
+                        ": numeric field out of range '" + field + "'");
+    }
+    events.push_back(e);
+  }
+  return events;
+}
+
+void save_events_csv(const std::string& path, const std::vector<Event>& events,
+                     const TypeRegistry& registry) {
+  std::ofstream out(path);
+  ESPICE_REQUIRE(out.good(), "cannot open for writing: " + path);
+  write_events_csv(out, events, registry);
+  ESPICE_REQUIRE(out.good(), "write failed: " + path);
+}
+
+std::vector<Event> load_events_csv(const std::string& path,
+                                   TypeRegistry& registry) {
+  std::ifstream in(path);
+  ESPICE_REQUIRE(in.good(), "cannot open for reading: " + path);
+  return read_events_csv(in, registry);
+}
+
+}  // namespace espice

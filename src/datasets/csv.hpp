@@ -1,0 +1,32 @@
+// CSV persistence for event streams.
+//
+// Lets users export the synthetic datasets, inspect them, and replay real
+// data from disk (the library is dataset-agnostic: any CSV with the right
+// columns can drive the operator).  Format, one event per line:
+//   type_name,seq,ts,value,aux
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cep/event.hpp"
+#include "cep/type_registry.hpp"
+
+namespace espice {
+
+/// Writes `events` to `out` using names from `registry`.
+void write_events_csv(std::ostream& out, const std::vector<Event>& events,
+                      const TypeRegistry& registry);
+
+/// Reads events, interning unseen type names into `registry`.
+/// Throws ConfigError on malformed rows.
+std::vector<Event> read_events_csv(std::istream& in, TypeRegistry& registry);
+
+/// File-path convenience wrappers; throw ConfigError on I/O failure.
+void save_events_csv(const std::string& path, const std::vector<Event>& events,
+                     const TypeRegistry& registry);
+std::vector<Event> load_events_csv(const std::string& path,
+                                   TypeRegistry& registry);
+
+}  // namespace espice

@@ -1,0 +1,30 @@
+// Plain-text table reporting for the benches (each bench prints the rows /
+// series of one of the paper's tables or figures).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace espice {
+
+/// Fixed-format double with `precision` decimals.
+std::string fmt(double value, int precision = 1);
+
+/// Aligned plain-text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints "=== title ===" section separators used by the bench binaries.
+void print_section(std::ostream& out, const std::string& title);
+
+}  // namespace espice

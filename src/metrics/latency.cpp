@@ -1,0 +1,50 @@
+#include "metrics/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace espice {
+
+LatencySummary summarize_latency(const std::vector<LatencySample>& samples,
+                                 double bound, double bucket_seconds) {
+  ESPICE_REQUIRE(bucket_seconds > 0.0, "bucket size must be positive");
+  LatencySummary summary;
+  summary.events = samples.size();
+  if (samples.empty()) return summary;
+
+  PercentileTracker tracker;
+  RunningStats overall;
+
+  double horizon = 0.0;
+  for (const auto& s : samples) horizon = std::max(horizon, s.completion_ts);
+  const auto n_buckets =
+      static_cast<std::size_t>(std::floor(horizon / bucket_seconds)) + 1;
+  std::vector<RunningStats> per_bucket(n_buckets);
+
+  for (const auto& s : samples) {
+    overall.observe(s.latency);
+    tracker.observe(s.latency);
+    if (s.latency > bound) ++summary.violations;
+    const auto b = static_cast<std::size_t>(s.completion_ts / bucket_seconds);
+    per_bucket[std::min(b, n_buckets - 1)].observe(s.latency);
+  }
+
+  summary.mean = overall.mean();
+  summary.max = overall.max();
+  summary.p99 = tracker.percentile(0.99);
+  summary.buckets.reserve(n_buckets);
+  for (std::size_t b = 0; b < n_buckets; ++b) {
+    if (per_bucket[b].count() == 0) continue;
+    LatencyBucket bucket;
+    bucket.start_ts = static_cast<double>(b) * bucket_seconds;
+    bucket.mean = per_bucket[b].mean();
+    bucket.max = per_bucket[b].max();
+    bucket.events = per_bucket[b].count();
+    summary.buckets.push_back(bucket);
+  }
+  return summary;
+}
+
+}  // namespace espice

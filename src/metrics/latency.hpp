@@ -1,0 +1,43 @@
+// Latency time-series analysis for the latency-bound experiments (Fig. 7).
+//
+// Consumes the per-event LatencySample stream produced by the simulator and
+// produces per-second buckets (mean/max latency) plus bound-violation
+// statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/operator_sim.hpp"
+
+namespace espice {
+
+struct LatencyBucket {
+  double start_ts = 0.0;  ///< bucket start (virtual seconds)
+  double mean = 0.0;
+  double max = 0.0;
+  std::size_t events = 0;
+};
+
+struct LatencySummary {
+  std::vector<LatencyBucket> buckets;
+  double mean = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  std::size_t violations = 0;  ///< events with latency > bound
+  std::size_t events = 0;
+
+  double violation_percent() const {
+    return events == 0 ? 0.0
+                       : 100.0 * static_cast<double>(violations) /
+                             static_cast<double>(events);
+  }
+};
+
+/// Buckets `samples` by completion time into `bucket_seconds` slices and
+/// summarizes against the latency bound.
+LatencySummary summarize_latency(const std::vector<LatencySample>& samples,
+                                 double bound, double bucket_seconds = 1.0);
+
+}  // namespace espice

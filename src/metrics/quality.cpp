@@ -1,0 +1,52 @@
+#include "metrics/quality.hpp"
+
+#include <algorithm>
+
+namespace espice {
+
+namespace {
+
+// 64-bit mix (SplitMix64 finalizer) for order-independent set hashing.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t match_identity(const ComplexEvent& ce) {
+  // XOR of mixed per-constituent hashes is order independent, which is what
+  // we need: any-operator candidates are an unordered set.  The window id is
+  // folded in so identical bindings in different windows stay distinct.
+  std::uint64_t h = mix(0x9e3779b97f4a7c15ULL ^ ce.window);
+  for (const Constituent& c : ce.constituents) {
+    h ^= mix((static_cast<std::uint64_t>(c.element) << 48) ^ c.event.seq);
+  }
+  return h;
+}
+
+QualityReport compare_quality(const std::vector<ComplexEvent>& golden,
+                              const std::vector<ComplexEvent>& detected) {
+  QualityReport report;
+  report.golden = golden.size();
+  report.detected = detected.size();
+
+  std::unordered_set<std::uint64_t> golden_ids;
+  golden_ids.reserve(golden.size() * 2);
+  for (const auto& ce : golden) golden_ids.insert(match_identity(ce));
+
+  std::unordered_set<std::uint64_t> detected_ids;
+  detected_ids.reserve(detected.size() * 2);
+  for (const auto& ce : detected) detected_ids.insert(match_identity(ce));
+
+  for (std::uint64_t id : golden_ids) {
+    if (detected_ids.find(id) == detected_ids.end()) ++report.false_negatives;
+  }
+  for (std::uint64_t id : detected_ids) {
+    if (golden_ids.find(id) == golden_ids.end()) ++report.false_positives;
+  }
+  return report;
+}
+
+}  // namespace espice

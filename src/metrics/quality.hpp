@@ -1,0 +1,49 @@
+// Result-quality metrics: false negatives and false positives
+// (paper Section 2.1).
+//
+// A complex event's identity is the window it was detected in plus the set of
+// (element, event-sequence-number) bindings.  Because shedding never changes
+// window boundaries (windows are formed upstream of the shedder), golden and
+// shed runs produce directly comparable identities:
+//   false negative: in the golden set but not the shed set,
+//   false positive: in the shed set but not the golden set.
+// Percentages are relative to the golden match count, as in the paper's
+// "% false negatives / positives" plots.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "cep/matcher.hpp"
+
+namespace espice {
+
+/// Canonical, order-independent identity of a complex event.
+/// Two matches are equal iff they were detected in the same window and bound
+/// exactly the same primitive events to the same pattern elements.
+std::uint64_t match_identity(const ComplexEvent& ce);
+
+struct QualityReport {
+  std::size_t golden = 0;
+  std::size_t detected = 0;
+  std::size_t false_negatives = 0;
+  std::size_t false_positives = 0;
+
+  double fn_percent() const {
+    return golden == 0 ? 0.0
+                       : 100.0 * static_cast<double>(false_negatives) /
+                             static_cast<double>(golden);
+  }
+  double fp_percent() const {
+    return golden == 0 ? 0.0
+                       : 100.0 * static_cast<double>(false_positives) /
+                             static_cast<double>(golden);
+  }
+};
+
+/// Compares a shed run against the golden (unshedded) run.
+QualityReport compare_quality(const std::vector<ComplexEvent>& golden,
+                              const std::vector<ComplexEvent>& detected);
+
+}  // namespace espice

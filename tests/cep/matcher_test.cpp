@@ -1,0 +1,313 @@
+#include "cep/matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace espice {
+namespace {
+
+// Builds a window directly from (type, value) pairs; position i = arrival i.
+Window make_window(const std::vector<std::pair<EventTypeId, double>>& events,
+                   WindowId id = 0) {
+  Window w;
+  w.id = id;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    Event e;
+    e.type = events[i].first;
+    e.value = events[i].second;
+    e.seq = i;
+    e.ts = static_cast<double>(i);
+    w.kept.push_back(e);
+    w.kept_pos.push_back(static_cast<std::uint32_t>(i));
+    ++w.arrivals;
+  }
+  return w;
+}
+
+std::vector<std::uint64_t> bound_seqs(const ComplexEvent& ce) {
+  std::vector<std::uint64_t> seqs;
+  for (const auto& c : ce.constituents) seqs.push_back(c.event.seq);
+  return seqs;
+}
+
+constexpr EventTypeId A = 0;
+constexpr EventTypeId B = 1;
+constexpr EventTypeId C = 2;
+
+Pattern seq_ab() {
+  return make_sequence({element("A", TypeSet{A}), element("B", TypeSet{B})});
+}
+
+// ---------------------------------------------------------------------------
+// The paper's running example (Section 2): window {A1, A2, B3, B4}
+// (we index from 0: A at 0, A at 1, B at 2, B at 3).
+// ---------------------------------------------------------------------------
+
+TEST(MatcherPaperExample, FirstConsumedFindsBothMatches) {
+  Matcher m(seq_ab(), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed, 10);
+  const auto matches = m.match_window(make_window({{A, 1}, {A, 1}, {B, 1}, {B, 1}}));
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{0, 2}));  // (A1,B3)
+  EXPECT_EQ(bound_seqs(matches[1]), (std::vector<std::uint64_t>{1, 3}));  // (A2,B4)
+}
+
+TEST(MatcherPaperExample, LastConsumedFindsOnlyA2B3) {
+  Matcher m(seq_ab(), SelectionPolicy::kLast, ConsumptionPolicy::kConsumed, 10);
+  const auto matches = m.match_window(make_window({{A, 1}, {A, 1}, {B, 1}, {B, 1}}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{1, 2}));  // (A2,B3)
+}
+
+TEST(MatcherPaperExample, LastZeroFindsA2B3AndA2B4) {
+  Matcher m(seq_ab(), SelectionPolicy::kLast, ConsumptionPolicy::kZero, 10);
+  const auto matches = m.match_window(make_window({{A, 1}, {A, 1}, {B, 1}, {B, 1}}));
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{1, 2}));  // (A2,B3)
+  EXPECT_EQ(bound_seqs(matches[1]), (std::vector<std::uint64_t>{1, 3}));  // (A2,B4)
+}
+
+TEST(MatcherPaperExample, FirstZeroReusesEarliestInstances) {
+  Matcher m(seq_ab(), SelectionPolicy::kFirst, ConsumptionPolicy::kZero, 10);
+  const auto matches = m.match_window(make_window({{A, 1}, {A, 1}, {B, 1}, {B, 1}}));
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{0, 2}));  // (A1,B3)
+  EXPECT_EQ(bound_seqs(matches[1]), (std::vector<std::uint64_t>{0, 3}));  // (A1,B4)
+}
+
+// ---------------------------------------------------------------------------
+// Section 2.1's quality example: dropping A2 / A1 under first+consumed.
+// ---------------------------------------------------------------------------
+
+TEST(MatcherPaperExample, DroppingA2LosesOneMatch) {
+  Matcher m(seq_ab(), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed, 10);
+  // A2 (seq 1) removed; positions of later events unchanged.
+  Window w = make_window({{A, 1}, {A, 1}, {B, 1}, {B, 1}});
+  w.kept.erase(w.kept.begin() + 1);
+  w.kept_pos.erase(w.kept_pos.begin() + 1);
+  const auto matches = m.match_window(w);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{0, 2}));  // (A1,B3)
+}
+
+TEST(MatcherPaperExample, DroppingA1ShiftsTheMatch) {
+  Matcher m(seq_ab(), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed, 10);
+  Window w = make_window({{A, 1}, {A, 1}, {B, 1}, {B, 1}});
+  w.kept.erase(w.kept.begin());
+  w.kept_pos.erase(w.kept_pos.begin());
+  const auto matches = m.match_window(w);
+  // New complex event (A2,B3): a false positive, plus (A2,B4) is gone too.
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// General sequence semantics.
+// ---------------------------------------------------------------------------
+
+TEST(MatcherSequence, SkipsNonMatchingEventsBetweenElements) {
+  Matcher m(seq_ab(), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  const auto matches =
+      m.match_window(make_window({{A, 1}, {C, 1}, {C, 1}, {B, 1}}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{0, 3}));
+}
+
+TEST(MatcherSequence, RespectsOrder) {
+  Matcher m(seq_ab(), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  EXPECT_TRUE(m.match_window(make_window({{B, 1}, {A, 1}})).empty());
+}
+
+TEST(MatcherSequence, DirectionFilterApplies) {
+  Pattern p = make_sequence({element("A+", TypeSet{A}, DirectionFilter::kRising),
+                             element("B-", TypeSet{B}, DirectionFilter::kFalling)});
+  Matcher m(p, SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  EXPECT_TRUE(m.match_window(make_window({{A, -1}, {B, -1}})).empty());
+  EXPECT_TRUE(m.match_window(make_window({{A, 1}, {B, 1}})).empty());
+  EXPECT_EQ(m.match_window(make_window({{A, 1}, {B, -1}})).size(), 1u);
+}
+
+TEST(MatcherSequence, RepetitionNeedsDistinctInstances) {
+  // Q4-style: A;A;B -- the two A elements must bind two different events.
+  Pattern p = make_sequence({element("A", TypeSet{A}), element("A", TypeSet{A}),
+                             element("B", TypeSet{B})});
+  Matcher m(p, SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  EXPECT_TRUE(m.match_window(make_window({{A, 1}, {B, 1}})).empty());
+  const auto matches = m.match_window(make_window({{A, 1}, {A, 1}, {B, 1}}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(MatcherSequence, MaxMatchesCapsOutput) {
+  Matcher m(seq_ab(), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed, 1);
+  const auto matches = m.match_window(
+      make_window({{A, 1}, {A, 1}, {A, 1}, {B, 1}, {B, 1}, {B, 1}}));
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST(MatcherSequence, EmptyWindowYieldsNothing) {
+  Matcher m(seq_ab(), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  EXPECT_TRUE(m.match_window(make_window({})).empty());
+}
+
+TEST(MatcherSequence, LastSelectionBindsLatestPrefix) {
+  // A1 A2 A3 B: last selection binds A3.
+  Matcher m(seq_ab(), SelectionPolicy::kLast, ConsumptionPolicy::kConsumed);
+  const auto matches =
+      m.match_window(make_window({{A, 1}, {A, 1}, {A, 1}, {B, 1}}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{2, 3}));
+}
+
+TEST(MatcherSequence, LastConsumedContinuesWithFreshEvents) {
+  // A1 B2 A3 B4: last+consumed -> (A1,B2) then (A3,B4).
+  Matcher m(seq_ab(), SelectionPolicy::kLast, ConsumptionPolicy::kConsumed, 10);
+  const auto matches =
+      m.match_window(make_window({{A, 1}, {B, 1}, {A, 1}, {B, 1}}));
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(bound_seqs(matches[1]), (std::vector<std::uint64_t>{2, 3}));
+}
+
+TEST(MatcherSequence, ThreeElementSequence) {
+  Pattern p = make_sequence({element("A", TypeSet{A}), element("B", TypeSet{B}),
+                             element("C", TypeSet{C})});
+  Matcher m(p, SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  const auto matches = m.match_window(
+      make_window({{C, 1}, {A, 1}, {B, 1}, {A, 1}, {C, 1}}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{1, 2, 4}));
+}
+
+TEST(MatcherSequence, ConstituentElementAndPositionProvenance) {
+  Matcher m(seq_ab(), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  const auto matches =
+      m.match_window(make_window({{C, 1}, {A, 1}, {B, 1}}, /*id=*/42));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].window, 42u);
+  EXPECT_EQ(matches[0].constituents[0].element, 0u);
+  EXPECT_EQ(matches[0].constituents[0].position, 1u);
+  EXPECT_EQ(matches[0].constituents[1].element, 1u);
+  EXPECT_EQ(matches[0].constituents[1].position, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Trigger-any (Q1/Q2 style).
+// ---------------------------------------------------------------------------
+
+Pattern trig_any(std::size_t n, bool distinct = true) {
+  return make_trigger_any(element("T", TypeSet{A}, DirectionFilter::kRising),
+                          TypeSet{B, C}, n, DirectionFilter::kRising, distinct);
+}
+
+TEST(MatcherTriggerAny, FirstSelectionTakesEarliestCandidates) {
+  Matcher m(trig_any(2), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  const auto matches = m.match_window(
+      make_window({{A, 1}, {B, 1}, {C, 1}, {B, 1}}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(MatcherTriggerAny, LastSelectionTakesLatestCandidates) {
+  Matcher m(trig_any(2), SelectionPolicy::kLast, ConsumptionPolicy::kConsumed);
+  const auto matches = m.match_window(
+      make_window({{A, 1}, {B, 1}, {C, 1}, {B, 1}}));
+  ASSERT_EQ(matches.size(), 1u);
+  // Latest distinct-type candidates: B at 3 and C at 2 (in window order).
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{0, 2, 3}));
+}
+
+TEST(MatcherTriggerAny, DistinctTypesSkipDuplicates) {
+  Matcher m(trig_any(2), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  // Two B's then a C: must bind B@1 and C@3, not B@1+B@2.
+  const auto matches = m.match_window(
+      make_window({{A, 1}, {B, 1}, {B, 1}, {C, 1}}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{0, 1, 3}));
+}
+
+TEST(MatcherTriggerAny, NonDistinctAllowsRepeatedTypes) {
+  Matcher m(trig_any(2, /*distinct=*/false), SelectionPolicy::kFirst,
+            ConsumptionPolicy::kConsumed);
+  const auto matches =
+      m.match_window(make_window({{A, 1}, {B, 1}, {B, 1}}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(MatcherTriggerAny, CandidatesMustFollowTrigger) {
+  Matcher m(trig_any(2), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  // B before the trigger does not count.
+  EXPECT_TRUE(
+      m.match_window(make_window({{B, 1}, {A, 1}, {C, 1}})).empty());
+}
+
+TEST(MatcherTriggerAny, InsufficientCandidatesMeansNoMatch) {
+  // Three candidate types exist, but the window only offers two of them.
+  Pattern p = make_trigger_any(element("T", TypeSet{A}, DirectionFilter::kRising),
+                               TypeSet{B, C, 3}, 3, DirectionFilter::kRising);
+  Matcher m(p, SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  EXPECT_TRUE(
+      m.match_window(make_window({{A, 1}, {B, 1}, {C, 1}})).empty());
+}
+
+TEST(MatcherTriggerAny, TriggerDirectionFilterApplies) {
+  Matcher m(trig_any(1), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  // Falling A cannot trigger.
+  EXPECT_TRUE(m.match_window(make_window({{A, -1}, {B, 1}})).empty());
+  // A later rising A can.
+  const auto matches =
+      m.match_window(make_window({{A, -1}, {A, 1}, {B, 1}}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(MatcherTriggerAny, FallingCandidateIsIgnored) {
+  Matcher m(trig_any(2), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  const auto matches = m.match_window(
+      make_window({{A, 1}, {B, -1}, {B, 1}, {C, 1}}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{0, 2, 3}));
+}
+
+TEST(MatcherTriggerAny, ConsumedAllowsSecondMatchFromFreshEvents) {
+  Matcher m(trig_any(1), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed, 10);
+  const auto matches = m.match_window(
+      make_window({{A, 1}, {B, 1}, {A, 1}, {C, 1}}));
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(bound_seqs(matches[1]), (std::vector<std::uint64_t>{2, 3}));
+}
+
+TEST(MatcherTriggerAny, ZeroConsumptionAdvancesTrigger) {
+  Matcher m(trig_any(1), SelectionPolicy::kFirst, ConsumptionPolicy::kZero, 10);
+  const auto matches = m.match_window(
+      make_window({{A, 1}, {A, 1}, {B, 1}}));
+  // Two triggers, each completing with the (reusable) B.
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{0, 2}));
+  EXPECT_EQ(bound_seqs(matches[1]), (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(MatcherTriggerAny, AnyCandidatesElementIdsAreInterchangeable) {
+  Matcher m(trig_any(2), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  const auto matches = m.match_window(
+      make_window({{A, 1}, {B, 1}, {C, 1}}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].constituents[0].element, 0u);
+  EXPECT_EQ(matches[0].constituents[1].element, 1u);
+  EXPECT_EQ(matches[0].constituents[2].element, 1u);
+}
+
+TEST(MatcherTriggerAny, AnyTypeCandidateSetMatchesEverything) {
+  Pattern p = make_trigger_any(element("T", TypeSet{A}, DirectionFilter::kRising),
+                               TypeSet{}, 2, DirectionFilter::kRising);
+  Matcher m(p, SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  // Candidates include other A events and C events.
+  const auto matches = m.match_window(
+      make_window({{A, 1}, {C, 1}, {A, 1}}));
+  ASSERT_EQ(matches.size(), 1u);
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "cep/matcher.hpp"
+#include "cep/pattern.hpp"
+#include "common/error.hpp"
+
+namespace espice {
+namespace {
+
+Window make_window(const std::vector<EventTypeId>& types) {
+  Window w;
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    Event e;
+    e.type = types[i];
+    e.seq = i;
+    e.ts = static_cast<double>(i);
+    e.value = 1.0;
+    w.kept.push_back(e);
+    w.kept_pos.push_back(static_cast<std::uint32_t>(i));
+    ++w.arrivals;
+  }
+  return w;
+}
+
+std::vector<std::uint64_t> bound_seqs(const ComplexEvent& ce) {
+  std::vector<std::uint64_t> seqs;
+  for (const auto& c : ce.constituents) seqs.push_back(c.event.seq);
+  return seqs;
+}
+
+constexpr EventTypeId A = 0;
+constexpr EventTypeId B = 1;
+constexpr EventTypeId C = 2;
+constexpr EventTypeId D = 3;
+
+// seq(A; !C; B)
+Pattern a_notc_b() {
+  return make_sequence_with_negations(
+      {element("A", TypeSet{A}), element("B", TypeSet{B})},
+      {{0, element("!C", TypeSet{C})}});
+}
+
+TEST(NegationPattern, ValidationAcceptsAndRejects) {
+  EXPECT_NO_THROW(a_notc_b());
+  // Gap out of range.
+  EXPECT_THROW(make_sequence_with_negations({element("A", TypeSet{A})},
+                                            {{0, element("!C", TypeSet{C})}}),
+               ConfigError);
+  // Adjacent negated gaps are unsupported.
+  EXPECT_THROW(
+      make_sequence_with_negations(
+          {element("A", TypeSet{A}), element("B", TypeSet{B}),
+           element("D", TypeSet{D})},
+          {{0, element("!C", TypeSet{C})}, {1, element("!C", TypeSet{C})}}),
+      ConfigError);
+  // Negation on a trigger-any pattern.
+  Pattern p = make_trigger_any(element("t", TypeSet{A}), TypeSet{B, C}, 1);
+  p.negations.push_back({0, element("!C", TypeSet{C})});
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(NegationFirst, CleanGapMatches) {
+  Matcher m(a_notc_b(), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  const auto matches = m.match_window(make_window({A, D, B}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{0, 2}));
+}
+
+TEST(NegationFirst, ForbiddenEventBlocksTheMatch) {
+  Matcher m(a_notc_b(), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  EXPECT_TRUE(m.match_window(make_window({A, C, B})).empty());
+}
+
+TEST(NegationFirst, AnchorRebindsAfterThePoison) {
+  // A1 C A2 B: (A1, B) is poisoned, but (A2, B) is clean.
+  Matcher m(a_notc_b(), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  const auto matches = m.match_window(make_window({A, C, A, B}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{2, 3}));
+}
+
+TEST(NegationFirst, PoisonBeforeTheAnchorIsHarmless) {
+  // C before A does not affect the A..B gap.
+  Matcher m(a_notc_b(), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  const auto matches = m.match_window(make_window({C, A, B}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(NegationFirst, PoisonAfterCompletionIsHarmless) {
+  Matcher m(a_notc_b(), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  EXPECT_EQ(m.match_window(make_window({A, B, C})).size(), 1u);
+}
+
+TEST(NegationFirst, OnlyTheNegatedGapIsChecked) {
+  // seq(A; B; !C; D): C between A and B is fine, C between B and D is not.
+  const Pattern p = make_sequence_with_negations(
+      {element("A", TypeSet{A}), element("B", TypeSet{B}),
+       element("D", TypeSet{D})},
+      {{1, element("!C", TypeSet{C})}});
+  Matcher m(p, SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+  EXPECT_EQ(m.match_window(make_window({A, C, B, D})).size(), 1u);
+  EXPECT_TRUE(m.match_window(make_window({A, B, C, D})).empty());
+}
+
+TEST(NegationFirst, MultipleMatchesInOneWindow) {
+  Matcher m(a_notc_b(), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed,
+            10);
+  const auto matches = m.match_window(make_window({A, B, A, C, A, B}));
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{0, 1}));
+  // The A at 2 is poisoned by C at 3; the A at 4 completes with B at 5.
+  EXPECT_EQ(bound_seqs(matches[1]), (std::vector<std::uint64_t>{4, 5}));
+}
+
+TEST(NegationLast, ForbiddenEventKillsThePrefix) {
+  Matcher m(a_notc_b(), SelectionPolicy::kLast, ConsumptionPolicy::kConsumed);
+  EXPECT_TRUE(m.match_window(make_window({A, C, B})).empty());
+}
+
+TEST(NegationLast, LatestCleanAnchorWins) {
+  // A1 A2 C A3 B: only A3's gap is clean; last selection binds it anyway.
+  Matcher m(a_notc_b(), SelectionPolicy::kLast, ConsumptionPolicy::kConsumed);
+  const auto matches = m.match_window(make_window({A, A, C, A, B}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{3, 4}));
+}
+
+TEST(NegationLast, PoisonedLatestFallsBackToNothing) {
+  // A1 C B: the only prefix was killed; no fallback to pre-C instances.
+  Matcher m(a_notc_b(), SelectionPolicy::kLast, ConsumptionPolicy::kZero);
+  EXPECT_TRUE(m.match_window(make_window({A, C, B})).empty());
+}
+
+TEST(NegationLast, ThreeElementMiddleGap) {
+  const Pattern p = make_sequence_with_negations(
+      {element("A", TypeSet{A}), element("B", TypeSet{B}),
+       element("D", TypeSet{D})},
+      {{1, element("!C", TypeSet{C})}});
+  Matcher m(p, SelectionPolicy::kLast, ConsumptionPolicy::kConsumed);
+  // A B C D: B..D gap poisoned.  A B C B D: the later B re-arms the prefix.
+  EXPECT_TRUE(m.match_window(make_window({A, B, C, D})).empty());
+  const auto matches = m.match_window(make_window({A, B, C, B, D}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(bound_seqs(matches[0]), (std::vector<std::uint64_t>{0, 3, 4}));
+}
+
+TEST(NegationFirst, NegationWithDirectionFilter) {
+  // Forbid only *rising* C events.
+  Pattern p = make_sequence_with_negations(
+      {element("A", TypeSet{A}), element("B", TypeSet{B})},
+      {{0, element("!C+", TypeSet{C}, DirectionFilter::kRising)}});
+  Matcher m(p, SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+
+  Window falling_c = make_window({A, C, B});
+  falling_c.kept[1].value = -1.0;  // falling C: allowed
+  EXPECT_EQ(m.match_window(falling_c).size(), 1u);
+
+  Window rising_c = make_window({A, C, B});
+  EXPECT_TRUE(m.match_window(rising_c).empty());
+}
+
+}  // namespace
+}  // namespace espice

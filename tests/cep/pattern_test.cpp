@@ -1,0 +1,127 @@
+#include "cep/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace espice {
+namespace {
+
+Event make_event(EventTypeId type, double value) {
+  Event e;
+  e.type = type;
+  e.value = value;
+  return e;
+}
+
+TEST(TypeSet, EmptySetMatchesEverything) {
+  TypeSet set;
+  EXPECT_TRUE(set.is_any());
+  EXPECT_TRUE(set.matches(0));
+  EXPECT_TRUE(set.matches(9999));
+  EXPECT_FALSE(set.contains(0));  // explicit membership is different
+}
+
+TEST(TypeSet, ExplicitSetMatchesOnlyMembers) {
+  TypeSet set{3, 7};
+  EXPECT_FALSE(set.is_any());
+  EXPECT_TRUE(set.matches(3));
+  EXPECT_TRUE(set.matches(7));
+  EXPECT_FALSE(set.matches(4));
+  EXPECT_FALSE(set.matches(1000));
+}
+
+TEST(TypeSet, InsertIsIdempotent) {
+  TypeSet set;
+  set.insert(5);
+  set.insert(5);
+  EXPECT_EQ(set.explicit_count(), 1u);
+}
+
+TEST(TypeSet, MembersAreSortedAscending) {
+  TypeSet set{9, 2, 5};
+  const auto members = set.members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0], 2);
+  EXPECT_EQ(members[1], 5);
+  EXPECT_EQ(members[2], 9);
+}
+
+TEST(ElementSpec, AnyDirectionMatchesAllSigns) {
+  ElementSpec spec = element("e", TypeSet{1}, DirectionFilter::kAny);
+  EXPECT_TRUE(spec.matches(make_event(1, +0.5)));
+  EXPECT_TRUE(spec.matches(make_event(1, -0.5)));
+  EXPECT_TRUE(spec.matches(make_event(1, 0.0)));
+  EXPECT_FALSE(spec.matches(make_event(2, +0.5)));
+}
+
+TEST(ElementSpec, RisingRequiresPositiveValue) {
+  ElementSpec spec = element("e", TypeSet{1}, DirectionFilter::kRising);
+  EXPECT_TRUE(spec.matches(make_event(1, 0.01)));
+  EXPECT_FALSE(spec.matches(make_event(1, 0.0)));
+  EXPECT_FALSE(spec.matches(make_event(1, -0.01)));
+}
+
+TEST(ElementSpec, FallingRequiresNegativeValue) {
+  ElementSpec spec = element("e", TypeSet{1}, DirectionFilter::kFalling);
+  EXPECT_TRUE(spec.matches(make_event(1, -0.2)));
+  EXPECT_FALSE(spec.matches(make_event(1, 0.2)));
+}
+
+TEST(ElementSpec, AnyTypeSetWithDirection) {
+  ElementSpec spec = element("e", TypeSet{}, DirectionFilter::kRising);
+  EXPECT_TRUE(spec.matches(make_event(42, 1.0)));
+  EXPECT_FALSE(spec.matches(make_event(42, -1.0)));
+}
+
+TEST(Pattern, SequenceBuilderValidates) {
+  const Pattern p = make_sequence({element("a", TypeSet{0}), element("b", TypeSet{1})});
+  EXPECT_EQ(p.kind, PatternKind::kSequence);
+  EXPECT_EQ(p.elements.size(), 2u);
+  EXPECT_EQ(p.match_width(), 2u);
+}
+
+TEST(Pattern, EmptySequenceIsRejected) {
+  EXPECT_THROW(make_sequence({}), ConfigError);
+}
+
+TEST(Pattern, TriggerAnyBuilderValidates) {
+  const Pattern p =
+      make_trigger_any(element("t", TypeSet{0}), TypeSet{1, 2, 3}, 2);
+  EXPECT_EQ(p.kind, PatternKind::kTriggerAny);
+  EXPECT_EQ(p.any_n, 2u);
+  EXPECT_EQ(p.match_width(), 3u);  // trigger + 2 candidates
+}
+
+TEST(Pattern, TriggerAnyRejectsZeroN) {
+  EXPECT_THROW(make_trigger_any(element("t", TypeSet{0}), TypeSet{1, 2}, 0),
+               ConfigError);
+}
+
+TEST(Pattern, TriggerAnyRejectsTooFewDistinctCandidates) {
+  EXPECT_THROW(make_trigger_any(element("t", TypeSet{0}), TypeSet{1, 2}, 3),
+               ConfigError);
+}
+
+TEST(Pattern, TriggerAnyAllowsFewCandidatesWhenNotDistinct) {
+  EXPECT_NO_THROW(make_trigger_any(element("t", TypeSet{0}), TypeSet{1, 2}, 3,
+                                   DirectionFilter::kAny,
+                                   /*distinct_types=*/false));
+}
+
+TEST(Pattern, TriggerAnyWithAnyTypeCandidates) {
+  // Q2-style: candidates are "any symbol" (empty TypeSet).
+  EXPECT_NO_THROW(
+      make_trigger_any(element("t", TypeSet{0}), TypeSet{}, 50));
+}
+
+TEST(Pattern, SequenceWithRepeatedTypesIsAllowed) {
+  // Q4-style: the same type appears several times.
+  const Pattern p = make_sequence({element("a", TypeSet{1}),
+                                   element("a", TypeSet{1}),
+                                   element("b", TypeSet{2})});
+  EXPECT_EQ(p.elements.size(), 3u);
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,56 @@
+#include "cep/type_registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace espice {
+namespace {
+
+TEST(TypeRegistry, AssignsDenseIdsFromZero) {
+  TypeRegistry reg;
+  EXPECT_EQ(reg.intern("alpha"), 0);
+  EXPECT_EQ(reg.intern("beta"), 1);
+  EXPECT_EQ(reg.intern("gamma"), 2);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(TypeRegistry, InternIsIdempotent) {
+  TypeRegistry reg;
+  const auto id = reg.intern("x");
+  EXPECT_EQ(reg.intern("x"), id);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(TypeRegistry, RoundTripsNames) {
+  TypeRegistry reg;
+  const auto a = reg.intern("STR0");
+  const auto b = reg.intern("DF01");
+  EXPECT_EQ(reg.name_of(a), "STR0");
+  EXPECT_EQ(reg.name_of(b), "DF01");
+  EXPECT_EQ(reg.id_of("STR0"), a);
+  EXPECT_EQ(reg.id_of("DF01"), b);
+}
+
+TEST(TypeRegistry, ContainsOnlyRegisteredNames) {
+  TypeRegistry reg;
+  reg.intern("known");
+  EXPECT_TRUE(reg.contains("known"));
+  EXPECT_FALSE(reg.contains("unknown"));
+  EXPECT_FALSE(reg.contains(""));
+}
+
+TEST(TypeRegistry, EmptyRegistryHasSizeZero) {
+  TypeRegistry reg;
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(TypeRegistry, HandlesManyTypes) {
+  TypeRegistry reg;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(reg.intern("T" + std::to_string(i)), i);
+  }
+  EXPECT_EQ(reg.size(), 1000u);
+  EXPECT_EQ(reg.name_of(517), "T517");
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,313 @@
+#include "cep/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace espice {
+namespace {
+
+Event make_event(std::uint64_t seq, double ts, EventTypeId type = 0,
+                 double value = 1.0) {
+  Event e;
+  e.type = type;
+  e.seq = seq;
+  e.ts = ts;
+  e.value = value;
+  return e;
+}
+
+WindowSpec count_slide_spec(std::size_t span, std::size_t slide) {
+  WindowSpec spec;
+  spec.span_kind = WindowSpan::kCount;
+  spec.span_events = span;
+  spec.open_kind = WindowOpen::kCountSlide;
+  spec.slide_events = slide;
+  return spec;
+}
+
+WindowSpec predicate_time_spec(double span_seconds, EventTypeId opener_type) {
+  WindowSpec spec;
+  spec.span_kind = WindowSpan::kTime;
+  spec.span_seconds = span_seconds;
+  spec.open_kind = WindowOpen::kPredicate;
+  spec.opener = element("open", TypeSet{opener_type}, DirectionFilter::kAny);
+  return spec;
+}
+
+// Offers a stream of `n` events one second apart, keeping everything.
+std::vector<Window> drive(WindowManager& wm, std::size_t n,
+                          EventTypeId type = 0) {
+  std::vector<Window> closed;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event e = make_event(i, static_cast<double>(i), type);
+    for (const auto& m : wm.offer(e)) wm.keep(m, e);
+    for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+  }
+  wm.close_all();
+  for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+  return closed;
+}
+
+TEST(WindowManager, TumblingCountWindowsPartitionTheStream) {
+  WindowManager wm(count_slide_spec(5, 5));
+  const auto closed = drive(wm, 20);
+  ASSERT_EQ(closed.size(), 4u);
+  for (const auto& w : closed) {
+    EXPECT_EQ(w.arrivals, 5u);
+    EXPECT_EQ(w.kept.size(), 5u);
+  }
+  EXPECT_EQ(closed[0].kept.front().seq, 0u);
+  EXPECT_EQ(closed[1].kept.front().seq, 5u);
+}
+
+TEST(WindowManager, SlidingCountWindowsOverlap) {
+  WindowManager wm(count_slide_spec(10, 5));
+  const auto closed = drive(wm, 25);
+  // Windows open at events 0, 5, 10, 15, 20.
+  ASSERT_EQ(closed.size(), 5u);
+  EXPECT_EQ(closed[0].kept.front().seq, 0u);
+  EXPECT_EQ(closed[0].kept.back().seq, 9u);
+  EXPECT_EQ(closed[1].kept.front().seq, 5u);
+  EXPECT_EQ(closed[1].kept.back().seq, 14u);
+  // The last two windows are cut short by end-of-stream.
+  EXPECT_EQ(closed[4].kept.front().seq, 20u);
+  EXPECT_EQ(closed[4].arrivals, 5u);
+}
+
+TEST(WindowManager, PositionsAreArrivalIndices) {
+  WindowManager wm(count_slide_spec(10, 5));
+  const auto closed = drive(wm, 15);
+  ASSERT_GE(closed.size(), 1u);
+  const auto& w = closed[0];
+  ASSERT_EQ(w.kept_pos.size(), 10u);
+  for (std::size_t i = 0; i < w.kept_pos.size(); ++i) {
+    EXPECT_EQ(w.kept_pos[i], i);
+  }
+}
+
+TEST(WindowManager, DroppedEventsDoNotShiftPositions) {
+  WindowManager wm(count_slide_spec(5, 5));
+  std::vector<Window> closed;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const Event e = make_event(i, static_cast<double>(i));
+    for (const auto& m : wm.offer(e)) {
+      if (i % 2 == 0) wm.keep(m, e);  // drop odd arrivals
+    }
+  }
+  wm.close_all();
+  for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+  ASSERT_EQ(closed.size(), 1u);
+  const auto& w = closed[0];
+  EXPECT_EQ(w.arrivals, 5u);  // positions still count every offered event
+  ASSERT_EQ(w.kept.size(), 3u);
+  EXPECT_EQ(w.kept_pos[0], 0u);
+  EXPECT_EQ(w.kept_pos[1], 2u);
+  EXPECT_EQ(w.kept_pos[2], 4u);
+}
+
+TEST(WindowManager, PredicateOpenerStartsWindowAtMatchingEvent) {
+  WindowManager wm(predicate_time_spec(10.0, /*opener_type=*/1));
+  std::vector<Window> closed;
+  // Stream: type-0 events with a type-1 event at t=3.
+  for (std::size_t i = 0; i < 30; ++i) {
+    const Event e = make_event(i, static_cast<double>(i), i == 3 ? 1 : 0);
+    for (const auto& m : wm.offer(e)) wm.keep(m, e);
+    for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+  }
+  wm.close_all();
+  for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].open_ts, 3.0);
+  EXPECT_EQ(closed[0].kept.front().seq, 3u);
+  // Window covers [3, 13): events 3..12.
+  EXPECT_EQ(closed[0].arrivals, 10u);
+  EXPECT_EQ(closed[0].kept.back().seq, 12u);
+}
+
+TEST(WindowManager, NoOpenerMeansNoWindows) {
+  WindowManager wm(predicate_time_spec(10.0, /*opener_type=*/7));
+  const auto closed = drive(wm, 50, /*type=*/0);
+  EXPECT_TRUE(closed.empty());
+  EXPECT_EQ(wm.windows_opened(), 0u);
+}
+
+TEST(WindowManager, EveryOpenerEventOpensAWindow) {
+  WindowManager wm(predicate_time_spec(5.0, /*opener_type=*/1));
+  const auto closed = drive(wm, 20, /*type=*/1);
+  EXPECT_EQ(closed.size(), 20u);  // one (overlapping) window per event
+}
+
+TEST(WindowManager, OverlappingWindowsSeeTheSameEventAtDifferentPositions) {
+  WindowManager wm(predicate_time_spec(6.0, 1));
+  std::vector<std::vector<WindowManager::Membership>> memberships;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Event e = make_event(i, static_cast<double>(i), 1);
+    auto& ms = wm.offer(e);
+    memberships.push_back(ms);
+    for (const auto& m : ms) wm.keep(m, e);
+  }
+  // Event 3 belongs to windows opened at t=0,1,2,3 with positions 3,2,1,0.
+  ASSERT_EQ(memberships[3].size(), 4u);
+  EXPECT_EQ(memberships[3][0].position, 3u);
+  EXPECT_EQ(memberships[3][1].position, 2u);
+  EXPECT_EQ(memberships[3][2].position, 1u);
+  EXPECT_EQ(memberships[3][3].position, 0u);
+}
+
+TEST(WindowManager, TimeWindowsCloseBeforeTheExpiringEventIsRouted) {
+  WindowManager wm(predicate_time_spec(5.0, 1));
+  // Opener at t=0; event at t=4.9 is inside, event at t=5.0 is not.
+  const Event open = make_event(0, 0.0, 1);
+  for (const auto& m : wm.offer(open)) wm.keep(m, open);
+  const Event inside = make_event(1, 4.9, 0);
+  EXPECT_EQ(wm.offer(inside).size(), 1u);
+  const Event outside = make_event(2, 5.0, 0);
+  EXPECT_EQ(wm.offer(outside).size(), 0u);
+  const auto closed = wm.drain_closed();
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].arrivals, 2u);
+}
+
+TEST(WindowManager, AvgClosedWindowSizeTracksArrivals) {
+  WindowManager wm(count_slide_spec(4, 4));
+  (void)drive(wm, 8);
+  EXPECT_DOUBLE_EQ(wm.avg_closed_window_size(), 4.0);
+}
+
+TEST(WindowManager, OpenCountReflectsConcurrentWindows) {
+  WindowManager wm(count_slide_spec(10, 2));
+  std::size_t max_open = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    const Event e = make_event(i, static_cast<double>(i));
+    wm.offer(e);
+    max_open = std::max(max_open, wm.open_count());
+  }
+  EXPECT_EQ(max_open, 5u);  // span 10 / slide 2
+}
+
+TEST(WindowManager, CloseAllFlushesPartialWindows) {
+  WindowManager wm(count_slide_spec(100, 50));
+  for (std::size_t i = 0; i < 10; ++i) {
+    const Event e = make_event(i, static_cast<double>(i));
+    for (const auto& m : wm.offer(e)) wm.keep(m, e);
+  }
+  EXPECT_EQ(wm.open_count(), 1u);
+  wm.close_all();
+  EXPECT_EQ(wm.open_count(), 0u);
+  const auto closed = wm.drain_closed();
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].arrivals, 10u);
+}
+
+TEST(WindowManager, WindowIdsAreUniqueAndMonotone) {
+  WindowManager wm(count_slide_spec(6, 2));
+  std::vector<WindowId> ids;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const Event e = make_event(i, static_cast<double>(i));
+    for (const auto& m : wm.offer(e)) {
+      if (m.position == 0) ids.push_back(m.window);
+    }
+  }
+  for (std::size_t i = 1; i < ids.size(); ++i) EXPECT_EQ(ids[i], ids[i - 1] + 1);
+}
+
+WindowSpec pattern_window_spec(EventTypeId opener, EventTypeId closer,
+                               std::size_t cap = 100) {
+  WindowSpec spec;
+  spec.span_kind = WindowSpan::kPredicate;
+  spec.span_events = cap;
+  spec.closer = element("close", TypeSet{closer}, DirectionFilter::kAny);
+  spec.open_kind = WindowOpen::kPredicate;
+  spec.opener = element("open", TypeSet{opener}, DirectionFilter::kAny);
+  return spec;
+}
+
+TEST(WindowManager, PatternWindowClosesOnTheCloserEvent) {
+  WindowManager wm(pattern_window_spec(/*opener=*/1, /*closer=*/2));
+  std::vector<Window> closed;
+  // open(1) x x close(2) x x
+  const EventTypeId stream[] = {1, 0, 0, 2, 0, 0};
+  for (std::size_t i = 0; i < std::size(stream); ++i) {
+    const Event e = make_event(i, static_cast<double>(i), stream[i]);
+    for (const auto& m : wm.offer(e)) wm.keep(m, e);
+    for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+  }
+  ASSERT_EQ(closed.size(), 1u);
+  // The closer is part of the window: events 0..3.
+  EXPECT_EQ(closed[0].arrivals, 4u);
+  EXPECT_EQ(closed[0].kept.back().type, 2);
+}
+
+TEST(WindowManager, PatternWindowSafetyCapCloses) {
+  WindowManager wm(pattern_window_spec(1, 2, /*cap=*/5));
+  std::vector<Window> closed;
+  // Opener, then no closer ever: cap at 5 events.
+  for (std::size_t i = 0; i < 10; ++i) {
+    const Event e = make_event(i, static_cast<double>(i), i == 0 ? 1 : 0);
+    for (const auto& m : wm.offer(e)) wm.keep(m, e);
+    for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+  }
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].arrivals, 5u);
+}
+
+TEST(WindowManager, CloserEndsAllOverlappingPatternWindows) {
+  WindowManager wm(pattern_window_spec(1, 2));
+  std::vector<Window> closed;
+  // Two openers, then one closer: both windows close together.
+  const EventTypeId stream[] = {1, 0, 1, 0, 2, 0};
+  for (std::size_t i = 0; i < std::size(stream); ++i) {
+    const Event e = make_event(i, static_cast<double>(i), stream[i]);
+    for (const auto& m : wm.offer(e)) wm.keep(m, e);
+    for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+  }
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].arrivals, 5u);  // events 0..4
+  EXPECT_EQ(closed[1].arrivals, 3u);  // events 2..4
+}
+
+TEST(WindowManager, PatternWindowsReopenAfterClosing) {
+  WindowManager wm(pattern_window_spec(1, 2));
+  std::vector<Window> closed;
+  const EventTypeId stream[] = {1, 2, 0, 1, 0, 2};
+  for (std::size_t i = 0; i < std::size(stream); ++i) {
+    const Event e = make_event(i, static_cast<double>(i), stream[i]);
+    for (const auto& m : wm.offer(e)) wm.keep(m, e);
+    for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+  }
+  // The second window's closer arrived as the stream's final event; its
+  // deferred close happens at end-of-stream.
+  wm.close_all();
+  for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].arrivals, 2u);  // {open, close}
+  EXPECT_EQ(closed[1].arrivals, 3u);  // {open, x, close}
+}
+
+TEST(WindowSpec, PredicateSpanRequiresSafetyCap) {
+  WindowSpec spec = pattern_window_spec(1, 2);
+  spec.span_events = 0;
+  EXPECT_THROW(spec.validate(), ConfigError);
+}
+
+TEST(WindowSpec, RejectsInvalidConfigurations) {
+  WindowSpec spec;
+  spec.span_kind = WindowSpan::kCount;
+  spec.span_events = 0;
+  spec.open_kind = WindowOpen::kCountSlide;
+  spec.slide_events = 1;
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  spec.span_events = 5;
+  spec.slide_events = 0;
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  spec.span_kind = WindowSpan::kTime;
+  spec.span_seconds = 0.0;
+  spec.slide_events = 1;
+  EXPECT_THROW(spec.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,139 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace espice {
+namespace {
+
+TEST(Ewma, FirstObservationSeedsValue) {
+  Ewma e(0.2);
+  EXPECT_FALSE(e.seeded());
+  EXPECT_DOUBLE_EQ(e.value_or(-1.0), -1.0);
+  e.observe(10.0);
+  EXPECT_TRUE(e.seeded());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, BlendsTowardNewObservations) {
+  Ewma e(0.5);
+  e.observe(0.0);
+  e.observe(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  e.observe(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.5);
+}
+
+TEST(Ewma, AlphaOneTracksLastValue) {
+  Ewma e(1.0);
+  e.observe(3.0);
+  e.observe(-8.0);
+  EXPECT_DOUBLE_EQ(e.value(), -8.0);
+}
+
+TEST(Ewma, ConvergesToConstantSignal) {
+  Ewma e(0.1);
+  e.observe(0.0);
+  for (int i = 0; i < 200; ++i) e.observe(42.0);
+  EXPECT_NEAR(e.value(), 42.0, 1e-6);
+}
+
+TEST(Ewma, ResetClearsSeed) {
+  Ewma e(0.2);
+  e.observe(5.0);
+  e.reset();
+  EXPECT_FALSE(e.seeded());
+  e.observe(7.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.0);
+}
+
+TEST(RunningStats, MeanOfKnownValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.observe(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, MinAndMaxTrackExtremes) {
+  RunningStats s;
+  for (double v : {3.0, -1.0, 7.0, 0.0}) s.observe(v);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.observe(5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(RunningStats, ResetRestoresEmptyState) {
+  RunningStats s;
+  s.observe(1.0);
+  s.observe(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  s.observe(10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 10.0);
+}
+
+TEST(RunningStats, LargeUniformSequence) {
+  RunningStats s;
+  const int n = 10001;
+  for (int i = 0; i < n; ++i) s.observe(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.mean(), 5000.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10000.0);
+}
+
+TEST(PercentileTracker, MedianOfOddCount) {
+  PercentileTracker t;
+  for (double v : {5.0, 1.0, 3.0}) t.observe(v);
+  EXPECT_DOUBLE_EQ(t.median(), 3.0);
+}
+
+TEST(PercentileTracker, InterpolatesBetweenRanks) {
+  PercentileTracker t;
+  for (double v : {0.0, 10.0}) t.observe(v);
+  EXPECT_DOUBLE_EQ(t.percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(t.percentile(0.25), 2.5);
+}
+
+TEST(PercentileTracker, ExtremesAreMinAndMax) {
+  PercentileTracker t;
+  for (double v : {4.0, -2.0, 9.0, 0.5}) t.observe(v);
+  EXPECT_DOUBLE_EQ(t.percentile(0.0), -2.0);
+  EXPECT_DOUBLE_EQ(t.percentile(1.0), 9.0);
+}
+
+TEST(PercentileTracker, SingleValue) {
+  PercentileTracker t;
+  t.observe(7.0);
+  EXPECT_DOUBLE_EQ(t.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(t.percentile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(t.percentile(1.0), 7.0);
+}
+
+TEST(PercentileTracker, ObservationsAfterQueryAreIncluded) {
+  PercentileTracker t;
+  t.observe(1.0);
+  t.observe(2.0);
+  EXPECT_DOUBLE_EQ(t.max(), 2.0);
+  t.observe(100.0);  // must re-sort internally
+  EXPECT_DOUBLE_EQ(t.max(), 100.0);
+  EXPECT_DOUBLE_EQ(t.median(), 2.0);
+}
+
+TEST(PercentileTracker, CountReflectsObservations) {
+  PercentileTracker t;
+  EXPECT_EQ(t.count(), 0u);
+  t.observe(1.0);
+  t.observe(1.0);
+  EXPECT_EQ(t.count(), 2u);
+}
+
+}  // namespace
+}  // namespace espice

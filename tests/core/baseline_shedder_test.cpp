@@ -1,0 +1,169 @@
+#include "core/baseline_shedder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace espice {
+namespace {
+
+Event make_event(EventTypeId type) {
+  Event e;
+  e.type = type;
+  e.value = 1.0;
+  return e;
+}
+
+DropCommand active_command(double x, std::size_t partitions = 1) {
+  DropCommand cmd;
+  cmd.active = true;
+  cmd.x = x;
+  cmd.partitions = partitions;
+  return cmd;
+}
+
+TEST(BaselinePatternRepetitions, SequenceCountsPerTypeOccurrences) {
+  // seq(T0; T1; T0; T0) over 3 types.
+  const Pattern p = make_sequence({element("a", TypeSet{0}),
+                                   element("b", TypeSet{1}),
+                                   element("c", TypeSet{0}),
+                                   element("d", TypeSet{0})});
+  const auto reps = BaselineShedder::pattern_repetitions(p, 3);
+  EXPECT_DOUBLE_EQ(reps[0], 3.0);
+  EXPECT_DOUBLE_EQ(reps[1], 1.0);
+  EXPECT_DOUBLE_EQ(reps[2], 0.0);
+}
+
+TEST(BaselinePatternRepetitions, AnyTypeElementCountsForAllTypes) {
+  const Pattern p = make_sequence({element("any", TypeSet{})});
+  const auto reps = BaselineShedder::pattern_repetitions(p, 4);
+  for (double r : reps) EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(BaselinePatternRepetitions, TriggerAnyCountsTriggerAndCandidates) {
+  const Pattern p = make_trigger_any(element("t", TypeSet{0}), TypeSet{1, 2}, 2);
+  const auto reps = BaselineShedder::pattern_repetitions(p, 4);
+  EXPECT_DOUBLE_EQ(reps[0], 1.0);
+  EXPECT_DOUBLE_EQ(reps[1], 1.0);
+  EXPECT_DOUBLE_EQ(reps[2], 1.0);
+  EXPECT_DOUBLE_EQ(reps[3], 0.0);
+}
+
+TEST(BaselineShedder, InactiveNeverDrops) {
+  const Pattern p = make_sequence({element("a", TypeSet{0})});
+  BaselineShedder s(p, {10.0, 10.0}, 20);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(s.should_drop(make_event(0), 0, 20.0));
+  }
+}
+
+TEST(BaselineShedder, AllocatesMoreDropsToLowRepetitionTypes) {
+  // Type 0 is in the pattern, type 1 is not; equal frequencies.
+  const Pattern p = make_sequence({element("a", TypeSet{0})});
+  BaselineShedder s(p, {10.0, 10.0}, 20);
+  s.on_command(active_command(5.0));
+  const auto& probs = s.drop_probabilities();
+  EXPECT_GT(probs[1], probs[0]);
+  // Weights: 10/2 = 5 and 10/1 = 10 -> allocations 5/3 and 10/3.
+  EXPECT_NEAR(probs[0], (5.0 / 3.0) / 10.0, 1e-9);
+  EXPECT_NEAR(probs[1], (10.0 / 3.0) / 10.0, 1e-9);
+}
+
+TEST(BaselineShedder, WaterFillingCapsAtTypeFrequency) {
+  // Type 1 (not in pattern) has tiny frequency: its allocation saturates and
+  // the rest spills over to type 0.
+  const Pattern p = make_sequence({element("a", TypeSet{0})});
+  BaselineShedder s(p, {100.0, 1.0}, 101);
+  s.on_command(active_command(51.0));
+  const auto& probs = s.drop_probabilities();
+  EXPECT_NEAR(probs[1], 1.0, 1e-9);          // fully dropped
+  EXPECT_NEAR(probs[0], 50.0 / 100.0, 1e-9); // remaining 50 from type 0
+}
+
+TEST(BaselineShedder, TotalExpectedDropsMatchCommand) {
+  const Pattern p = make_sequence({element("a", TypeSet{0}),
+                                   element("b", TypeSet{1})});
+  std::vector<double> freq{30.0, 20.0, 50.0};
+  BaselineShedder s(p, freq, 100);
+  s.on_command(active_command(40.0));
+  const auto& probs = s.drop_probabilities();
+  double expected = 0.0;
+  for (std::size_t t = 0; t < freq.size(); ++t) expected += probs[t] * freq[t];
+  EXPECT_NEAR(expected, 40.0, 1e-6);
+}
+
+TEST(BaselineShedder, PerPartitionAmountsScaleToWindow) {
+  const Pattern p = make_sequence({element("a", TypeSet{0})});
+  BaselineShedder s1(p, {10.0}, 10);
+  BaselineShedder s2(p, {10.0}, 10);
+  s1.on_command(active_command(4.0, 1));
+  s2.on_command(active_command(2.0, 2));  // same per-window total
+  EXPECT_NEAR(s1.drop_probabilities()[0], s2.drop_probabilities()[0], 1e-12);
+}
+
+TEST(BaselineShedder, DropRateMatchesProbabilityEmpirically) {
+  const Pattern p = make_sequence({element("a", TypeSet{0})});
+  BaselineShedder s(p, {10.0, 10.0}, 20, /*seed=*/7);
+  s.on_command(active_command(5.0));
+  const double expect_p0 = s.drop_probabilities()[0];
+  int drops = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (s.should_drop(make_event(0), 0, 20.0)) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, expect_p0, 0.02);
+}
+
+TEST(BaselineShedder, IgnoresPositionEntirely) {
+  // Same type at wildly different positions must have identical expected
+  // treatment: the decision stream depends only on the RNG, not position.
+  const Pattern p = make_sequence({element("a", TypeSet{0})});
+  BaselineShedder s1(p, {10.0}, 10, 3);
+  BaselineShedder s2(p, {10.0}, 10, 3);
+  s1.on_command(active_command(5.0));
+  s2.on_command(active_command(5.0));
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(s1.should_drop(make_event(0), i % 10, 10.0),
+              s2.should_drop(make_event(0), 9 - (i % 10), 10.0));
+  }
+}
+
+TEST(BaselineShedder, DeactivationClearsProbabilities) {
+  const Pattern p = make_sequence({element("a", TypeSet{0})});
+  BaselineShedder s(p, {10.0}, 10);
+  s.on_command(active_command(5.0));
+  DropCommand off;
+  off.active = false;
+  s.on_command(off);
+  for (double prob : s.drop_probabilities()) EXPECT_DOUBLE_EQ(prob, 0.0);
+  EXPECT_FALSE(s.should_drop(make_event(0), 0, 10.0));
+}
+
+TEST(BaselineShedder, DeterministicUnderSameSeed) {
+  const Pattern p = make_sequence({element("a", TypeSet{0})});
+  BaselineShedder s1(p, {10.0, 5.0}, 15, 99);
+  BaselineShedder s2(p, {10.0, 5.0}, 15, 99);
+  s1.on_command(active_command(6.0));
+  s2.on_command(active_command(6.0));
+  for (int i = 0; i < 500; ++i) {
+    const auto t = static_cast<EventTypeId>(i % 2);
+    EXPECT_EQ(s1.should_drop(make_event(t), 0, 15.0),
+              s2.should_drop(make_event(t), 0, 15.0));
+  }
+}
+
+TEST(BaselineShedder, DemandAboveTotalSupplyDropsEverything) {
+  const Pattern p = make_sequence({element("a", TypeSet{0})});
+  BaselineShedder s(p, {5.0, 5.0}, 10);
+  s.on_command(active_command(100.0));
+  EXPECT_NEAR(s.drop_probabilities()[0], 1.0, 1e-9);
+  EXPECT_NEAR(s.drop_probabilities()[1], 1.0, 1e-9);
+}
+
+TEST(BaselineShedder, RejectsEmptyFrequencies) {
+  const Pattern p = make_sequence({element("a", TypeSet{0})});
+  EXPECT_THROW(BaselineShedder(p, {}, 10), ConfigError);
+}
+
+}  // namespace
+}  // namespace espice

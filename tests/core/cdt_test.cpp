@@ -1,0 +1,152 @@
+#include "core/cdt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace espice {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The paper's running example: Table 1 (UT) + Figure 2 (CDT).
+//
+// UT (2 types x 5 positions):        position shares (sum to 1 per position):
+//   A: 70 15 10  5 0                   A: 0.8 0.5 0.1 0.2 0.5
+//   B:  0 60 30 10 0                   B: 0.2 0.5 0.9 0.8 0.5
+//
+// Figure 2's CDT: O(0)=1.2, O(5)=1.4, O(10)=2.3, O(15)=2.8, O(30)=3.7,
+// O(60)=4.2, O(70)=5; and dropping x=2 events per window requires uth=10.
+// ---------------------------------------------------------------------------
+
+UtilityModel paper_model() {
+  return UtilityModel(
+      2, 5, 1,
+      {70, 15, 10, 5, 0, /* A */ 0, 60, 30, 10, 0 /* B */},
+      {0.8, 0.5, 0.1, 0.2, 0.5, /* A */ 0.2, 0.5, 0.9, 0.8, 0.5 /* B */});
+}
+
+TEST(CdtPaperExample, ReproducesFigure2) {
+  const auto cdts = Cdt::build_partitions(paper_model(), 1);
+  ASSERT_EQ(cdts.size(), 1u);
+  const Cdt& cdt = cdts[0];
+  EXPECT_NEAR(cdt.at(0), 1.2, 1e-12);
+  EXPECT_NEAR(cdt.at(5), 1.4, 1e-12);
+  EXPECT_NEAR(cdt.at(10), 2.3, 1e-12);
+  EXPECT_NEAR(cdt.at(15), 2.8, 1e-12);
+  EXPECT_NEAR(cdt.at(30), 3.7, 1e-12);
+  EXPECT_NEAR(cdt.at(60), 4.2, 1e-12);
+  EXPECT_NEAR(cdt.at(70), 5.0, 1e-12);
+  EXPECT_NEAR(cdt.at(100), 5.0, 1e-12);
+}
+
+TEST(CdtPaperExample, ThresholdForDroppingTwoEventsIsTen) {
+  const auto cdts = Cdt::build_partitions(paper_model(), 1);
+  EXPECT_EQ(cdts[0].threshold(2.0), 10);  // CDT(10) = 2.3 >= 2
+}
+
+TEST(CdtPaperExample, IntermediateUtilitiesInheritTheCumulativeValue) {
+  const auto cdts = Cdt::build_partitions(paper_model(), 1);
+  // No cell has utility 20; O(20) must equal O(15).
+  EXPECT_NEAR(cdts[0].at(20), cdts[0].at(15), 1e-12);
+  EXPECT_NEAR(cdts[0].at(69), cdts[0].at(60), 1e-12);
+}
+
+TEST(Cdt, IsMonotoneNonDecreasing) {
+  const auto cdts = Cdt::build_partitions(paper_model(), 1);
+  for (int u = 1; u <= kMaxUtility; ++u) {
+    EXPECT_GE(cdts[0].at(u), cdts[0].at(u - 1));
+  }
+}
+
+TEST(Cdt, TotalEqualsExpectedEventsPerWindow) {
+  const auto cdts = Cdt::build_partitions(paper_model(), 1);
+  EXPECT_NEAR(cdts[0].total(), 5.0, 1e-12);  // 5 positions, shares sum to 1
+}
+
+TEST(Cdt, ThresholdZeroWhenEnoughZeroUtilityEvents) {
+  const auto cdts = Cdt::build_partitions(paper_model(), 1);
+  EXPECT_EQ(cdts[0].threshold(1.0), 0);  // O(0) = 1.2 >= 1
+}
+
+TEST(Cdt, ThresholdIsMaxWhenDemandExceedsSupply) {
+  const auto cdts = Cdt::build_partitions(paper_model(), 1);
+  EXPECT_EQ(cdts[0].threshold(100.0), kMaxUtility);
+}
+
+TEST(Cdt, ThresholdOfZeroDemandIsLowestUtility) {
+  const auto cdts = Cdt::build_partitions(paper_model(), 1);
+  EXPECT_EQ(cdts[0].threshold(0.0), 0);
+}
+
+TEST(Cdt, PartitionTotalsSumToWindowTotal) {
+  for (std::size_t parts : {2u, 3u, 5u}) {
+    const auto cdts = Cdt::build_partitions(paper_model(), parts);
+    ASSERT_EQ(cdts.size(), parts);
+    double sum = 0.0;
+    for (const auto& cdt : cdts) sum += cdt.total();
+    EXPECT_NEAR(sum, 5.0, 1e-12);
+  }
+}
+
+TEST(Cdt, PartitionsSplitThePositionSpace) {
+  // With 5 positions and 2 partitions (part = floor(p*2/5)): positions
+  // 0,1,2 -> partition 0; positions 3,4 -> partition 1.
+  const auto cdts = Cdt::build_partitions(paper_model(), 2);
+  EXPECT_NEAR(cdts[0].total(), 3.0, 1e-12);
+  EXPECT_NEAR(cdts[1].total(), 2.0, 1e-12);
+  // Partition 0 cells: A (70,.8)(15,.5)(10,.1) and B (0,.2)(60,.5)(30,.9).
+  EXPECT_NEAR(cdts[0].at(0), 0.2, 1e-12);
+  EXPECT_NEAR(cdts[0].at(10), 0.3, 1e-12);
+  EXPECT_NEAR(cdts[0].at(15), 0.8, 1e-12);
+  EXPECT_NEAR(cdts[0].at(30), 1.7, 1e-12);
+  EXPECT_NEAR(cdts[0].at(60), 2.2, 1e-12);
+  EXPECT_NEAR(cdts[0].at(70), 3.0, 1e-12);
+}
+
+TEST(Cdt, PerPartitionThresholdsDiffer) {
+  const auto cdts = Cdt::build_partitions(paper_model(), 2);
+  // Dropping 1 event per partition: partition 0 must go up to utility 30
+  // (O(15) = 0.8 < 1 <= O(30) = 1.7); partition 1's tail positions are all
+  // zero utility (O(0) = 1.0).
+  EXPECT_EQ(cdts[0].threshold(1.0), 30);
+  EXPECT_EQ(cdts[1].threshold(1.0), 0);
+}
+
+TEST(Cdt, BinnedModelSpreadsSharesOverPositions) {
+  // 1 type, 4 positions, bin 2: columns have utility 10 and 20 with shares
+  // 2.0 each (2 expected events per column).
+  UtilityModel model(1, 4, 2, {10, 20}, {2.0, 2.0});
+  const auto whole = Cdt::build_partitions(model, 1);
+  EXPECT_NEAR(whole[0].at(10), 2.0, 1e-12);
+  EXPECT_NEAR(whole[0].at(20), 4.0, 1e-12);
+  // Two partitions: each gets one full column.
+  const auto halves = Cdt::build_partitions(model, 2);
+  EXPECT_NEAR(halves[0].at(10), 2.0, 1e-12);
+  EXPECT_NEAR(halves[0].at(20), 2.0, 1e-12);
+  EXPECT_NEAR(halves[1].at(10), 0.0, 1e-12);
+  EXPECT_NEAR(halves[1].at(20), 2.0, 1e-12);
+}
+
+TEST(Cdt, BinStraddlingPartitionBoundaryContributesProportionally) {
+  // 1 type, 4 positions, bin 4 (single column, share 4.0), 2 partitions:
+  // each partition gets half of the column's share.
+  UtilityModel model(1, 4, 4, {50}, {4.0});
+  const auto cdts = Cdt::build_partitions(model, 2);
+  EXPECT_NEAR(cdts[0].at(50), 2.0, 1e-12);
+  EXPECT_NEAR(cdts[1].at(50), 2.0, 1e-12);
+}
+
+TEST(Cdt, MorePartitionsThanPositionsStillWork) {
+  UtilityModel model(1, 2, 1, {10, 20}, {1.0, 1.0});
+  const auto cdts = Cdt::build_partitions(model, 5);
+  double sum = 0.0;
+  for (const auto& cdt : cdts) sum += cdt.total();
+  EXPECT_NEAR(sum, 2.0, 1e-12);
+}
+
+TEST(Cdt, RejectsZeroPartitions) {
+  EXPECT_THROW(Cdt::build_partitions(paper_model(), 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,147 @@
+#include "core/drift_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace espice {
+namespace {
+
+// 2 types x 4 positions.  Reference shares: type 0 lives in the first half,
+// type 1 in the second half.
+UtilityModel reference_model() {
+  return UtilityModel(2, 4, 1, std::vector<std::uint8_t>(8, 10),
+                      {1.0, 1.0, 0.0, 0.0, /* type 0 */
+                       0.0, 0.0, 1.0, 1.0 /* type 1 */});
+}
+
+DriftDetectorConfig small_batches(std::size_t batch = 400,
+                                  std::size_t patience = 2) {
+  DriftDetectorConfig c;
+  c.batch_size = batch;
+  c.patience = patience;
+  c.divergence_threshold = 0.1;
+  return c;
+}
+
+Event ev(EventTypeId type) {
+  Event e;
+  e.type = type;
+  e.value = 1.0;
+  return e;
+}
+
+// Feeds `n` observations matching the reference distribution.
+bool feed_reference_like(DriftDetector& d, std::size_t n) {
+  bool triggered = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t pos = i % 4;
+    const EventTypeId type = pos < 2 ? 0 : 1;
+    triggered |= d.observe(ev(type), pos, 4.0);
+  }
+  return triggered;
+}
+
+// Feeds `n` observations with types swapped (maximum positional drift).
+bool feed_swapped(DriftDetector& d, std::size_t n) {
+  bool triggered = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t pos = i % 4;
+    const EventTypeId type = pos < 2 ? 1 : 0;
+    triggered |= d.observe(ev(type), pos, 4.0);
+  }
+  return triggered;
+}
+
+TEST(DriftDetector, QuietOnReferenceDistribution) {
+  const auto model = reference_model();
+  DriftDetector d(model, small_batches());
+  EXPECT_FALSE(feed_reference_like(d, 4000));
+  EXPECT_LT(d.last_divergence(), 0.05);
+  EXPECT_EQ(d.drifted_batches(), 0u);
+}
+
+TEST(DriftDetector, TriggersOnSwappedDistribution) {
+  const auto model = reference_model();
+  DriftDetector d(model, small_batches());
+  EXPECT_TRUE(feed_swapped(d, 4000));
+  EXPECT_GT(d.last_divergence(), 0.5);
+}
+
+TEST(DriftDetector, PatienceDelaysTheTrigger) {
+  const auto model = reference_model();
+  DriftDetector d(model, small_batches(400, /*patience=*/3));
+  // Two drifted batches: not yet.
+  EXPECT_FALSE(feed_swapped(d, 800));
+  EXPECT_EQ(d.drifted_batches(), 2u);
+  // Third drifted batch: trigger.
+  EXPECT_TRUE(feed_swapped(d, 400));
+}
+
+TEST(DriftDetector, CleanBatchResetsPatience) {
+  const auto model = reference_model();
+  DriftDetector d(model, small_batches(400, 2));
+  EXPECT_FALSE(feed_swapped(d, 400));      // 1 drifted batch
+  EXPECT_FALSE(feed_reference_like(d, 400));  // resets
+  EXPECT_EQ(d.drifted_batches(), 0u);
+  EXPECT_FALSE(feed_swapped(d, 400));      // needs 2 consecutive again
+}
+
+TEST(DriftDetector, RebaseAdoptsNewReference) {
+  const auto model = reference_model();
+  DriftDetector d(model, small_batches());
+  EXPECT_TRUE(feed_swapped(d, 4000));
+
+  // A model whose shares match the *swapped* stream.
+  const UtilityModel swapped(2, 4, 1, std::vector<std::uint8_t>(8, 10),
+                             {0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0});
+  d.rebase(swapped);
+  EXPECT_EQ(d.drifted_batches(), 0u);
+  EXPECT_FALSE(feed_swapped(d, 4000));  // now the swapped stream is normal
+}
+
+TEST(DriftDetector, MidBatchObservationsDoNotTrigger) {
+  const auto model = reference_model();
+  DriftDetector d(model, small_batches(1000, 1));
+  // 999 drifted observations: batch not complete, no decision yet.
+  EXPECT_FALSE(feed_swapped(d, 999));
+  EXPECT_EQ(d.drifted_batches(), 0u);
+}
+
+TEST(DriftDetector, ScalesPositionsLikeTheModel) {
+  const auto model = reference_model();
+  DriftDetector d(model, small_batches(400, 1));
+  // Windows twice the model size: positions 0..7 scale to 0..3; matching
+  // the reference halves keeps it quiet.
+  bool triggered = false;
+  for (std::size_t i = 0; i < 4000; ++i) {
+    const std::uint32_t pos = i % 8;
+    const EventTypeId type = pos < 4 ? 0 : 1;
+    triggered |= d.observe(ev(type), pos, 8.0);
+  }
+  EXPECT_FALSE(triggered);
+}
+
+TEST(DriftDetector, RejectsMismatchedRebase) {
+  const auto model = reference_model();
+  DriftDetector d(model, small_batches());
+  const UtilityModel other(3, 4, 1, std::vector<std::uint8_t>(12, 0),
+                           std::vector<double>(12, 1.0));
+  EXPECT_THROW(d.rebase(other), ConfigError);
+}
+
+TEST(DriftDetectorConfig, Validation) {
+  const auto model = reference_model();
+  DriftDetectorConfig c;
+  c.batch_size = 0;
+  EXPECT_THROW(DriftDetector(model, c), ConfigError);
+  c = DriftDetectorConfig{};
+  c.divergence_threshold = 1.5;
+  EXPECT_THROW(DriftDetector(model, c), ConfigError);
+  c = DriftDetectorConfig{};
+  c.patience = 0;
+  EXPECT_THROW(DriftDetector(model, c), ConfigError);
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,193 @@
+#include "core/espice_operator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace espice {
+namespace {
+
+constexpr EventTypeId A = 0;
+constexpr EventTypeId B = 1;
+constexpr EventTypeId kFiller = 2;
+
+// Windows of 6: A at 0, B at 1, filler at 2..5 (regime 0) -- or the hot pair
+// at positions 4, 5 (regime 1).
+Event regime_event(int regime, std::uint64_t seq) {
+  const std::size_t pos = seq % 6;
+  Event e;
+  const bool hot = regime == 0 ? pos < 2 : pos >= 4;
+  if (hot) {
+    e.type = (regime == 0 ? pos == 0 : pos == 4) ? A : B;
+  } else {
+    e.type = kFiller;
+  }
+  e.seq = seq;
+  e.ts = static_cast<double>(seq);
+  e.value = 1.0;
+  return e;
+}
+
+EspiceOperatorConfig base_config() {
+  EspiceOperatorConfig c;
+  c.pattern = make_sequence({element("A", TypeSet{A}), element("B", TypeSet{B})});
+  c.window.span_kind = WindowSpan::kCount;
+  c.window.span_events = 6;
+  c.window.open_kind = WindowOpen::kCountSlide;
+  c.window.slide_events = 6;
+  c.num_types = 3;
+  c.training_windows = 200;
+  c.detector.latency_bound = 1.0;
+  c.detector.f = 0.8;
+  c.detector.ewma_alpha = 1.0;
+  c.drift.batch_size = 3000;
+  c.drift.patience = 1;
+  return c;
+}
+
+struct Host {
+  std::vector<ComplexEvent> matches;
+  EspiceOperator op;
+
+  explicit Host(EspiceOperatorConfig config = base_config())
+      : op(std::move(config),
+           [this](const ComplexEvent& ce) { matches.push_back(ce); }) {}
+
+  // Pushes `n` regime events (continuing the stream where the previous call
+  // stopped), feeding detector signals that emulate an overloaded (or idle)
+  // host queue.
+  void run(int regime, std::size_t n, std::size_t queue_size) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t seq = next_seq_++;
+      op.observe_arrival(static_cast<double>(seq) / 1000.0);
+      op.observe_cost(1e-3);  // th = 1000 events/s -> qmax = 1000
+      op.push(regime_event(regime, seq));
+      if (i % 10 == 0) {
+        op.on_tick(static_cast<double>(seq) / 1000.0, queue_size);
+      }
+    }
+  }
+
+  std::uint64_t next_seq_ = 0;
+};
+
+TEST(EspiceOperator, CountWindowsSkipTheSizingPhase) {
+  Host host;
+  EXPECT_EQ(host.op.phase(), EspiceOperator::Phase::kTraining);
+}
+
+TEST(EspiceOperator, TimeWindowsStartInSizingPhase) {
+  auto config = base_config();
+  config.window.span_kind = WindowSpan::kTime;
+  config.window.span_seconds = 6.0;
+  config.window.open_kind = WindowOpen::kPredicate;
+  config.window.opener = element("A", TypeSet{A});
+  Host host(std::move(config));
+  EXPECT_EQ(host.op.phase(), EspiceOperator::Phase::kSizing);
+}
+
+TEST(EspiceOperator, TrainsAndArmsAfterEnoughWindows) {
+  Host host;
+  host.run(0, 201 * 6, /*queue=*/0);
+  EXPECT_EQ(host.op.phase(), EspiceOperator::Phase::kShedding);
+  ASSERT_NE(host.op.model(), nullptr);
+  EXPECT_EQ(host.op.model()->n_positions(), 6u);
+  // Matches were delivered throughout training.
+  EXPECT_GE(host.matches.size(), 190u);
+}
+
+TEST(EspiceOperator, IdleQueueMeansNoDrops) {
+  Host host;
+  host.run(0, 400 * 6, /*queue=*/10);  // far below the watermark
+  EXPECT_FALSE(host.op.shedding_active());
+  EXPECT_EQ(host.op.drops(), 0u);
+}
+
+TEST(EspiceOperator, OverloadedQueueActivatesShedding) {
+  Host host;
+  host.run(0, 201 * 6, 0);  // train
+  host.matches.clear();
+  host.run(0, 400 * 6, /*queue=*/900);  // above 0.8 * 1000
+  EXPECT_TRUE(host.op.shedding_active());
+  EXPECT_GT(host.op.drops(), 0u);
+  // The learned model protects the (A,0), (B,1) cells: the match stream
+  // survives shedding intact.
+  EXPECT_GE(host.matches.size(), 390u);
+}
+
+TEST(EspiceOperator, LearnedModelDropsOnlyFiller) {
+  Host host;
+  host.run(0, 201 * 6, 0);
+  host.run(0, 100 * 6, 900);
+  ASSERT_NE(host.op.model(), nullptr);
+  const UtilityModel& model = *host.op.model();
+  EXPECT_GT(model.utility_cell(A, 0), 90);
+  EXPECT_GT(model.utility_cell(B, 1), 90);
+  EXPECT_EQ(model.utility_cell(kFiller, 2), 0);
+}
+
+TEST(EspiceOperator, DriftTriggersRetrainingAndQualityRecovers) {
+  auto config = base_config();
+  config.retrain_decay = 0.05;
+  // Aggressive relearning settings: generous exploration so the hot cells
+  // regain match evidence quickly, frequent rebuilds to adopt it.
+  config.exploration = 0.2;
+  config.rebuild_every_windows = 200;
+  Host host(std::move(config));
+  host.run(0, 201 * 6, 0);  // train on regime 0
+  EXPECT_EQ(host.op.retrains(), 0u);
+
+  // Switch to regime 1 under overload: the stale model would shed the hot
+  // pair.  The drift detector must fire and the rebuilt model recover.
+  host.run(1, 2000 * 6, 900);
+  EXPECT_GE(host.op.retrains(), 1u);
+
+  host.matches.clear();
+  host.run(1, 300 * 6, 900);
+  EXPECT_GE(host.matches.size(), 295u);  // quality restored after retrain
+}
+
+TEST(EspiceOperator, DriftRetrainingCanBeDisabled) {
+  auto config = base_config();
+  config.drift_retraining = false;
+  Host host(std::move(config));
+  host.run(0, 201 * 6, 0);
+  host.run(1, 2000 * 6, 900);
+  EXPECT_EQ(host.op.retrains(), 0u);
+}
+
+TEST(EspiceOperator, PeriodicRebuildRecoversEvenWithoutDriftDetector) {
+  // Exploration + periodic rebuilds alone (no drift trigger, no decay) must
+  // eventually relearn the shifted hot cells from fresh match evidence.
+  auto config = base_config();
+  config.drift_retraining = false;
+  config.exploration = 0.3;
+  config.rebuild_every_windows = 100;
+  Host host(std::move(config));
+  host.run(0, 201 * 6, 0);
+  host.run(1, 3000 * 6, 900);
+  host.matches.clear();
+  host.run(1, 300 * 6, 900);
+  EXPECT_GE(host.matches.size(), 290u);
+}
+
+TEST(EspiceOperator, FinishFlushesOpenWindows) {
+  Host host;
+  host.run(0, 201 * 6 + 2, 0);  // 2 events into an unfinished window
+  const auto before = host.matches.size();
+  host.run(0, 1, 0);  // window still open (3 of 6 events)
+  // The partial window holds A@0 B@1 filler: the match exists once flushed.
+  host.op.finish();
+  EXPECT_EQ(host.matches.size(), before + 1);
+}
+
+TEST(EspiceOperator, RejectsInvalidConfig) {
+  auto config = base_config();
+  config.num_types = 0;
+  EXPECT_THROW(EspiceOperator(config, [](const ComplexEvent&) {}), ConfigError);
+  config = base_config();
+  EXPECT_THROW(EspiceOperator(config, nullptr), ConfigError);
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,222 @@
+#include "core/espice_shedder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace espice {
+namespace {
+
+Event make_event(EventTypeId type) {
+  Event e;
+  e.type = type;
+  e.value = 1.0;
+  return e;
+}
+
+// 1 type x 10 positions: utilities 0..90 in steps of 10, shares 1 each.
+std::shared_ptr<const UtilityModel> ramp_model() {
+  std::vector<std::uint8_t> ut;
+  std::vector<double> shares;
+  for (int p = 0; p < 10; ++p) {
+    ut.push_back(static_cast<std::uint8_t>(p * 10));
+    shares.push_back(1.0);
+  }
+  return std::make_shared<UtilityModel>(1, 10, 1, std::move(ut),
+                                        std::move(shares));
+}
+
+DropCommand active_command(double x, std::size_t partitions = 1) {
+  DropCommand cmd;
+  cmd.active = true;
+  cmd.x = x;
+  cmd.partitions = partitions;
+  return cmd;
+}
+
+TEST(EspiceShedder, InactiveNeverDrops) {
+  EspiceShedder s(ramp_model());
+  for (std::uint32_t p = 0; p < 10; ++p) {
+    EXPECT_FALSE(s.should_drop(make_event(0), p, 10.0));
+  }
+  EXPECT_EQ(s.drops(), 0u);
+  EXPECT_EQ(s.decisions(), 10u);
+}
+
+TEST(EspiceShedder, DropsExactlyTheLowUtilityPrefix) {
+  EspiceShedder s(ramp_model());
+  // x = 3: CDT(20) = 3 -> threshold 20 -> positions 0, 1, 2 drop.
+  s.on_command(active_command(3.0));
+  ASSERT_EQ(s.thresholds().size(), 1u);
+  EXPECT_EQ(s.thresholds()[0], 20);
+  int drops = 0;
+  for (std::uint32_t p = 0; p < 10; ++p) {
+    if (s.should_drop(make_event(0), p, 10.0)) ++drops;
+  }
+  EXPECT_EQ(drops, 3);
+  EXPECT_TRUE(s.should_drop(make_event(0), 0, 10.0));
+  EXPECT_FALSE(s.should_drop(make_event(0), 5, 10.0));
+}
+
+TEST(EspiceShedder, DeactivationRestoresKeepAll) {
+  EspiceShedder s(ramp_model());
+  s.on_command(active_command(5.0));
+  EXPECT_TRUE(s.should_drop(make_event(0), 0, 10.0));
+  DropCommand off;
+  off.active = false;
+  s.on_command(off);
+  EXPECT_FALSE(s.should_drop(make_event(0), 0, 10.0));
+  EXPECT_TRUE(s.thresholds().empty());
+}
+
+TEST(EspiceShedder, PartitionsGetIndependentThresholds) {
+  EspiceShedder s(ramp_model());
+  // 2 partitions of 5 positions.  x = 2:
+  //  partition 0 utilities {0,10,20,30,40} -> threshold 10,
+  //  partition 1 utilities {50,60,70,80,90} -> threshold 60.
+  s.on_command(active_command(2.0, 2));
+  ASSERT_EQ(s.thresholds().size(), 2u);
+  EXPECT_EQ(s.thresholds()[0], 10);
+  EXPECT_EQ(s.thresholds()[1], 60);
+  // Positions 0,1 (utility 0,10) drop in partition 0.
+  EXPECT_TRUE(s.should_drop(make_event(0), 0, 10.0));
+  EXPECT_TRUE(s.should_drop(make_event(0), 1, 10.0));
+  EXPECT_FALSE(s.should_drop(make_event(0), 2, 10.0));
+  // Positions 5,6 (utility 50,60) drop in partition 1.
+  EXPECT_TRUE(s.should_drop(make_event(0), 5, 10.0));
+  EXPECT_TRUE(s.should_drop(make_event(0), 6, 10.0));
+  EXPECT_FALSE(s.should_drop(make_event(0), 7, 10.0));
+}
+
+TEST(EspiceShedder, ScaledWindowsUseNormalizedPositions) {
+  EspiceShedder s(ramp_model());
+  s.on_command(active_command(3.0));  // threshold 20
+  // Window of 20 events, N = 10: positions 0..5 map to cells 0..2.
+  EXPECT_TRUE(s.should_drop(make_event(0), 0, 20.0));
+  EXPECT_TRUE(s.should_drop(make_event(0), 5, 20.0));
+  EXPECT_FALSE(s.should_drop(make_event(0), 6, 20.0));
+  EXPECT_FALSE(s.should_drop(make_event(0), 19, 20.0));
+}
+
+TEST(EspiceShedder, XLargerThanSupplyDropsEverything) {
+  EspiceShedder s(ramp_model());
+  s.on_command(active_command(1000.0));
+  EXPECT_EQ(s.thresholds()[0], kMaxUtility);
+  for (std::uint32_t p = 0; p < 10; ++p) {
+    EXPECT_TRUE(s.should_drop(make_event(0), p, 10.0));
+  }
+}
+
+TEST(EspiceShedder, RepeatedCommandsRecomputeThresholds) {
+  EspiceShedder s(ramp_model());
+  s.on_command(active_command(2.0));
+  EXPECT_EQ(s.thresholds()[0], 10);
+  s.on_command(active_command(7.0));
+  EXPECT_EQ(s.thresholds()[0], 60);
+  s.on_command(active_command(1.0));
+  EXPECT_EQ(s.thresholds()[0], 0);
+}
+
+TEST(EspiceShedder, SetModelRecomputesActiveThresholds) {
+  EspiceShedder s(ramp_model(), /*exact_amount=*/false);
+  s.on_command(active_command(2.0));
+  EXPECT_EQ(s.thresholds()[0], 10);
+  // New model: all utilities 50 -> any x <= 10 yields threshold 50.
+  std::vector<std::uint8_t> ut(10, 50);
+  std::vector<double> shares(10, 1.0);
+  s.set_model(std::make_shared<UtilityModel>(1, 10, 1, std::move(ut),
+                                             std::move(shares)));
+  EXPECT_EQ(s.thresholds()[0], 50);
+  EXPECT_TRUE(s.should_drop(make_event(0), 9, 10.0));
+}
+
+TEST(EspiceShedder, CountsDecisionsAndDrops) {
+  EspiceShedder s(ramp_model());
+  s.on_command(active_command(3.0));
+  for (std::uint32_t p = 0; p < 10; ++p) {
+    s.should_drop(make_event(0), p, 10.0);
+  }
+  EXPECT_EQ(s.decisions(), 10u);
+  EXPECT_EQ(s.drops(), 3u);
+}
+
+TEST(EspiceShedder, ExactAmountDropsFractionOfBoundaryUtility) {
+  // 1 type x 10 positions, all utility 40, shares 1 each: dropping x = 4
+  // with the literal algorithm would drop all 10 events; exact-amount mode
+  // drops each boundary event with probability 0.4.
+  std::vector<std::uint8_t> ut(10, 40);
+  std::vector<double> shares(10, 1.0);
+  auto model = std::make_shared<UtilityModel>(1, 10, 1, std::move(ut),
+                                              std::move(shares));
+  EspiceShedder s(model, /*exact_amount=*/true, /*seed=*/5);
+  s.on_command(active_command(4.0));
+  int drops = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (s.should_drop(make_event(0), static_cast<std::uint32_t>(i % 10), 10.0)) {
+      ++drops;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / trials, 0.4, 0.02);
+}
+
+TEST(EspiceShedder, LiteralModeDropsEverythingAtOrBelowThreshold) {
+  std::vector<std::uint8_t> ut(10, 40);
+  std::vector<double> shares(10, 1.0);
+  auto model = std::make_shared<UtilityModel>(1, 10, 1, std::move(ut),
+                                              std::move(shares));
+  EspiceShedder s(model, /*exact_amount=*/false);
+  s.on_command(active_command(4.0));
+  for (std::uint32_t p = 0; p < 10; ++p) {
+    EXPECT_TRUE(s.should_drop(make_event(0), p, 10.0));
+  }
+}
+
+TEST(EspiceShedder, ExactAmountIsNoopOnIntegerBoundaries) {
+  // Ramp model: CDT values are integers, so the boundary fraction is 1 and
+  // the exact-amount mode behaves deterministically.
+  EspiceShedder s(ramp_model(), /*exact_amount=*/true);
+  s.on_command(active_command(3.0));
+  int drops = 0;
+  for (std::uint32_t p = 0; p < 10; ++p) {
+    if (s.should_drop(make_event(0), p, 10.0)) ++drops;
+  }
+  EXPECT_EQ(drops, 3);
+}
+
+TEST(EspiceShedder, ExplorationSparesAFractionOfDrops) {
+  EspiceShedder s(ramp_model());
+  s.set_exploration(0.25);
+  s.on_command(active_command(3.0));  // threshold 20: positions 0..2 drop
+  int drops = 0;
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) {
+    if (s.should_drop(make_event(0), static_cast<std::uint32_t>(i % 3), 10.0)) {
+      ++drops;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / trials, 0.75, 0.02);
+  // Keep decisions are never affected.
+  EXPECT_FALSE(s.should_drop(make_event(0), 9, 10.0));
+}
+
+TEST(EspiceShedder, ExplorationValidation) {
+  EspiceShedder s(ramp_model());
+  EXPECT_THROW(s.set_exploration(-0.1), ConfigError);
+  EXPECT_THROW(s.set_exploration(1.0), ConfigError);
+  EXPECT_NO_THROW(s.set_exploration(0.0));
+}
+
+TEST(EspiceShedder, NullModelIsRejected) {
+  EXPECT_THROW(EspiceShedder(nullptr), ConfigError);
+  EspiceShedder s(ramp_model());
+  EXPECT_THROW(s.set_model(nullptr), ConfigError);
+}
+
+TEST(EspiceShedder, NameIsStable) {
+  EspiceShedder s(ramp_model());
+  EXPECT_STREQ(s.name(), "eSPICE");
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,96 @@
+#include "core/f_advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cdt.hpp"
+
+namespace espice {
+namespace {
+
+// 1 type x 10 positions with a clearly bimodal utility distribution:
+// first half low (5), second half high (90).
+UtilityModel bimodal_model() {
+  std::vector<std::uint8_t> ut;
+  std::vector<double> shares;
+  for (int p = 0; p < 10; ++p) {
+    ut.push_back(p < 5 ? 5 : 90);
+    shares.push_back(1.0);
+  }
+  return UtilityModel(1, 10, 1, std::move(ut), std::move(shares));
+}
+
+// All positions share one utility value.
+UtilityModel flat_model(std::uint8_t u) {
+  return UtilityModel(1, 10, 1, std::vector<std::uint8_t>(10, u),
+                      std::vector<double>(10, 1.0));
+}
+
+TEST(LowUtilityClassBoundary, SeparatesBimodalDistribution) {
+  const int boundary = low_utility_class_boundary(bimodal_model());
+  EXPECT_GE(boundary, 5);
+  EXPECT_LT(boundary, 90);
+}
+
+TEST(LowUtilityClassBoundary, FlatDistributionYieldsLowBoundary) {
+  // No between-class variance anywhere; the scan settles on the first index.
+  EXPECT_EQ(low_utility_class_boundary(flat_model(40)), 0);
+}
+
+TEST(SuggestF, FeasibleWhenLowClassCoversDemand) {
+  // qmax = 20.  With f = 0.95 the buffer is 1 event -> 10 partitions; the
+  // high half has no low-class events, so high f is infeasible.  Lower f
+  // merges positions until each partition holds enough low-utility mass.
+  const auto model = bimodal_model();
+  const FAdvice advice = suggest_f(model, 20.0, /*x=*/1.0);
+  EXPECT_TRUE(advice.feasible);
+  // The feasible configuration must really deliver x low-class events in
+  // every partition.
+  const auto cdts = Cdt::build_partitions(model, advice.partitions);
+  for (const auto& cdt : cdts) {
+    EXPECT_GE(cdt.at(advice.low_class_boundary), 1.0);
+  }
+}
+
+TEST(SuggestF, PicksTheLargestFeasibleF) {
+  const auto model = bimodal_model();
+  const FAdvice advice = suggest_f(model, 20.0, 1.0);
+  ASSERT_TRUE(advice.feasible);
+  // Any larger f in the scan grid must be infeasible.
+  for (double f = advice.f + 0.05; f <= 0.95 + 1e-9; f += 0.05) {
+    const double buffer = std::max(20.0 * (1.0 - f), 1.0);
+    const auto rho = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(10.0 / buffer)));
+    const auto cdts = Cdt::build_partitions(model, rho);
+    double worst = cdts.front().at(advice.low_class_boundary);
+    for (const auto& cdt : cdts) {
+      worst = std::min(worst, cdt.at(advice.low_class_boundary));
+    }
+    EXPECT_LT(worst, 1.0) << "f=" << f << " should have been infeasible";
+  }
+}
+
+TEST(SuggestF, SinglePartitionWhenBufferIsLarge) {
+  // Huge qmax: even f = 0.95 leaves a buffer larger than the window.
+  const FAdvice advice = suggest_f(bimodal_model(), 10000.0, 1.0);
+  EXPECT_TRUE(advice.feasible);
+  EXPECT_DOUBLE_EQ(advice.f, 0.95);
+  EXPECT_EQ(advice.partitions, 1u);
+}
+
+TEST(SuggestF, InfeasibleDemandReportsBestEffort) {
+  // x far beyond the expected events per partition: nothing works.
+  const FAdvice advice = suggest_f(bimodal_model(), 20.0, 1000.0);
+  EXPECT_FALSE(advice.feasible);
+  EXPECT_GE(advice.partitions, 1u);
+}
+
+TEST(SuggestF, RejectsBadArguments) {
+  EXPECT_THROW(suggest_f(bimodal_model(), 0.0, 1.0), ConfigError);
+  EXPECT_THROW(suggest_f(bimodal_model(), 10.0, 1.0, 0.9, 0.1), ConfigError);
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,242 @@
+#include "core/model_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace espice {
+namespace {
+
+Window make_window(const std::vector<EventTypeId>& types, WindowId id = 0) {
+  Window w;
+  w.id = id;
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    Event e;
+    e.type = types[i];
+    e.seq = i;
+    e.value = 1.0;
+    w.kept.push_back(e);
+    w.kept_pos.push_back(static_cast<std::uint32_t>(i));
+    ++w.arrivals;
+  }
+  return w;
+}
+
+ComplexEvent make_match(const Window& w, const std::vector<std::size_t>& idx) {
+  ComplexEvent ce;
+  ce.window = w.id;
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    Constituent c;
+    c.element = static_cast<std::uint32_t>(k);
+    c.position = w.kept_pos[idx[k]];
+    c.event = w.kept[idx[k]];
+    ce.constituents.push_back(c);
+  }
+  return ce;
+}
+
+ModelBuilderConfig config(std::size_t types, std::size_t n, std::size_t bs = 1) {
+  ModelBuilderConfig c;
+  c.num_types = types;
+  c.n_positions = n;
+  c.bin_size = bs;
+  return c;
+}
+
+TEST(ModelBuilder, SharesReflectTypePositionFrequencies) {
+  ModelBuilder b(config(2, 3));
+  // Two windows: {0,1,0} and {0,0,1}.
+  b.observe_window(make_window({0, 1, 0}));
+  b.observe_window(make_window({0, 0, 1}));
+  const auto model = b.build();
+  EXPECT_NEAR(model->share_cell(0, 0), 1.0, 1e-12);  // type 0 always at pos 0
+  EXPECT_NEAR(model->share_cell(0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(model->share_cell(1, 1), 0.5, 1e-12);
+  EXPECT_NEAR(model->share_cell(0, 2), 0.5, 1e-12);
+  EXPECT_NEAR(model->share_cell(1, 2), 0.5, 1e-12);
+  EXPECT_NEAR(model->share_cell(1, 0), 0.0, 1e-12);
+}
+
+TEST(ModelBuilder, UtilityIsConditionalContributionProbability) {
+  ModelBuilder b(config(2, 2));
+  // Type 0 at position 0 occurs in both windows but contributes in one of
+  // two -> utility 50.  Type 1 at position 1 contributes always -> 100.
+  const auto w1 = make_window({0, 1}, 1);
+  const auto w2 = make_window({0, 1}, 2);
+  b.observe_window(w1);
+  b.observe_window(w2);
+  b.observe_match(make_match(w1, {0, 1}), w1.size());
+  b.observe_match(make_match(w2, {1}), w2.size());  // only type 1 bound
+  const auto model = b.build();
+  EXPECT_EQ(model->utility_cell(0, 0), 50);
+  EXPECT_EQ(model->utility_cell(1, 1), 100);
+}
+
+TEST(ModelBuilder, NeverContributingCellsGetZeroUtility) {
+  ModelBuilder b(config(2, 2));
+  const auto w = make_window({0, 1}, 1);
+  b.observe_window(w);
+  b.observe_match(make_match(w, {0}), w.size());
+  const auto model = b.build();
+  EXPECT_EQ(model->utility_cell(1, 1), 0);
+  EXPECT_EQ(model->utility_cell(0, 0), 100);
+}
+
+TEST(ModelBuilder, RareContributorsAreFlooredAtOne) {
+  ModelBuilder b(config(1, 1));
+  // 1000 windows with one event each; bound once -> ratio 0.1% -> floor 1.
+  for (int i = 0; i < 1000; ++i) {
+    const auto w = make_window({0}, static_cast<WindowId>(i));
+    b.observe_window(w);
+    if (i == 0) b.observe_match(make_match(w, {0}), w.size());
+  }
+  const auto model = b.build();
+  EXPECT_EQ(model->utility_cell(0, 0), 1);
+}
+
+TEST(ModelBuilder, ScalingDownDistributesCounts) {
+  // N = 2, incoming windows of size 4: positions 0,1 -> cell 0; 2,3 -> cell 1.
+  ModelBuilder b(config(1, 2));
+  b.observe_window(make_window({0, 0, 0, 0}));
+  const auto model = b.build();
+  EXPECT_NEAR(model->share_cell(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(model->share_cell(0, 1), 1.0, 1e-12);
+}
+
+TEST(ModelBuilder, ScalingUpSpreadsOneEventOverCells) {
+  // N = 4, incoming windows of size 2: each event covers two cells.
+  ModelBuilder b(config(1, 4));
+  b.observe_window(make_window({0, 0}));
+  const auto model = b.build();
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(model->share_cell(0, c), 1.0, 1e-12);
+  }
+}
+
+TEST(ModelBuilder, ScaledMatchCountsKeepRatioStable) {
+  // Windows twice the model size; the bound event is always the first one.
+  ModelBuilder b(config(1, 2));
+  for (int i = 0; i < 10; ++i) {
+    const auto w = make_window({0, 0, 0, 0}, static_cast<WindowId>(i));
+    b.observe_window(w);
+    b.observe_match(make_match(w, {0}), w.size());
+  }
+  const auto model = b.build();
+  // Positions 0,1 map to cell 0: occurrences 2/window, bound 1/window -> 50.
+  EXPECT_EQ(model->utility_cell(0, 0), 50);
+  EXPECT_EQ(model->utility_cell(0, 1), 0);
+}
+
+TEST(ModelBuilder, BinsAggregateNeighboringPositions) {
+  ModelBuilder b(config(1, 4, /*bs=*/2));
+  const auto w = make_window({0, 0, 0, 0});
+  b.observe_window(w);
+  b.observe_match(make_match(w, {0, 1}), w.size());
+  const auto model = b.build();
+  EXPECT_EQ(model->cols(), 2u);
+  EXPECT_NEAR(model->share_cell(0, 0), 2.0, 1e-12);
+  EXPECT_EQ(model->utility_cell(0, 0), 100);  // both cell-0 events bound
+  EXPECT_EQ(model->utility_cell(0, 1), 0);
+}
+
+TEST(ModelBuilder, OnlinePositionFeedMatchesWindowFeed) {
+  // observe_position + count_window must be equivalent to observe_window.
+  ModelBuilder by_window(config(2, 3));
+  ModelBuilder by_position(config(2, 3));
+  const auto w1 = make_window({0, 1, 0}, 1);
+  const auto w2 = make_window({1, 1, 0}, 2);
+  for (const auto* w : {&w1, &w2}) {
+    by_window.observe_window(*w);
+    for (std::size_t i = 0; i < w->kept.size(); ++i) {
+      by_position.observe_position(w->kept[i].type, w->kept_pos[i],
+                                   static_cast<double>(w->size()));
+    }
+    by_position.count_window();
+  }
+  const auto m1 = by_window.build();
+  const auto m2 = by_position.build();
+  for (std::size_t t = 0; t < 2; ++t) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m1->share_cell(static_cast<EventTypeId>(t), c),
+                       m2->share_cell(static_cast<EventTypeId>(t), c));
+    }
+  }
+  EXPECT_EQ(by_position.windows_observed(), 2u);
+}
+
+TEST(ModelBuilder, DecayReducesOldEvidence) {
+  ModelBuilder b(config(1, 1));
+  const auto w = make_window({0}, 1);
+  // Old regime: always bound.
+  for (int i = 0; i < 100; ++i) {
+    b.observe_window(w);
+    b.observe_match(make_match(w, {0}), w.size());
+  }
+  b.decay(0.01);
+  // New regime: never bound.
+  for (int i = 0; i < 100; ++i) b.observe_window(w);
+  const auto model = b.build();
+  EXPECT_LT(model->utility_cell(0, 0), 10);
+  EXPECT_GE(model->utility_cell(0, 0), 1);  // history not erased entirely
+}
+
+TEST(ModelBuilder, ResetErasesEverything) {
+  ModelBuilder b(config(1, 1));
+  const auto w = make_window({0});
+  b.observe_window(w);
+  b.observe_match(make_match(w, {0}), w.size());
+  b.reset();
+  EXPECT_EQ(b.windows_observed(), 0u);
+  EXPECT_EQ(b.matches_observed(), 0u);
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(ModelBuilder, BuildWithoutWindowsThrows) {
+  ModelBuilder b(config(1, 1));
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(ModelBuilder, BuildWithoutMatchesGivesAllZeroUtilities) {
+  ModelBuilder b(config(2, 3));
+  b.observe_window(make_window({0, 1, 0}));
+  const auto model = b.build();
+  for (std::size_t t = 0; t < 2; ++t) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(model->utility_cell(static_cast<EventTypeId>(t), c), 0);
+    }
+  }
+}
+
+TEST(ModelBuilder, EmptyWindowsAreIgnored) {
+  ModelBuilder b(config(1, 2));
+  Window empty;
+  b.observe_window(empty);
+  EXPECT_EQ(b.windows_observed(), 0u);
+}
+
+TEST(ModelBuilder, CountersTrackObservations) {
+  ModelBuilder b(config(1, 2));
+  const auto w = make_window({0, 0});
+  b.observe_window(w);
+  b.observe_window(w);
+  b.observe_match(make_match(w, {0}), w.size());
+  EXPECT_EQ(b.windows_observed(), 2u);
+  EXPECT_EQ(b.matches_observed(), 1u);
+}
+
+TEST(ModelBuilder, InvalidDecayFactorThrows) {
+  ModelBuilder b(config(1, 1));
+  EXPECT_THROW(b.decay(0.0), ConfigError);
+  EXPECT_THROW(b.decay(1.5), ConfigError);
+}
+
+TEST(ModelBuilderConfig, ValidatesParameters) {
+  EXPECT_THROW(config(0, 1).validate(), ConfigError);
+  EXPECT_THROW(config(1, 0).validate(), ConfigError);
+  EXPECT_THROW(config(1, 2, 0).validate(), ConfigError);
+  EXPECT_THROW(config(1, 2, 3).validate(), ConfigError);  // bs > N
+  EXPECT_NO_THROW(config(1, 2, 2).validate());
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,165 @@
+#include "core/overload_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace espice {
+namespace {
+
+OverloadDetectorConfig base_config() {
+  OverloadDetectorConfig c;
+  c.latency_bound = 1.0;
+  c.f = 0.8;
+  c.window_size_events = 100;
+  c.tick_period = 0.01;
+  c.ewma_alpha = 1.0;  // deterministic: estimates equal the last observation
+  c.drain_backlog = false;
+  return c;
+}
+
+// Feeds a constant processing cost and arrival rate.
+void prime(OverloadDetector& d, double lp, double rate, int samples = 5) {
+  for (int i = 0; i < samples; ++i) {
+    d.observe_processing_cost(lp);
+    d.observe_arrival(static_cast<double>(i) / rate);
+  }
+}
+
+TEST(OverloadDetector, SilentBeforeAnyMeasurement) {
+  OverloadDetector d(base_config());
+  const auto cmd = d.tick(1000000);
+  EXPECT_FALSE(cmd.active);
+  EXPECT_FALSE(d.active());
+}
+
+TEST(OverloadDetector, QmaxIsLatencyBoundOverProcessingLatency) {
+  OverloadDetector d(base_config());
+  prime(d, 0.001, 1200.0);  // th = 1000 events/s
+  EXPECT_NEAR(d.qmax(), 1000.0, 1e-9);
+}
+
+TEST(OverloadDetector, StaysInactiveBelowWatermark) {
+  OverloadDetector d(base_config());
+  prime(d, 0.001, 1200.0);
+  // Watermark = f * qmax = 800.
+  EXPECT_FALSE(d.tick(700).active);
+  EXPECT_FALSE(d.tick(800).active);
+}
+
+TEST(OverloadDetector, ActivatesAboveWatermark) {
+  OverloadDetector d(base_config());
+  prime(d, 0.001, 1200.0);
+  const auto cmd = d.tick(801);
+  EXPECT_TRUE(cmd.active);
+  EXPECT_TRUE(d.active());
+}
+
+TEST(OverloadDetector, DropAmountMatchesPaperFormula) {
+  OverloadDetector d(base_config());
+  prime(d, 0.001, 1200.0);  // th = 1000, R = 1200, delta = 200
+  const auto cmd = d.tick(900);
+  ASSERT_TRUE(cmd.active);
+  // buffer = qmax - f*qmax = 200 >= N=100 -> rho = 1, psize = 100.
+  EXPECT_EQ(cmd.partitions, 1u);
+  // x = delta * psize / R = 200 * 100 / 1200.
+  EXPECT_NEAR(cmd.x, 200.0 * 100.0 / 1200.0, 1e-9);
+}
+
+TEST(OverloadDetector, PartitionsWindowWhenBufferIsSmall) {
+  auto config = base_config();
+  config.window_size_events = 1000;  // N = 1000 > buffer = 200
+  OverloadDetector d(config);
+  prime(d, 0.001, 1200.0);
+  const auto cmd = d.tick(900);
+  ASSERT_TRUE(cmd.active);
+  EXPECT_EQ(cmd.partitions, 5u);  // ceil(1000 / 200)
+  EXPECT_NEAR(cmd.x, 200.0 * 200.0 / 1200.0, 1e-9);  // psize = 200
+}
+
+TEST(OverloadDetector, HigherFMeansSmallerBufferAndMorePartitions) {
+  auto config = base_config();
+  config.f = 0.9;
+  config.window_size_events = 1000;
+  OverloadDetector d(config);
+  prime(d, 0.001, 1200.0);
+  const auto cmd = d.tick(950);
+  ASSERT_TRUE(cmd.active);
+  EXPECT_EQ(cmd.partitions, 10u);  // buffer = 100
+}
+
+TEST(OverloadDetector, NoSurplusMeansNoDropsWithoutDrain) {
+  OverloadDetector d(base_config());
+  prime(d, 0.001, 900.0);  // R < th
+  const auto cmd = d.tick(850);
+  ASSERT_TRUE(cmd.active);  // queue above watermark (e.g. after a burst)
+  EXPECT_NEAR(cmd.x, 0.0, 1e-12);
+}
+
+TEST(OverloadDetector, DrainTermSchedulesBacklogRemoval) {
+  auto config = base_config();
+  config.drain_backlog = true;
+  OverloadDetector d(config);
+  prime(d, 0.001, 900.0);  // no rate surplus
+  const auto cmd = d.tick(900);  // 100 events above the watermark
+  ASSERT_TRUE(cmd.active);
+  // partitions_per_lb = R * LB / psize = 900 / 100 = 9 -> x = 100 / 9.
+  EXPECT_NEAR(cmd.x, 100.0 / 9.0, 1e-9);
+}
+
+TEST(OverloadDetector, DeactivatesOnlyWellBelowWatermark) {
+  auto config = base_config();
+  config.deactivate_fraction = 0.25;
+  OverloadDetector d(config);
+  prime(d, 0.001, 1200.0);
+  EXPECT_TRUE(d.tick(900).active);
+  // Still active in the hysteresis band (>= 0.25 * 800 = 200).
+  EXPECT_TRUE(d.tick(500).active);
+  EXPECT_TRUE(d.tick(200).active);
+  // Drops below the deactivation level.
+  EXPECT_FALSE(d.tick(199).active);
+}
+
+TEST(OverloadDetector, ReactivatesAfterQuietPeriod) {
+  OverloadDetector d(base_config());
+  prime(d, 0.001, 1200.0);
+  EXPECT_TRUE(d.tick(900).active);
+  EXPECT_FALSE(d.tick(10).active);
+  EXPECT_TRUE(d.tick(900).active);
+}
+
+TEST(OverloadDetector, EstimatesTrackObservations) {
+  OverloadDetector d(base_config());
+  d.observe_processing_cost(0.002);
+  d.observe_arrival(0.0);
+  d.observe_arrival(0.01);
+  EXPECT_NEAR(d.estimated_lp(), 0.002, 1e-12);
+  EXPECT_NEAR(d.estimated_rate(), 100.0, 1e-9);
+}
+
+TEST(OverloadDetector, EwmaSmoothsEstimates) {
+  auto config = base_config();
+  config.ewma_alpha = 0.5;
+  OverloadDetector d(config);
+  d.observe_processing_cost(0.001);
+  d.observe_processing_cost(0.003);
+  EXPECT_NEAR(d.estimated_lp(), 0.002, 1e-12);
+}
+
+TEST(OverloadDetectorConfig, Validation) {
+  auto config = base_config();
+  config.latency_bound = 0.0;
+  EXPECT_THROW(OverloadDetector{config}, ConfigError);
+  config = base_config();
+  config.f = 1.0;
+  EXPECT_THROW(OverloadDetector{config}, ConfigError);
+  config = base_config();
+  config.tick_period = 0.0;
+  EXPECT_THROW(OverloadDetector{config}, ConfigError);
+  config = base_config();
+  config.window_size_events = 0;
+  EXPECT_THROW(OverloadDetector{config}, ConfigError);
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,114 @@
+#include "core/utility_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace espice {
+namespace {
+
+UtilityModel simple_model() {
+  // 2 types x 4 positions, bin size 1.
+  // type 0: 10 20 30 40 ; type 1: 5 5 5 5
+  return UtilityModel(2, 4, 1, {10, 20, 30, 40, 5, 5, 5, 5},
+                      {1, 1, 1, 1, 1, 1, 1, 1});
+}
+
+TEST(UtilityModel, CellAccessors) {
+  const auto m = simple_model();
+  EXPECT_EQ(m.num_types(), 2u);
+  EXPECT_EQ(m.n_positions(), 4u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.utility_cell(0, 0), 10);
+  EXPECT_EQ(m.utility_cell(0, 3), 40);
+  EXPECT_EQ(m.utility_cell(1, 2), 5);
+  EXPECT_DOUBLE_EQ(m.share_cell(0, 1), 1.0);
+}
+
+TEST(UtilityModel, ExactSizeLookupIsIdentity) {
+  const auto m = simple_model();
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(m.utility(0, p, 4.0), m.utility_cell(0, p));
+  }
+}
+
+TEST(UtilityModel, ScalingDownMapsSeveralPositionsToOneCell) {
+  const auto m = simple_model();
+  // ws = 8, N = 4: positions 0,1 -> cell 0; 2,3 -> cell 1; etc.
+  EXPECT_EQ(m.utility(0, 0, 8.0), 10);
+  EXPECT_EQ(m.utility(0, 1, 8.0), 10);
+  EXPECT_EQ(m.utility(0, 2, 8.0), 20);
+  EXPECT_EQ(m.utility(0, 7, 8.0), 40);
+}
+
+TEST(UtilityModel, ScalingUpAveragesCoveredCells) {
+  const auto m = simple_model();
+  // ws = 2, N = 4: position 0 covers cells 0..1, position 1 covers 2..3.
+  EXPECT_EQ(m.utility(0, 0, 2.0), 15);  // avg(10, 20)
+  EXPECT_EQ(m.utility(0, 1, 2.0), 35);  // avg(30, 40)
+}
+
+TEST(UtilityModel, ScalingUpWithUnevenOverlapWeights) {
+  const auto m = simple_model();
+  // ws = 3, N = 4: position 1 covers [4/3, 8/3): equal parts of cells 1 and 2.
+  EXPECT_EQ(m.utility(0, 1, 3.0), 25);  // avg(20, 30)
+}
+
+TEST(UtilityModel, PositionsBeyondPredictedSizeClampToLastCell) {
+  const auto m = simple_model();
+  EXPECT_EQ(m.utility(0, 10, 4.0), 40);
+  EXPECT_EQ(m.utility(0, 1000, 4.0), 40);
+}
+
+TEST(UtilityModel, NormalizePositionScalesLinearly) {
+  const auto m = simple_model();
+  EXPECT_DOUBLE_EQ(m.normalize_position(0, 8.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.normalize_position(4, 8.0), 2.0);
+  EXPECT_NEAR(m.normalize_position(7, 8.0), 3.5, 1e-9);
+}
+
+TEST(UtilityModel, NormalizePositionClampsToN) {
+  const auto m = simple_model();
+  EXPECT_LT(m.normalize_position(100, 4.0), 4.0);
+}
+
+TEST(UtilityModel, BinsGroupNeighboringPositions) {
+  // 1 type x 6 positions, bin size 2 -> 3 columns.
+  UtilityModel m(1, 6, 2, {10, 20, 30}, {2, 2, 2});
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.col_width(0), 2u);
+  EXPECT_EQ(m.utility(0, 0, 6.0), 10);
+  EXPECT_EQ(m.utility(0, 1, 6.0), 10);
+  EXPECT_EQ(m.utility(0, 2, 6.0), 20);
+  EXPECT_EQ(m.utility(0, 5, 6.0), 30);
+}
+
+TEST(UtilityModel, LastBinMayBeNarrow) {
+  // 5 positions, bin size 2 -> columns of widths 2, 2, 1.
+  UtilityModel m(1, 5, 2, {1, 2, 3}, {2, 2, 1});
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.col_width(2), 1u);
+  EXPECT_EQ(m.utility(0, 4, 5.0), 3);
+}
+
+TEST(UtilityModel, ColOfNormClampsNegativeAndOverflow) {
+  const auto m = simple_model();
+  EXPECT_EQ(m.col_of_norm(-1.0), 0u);
+  EXPECT_EQ(m.col_of_norm(100.0), 3u);
+}
+
+TEST(UtilityModel, FootprintAccountsForBothTables) {
+  const auto m = simple_model();
+  EXPECT_EQ(m.footprint_bytes(), 8 * sizeof(std::uint8_t) + 8 * sizeof(double));
+}
+
+TEST(UtilityModel, RejectsInvalidConstruction) {
+  EXPECT_THROW(UtilityModel(0, 4, 1, {}, {}), ConfigError);
+  EXPECT_THROW(UtilityModel(1, 0, 1, {}, {}), ConfigError);
+  EXPECT_THROW(UtilityModel(1, 4, 0, {}, {}), ConfigError);
+}
+
+}  // namespace
+}  // namespace espice

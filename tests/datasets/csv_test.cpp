@@ -1,0 +1,117 @@
+#include "datasets/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "datasets/stock.hpp"
+
+namespace espice {
+namespace {
+
+std::vector<Event> sample_events(TypeRegistry& reg) {
+  std::vector<Event> events;
+  const auto a = reg.intern("alpha");
+  const auto b = reg.intern("beta");
+  for (int i = 0; i < 5; ++i) {
+    Event e;
+    e.type = i % 2 == 0 ? a : b;
+    e.seq = static_cast<std::uint64_t>(i);
+    e.ts = 0.5 * i;
+    e.value = i % 2 == 0 ? 1.25 : -2.5;
+    e.aux = static_cast<double>(i);
+    events.push_back(e);
+  }
+  return events;
+}
+
+TEST(Csv, RoundTripPreservesEvents) {
+  TypeRegistry reg;
+  const auto events = sample_events(reg);
+  std::stringstream buffer;
+  write_events_csv(buffer, events, reg);
+
+  TypeRegistry reg2;
+  const auto loaded = read_events_csv(buffer, reg2);
+  ASSERT_EQ(loaded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(reg2.name_of(loaded[i].type), reg.name_of(events[i].type));
+    EXPECT_EQ(loaded[i].seq, events[i].seq);
+    EXPECT_DOUBLE_EQ(loaded[i].ts, events[i].ts);
+    EXPECT_DOUBLE_EQ(loaded[i].value, events[i].value);
+    EXPECT_DOUBLE_EQ(loaded[i].aux, events[i].aux);
+  }
+}
+
+TEST(Csv, WriterEmitsHeader) {
+  TypeRegistry reg;
+  std::stringstream buffer;
+  write_events_csv(buffer, {}, reg);
+  std::string first_line;
+  std::getline(buffer, first_line);
+  EXPECT_EQ(first_line, "type,seq,ts,value,aux");
+}
+
+TEST(Csv, ReaderSkipsHeaderAndEmptyLines) {
+  TypeRegistry reg;
+  std::stringstream in("type,seq,ts,value,aux\nX,0,1.0,2.0,3.0\n\n");
+  const auto events = read_events_csv(in, reg);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(reg.name_of(events[0].type), "X");
+}
+
+TEST(Csv, ReaderWorksWithoutHeader) {
+  TypeRegistry reg;
+  std::stringstream in("X,0,1.0,2.0,3.0\nY,1,2.0,-1.0,0.0\n");
+  const auto events = read_events_csv(in, reg);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].seq, 1u);
+}
+
+TEST(Csv, MalformedNumericFieldThrows) {
+  TypeRegistry reg;
+  std::stringstream in("X,zero,1.0,2.0,3.0\n");
+  EXPECT_THROW(read_events_csv(in, reg), ConfigError);
+}
+
+TEST(Csv, MissingFieldThrows) {
+  TypeRegistry reg;
+  std::stringstream in("X,0,1.0\n");
+  EXPECT_THROW(read_events_csv(in, reg), ConfigError);
+}
+
+TEST(Csv, FileRoundTripThroughDisk) {
+  TypeRegistry reg;
+  StockConfig c;
+  c.num_symbols = 10;
+  c.num_leaders = 2;
+  StockGenerator gen(c, reg);
+  const auto events = gen.generate(500);
+
+  const std::string path = testing::TempDir() + "/espice_csv_test.csv";
+  save_events_csv(path, events, reg);
+  TypeRegistry reg2;
+  const auto loaded = load_events_csv(path, reg2);
+  ASSERT_EQ(loaded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    // The loader interns names in stream order, so compare by name.
+    EXPECT_EQ(reg2.name_of(loaded[i].type), reg.name_of(events[i].type));
+    EXPECT_EQ(loaded[i].seq, events[i].seq);
+  }
+}
+
+TEST(Csv, LoadFromMissingFileThrows) {
+  TypeRegistry reg;
+  EXPECT_THROW(load_events_csv("/nonexistent/path/events.csv", reg),
+               ConfigError);
+}
+
+TEST(Csv, SaveToUnwritablePathThrows) {
+  TypeRegistry reg;
+  EXPECT_THROW(save_events_csv("/nonexistent/dir/out.csv", {}, reg),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace espice

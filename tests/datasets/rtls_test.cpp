@@ -1,0 +1,175 @@
+#include "datasets/rtls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace espice {
+namespace {
+
+RtlsConfig small_config() {
+  RtlsConfig c;
+  c.num_defenders = 8;
+  c.num_others = 2;
+  c.markers_per_striker = 3;
+  c.seed = 21;
+  return c;
+}
+
+TEST(RtlsGenerator, RegistersAllObjectTypes) {
+  TypeRegistry reg;
+  RtlsGenerator gen(small_config(), reg);
+  EXPECT_EQ(reg.size(), 2u + 8u + 2u);
+  EXPECT_EQ(gen.objects(), 12u);
+  EXPECT_TRUE(reg.contains("STR0"));
+  EXPECT_TRUE(reg.contains("STR1"));
+  EXPECT_TRUE(reg.contains("DF00"));
+  EXPECT_TRUE(reg.contains("DF07"));
+  EXPECT_TRUE(reg.contains("OBJ00"));
+}
+
+TEST(RtlsGenerator, MarkersAreDisjointBetweenStrikers) {
+  TypeRegistry reg;
+  RtlsGenerator gen(small_config(), reg);
+  const auto& m0 = gen.markers_of(0);
+  const auto& m1 = gen.markers_of(1);
+  ASSERT_EQ(m0.size(), 3u);
+  ASSERT_EQ(m1.size(), 3u);
+  for (EventTypeId a : m0) {
+    EXPECT_EQ(std::count(m1.begin(), m1.end(), a), 0);
+  }
+}
+
+TEST(RtlsGenerator, StreamIsGloballyOrdered) {
+  TypeRegistry reg;
+  RtlsGenerator gen(small_config(), reg);
+  const auto events = gen.generate(5000);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+    EXPECT_GE(events[i].ts, events[i - 1].ts);
+  }
+}
+
+TEST(RtlsGenerator, EveryObjectEmitsOncePerSecond) {
+  TypeRegistry reg;
+  RtlsGenerator gen(small_config(), reg);
+  const auto events = gen.generate(12 * 20);  // 20 seconds
+  std::vector<int> counts(reg.size(), 0);
+  for (const auto& e : events) ++counts[e.type];
+  for (int c : counts) EXPECT_EQ(c, 20);
+}
+
+TEST(RtlsGenerator, SameSeedReproducesStream) {
+  TypeRegistry r1, r2;
+  RtlsGenerator g1(small_config(), r1);
+  RtlsGenerator g2(small_config(), r2);
+  const auto e1 = g1.generate(2000);
+  const auto e2 = g2.generate(2000);
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1[i].type, e2[i].type);
+    EXPECT_DOUBLE_EQ(e1[i].value, e2[i].value);
+  }
+}
+
+TEST(RtlsGenerator, PossessionEpisodesAlternateAndExist) {
+  TypeRegistry reg;
+  RtlsGenerator gen(small_config(), reg);
+  const auto events = gen.generate(20000);
+  int possession[2] = {0, 0};
+  bool both_possess_simultaneously = false;
+  double s0 = -1.0;
+  for (const auto& e : events) {
+    if (e.type == 0 && e.value > 0) {
+      ++possession[0];
+      s0 = e.ts;
+    }
+    if (e.type == 1 && e.value > 0) {
+      ++possession[1];
+      // Strikers emit once per second; simultaneous possession would put
+      // their positive events within the same second.
+      if (s0 >= 0.0 && std::abs(e.ts - s0) < 1.0) {
+        both_possess_simultaneously = true;
+      }
+    }
+  }
+  EXPECT_GT(possession[0], 50);
+  EXPECT_GT(possession[1], 50);
+  EXPECT_FALSE(both_possess_simultaneously);
+}
+
+TEST(RtlsGenerator, MarkersDefendDuringTheirStrikersPossession) {
+  TypeRegistry reg;
+  RtlsConfig c = small_config();
+  c.marker_response = 1.0;
+  c.noise_defend_probability = 0.0;
+  RtlsGenerator gen(c, reg);
+  const auto events = gen.generate(30000);
+
+  // During striker 0 possession, from reaction lag on, markers of striker 0
+  // defend (value > 0) while markers of striker 1 do not.
+  bool str0_possessing = false;
+  double possession_start = -1.0;
+  int marker_defends = 0;
+  int foreign_defends = 0;
+  const auto& m0 = gen.markers_of(0);
+  const auto& m1 = gen.markers_of(1);
+  for (const auto& e : events) {
+    if (e.type == 0) {
+      const bool now = e.value > 0;
+      if (now && !str0_possessing) possession_start = e.ts;
+      str0_possessing = now;
+      continue;
+    }
+    if (!str0_possessing || possession_start < 0.0) continue;
+    const bool late_in_episode =
+        e.ts > possession_start + c.max_reaction_lag_seconds;
+    if (!late_in_episode) continue;
+    if (e.value > 0 &&
+        std::find(m0.begin(), m0.end(), e.type) != m0.end()) {
+      ++marker_defends;
+    }
+    if (e.value > 0 &&
+        std::find(m1.begin(), m1.end(), e.type) != m1.end()) {
+      ++foreign_defends;
+    }
+  }
+  EXPECT_GT(marker_defends, 100);
+  EXPECT_EQ(foreign_defends, 0);
+}
+
+TEST(RtlsGenerator, NoiseDefendEventsAppearWhenEnabled) {
+  TypeRegistry reg;
+  RtlsConfig c = small_config();
+  c.marker_response = 0.0;  // only noise can defend
+  c.noise_defend_probability = 0.1;
+  RtlsGenerator gen(c, reg);
+  const auto events = gen.generate(20000);
+  int defends = 0;
+  for (const auto& e : events) {
+    if (e.type >= 2 && e.type < 10 && e.value > 0) ++defends;
+  }
+  EXPECT_GT(defends, 500);
+}
+
+TEST(RtlsGenerator, StrikersNeverBothRequested) {
+  TypeRegistry reg;
+  RtlsGenerator gen(small_config(), reg);
+  EXPECT_EQ(gen.striker_types().size(), 2u);
+  EXPECT_EQ(gen.defender_types().size(), 8u);
+  EXPECT_NEAR(gen.aggregate_rate(), 12.0, 1e-12);
+}
+
+TEST(RtlsGenerator, RejectsInvalidConfig) {
+  TypeRegistry reg;
+  RtlsConfig c = small_config();
+  c.markers_per_striker = 5;  // 2 * 5 > 8 defenders
+  EXPECT_THROW(RtlsGenerator(c, reg), ConfigError);
+  TypeRegistry reg2;
+  c = small_config();
+  c.possession_min_seconds = 10.0;
+  c.possession_max_seconds = 5.0;
+  EXPECT_THROW(RtlsGenerator(c, reg2), ConfigError);
+}
+
+}  // namespace
+}  // namespace espice

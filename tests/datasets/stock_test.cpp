@@ -1,0 +1,244 @@
+#include "datasets/stock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace espice {
+namespace {
+
+StockConfig small_config() {
+  StockConfig c;
+  c.num_symbols = 50;
+  c.num_leaders = 2;
+  c.hot_followers_per_leader = 0;  // hot symbols tested separately
+  c.seed = 11;
+  return c;
+}
+
+TEST(StockGenerator, RegistersAllSymbols) {
+  TypeRegistry reg;
+  StockGenerator gen(small_config(), reg);
+  EXPECT_EQ(reg.size(), 50u);
+  EXPECT_EQ(reg.name_of(0), "S000");
+  EXPECT_EQ(reg.name_of(49), "S049");
+}
+
+TEST(StockGenerator, LeadersAreTheFirstSymbols) {
+  TypeRegistry reg;
+  StockGenerator gen(small_config(), reg);
+  ASSERT_EQ(gen.leaders().size(), 2u);
+  EXPECT_EQ(gen.leaders()[0], 0);
+  EXPECT_EQ(gen.leaders()[1], 1);
+}
+
+TEST(StockGenerator, GeneratesRequestedCount) {
+  TypeRegistry reg;
+  StockGenerator gen(small_config(), reg);
+  EXPECT_EQ(gen.generate(777).size(), 777u);
+}
+
+TEST(StockGenerator, StreamIsGloballyOrdered) {
+  TypeRegistry reg;
+  StockGenerator gen(small_config(), reg);
+  const auto events = gen.generate(5000);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+    EXPECT_GE(events[i].ts, events[i - 1].ts);
+  }
+}
+
+TEST(StockGenerator, EverySymbolQuotesOncePerPeriod) {
+  TypeRegistry reg;
+  StockGenerator gen(small_config(), reg);
+  const auto events = gen.generate(50 * 10);  // exactly 10 periods
+  std::vector<int> counts(50, 0);
+  for (const auto& e : events) ++counts[e.type];
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(StockGenerator, AggregateRateMatchesConfig) {
+  TypeRegistry reg;
+  StockGenerator gen(small_config(), reg);
+  EXPECT_NEAR(gen.aggregate_rate(), 50.0 / 60.0, 1e-12);
+  const auto events = gen.generate(5000);
+  const double span = events.back().ts - events.front().ts;
+  EXPECT_NEAR(5000.0 / span, gen.aggregate_rate(), 0.05);
+}
+
+TEST(StockGenerator, SameSeedReproducesStream) {
+  TypeRegistry r1, r2;
+  StockGenerator g1(small_config(), r1);
+  StockGenerator g2(small_config(), r2);
+  const auto e1 = g1.generate(2000);
+  const auto e2 = g2.generate(2000);
+  ASSERT_EQ(e1.size(), e2.size());
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1[i].type, e2[i].type);
+    EXPECT_DOUBLE_EQ(e1[i].ts, e2[i].ts);
+    EXPECT_DOUBLE_EQ(e1[i].value, e2[i].value);
+  }
+}
+
+TEST(StockGenerator, DifferentSeedsDiffer) {
+  TypeRegistry r1, r2;
+  auto c1 = small_config();
+  auto c2 = small_config();
+  c2.seed = 99;
+  StockGenerator g1(c1, r1);
+  StockGenerator g2(c2, r2);
+  const auto e1 = g1.generate(500);
+  const auto e2 = g2.generate(500);
+  int same = 0;
+  for (std::size_t i = 0; i < 500; ++i) {
+    if (e1[i].type == e2[i].type && e1[i].value == e2[i].value) ++same;
+  }
+  EXPECT_LT(same, 100);
+}
+
+TEST(StockGenerator, FollowersInLagOrderAreSortedByLag) {
+  TypeRegistry reg;
+  StockGenerator gen(small_config(), reg);
+  const auto followers = gen.followers_in_lag_order(0, 10);
+  ASSERT_EQ(followers.size(), 10u);
+  for (std::size_t i = 1; i < followers.size(); ++i) {
+    EXPECT_LE(gen.lag_of(followers[i - 1]), gen.lag_of(followers[i]));
+    EXPECT_EQ(gen.leader_of(followers[i]), 0);
+  }
+}
+
+TEST(StockGenerator, RequestingTooManyFollowersThrows) {
+  TypeRegistry reg;
+  StockGenerator gen(small_config(), reg);
+  EXPECT_THROW(gen.followers_in_lag_order(0, 49), ConfigError);
+}
+
+TEST(StockGenerator, FollowersCopyLeaderDirectionWithinLag) {
+  // Statistical check of the correlation structure eSPICE learns from:
+  // after a leader move, follower quotes inside their influence interval
+  // should agree with the leader's direction far more often than baseline.
+  TypeRegistry reg;
+  StockConfig c = small_config();
+  c.follow_probability = 0.95;
+  StockGenerator gen(c, reg);
+  const auto events = gen.generate(30000);
+
+  std::vector<std::pair<double, int>> last_move(2, {-1e18, 0});
+  int agree = 0;
+  int covered = 0;
+  for (const auto& e : events) {
+    if (e.type < 2) {
+      last_move[e.type] = {e.ts, e.direction()};
+      continue;
+    }
+    const auto leader = gen.leader_of(e.type);
+    const double lag = gen.lag_of(e.type);
+    const auto& [move_ts, move_dir] = last_move[leader];
+    if (e.ts >= move_ts + lag && e.ts < move_ts + lag + c.hold_seconds) {
+      ++covered;
+      if (e.direction() == move_dir) ++agree;
+    }
+  }
+  ASSERT_GT(covered, 1000);
+  EXPECT_GT(static_cast<double>(agree) / covered, 0.75);
+}
+
+TEST(StockGenerator, BaselineRiseProbabilityShapesUninfluencedQuotes) {
+  TypeRegistry reg;
+  StockConfig c = small_config();
+  c.follow_probability = 0.0;  // disable influence: everything is baseline
+  c.baseline_rise_probability = 0.25;
+  StockGenerator gen(c, reg);
+  const auto events = gen.generate(20000);
+  int rising = 0;
+  int total = 0;
+  for (const auto& e : events) {
+    if (e.type < 2) continue;  // leaders use the flip walk
+    ++total;
+    if (e.direction() > 0) ++rising;
+  }
+  EXPECT_NEAR(static_cast<double>(rising) / total, 0.25, 0.02);
+}
+
+TEST(StockGenerator, ValuesAreNonZeroAndBounded) {
+  TypeRegistry reg;
+  StockGenerator gen(small_config(), reg);
+  for (const auto& e : gen.generate(5000)) {
+    EXPECT_NE(e.direction(), 0);
+    EXPECT_LE(std::abs(e.value), 1.0);
+    EXPECT_GE(std::abs(e.value), 0.05);
+  }
+}
+
+TEST(StockGenerator, HotSymbolsQuoteSeveralTimesPerPeriod) {
+  TypeRegistry reg;
+  StockConfig c = small_config();
+  c.hot_followers_per_leader = 3;
+  c.hot_quotes_per_period = 4;
+  StockGenerator gen(c, reg);
+  // 6 hot symbols (3 per leader) with 4 quotes each + 44 regular = 68/period.
+  const auto events = gen.generate(68 * 5);
+  std::vector<int> counts(50, 0);
+  for (const auto& e : events) ++counts[e.type];
+  int hot_seen = 0;
+  for (EventTypeId s = 2; s < 50; ++s) {
+    if (gen.is_hot(s)) {
+      ++hot_seen;
+      EXPECT_EQ(counts[s], 20);  // 4 per period x 5 periods
+    } else {
+      EXPECT_EQ(counts[s], 5);
+    }
+  }
+  EXPECT_EQ(hot_seen, 6);
+  EXPECT_NEAR(gen.aggregate_rate(), 68.0 / 60.0, 1e-12);
+}
+
+TEST(StockGenerator, SequenceSymbolsAreSpreadNonHotFollowers) {
+  TypeRegistry reg;
+  StockConfig c = small_config();
+  c.hot_followers_per_leader = 3;
+  StockGenerator gen(c, reg);
+  const auto seq = gen.sequence_symbols(0, 8);
+  ASSERT_EQ(seq.size(), 8u);
+  double prev = -1.0;
+  for (EventTypeId s : seq) {
+    EXPECT_FALSE(gen.is_hot(s));
+    EXPECT_EQ(gen.leader_of(s), 0);
+    EXPECT_GE(gen.lag_of(s), prev);
+    prev = gen.lag_of(s);
+  }
+  // Spread: the span of chosen lags covers most of the followers' lag range.
+  const auto all = gen.followers_in_lag_order(0, 21);  // leader 0 non-hot pool
+  EXPECT_GT(gen.lag_of(seq.back()) - gen.lag_of(seq.front()),
+            0.5 * (gen.lag_of(all.back()) - gen.lag_of(all.front())));
+}
+
+TEST(StockGenerator, RepetitionSymbolsAreHot) {
+  TypeRegistry reg;
+  StockConfig c = small_config();
+  c.hot_followers_per_leader = 5;
+  StockGenerator gen(c, reg);
+  const auto reps = gen.repetition_symbols(1, 5);
+  ASSERT_EQ(reps.size(), 5u);
+  for (EventTypeId s : reps) {
+    EXPECT_TRUE(gen.is_hot(s));
+    EXPECT_EQ(gen.leader_of(s), 1);
+  }
+  EXPECT_THROW(gen.repetition_symbols(1, 6), ConfigError);
+}
+
+TEST(StockGenerator, RejectsInvalidConfig) {
+  TypeRegistry reg;
+  StockConfig c = small_config();
+  c.num_leaders = c.num_symbols;
+  EXPECT_THROW(StockGenerator(c, reg), ConfigError);
+  TypeRegistry reg2;
+  c = small_config();
+  c.min_lag_seconds = 100.0;
+  c.max_lag_seconds = 10.0;
+  EXPECT_THROW(StockGenerator(c, reg2), ConfigError);
+}
+
+}  // namespace
+}  // namespace espice

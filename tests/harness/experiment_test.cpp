@@ -1,0 +1,156 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace espice {
+namespace {
+
+// Shared fixture: one RTLS stream + Q1, reused across tests (generation and
+// experiments are deterministic, so sharing is safe).
+class ExperimentTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    registry_ = new TypeRegistry();
+    gen_ = new RtlsGenerator(RtlsConfig{}, *registry_);
+    events_ = new std::vector<Event>(gen_->generate(120'000));
+  }
+  static void TearDownTestSuite() {
+    delete events_;
+    delete gen_;
+    delete registry_;
+    events_ = nullptr;
+    gen_ = nullptr;
+    registry_ = nullptr;
+  }
+
+  ExperimentConfig base_config(ShedderKind kind) const {
+    ExperimentConfig c;
+    c.query = make_q1(*gen_, 3);
+    c.num_types = registry_->size();
+    c.train_events = 60'000;
+    c.measure_events = 55'000;
+    c.rate_factor = 1.3;
+    c.shedder = kind;
+    return c;
+  }
+
+  static TypeRegistry* registry_;
+  static RtlsGenerator* gen_;
+  static std::vector<Event>* events_;
+};
+
+TypeRegistry* ExperimentTest::registry_ = nullptr;
+RtlsGenerator* ExperimentTest::gen_ = nullptr;
+std::vector<Event>* ExperimentTest::events_ = nullptr;
+
+TEST_F(ExperimentTest, TrainModelLearnsFromTheStream) {
+  const auto q = make_q1(*gen_, 3);
+  const auto trained = train_model(
+      q, registry_->size(),
+      std::span<const Event>(*events_).subspan(0, 60'000), 1);
+  ASSERT_NE(trained.model, nullptr);
+  EXPECT_GT(trained.windows, 100u);
+  EXPECT_GT(trained.matches, 50u);
+  EXPECT_GT(trained.avg_window_size, 100.0);
+  EXPECT_GT(trained.avg_windows_per_event, 0.5);
+  // N derives from the average window size for time-based windows.
+  EXPECT_NEAR(static_cast<double>(trained.model->n_positions()),
+              trained.avg_window_size, 2.0);
+}
+
+TEST_F(ExperimentTest, TrainModelHonorsOverrides) {
+  const auto q = make_q1(*gen_, 3);
+  const auto trained = train_model(
+      q, registry_->size(),
+      std::span<const Event>(*events_).subspan(0, 60'000), /*bin=*/4,
+      /*n_override=*/500);
+  EXPECT_EQ(trained.model->n_positions(), 500u);
+  EXPECT_EQ(trained.model->bin_size(), 4u);
+  EXPECT_EQ(trained.model->cols(), 125u);
+}
+
+TEST_F(ExperimentTest, NoSheddingKeepsPerfectQualityButViolatesLatency) {
+  const auto result = run_experiment(base_config(ShedderKind::kNone), *events_);
+  EXPECT_EQ(result.quality.false_negatives, 0u);
+  EXPECT_EQ(result.quality.false_positives, 0u);
+  EXPECT_GT(result.latency.violations, 0u);  // 30% overload, no relief
+}
+
+TEST_F(ExperimentTest, EspiceHoldsLatencyBoundUnderOverload) {
+  const auto result = run_experiment(base_config(ShedderKind::kEspice), *events_);
+  EXPECT_TRUE(result.shedding_active);
+  EXPECT_GT(result.drops, 0u);
+  EXPECT_EQ(result.latency.violations, 0u);
+  EXPECT_LE(result.latency.max, 1.0);
+}
+
+TEST_F(ExperimentTest, EspiceBeatsRandomOnQuality) {
+  const auto espice = run_experiment(base_config(ShedderKind::kEspice), *events_);
+  const auto random = run_experiment(base_config(ShedderKind::kRandom), *events_);
+  EXPECT_LT(espice.quality.fn_percent() + 1.0,
+            random.quality.fn_percent());
+  EXPECT_LE(espice.quality.fp_percent(), random.quality.fp_percent() + 1.0);
+}
+
+TEST_F(ExperimentTest, BaselineAlsoHoldsTheLatencyBound) {
+  const auto result =
+      run_experiment(base_config(ShedderKind::kBaseline), *events_);
+  EXPECT_TRUE(result.shedding_active);
+  EXPECT_EQ(result.latency.violations, 0u);
+}
+
+TEST_F(ExperimentTest, HigherRateMeansMoreDrops) {
+  auto c = base_config(ShedderKind::kEspice);
+  c.rate_factor = 1.2;
+  const auto r1 = run_experiment(c, *events_);
+  c.rate_factor = 1.4;
+  const auto r2 = run_experiment(c, *events_);
+  EXPECT_GT(r2.drop_percent(), r1.drop_percent());
+  EXPECT_GE(r2.quality.fn_percent() + 0.5, r1.quality.fn_percent());
+}
+
+TEST_F(ExperimentTest, GoldenCountIsRateIndependent) {
+  auto c = base_config(ShedderKind::kEspice);
+  c.rate_factor = 1.2;
+  const auto r1 = run_experiment(c, *events_);
+  c.rate_factor = 1.4;
+  const auto r2 = run_experiment(c, *events_);
+  EXPECT_EQ(r1.quality.golden, r2.quality.golden);
+}
+
+TEST_F(ExperimentTest, ResultsAreReproducible) {
+  const auto r1 = run_experiment(base_config(ShedderKind::kEspice), *events_);
+  const auto r2 = run_experiment(base_config(ShedderKind::kEspice), *events_);
+  EXPECT_EQ(r1.quality.false_negatives, r2.quality.false_negatives);
+  EXPECT_EQ(r1.quality.false_positives, r2.quality.false_positives);
+  EXPECT_EQ(r1.drops, r2.drops);
+  EXPECT_DOUBLE_EQ(r1.latency.max, r2.latency.max);
+}
+
+TEST_F(ExperimentTest, ThroughputAndRateAreConsistent) {
+  const auto result = run_experiment(base_config(ShedderKind::kEspice), *events_);
+  EXPECT_NEAR(result.input_rate, 1.3 * result.throughput, 1e-6);
+  EXPECT_GT(result.throughput, 0.0);
+}
+
+TEST_F(ExperimentTest, ValidationErrors) {
+  auto c = base_config(ShedderKind::kEspice);
+  c.train_events = 0;
+  EXPECT_THROW(run_experiment(c, *events_), ConfigError);
+  c = base_config(ShedderKind::kEspice);
+  c.measure_events = 1'000'000'000;  // longer than the stream
+  EXPECT_THROW(run_experiment(c, *events_), ConfigError);
+  c = base_config(ShedderKind::kEspice);
+  c.num_types = 0;
+  EXPECT_THROW(run_experiment(c, *events_), ConfigError);
+}
+
+TEST(ShedderKindName, AllNamesAreDistinct) {
+  EXPECT_STREQ(shedder_kind_name(ShedderKind::kNone), "none");
+  EXPECT_STREQ(shedder_kind_name(ShedderKind::kEspice), "eSPICE");
+  EXPECT_STREQ(shedder_kind_name(ShedderKind::kBaseline), "BL");
+  EXPECT_STREQ(shedder_kind_name(ShedderKind::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace espice

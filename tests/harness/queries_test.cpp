@@ -1,0 +1,149 @@
+#include "harness/queries.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/operator_sim.hpp"
+
+namespace espice {
+namespace {
+
+// Counts golden matches of `query` over `events`.
+std::size_t golden_matches(const QueryDef& query,
+                           const std::vector<Event>& events) {
+  std::size_t matches = 0;
+  const Matcher matcher = query.make_matcher();
+  run_pipeline(events, query.window, matcher, nullptr, 0.0,
+               [&](const Window&, const std::vector<ComplexEvent>& ms) {
+                 matches += ms.size();
+               });
+  return matches;
+}
+
+class RtlsQueries : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gen_ = std::make_unique<RtlsGenerator>(RtlsConfig{}, registry_);
+    events_ = gen_->generate(40'000);
+  }
+  TypeRegistry registry_;
+  std::unique_ptr<RtlsGenerator> gen_;
+  std::vector<Event> events_;
+};
+
+class StockQueries : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gen_ = std::make_unique<StockGenerator>(StockConfig{}, registry_);
+    events_ = gen_->generate(80'000);
+  }
+  TypeRegistry registry_;
+  std::unique_ptr<StockGenerator> gen_;
+  std::vector<Event> events_;
+};
+
+TEST_F(RtlsQueries, Q1StructureMatchesThePaper) {
+  const QueryDef q = make_q1(*gen_, 4);
+  EXPECT_EQ(q.pattern.kind, PatternKind::kTriggerAny);
+  EXPECT_EQ(q.pattern.any_n, 4u);
+  EXPECT_TRUE(q.pattern.any_distinct_types);
+  EXPECT_EQ(q.window.span_kind, WindowSpan::kTime);
+  EXPECT_DOUBLE_EQ(q.window.span_seconds, 15.0);
+  EXPECT_EQ(q.window.open_kind, WindowOpen::kPredicate);
+}
+
+TEST_F(RtlsQueries, Q1DetectsManMarkingSituations) {
+  for (std::size_t n : {2u, 4u, 6u}) {
+    EXPECT_GT(golden_matches(make_q1(*gen_, n), events_), 20u)
+        << "no matches for n=" << n;
+  }
+}
+
+TEST_F(RtlsQueries, Q1LargerPatternsMatchLessOrEqual) {
+  const auto m2 = golden_matches(make_q1(*gen_, 2), events_);
+  const auto m6 = golden_matches(make_q1(*gen_, 6), events_);
+  EXPECT_GE(m2, m6);
+}
+
+TEST_F(RtlsQueries, Q1LastSelectionAlsoMatches) {
+  EXPECT_GT(golden_matches(make_q1(*gen_, 3, 15.0, SelectionPolicy::kLast),
+                           events_),
+            20u);
+}
+
+TEST_F(StockQueries, Q2StructureMatchesThePaper) {
+  const QueryDef q = make_q2(*gen_, 20);
+  EXPECT_EQ(q.pattern.kind, PatternKind::kTriggerAny);
+  EXPECT_TRUE(q.pattern.any_candidates.is_any());
+  EXPECT_EQ(q.pattern.any_direction, DirectionFilter::kRising);
+  EXPECT_EQ(q.window.span_kind, WindowSpan::kTime);
+  EXPECT_DOUBLE_EQ(q.window.span_seconds, 240.0);
+}
+
+TEST_F(StockQueries, Q2DetectsCorrelatedRises) {
+  EXPECT_GT(golden_matches(make_q2(*gen_, 10), events_), 50u);
+  EXPECT_GT(golden_matches(make_q2(*gen_, 50), events_), 50u);
+}
+
+TEST_F(StockQueries, Q3StructureMatchesThePaper) {
+  const QueryDef q = make_q3(*gen_, 1200);
+  EXPECT_EQ(q.pattern.kind, PatternKind::kSequence);
+  EXPECT_EQ(q.pattern.elements.size(), 20u);
+  EXPECT_EQ(q.window.span_kind, WindowSpan::kCount);
+  EXPECT_EQ(q.window.span_events, 1200u);
+  EXPECT_EQ(q.window.open_kind, WindowOpen::kPredicate);
+  // All elements are rising filters on distinct single symbols.
+  for (const auto& el : q.pattern.elements) {
+    EXPECT_EQ(el.types.explicit_count(), 1u);
+    EXPECT_EQ(el.direction, DirectionFilter::kRising);
+  }
+}
+
+TEST_F(StockQueries, Q3SequenceSymbolsAreLagOrderedFollowers) {
+  const QueryDef q = make_q3(*gen_, 1200);
+  double prev_lag = -1.0;
+  for (const auto& el : q.pattern.elements) {
+    const EventTypeId sym = el.types.members().front();
+    EXPECT_EQ(gen_->leader_of(sym), gen_->leaders().front());
+    EXPECT_GE(gen_->lag_of(sym), prev_lag);
+    prev_lag = gen_->lag_of(sym);
+  }
+}
+
+TEST_F(StockQueries, Q3DetectsSequences) {
+  EXPECT_GT(golden_matches(make_q3(*gen_, 1800), events_), 10u);
+}
+
+TEST_F(StockQueries, Q3LargerWindowsMatchMore) {
+  const auto small = golden_matches(make_q3(*gen_, 300), events_);
+  const auto large = golden_matches(make_q3(*gen_, 2000), events_);
+  EXPECT_GE(large, small);
+}
+
+TEST_F(StockQueries, Q4StructureMatchesThePaper) {
+  const QueryDef q = make_q4(*gen_, 1200);
+  EXPECT_EQ(q.pattern.kind, PatternKind::kSequence);
+  EXPECT_EQ(q.pattern.elements.size(), 14u);  // the paper's layout
+  EXPECT_EQ(q.window.open_kind, WindowOpen::kCountSlide);
+  EXPECT_EQ(q.window.slide_events, 100u);
+  // 10 distinct symbols; RE2 repeats 4 times.
+  std::map<EventTypeId, int> counts;
+  for (const auto& el : q.pattern.elements) {
+    ++counts[el.types.members().front()];
+  }
+  EXPECT_EQ(counts.size(), 10u);
+  int max_reps = 0;
+  for (const auto& [sym, c] : counts) max_reps = std::max(max_reps, c);
+  EXPECT_EQ(max_reps, 4);
+}
+
+TEST_F(StockQueries, Q4DetectsRepetitionSequences) {
+  EXPECT_GT(golden_matches(make_q4(*gen_, 1800), events_), 10u);
+}
+
+TEST_F(StockQueries, QueryNamesAreDescriptive) {
+  EXPECT_EQ(make_q2(*gen_, 30).name, "Q2(n=30)");
+  EXPECT_EQ(make_q3(*gen_, 600).name, "Q3(ws=600)");
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,149 @@
+// Model retraining (paper Section 3.6): when the input distribution shifts,
+// the stale model degrades quality; decaying the old statistics and feeding
+// fresh observations restores it.
+#include <gtest/gtest.h>
+
+#include "core/espice_shedder.hpp"
+#include "core/model_builder.hpp"
+#include "metrics/quality.hpp"
+#include "sim/operator_sim.hpp"
+
+namespace espice {
+namespace {
+
+constexpr EventTypeId A = 0;
+constexpr EventTypeId B = 1;
+
+// Regime 0: windows "A B x x x x" (match at positions 0-1).
+// Regime 1: windows "x x x x A B" (match at positions 4-5).
+std::vector<Event> regime_stream(int regime, std::size_t windows,
+                                 std::uint64_t seq0) {
+  std::vector<Event> events;
+  for (std::size_t w = 0; w < windows; ++w) {
+    for (std::size_t pos = 0; pos < 6; ++pos) {
+      Event e;
+      const bool hot = regime == 0 ? pos < 2 : pos >= 4;
+      if (hot) {
+        e.type = (regime == 0 ? pos == 0 : pos == 4) ? A : B;
+      } else {
+        e.type = 2;  // filler type
+      }
+      e.seq = seq0 + w * 6 + pos;
+      e.ts = static_cast<double>(e.seq);
+      e.value = 1.0;
+      events.push_back(e);
+    }
+  }
+  return events;
+}
+
+WindowSpec tumbling6() {
+  WindowSpec spec;
+  spec.span_kind = WindowSpan::kCount;
+  spec.span_events = 6;
+  spec.open_kind = WindowOpen::kCountSlide;
+  spec.slide_events = 6;
+  return spec;
+}
+
+Matcher ab_matcher() {
+  return Matcher(
+      make_sequence({element("A", TypeSet{A}), element("B", TypeSet{B})}),
+      SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed);
+}
+
+struct QualityProbe {
+  QualityReport run(const std::vector<Event>& events, Shedder& shedder) {
+    std::vector<ComplexEvent> golden;
+    run_pipeline(events, tumbling6(), ab_matcher(), nullptr, 6.0,
+                 [&](const Window&, const std::vector<ComplexEvent>& ms) {
+                   golden.insert(golden.end(), ms.begin(), ms.end());
+                 });
+    std::vector<ComplexEvent> shed;
+    run_pipeline(events, tumbling6(), ab_matcher(), &shedder, 6.0,
+                 [&](const Window&, const std::vector<ComplexEvent>& ms) {
+                   shed.insert(shed.end(), ms.begin(), ms.end());
+                 });
+    return compare_quality(golden, shed);
+  }
+};
+
+void train(ModelBuilder& builder, const std::vector<Event>& events) {
+  run_pipeline(events, tumbling6(), ab_matcher(), nullptr, 6.0,
+               [&](const Window& w, const std::vector<ComplexEvent>& ms) {
+                 builder.observe_window(w);
+                 for (const auto& m : ms) builder.observe_match(m, w.size());
+               });
+}
+
+class RetrainingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ModelBuilderConfig mb;
+    mb.num_types = 3;
+    mb.n_positions = 6;
+    builder_ = std::make_unique<ModelBuilder>(mb);
+    train(*builder_, regime_stream(0, 200, 0));
+  }
+
+  DropCommand drop4() {
+    DropCommand cmd;
+    cmd.active = true;
+    // Just under 4 so that floating-point share sums cannot round the CDT
+    // below the demand; the threshold still drops all four filler events.
+    cmd.x = 3.9;
+    cmd.partitions = 1;
+    return cmd;
+  }
+
+  std::unique_ptr<ModelBuilder> builder_;
+  QualityProbe probe_;
+};
+
+TEST_F(RetrainingTest, FreshModelIsPerfectOnItsRegime) {
+  EspiceShedder shedder(builder_->build());
+  shedder.on_command(drop4());
+  const auto report = probe_.run(regime_stream(0, 100, 10'000), shedder);
+  EXPECT_EQ(report.false_negatives, 0u);
+  EXPECT_EQ(report.false_positives, 0u);
+}
+
+TEST_F(RetrainingTest, StaleModelFailsAfterDistributionShift) {
+  EspiceShedder shedder(builder_->build());
+  shedder.on_command(drop4());
+  // Regime 1 puts the hot events where the stale model expects filler.
+  const auto report = probe_.run(regime_stream(1, 100, 10'000), shedder);
+  EXPECT_GT(report.fn_percent(), 90.0);
+}
+
+TEST_F(RetrainingTest, DecayAndRetrainRestoresQuality) {
+  // Retrain: decay the regime-0 evidence, observe regime-1 windows.
+  builder_->decay(0.05);
+  train(*builder_, regime_stream(1, 200, 20'000));
+
+  EspiceShedder shedder(builder_->build());
+  shedder.on_command(drop4());
+  const auto report = probe_.run(regime_stream(1, 100, 40'000), shedder);
+  EXPECT_EQ(report.false_negatives, 0u);
+  EXPECT_EQ(report.false_positives, 0u);
+}
+
+TEST_F(RetrainingTest, SetModelSwapsLiveShedder) {
+  EspiceShedder shedder(builder_->build());
+  shedder.on_command(drop4());
+  ASSERT_GT(probe_.run(regime_stream(1, 50, 10'000), shedder).fn_percent(),
+            50.0);
+
+  ModelBuilderConfig mb;
+  mb.num_types = 3;
+  mb.n_positions = 6;
+  ModelBuilder fresh(mb);
+  train(fresh, regime_stream(1, 200, 20'000));
+  shedder.set_model(fresh.build());  // live swap keeps the active command
+
+  const auto report = probe_.run(regime_stream(1, 50, 40'000), shedder);
+  EXPECT_EQ(report.false_negatives, 0u);
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,78 @@
+#include "metrics/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace espice {
+namespace {
+
+std::vector<LatencySample> samples(
+    const std::vector<std::pair<double, double>>& pairs) {
+  std::vector<LatencySample> out;
+  for (const auto& [ts, lat] : pairs) out.push_back({ts, lat});
+  return out;
+}
+
+TEST(LatencySummary, EmptyInputYieldsEmptySummary) {
+  const auto s = summarize_latency({}, 1.0);
+  EXPECT_EQ(s.events, 0u);
+  EXPECT_TRUE(s.buckets.empty());
+  EXPECT_DOUBLE_EQ(s.violation_percent(), 0.0);
+}
+
+TEST(LatencySummary, OverallStatistics) {
+  const auto s = summarize_latency(
+      samples({{0.1, 0.2}, {0.2, 0.4}, {0.3, 0.6}}), 1.0);
+  EXPECT_EQ(s.events, 3u);
+  EXPECT_NEAR(s.mean, 0.4, 1e-12);
+  EXPECT_NEAR(s.max, 0.6, 1e-12);
+  EXPECT_EQ(s.violations, 0u);
+}
+
+TEST(LatencySummary, ViolationsAreCountedAgainstBound) {
+  const auto s = summarize_latency(
+      samples({{0.1, 0.5}, {0.2, 1.5}, {0.3, 2.0}, {0.4, 0.9}}), 1.0);
+  EXPECT_EQ(s.violations, 2u);
+  EXPECT_DOUBLE_EQ(s.violation_percent(), 50.0);
+}
+
+TEST(LatencySummary, ExactBoundIsNotAViolation) {
+  const auto s = summarize_latency(samples({{0.1, 1.0}}), 1.0);
+  EXPECT_EQ(s.violations, 0u);
+}
+
+TEST(LatencySummary, BucketsGroupByCompletionSecond) {
+  const auto s = summarize_latency(
+      samples({{0.2, 0.1}, {0.8, 0.3}, {1.5, 0.5}, {3.2, 0.7}}), 1.0);
+  ASSERT_EQ(s.buckets.size(), 3u);  // seconds 0, 1, 3 (second 2 empty)
+  EXPECT_DOUBLE_EQ(s.buckets[0].start_ts, 0.0);
+  EXPECT_EQ(s.buckets[0].events, 2u);
+  EXPECT_NEAR(s.buckets[0].mean, 0.2, 1e-12);
+  EXPECT_NEAR(s.buckets[0].max, 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(s.buckets[1].start_ts, 1.0);
+  EXPECT_DOUBLE_EQ(s.buckets[2].start_ts, 3.0);
+}
+
+TEST(LatencySummary, CustomBucketWidth) {
+  const auto s = summarize_latency(
+      samples({{0.2, 0.1}, {0.8, 0.3}, {1.5, 0.5}}), 1.0, 0.5);
+  ASSERT_EQ(s.buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.buckets[0].start_ts, 0.0);
+  EXPECT_DOUBLE_EQ(s.buckets[1].start_ts, 0.5);
+  EXPECT_DOUBLE_EQ(s.buckets[2].start_ts, 1.5);
+}
+
+TEST(LatencySummary, P99TracksTail) {
+  std::vector<LatencySample> input;
+  for (int i = 0; i < 99; ++i) input.push_back({0.1 * i, 0.1});
+  input.push_back({10.0, 5.0});
+  const auto s = summarize_latency(input, 1.0);
+  EXPECT_GT(s.p99, 0.1);
+  EXPECT_NEAR(s.max, 5.0, 1e-12);
+}
+
+TEST(LatencySummary, RejectsNonPositiveBucket) {
+  EXPECT_THROW(summarize_latency(samples({{0.1, 0.1}}), 1.0, 0.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,123 @@
+#include "metrics/quality.hpp"
+
+#include <gtest/gtest.h>
+
+namespace espice {
+namespace {
+
+ComplexEvent make_match(WindowId window,
+                        const std::vector<std::pair<std::uint32_t,
+                                                    std::uint64_t>>& binds) {
+  ComplexEvent ce;
+  ce.window = window;
+  for (const auto& [elem, seq] : binds) {
+    Constituent c;
+    c.element = elem;
+    c.event.seq = seq;
+    ce.constituents.push_back(c);
+  }
+  return ce;
+}
+
+TEST(MatchIdentity, EqualMatchesHaveEqualIdentity) {
+  const auto a = make_match(1, {{0, 10}, {1, 20}});
+  const auto b = make_match(1, {{0, 10}, {1, 20}});
+  EXPECT_EQ(match_identity(a), match_identity(b));
+}
+
+TEST(MatchIdentity, ConstituentOrderDoesNotMatter) {
+  const auto a = make_match(1, {{1, 20}, {0, 10}});
+  const auto b = make_match(1, {{0, 10}, {1, 20}});
+  EXPECT_EQ(match_identity(a), match_identity(b));
+}
+
+TEST(MatchIdentity, DifferentWindowsDiffer) {
+  const auto a = make_match(1, {{0, 10}});
+  const auto b = make_match(2, {{0, 10}});
+  EXPECT_NE(match_identity(a), match_identity(b));
+}
+
+TEST(MatchIdentity, DifferentEventsDiffer) {
+  const auto a = make_match(1, {{0, 10}});
+  const auto b = make_match(1, {{0, 11}});
+  EXPECT_NE(match_identity(a), match_identity(b));
+}
+
+TEST(MatchIdentity, DifferentElementBindingsDiffer) {
+  const auto a = make_match(1, {{0, 10}, {1, 20}});
+  const auto b = make_match(1, {{0, 20}, {1, 10}});
+  EXPECT_NE(match_identity(a), match_identity(b));
+}
+
+TEST(CompareQuality, IdenticalSetsAreClean) {
+  const std::vector<ComplexEvent> golden{make_match(1, {{0, 1}}),
+                                         make_match(2, {{0, 2}})};
+  const auto report = compare_quality(golden, golden);
+  EXPECT_EQ(report.golden, 2u);
+  EXPECT_EQ(report.detected, 2u);
+  EXPECT_EQ(report.false_negatives, 0u);
+  EXPECT_EQ(report.false_positives, 0u);
+  EXPECT_DOUBLE_EQ(report.fn_percent(), 0.0);
+  EXPECT_DOUBLE_EQ(report.fp_percent(), 0.0);
+}
+
+TEST(CompareQuality, MissingMatchIsFalseNegative) {
+  const std::vector<ComplexEvent> golden{make_match(1, {{0, 1}}),
+                                         make_match(2, {{0, 2}})};
+  const std::vector<ComplexEvent> detected{golden[0]};
+  const auto report = compare_quality(golden, detected);
+  EXPECT_EQ(report.false_negatives, 1u);
+  EXPECT_EQ(report.false_positives, 0u);
+  EXPECT_DOUBLE_EQ(report.fn_percent(), 50.0);
+}
+
+TEST(CompareQuality, ExtraMatchIsFalsePositive) {
+  const std::vector<ComplexEvent> golden{make_match(1, {{0, 1}})};
+  const std::vector<ComplexEvent> detected{golden[0], make_match(1, {{0, 9}})};
+  const auto report = compare_quality(golden, detected);
+  EXPECT_EQ(report.false_negatives, 0u);
+  EXPECT_EQ(report.false_positives, 1u);
+  EXPECT_DOUBLE_EQ(report.fp_percent(), 100.0);
+}
+
+TEST(CompareQuality, ShiftedMatchCountsAsBoth) {
+  // The paper's Section 2.1 example: dropping A1 turns (A1,B3) into (A2,B3):
+  // one false positive and -- with (A2,B4) also gone -- two false negatives.
+  const std::vector<ComplexEvent> golden{
+      make_match(1, {{0, 1}, {1, 3}}),   // (A1,B3)
+      make_match(1, {{0, 2}, {1, 4}})};  // (A2,B4)
+  const std::vector<ComplexEvent> detected{
+      make_match(1, {{0, 2}, {1, 3}})};  // (A2,B3)
+  const auto report = compare_quality(golden, detected);
+  EXPECT_EQ(report.false_negatives, 2u);
+  EXPECT_EQ(report.false_positives, 1u);
+  EXPECT_DOUBLE_EQ(report.fn_percent(), 100.0);
+  EXPECT_DOUBLE_EQ(report.fp_percent(), 50.0);
+}
+
+TEST(CompareQuality, EmptyGoldenGivesZeroPercents) {
+  const std::vector<ComplexEvent> detected{make_match(1, {{0, 1}})};
+  const auto report = compare_quality({}, detected);
+  EXPECT_EQ(report.false_positives, 1u);
+  EXPECT_DOUBLE_EQ(report.fn_percent(), 0.0);
+  EXPECT_DOUBLE_EQ(report.fp_percent(), 0.0);  // undefined -> reported as 0
+}
+
+TEST(CompareQuality, BothEmptyIsClean) {
+  const auto report = compare_quality({}, {});
+  EXPECT_EQ(report.golden, 0u);
+  EXPECT_EQ(report.false_negatives, 0u);
+  EXPECT_EQ(report.false_positives, 0u);
+}
+
+TEST(CompareQuality, DuplicateMatchesCollapse) {
+  // Identity is a set: duplicates in either list do not inflate counts.
+  const std::vector<ComplexEvent> golden{make_match(1, {{0, 1}}),
+                                         make_match(1, {{0, 1}})};
+  const auto report = compare_quality(golden, golden);
+  EXPECT_EQ(report.false_negatives, 0u);
+  EXPECT_EQ(report.false_positives, 0u);
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,190 @@
+// Oracle tests: the production matcher against a tiny brute-force reference
+// implementation on exhaustive / randomized small windows.
+//
+// The reference enumerates *all* index combinations and applies the policy
+// definitions literally:
+//  * first selection = the lexicographically smallest valid binding,
+//  * a valid binding is strictly increasing and element-wise matching, with
+//    no negated event inside a negated gap,
+//  * trigger-any: smallest trigger index, then the smallest candidate set
+//    (distinct types).
+// Any disagreement on any window is a bug in one of the two -- and the
+// reference is simple enough to trust.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "cep/matcher.hpp"
+#include "common/rng.hpp"
+
+namespace espice {
+namespace {
+
+Window window_from_types(const std::vector<EventTypeId>& types) {
+  Window w;
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    Event e;
+    e.type = types[i];
+    e.seq = i;
+    e.ts = static_cast<double>(i);
+    e.value = 1.0;
+    w.kept.push_back(e);
+    w.kept_pos.push_back(static_cast<std::uint32_t>(i));
+    ++w.arrivals;
+  }
+  return w;
+}
+
+// Brute force: lexicographically smallest valid sequence binding.
+std::optional<std::vector<std::size_t>> oracle_first_sequence(
+    const Pattern& pattern, const std::vector<Event>& ev) {
+  const std::size_t k = pattern.elements.size();
+  std::vector<const ElementSpec*> negation_for(k, nullptr);
+  for (const auto& n : pattern.negations) negation_for[n.gap] = &n.spec;
+
+  std::vector<std::size_t> bind;
+  // Depth-first search in index order == lexicographic minimum.
+  std::function<bool(std::size_t, std::size_t)> dfs =
+      [&](std::size_t element_idx, std::size_t from) -> bool {
+    if (element_idx == k) return true;
+    for (std::size_t i = from; i < ev.size(); ++i) {
+      if (!pattern.elements[element_idx].matches(ev[i])) continue;
+      // Negated gap check against the previous binding.
+      if (element_idx > 0 && negation_for[element_idx - 1] != nullptr) {
+        bool poisoned = false;
+        for (std::size_t v = bind.back() + 1; v < i; ++v) {
+          if (negation_for[element_idx - 1]->matches(ev[v])) {
+            poisoned = true;
+            break;
+          }
+        }
+        if (poisoned) continue;
+      }
+      bind.push_back(i);
+      if (dfs(element_idx + 1, i + 1)) return true;
+      bind.pop_back();
+    }
+    return false;
+  };
+  if (dfs(0, 0)) return bind;
+  return std::nullopt;
+}
+
+void check_sequence_agreement(const Pattern& pattern,
+                              const std::vector<EventTypeId>& types) {
+  const Window w = window_from_types(types);
+  Matcher matcher(pattern, SelectionPolicy::kFirst,
+                  ConsumptionPolicy::kConsumed, 1);
+  const auto matches = matcher.match_window(w);
+  const auto oracle = oracle_first_sequence(pattern, w.kept);
+  if (!oracle.has_value()) {
+    ASSERT_TRUE(matches.empty()) << "matcher found a match the oracle denies";
+    return;
+  }
+  ASSERT_EQ(matches.size(), 1u) << "matcher missed an existing match";
+  for (std::size_t j = 0; j < oracle->size(); ++j) {
+    ASSERT_EQ(matches[0].constituents[j].position, (*oracle)[j])
+        << "binding differs at element " << j;
+  }
+}
+
+// Exhaustive: every window of length up to 8 over a 3-type alphabet,
+// pattern seq(T0; T1; T2).
+TEST(MatcherOracle, ExhaustiveThreeElementSequence) {
+  const Pattern pattern = make_sequence({element("a", TypeSet{0}),
+                                         element("b", TypeSet{1}),
+                                         element("c", TypeSet{2})});
+  for (std::size_t len = 0; len <= 8; ++len) {
+    std::vector<EventTypeId> types(len, 0);
+    std::size_t total = 1;
+    for (std::size_t i = 0; i < len; ++i) total *= 3;
+    for (std::size_t code = 0; code < total; ++code) {
+      std::size_t c = code;
+      for (std::size_t i = 0; i < len; ++i) {
+        types[i] = static_cast<EventTypeId>(c % 3);
+        c /= 3;
+      }
+      check_sequence_agreement(pattern, types);
+    }
+  }
+}
+
+// Exhaustive with a negated middle gap: seq(T0; !T2; T1) over windows of
+// length up to 8.  Exercises the online rebind logic against the oracle.
+TEST(MatcherOracle, ExhaustiveNegatedGap) {
+  const Pattern pattern = make_sequence_with_negations(
+      {element("a", TypeSet{0}), element("b", TypeSet{1})},
+      {{0, element("!c", TypeSet{2})}});
+  for (std::size_t len = 0; len <= 8; ++len) {
+    std::vector<EventTypeId> types(len, 0);
+    std::size_t total = 1;
+    for (std::size_t i = 0; i < len; ++i) total *= 3;
+    for (std::size_t code = 0; code < total; ++code) {
+      std::size_t c = code;
+      for (std::size_t i = 0; i < len; ++i) {
+        types[i] = static_cast<EventTypeId>(c % 3);
+        c /= 3;
+      }
+      check_sequence_agreement(pattern, types);
+    }
+  }
+}
+
+// Randomized larger windows with repetition patterns (Q4 shape).
+TEST(MatcherOracle, RandomizedRepetitionSequences) {
+  const Pattern pattern = make_sequence(
+      {element("a", TypeSet{0}), element("a", TypeSet{0}),
+       element("b", TypeSet{1}), element("a", TypeSet{0})});
+  Rng rng(31);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<EventTypeId> types(5 + rng.uniform_int(25));
+    for (auto& t : types) t = static_cast<EventTypeId>(rng.uniform_int(4));
+    check_sequence_agreement(pattern, types);
+  }
+}
+
+// Randomized windows for trigger-any against a simple reference.
+TEST(MatcherOracle, RandomizedTriggerAny) {
+  const Pattern pattern = make_trigger_any(
+      element("t", TypeSet{0}, DirectionFilter::kAny), TypeSet{1, 2, 3}, 2,
+      DirectionFilter::kAny, /*distinct=*/true);
+  Matcher matcher(pattern, SelectionPolicy::kFirst,
+                  ConsumptionPolicy::kConsumed, 1);
+  Rng rng(47);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::vector<EventTypeId> types(3 + rng.uniform_int(20));
+    for (auto& t : types) t = static_cast<EventTypeId>(rng.uniform_int(5));
+    const Window w = window_from_types(types);
+    const auto matches = matcher.match_window(w);
+
+    // Reference: earliest trigger that can complete; earliest 2 distinct
+    // candidate types after it.
+    std::optional<std::vector<std::size_t>> expected;
+    for (std::size_t ti = 0; ti < types.size() && !expected; ++ti) {
+      if (types[ti] != 0) continue;
+      std::vector<std::size_t> chosen;
+      std::vector<bool> used(5, false);
+      for (std::size_t i = ti + 1; i < types.size() && chosen.size() < 2; ++i) {
+        if (types[i] >= 1 && types[i] <= 3 && !used[types[i]]) {
+          used[types[i]] = true;
+          chosen.push_back(i);
+        }
+      }
+      if (chosen.size() == 2) {
+        expected = std::vector<std::size_t>{ti, chosen[0], chosen[1]};
+      }
+    }
+    if (!expected) {
+      ASSERT_TRUE(matches.empty());
+      continue;
+    }
+    ASSERT_EQ(matches.size(), 1u);
+    for (std::size_t j = 0; j < 3; ++j) {
+      ASSERT_EQ(matches[0].constituents[j].position, (*expected)[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace espice
