@@ -11,13 +11,27 @@
 //
 // Expected shape (paper): overhead grows with the window size but stays a
 // few percent of processing time.
+//
+// In addition, the window-engine section measures the end-to-end cost of the
+// zero-copy shared-store WindowManager against the naive copy-per-window
+// reference on a slide << span workload (ns/event and resident kept-event
+// bytes across overlap factors) and writes the numbers to
+// BENCH_window_engine.json so later PRs have a perf trajectory.
+//
+// Smoke mode (--smoke flag or ESPICE_BENCH_SMOKE=1) shrinks every
+// measurement for CI.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "cep/reference_window.hpp"
 #include "common/rng.hpp"
 #include "core/espice_shedder.hpp"
 #include "datasets/stock.hpp"
@@ -28,6 +42,8 @@ namespace espice {
 namespace {
 
 constexpr std::size_t kNumTypes = 500;
+
+bool g_smoke = false;
 
 std::shared_ptr<const UtilityModel> random_model(std::size_t n_positions,
                                                  std::uint64_t seed = 5) {
@@ -119,7 +135,7 @@ double measure_decision_ns(std::size_t n_positions) {
   for (std::size_t i = 0; i < workload.events.size(); ++i) {
     sink ^= shedder.should_drop(workload.events[i], workload.positions[i], ws);
   }
-  const std::size_t iters = 1 << 22;
+  const std::size_t iters = g_smoke ? 1 << 18 : 1 << 22;
   const auto t0 = std::chrono::steady_clock::now();
   std::size_t i = 0;
   for (std::size_t k = 0; k < iters; ++k) {
@@ -142,7 +158,7 @@ double measure_processing_ns(const std::vector<Event>& events,
   std::size_t memberships = 0;
   const auto t0 = std::chrono::steady_clock::now();
   run_pipeline(events, query.window, query.make_matcher(), nullptr, 0.0,
-               [&](const Window& w, const std::vector<ComplexEvent>&) {
+               [&](const WindowView& w, const std::vector<ComplexEvent>&) {
                  memberships += w.size();
                });
   const auto t1 = std::chrono::steady_clock::now();
@@ -151,10 +167,181 @@ double measure_processing_ns(const std::vector<Event>& events,
          static_cast<double>(memberships);
 }
 
+// ---------------------------------------------------------------------------
+// Window-engine end-to-end: zero-copy shared store vs copy-per-window
+// reference on a slide << span workload.
+// ---------------------------------------------------------------------------
+
+struct EngineRunResult {
+  double ns_per_event = 0.0;
+  std::size_t peak_payload_bytes = 0;  ///< resident kept-event payload
+  std::size_t peak_index_bytes = 0;    ///< per-window index lists (new engine)
+  std::size_t matches = 0;             ///< sink (and sanity: engines agree)
+  std::size_t windows = 0;
+};
+
+/// Drives offer -> keep-everything -> drain -> match over the whole stream.
+/// Works for both WindowManager (views) and ReferenceWindowManager (owned
+/// windows) through the matcher's two overloads.
+template <typename Manager>
+EngineRunResult run_engine_once(const WindowSpec& spec, const Matcher& matcher,
+                                const std::vector<Event>& events) {
+  Manager mgr(spec);
+  EngineRunResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t i = 0;
+  for (const Event& e : events) {
+    for (const auto& m : mgr.offer(e)) mgr.keep(m, e);
+    for (const auto& w : mgr.drain_closed()) {
+      ++r.windows;
+      r.matches += matcher.match_window(w).size();
+    }
+    if ((++i & 1023) == 0) {  // sample resident memory every 1024 events
+      r.peak_payload_bytes =
+          std::max(r.peak_payload_bytes, mgr.resident_payload_bytes());
+      if constexpr (requires { mgr.resident_index_bytes(); }) {
+        r.peak_index_bytes =
+            std::max(r.peak_index_bytes, mgr.resident_index_bytes());
+      }
+    }
+  }
+  mgr.close_all();
+  for (const auto& w : mgr.drain_closed()) {
+    ++r.windows;
+    r.matches += matcher.match_window(w).size();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.ns_per_event = std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                   static_cast<double>(events.size());
+  return r;
+}
+
+/// Best-of-N timing (min is the noise-robust estimator); memory peaks are
+/// identical across repetitions.
+template <typename Manager>
+EngineRunResult run_engine(const WindowSpec& spec, const Matcher& matcher,
+                           const std::vector<Event>& events) {
+  const int reps = g_smoke ? 2 : 3;
+  EngineRunResult best;
+  for (int r = 0; r < reps; ++r) {
+    const auto run = run_engine_once<Manager>(spec, matcher, events);
+    if (r == 0 || run.ns_per_event < best.ns_per_event) best = run;
+  }
+  return best;
+}
+
+/// Returns false if the two engines disagreed on any workload (a
+/// correctness regression; the process exits nonzero so CI notices).
+bool print_window_engine_section() {
+  // Q4-shaped workload: count windows, slide << span.  The pattern is short
+  // (first selection exits early), so the measurement is dominated by window
+  // maintenance -- the thing this engine changed -- not by matching.
+  constexpr std::size_t kSpan = 1024;
+  constexpr std::size_t kTypes = 20;
+  const std::size_t n_events = g_smoke ? 30'000 : 200'000;
+
+  Rng rng(123);
+  std::vector<Event> events(n_events);
+  for (std::size_t i = 0; i < n_events; ++i) {
+    events[i].type = static_cast<EventTypeId>(rng.uniform_int(kTypes));
+    events[i].seq = i;
+    events[i].ts = static_cast<double>(i) * 1e-3;
+    events[i].value = 1.0;
+  }
+  const Pattern pattern =
+      make_sequence({element("a", TypeSet{0}), element("b", TypeSet{1})});
+  const Matcher matcher(pattern, SelectionPolicy::kFirst,
+                        ConsumptionPolicy::kConsumed, 1);
+
+  std::printf(
+      "\n=== Window engine: shared store vs copy-per-window (span = %zu) ===\n",
+      kSpan);
+  std::printf("| %-7s | %-16s | %-16s | %-7s | %-14s | %-14s | %-13s |\n",
+              "overlap", "shared ns/event", "naive ns/event", "speedup",
+              "shared KiB", "naive KiB", "index KiB");
+
+  std::string json = "{\n  \"benchmark\": \"window_engine_e2e\",\n";
+  json += "  \"span_events\": " + std::to_string(kSpan) + ",\n";
+  json += "  \"events\": " + std::to_string(n_events) + ",\n";
+  json += "  \"event_bytes\": " + std::to_string(sizeof(Event)) + ",\n";
+  json += "  \"workloads\": [\n";
+
+  double overlap8_speedup = 0.0;
+  std::size_t min_payload = 0, max_payload = 0;
+  bool engines_agree = true;
+  const std::size_t slides[] = {512, 128, 32};  // overlap 2, 8, 32
+  for (std::size_t k = 0; k < std::size(slides); ++k) {
+    WindowSpec spec;
+    spec.span_kind = WindowSpan::kCount;
+    spec.span_events = kSpan;
+    spec.open_kind = WindowOpen::kCountSlide;
+    spec.slide_events = slides[k];
+    const std::size_t overlap = kSpan / slides[k];
+
+    const auto shared = run_engine<WindowManager>(spec, matcher, events);
+    const auto naive = run_engine<ReferenceWindowManager>(spec, matcher, events);
+    if (shared.matches != naive.matches || shared.windows != naive.windows) {
+      engines_agree = false;
+      std::fprintf(stderr, "window engines disagree on workload overlap %zu\n",
+                   overlap);
+    }
+    const double speedup = shared.ns_per_event > 0.0
+                               ? naive.ns_per_event / shared.ns_per_event
+                               : 0.0;
+    if (overlap == 8) overlap8_speedup = speedup;
+    if (k == 0) min_payload = max_payload = shared.peak_payload_bytes;
+    min_payload = std::min(min_payload, shared.peak_payload_bytes);
+    max_payload = std::max(max_payload, shared.peak_payload_bytes);
+
+    std::printf("| %-7zu | %-16.1f | %-16.1f | %-7.2f | %-14.1f | %-14.1f | %-13.1f |\n",
+                overlap, shared.ns_per_event, naive.ns_per_event, speedup,
+                shared.peak_payload_bytes / 1024.0,
+                naive.peak_payload_bytes / 1024.0,
+                shared.peak_index_bytes / 1024.0);
+
+    json += "    {\"slide_events\": " + std::to_string(slides[k]) +
+            ", \"overlap\": " + std::to_string(overlap) +
+            ", \"shared_store\": {\"ns_per_event\": " +
+            std::to_string(shared.ns_per_event) +
+            ", \"peak_payload_bytes\": " +
+            std::to_string(shared.peak_payload_bytes) +
+            ", \"peak_index_bytes\": " +
+            std::to_string(shared.peak_index_bytes) +
+            "}, \"reference\": {\"ns_per_event\": " +
+            std::to_string(naive.ns_per_event) +
+            ", \"peak_payload_bytes\": " +
+            std::to_string(naive.peak_payload_bytes) +
+            "}, \"speedup\": " + std::to_string(speedup) + "}";
+    json += (k + 1 < std::size(slides)) ? ",\n" : "\n";
+  }
+  // Payload is "flat" when the spread across overlap 2..32 stays within the
+  // ring's power-of-two growth granularity (2x), nowhere near the 16x an
+  // overlap-scaling engine would show.
+  const bool payload_flat = max_payload <= 2 * std::max<std::size_t>(min_payload, 1);
+  json += "  ],\n  \"acceptance\": {\"engines_agree\": " +
+          std::string(engines_agree ? "true" : "false") +
+          ", \"overlap8_speedup\": " + std::to_string(overlap8_speedup) +
+          ", \"overlap8_speedup_ge_2x\": " +
+          (overlap8_speedup >= 2.0 ? std::string("true") : std::string("false")) +
+          ", \"payload_flat_across_overlap\": " +
+          (payload_flat ? std::string("true") : std::string("false")) + "}\n}\n";
+
+  const char* path = "BENCH_window_engine.json";
+  if (FILE* f = std::fopen(path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s (overlap-8 speedup %.2fx, payload flat: %s)\n", path,
+                overlap8_speedup, payload_flat ? "yes" : "no");
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path);
+  }
+  return engines_agree;
+}
+
 void print_overhead_table() {
   TypeRegistry reg;
   StockGenerator gen(StockConfig{}, reg);
-  const auto events = gen.generate(120'000);
+  const auto events = gen.generate(g_smoke ? 40'000 : 120'000);
 
   // Two denominators:
   //  * "this matcher": the repository's own C++ pipeline cost per
@@ -171,7 +358,10 @@ void print_overhead_table() {
   std::printf("| %-15s | %-13s | %-18s | %-17s | %-17s |\n", "window (events)",
               "decision (ns)", "this matcher (ns)", "overhead % (this)",
               "overhead % (calib)");
-  for (const std::size_t n : {2000u, 3000u, 4000u, 8000u, 16000u}) {
+  const std::vector<std::size_t> sizes =
+      g_smoke ? std::vector<std::size_t>{2000}
+              : std::vector<std::size_t>{2000, 3000, 4000, 8000, 16000};
+  for (const std::size_t n : sizes) {
     const double decision = measure_decision_ns(n);
     const double processing = measure_processing_ns(events, gen, n);
     std::printf("| %-15zu | %-13.1f | %-18.1f | %-17.2f | %-17.3f |\n", n,
@@ -185,9 +375,23 @@ void print_overhead_table() {
 }  // namespace espice
 
 int main(int argc, char** argv) {
+  // Strip --smoke before google-benchmark sees the arguments.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      espice::g_smoke = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  if (const char* env = std::getenv("ESPICE_BENCH_SMOKE");
+      env != nullptr && env[0] != '\0' && env[0] != '0') {
+    espice::g_smoke = true;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  const bool engines_agree = espice::print_window_engine_section();
   espice::print_overhead_table();
-  return 0;
+  return engines_agree ? 0 : 1;
 }

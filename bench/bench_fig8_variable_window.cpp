@@ -29,7 +29,7 @@ SizedStats sizing_pass(const QueryDef& query, std::span<const Event> train) {
   std::size_t windows = 0;
   double size_sum = 0.0;
   run_pipeline(train, query.window, query.make_matcher(), nullptr, 0.0,
-               [&](const Window& w, const std::vector<ComplexEvent>&) {
+               [&](const WindowView& w, const std::vector<ComplexEvent>&) {
                  size_sum += static_cast<double>(w.size());
                  ++windows;
                });
@@ -68,7 +68,7 @@ void run_family(const std::string& title, MakeQuery make_query,
   for (const double ws : window_seconds) {
     const QueryDef query = make_query(ws);
     run_pipeline(train, query.window, query.make_matcher(), nullptr, 0.0,
-                 [&](const Window& w, const std::vector<ComplexEvent>& ms) {
+                 [&](const WindowView& w, const std::vector<ComplexEvent>& ms) {
                    builder.observe_window(w);
                    for (const auto& m : ms) builder.observe_match(m, w.size());
                  });

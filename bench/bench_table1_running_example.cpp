@@ -79,7 +79,7 @@ void part2_learned_model() {
   mb.n_positions = 5;
   ModelBuilder builder(mb);
   run_pipeline(events, spec, matcher, nullptr, 5.0,
-               [&](const Window& w, const std::vector<ComplexEvent>& ms) {
+               [&](const WindowView& w, const std::vector<ComplexEvent>& ms) {
                  builder.observe_window(w);
                  for (const auto& m : ms) builder.observe_match(m, w.size());
                });

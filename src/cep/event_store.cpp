@@ -1,0 +1,17 @@
+#include "cep/event_store.hpp"
+
+namespace espice {
+
+void EventStore::grow() {
+  std::vector<Event> bigger(ring_.size() * 2);
+  const std::uint64_t new_mask = bigger.size() - 1;
+  // Re-lay out the live span; slot ids stay valid because indexing is
+  // slot & mask, not a stored offset.
+  for (Slot s = head_; s != tail_; ++s) {
+    bigger[s & new_mask] = ring_[s & mask_];
+  }
+  ring_ = std::move(bigger);
+  mask_ = new_mask;
+}
+
+}  // namespace espice

@@ -1,0 +1,76 @@
+// Shared event storage for the window engine.
+//
+// Overlapping windows (slide < span, or one predicate-opened window per
+// opener event) used to *copy* every kept event into every open window,
+// making the operator's memory and copy cost O(events x overlap factor).
+// EventStore fixes the memory model: every kept event is appended exactly
+// once to a single ring buffer, and windows reference it by a stable,
+// monotonically increasing slot id.  Windows become cheap index views;
+// the payload cost is O(events) regardless of how many windows overlap.
+//
+// Lifecycle contract (enforced by WindowManager, which owns the store):
+//  * append() returns the slot id of the stored event,
+//  * at(slot) is valid until trim_before() reclaims the slot,
+//  * trim_before(s) declares every slot < s dead; the ring space is reused
+//    without deallocation or destruction (Event is trivially copyable).
+//
+// The ring grows by doubling when the live span [begin_slot, end_slot)
+// outgrows the capacity, so the steady-state footprint tracks the largest
+// number of simultaneously live kept events, not the stream length.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cep/event.hpp"
+#include "common/error.hpp"
+
+namespace espice {
+
+class EventStore {
+ public:
+  /// Stable, monotonically increasing id of a stored event.
+  using Slot = std::uint64_t;
+
+  EventStore() : ring_(kInitialCapacity), mask_(kInitialCapacity - 1) {}
+
+  /// Stores a copy of `e`; O(1) amortized.
+  Slot append(const Event& e) {
+    if (tail_ - head_ == ring_.size()) grow();
+    ring_[tail_ & mask_] = e;
+    return tail_++;
+  }
+
+  /// The event stored at `slot`; the slot must be live.
+  const Event& at(Slot slot) const {
+    ESPICE_ASSERT(slot >= head_ && slot < tail_, "EventStore slot not live");
+    return ring_[slot & mask_];
+  }
+
+  /// Declares every slot < `s` dead, allowing the ring space to be reused.
+  void trim_before(Slot s) {
+    if (s > head_) head_ = s < tail_ ? s : tail_;
+  }
+
+  Slot begin_slot() const { return head_; }
+  /// One past the newest stored slot (== the slot the next append returns).
+  Slot end_slot() const { return tail_; }
+
+  /// Live (not yet trimmed) events.
+  std::size_t size() const { return static_cast<std::size_t>(tail_ - head_); }
+  std::size_t capacity() const { return ring_.size(); }
+  /// Bytes held by the ring allocation.
+  std::size_t footprint_bytes() const { return ring_.size() * sizeof(Event); }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 256;  // power of two
+
+  void grow();
+
+  std::vector<Event> ring_;
+  std::uint64_t mask_;
+  Slot head_ = 0;  ///< oldest live slot
+  Slot tail_ = 0;  ///< next slot to assign
+};
+
+}  // namespace espice

@@ -1,7 +1,6 @@
 #include "cep/matcher.hpp"
 
 #include <algorithm>
-#include <optional>
 
 #include "common/error.hpp"
 
@@ -15,11 +14,15 @@ Matcher::Matcher(Pattern pattern, SelectionPolicy selection,
       max_matches_(max_matches_per_window) {
   pattern_.validate();
   ESPICE_REQUIRE(max_matches_ > 0, "max_matches_per_window must be positive");
+  negation_idx_.assign(pattern_.elements.size(), -1);
+  for (std::size_t i = 0; i < pattern_.negations.size(); ++i) {
+    negation_idx_[pattern_.negations[i].gap] = static_cast<int>(i);
+  }
 }
 
-std::vector<ComplexEvent> Matcher::match_window(const Window& w) const {
+std::vector<ComplexEvent> Matcher::match_window(const WindowView& w) const {
   std::vector<ComplexEvent> out;
-  if (w.kept.empty()) return out;
+  if (w.kept_count() == 0) return out;
   switch (pattern_.kind) {
     case PatternKind::kSequence:
       if (selection_ == SelectionPolicy::kFirst) {
@@ -35,7 +38,7 @@ std::vector<ComplexEvent> Matcher::match_window(const Window& w) const {
   return out;
 }
 
-ComplexEvent Matcher::build_match(const Window& w,
+ComplexEvent Matcher::build_match(const WindowView& w,
                                   const std::vector<std::size_t>& event_indices,
                                   bool trigger_any) const {
   ComplexEvent ce;
@@ -47,9 +50,9 @@ ComplexEvent Matcher::build_match(const Window& w,
     // Any-candidates are an interchangeable set: give them all element id 1
     // so that match identity does not depend on enumeration order.
     c.element = trigger_any ? (k == 0 ? 0u : 1u) : static_cast<std::uint32_t>(k);
-    c.position = w.kept_pos[i];
-    c.event = w.kept[i];
-    ce.detection_ts = std::max(ce.detection_ts, w.kept[i].ts);
+    c.position = w.pos(i);
+    c.event = w.kept(i);
+    ce.detection_ts = std::max(ce.detection_ts, c.event.ts);
     ce.constituents.push_back(std::move(c));
   }
   return ce;
@@ -70,54 +73,48 @@ ComplexEvent Matcher::build_match(const Window& w,
 // anchor (the element must re-bind after the poison).  Consumed matches do
 // not revisit earlier events (online semantics).
 void Matcher::match_sequence_first_negated(
-    const Window& w, std::vector<ComplexEvent>& out) const {
-  const auto& ev = w.kept;
-  const std::size_t n = ev.size();
+    const WindowView& w, std::vector<ComplexEvent>& out) const {
+  const std::size_t n = w.kept_count();
   const std::size_t k = pattern_.elements.size();
 
-  // negation_for[g]: spec forbidden between elements g and g+1, or nullptr.
-  std::vector<const ElementSpec*> negation_for(k, nullptr);
-  for (const auto& neg : pattern_.negations) negation_for[neg.gap] = &neg.spec;
-
-  std::vector<std::size_t> bind;
-  bind.reserve(k);
+  bind_.clear();
   for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t p = bind.size();
+    const Event& ev = w.kept(i);
+    const std::size_t p = bind_.size();
     // Extension is checked before the negation: an event that *binds* the
     // pending element sits at the gap's right edge, not inside it
     // (seq(A; !B; B) must match "A B").
-    if (p < k && pattern_.elements[p].matches(ev[i])) {
-      bind.push_back(i);
-      if (bind.size() == k) {
-        out.push_back(build_match(w, bind, /*trigger_any=*/false));
-        bind.clear();  // consumed and zero alike: continue with fresh state
+    if (p < k && pattern_.elements[p].matches(ev)) {
+      bind_.push_back(i);
+      if (bind_.size() == k) {
+        out.push_back(build_match(w, bind_, /*trigger_any=*/false));
+        bind_.clear();  // consumed and zero alike: continue with fresh state
         if (out.size() >= max_matches_) return;
       }
       continue;
     }
-    if (p > 0 && p < k && negation_for[p - 1] != nullptr &&
-        negation_for[p - 1]->matches(ev[i])) {
+    if (p > 0 && p < k && negation_for(p - 1) != nullptr &&
+        negation_for(p - 1)->matches(ev)) {
       // Poisoned pending gap: the left anchor must re-bind after this event.
-      bind.pop_back();
+      bind_.pop_back();
     }
   }
 }
 
-void Matcher::match_sequence_first(const Window& w,
+void Matcher::match_sequence_first(const WindowView& w,
                                    std::vector<ComplexEvent>& out) const {
   if (!pattern_.negations.empty()) {
     match_sequence_first_negated(w, out);
     return;
   }
-  const auto& ev = w.kept;
-  const std::size_t n = ev.size();
+  const std::size_t n = w.kept_count();
   const std::size_t k = pattern_.elements.size();
-  std::vector<bool> consumed(n, false);
+  const bool exclude = track_consumed();
+  if (exclude) consumed_.assign(n, 0);
   std::size_t last_completion_excl = 0;  // min index of the completing event
 
   while (out.size() < max_matches_) {
-    std::vector<std::size_t> bind;
-    bind.reserve(k);
+    bind_.clear();
     std::size_t from = 0;
     for (std::size_t j = 0; j < k; ++j) {
       const bool final_element = (j == k - 1);
@@ -127,9 +124,9 @@ void Matcher::match_sequence_first(const Window& w,
       }
       bool found = false;
       for (; i < n; ++i) {
-        if (consumed[i]) continue;
-        if (pattern_.elements[j].matches(ev[i])) {
-          bind.push_back(i);
+        if (exclude && consumed_[i]) continue;
+        if (pattern_.elements[j].matches(w.kept(i))) {
+          bind_.push_back(i);
           from = i + 1;
           found = true;
           break;
@@ -137,11 +134,13 @@ void Matcher::match_sequence_first(const Window& w,
       }
       if (!found) return;  // no further match possible
     }
-    out.push_back(build_match(w, bind, /*trigger_any=*/false));
+    out.push_back(build_match(w, bind_, /*trigger_any=*/false));
     if (consumption_ == ConsumptionPolicy::kConsumed) {
-      for (std::size_t i : bind) consumed[i] = true;
+      if (exclude) {
+        for (std::size_t i : bind_) consumed_[i] = 1;
+      }
     } else {
-      last_completion_excl = bind.back() + 1;
+      last_completion_excl = bind_.back() + 1;
     }
   }
 }
@@ -155,57 +154,59 @@ void Matcher::match_sequence_first(const Window& w,
 // match completes with the latest prefix.  Reproduces the paper's example:
 // {A1 A2 B3 B4}, last+consumed -> (A2,B3); last+zero -> (A2,B3), (A2,B4).
 // ---------------------------------------------------------------------------
-void Matcher::match_sequence_last(const Window& w,
+void Matcher::match_sequence_last(const WindowView& w,
                                   std::vector<ComplexEvent>& out) const {
-  const auto& ev = w.kept;
-  const std::size_t n = ev.size();
+  const std::size_t n = w.kept_count();
   const std::size_t k = pattern_.elements.size();
-  std::vector<bool> consumed(n, false);
+  const bool exclude = track_consumed();
+  if (exclude) consumed_.assign(n, 0);
 
-  std::vector<const ElementSpec*> negation_for(k, nullptr);
-  for (const auto& neg : pattern_.negations) negation_for[neg.gap] = &neg.spec;
-
-  // partial[j]: indices binding elements 0..j-1 (empty optional = none yet).
-  std::vector<std::optional<std::vector<std::size_t>>> partial(k + 1);
-  partial[0].emplace();  // the empty prefix always exists
+  // partial_[j]: indices binding elements 0..j-1 (partial_set_[j] == 0 means
+  // none yet).  The inner vectors are reused across windows and resets.
+  partial_.resize(k + 1);
+  partial_set_.assign(k + 1, 0);
+  partial_set_[0] = 1;  // the empty prefix always exists
+  partial_[0].clear();
 
   auto reset_partials = [&] {
-    for (std::size_t j = 1; j <= k; ++j) partial[j].reset();
+    for (std::size_t j = 1; j <= k; ++j) partial_set_[j] = 0;
   };
 
   // Prefix slots written by the current event's extensions; kills must skip
   // them (an event binding element j sits at the edge of gap j-1, not
   // inside it).
-  std::vector<bool> extended(k + 1, false);
+  extended_.assign(k + 1, 0);
 
   for (std::size_t i = 0; i < n; ++i) {
-    if (consumed[i]) continue;
-    std::fill(extended.begin(), extended.end(), false);
+    if (exclude && consumed_[i]) continue;
+    const Event& ev = w.kept(i);
+    std::fill(extended_.begin(), extended_.end(), 0);
     // Descending element order so an event extends existing prefixes before
     // creating the shorter prefix it also matches (no self-reuse).
     for (std::size_t j = k; j-- > 0;) {
-      if (!partial[j].has_value()) continue;
-      if (!pattern_.elements[j].matches(ev[i])) continue;
+      if (!partial_set_[j]) continue;
+      if (!pattern_.elements[j].matches(ev)) continue;
       if (j == k - 1) {
-        auto bind = *partial[j];
-        bind.push_back(i);
-        out.push_back(build_match(w, bind, /*trigger_any=*/false));
+        bind_ = partial_[j];
+        bind_.push_back(i);
+        out.push_back(build_match(w, bind_, /*trigger_any=*/false));
         if (out.size() >= max_matches_) return;
         if (consumption_ == ConsumptionPolicy::kConsumed) {
           // Last selection never falls back to superseded (older) instances:
           // consuming a match clears the partial state instead of replaying
           // earlier events (this reproduces the paper's example, where
           // {A1 A2 B3 B4} under last+consumed yields only (A2, B3)).
-          for (std::size_t b : bind) consumed[b] = true;
+          for (std::size_t b : bind_) consumed_[b] = 1;
           reset_partials();
           break;
         }
         // zero consumption: prefixes stay available for later completions.
       } else {
-        auto next = *partial[j];
-        next.push_back(i);
-        partial[j + 1] = std::move(next);
-        extended[j + 1] = true;
+        // partial_[j+1] = partial_[j] + {i}; copy-assign reuses capacity.
+        partial_[j + 1] = partial_[j];
+        partial_[j + 1].push_back(i);
+        partial_set_[j + 1] = 1;
+        extended_[j + 1] = 1;
       }
     }
     // Negations: a forbidden event inside the pending gap of prefix j+1
@@ -213,9 +214,9 @@ void Matcher::match_sequence_last(const Window& w,
     // Prefixes the same event just created are exempt: the event is the
     // gap's left anchor, not inside it.
     for (std::size_t j = 0; j + 1 < k; ++j) {
-      if (partial[j + 1].has_value() && !extended[j + 1] &&
-          negation_for[j] != nullptr && negation_for[j]->matches(ev[i])) {
-        partial[j + 1].reset();
+      if (partial_set_[j + 1] && !extended_[j + 1] &&
+          negation_for(j) != nullptr && negation_for(j)->matches(ev)) {
+        partial_set_[j + 1] = 0;
       }
     }
   }
@@ -230,12 +231,12 @@ void Matcher::match_sequence_last(const Window& w,
 // Under consumed, constituents are excluded and the search repeats; under
 // zero, the next match uses the next trigger occurrence.
 // ---------------------------------------------------------------------------
-void Matcher::match_trigger_any(const Window& w,
+void Matcher::match_trigger_any(const WindowView& w,
                                 std::vector<ComplexEvent>& out) const {
-  const auto& ev = w.kept;
-  const std::size_t n = ev.size();
+  const std::size_t n = w.kept_count();
   const ElementSpec& trigger = pattern_.elements[0];
-  std::vector<bool> consumed(n, false);
+  const bool exclude = track_consumed();
+  if (exclude) consumed_.assign(n, 0);
   std::size_t trigger_from = 0;
 
   auto candidate_matches = [&](const Event& e) {
@@ -255,48 +256,53 @@ void Matcher::match_trigger_any(const Window& w,
     // 1. Find the next usable trigger.
     std::size_t ti = trigger_from;
     for (; ti < n; ++ti) {
-      if (!consumed[ti] && trigger.matches(ev[ti])) break;
+      if ((!exclude || !consumed_[ti]) && trigger.matches(w.kept(ti))) break;
     }
     if (ti >= n) return;
 
     // 2. Collect candidates after the trigger.
-    std::vector<std::size_t> chosen;
-    std::vector<bool> type_used;
+    chosen_.clear();
+    type_used_.clear();
     auto try_take = [&](std::size_t i) {
-      if (consumed[i] || !candidate_matches(ev[i])) return;
+      if (exclude && consumed_[i]) return;
+      const Event& e = w.kept(i);
+      if (!candidate_matches(e)) return;
       if (pattern_.any_distinct_types) {
-        if (ev[i].type >= type_used.size()) type_used.resize(ev[i].type + 1, false);
-        if (type_used[ev[i].type]) return;
-        type_used[ev[i].type] = true;
+        if (e.type >= type_used_.size()) type_used_.resize(e.type + 1, 0);
+        if (type_used_[e.type]) return;
+        type_used_[e.type] = 1;
       }
-      chosen.push_back(i);
+      chosen_.push_back(i);
     };
 
     if (selection_ == SelectionPolicy::kFirst) {
-      for (std::size_t i = ti + 1; i < n && chosen.size() < pattern_.any_n; ++i) {
+      for (std::size_t i = ti + 1; i < n && chosen_.size() < pattern_.any_n;
+           ++i) {
         try_take(i);
       }
     } else {
-      for (std::size_t i = n; i-- > ti + 1 && chosen.size() < pattern_.any_n;) {
+      for (std::size_t i = n; i-- > ti + 1 && chosen_.size() < pattern_.any_n;) {
         try_take(i);
       }
-      std::reverse(chosen.begin(), chosen.end());
+      std::reverse(chosen_.begin(), chosen_.end());
     }
 
-    if (chosen.size() < pattern_.any_n) {
+    if (chosen_.size() < pattern_.any_n) {
       // This trigger cannot complete; try the next one.
       trigger_from = ti + 1;
       continue;
     }
 
-    std::vector<std::size_t> bind;
-    bind.reserve(1 + chosen.size());
-    bind.push_back(ti);
-    bind.insert(bind.end(), chosen.begin(), chosen.end());
-    out.push_back(build_match(w, bind, /*trigger_any=*/true));
+    bind_.clear();
+    bind_.reserve(1 + chosen_.size());
+    bind_.push_back(ti);
+    bind_.insert(bind_.end(), chosen_.begin(), chosen_.end());
+    out.push_back(build_match(w, bind_, /*trigger_any=*/true));
 
     if (consumption_ == ConsumptionPolicy::kConsumed) {
-      for (std::size_t b : bind) consumed[b] = true;
+      if (exclude) {
+        for (std::size_t b : bind_) consumed_[b] = 1;
+      }
       trigger_from = 0;  // earlier triggers may still be unconsumed
     } else {
       trigger_from = ti + 1;  // zero: advance to the next trigger occurrence

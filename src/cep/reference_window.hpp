@@ -1,0 +1,152 @@
+// Naive copy-per-window reference implementation of the window engine.
+//
+// This is the seed WindowManager preserved verbatim in behaviour: every open
+// window owns a std::vector<Event> and every kept event is copied into every
+// window that keeps it, keep() locates its window by binary search, and
+// closing erases from the middle of the deque.  Memory and copy cost are
+// O(events x overlap factor).
+//
+// It exists for two consumers and must NOT be used on the hot path:
+//  * the window-oracle property test, which asserts that the shared-store
+//    WindowManager produces identical (window, position, kept) contents on
+//    randomized streams,
+//  * bench_fig10, which quantifies the zero-copy engine's speed/memory win
+//    against this baseline.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cep/window.hpp"
+
+namespace espice {
+
+class ReferenceWindowManager {
+ public:
+  explicit ReferenceWindowManager(WindowSpec spec) : spec_(std::move(spec)) {
+    spec_.validate();
+  }
+
+  struct Membership {
+    WindowId window;
+    std::uint32_t position;
+  };
+
+  std::vector<Membership>& offer(const Event& e) {
+    scratch_.clear();
+
+    auto expired = [&](const RefWindow& w) {
+      switch (spec_.span_kind) {
+        case WindowSpan::kTime:
+          return e.ts >= w.win.open_ts + spec_.span_seconds;
+        case WindowSpan::kCount:
+          return w.win.arrivals >= spec_.span_events;
+        case WindowSpan::kPredicate:
+          return w.close_pending || w.win.arrivals >= spec_.span_events;
+      }
+      return false;  // unreachable
+    };
+    for (std::size_t i = 0; i < open_.size();) {
+      if (expired(open_[i])) {
+        closed_size_sum_ += static_cast<double>(open_[i].win.arrivals);
+        ++closed_count_;
+        closed_.push_back(std::move(open_[i].win));
+        open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+
+    switch (spec_.open_kind) {
+      case WindowOpen::kPredicate:
+        if (spec_.opener.matches(e)) open_window(e);
+        break;
+      case WindowOpen::kCountSlide:
+        if (events_seen_ % spec_.slide_events == 0) open_window(e);
+        break;
+    }
+    ++events_seen_;
+
+    scratch_.reserve(open_.size());
+    for (auto& w : open_) {
+      scratch_.push_back(Membership{
+          w.win.id, static_cast<std::uint32_t>(w.win.arrivals)});
+      ++w.win.arrivals;
+    }
+
+    if (spec_.span_kind == WindowSpan::kPredicate && spec_.closer.matches(e)) {
+      for (auto& w : open_) w.close_pending = true;
+    }
+    return scratch_;
+  }
+
+  void keep(const Membership& m, const Event& e) {
+    // Ids are assigned in open order, so open_ is sorted by id.
+    auto it = std::lower_bound(
+        open_.begin(), open_.end(), m.window,
+        [](const RefWindow& w, WindowId target) { return w.win.id < target; });
+    ESPICE_ASSERT(it != open_.end() && it->win.id == m.window,
+                  "keep() on a window that is not open");
+    it->win.kept.push_back(e);
+    it->win.kept_pos.push_back(m.position);
+  }
+
+  std::vector<Window> drain_closed() {
+    std::vector<Window> out;
+    out.swap(closed_);
+    return out;
+  }
+
+  void close_all() {
+    for (auto& w : open_) {
+      closed_size_sum_ += static_cast<double>(w.win.arrivals);
+      ++closed_count_;
+      closed_.push_back(std::move(w.win));
+    }
+    open_.clear();
+    scratch_.clear();
+  }
+
+  std::size_t open_count() const { return open_.size(); }
+  std::uint64_t windows_opened() const { return next_id_; }
+  double avg_closed_window_size() const {
+    if (closed_count_ == 0) return 0.0;
+    return closed_size_sum_ / static_cast<double>(closed_count_);
+  }
+
+  /// Kept-event payload bytes currently resident (copies in open and
+  /// undrained windows) -- the quantity that scales with the overlap factor.
+  std::size_t resident_payload_bytes() const {
+    std::size_t events = 0;
+    for (const auto& w : open_) events += w.win.kept.size();
+    for (const auto& w : closed_) events += w.kept.size();
+    return events * sizeof(Event);
+  }
+
+ private:
+  struct RefWindow {
+    Window win;
+    bool close_pending = false;
+  };
+
+  void open_window(const Event& e) {
+    RefWindow w;
+    w.win.id = next_id_++;
+    w.win.open_ts = e.ts;
+    w.win.open_seq = e.seq;
+    open_.push_back(std::move(w));
+  }
+
+  WindowSpec spec_;
+  std::deque<RefWindow> open_;
+  std::vector<Window> closed_;
+  std::vector<Membership> scratch_;
+  WindowId next_id_ = 0;
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t closed_count_ = 0;
+  double closed_size_sum_ = 0.0;
+};
+
+}  // namespace espice

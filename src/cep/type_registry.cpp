@@ -10,7 +10,7 @@ EventTypeId TypeRegistry::intern(std::string_view name) {
   if (auto it = ids_.find(std::string(name)); it != ids_.end()) {
     return it->second;
   }
-  ESPICE_ASSERT(names_.size() < std::numeric_limits<EventTypeId>::max(),
+  ESPICE_REQUIRE(names_.size() < std::numeric_limits<EventTypeId>::max(),
                 "event-type universe exceeds EventTypeId range");
   const auto id = static_cast<EventTypeId>(names_.size());
   names_.emplace_back(name);
@@ -20,7 +20,7 @@ EventTypeId TypeRegistry::intern(std::string_view name) {
 
 EventTypeId TypeRegistry::id_of(std::string_view name) const {
   const auto it = ids_.find(std::string(name));
-  ESPICE_ASSERT(it != ids_.end(), "unknown event-type name");
+  ESPICE_REQUIRE(it != ids_.end(), "unknown event-type name");
   return it->second;
 }
 
@@ -29,7 +29,7 @@ bool TypeRegistry::contains(std::string_view name) const {
 }
 
 const std::string& TypeRegistry::name_of(EventTypeId id) const {
-  ESPICE_ASSERT(id < names_.size(), "event-type id out of range");
+  ESPICE_REQUIRE(id < names_.size(), "event-type id out of range");
   return names_[id];
 }
 

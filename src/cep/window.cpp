@@ -4,38 +4,88 @@
 
 namespace espice {
 
+Window materialize(const WindowView& v) {
+  Window w;
+  w.id = v.id;
+  w.open_ts = v.open_ts;
+  w.open_seq = v.open_seq;
+  w.arrivals = v.arrivals;
+  const std::size_t n = v.kept_count();
+  w.kept.reserve(n);
+  w.kept_pos.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w.kept.push_back(v.kept(i));
+    w.kept_pos.push_back(v.pos(i));
+  }
+  return w;
+}
+
 WindowManager::WindowManager(WindowSpec spec) : spec_(std::move(spec)) {
   spec_.validate();
 }
 
+bool WindowManager::record_expired(const WindowRecord& w, const Event& e) const {
+  switch (spec_.span_kind) {
+    case WindowSpan::kTime:
+      return e.ts >= w.open_ts + spec_.span_seconds;
+    case WindowSpan::kCount:
+      return events_seen_ - w.open_index >= spec_.span_events;
+    case WindowSpan::kPredicate:
+      return w.close_pending ||
+             events_seen_ - w.open_index >= spec_.span_events;
+  }
+  return false;  // unreachable
+}
+
+void WindowManager::close_expired_front() {
+  // Erase the dead prefix once it outgrows the live part; amortized O(1)
+  // moves per closed window.
+  if (open_head_ == open_.size()) {
+    open_.clear();
+    open_head_ = 0;
+  } else if (open_head_ > 32 && open_head_ > open_.size() - open_head_) {
+    open_.erase(open_.begin(),
+                open_.begin() + static_cast<std::ptrdiff_t>(open_head_));
+    open_head_ = 0;
+  }
+}
+
+void WindowManager::compact_close_predicate(const Event& e) {
+  // Predicate-closed windows may close out of open order: one compaction
+  // pass moves survivors forward (never a mid-container erase).  Runs only
+  // on offers where a closer fired or the front hit its safety cap.
+  std::size_t out = open_head_;
+  for (std::size_t i = open_head_; i < open_.size(); ++i) {
+    if (record_expired(open_[i], e)) {
+      close_record(std::move(open_[i]));
+    } else {
+      if (out != i) open_[out] = std::move(open_[i]);
+      ++out;
+    }
+  }
+  open_.resize(out);
+}
+
 std::vector<WindowManager::Membership>& WindowManager::offer(const Event& e) {
   scratch_.clear();
+  event_in_store_ = false;
+  const std::uint64_t idx = events_seen_;
 
-  // 1. Close windows that can no longer accept events.  Windows close in
-  //    open order: every open window receives every event, so the oldest
-  //    window always reaches its span first.
-  auto expired = [&](const Window& w) {
-    switch (spec_.span_kind) {
-      case WindowSpan::kTime:
-        return e.ts >= w.open_ts + spec_.span_seconds;
-      case WindowSpan::kCount:
-        return w.arrivals >= spec_.span_events;
-      case WindowSpan::kPredicate:
-        return w.close_pending || w.arrivals >= spec_.span_events;
-    }
-    return false;  // unreachable
-  };
-  // Predicate-closed windows may close out of open order (an old window may
-  // outlive a newer one that saw its closer), so scan the whole deque.
-  for (std::size_t i = 0; i < open_.size();) {
-    if (expired(open_[i])) {
-      closed_size_sum_ += static_cast<double>(open_[i].arrivals);
-      ++closed_count_;
-      closed_.push_back(std::move(open_[i]));
-      open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(i));
-    } else {
-      ++i;
-    }
+  // 1. Close windows that can no longer accept events.  Every open window
+  //    receives every event, so arrivals = idx - open_index and the oldest
+  //    window always reaches a time/count span (or the predicate safety
+  //    cap) first: FIFO head advance, O(1) amortized.  With the current
+  //    all-windows closer semantics the expired set is always such a
+  //    prefix; the deferred compaction pass below only sweeps out-of-order
+  //    stragglers after a closer fired (never a mid-container erase).
+  while (open_head_ < open_.size() && record_expired(open_[open_head_], e)) {
+    close_record(std::move(open_[open_head_]));
+    ++open_head_;
+  }
+  close_expired_front();
+  if (any_close_pending_) {
+    any_close_pending_ = false;
+    if (open_head_ < open_.size()) compact_close_predicate(e);
   }
 
   // 2. Open a new window if the spec says so.  The opening event itself is
@@ -45,58 +95,114 @@ std::vector<WindowManager::Membership>& WindowManager::offer(const Event& e) {
       if (spec_.opener.matches(e)) open_window(e);
       break;
     case WindowOpen::kCountSlide:
-      if (events_seen_ % spec_.slide_events == 0) open_window(e);
+      if (idx % spec_.slide_events == 0) open_window(e);
       break;
   }
-  ++events_seen_;
 
-  // 3. Route the event to every open window.
-  scratch_.reserve(open_.size());
-  for (auto& w : open_) {
-    ESPICE_ASSERT(w.arrivals < (1ULL << 32), "window position overflows 32 bits");
-    scratch_.push_back(Membership{w.id, static_cast<std::uint32_t>(w.arrivals)});
-    ++w.arrivals;
+  // 3. Route the event to every open window.  Positions are computed from
+  //    the open index; no window state is touched.
+  scratch_.reserve(open_.size() - open_head_);
+  for (std::size_t i = open_head_; i < open_.size(); ++i) {
+    const WindowRecord& w = open_[i];
+    const std::uint64_t position = idx - w.open_index;
+    ESPICE_ASSERT(position < (1ULL << 32), "window position overflows 32 bits");
+    scratch_.push_back(Membership{w.id, static_cast<std::uint32_t>(position),
+                                  static_cast<std::uint32_t>(i)});
   }
 
   // 4. Pattern-based closing: a closer event ends every open window (it is
   //    part of them -- it was routed above -- and they close before the
   //    next event).
   if (spec_.span_kind == WindowSpan::kPredicate && spec_.closer.matches(e)) {
-    for (auto& w : open_) w.close_pending = true;
+    for (std::size_t i = open_head_; i < open_.size(); ++i) {
+      open_[i].close_pending = true;
+    }
+    any_close_pending_ = open_head_ < open_.size();
   }
+  ++events_seen_;
   return scratch_;
 }
 
 void WindowManager::keep(const Membership& m, const Event& e) {
-  Window* w = find_open(m.window);
-  ESPICE_ASSERT(w != nullptr, "keep() on a window that is not open");
-  w->kept.push_back(e);
-  w->kept_pos.push_back(m.position);
+  ESPICE_ASSERT(m.open_index < open_.size(), "stale membership handle");
+  WindowRecord& w = open_[m.open_index];
+  ESPICE_ASSERT(w.id == m.window, "membership does not match its window");
+  if (!event_in_store_) {
+    current_slot_ = store_.append(e);
+    event_in_store_ = true;
+  }
+  ESPICE_ASSERT(current_slot_ - w.begin_slot < (1ULL << 32),
+                "window slot offset overflows 32 bits");
+  w.kept.push_back(KeptEntry{
+      static_cast<std::uint32_t>(current_slot_ - w.begin_slot), m.position});
 }
 
-Window* WindowManager::find_open(WindowId id) {
-  // Ids are assigned in open order, so open_ is sorted by id.
-  auto it = std::lower_bound(
-      open_.begin(), open_.end(), id,
-      [](const Window& w, WindowId target) { return w.id < target; });
-  if (it == open_.end() || it->id != id) return nullptr;
-  return &*it;
+void WindowManager::close_record(WindowRecord&& w) {
+  w.arrivals = static_cast<std::size_t>(events_seen_ - w.open_index);
+  closed_size_sum_ += static_cast<double>(w.arrivals);
+  ++closed_count_;
+  closed_.push_back(std::move(w));
 }
 
-std::vector<Window> WindowManager::drain_closed() {
-  std::vector<Window> out;
-  out.swap(closed_);
-  return out;
+void WindowManager::recycle_drained() {
+  for (auto& r : drained_) {
+    r.kept.clear();
+    kept_pool_.push_back(std::move(r.kept));
+  }
+  drained_.clear();
+}
+
+void WindowManager::trim_store() {
+  // Slots below every open and undrained window's begin_slot can be
+  // reclaimed.  begin_slot is monotone in open order, so the fronts bound
+  // the open list and the drained list; closed_ is always empty here
+  // (drain_closed() just swapped it out or returned early).
+  ESPICE_ASSERT(closed_.empty(), "trim_store() with undrained windows");
+  EventStore::Slot floor = store_.end_slot();
+  if (open_head_ < open_.size()) {
+    floor = std::min(floor, open_[open_head_].begin_slot);
+  }
+  if (!drained_.empty()) floor = std::min(floor, drained_.front().begin_slot);
+  store_.trim_before(floor);
+}
+
+WindowView WindowManager::view_of(const WindowRecord& r) const {
+  WindowView v;
+  v.id = r.id;
+  v.open_ts = r.open_ts;
+  v.open_seq = r.open_seq;
+  v.arrivals = r.arrivals;
+  v.store = &store_;
+  v.begin_slot = r.begin_slot;
+  v.kept_entries = r.kept;
+  return v;
+}
+
+const std::vector<WindowView>& WindowManager::drain_closed() {
+  // Fast path: nothing closed since the last drain and no views handed out
+  // that would need recycling.
+  if (closed_.empty() && drained_.empty()) return views_;
+  // The previous drain's views die now; recycle their kept lists and
+  // release their store slots.
+  recycle_drained();
+  views_.clear();
+  if (!closed_.empty()) {
+    drained_.swap(closed_);
+    views_.reserve(drained_.size());
+    for (const auto& r : drained_) views_.push_back(view_of(r));
+  }
+  trim_store();
+  return views_;
 }
 
 void WindowManager::close_all() {
-  for (auto& w : open_) {
-    closed_size_sum_ += static_cast<double>(w.arrivals);
-    ++closed_count_;
-    closed_.push_back(std::move(w));
+  for (std::size_t i = open_head_; i < open_.size(); ++i) {
+    close_record(std::move(open_[i]));
   }
   open_.clear();
+  open_head_ = 0;
   scratch_.clear();
+  any_close_pending_ = false;
 }
 
 double WindowManager::avg_closed_window_size() const {
@@ -104,11 +210,28 @@ double WindowManager::avg_closed_window_size() const {
   return closed_size_sum_ / static_cast<double>(closed_count_);
 }
 
+std::size_t WindowManager::resident_index_bytes() const {
+  std::size_t bytes = 0;
+  auto count = [&](const WindowRecord& r) {
+    bytes += r.kept.capacity() * sizeof(KeptEntry);
+  };
+  for (std::size_t i = open_head_; i < open_.size(); ++i) count(open_[i]);
+  for (const auto& r : closed_) count(r);
+  for (const auto& r : drained_) count(r);
+  return bytes;
+}
+
 void WindowManager::open_window(const Event& e) {
-  Window w;
+  WindowRecord w;
+  if (!kept_pool_.empty()) {
+    w.kept = std::move(kept_pool_.back());
+    kept_pool_.pop_back();
+  }
   w.id = next_id_++;
   w.open_ts = e.ts;
   w.open_seq = e.seq;
+  w.open_index = events_seen_;
+  w.begin_slot = store_.end_slot();
   open_.push_back(std::move(w));
 }
 

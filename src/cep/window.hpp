@@ -15,13 +15,34 @@
 //  * opening: predicate-opened (a new window per event matching an opener
 //    element, Q1/Q2/Q3) or count-sliding (a new window every `slide` events,
 //    Q4).
+//
+// Storage model (zero-copy): kept events live once in a shared EventStore
+// ring buffer; a window holds only the slot ids and positions of its kept
+// events.  With overlapping windows (slide << span) this keeps the payload
+// footprint O(events) instead of O(events x overlap factor).  Consumers see
+// closed windows as WindowView -- a non-owning (window, positions, slots)
+// view into the store that stays valid until the next offer()/drain cycle.
+// Window (with owned event copies) remains available for tests, oracles and
+// any consumer that must retain contents longer; materialize() converts.
+//
+// Hot-path complexity per offered event:
+//  * closing: amortized O(1) (FIFO pop-front; windows expire in open order.
+//    Predicate-closed windows use a deferred compaction pass that runs only
+//    when a closer actually fired, never a mid-deque erase),
+//  * routing: positions are *computed* (offer index minus the window's open
+//    index), so routing writes one membership record per overlapping window
+//    and mutates no window state,
+//  * keep(): O(1) -- the membership carries a direct handle to the open
+//    window, and the event payload is appended to the store at most once no
+//    matter how many windows keep it.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <span>
 #include <vector>
 
 #include "cep/event.hpp"
+#include "cep/event_store.hpp"
 #include "cep/pattern.hpp"
 #include "common/error.hpp"
 
@@ -68,31 +89,90 @@ struct WindowSpec {
   }
 };
 
-/// A window instance.  `arrivals` counts every event offered to the window
-/// (this defines positions); `kept` / `kept_pos` hold the events that
-/// survived shedding, in arrival order, with their original positions.
+/// Owned snapshot of a window: event copies plus their positions, in arrival
+/// order.  Used by tests, oracles and any consumer that must retain window
+/// contents past the manager's drain cycle; the hot path uses WindowView.
+struct Window;
+
+/// One kept membership of a window: the event's store slot (as a 32-bit
+/// offset from the window's begin slot -- windows cannot span more slots
+/// than positions, which are 32-bit) and its arrival position.  8 bytes, so
+/// keeping an event in a window is a single small push.
+struct KeptEntry {
+  std::uint32_t slot_offset;
+  std::uint32_t position;
+};
+
+/// Non-owning view of a closed window's kept contents.  Either resolves
+/// events through a shared EventStore (manager-produced views) or reads a
+/// caller-owned contiguous array (views over a materialized Window).
+/// Manager-produced views stay valid until the next offer()/drain_closed()/
+/// close_all() call on the producing WindowManager.
+struct WindowView {
+  WindowId id = 0;
+  double open_ts = 0.0;
+  std::uint64_t open_seq = 0;
+  /// Number of events offered (== the window size ws used for scaling).
+  std::size_t arrivals = 0;
+
+  const EventStore* store = nullptr;          ///< slot resolver (shared mode)
+  EventStore::Slot begin_slot = 0;
+  std::span<const KeptEntry> kept_entries;
+  std::span<const Event> kept_direct;         ///< payloads (direct mode)
+  std::span<const std::uint32_t> kept_positions;
+
+  std::size_t size() const { return arrivals; }
+  /// Events that survived shedding.
+  std::size_t kept_count() const {
+    return store != nullptr ? kept_entries.size() : kept_direct.size();
+  }
+  /// i-th kept event, in arrival order.
+  const Event& kept(std::size_t i) const {
+    return store != nullptr
+               ? store->at(begin_slot + kept_entries[i].slot_offset)
+               : kept_direct[i];
+  }
+  /// Arrival position of the i-th kept event.
+  std::uint32_t pos(std::size_t i) const {
+    return store != nullptr ? kept_entries[i].position : kept_positions[i];
+  }
+};
+
 struct Window {
   WindowId id = 0;
   double open_ts = 0.0;
   std::uint64_t open_seq = 0;
   std::size_t arrivals = 0;
-  /// Set when a closer predicate matched (kPredicate spans): the window
-  /// closes before the next event is routed.
-  bool close_pending = false;
   std::vector<Event> kept;
   std::vector<std::uint32_t> kept_pos;
 
   /// Number of events offered (== the window size ws used for scaling).
   std::size_t size() const { return arrivals; }
+
+  /// A direct-mode view over this window; valid while the window is alive
+  /// and unmodified.
+  WindowView view() const {
+    WindowView v;
+    v.id = id;
+    v.open_ts = open_ts;
+    v.open_seq = open_seq;
+    v.arrivals = arrivals;
+    v.kept_direct = kept;
+    v.kept_positions = kept_pos;
+    return v;
+  }
 };
+
+/// Copies a view's contents into an owned Window.
+Window materialize(const WindowView& v);
 
 /// Drives window opening, event-to-window routing and window closing.
 ///
 /// Usage per event, in stream order:
-///   auto memberships = mgr.offer(e);       // may open/close windows
+///   auto& memberships = mgr.offer(e);      // may open/close windows
 ///   for (auto& m : memberships)
 ///     if (!shedder.should_drop(...)) mgr.keep(m, e);
-///   for (auto& w : mgr.drain_closed()) ... // match closed windows
+///   for (auto& w : mgr.drain_closed()) ... // match closed windows (views!)
 class WindowManager {
  public:
   explicit WindowManager(WindowSpec spec);
@@ -100,6 +180,9 @@ class WindowManager {
   struct Membership {
     WindowId window;
     std::uint32_t position;  ///< arrival index of the event in that window
+    /// Direct handle to the open window (its index in the open deque);
+    /// makes keep() O(1).  Valid until the next offer()/close_all() call.
+    std::uint32_t open_index;
   };
 
   /// Routes `e`: closes expired windows, opens new ones as dictated by the
@@ -107,32 +190,80 @@ class WindowManager {
   /// Membership entries stay valid until the next offer()/close_all() call.
   std::vector<Membership>& offer(const Event& e);
 
-  /// Records `e` as kept (not shed) in the given window.
+  /// Records `e` as kept (not shed) in the given window.  The event payload
+  /// is appended to the shared store at most once per offer() no matter how
+  /// many windows keep it.
   void keep(const Membership& m, const Event& e);
 
-  /// Windows closed since the last drain, in closing order.
-  std::vector<Window> drain_closed();
+  /// Views of the windows closed since the last drain, in closing order.
+  /// Views (and the store slots they reference) stay valid until the next
+  /// offer()/drain_closed()/close_all() call; materialize() any window that
+  /// must outlive that.
+  const std::vector<WindowView>& drain_closed();
 
   /// Force-closes all open windows (end of stream).
   void close_all();
 
-  std::size_t open_count() const { return open_.size(); }
+  std::size_t open_count() const { return open_.size() - open_head_; }
   std::uint64_t windows_opened() const { return next_id_; }
 
   /// Mean offered size of all closed windows so far (0 if none closed).
   /// Used to pick N, the utility table's position-space size.
   double avg_closed_window_size() const;
 
+  const EventStore& store() const { return store_; }
+
+  /// Live kept-event payload bytes (shared store; counted once per event
+  /// regardless of the overlap factor).
+  std::size_t resident_payload_bytes() const {
+    return store_.size() * sizeof(Event);
+  }
+  /// Per-window index bytes (slot + position lists of open and undrained
+  /// windows).  This is the only per-membership cost that remains.
+  std::size_t resident_index_bytes() const;
+
  private:
+  /// An open (or closed-but-undrained) window: index spans into the shared
+  /// store plus the (slot, position) list of its kept events.
+  struct WindowRecord {
+    WindowId id = 0;
+    double open_ts = 0.0;
+    std::uint64_t open_seq = 0;
+    std::uint64_t open_index = 0;    ///< offer index of the opening event
+    EventStore::Slot begin_slot = 0; ///< store slots >= this belong to it
+    bool close_pending = false;
+    std::size_t arrivals = 0;        ///< filled at close
+    std::vector<KeptEntry> kept;
+  };
+
   void open_window(const Event& e);
-  Window* find_open(WindowId id);
+  void close_record(WindowRecord&& w);
+  void close_expired_front();
+  void compact_close_predicate(const Event& e);
+  void recycle_drained();
+  void trim_store();
+  bool record_expired(const WindowRecord& w, const Event& e) const;
+  WindowView view_of(const WindowRecord& r) const;
 
   WindowSpec spec_;
-  std::deque<Window> open_;          // ordered by open time
-  std::vector<Window> closed_;
-  std::vector<Membership> scratch_;  // reused membership buffer
+  EventStore store_;
+  // Open windows in open order, live in [open_head_, open_.size()).  A
+  // vector with a head cursor beats a deque here: routing iterates
+  // contiguous memory and keep() indexes with one add; the head prefix is
+  // erased (amortized O(1) per close) once it outgrows the live part.
+  std::vector<WindowRecord> open_;
+  std::size_t open_head_ = 0;
+  std::vector<WindowRecord> closed_;   // closed, not yet drained
+  std::vector<WindowRecord> drained_;  // handed out by the last drain
+  std::vector<WindowView> views_;      // drain_closed() return buffer
+  std::vector<Membership> scratch_;    // reused membership buffer
+  // Recycled kept lists so open_window() stops allocating at steady state.
+  std::vector<std::vector<KeptEntry>> kept_pool_;
   WindowId next_id_ = 0;
   std::uint64_t events_seen_ = 0;
+  bool any_close_pending_ = false;
+  bool event_in_store_ = false;        ///< current event already appended?
+  EventStore::Slot current_slot_ = 0;
   std::uint64_t closed_count_ = 0;
   double closed_size_sum_ = 0.0;
 };

@@ -33,15 +33,22 @@ namespace detail {
 
 }  // namespace espice
 
-/// Internal invariant check. Active in all build types: the shedding
-/// hot path never uses it (it is for control-plane code), so the cost is
-/// irrelevant and the debugging value is high.
+/// Internal invariant check.  The zero-copy window engine asserts on the
+/// per-membership hot path (keep(), store slot resolution), so release
+/// builds compile the checks out; debug builds keep them.  Conditions must
+/// therefore be side-effect free.
+#ifdef NDEBUG
+// sizeof keeps the condition type-checked and its operands "used" without
+// evaluating anything at run time.
+#define ESPICE_ASSERT(expr, msg) ((void)sizeof(!(expr)))
+#else
 #define ESPICE_ASSERT(expr, msg)                                       \
   do {                                                                 \
     if (!(expr)) {                                                     \
       ::espice::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
     }                                                                  \
   } while (false)
+#endif
 
 /// Validate a user-supplied configuration value; throws ConfigError.
 #define ESPICE_REQUIRE(expr, msg)              \

@@ -5,7 +5,7 @@
 namespace espice {
 
 std::uint64_t Rng::uniform_int(std::uint64_t n) {
-  ESPICE_ASSERT(n > 0, "uniform_int(0) is ill-defined");
+  ESPICE_REQUIRE(n > 0, "uniform_int(0) is ill-defined");
   // Lemire's nearly-divisionless method.
   std::uint64_t x = next();
   __uint128_t m = static_cast<__uint128_t>(x) * n;
@@ -22,7 +22,7 @@ std::uint64_t Rng::uniform_int(std::uint64_t n) {
 }
 
 double Rng::exponential(double rate) {
-  ESPICE_ASSERT(rate > 0.0, "exponential rate must be positive");
+  ESPICE_REQUIRE(rate > 0.0, "exponential rate must be positive");
   // uniform() may return 0; 1-u is in (0, 1].
   return -std::log(1.0 - uniform()) / rate;
 }
@@ -40,7 +40,7 @@ double Rng::normal() {
 }
 
 std::uint64_t Rng::poisson(double mean) {
-  ESPICE_ASSERT(mean >= 0.0, "poisson mean must be non-negative");
+  ESPICE_REQUIRE(mean >= 0.0, "poisson mean must be non-negative");
   if (mean == 0.0) return 0;
   // Knuth's algorithm; adequate for the small means used by the generators.
   const double limit = std::exp(-mean);

@@ -80,7 +80,7 @@ class Rng {
 
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
-    ESPICE_ASSERT(lo <= hi, "empty integer range");
+    ESPICE_REQUIRE(lo <= hi, "empty integer range");
     return lo + static_cast<std::int64_t>(
                     uniform_int(static_cast<std::uint64_t>(hi - lo) + 1));
   }

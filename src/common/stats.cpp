@@ -8,7 +8,7 @@
 namespace espice {
 
 Ewma::Ewma(double alpha) : alpha_(alpha) {
-  ESPICE_ASSERT(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
+  ESPICE_REQUIRE(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
 }
 
 void Ewma::observe(double value) {
@@ -26,7 +26,7 @@ void Ewma::reset() {
 }
 
 double Ewma::value() const {
-  ESPICE_ASSERT(seeded_, "EWMA read before first observation");
+  ESPICE_REQUIRE(seeded_, "EWMA read before first observation");
   return value_;
 }
 
@@ -46,7 +46,7 @@ void RunningStats::observe(double value) {
 void RunningStats::reset() { *this = RunningStats{}; }
 
 double RunningStats::mean() const {
-  ESPICE_ASSERT(count_ > 0, "mean of empty RunningStats");
+  ESPICE_REQUIRE(count_ > 0, "mean of empty RunningStats");
   return mean_;
 }
 
@@ -58,18 +58,18 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double RunningStats::min() const {
-  ESPICE_ASSERT(count_ > 0, "min of empty RunningStats");
+  ESPICE_REQUIRE(count_ > 0, "min of empty RunningStats");
   return min_;
 }
 
 double RunningStats::max() const {
-  ESPICE_ASSERT(count_ > 0, "max of empty RunningStats");
+  ESPICE_REQUIRE(count_ > 0, "max of empty RunningStats");
   return max_;
 }
 
 double PercentileTracker::percentile(double q) const {
-  ESPICE_ASSERT(!values_.empty(), "percentile of empty tracker");
-  ESPICE_ASSERT(q >= 0.0 && q <= 1.0, "percentile rank out of range");
+  ESPICE_REQUIRE(!values_.empty(), "percentile of empty tracker");
+  ESPICE_REQUIRE(q >= 0.0 && q <= 1.0, "percentile rank out of range");
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());
     sorted_ = true;

@@ -44,7 +44,10 @@ void EspiceOperator::begin_training(std::size_t n_positions) {
 }
 
 void EspiceOperator::push(const Event& e) {
-  ESPICE_ASSERT(e.type < config_.num_types, "event type outside the universe");
+  // Always-on: the stream is external input, and everything downstream
+  // (model statistics, utility lookups) indexes arrays by type.  Once per
+  // event, not per membership, so the cost is irrelevant.
+  ESPICE_REQUIRE(e.type < config_.num_types, "event type outside the universe");
   auto& memberships = windows_.offer(e);
   const bool shedding = phase_ == Phase::kShedding;
   for (const auto& m : memberships) {
@@ -67,7 +70,7 @@ void EspiceOperator::push(const Event& e) {
 }
 
 void EspiceOperator::close_windows() {
-  for (Window& w : windows_.drain_closed()) {
+  for (const WindowView& w : windows_.drain_closed()) {
     const auto matches = matcher_.match_window(w);
     switch (phase_) {
       case Phase::kSizing: {

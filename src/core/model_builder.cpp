@@ -37,13 +37,15 @@ void ModelBuilder::for_each_scaled_col(std::uint32_t position, double ws,
   }
 }
 
-void ModelBuilder::observe_window(const Window& w) {
+void ModelBuilder::observe_window(const WindowView& w) {
   if (w.size() == 0) return;
   const auto ws = static_cast<double>(w.size());
-  for (std::size_t i = 0; i < w.kept.size(); ++i) {
-    const Event& e = w.kept[i];
-    ESPICE_ASSERT(e.type < config_.num_types, "event type outside universe");
-    for_each_scaled_col(w.kept_pos[i], ws, [&](std::size_t col, double weight) {
+  for (std::size_t i = 0; i < w.kept_count(); ++i) {
+    const Event& e = w.kept(i);
+    // Always-on: window contents come from external streams and index the
+    // count arrays by type; model building is off the hot path.
+    ESPICE_REQUIRE(e.type < config_.num_types, "event type outside universe");
+    for_each_scaled_col(w.pos(i), ws, [&](std::size_t col, double weight) {
       pos_counts_[e.type * cols_ + col] += weight;
     });
   }
@@ -53,7 +55,7 @@ void ModelBuilder::observe_window(const Window& w) {
 
 void ModelBuilder::observe_position(EventTypeId type, std::uint32_t position,
                                     double ws) {
-  ESPICE_ASSERT(type < config_.num_types, "event type outside universe");
+  ESPICE_REQUIRE(type < config_.num_types, "event type outside universe");
   if (ws <= 0.0) return;
   for_each_scaled_col(position, ws, [&](std::size_t col, double weight) {
     pos_counts_[type * cols_ + col] += weight;
@@ -68,7 +70,8 @@ void ModelBuilder::count_window() {
 void ModelBuilder::observe_match(const ComplexEvent& ce, std::size_t ws) {
   if (ws == 0) return;
   for (const Constituent& c : ce.constituents) {
-    ESPICE_ASSERT(c.event.type < config_.num_types, "event type outside universe");
+    ESPICE_REQUIRE(c.event.type < config_.num_types,
+                   "event type outside universe");
     for_each_scaled_col(c.position, static_cast<double>(ws),
                         [&](std::size_t col, double weight) {
                           match_counts_[c.event.type * cols_ + col] += weight;

@@ -41,7 +41,8 @@ class ModelBuilder {
 
   /// Records the composition of a closed window: every kept event's type and
   /// (scaled) position feed the position shares.
-  void observe_window(const Window& w);
+  void observe_window(const WindowView& w);
+  void observe_window(const Window& w) { observe_window(w.view()); }
 
   /// Online variant for use *under shedding*: feed every offered
   /// (pre-shedding) (type, position) membership as it is routed, then call

@@ -38,7 +38,7 @@ TrainedModel train_model(const QueryDef& query, std::size_t num_types,
   double size_sum = 0.0;
   std::size_t windows = 0;
   run_pipeline(train_events, query.window, matcher, nullptr, 0.0,
-               [&](const Window& w, const std::vector<ComplexEvent>&) {
+               [&](const WindowView& w, const std::vector<ComplexEvent>&) {
                  size_sum += static_cast<double>(w.size());
                  ++windows;
                });
@@ -62,7 +62,7 @@ TrainedModel train_model(const QueryDef& query, std::size_t num_types,
   mb_config.bin_size = std::min(bin_size, n_positions);
   ModelBuilder builder(mb_config);
   run_pipeline(train_events, query.window, matcher, nullptr, 0.0,
-               [&](const Window& w, const std::vector<ComplexEvent>& matches) {
+               [&](const WindowView& w, const std::vector<ComplexEvent>& matches) {
                  builder.observe_window(w);
                  for (const auto& m : matches) builder.observe_match(m, w.size());
                });
@@ -131,7 +131,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   // --- 2. Golden pass ------------------------------------------------------
   std::vector<ComplexEvent> golden;
   run_pipeline(measure, config.query.window, matcher, nullptr, 0.0,
-               [&](const Window&, const std::vector<ComplexEvent>& matches) {
+               [&](const WindowView&, const std::vector<ComplexEvent>& matches) {
                  golden.insert(golden.end(), matches.begin(), matches.end());
                });
 

@@ -27,7 +27,7 @@ void run_pipeline(std::span<const Event> events, const WindowSpec& spec,
     predicted_ws = static_cast<double>(spec.span_events);
   }
   auto flush = [&] {
-    for (Window& w : wm.drain_closed()) {
+    for (const WindowView& w : wm.drain_closed()) {
       const auto matches = matcher.match_window(w);
       sink(w, matches);
     }
@@ -129,7 +129,7 @@ SimResult OperatorSimulator::run(std::span<const Event> events,
   };
 
   auto flush_windows = [&](double now) {
-    for (Window& w : wm.drain_closed()) {
+    for (const WindowView& w : wm.drain_closed()) {
       ++result.windows_closed;
       auto matches = matcher_.match_window(w);
       for (auto& m : matches) {

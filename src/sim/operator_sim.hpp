@@ -53,9 +53,11 @@ struct OperatorCostModel {
   }
 };
 
-/// Called for every closed window with the matches detected in it.
+/// Called for every closed window with the matches detected in it.  The view
+/// (and the store slots behind it) is only valid for the duration of the
+/// call; materialize() it to retain the contents.
 using WindowSink =
-    std::function<void(const Window&, const std::vector<ComplexEvent>&)>;
+    std::function<void(const WindowView&, const std::vector<ComplexEvent>&)>;
 
 /// Runs the windowing + matching pipeline with no queueing or timing.
 /// `shedder` may be nullptr (golden run).  `predicted_ws` is the window size

@@ -42,10 +42,10 @@ std::vector<Window> drive(WindowManager& wm, std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     const Event e = make_event(i, static_cast<double>(i), type);
     for (const auto& m : wm.offer(e)) wm.keep(m, e);
-    for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+    for (const auto& w : wm.drain_closed()) closed.push_back(materialize(w));
   }
   wm.close_all();
-  for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+  for (const auto& w : wm.drain_closed()) closed.push_back(materialize(w));
   return closed;
 }
 
@@ -96,7 +96,7 @@ TEST(WindowManager, DroppedEventsDoNotShiftPositions) {
     }
   }
   wm.close_all();
-  for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+  for (const auto& w : wm.drain_closed()) closed.push_back(materialize(w));
   ASSERT_EQ(closed.size(), 1u);
   const auto& w = closed[0];
   EXPECT_EQ(w.arrivals, 5u);  // positions still count every offered event
@@ -113,10 +113,10 @@ TEST(WindowManager, PredicateOpenerStartsWindowAtMatchingEvent) {
   for (std::size_t i = 0; i < 30; ++i) {
     const Event e = make_event(i, static_cast<double>(i), i == 3 ? 1 : 0);
     for (const auto& m : wm.offer(e)) wm.keep(m, e);
-    for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+    for (const auto& w : wm.drain_closed()) closed.push_back(materialize(w));
   }
   wm.close_all();
-  for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+  for (const auto& w : wm.drain_closed()) closed.push_back(materialize(w));
   ASSERT_EQ(closed.size(), 1u);
   EXPECT_EQ(closed[0].open_ts, 3.0);
   EXPECT_EQ(closed[0].kept.front().seq, 3u);
@@ -231,7 +231,7 @@ TEST(WindowManager, PatternWindowClosesOnTheCloserEvent) {
   for (std::size_t i = 0; i < std::size(stream); ++i) {
     const Event e = make_event(i, static_cast<double>(i), stream[i]);
     for (const auto& m : wm.offer(e)) wm.keep(m, e);
-    for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+    for (const auto& w : wm.drain_closed()) closed.push_back(materialize(w));
   }
   ASSERT_EQ(closed.size(), 1u);
   // The closer is part of the window: events 0..3.
@@ -246,7 +246,7 @@ TEST(WindowManager, PatternWindowSafetyCapCloses) {
   for (std::size_t i = 0; i < 10; ++i) {
     const Event e = make_event(i, static_cast<double>(i), i == 0 ? 1 : 0);
     for (const auto& m : wm.offer(e)) wm.keep(m, e);
-    for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+    for (const auto& w : wm.drain_closed()) closed.push_back(materialize(w));
   }
   ASSERT_EQ(closed.size(), 1u);
   EXPECT_EQ(closed[0].arrivals, 5u);
@@ -260,7 +260,7 @@ TEST(WindowManager, CloserEndsAllOverlappingPatternWindows) {
   for (std::size_t i = 0; i < std::size(stream); ++i) {
     const Event e = make_event(i, static_cast<double>(i), stream[i]);
     for (const auto& m : wm.offer(e)) wm.keep(m, e);
-    for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+    for (const auto& w : wm.drain_closed()) closed.push_back(materialize(w));
   }
   ASSERT_EQ(closed.size(), 2u);
   EXPECT_EQ(closed[0].arrivals, 5u);  // events 0..4
@@ -274,12 +274,12 @@ TEST(WindowManager, PatternWindowsReopenAfterClosing) {
   for (std::size_t i = 0; i < std::size(stream); ++i) {
     const Event e = make_event(i, static_cast<double>(i), stream[i]);
     for (const auto& m : wm.offer(e)) wm.keep(m, e);
-    for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+    for (const auto& w : wm.drain_closed()) closed.push_back(materialize(w));
   }
   // The second window's closer arrived as the stream's final event; its
   // deferred close happens at end-of-stream.
   wm.close_all();
-  for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+  for (const auto& w : wm.drain_closed()) closed.push_back(materialize(w));
   ASSERT_EQ(closed.size(), 2u);
   EXPECT_EQ(closed[0].arrivals, 2u);  // {open, close}
   EXPECT_EQ(closed[1].arrivals, 3u);  // {open, x, close}

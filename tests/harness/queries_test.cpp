@@ -13,7 +13,7 @@ std::size_t golden_matches(const QueryDef& query,
   std::size_t matches = 0;
   const Matcher matcher = query.make_matcher();
   run_pipeline(events, query.window, matcher, nullptr, 0.0,
-               [&](const Window&, const std::vector<ComplexEvent>& ms) {
+               [&](const WindowView&, const std::vector<ComplexEvent>& ms) {
                  matches += ms.size();
                });
   return matches;

@@ -50,7 +50,7 @@ std::vector<ComplexEvent> pipeline_matches(const std::vector<Event>& events,
                                            Shedder* shedder = nullptr) {
   std::vector<ComplexEvent> matches;
   run_pipeline(events, tumbling4(), ab_matcher(sel, cons), shedder, 4.0,
-               [&](const Window&, const std::vector<ComplexEvent>& ms) {
+               [&](const WindowView&, const std::vector<ComplexEvent>& ms) {
                  matches.insert(matches.end(), ms.begin(), ms.end());
                });
   return matches;
@@ -146,7 +146,7 @@ TEST(PaperPipeline, LearnedModelConcentratesUtilityOnBoundPositions) {
   const Matcher matcher = ab_matcher(SelectionPolicy::kFirst,
                                      ConsumptionPolicy::kConsumed);
   run_pipeline(events, spec, matcher, nullptr, 5.0,
-               [&](const Window& w, const std::vector<ComplexEvent>& ms) {
+               [&](const WindowView& w, const std::vector<ComplexEvent>& ms) {
                  builder.observe_window(w);
                  for (const auto& m : ms) builder.observe_match(m, w.size());
                });
@@ -174,14 +174,14 @@ TEST(PaperPipeline, LearnedModelConcentratesUtilityOnBoundPositions) {
   const auto golden = [&] {
     std::vector<ComplexEvent> ms;
     run_pipeline(events, spec, matcher, nullptr, 5.0,
-                 [&](const Window&, const std::vector<ComplexEvent>& m) {
+                 [&](const WindowView&, const std::vector<ComplexEvent>& m) {
                    ms.insert(ms.end(), m.begin(), m.end());
                  });
     return ms;
   }();
   std::vector<ComplexEvent> shed;
   run_pipeline(events, spec, matcher, &shedder, 5.0,
-               [&](const Window&, const std::vector<ComplexEvent>& m) {
+               [&](const WindowView&, const std::vector<ComplexEvent>& m) {
                  shed.insert(shed.end(), m.begin(), m.end());
                });
   const auto report = compare_quality(golden, shed);

@@ -56,12 +56,12 @@ struct QualityProbe {
   QualityReport run(const std::vector<Event>& events, Shedder& shedder) {
     std::vector<ComplexEvent> golden;
     run_pipeline(events, tumbling6(), ab_matcher(), nullptr, 6.0,
-                 [&](const Window&, const std::vector<ComplexEvent>& ms) {
+                 [&](const WindowView&, const std::vector<ComplexEvent>& ms) {
                    golden.insert(golden.end(), ms.begin(), ms.end());
                  });
     std::vector<ComplexEvent> shed;
     run_pipeline(events, tumbling6(), ab_matcher(), &shedder, 6.0,
-                 [&](const Window&, const std::vector<ComplexEvent>& ms) {
+                 [&](const WindowView&, const std::vector<ComplexEvent>& ms) {
                    shed.insert(shed.end(), ms.begin(), ms.end());
                  });
     return compare_quality(golden, shed);
@@ -70,7 +70,7 @@ struct QualityProbe {
 
 void train(ModelBuilder& builder, const std::vector<Event>& events) {
   run_pipeline(events, tumbling6(), ab_matcher(), nullptr, 6.0,
-               [&](const Window& w, const std::vector<ComplexEvent>& ms) {
+               [&](const WindowView& w, const std::vector<ComplexEvent>& ms) {
                  builder.observe_window(w);
                  for (const auto& m : ms) builder.observe_match(m, w.size());
                });

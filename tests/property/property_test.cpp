@@ -216,10 +216,10 @@ TEST_P(WindowProperties, EveryWindowHasContiguousPositionsAndExactSpan) {
     e.seq = i;
     e.ts = static_cast<double>(i);
     for (const auto& m : wm.offer(e)) wm.keep(m, e);
-    for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+    for (const auto& w : wm.drain_closed()) closed.push_back(materialize(w));
   }
   wm.close_all();
-  for (auto& w : wm.drain_closed()) closed.push_back(std::move(w));
+  for (const auto& w : wm.drain_closed()) closed.push_back(materialize(w));
 
   ASSERT_EQ(closed.size(), (n + p.slide - 1) / p.slide);
   for (const auto& w : closed) {

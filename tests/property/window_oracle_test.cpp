@@ -1,0 +1,231 @@
+// Window-engine oracle: the shared-store WindowManager against the naive
+// copy-per-window ReferenceWindowManager on randomized streams.
+//
+// Both engines are driven with the same stream and the same deterministic
+// per-(event, window) shedding decision; the closed windows must agree on
+// every observable: ids, closing order, open metadata, offered size
+// (arrivals), and the exact (position, event) list of kept events --
+// including that *dropped* events still advance positions.  Every span kind
+// (time / count / predicate) is crossed with every open kind (predicate /
+// count-slide) and with keep-everything, hash-shedding and heavy-shedding
+// policies.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "cep/reference_window.hpp"
+#include "cep/window.hpp"
+#include "common/rng.hpp"
+
+namespace espice {
+namespace {
+
+constexpr EventTypeId kOpenerType = 1;
+constexpr EventTypeId kCloserType = 2;
+
+WindowSpec make_spec(WindowSpan span_kind, WindowOpen open_kind) {
+  WindowSpec spec;
+  spec.span_kind = span_kind;
+  spec.open_kind = open_kind;
+  switch (span_kind) {
+    case WindowSpan::kTime:
+      spec.span_seconds = 7.5;
+      break;
+    case WindowSpan::kCount:
+      spec.span_events = 24;
+      break;
+    case WindowSpan::kPredicate:
+      spec.span_events = 40;  // safety cap
+      spec.closer = element("close", TypeSet{kCloserType}, DirectionFilter::kAny);
+      break;
+  }
+  if (open_kind == WindowOpen::kPredicate) {
+    spec.opener = element("open", TypeSet{kOpenerType}, DirectionFilter::kAny);
+  } else {
+    spec.slide_events = 5;
+  }
+  return spec;
+}
+
+std::vector<Event> random_stream(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  events.reserve(n);
+  double ts = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Event e;
+    e.type = static_cast<EventTypeId>(rng.uniform_int(6));
+    e.seq = i;
+    ts += rng.uniform(0.0, 1.2);
+    e.ts = ts;
+    e.value = rng.uniform(-2.0, 2.0);
+    events.push_back(e);
+  }
+  return events;
+}
+
+/// Deterministic per-(event, window) drop decision, identical for both
+/// engines regardless of membership enumeration order.  `mod == 0` keeps
+/// everything; larger values drop 1/mod .. (mod-1)/mod of memberships.
+bool should_drop(const Event& e, WindowId window, unsigned mod,
+                 unsigned keep_residue) {
+  if (mod == 0) return false;
+  const std::uint64_t h = (e.seq * 2654435761ULL) ^ (window * 40503ULL);
+  return h % mod != keep_residue;
+}
+
+void expect_same_window(const Window& actual, const Window& expected,
+                        std::size_t k) {
+  ASSERT_EQ(actual.id, expected.id) << "window " << k;
+  EXPECT_DOUBLE_EQ(actual.open_ts, expected.open_ts) << "window " << k;
+  EXPECT_EQ(actual.open_seq, expected.open_seq) << "window " << k;
+  EXPECT_EQ(actual.arrivals, expected.arrivals) << "window " << k;
+  ASSERT_EQ(actual.kept.size(), expected.kept.size()) << "window " << k;
+  ASSERT_EQ(actual.kept_pos.size(), expected.kept_pos.size()) << "window " << k;
+  for (std::size_t i = 0; i < actual.kept.size(); ++i) {
+    EXPECT_EQ(actual.kept_pos[i], expected.kept_pos[i])
+        << "window " << k << " kept entry " << i;
+    EXPECT_EQ(actual.kept[i].seq, expected.kept[i].seq)
+        << "window " << k << " kept entry " << i;
+    EXPECT_EQ(actual.kept[i].type, expected.kept[i].type)
+        << "window " << k << " kept entry " << i;
+  }
+}
+
+void run_engine_comparison(const WindowSpec& spec, unsigned drop_mod,
+                           std::uint64_t seed, std::size_t n_events) {
+  const auto events = random_stream(seed, n_events);
+
+  WindowManager engine(spec);
+  ReferenceWindowManager reference(spec);
+
+  std::vector<Window> engine_closed;
+  std::vector<Window> reference_closed;
+  std::size_t engine_memberships = 0;
+  std::size_t reference_memberships = 0;
+
+  for (const Event& e : events) {
+    auto& ms = engine.offer(e);
+    engine_memberships += ms.size();
+    for (const auto& m : ms) {
+      if (!should_drop(e, m.window, drop_mod, 0)) engine.keep(m, e);
+    }
+    for (const auto& w : engine.drain_closed()) {
+      engine_closed.push_back(materialize(w));
+    }
+
+    auto& rms = reference.offer(e);
+    reference_memberships += rms.size();
+    for (const auto& m : rms) {
+      if (!should_drop(e, m.window, drop_mod, 0)) reference.keep(m, e);
+    }
+    for (auto& w : reference.drain_closed()) {
+      reference_closed.push_back(std::move(w));
+    }
+  }
+  engine.close_all();
+  for (const auto& w : engine.drain_closed()) {
+    engine_closed.push_back(materialize(w));
+  }
+  reference.close_all();
+  for (auto& w : reference.drain_closed()) {
+    reference_closed.push_back(std::move(w));
+  }
+
+  EXPECT_EQ(engine_memberships, reference_memberships);
+  EXPECT_EQ(engine.windows_opened(), reference.windows_opened());
+  EXPECT_DOUBLE_EQ(engine.avg_closed_window_size(),
+                   reference.avg_closed_window_size());
+  ASSERT_EQ(engine_closed.size(), reference_closed.size());
+  for (std::size_t k = 0; k < engine_closed.size(); ++k) {
+    expect_same_window(engine_closed[k], reference_closed[k], k);
+  }
+}
+
+using OracleParams =
+    std::tuple<WindowSpan, WindowOpen, unsigned /*drop mod*/, std::uint64_t>;
+
+class WindowOracle : public ::testing::TestWithParam<OracleParams> {};
+
+TEST_P(WindowOracle, SharedStoreEngineMatchesNaiveReference) {
+  const auto [span_kind, open_kind, drop_mod, seed] = GetParam();
+  run_engine_comparison(make_spec(span_kind, open_kind), drop_mod, seed, 600);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpanAndOpenKinds, WindowOracle,
+    ::testing::Combine(
+        ::testing::Values(WindowSpan::kTime, WindowSpan::kCount,
+                          WindowSpan::kPredicate),
+        ::testing::Values(WindowOpen::kPredicate, WindowOpen::kCountSlide),
+        // keep everything / drop ~2 in 3 / drop ~6 in 7
+        ::testing::Values(0u, 3u, 7u),
+        ::testing::Values(11u, 222u, 3333u)));
+
+// Large spans push the live kept-event count past EventStore's initial ring
+// capacity (256), so this comparison exercises grow()'s slot relocation --
+// the contents of every live window must survive the re-layout.
+TEST(WindowOracle, LargeSpanExercisesStoreGrowth) {
+  WindowSpec spec;
+  spec.span_kind = WindowSpan::kCount;
+  spec.span_events = 1024;
+  spec.open_kind = WindowOpen::kCountSlide;
+  spec.slide_events = 64;
+  run_engine_comparison(spec, /*drop_mod=*/0, /*seed=*/55, /*n_events=*/4000);
+  run_engine_comparison(spec, /*drop_mod=*/3, /*seed=*/56, /*n_events=*/4000);
+}
+
+// Dropped events must still advance positions: with everything shed, closed
+// windows report their full offered size and no kept contents.
+TEST(WindowOracle, FullSheddingStillAdvancesPositions) {
+  WindowSpec spec = make_spec(WindowSpan::kCount, WindowOpen::kCountSlide);
+  WindowManager engine(spec);
+  const auto events = random_stream(99, 200);
+  std::vector<Window> closed;
+  for (const Event& e : events) {
+    engine.offer(e);  // keep nothing
+    for (const auto& w : engine.drain_closed()) closed.push_back(materialize(w));
+  }
+  engine.close_all();
+  for (const auto& w : engine.drain_closed()) closed.push_back(materialize(w));
+  ASSERT_FALSE(closed.empty());
+  EXPECT_EQ(closed.front().arrivals, spec.span_events);
+  for (const auto& w : closed) EXPECT_TRUE(w.kept.empty());
+  // Nothing kept means nothing stored: the shared store never grew.
+  EXPECT_EQ(engine.store().size(), 0u);
+  EXPECT_EQ(engine.resident_payload_bytes(), 0u);
+}
+
+// The headline memory property: with heavy overlap (slide << span) and
+// everything kept, the reference's resident payload scales with the overlap
+// factor while the shared store stays O(span).
+TEST(WindowOracle, ResidentPayloadDoesNotScaleWithOverlap) {
+  WindowSpec spec;
+  spec.span_kind = WindowSpan::kCount;
+  spec.span_events = 256;
+  spec.open_kind = WindowOpen::kCountSlide;
+  spec.slide_events = 16;  // overlap factor 16
+  WindowManager engine(spec);
+  ReferenceWindowManager reference(spec);
+  const auto events = random_stream(7, 2000);
+
+  std::size_t engine_peak = 0;
+  std::size_t reference_peak = 0;
+  for (const Event& e : events) {
+    for (const auto& m : engine.offer(e)) engine.keep(m, e);
+    engine.drain_closed();
+    for (const auto& m : reference.offer(e)) reference.keep(m, e);
+    reference.drain_closed();
+    engine_peak = std::max(engine_peak, engine.resident_payload_bytes());
+    reference_peak = std::max(reference_peak, reference.resident_payload_bytes());
+  }
+  // Reference holds ~overlap copies of each live event; the store holds one.
+  EXPECT_GE(reference_peak, 6 * engine_peak);
+  // And the store never holds more than ~span + slide live events.
+  EXPECT_LE(engine_peak,
+            (spec.span_events + spec.slide_events + 1) * sizeof(Event));
+}
+
+}  // namespace
+}  // namespace espice

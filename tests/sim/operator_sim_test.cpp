@@ -68,10 +68,10 @@ TEST(RunPipeline, GoldenPassSeesEveryWindowAndMatch) {
   std::size_t windows = 0;
   std::size_t matches = 0;
   run_pipeline(events, tumbling(5), single_event_matcher(), nullptr, 0.0,
-               [&](const Window& w, const std::vector<ComplexEvent>& ms) {
+               [&](const WindowView& w, const std::vector<ComplexEvent>& ms) {
                  ++windows;
                  matches += ms.size();
-                 EXPECT_EQ(w.kept.size(), 5u);
+                 EXPECT_EQ(w.kept_count(), 5u);
                });
   EXPECT_EQ(windows, 2u);
   EXPECT_EQ(matches, 2u);
@@ -85,8 +85,8 @@ TEST(RunPipeline, ShedderThinsWindows) {
   shedder.on_command(cmd);
   std::size_t kept = 0;
   run_pipeline(events, tumbling(5), single_event_matcher(), &shedder, 5.0,
-               [&](const Window& w, const std::vector<ComplexEvent>&) {
-                 kept += w.kept.size();
+               [&](const WindowView& w, const std::vector<ComplexEvent>&) {
+                 kept += w.kept_count();
                  EXPECT_EQ(w.arrivals, 5u);  // positions unaffected
                });
   EXPECT_EQ(kept, 6u);  // positions 0, 2, 4 in each of two windows
