@@ -1,0 +1,81 @@
+// Sharded stock-market monitoring: the stock_monitoring scenario scaled out
+// with the StreamEngine.
+//
+// The feed is key-partitioned by symbol across K shards; every shard runs
+// the full windowing + matching pipeline over its own symbols, fed through
+// a bounded SPSC ring, and the engine merges the detected complex events
+// into one canonically ordered output.  Because the engine is deterministic
+// (fixed partition hash, per-shard FIFO, canonical merge), the K-shard
+// result is bit-identical to the union of K serial runs over the same
+// substreams -- verified below for every K.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "datasets/stock.hpp"
+#include "harness/report.hpp"
+#include "runtime/stream_engine.hpp"
+#include "sim/sharded_sim.hpp"
+
+int main() {
+  using namespace espice;
+
+  // --- Feed: 500 symbols, per-minute quotes --------------------------------
+  TypeRegistry registry;
+  StockGenerator generator(StockConfig{}, registry);
+  const auto events = generator.generate(200'000);
+
+  // --- Query: a rising quote followed by two falling quotes of any symbol
+  // within a sliding count window over the shard's substream.
+  ShardQuery query;
+  query.pattern = make_sequence(
+      {element("rise", TypeSet{}, DirectionFilter::kRising),
+       element("fall", TypeSet{}, DirectionFilter::kFalling),
+       element("fall2", TypeSet{}, DirectionFilter::kFalling)});
+  query.window.span_kind = WindowSpan::kCount;
+  query.window.span_events = 512;
+  query.window.open_kind = WindowOpen::kCountSlide;
+  query.window.slide_events = 64;
+
+  Table table({"shards", "events/sec", "matches", "peak ring depth",
+               "bit-identical to serial"});
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    StreamEngineConfig config;
+    config.shards = shards;
+    config.ring_capacity = 4096;
+    config.query = query;
+    StreamEngine engine(config);
+    for (const Event& e : events) engine.push(e);
+    const EngineReport report = engine.finish();
+
+    const auto golden = partitioned_serial_golden(config, events);
+    bool identical = golden.size() == report.matches.size();
+    for (std::size_t i = 0; identical && i < golden.size(); ++i) {
+      identical = golden[i].constituents.size() ==
+                  report.matches[i].constituents.size();
+      for (std::size_t c = 0; identical && c < golden[i].constituents.size();
+           ++c) {
+        identical = golden[i].constituents[c].event.seq ==
+                    report.matches[i].constituents[c].event.seq;
+      }
+    }
+    std::size_t peak_depth = 0;
+    for (const auto& s : report.shards) {
+      peak_depth = std::max(peak_depth, s.peak_queue_depth);
+    }
+    table.add_row({std::to_string(shards), fmt(report.events_per_sec, 0),
+                   std::to_string(report.matches.size()),
+                   std::to_string(peak_depth), identical ? "yes" : "NO"});
+  }
+
+  std::printf("rising-then-two-falling over 500 symbols, %zu events:\n\n",
+              events.size());
+  table.print(std::cout);
+  std::printf(
+      "\nEach shard windows and matches its own symbols independently; the\n"
+      "match count varies slightly with K because the substream windowing\n"
+      "differs, but every K reproduces its serial golden exactly.\n");
+  return 0;
+}

@@ -49,6 +49,8 @@ void EspiceOperator::push(const Event& e) {
   // event, not per membership, so the cost is irrelevant.
   ESPICE_REQUIRE(e.type < config_.num_types, "event type outside the universe");
   auto& memberships = windows_.offer(e);
+  ++events_;
+  memberships_ += memberships.size();
   const bool shedding = phase_ == Phase::kShedding;
   for (const auto& m : memberships) {
     if (shedding) {
@@ -61,6 +63,7 @@ void EspiceOperator::push(const Event& e) {
       if (shedder_->should_drop(e, m.position, predicted_ws_)) continue;
     }
     windows_.keep(m, e);
+    ++memberships_kept_;
   }
   close_windows();
   if (drift_pending_) {
@@ -71,7 +74,9 @@ void EspiceOperator::push(const Event& e) {
 
 void EspiceOperator::close_windows() {
   for (const WindowView& w : windows_.drain_closed()) {
+    ++windows_closed_;
     const auto matches = matcher_.match_window(w);
+    matches_ += matches.size();
     switch (phase_) {
       case Phase::kSizing: {
         sizing_size_sum_ += static_cast<double>(w.size());
@@ -173,6 +178,22 @@ std::uint64_t EspiceOperator::decisions() const {
 
 std::size_t EspiceOperator::windows_observed() const {
   return builder_ ? builder_->windows_observed() : sizing_count_;
+}
+
+OperatorStats EspiceOperator::stats() const {
+  OperatorStats s;
+  s.phase = phase_;
+  s.events = events_;
+  s.memberships = memberships_;
+  s.memberships_kept = memberships_kept_;
+  s.windows_closed = windows_closed_;
+  s.matches = matches_;
+  s.decisions = decisions();
+  s.drops = drops();
+  s.retrains = retrains_;
+  s.windows_observed = windows_observed();
+  s.shedding_active = shedding_active();
+  return s;
 }
 
 }  // namespace espice

@@ -81,6 +81,8 @@ struct EspiceOperatorConfig {
   }
 };
 
+struct OperatorStats;
+
 class EspiceOperator {
  public:
   enum class Phase { kSizing, kTraining, kShedding };
@@ -118,6 +120,9 @@ class EspiceOperator {
   std::uint64_t decisions() const;
   std::size_t retrains() const { return retrains_; }
   std::size_t windows_observed() const;
+  /// One-call snapshot of every lifetime counter; what an embedding host
+  /// (e.g. the sharded StreamEngine's merge stage) reports per operator.
+  OperatorStats stats() const;
 
  private:
   void close_windows();
@@ -143,6 +148,28 @@ class EspiceOperator {
   std::size_t retrains_ = 0;
   std::size_t windows_since_rebuild_ = 0;
   bool drift_pending_ = false;
+
+  // Lifetime counters (see stats()).
+  std::uint64_t events_ = 0;
+  std::uint64_t memberships_ = 0;
+  std::uint64_t memberships_kept_ = 0;
+  std::uint64_t windows_closed_ = 0;
+  std::uint64_t matches_ = 0;
+};
+
+/// Final stat snapshot of one operator (hosts aggregate these across shards).
+struct OperatorStats {
+  EspiceOperator::Phase phase = EspiceOperator::Phase::kSizing;
+  std::uint64_t events = 0;
+  std::uint64_t memberships = 0;       ///< (event, window) pairs offered
+  std::uint64_t memberships_kept = 0;  ///< pairs kept after shedding
+  std::uint64_t windows_closed = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t decisions = 0;  ///< shedder decisions (0 until armed)
+  std::uint64_t drops = 0;
+  std::size_t retrains = 0;
+  std::size_t windows_observed = 0;
+  bool shedding_active = false;
 };
 
 }  // namespace espice

@@ -1,0 +1,116 @@
+// Bounded single-producer / single-consumer ring buffer.
+//
+// The StreamEngine's router feeds each shard through one of these: exactly
+// one thread pushes (the router) and exactly one pops (the shard), which
+// permits a wait-free design with two monotone cursors and no locks or CAS
+// loops.  Memory ordering is the textbook pair: the producer publishes a
+// slot with a release store of `tail_`, the consumer acquires it; the
+// consumer frees a slot with a release store of `head_`, the producer
+// acquires it.  Both sides additionally cache the peer's cursor and only
+// reload it on apparent full/empty, so the steady-state fast path touches a
+// single shared cache line per operation.
+//
+// Cursors are free-running 64-bit counters (never wrapped), so full/empty
+// are simply `tail - head == capacity` / `tail == head` with no reserved
+// slot.  Capacity is rounded up to a power of two; slot index = cursor &
+// mask.
+//
+// close() is the producer's end-of-stream signal.  The consumer must keep
+// draining after observing closed(): the release store in close() happens
+// after the producer's final push, so "closed and try_pop() failed" is the
+// only true termination condition (see pop_or_closed()).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace espice {
+
+/// T must be nothrow-movable; slots are default-constructed up front (one
+/// allocation in the constructor, none after).
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    ESPICE_REQUIRE(capacity > 0, "ring capacity must be positive");
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side.  Returns false when the ring is full.
+  bool try_push(T value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity()) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: no further pushes will happen.  Idempotent.
+  void close() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Consumer side.  Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: pop, distinguishing "empty for now" from "drained and
+  /// closed".  The closed check runs *before* the retry pop so the final
+  /// push-then-close pair can never be missed.
+  enum class Pop { kItem, kEmpty, kDone };
+  Pop pop_or_closed(T& out) {
+    if (try_pop(out)) return Pop::kItem;
+    if (!closed()) return Pop::kEmpty;
+    // Closed was observed (acquire) after a failed pop; anything the
+    // producer pushed before close() is now visible -- one more pop decides.
+    return try_pop(out) ? Pop::kItem : Pop::kDone;
+  }
+
+  /// Approximate occupancy; exact when called by the producer or consumer
+  /// thread for its own side's view, a safe snapshot otherwise.  This is the
+  /// per-shard queue-depth (backpressure) signal fed to overload detectors.
+  std::size_t size() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  // Producer-owned line: tail cursor plus the cached consumer position.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t head_cache_ = 0;
+  // Consumer-owned line: head cursor plus the cached producer position.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t tail_cache_ = 0;
+  alignas(64) std::atomic<bool> closed_{false};
+
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace espice

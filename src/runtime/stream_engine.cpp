@@ -1,0 +1,312 @@
+#include "runtime/stream_engine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <tuple>
+
+#include "runtime/spsc_ring.hpp"
+
+namespace espice {
+
+namespace {
+
+/// Sampling stride for the peak-queue-depth gauge: reading both ring
+/// cursors on every pop would put two extra acquire loads on the hot path.
+constexpr std::uint64_t kDepthSampleStride = 32;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+void StreamEngineConfig::validate() const {
+  ESPICE_REQUIRE(shards > 0, "engine needs at least one shard");
+  ESPICE_REQUIRE(ring_capacity > 0, "ring capacity must be positive");
+  if (adaptive.has_value()) {
+    adaptive->validate();
+    return;
+  }
+  query.pattern.validate();
+  query.window.validate();
+  if (shedder_factory != nullptr) {
+    ESPICE_REQUIRE(
+        predicted_ws > 0.0 || query.window.span_kind == WindowSpan::kCount,
+        "non-count windows need an explicit predicted_ws to shed");
+  }
+}
+
+struct StreamEngine::Shard {
+  Shard(std::size_t index_, std::size_t ring_capacity) : ring(ring_capacity) {
+    stats.shard = index_;
+  }
+
+  SpscRing<Event> ring;
+  std::thread thread;
+  std::vector<ComplexEvent> matches;  // in shard-local detection order
+  ShardStats stats;
+  std::exception_ptr error;
+};
+
+std::uint64_t StreamEngine::partition_hash(std::uint64_t key) {
+  // SplitMix64 finalizer: fixed, platform-independent avalanche so the
+  // shard assignment is part of the engine's deterministic contract.
+  std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::size_t StreamEngine::shard_index(std::uint64_t key, std::size_t shards) {
+  return static_cast<std::size_t>(partition_hash(key) % shards);
+}
+
+std::size_t StreamEngine::shard_of(const Event& e) const {
+  const std::uint64_t key =
+      config_.key_of ? config_.key_of(e) : static_cast<std::uint64_t>(e.type);
+  return shard_index(key, config_.shards);
+}
+
+StreamEngine::StreamEngine(StreamEngineConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, config_.ring_capacity));
+  }
+  start_ = std::chrono::steady_clock::now();
+  try {
+    for (auto& shard : shards_) {
+      Shard* s = shard.get();
+      s->thread = config_.adaptive.has_value()
+                      ? std::thread([this, s] { run_adaptive_shard(*s); })
+                      : std::thread([this, s] { run_deterministic_shard(*s); });
+    }
+  } catch (...) {
+    // Thread spawn failed mid-loop: release the shards already running
+    // (close their rings, join) before rethrowing -- destroying a joinable
+    // std::thread would terminate the process.
+    for (auto& s : shards_) s->ring.close();
+    for (auto& s : shards_) {
+      if (s->thread.joinable()) s->thread.join();
+    }
+    throw;
+  }
+}
+
+StreamEngine::~StreamEngine() {
+  if (!finished_) {
+    for (auto& s : shards_) s->ring.close();
+    for (auto& s : shards_) {
+      if (s->thread.joinable()) s->thread.join();
+    }
+  }
+}
+
+void StreamEngine::push(const Event& e) {
+  ESPICE_REQUIRE(!finished_, "push() after finish()");
+  Shard& s = *shards_[shard_of(e)];
+  while (!s.ring.try_push(e)) {
+    // Backpressure: the shard is the bottleneck; yield the router until a
+    // slot frees up.  The counter is router-owned, so a plain increment.
+    ++s.stats.router_backpressure_waits;
+    std::this_thread::yield();
+  }
+  ++pushed_;
+}
+
+void StreamEngine::run_deterministic_shard(Shard& shard) {
+  try {
+    WindowManager wm(config_.query.window);
+    const Matcher matcher(config_.query.pattern, config_.query.selection,
+                          config_.query.consumption,
+                          config_.query.max_matches_per_window);
+    std::unique_ptr<Shedder> shedder =
+        config_.shedder_factory ? config_.shedder_factory(shard.stats.shard)
+                                : nullptr;
+    double predicted_ws = config_.predicted_ws;
+    if (predicted_ws <= 0.0) {
+      predicted_ws = static_cast<double>(config_.query.window.span_events);
+    }
+
+    auto flush = [&] {
+      for (const WindowView& w : wm.drain_closed()) {
+        ++shard.stats.windows_closed;
+        auto matches = matcher.match_window(w);
+        for (auto& m : matches) shard.matches.push_back(std::move(m));
+      }
+    };
+
+    Event e;
+    for (;;) {
+      const auto popped = shard.ring.pop_or_closed(e);
+      if (popped == SpscRing<Event>::Pop::kEmpty) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (popped == SpscRing<Event>::Pop::kDone) break;
+
+      if (++shard.stats.events % kDepthSampleStride == 0) {
+        shard.stats.peak_queue_depth =
+            std::max(shard.stats.peak_queue_depth, shard.ring.size());
+      }
+      auto& memberships = wm.offer(e);
+      shard.stats.memberships += memberships.size();
+      for (const auto& m : memberships) {
+        if (shedder != nullptr &&
+            shedder->should_drop(e, m.position, predicted_ws)) {
+          continue;
+        }
+        wm.keep(m, e);
+        ++shard.stats.memberships_kept;
+      }
+      flush();
+    }
+    wm.close_all();
+    flush();
+
+    shard.stats.matches = shard.matches.size();
+    if (shedder != nullptr) {
+      shard.stats.shed_decisions = shedder->decisions();
+      shard.stats.shed_drops = shedder->drops();
+    }
+  } catch (...) {
+    shard.error = std::current_exception();
+    // Keep draining so the router cannot deadlock on a full ring.
+    Event e;
+    while (shard.ring.pop_or_closed(e) != SpscRing<Event>::Pop::kDone) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void StreamEngine::run_adaptive_shard(Shard& shard) {
+  try {
+    EspiceOperator op(*config_.adaptive, [&shard](const ComplexEvent& ce) {
+      shard.matches.push_back(ce);
+    });
+    const double tick_period = config_.adaptive->detector.tick_period;
+    double next_tick = tick_period;
+
+    Event e;
+    for (;;) {
+      const auto popped = shard.ring.pop_or_closed(e);
+      if (popped == SpscRing<Event>::Pop::kEmpty) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (popped == SpscRing<Event>::Pop::kDone) break;
+
+      const auto before = std::chrono::steady_clock::now();
+      const double now = std::chrono::duration<double>(before - start_).count();
+      op.observe_arrival(now);
+      op.push(e);
+      op.observe_cost(seconds_since(before));
+      if (now >= next_tick) {
+        // The ring depth *is* the shard's input queue: the backpressure
+        // signal the overload detector steers shedding by.
+        op.on_tick(now, shard.ring.size());
+        ++shard.stats.detector_ticks;
+        shard.stats.peak_queue_depth =
+            std::max(shard.stats.peak_queue_depth, shard.ring.size());
+        if (op.shedding_active()) shard.stats.shedding_ever_active = true;
+        next_tick += tick_period;
+      }
+    }
+    op.finish();
+
+    const OperatorStats s = op.stats();
+    shard.stats.events = s.events;
+    shard.stats.memberships = s.memberships;
+    shard.stats.memberships_kept = s.memberships_kept;
+    shard.stats.windows_closed = s.windows_closed;
+    shard.stats.matches = shard.matches.size();
+    shard.stats.shed_decisions = s.decisions;
+    shard.stats.shed_drops = s.drops;
+    shard.stats.retrains = s.retrains;
+  } catch (...) {
+    shard.error = std::current_exception();
+    Event e;
+    while (shard.ring.pop_or_closed(e) != SpscRing<Event>::Pop::kDone) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+std::vector<ComplexEvent> StreamEngine::merge_matches(
+    std::vector<std::vector<ComplexEvent>> per_shard) {
+  struct Tagged {
+    std::uint64_t completion_seq;
+    std::size_t shard;
+    std::size_t index;
+  };
+  std::vector<Tagged> order;
+  std::size_t total = 0;
+  for (const auto& v : per_shard) total += v.size();
+  order.reserve(total);
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    for (std::size_t i = 0; i < per_shard[s].size(); ++i) {
+      std::uint64_t completion = 0;
+      for (const auto& c : per_shard[s][i].constituents) {
+        completion = std::max(completion, c.event.seq);
+      }
+      order.push_back(Tagged{completion, s, i});
+    }
+  }
+  std::sort(order.begin(), order.end(), [](const Tagged& a, const Tagged& b) {
+    return std::tie(a.completion_seq, a.shard, a.index) <
+           std::tie(b.completion_seq, b.shard, b.index);
+  });
+  std::vector<ComplexEvent> merged;
+  merged.reserve(total);
+  for (const Tagged& t : order) {
+    merged.push_back(std::move(per_shard[t.shard][t.index]));
+  }
+  return merged;
+}
+
+EngineReport StreamEngine::finish() {
+  ESPICE_REQUIRE(!finished_, "finish() called twice");
+  finished_ = true;
+  for (auto& s : shards_) s->ring.close();
+  for (auto& s : shards_) s->thread.join();
+  const double wall = seconds_since(start_);
+  for (auto& s : shards_) {
+    if (s->error) std::rethrow_exception(s->error);
+  }
+
+  EngineReport report;
+  report.events = pushed_;
+  report.wall_seconds = wall;
+  report.events_per_sec =
+      wall > 0.0 ? static_cast<double>(pushed_) / wall : 0.0;
+  std::vector<std::vector<ComplexEvent>> per_shard;
+  per_shard.reserve(shards_.size());
+  for (auto& s : shards_) {
+    report.shards.push_back(s->stats);
+    per_shard.push_back(std::move(s->matches));
+  }
+  report.matches = merge_matches(std::move(per_shard));
+  return report;
+}
+
+std::size_t StreamEngine::queue_depth(std::size_t shard) const {
+  ESPICE_REQUIRE(shard < shards_.size(), "shard index out of range");
+  return shards_[shard]->ring.size();
+}
+
+std::uint64_t EngineReport::total_windows_closed() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards) n += s.windows_closed;
+  return n;
+}
+
+std::uint64_t EngineReport::total_shed_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards) n += s.shed_drops;
+  return n;
+}
+
+}  // namespace espice

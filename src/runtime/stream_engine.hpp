@@ -1,0 +1,182 @@
+// Sharded multi-threaded stream engine.
+//
+// The paper's operator is single-threaded; this subsystem scales it out the
+// way partitioned middlebox pipelines do: a router key-partitions the input
+// stream across K shards, each shard owns one complete operator pipeline and
+// is fed through a bounded SPSC ring buffer, and a merge stage collects the
+// shards' complex events and statistics into one ordered output.
+//
+//   push(e) --router--> [SpscRing 0] --> shard 0 (windows+matcher+shedder)
+//                       [SpscRing 1] --> shard 1        ...
+//                       [SpscRing K-1] --> shard K-1
+//   finish() ----------> join shards --> canonical merge --> EngineReport
+//
+// Partitioning semantics: each shard runs an *independent* operator over its
+// substream -- windows are formed per shard, exactly as if the substream
+// were a stream of its own.  The golden for a K-shard run is therefore the
+// union of K serial single-thread runs over the partitioned substreams
+// (tests/runtime/stream_engine_oracle_test.cpp holds the engine to that).
+//
+// Determinism: the engine has a strictly deterministic mode.  Three
+// ingredients make the concurrent run bit-comparable to the serial golden:
+//  1. a fixed partition hash (SplitMix64 of the key; no pointer/thread-id
+//     dependence),
+//  2. per-shard FIFO: one SPSC ring per shard preserves stream order within
+//     a shard, and a shard is single-threaded inside,
+//  3. a canonical merge order: matches are ordered by (completing event
+//     seq, shard, in-shard detection index), which no thread interleaving
+//     can perturb.
+// In deterministic mode any shedding must come from a deterministic Shedder
+// (e.g. a seq-hash policy); adaptive mode instead gives every shard a full
+// EspiceOperator whose overload detector is ticked with the shard's *ring
+// depth* as the queue-size (backpressure) signal -- adaptive results depend
+// on the wall clock and are not bit-stable.
+//
+// Threading contract: push() and finish() must be called from one thread
+// (the router); each shard's pipeline runs on its own thread; the report is
+// only handed out after every shard thread joined, so no synchronization
+// beyond the rings is needed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cep/matcher.hpp"
+#include "cep/pattern.hpp"
+#include "cep/window.hpp"
+#include "core/espice_operator.hpp"
+#include "core/shedder.hpp"
+
+namespace espice {
+
+/// The query one shard executes in deterministic mode (mirrors QueryDef
+/// without depending on the harness layer).
+struct ShardQuery {
+  Pattern pattern;
+  WindowSpec window;
+  SelectionPolicy selection = SelectionPolicy::kFirst;
+  ConsumptionPolicy consumption = ConsumptionPolicy::kConsumed;
+  std::size_t max_matches_per_window = 1;
+};
+
+struct StreamEngineConfig {
+  /// Number of shards (and shard threads).  1 is valid and useful: it is the
+  /// serial pipeline behind one ring, the baseline every speedup is against.
+  std::size_t shards = 1;
+  /// Per-shard ring capacity (rounded up to a power of two).  A full ring
+  /// back-pressures the router (it spins), which bounds engine memory.
+  std::size_t ring_capacity = 4096;
+  /// Partition key; nullptr = the event's type.  Events with equal keys land
+  /// on the same shard in stream order.
+  std::function<std::uint64_t(const Event&)> key_of;
+
+  // --- deterministic mode (used when `adaptive` is empty) ------------------
+  ShardQuery query;
+  /// Per-shard shedder factory; nullptr = keep everything.  The factory runs
+  /// on the router thread at start(); each shedder is then owned and driven
+  /// by its shard's thread only.  Must be deterministic (seq/position hash)
+  /// for the engine's determinism guarantee to hold.
+  std::function<std::unique_ptr<Shedder>(std::size_t shard)> shedder_factory;
+  /// Window size handed to shedders for position scaling; 0 = derive from
+  /// count-window span (required explicit for time/predicate windows when a
+  /// shedder is present, as in run_pipeline()).
+  double predicted_ws = 0.0;
+
+  // --- adaptive mode -------------------------------------------------------
+  /// When set, every shard runs a full EspiceOperator built from this config
+  /// (sizing -> training -> shedding lifecycle, drift retraining) and its
+  /// overload detector is ticked with the shard's ring depth every
+  /// `detector.tick_period` wall seconds.
+  std::optional<EspiceOperatorConfig> adaptive;
+
+  void validate() const;
+};
+
+/// Per-shard outcome counters, collected by the merge stage.
+struct ShardStats {
+  std::size_t shard = 0;
+  std::uint64_t events = 0;
+  std::uint64_t memberships = 0;
+  std::uint64_t memberships_kept = 0;
+  std::uint64_t windows_closed = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t shed_decisions = 0;
+  std::uint64_t shed_drops = 0;
+  /// Peak ring occupancy observed by the shard (sampled; backpressure gauge).
+  std::size_t peak_queue_depth = 0;
+  /// How often the router found this shard's ring full and had to wait.
+  std::uint64_t router_backpressure_waits = 0;
+  // Adaptive mode only:
+  std::size_t retrains = 0;
+  std::size_t detector_ticks = 0;
+  bool shedding_ever_active = false;
+};
+
+/// Aggregated result of one engine run (the SimResult analogue).
+struct EngineReport {
+  /// All shards' complex events in canonical merge order.
+  std::vector<ComplexEvent> matches;
+  std::vector<ShardStats> shards;
+  std::uint64_t events = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+
+  std::uint64_t total_matches() const { return matches.size(); }
+  std::uint64_t total_windows_closed() const;
+  std::uint64_t total_shed_drops() const;
+};
+
+class StreamEngine {
+ public:
+  explicit StreamEngine(StreamEngineConfig config);
+  /// Joins shard threads if finish() was never called (abandoned run).
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Routes one event to its shard, in stream order.  Blocks (spins) while
+  /// the shard's ring is full -- backpressure instead of unbounded queues.
+  void push(const Event& e);
+
+  /// End of stream: closes every ring, waits for the shards to drain and
+  /// flush their open windows, joins the threads and merges the outputs.
+  /// Terminal -- the engine cannot be reused afterwards.
+  EngineReport finish();
+
+  std::size_t shards() const { return config_.shards; }
+  /// Which shard `e` routes to (fixed hash; usable before/after the run).
+  std::size_t shard_of(const Event& e) const;
+  /// The fixed partition hash: SplitMix64 finalizer of the key.
+  static std::uint64_t partition_hash(std::uint64_t key);
+  /// shard index for a key under `shards` partitions (what shard_of uses).
+  static std::size_t shard_index(std::uint64_t key, std::size_t shards);
+
+  /// Current ring depth of one shard (the external queue-depth signal).
+  std::size_t queue_depth(std::size_t shard) const;
+
+  /// The canonical merge: per-shard match lists (each in detection order) to
+  /// one ordered list, sorted by (completing constituent seq, shard,
+  /// in-shard index).  Public so oracle tests can order their serial goldens
+  /// identically.
+  static std::vector<ComplexEvent> merge_matches(
+      std::vector<std::vector<ComplexEvent>> per_shard);
+
+ private:
+  struct Shard;
+
+  void run_deterministic_shard(Shard& shard);
+  void run_adaptive_shard(Shard& shard);
+
+  StreamEngineConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t pushed_ = 0;
+  bool finished_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace espice

@@ -61,35 +61,37 @@ SimResult OperatorSimulator::run(std::span<const Event> events,
   return run(events, std::vector<RatePhase>{{events.size(), input_rate}});
 }
 
-SimResult OperatorSimulator::run(std::span<const Event> events,
-                                 const std::vector<RatePhase>& phases) {
+std::vector<double> arrival_schedule(std::size_t n,
+                                     const std::vector<RatePhase>& phases) {
   ESPICE_REQUIRE(!phases.empty(), "need at least one rate phase");
   for (const auto& p : phases) {
     ESPICE_REQUIRE(p.rate > 0.0, "phase rates must be positive");
   }
-  SimResult result;
-  if (events.empty()) return result;
-
-  // Precompute arrival timestamps from the rate schedule; the last phase
-  // extends to the end of the stream.
-  std::vector<double> arrival_ts(events.size());
-  {
-    double t = 0.0;
-    std::size_t i = 0;
-    for (std::size_t p = 0; p < phases.size() && i < events.size(); ++p) {
-      const bool last = (p + 1 == phases.size());
-      std::size_t budget = last ? events.size() - i : phases[p].events;
-      const double step = 1.0 / phases[p].rate;
-      while (budget-- > 0 && i < events.size()) {
-        arrival_ts[i++] = t;
-        t += step;
-      }
-    }
-    while (i < events.size()) {
+  std::vector<double> arrival_ts(n);
+  double t = 0.0;
+  std::size_t i = 0;
+  for (std::size_t p = 0; p < phases.size() && i < n; ++p) {
+    const bool last = (p + 1 == phases.size());
+    std::size_t budget = last ? n - i : phases[p].events;
+    const double step = 1.0 / phases[p].rate;
+    while (budget-- > 0 && i < n) {
       arrival_ts[i++] = t;
-      t += 1.0 / phases.back().rate;
+      t += step;
     }
   }
+  while (i < n) {
+    arrival_ts[i++] = t;
+    t += 1.0 / phases.back().rate;
+  }
+  return arrival_ts;
+}
+
+SimResult OperatorSimulator::run(std::span<const Event> events,
+                                 const std::vector<RatePhase>& phases) {
+  SimResult result;
+  const std::vector<double> arrival_ts =
+      arrival_schedule(events.size(), phases);
+  if (events.empty()) return result;
 
   WindowManager wm(config_.window);
   OverloadDetector detector(config_.detector);

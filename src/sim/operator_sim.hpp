@@ -103,6 +103,12 @@ struct RatePhase {
   double rate = 0.0;       ///< events/second
 };
 
+/// Arrival timestamps for `n` events under the given rate schedule (the last
+/// phase extends to the end of the stream).  Shared by OperatorSimulator and
+/// the sharded engine's simulator.
+std::vector<double> arrival_schedule(std::size_t n,
+                                     const std::vector<RatePhase>& phases);
+
 class OperatorSimulator {
  public:
   /// `shedder` must outlive run(); pass a NullShedder for golden behaviour.

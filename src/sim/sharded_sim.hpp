@@ -1,0 +1,64 @@
+// Sharded replay harness: drives a StreamEngine with the same rate-phase
+// schedules the fig-style benches feed OperatorSimulator, so overload
+// scenarios can be rerun against the K-shard engine.
+//
+// Unlike OperatorSimulator (virtual time, serial), the engine runs on real
+// threads, so the replay is wall-clock based:
+//  * replay_speed == 0 (default): events are pushed as fast as the router
+//    can route them -- the throughput-measurement mode the sharded benches
+//    use.  The phase schedule still defines arrival timestamps, which are
+//    exposed in the result (offered rate / span) for reporting.
+//  * replay_speed > 0: the router paces pushes so that virtual arrival time
+//    t is reached at wall time t / replay_speed (e.g. 100 = replay a
+//    1000 s schedule in 10 s).  With an adaptive engine this recreates the
+//    paper's overload scenarios against real per-shard queues: arrival
+//    bursts genuinely back the rings up, and each shard's overload detector
+//    sees the resulting depth.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "runtime/stream_engine.hpp"
+#include "sim/operator_sim.hpp"
+
+namespace espice {
+
+struct ShardedSimConfig {
+  StreamEngineConfig engine;
+  /// 0 = unpaced (push at full speed); > 0 = virtual-to-wall speed factor.
+  double replay_speed = 0.0;
+};
+
+struct ShardedSimResult {
+  EngineReport report;
+  /// Virtual span of the arrival schedule (last arrival timestamp).
+  double offered_duration = 0.0;
+  /// Mean offered rate over the schedule (events / offered_duration).
+  double offered_rate = 0.0;
+};
+
+/// The serial golden a deterministic engine built from `config` must
+/// reproduce bit-for-bit on `events`: hash-partition the stream into
+/// substreams with the engine's own partitioner, run the serial
+/// run_pipeline() per substream (with the config's shedder, if any), and
+/// canonically merge the per-shard match lists.  The oracle tests, the
+/// throughput bench and the examples all assert parity against this one
+/// definition.
+std::vector<ComplexEvent> partitioned_serial_golden(
+    const StreamEngineConfig& config, std::span<const Event> events);
+
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(ShardedSimConfig config);
+
+  /// Replays `events` through a fresh StreamEngine (one engine per run).
+  ShardedSimResult run(std::span<const Event> events,
+                       const std::vector<RatePhase>& phases);
+  ShardedSimResult run(std::span<const Event> events, double rate);
+
+ private:
+  ShardedSimConfig config_;
+};
+
+}  // namespace espice

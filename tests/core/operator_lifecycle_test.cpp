@@ -1,0 +1,199 @@
+// EspiceOperator lifecycle regression: the kSizing -> kTraining -> kShedding
+// phase machine, exact transition boundaries, drift-triggered retrain
+// counts on a synthetic drifting stream, and the stats() snapshot hook.
+// (Previously these paths were only exercised indirectly through
+// tests/integration/retraining_test.cpp.)
+#include "core/espice_operator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace espice {
+namespace {
+
+constexpr EventTypeId A = 0;
+constexpr EventTypeId B = 1;
+constexpr EventTypeId kFiller = 2;
+
+// Blocks of 6 events; the hot A-then-B pair sits at positions 0-1 (regime 0)
+// or 4-5 (regime 1).  ts advances 1 s per event.
+Event regime_event(int regime, std::uint64_t seq) {
+  const std::size_t pos = seq % 6;
+  Event e;
+  const bool hot = regime == 0 ? pos < 2 : pos >= 4;
+  if (hot) {
+    e.type = (regime == 0 ? pos == 0 : pos == 4) ? A : B;
+  } else {
+    e.type = kFiller;
+  }
+  e.seq = seq;
+  e.ts = static_cast<double>(seq);
+  e.value = 1.0;
+  return e;
+}
+
+EspiceOperatorConfig count_config() {
+  EspiceOperatorConfig c;
+  c.pattern = make_sequence({element("A", TypeSet{A}), element("B", TypeSet{B})});
+  c.window.span_kind = WindowSpan::kCount;
+  c.window.span_events = 6;
+  c.window.open_kind = WindowOpen::kCountSlide;
+  c.window.slide_events = 6;
+  c.num_types = 3;
+  c.training_windows = 30;
+  c.detector.latency_bound = 1.0;
+  c.detector.ewma_alpha = 1.0;
+  return c;
+}
+
+// Time-spanned, predicate-opened windows: N is unknown up front, so the
+// operator must start in the sizing phase and measure it.
+EspiceOperatorConfig time_config() {
+  EspiceOperatorConfig c = count_config();
+  c.window = WindowSpec{};
+  c.window.span_kind = WindowSpan::kTime;
+  c.window.span_seconds = 6.0;
+  c.window.open_kind = WindowOpen::kPredicate;
+  c.window.opener = element("A", TypeSet{A});
+  c.sizing_windows = 20;
+  return c;
+}
+
+struct Host {
+  std::vector<ComplexEvent> matches;
+  EspiceOperator op;
+  std::uint64_t next_seq = 0;
+
+  explicit Host(EspiceOperatorConfig config)
+      : op(std::move(config),
+           [this](const ComplexEvent& ce) { matches.push_back(ce); }) {}
+
+  void run(int regime, std::size_t n, std::size_t queue_size) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t seq = next_seq++;
+      op.observe_arrival(static_cast<double>(seq) / 1000.0);
+      op.observe_cost(1e-3);  // th = 1000 events/s -> qmax = 1000
+      op.push(regime_event(regime, seq));
+      if (i % 10 == 0) {
+        op.on_tick(static_cast<double>(seq) / 1000.0, queue_size);
+      }
+    }
+  }
+};
+
+TEST(OperatorLifecycle, SizingMeasuresWindowSizeThenTrains) {
+  Host host(time_config());
+  ASSERT_EQ(host.op.phase(), EspiceOperator::Phase::kSizing);
+  EXPECT_EQ(host.op.model(), nullptr);
+
+  // 19 closed windows: one opens per A (every 6 events); the 20th A closes
+  // window 19.  Still sizing.
+  host.run(0, 19 * 6 + 1, 0);
+  EXPECT_EQ(host.op.phase(), EspiceOperator::Phase::kSizing);
+  EXPECT_EQ(host.op.windows_observed(), 19u);
+
+  // One more block closes the 20th window: sizing completes, N is the mean
+  // observed size (6) and training begins with a fresh window count.
+  host.run(0, 6, 0);
+  EXPECT_EQ(host.op.phase(), EspiceOperator::Phase::kTraining);
+  EXPECT_EQ(host.op.model(), nullptr) << "no model before training completes";
+
+  // 30 training windows later the model is built and armed with N = 6.
+  host.run(0, 31 * 6, 0);
+  EXPECT_EQ(host.op.phase(), EspiceOperator::Phase::kShedding);
+  ASSERT_NE(host.op.model(), nullptr);
+  EXPECT_EQ(host.op.model()->n_positions(), 6u);
+}
+
+TEST(OperatorLifecycle, TrainingArmsExactlyAtTrainingWindows) {
+  Host host(count_config());  // count windows skip sizing
+  ASSERT_EQ(host.op.phase(), EspiceOperator::Phase::kTraining);
+
+  // A count window's closure is detected at the *next* offer, so even with
+  // all 30 * 6 events pushed, window 30 (full, events 174..179) is still
+  // open and the operator still training.
+  host.run(0, 30 * 6, 0);
+  EXPECT_EQ(host.op.phase(), EspiceOperator::Phase::kTraining);
+  EXPECT_EQ(host.op.windows_observed(), 29u);
+
+  host.run(0, 1, 0);  // event 180: its offer closes window 30 -> armed
+  EXPECT_EQ(host.op.phase(), EspiceOperator::Phase::kShedding);
+  ASSERT_NE(host.op.model(), nullptr);
+  EXPECT_EQ(host.op.retrains(), 0u);
+}
+
+TEST(OperatorLifecycle, DriftRetrainCountsOnDriftingStream) {
+  auto config = count_config();
+  config.training_windows = 200;
+  config.retrain_decay = 0.05;
+  config.exploration = 0.2;
+  config.rebuild_every_windows = 200;
+  config.drift.batch_size = 3000;
+  config.drift.patience = 1;
+  Host host(std::move(config));
+
+  host.run(0, 201 * 6, 0);  // train on regime 0
+  ASSERT_EQ(host.op.phase(), EspiceOperator::Phase::kShedding);
+  ASSERT_EQ(host.op.retrains(), 0u);
+
+  // First shift, under overload (queue above the 0.8 * 1000 watermark):
+  // the input composition changes, the drift detector fires, retrains
+  // increments.
+  host.run(1, 2000 * 6, 900);
+  const std::size_t after_first_shift = host.op.retrains();
+  EXPECT_GE(after_first_shift, 1u);
+
+  // A long stable stretch on the new regime must not keep retraining: the
+  // rebased reference now describes regime 1.
+  host.run(1, 2000 * 6, 900);
+  const std::size_t after_stable = host.op.retrains();
+  EXPECT_LE(after_stable - after_first_shift, 1u)
+      << "drift detector kept firing on a stable stream";
+
+  // Shifting back is a second drift: the count must grow again.
+  host.run(0, 2000 * 6, 900);
+  EXPECT_GT(host.op.retrains(), after_stable);
+}
+
+TEST(OperatorLifecycle, StatsSnapshotTracksLifetimeCounters) {
+  Host host(count_config());
+  host.run(0, 120, 0);  // 20 tumbling windows, still training
+
+  const OperatorStats s = host.op.stats();
+  EXPECT_EQ(s.phase, EspiceOperator::Phase::kTraining);
+  EXPECT_EQ(s.events, 120u);
+  // Tumbling windows: exactly one membership per event, nothing shed.
+  EXPECT_EQ(s.memberships, 120u);
+  EXPECT_EQ(s.memberships_kept, 120u);
+  // Window 20 is full but its closure is only detected at the next offer.
+  EXPECT_EQ(s.windows_closed, 19u);
+  EXPECT_EQ(s.matches, host.matches.size());
+  EXPECT_EQ(s.decisions, 0u);
+  EXPECT_EQ(s.drops, 0u);
+  EXPECT_EQ(s.windows_observed, 19u);
+  EXPECT_FALSE(s.shedding_active);
+}
+
+TEST(OperatorLifecycle, StatsSnapshotCountsDropsWhileShedding) {
+  Host host(count_config());
+  host.run(0, 31 * 6, 0);  // train and arm
+  ASSERT_EQ(host.op.phase(), EspiceOperator::Phase::kShedding);
+
+  host.run(0, 100 * 6, 900);  // overloaded: shedding active
+  const OperatorStats s = host.op.stats();
+  EXPECT_TRUE(s.shedding_active);
+  EXPECT_GT(s.drops, 0u);
+  EXPECT_EQ(s.drops, host.op.drops());
+  EXPECT_EQ(s.memberships - s.memberships_kept, s.drops);
+  EXPECT_EQ(s.retrains, host.op.retrains());
+  // finish() flushes the tail into the counters: the first of the 3 extra
+  // events closes the pending full window, close_all() the partial one.
+  const std::uint64_t closed_before = s.windows_closed;
+  host.run(0, 3, 0);
+  host.op.finish();
+  EXPECT_EQ(host.op.stats().windows_closed, closed_before + 2);
+}
+
+}  // namespace
+}  // namespace espice

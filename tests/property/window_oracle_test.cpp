@@ -17,6 +17,7 @@
 #include "cep/reference_window.hpp"
 #include "cep/window.hpp"
 #include "common/rng.hpp"
+#include "support/test_seed.hpp"
 
 namespace espice {
 namespace {
@@ -149,7 +150,9 @@ using OracleParams =
 class WindowOracle : public ::testing::TestWithParam<OracleParams> {};
 
 TEST_P(WindowOracle, SharedStoreEngineMatchesNaiveReference) {
-  const auto [span_kind, open_kind, drop_mod, seed] = GetParam();
+  const auto [span_kind, open_kind, drop_mod, salt] = GetParam();
+  const std::uint64_t seed = test_support::test_seed(salt);
+  SCOPED_TRACE(test_support::seed_trace(seed));
   run_engine_comparison(make_spec(span_kind, open_kind), drop_mod, seed, 600);
 }
 
@@ -161,6 +164,8 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(WindowOpen::kPredicate, WindowOpen::kCountSlide),
         // keep everything / drop ~2 in 3 / drop ~6 in 7
         ::testing::Values(0u, 3u, 7u),
+        // Per-case salts; ESPICE_TEST_SEED reshuffles all of them (see
+        // tests/support/test_seed.hpp).
         ::testing::Values(11u, 222u, 3333u)));
 
 // Large spans push the live kept-event count past EventStore's initial ring
@@ -172,8 +177,12 @@ TEST(WindowOracle, LargeSpanExercisesStoreGrowth) {
   spec.span_events = 1024;
   spec.open_kind = WindowOpen::kCountSlide;
   spec.slide_events = 64;
-  run_engine_comparison(spec, /*drop_mod=*/0, /*seed=*/55, /*n_events=*/4000);
-  run_engine_comparison(spec, /*drop_mod=*/3, /*seed=*/56, /*n_events=*/4000);
+  for (const std::uint64_t salt : {55u, 56u}) {
+    const std::uint64_t seed = test_support::test_seed(salt);
+    SCOPED_TRACE(test_support::seed_trace(seed));
+    run_engine_comparison(spec, /*drop_mod=*/salt == 55u ? 0u : 3u, seed,
+                          /*n_events=*/4000);
+  }
 }
 
 // Dropped events must still advance positions: with everything shed, closed
@@ -181,7 +190,9 @@ TEST(WindowOracle, LargeSpanExercisesStoreGrowth) {
 TEST(WindowOracle, FullSheddingStillAdvancesPositions) {
   WindowSpec spec = make_spec(WindowSpan::kCount, WindowOpen::kCountSlide);
   WindowManager engine(spec);
-  const auto events = random_stream(99, 200);
+  const std::uint64_t seed = test_support::test_seed(99);
+  SCOPED_TRACE(test_support::seed_trace(seed));
+  const auto events = random_stream(seed, 200);
   std::vector<Window> closed;
   for (const Event& e : events) {
     engine.offer(e);  // keep nothing
@@ -208,7 +219,9 @@ TEST(WindowOracle, ResidentPayloadDoesNotScaleWithOverlap) {
   spec.slide_events = 16;  // overlap factor 16
   WindowManager engine(spec);
   ReferenceWindowManager reference(spec);
-  const auto events = random_stream(7, 2000);
+  const std::uint64_t seed = test_support::test_seed(7);
+  SCOPED_TRACE(test_support::seed_trace(seed));
+  const auto events = random_stream(seed, 2000);
 
   std::size_t engine_peak = 0;
   std::size_t reference_peak = 0;

@@ -1,0 +1,46 @@
+// Reproducible seeding for randomized property tests.
+//
+// Randomized suites derive their stream seeds from ESPICE_TEST_SEED so a CI
+// failure can be replayed locally:
+//
+//   ESPICE_TEST_SEED=12345 ./property_window_oracle_test
+//
+// Unset (or 0), the env hook is inert and every test keeps its fixed
+// built-in salt, so default runs are bit-identical across machines.  Tests
+// must wrap randomized bodies in `SCOPED_TRACE(seed_trace(seed))` so any
+// failure prints the exact value to re-export.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace espice::test_support {
+
+/// The ESPICE_TEST_SEED override (decimal or 0x-hex), or 0 when unset.
+inline std::uint64_t env_seed() {
+  const char* s = std::getenv("ESPICE_TEST_SEED");
+  if (s == nullptr || *s == '\0') return 0;
+  return std::strtoull(s, nullptr, 0);
+}
+
+/// Effective seed for one randomized case: the case's fixed `salt` by
+/// default; mixed with the env override when one is set (so one env value
+/// reshuffles every parameterized case, not just one).
+inline std::uint64_t test_seed(std::uint64_t salt) {
+  const std::uint64_t env = env_seed();
+  if (env == 0) return salt;
+  // SplitMix64 finalizer over (env ^ rotated salt): cheap, well-mixed.
+  std::uint64_t z = env ^ (salt * 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Failure-message annotation: pass to SCOPED_TRACE in randomized tests.
+inline std::string seed_trace(std::uint64_t effective_seed) {
+  return "reproduce with ESPICE_TEST_SEED=" + std::to_string(env_seed()) +
+         " (effective stream seed " + std::to_string(effective_seed) + ")";
+}
+
+}  // namespace espice::test_support
