@@ -1,0 +1,257 @@
+// Multi-query shared-window throughput: N queries registered in ONE
+// StreamEngine (one ingestion path, one shared WindowManager/EventStore)
+// against N independent single-query engines over the same stream.
+//
+// The shared engine routes, windows and buffers every event once no matter
+// how many queries consume it; the independent baseline pays ingestion +
+// windowing + buffering N times.  Matching is inherently per-query and is
+// paid equally on both sides, so the speedup isolates the shared-execution
+// win.  Parity is the hard gate: every query's matches in the shared run
+// must be bit-identical to its own single-query engine run AND to the
+// serial run_pipeline() golden -- the bench exits nonzero on any mismatch.
+//
+// Writes BENCH_multi_query.json.  --smoke (or ESPICE_BENCH_SMOKE=1)
+// shrinks the stream for CI smoke runs.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/stream_engine.hpp"
+#include "sim/sharded_sim.hpp"
+
+namespace espice {
+namespace {
+
+bool g_smoke = false;
+
+constexpr std::size_t kNumTypes = 64;
+constexpr std::size_t kSpan = 1024;
+constexpr std::size_t kSlide = 64;  // overlap factor 16
+constexpr std::size_t kQueries = 5;
+
+std::vector<Event> make_stream(std::size_t n) {
+  Rng rng(0x5eedu);
+  std::vector<Event> events;
+  events.reserve(n);
+  double ts = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Event e;
+    e.type = static_cast<EventTypeId>(rng.uniform_int(kNumTypes));
+    e.seq = i;
+    ts += rng.uniform(0.0, 0.01);
+    e.ts = ts;
+    e.value = rng.uniform(-1.0, 1.0);
+    events.push_back(e);
+  }
+  return events;
+}
+
+/// Five distinct monitoring queries over ONE shared window spec: different
+/// patterns, same windowing -- the canonical consolidated-middleware load.
+std::vector<EngineQuery> make_queries() {
+  WindowSpec window;
+  window.span_kind = WindowSpan::kCount;
+  window.span_events = kSpan;
+  window.open_kind = WindowOpen::kCountSlide;
+  window.slide_events = kSlide;
+
+  auto rising = [](const char* n) {
+    return element(n, TypeSet{}, DirectionFilter::kRising);
+  };
+  auto falling = [](const char* n) {
+    return element(n, TypeSet{}, DirectionFilter::kFalling);
+  };
+  std::vector<Pattern> patterns;
+  patterns.push_back(make_sequence({rising("u"), falling("d")}));
+  patterns.push_back(make_sequence({falling("d"), rising("u")}));
+  patterns.push_back(make_sequence({rising("u"), rising("u2"), falling("d")}));
+  patterns.push_back(make_sequence(
+      {element("t0", TypeSet{0}, DirectionFilter::kAny), rising("u")}));
+  patterns.push_back(make_sequence({falling("d"), falling("d2"),
+                                    falling("d3")}));
+
+  std::vector<EngineQuery> queries;
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    EngineQuery q;
+    q.name = "q" + std::to_string(i);
+    q.query.pattern = patterns[i];
+    q.query.window = window;
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+/// Flattened (seq...) signature of a canonically ordered match list.
+std::vector<std::uint64_t> signature(const std::vector<ComplexEvent>& ms) {
+  std::vector<std::uint64_t> sig;
+  sig.reserve(ms.size() * 4);
+  for (const auto& m : ms) {
+    sig.push_back(m.constituents.size());
+    for (const auto& c : m.constituents) sig.push_back(c.event.seq);
+  }
+  return sig;
+}
+
+struct RunResult {
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  std::size_t matches = 0;
+  bool parity = true;
+  std::vector<std::vector<std::uint64_t>> per_query_sigs;
+};
+
+/// One shared engine serving all N queries.
+RunResult run_shared(const std::vector<Event>& events,
+                     const std::vector<EngineQuery>& queries,
+                     std::size_t shards) {
+  StreamEngineConfig config;
+  config.shards = shards;
+  config.ring_capacity = 4096;
+  StreamEngine engine(config);
+  for (const EngineQuery& q : queries) engine.add_query(q);
+  for (const Event& e : events) engine.push(e);
+  const EngineReport report = engine.finish();
+
+  RunResult r;
+  r.wall_seconds = report.wall_seconds;
+  r.events_per_sec = report.events_per_sec;
+  r.matches = report.matches.size();
+  for (const auto& qr : report.queries) {
+    r.per_query_sigs.push_back(signature(qr.matches));
+  }
+  return r;
+}
+
+/// N independent single-query engines, run one after another over the same
+/// stream (each pays full ingestion + windowing; total wall is the sum).
+RunResult run_independent(const std::vector<Event>& events,
+                          const std::vector<EngineQuery>& queries,
+                          std::size_t shards) {
+  RunResult r;
+  for (const EngineQuery& q : queries) {
+    StreamEngineConfig config;
+    config.shards = shards;
+    config.ring_capacity = 4096;
+    StreamEngine engine(config);
+    engine.add_query(q);
+    for (const Event& e : events) engine.push(e);
+    const EngineReport report = engine.finish();
+    r.wall_seconds += report.wall_seconds;
+    r.matches += report.matches.size();
+    r.per_query_sigs.push_back(signature(report.queries.front().matches));
+  }
+  r.events_per_sec =
+      r.wall_seconds > 0.0
+          ? static_cast<double>(events.size()) / r.wall_seconds
+          : 0.0;
+  return r;
+}
+
+}  // namespace
+}  // namespace espice
+
+int main(int argc, char** argv) {
+  using namespace espice;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+  }
+  if (const char* env = std::getenv("ESPICE_BENCH_SMOKE");
+      env != nullptr && env[0] != '\0' && env[0] != '0') {
+    g_smoke = true;
+  }
+
+  const std::size_t n_events = g_smoke ? 60'000 : 300'000;
+  const auto events = make_stream(n_events);
+  const auto queries = make_queries();
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+
+  std::printf(
+      "=== Multi-query shared-window throughput (%zu queries, span %zu, "
+      "slide %zu, overlap %zu, %zu events, %u hw threads) ===\n",
+      kQueries, kSpan, kSlide, kSpan / kSlide, n_events, hw_threads);
+
+  bool parity_all = true;
+  std::string json = "{\n  \"benchmark\": \"multi_query_engine\",\n";
+  json += "  \"queries\": " + std::to_string(kQueries) + ",\n";
+  json += "  \"events\": " + std::to_string(n_events) + ",\n";
+  json += "  \"span_events\": " + std::to_string(kSpan) + ",\n";
+  json += "  \"slide_events\": " + std::to_string(kSlide) + ",\n";
+  json += "  \"overlap\": " + std::to_string(kSpan / kSlide) + ",\n";
+  json += "  \"hardware_threads\": " + std::to_string(hw_threads) + ",\n";
+  json += "  \"runs\": [\n";
+
+  std::printf("| %-8s | %-6s | %-14s | %-9s | %-8s | %-7s |\n", "mode",
+              "shards", "events/sec", "wall (s)", "matches", "parity");
+
+  double shared_wall_k1 = 0.0, independent_wall_k1 = 0.0;
+  const std::size_t ks[] = {1, 2};
+  bool first_row = true;
+  for (const std::size_t k : ks) {
+    // Serial per-query goldens at this K: the one definition both the
+    // shared run and the independent runs must reproduce bit for bit.
+    const auto goldens = per_query_serial_goldens(k, nullptr, queries, events);
+    std::vector<std::vector<std::uint64_t>> golden_sigs;
+    for (const auto& g : goldens) golden_sigs.push_back(signature(g));
+    for (const bool shared : {true, false}) {
+      RunResult best;
+      bool reps_parity = true;  // parity must hold on EVERY rep
+      for (int rep = 0; rep < 2; ++rep) {
+        RunResult r = shared ? run_shared(events, queries, k)
+                             : run_independent(events, queries, k);
+        reps_parity = reps_parity && r.per_query_sigs == golden_sigs;
+        if (rep == 0 || r.wall_seconds < best.wall_seconds) {
+          best = std::move(r);
+        }
+      }
+      best.parity = reps_parity;
+      parity_all = parity_all && best.parity;
+      if (k == 1) {
+        (shared ? shared_wall_k1 : independent_wall_k1) = best.wall_seconds;
+      }
+      const char* mode = shared ? "shared" : "indep";
+      std::printf("| %-8s | %-6zu | %-14.0f | %-9.3f | %-8zu | %-7s |\n", mode,
+                  k, best.events_per_sec, best.wall_seconds, best.matches,
+                  best.parity ? "ok" : "FAIL");
+      if (!first_row) json += ",\n";
+      first_row = false;
+      json += "    {\"mode\": \"" + std::string(mode) +
+              "\", \"shards\": " + std::to_string(k) +
+              ", \"events_per_sec\": " + std::to_string(best.events_per_sec) +
+              ", \"wall_seconds\": " + std::to_string(best.wall_seconds) +
+              ", \"matches\": " + std::to_string(best.matches) +
+              ", \"parity\": " + (best.parity ? "true" : "false") + "}";
+    }
+  }
+  json += "\n  ],\n";
+
+  const double speedup = shared_wall_k1 > 0.0
+                             ? independent_wall_k1 / shared_wall_k1
+                             : 0.0;
+  json += "  \"acceptance\": {\"parity_all\": " +
+          std::string(parity_all ? "true" : "false") +
+          ", \"speedup_shared_vs_independent_k1\": " + std::to_string(speedup) +
+          ", \"speedup_ge_1_5x\": " +
+          (speedup >= 1.5 ? std::string("true") : std::string("false")) +
+          "}\n}\n";
+
+  std::printf("\nN=%zu shared vs independent (K=1): %.2fx %s\n", kQueries,
+              speedup, speedup >= 1.5 ? "(>= 1.5x: ok)" : "(< 1.5x)");
+
+  const char* path = "BENCH_multi_query.json";
+  bool wrote = false;
+  if (FILE* f = std::fopen(path, "w")) {
+    wrote = std::fputs(json.c_str(), f) >= 0;
+    std::fclose(f);
+    std::printf("wrote %s (parity: %s)\n", path, parity_all ? "ok" : "FAIL");
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path);
+  }
+  // Exact per-query parity is the contract; the JSON artifact is the
+  // deliverable.  Either failing must fail CI.
+  return (parity_all && wrote) ? 0 : 1;
+}

@@ -12,16 +12,18 @@
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
 #include "metrics/latency.hpp"
+#include "smoke.hpp"
 
 int main() {
   using namespace espice;
+  using examples::smoke_scaled;
 
   TypeRegistry registry;
   RtlsGenerator generator(RtlsConfig{}, registry);
-  const auto events = generator.generate(300'000);
+  const auto events = generator.generate(smoke_scaled(300'000, 75'000));
 
   const QueryDef query = make_q1(generator, 3);
-  const std::size_t train_n = 130'000;
+  const std::size_t train_n = smoke_scaled(130'000, 32'000);
   const TrainedModel trained =
       train_model(query, registry.size(),
                   std::span<const Event>(events).subspan(0, train_n), 1);

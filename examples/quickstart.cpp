@@ -9,15 +9,17 @@
 #include <iostream>
 
 #include "harness/experiment.hpp"
+#include "smoke.hpp"
 
 int main() {
   using namespace espice;
+  using examples::smoke_scaled;
 
   // --- Dataset ------------------------------------------------------------
   TypeRegistry registry;
   RtlsConfig rtls_config;
   RtlsGenerator generator(rtls_config, registry);
-  const auto events = generator.generate(250'000);
+  const auto events = generator.generate(smoke_scaled(250'000, 60'000));
 
   // --- Query: Q1 with 3 defenders, 15 s windows ----------------------------
   QueryDef query = make_q1(generator, /*n=*/3, /*window_seconds=*/15.0);
@@ -26,8 +28,8 @@ int main() {
   ExperimentConfig config;
   config.query = query;
   config.num_types = registry.size();
-  config.train_events = 120'000;
-  config.measure_events = 120'000;
+  config.train_events = smoke_scaled(120'000, 30'000);
+  config.measure_events = smoke_scaled(120'000, 30'000);
   config.rate_factor = 1.3;        // 30% over capacity
   config.latency_bound = 1.0;      // seconds
   config.f = 0.8;

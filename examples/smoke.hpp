@@ -1,0 +1,25 @@
+// Shared smoke-mode hook for the example binaries.
+//
+// Every example is registered with ctest as a smoke test (label `example`,
+// ESPICE_EXAMPLE_SMOKE=1) so examples cannot silently rot: they must build,
+// run on a shrunken stream and exit zero.  Run an example with the
+// environment variable unset for the full-size demo output.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+
+namespace espice::examples {
+
+/// True when ESPICE_EXAMPLE_SMOKE is set (nonempty, not "0").
+inline bool smoke_mode() {
+  const char* env = std::getenv("ESPICE_EXAMPLE_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// `full` for a real demo run, `small` under ctest smoke.
+inline std::size_t smoke_scaled(std::size_t full, std::size_t small) {
+  return smoke_mode() ? small : full;
+}
+
+}  // namespace espice::examples

@@ -12,18 +12,20 @@
 #include "core/f_advisor.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
+#include "smoke.hpp"
 
 int main() {
   using namespace espice;
+  using examples::smoke_scaled;
 
   TypeRegistry registry;
   RtlsGenerator generator(RtlsConfig{}, registry);
-  const auto events = generator.generate(260'000);
+  const auto events = generator.generate(smoke_scaled(260'000, 60'000));
 
   const QueryDef query = make_q1(generator, /*n=*/4);
   const TrainedModel trained =
       train_model(query, registry.size(),
-                  std::span<const Event>(events).subspan(0, 130'000),
+                  std::span<const Event>(events).subspan(0, events.size() / 2),
                   /*bin_size=*/1);
   const UtilityModel& model = *trained.model;
 

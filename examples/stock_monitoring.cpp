@@ -11,14 +11,16 @@
 #include "datasets/csv.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
+#include "smoke.hpp"
 
 int main() {
   using namespace espice;
+  using examples::smoke_scaled;
 
   // --- Dataset: 500 symbols, 5 leaders, per-minute quotes ------------------
   TypeRegistry registry;
   StockGenerator generator(StockConfig{}, registry);
-  const auto events = generator.generate(600'000);
+  const auto events = generator.generate(smoke_scaled(600'000, 120'000));
 
   // Export a sample so users can inspect the feed format (type,seq,ts,...).
   const std::string sample_path = "stock_sample.csv";
@@ -37,8 +39,8 @@ int main() {
     ExperimentConfig config;
     config.query = query;
     config.num_types = registry.size();
-    config.train_events = 450'000;
-    config.measure_events = 140'000;
+    config.train_events = smoke_scaled(450'000, 90'000);
+    config.measure_events = smoke_scaled(140'000, 28'000);
     config.rate_factor = 1.3;
     config.bin_size = 4;
     config.shedder = kind;

@@ -20,7 +20,61 @@ Window materialize(const WindowView& v) {
   return w;
 }
 
-WindowManager::WindowManager(WindowSpec spec) : spec_(std::move(spec)) {
+namespace {
+
+/// Same type set and direction filter (names are diagnostics only).
+bool same_element_filter(const ElementSpec& a, const ElementSpec& b) {
+  return a.direction == b.direction && a.types.is_any() == b.types.is_any() &&
+         a.types.members() == b.types.members();
+}
+
+}  // namespace
+
+bool same_windowing(const WindowSpec& a, const WindowSpec& b) {
+  if (a.span_kind != b.span_kind || a.open_kind != b.open_kind) return false;
+  switch (a.span_kind) {
+    case WindowSpan::kTime:
+      if (a.span_seconds != b.span_seconds) return false;
+      break;
+    case WindowSpan::kCount:
+      if (a.span_events != b.span_events) return false;
+      break;
+    case WindowSpan::kPredicate:
+      if (a.span_events != b.span_events ||
+          !same_element_filter(a.closer, b.closer)) {
+        return false;
+      }
+      break;
+  }
+  switch (a.open_kind) {
+    case WindowOpen::kPredicate:
+      return same_element_filter(a.opener, b.opener);
+    case WindowOpen::kCountSlide:
+      return a.slide_events == b.slide_events;
+  }
+  return false;  // unreachable
+}
+
+WindowView filter_view_for_query(const WindowView& full, std::size_t query,
+                                 std::vector<KeptEntry>& scratch) {
+  ESPICE_REQUIRE(full.store != nullptr,
+                 "per-query filtering needs a store-backed view");
+  ESPICE_REQUIRE(full.kept_masks.size() == full.kept_entries.size(),
+                 "view has no per-query keep masks");
+  ESPICE_ASSERT(query < kMaxQueriesPerWindowManager, "query bit out of range");
+  const QueryMask bit = QueryMask{1} << query;
+  scratch.clear();
+  for (std::size_t i = 0; i < full.kept_entries.size(); ++i) {
+    if ((full.kept_masks[i] & bit) != 0) scratch.push_back(full.kept_entries[i]);
+  }
+  WindowView v = full;
+  v.kept_entries = scratch;
+  v.kept_masks = {};
+  return v;
+}
+
+WindowManager::WindowManager(WindowSpec spec, bool track_masks)
+    : spec_(std::move(spec)), track_masks_(track_masks) {
   spec_.validate();
 }
 
@@ -123,8 +177,13 @@ std::vector<WindowManager::Membership>& WindowManager::offer(const Event& e) {
   return scratch_;
 }
 
-void WindowManager::keep(const Membership& m, const Event& e) {
+void WindowManager::keep(const Membership& m, const Event& e, QueryMask mask) {
   ESPICE_ASSERT(m.open_index < open_.size(), "stale membership handle");
+  ESPICE_ASSERT(mask != 0, "keep() with an empty query mask");
+  // A partial mask on a non-tracking manager would be silently widened to
+  // "kept for every query" -- fail loudly instead.
+  ESPICE_ASSERT(track_masks_ || mask == ~QueryMask{0},
+                "partial query mask on a manager that does not track masks");
   WindowRecord& w = open_[m.open_index];
   ESPICE_ASSERT(w.id == m.window, "membership does not match its window");
   if (!event_in_store_) {
@@ -135,6 +194,7 @@ void WindowManager::keep(const Membership& m, const Event& e) {
                 "window slot offset overflows 32 bits");
   w.kept.push_back(KeptEntry{
       static_cast<std::uint32_t>(current_slot_ - w.begin_slot), m.position});
+  if (track_masks_) w.kept_masks.push_back(mask);
 }
 
 void WindowManager::close_record(WindowRecord&& w) {
@@ -148,6 +208,10 @@ void WindowManager::recycle_drained() {
   for (auto& r : drained_) {
     r.kept.clear();
     kept_pool_.push_back(std::move(r.kept));
+    if (track_masks_) {
+      r.kept_masks.clear();
+      mask_pool_.push_back(std::move(r.kept_masks));
+    }
   }
   drained_.clear();
 }
@@ -175,6 +239,7 @@ WindowView WindowManager::view_of(const WindowRecord& r) const {
   v.store = &store_;
   v.begin_slot = r.begin_slot;
   v.kept_entries = r.kept;
+  if (track_masks_) v.kept_masks = r.kept_masks;
   return v;
 }
 
@@ -213,7 +278,8 @@ double WindowManager::avg_closed_window_size() const {
 std::size_t WindowManager::resident_index_bytes() const {
   std::size_t bytes = 0;
   auto count = [&](const WindowRecord& r) {
-    bytes += r.kept.capacity() * sizeof(KeptEntry);
+    bytes += r.kept.capacity() * sizeof(KeptEntry) +
+             r.kept_masks.capacity() * sizeof(QueryMask);
   };
   for (std::size_t i = open_head_; i < open_.size(); ++i) count(open_[i]);
   for (const auto& r : closed_) count(r);
@@ -226,6 +292,10 @@ void WindowManager::open_window(const Event& e) {
   if (!kept_pool_.empty()) {
     w.kept = std::move(kept_pool_.back());
     kept_pool_.pop_back();
+  }
+  if (track_masks_ && !mask_pool_.empty()) {
+    w.kept_masks = std::move(mask_pool_.back());
+    mask_pool_.pop_back();
   }
   w.id = next_id_++;
   w.open_ts = e.ts;

@@ -50,6 +50,21 @@ namespace espice {
 
 using WindowId = std::uint64_t;
 
+/// Bit set of the queries that kept an event in a window (multi-query
+/// execution: N queries share one WindowManager/EventStore and each keeps
+/// its own subset of every window).  Bit q set = query q kept the event.
+using QueryMask = std::uint64_t;
+
+/// Hard cap on queries sharing one WindowManager (bits in QueryMask).
+inline constexpr std::size_t kMaxQueriesPerWindowManager = 64;
+
+/// Mask with the lowest `queries` bits set (all-queries mask).
+inline QueryMask all_queries_mask(std::size_t queries) {
+  ESPICE_ASSERT(queries >= 1 && queries <= kMaxQueriesPerWindowManager,
+                "query count outside the mask range");
+  return queries >= 64 ? ~QueryMask{0} : (QueryMask{1} << queries) - 1;
+}
+
 enum class WindowSpan {
   kTime,       ///< closes span_seconds after opening
   kCount,      ///< closes after span_events offered events
@@ -120,6 +135,9 @@ struct WindowView {
   std::span<const KeptEntry> kept_entries;
   std::span<const Event> kept_direct;         ///< payloads (direct mode)
   std::span<const std::uint32_t> kept_positions;
+  /// Per kept event, the queries that kept it (empty unless the producing
+  /// manager tracks masks; parallel to kept_entries).
+  std::span<const QueryMask> kept_masks;
 
   std::size_t size() const { return arrivals; }
   /// Events that survived shedding.
@@ -163,8 +181,27 @@ struct Window {
   }
 };
 
+/// Structural equality of window-forming behavior (element names ignored):
+/// two specs comparing equal open and close identical windows on any
+/// stream.  The multi-query engine uses this to decide which queries can
+/// share one WindowManager.
+bool same_windowing(const WindowSpec& a, const WindowSpec& b);
+
 /// Copies a view's contents into an owned Window.
 Window materialize(const WindowView& v);
+
+/// Sub-view of `full` containing only the kept events whose mask includes
+/// `query`, in arrival order.  `scratch` backs the filtered entry list and
+/// must stay alive (and unmodified) while the returned view is used; it is
+/// reusable across calls.  Requires a mask-tracking, store-backed view.
+///
+/// This is the multi-query equivalence primitive: the filtered view is
+/// bit-identical (same events, positions, arrival order, window metadata) to
+/// the window the query would have seen running alone with its own shedder,
+/// because window boundaries and positions depend only on *offered* events,
+/// never on keep decisions.
+WindowView filter_view_for_query(const WindowView& full, std::size_t query,
+                                 std::vector<KeptEntry>& scratch);
 
 /// Drives window opening, event-to-window routing and window closing.
 ///
@@ -175,7 +212,11 @@ Window materialize(const WindowView& v);
 ///   for (auto& w : mgr.drain_closed()) ... // match closed windows (views!)
 class WindowManager {
  public:
-  explicit WindowManager(WindowSpec spec);
+  /// `track_masks`: record a per-kept-event QueryMask so N queries can share
+  /// this manager (see keep(m, e, mask) and filter_view_for_query()).  The
+  /// single-query hot path (false, default) stores no masks and is
+  /// unchanged.
+  explicit WindowManager(WindowSpec spec, bool track_masks = false);
 
   struct Membership {
     WindowId window;
@@ -193,7 +234,16 @@ class WindowManager {
   /// Records `e` as kept (not shed) in the given window.  The event payload
   /// is appended to the shared store at most once per offer() no matter how
   /// many windows keep it.
-  void keep(const Membership& m, const Event& e);
+  void keep(const Membership& m, const Event& e) {
+    keep(m, e, ~QueryMask{0});
+  }
+
+  /// Multi-query keep: records `e` as kept in the window for every query
+  /// whose bit is set in `mask` (the caller ORs its queries' keep
+  /// decisions; an event every query sheds is simply never kept -- a
+  /// physical drop).  `mask` must be nonzero.  Requires track_masks unless
+  /// the mask is all-ones (the single-query path above).
+  void keep(const Membership& m, const Event& e, QueryMask mask);
 
   /// Views of the windows closed since the last drain, in closing order.
   /// Views (and the store slots they reference) stay valid until the next
@@ -234,6 +284,7 @@ class WindowManager {
     bool close_pending = false;
     std::size_t arrivals = 0;        ///< filled at close
     std::vector<KeptEntry> kept;
+    std::vector<QueryMask> kept_masks;  ///< parallel to kept (mask mode only)
   };
 
   void open_window(const Event& e);
@@ -246,6 +297,7 @@ class WindowManager {
   WindowView view_of(const WindowRecord& r) const;
 
   WindowSpec spec_;
+  bool track_masks_ = false;
   EventStore store_;
   // Open windows in open order, live in [open_head_, open_.size()).  A
   // vector with a head cursor beats a deque here: routing iterates
@@ -259,6 +311,7 @@ class WindowManager {
   std::vector<Membership> scratch_;    // reused membership buffer
   // Recycled kept lists so open_window() stops allocating at steady state.
   std::vector<std::vector<KeptEntry>> kept_pool_;
+  std::vector<std::vector<QueryMask>> mask_pool_;
   WindowId next_id_ = 0;
   std::uint64_t events_seen_ = 0;
   bool any_close_pending_ = false;

@@ -1,0 +1,236 @@
+#include "core/multi_query_operator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace espice {
+
+MultiQueryOperator::MultiQueryOperator(MultiQueryOperatorConfig config,
+                                       MatchCallback on_match)
+    : config_(std::move(config)),
+      on_match_(std::move(on_match)),
+      windows_(config_.window, /*track_masks=*/true),
+      detector_([&] {
+        auto d = config_.detector;
+        d.window_size_events = std::max<std::size_t>(d.window_size_events, 1);
+        return d;
+      }()) {
+  config_.validate();
+  ESPICE_REQUIRE(on_match_ != nullptr, "match callback must be set");
+
+  queries_.reserve(config_.queries.size());
+  for (const auto& q : config_.queries) {
+    queries_.emplace_back(
+        Matcher(q.pattern, q.selection, q.consumption, q.max_matches_per_window));
+  }
+
+  std::size_t n = config_.n_positions;
+  if (n == 0 && config_.window.span_kind == WindowSpan::kCount) {
+    n = config_.window.span_events;
+  }
+  if (n > 0) {
+    begin_training(n);
+  }
+}
+
+void MultiQueryOperator::begin_training(std::size_t n_positions) {
+  ModelBuilderConfig mb;
+  mb.num_types = config_.num_types;
+  mb.n_positions = n_positions;
+  mb.bin_size = std::min(config_.bin_size, n_positions);
+  for (auto& q : queries_) q.builder.emplace(mb);
+  predicted_ws_ = static_cast<double>(n_positions);
+  phase_ = Phase::kTraining;
+}
+
+void MultiQueryOperator::push(const Event& e) {
+  ESPICE_REQUIRE(e.type < config_.num_types, "event type outside the universe");
+  auto& memberships = windows_.offer(e);
+  ++events_;
+  memberships_ += memberships.size();
+  const bool shedding = phase_ == Phase::kShedding;
+  if (!shedding) {
+    // Sizing/training: every query keeps everything.
+    for (const auto& m : memberships) {
+      windows_.keep(m, e, all_queries_mask(queries_.size()));
+      ++memberships_kept_;
+    }
+  } else {
+    for (const auto& m : memberships) {
+      QueryMask mask = 0;
+      for (std::size_t q = 0; q < queries_.size(); ++q) {
+        // Position shares are fed *pre-drop* per query so they stay
+        // unbiased by the shedders' own decisions (same as EspiceOperator).
+        queries_[q].builder->observe_position(e.type, m.position,
+                                              predicted_ws_);
+        if (!queries_[q].shedder->should_drop(e, m.position, predicted_ws_)) {
+          mask |= QueryMask{1} << q;
+        }
+      }
+      // Every query shed it -> physical drop: never buffered, never matched.
+      if (mask != 0) {
+        windows_.keep(m, e, mask);
+        ++memberships_kept_;
+      }
+    }
+  }
+  close_windows();
+}
+
+void MultiQueryOperator::close_windows() {
+  for (const WindowView& w : windows_.drain_closed()) {
+    ++windows_closed_;
+    switch (phase_) {
+      case Phase::kSizing: {
+        sizing_size_sum_ += static_cast<double>(w.size());
+        ++sizing_count_;
+        break;
+      }
+      case Phase::kTraining:
+      case Phase::kShedding:
+        break;
+    }
+
+    const bool shedding = phase_ == Phase::kShedding;
+    for (std::size_t q = 0; q < queries_.size(); ++q) {
+      QueryState& state = queries_[q];
+      // During sizing/training every event carries an all-queries mask, so
+      // the unfiltered view is each query's view; filtering is only needed
+      // once per-query drops can differ.
+      const WindowView view =
+          shedding ? filter_view_for_query(w, q, state.filter_scratch) : w;
+      const auto matches = state.matcher.match_window(view);
+      state.matches += matches.size();
+      if (phase_ == Phase::kTraining) {
+        state.builder->observe_window(view);
+        for (const auto& m : matches) state.builder->observe_match(m, w.size());
+      } else if (shedding) {
+        // Positions were fed pre-drop in push(); count the window and the
+        // match evidence here.
+        state.builder->count_window();
+        for (const auto& m : matches) state.builder->observe_match(m, w.size());
+      }
+      for (const auto& m : matches) on_match_(q, m);
+    }
+
+    if (phase_ == Phase::kSizing) {
+      if (sizing_count_ >= config_.sizing_windows) {
+        const auto n = static_cast<std::size_t>(std::max<long>(
+            1,
+            std::lround(sizing_size_sum_ / static_cast<double>(sizing_count_))));
+        begin_training(n);
+      }
+    } else if (phase_ == Phase::kTraining) {
+      if (queries_.front().builder->windows_observed() >=
+          config_.training_windows) {
+        build_and_arm();
+      }
+    } else if (config_.rebuild_every_windows > 0 &&
+               ++windows_since_rebuild_ >= config_.rebuild_every_windows) {
+      refresh_models();
+    }
+  }
+}
+
+void MultiQueryOperator::build_and_arm() {
+  std::vector<std::shared_ptr<const UtilityModel>> models;
+  models.reserve(queries_.size());
+  for (auto& q : queries_) {
+    auto model = q.builder->build();
+    q.shedder = std::make_unique<EspiceShedder>(model, config_.exact_amount);
+    q.shedder->set_exploration(config_.exploration);
+    models.push_back(std::move(model));
+  }
+  coordinator_.set_models(std::move(models));
+  if (!config_.query_weights.empty()) {
+    coordinator_.set_weights(config_.query_weights);
+  }
+  // Refine the detector's notion of the (shared) window size.
+  auto detector_config = config_.detector;
+  detector_config.window_size_events =
+      static_cast<std::size_t>(predicted_ws_);
+  detector_ = OverloadDetector(detector_config);
+  phase_ = Phase::kShedding;
+}
+
+void MultiQueryOperator::refresh_models() {
+  std::vector<std::shared_ptr<const UtilityModel>> models;
+  models.reserve(queries_.size());
+  for (auto& q : queries_) {
+    auto model = q.builder->build();
+    q.shedder->set_model(model);
+    models.push_back(std::move(model));
+  }
+  coordinator_.set_models(std::move(models));
+  if (!config_.query_weights.empty()) {
+    coordinator_.set_weights(config_.query_weights);
+  }
+  windows_since_rebuild_ = 0;
+}
+
+void MultiQueryOperator::on_tick(double /*now*/, std::size_t queue_size) {
+  if (phase_ != Phase::kShedding) return;
+  const DropCommand cmd = detector_.tick(queue_size);
+  if (!cmd.active) {
+    for (auto& q : queries_) q.shedder->on_command(cmd);
+    return;
+  }
+  // One shared budget, split where it loses the least utility.  The
+  // detector's x is per window PARTITION while the coordinator reasons
+  // over whole-window CDTs, so scale to the per-window total for the split
+  // and back to per-partition amounts for the shedder commands.
+  const double partitions = static_cast<double>(cmd.partitions);
+  last_split_ = coordinator_.apportion(cmd.x * partitions);
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    DropCommand qcmd;
+    qcmd.active = last_split_[q] > 0.0;
+    qcmd.x = last_split_[q] / partitions;
+    qcmd.partitions = cmd.partitions;
+    queries_[q].shedder->on_command(qcmd);
+  }
+}
+
+void MultiQueryOperator::observe_cost(double seconds) {
+  detector_.observe_processing_cost(seconds);
+}
+
+void MultiQueryOperator::finish() {
+  windows_.close_all();
+  close_windows();
+}
+
+bool MultiQueryOperator::shedding_active() const {
+  if (phase_ != Phase::kShedding) return false;
+  for (const auto& q : queries_) {
+    if (q.shedder->active()) return true;
+  }
+  return false;
+}
+
+const UtilityModel* MultiQueryOperator::model(std::size_t q) const {
+  ESPICE_REQUIRE(q < queries_.size(), "query index out of range");
+  return queries_[q].shedder ? &queries_[q].shedder->model() : nullptr;
+}
+
+MultiQueryStats MultiQueryOperator::stats() const {
+  MultiQueryStats s;
+  s.events = events_;
+  s.memberships = memberships_;
+  s.memberships_kept = memberships_kept_;
+  s.windows_closed = windows_closed_;
+  s.shedding_active = shedding_active();
+  s.queries.reserve(queries_.size());
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    MultiQueryStats::PerQuery pq;
+    pq.name = config_.queries[q].name.empty()
+                  ? "q" + std::to_string(q)
+                  : config_.queries[q].name;
+    pq.matches = queries_[q].matches;
+    pq.decisions = queries_[q].shedder ? queries_[q].shedder->decisions() : 0;
+    pq.drops = queries_[q].shedder ? queries_[q].shedder->drops() : 0;
+    s.queries.push_back(std::move(pq));
+  }
+  return s;
+}
+
+}  // namespace espice

@@ -1,0 +1,78 @@
+// Shed coordinator: apportions one shared drop budget across N queries.
+//
+// In multi-query execution a single overload detector watches the shared
+// input queue and computes one total drop amount x per window (the queue is
+// shared, so the surplus to cancel is global).  Dropping has *per-query*
+// consequences though: an event one query's model scores worthless can be a
+// constituent another query needs.  The coordinator therefore splits x so
+// the drops land on the globally lowest-utility (event, query) mass:
+//
+//   1. each query's utility model yields an aggregate CDT -- the expected
+//      number of its per-window events with utility <= u,
+//   2. the coordinator finds the smallest global threshold u* whose summed
+//      mass across queries covers x (with fractional interpolation at u* so
+//      the expected total is exactly x),
+//   3. query q's share x_q is its own mass below that threshold.
+//
+// Equalizing the utility threshold across queries is the greedy optimum for
+// this separable objective: any reallocation moves budget from a
+// lower-utility drop to a higher-utility one.  Consequently a query whose
+// events are all high-utility contributes ~no mass below u* and is assigned
+// ~no drops -- shedding one query's junk cannot starve a query that values
+// those events.
+//
+// Caveat (documented contract): utilities are per-query *normalized*
+// percentages (each table's max is 100), so cross-query comparison assumes
+// one detected complex event is worth the same in every query.  Hosts that
+// value queries differently can pre-scale with set_weights().
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/cdt.hpp"
+#include "core/utility_model.hpp"
+
+namespace espice {
+
+class ShedCoordinator {
+ public:
+  ShedCoordinator() = default;
+
+  /// (Re)binds the per-query models and rebuilds their aggregate CDTs.
+  /// Entries may be nullptr (query not yet trained): such a query receives
+  /// no drop budget.  Call again whenever a model is retrained.
+  void set_models(std::vector<std::shared_ptr<const UtilityModel>> models);
+
+  /// Per-query relative value weights (default: all 1).  A query with
+  /// weight w has its utilities scaled by w on the shared axis, so higher-
+  /// weighted queries shed later.  Size must match set_models().
+  void set_weights(std::vector<double> weights);
+
+  /// Splits a total expected per-window drop amount `x` into per-query
+  /// amounts (see file comment).  Returns one x_q >= 0 per query; the sum
+  /// is min(x, total droppable mass).
+  std::vector<double> apportion(double x) const;
+
+  /// The global utility threshold the last-computed split equalizes at
+  /// (diagnostic; recomputed per apportion() call).
+  int threshold_for(double x) const;
+
+  std::size_t queries() const { return cdts_.size(); }
+  /// Expected per-window event mass of query q (0 for untrained queries).
+  double query_mass(std::size_t q) const;
+
+ private:
+  /// Summed mass with (weighted) utility <= u across all queries.
+  double global_mass_at(int u) const;
+  /// Query q's expected per-window events with weighted utility <= u.
+  double mass_at(std::size_t q, int u) const;
+
+  std::vector<std::shared_ptr<const UtilityModel>> models_;  // keeps CDTs valid
+  std::vector<Cdt> cdts_;       ///< aggregate (single-partition) CDT per query
+  std::vector<bool> trained_;   ///< has a model (contributes mass)
+  std::vector<double> weights_;
+};
+
+}  // namespace espice

@@ -16,12 +16,14 @@ void write_events_csv(std::ostream& out, const std::vector<Event>& events,
   }
 }
 
-std::vector<Event> read_events_csv(std::istream& in, TypeRegistry& registry) {
+std::vector<Event> read_events_csv(std::istream& in, TypeRegistry& registry,
+                                   bool require_stream_order) {
   std::vector<Event> events;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
     if (line.empty()) continue;
     if (line_no == 1 && line.rfind("type,", 0) == 0) continue;  // header
     std::istringstream row(line);
@@ -32,12 +34,23 @@ std::vector<Event> read_events_csv(std::istream& in, TypeRegistry& registry) {
                      "CSV row " + std::to_string(line_no) + ": missing " + what);
       return field;
     };
+    // Numeric fields must parse in full: "1.5x" is malformed data, not 1.5.
+    auto whole = [&](std::size_t consumed) {
+      ESPICE_REQUIRE(consumed == field.size(),
+                     "CSV row " + std::to_string(line_no) +
+                         ": trailing garbage in numeric field '" + field + "'");
+    };
     try {
+      std::size_t pos = 0;
       e.type = registry.intern(next("type"));
-      e.seq = std::stoull(next("seq"));
-      e.ts = std::stod(next("ts"));
-      e.value = std::stod(next("value"));
-      e.aux = std::stod(next("aux"));
+      e.seq = std::stoull(next("seq"), &pos);
+      whole(pos);
+      e.ts = std::stod(next("ts"), &pos);
+      whole(pos);
+      e.value = std::stod(next("value"), &pos);
+      whole(pos);
+      e.aux = std::stod(next("aux"), &pos);
+      whole(pos);
     } catch (const std::invalid_argument&) {
       throw ConfigError("CSV row " + std::to_string(line_no) +
                         ": malformed numeric field '" + field + "'");
@@ -45,9 +58,25 @@ std::vector<Event> read_events_csv(std::istream& in, TypeRegistry& registry) {
       throw ConfigError("CSV row " + std::to_string(line_no) +
                         ": numeric field out of range '" + field + "'");
     }
+    ESPICE_REQUIRE(!std::getline(row, field, ','),
+                   "CSV row " + std::to_string(line_no) +
+                       ": extra fields after aux");
     events.push_back(e);
   }
+  if (require_stream_order) validate_stream_order(events);
   return events;
+}
+
+void validate_stream_order(const std::vector<Event>& events) {
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    ESPICE_REQUIRE(events[i].seq > events[i - 1].seq,
+                   "stream order violated at index " + std::to_string(i) +
+                       ": seq " + std::to_string(events[i].seq) +
+                       " after seq " + std::to_string(events[i - 1].seq));
+    ESPICE_REQUIRE(events[i].ts >= events[i - 1].ts,
+                   "stream order violated at index " + std::to_string(i) +
+                       ": timestamp moved backwards");
+  }
 }
 
 void save_events_csv(const std::string& path, const std::vector<Event>& events,
@@ -59,10 +88,11 @@ void save_events_csv(const std::string& path, const std::vector<Event>& events,
 }
 
 std::vector<Event> load_events_csv(const std::string& path,
-                                   TypeRegistry& registry) {
+                                   TypeRegistry& registry,
+                                   bool require_stream_order) {
   std::ifstream in(path);
   ESPICE_REQUIRE(in.good(), "cannot open for reading: " + path);
-  return read_events_csv(in, registry);
+  return read_events_csv(in, registry, require_stream_order);
 }
 
 }  // namespace espice

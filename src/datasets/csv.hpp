@@ -19,14 +19,26 @@ namespace espice {
 void write_events_csv(std::ostream& out, const std::vector<Event>& events,
                       const TypeRegistry& registry);
 
-/// Reads events, interning unseen type names into `registry`.
-/// Throws ConfigError on malformed rows.
-std::vector<Event> read_events_csv(std::istream& in, TypeRegistry& registry);
+/// Reads events, interning unseen type names into `registry`.  Rows must
+/// have exactly the five columns; numeric fields must parse completely
+/// (trailing garbage is an error, so "1.5x" is rejected rather than read as
+/// 1.5).  Windows line endings are accepted.  Throws ConfigError on
+/// malformed rows.  With `require_stream_order`, the loaded stream must
+/// satisfy the Event contract (strictly increasing seq, non-decreasing ts)
+/// -- out-of-order data fails fast instead of silently corrupting
+/// windowing downstream.
+std::vector<Event> read_events_csv(std::istream& in, TypeRegistry& registry,
+                                   bool require_stream_order = false);
+
+/// Checks the Event stream contract (strictly increasing seq, monotone
+/// non-decreasing ts); throws ConfigError naming the first offending index.
+void validate_stream_order(const std::vector<Event>& events);
 
 /// File-path convenience wrappers; throw ConfigError on I/O failure.
 void save_events_csv(const std::string& path, const std::vector<Event>& events,
                      const TypeRegistry& registry);
 std::vector<Event> load_events_csv(const std::string& path,
-                                   TypeRegistry& registry);
+                                   TypeRegistry& registry,
+                                   bool require_stream_order = false);
 
 }  // namespace espice

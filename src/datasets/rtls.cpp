@@ -66,7 +66,16 @@ std::vector<Event> RtlsGenerator::generate(std::size_t count) {
     return -1;
   };
 
-  while (out.size() < count) {
+  for (;;) {
+    // Hand out buffered events first: a previous call that stopped
+    // mid-second left its tail here.
+    while (pending_pos_ < pending_.size() && out.size() < count) {
+      out.push_back(pending_[pending_pos_++]);
+    }
+    if (out.size() == count) return out;
+    pending_.clear();
+    pending_pos_ = 0;
+
     // Episode lifecycle bookkeeping for this one-second slot.
     if (!episode_active_ && clock_ >= next_episode_start_) roll_episode();
     if (episode_active_ && clock_ >= episode_.end) {
@@ -122,11 +131,9 @@ std::vector<Event> RtlsGenerator::generate(std::size_t count) {
       } else {
         e.value = rng_.uniform(-1.0, 1.0);  // position noise of other objects
       }
-      out.push_back(e);
-      if (out.size() == count) break;
+      pending_.push_back(e);
     }
   }
-  return out;
 }
 
 }  // namespace espice

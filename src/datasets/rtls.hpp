@@ -95,6 +95,12 @@ class RtlsGenerator {
   double next_episode_start_ = 0.0;
   std::size_t next_striker_ = 0;
 
+  /// Whole one-second slots are generated at once; events past the
+  /// requested count wait here for the next generate() call instead of
+  /// being discarded (batched generation equals one long run).
+  std::vector<Event> pending_;
+  std::size_t pending_pos_ = 0;
+
   void roll_episode();
 };
 

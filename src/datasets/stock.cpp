@@ -138,19 +138,21 @@ EventTypeId StockGenerator::leader_of(EventTypeId symbol) const {
 std::vector<Event> StockGenerator::generate(std::size_t count) {
   std::vector<Event> out;
   out.reserve(count);
-
-  // Recent leader moves, per leader, trimmed to the influence horizon.
-  struct Move {
-    double ts;
-    int direction;
-  };
-  std::vector<std::deque<Move>> moves(config_.num_leaders);
+  if (moves_.empty()) moves_.resize(config_.num_leaders);
   const double horizon = config_.max_lag_seconds + config_.hold_seconds;
 
   std::vector<std::pair<double, EventTypeId>> batch;
   batch.reserve(config_.num_symbols);
 
-  while (out.size() < count) {
+  for (;;) {
+    // Hand out buffered events first: a previous call that stopped
+    // mid-period left its tail here.
+    while (pending_pos_ < pending_.size() && out.size() < count) {
+      out.push_back(pending_[pending_pos_++]);
+    }
+    if (out.size() == count) return out;
+    pending_.clear();
+    pending_pos_ = 0;
     // Schedule quotes around each symbol's fixed intra-period offset; hot
     // symbols tick several times per period, spread after their reaction.
     batch.clear();
@@ -182,7 +184,7 @@ std::vector<Event> StockGenerator::generate(std::size_t count) {
         }
         st.last_move_ts = ts;
         direction = st.direction;
-        auto& dq = moves[symbol];
+        auto& dq = moves_[symbol];
         dq.push_back(Move{ts, direction});
         while (!dq.empty() && dq.front().ts < ts - horizon) dq.pop_front();
       } else {
@@ -191,7 +193,7 @@ std::vector<Event> StockGenerator::generate(std::size_t count) {
         const EventTypeId leader = leader_of_[symbol];
         const double lag = lag_of_[symbol];
         const Move* influencing = nullptr;
-        for (const Move& mv : moves[leader]) {
+        for (const Move& mv : moves_[leader]) {
           if (ts >= mv.ts + lag && ts < mv.ts + lag + config_.hold_seconds) {
             influencing = &mv;  // later moves override earlier ones
           }
@@ -209,11 +211,9 @@ std::vector<Event> StockGenerator::generate(std::size_t count) {
       e.seq = next_seq_++;
       e.ts = ts;
       e.value = static_cast<double>(direction) * rng_.uniform(0.05, 1.0);
-      out.push_back(e);
-      if (out.size() == count) break;
+      pending_.push_back(e);
     }
   }
-  return out;
 }
 
 }  // namespace espice

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -124,6 +125,20 @@ class StockGenerator {
     double last_move_ts = -1e18;
   };
   std::vector<LeaderState> leader_state_;
+
+  /// Recent leader moves (per leader, trimmed to the influence horizon).
+  /// Persistent state so follower correlation survives generate() call
+  /// boundaries -- batched generation equals one long run.
+  struct Move {
+    double ts;
+    int direction;
+  };
+  std::vector<std::deque<Move>> moves_;
+
+  /// Whole periods are generated at once; events past the requested count
+  /// wait here for the next generate() call instead of being discarded.
+  std::vector<Event> pending_;
+  std::size_t pending_pos_ = 0;
 };
 
 }  // namespace espice

@@ -112,4 +112,20 @@ QueryDef make_q4(const StockGenerator& gen, std::size_t window_events,
   return q;
 }
 
+EngineQuery to_engine_query(
+    const QueryDef& query,
+    std::function<std::unique_ptr<Shedder>(std::size_t shard)> shedder_factory,
+    double predicted_ws) {
+  EngineQuery q;
+  q.name = query.name;
+  q.query.pattern = query.pattern;
+  q.query.window = query.window;
+  q.query.selection = query.selection;
+  q.query.consumption = query.consumption;
+  q.query.max_matches_per_window = query.max_matches_per_window;
+  q.shedder_factory = std::move(shedder_factory);
+  q.predicted_ws = predicted_ws;
+  return q;
+}
+
 }  // namespace espice

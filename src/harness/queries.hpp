@@ -23,6 +23,7 @@
 #include "cep/window.hpp"
 #include "datasets/rtls.hpp"
 #include "datasets/stock.hpp"
+#include "runtime/stream_engine.hpp"
 
 namespace espice {
 
@@ -56,5 +57,20 @@ QueryDef make_q3(const StockGenerator& gen, std::size_t window_events,
 QueryDef make_q4(const StockGenerator& gen, std::size_t window_events,
                  std::size_t slide_events = 100,
                  SelectionPolicy selection = SelectionPolicy::kFirst);
+
+/// QueryDef -> engine registration: bridges a harness-level query to the
+/// runtime's multi-query API.  Attach a per-query shedding policy through
+/// `shedder_factory` (same determinism contract as
+/// StreamEngineConfig::shedder_factory) and `predicted_ws` (required for
+/// non-count windows when a shedder is present).  Typical use:
+///
+///   StreamEngine engine(config);
+///   engine.add_query(to_engine_query(make_q1(gen, 3)));
+///   engine.add_query(to_engine_query(make_q3(gen, 200)));
+EngineQuery to_engine_query(
+    const QueryDef& query,
+    std::function<std::unique_ptr<Shedder>(std::size_t shard)> shedder_factory =
+        nullptr,
+    double predicted_ws = 0.0);
 
 }  // namespace espice

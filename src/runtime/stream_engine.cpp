@@ -39,13 +39,30 @@ void StreamEngineConfig::validate() const {
 }
 
 struct StreamEngine::Shard {
-  Shard(std::size_t index_, std::size_t ring_capacity) : ring(ring_capacity) {
+  Shard(std::size_t index_, std::size_t ring_capacity, std::size_t num_queries)
+      : ring(ring_capacity) {
     stats.shard = index_;
+    query_matches.resize(num_queries);
+    query_counters.resize(num_queries);
   }
+
+  /// Per-query outcome counters of this shard (summed into QueryReport).
+  struct QueryCounters {
+    std::uint64_t memberships = 0;       ///< offered pairs in its group
+    std::uint64_t memberships_kept = 0;  ///< pairs this query kept
+    std::uint64_t shed_decisions = 0;
+    std::uint64_t shed_drops = 0;
+  };
 
   SpscRing<Event> ring;
   std::thread thread;
-  std::vector<ComplexEvent> matches;  // in shard-local detection order
+  /// Per-query shedders, built by the factories on the router thread at
+  /// start() (the documented factory contract); each is then owned and
+  /// driven by this shard's thread only.
+  std::vector<std::unique_ptr<Shedder>> shedders;
+  /// Per query, this shard's matches in shard-local detection order.
+  std::vector<std::vector<ComplexEvent>> query_matches;
+  std::vector<QueryCounters> query_counters;
   ShardStats stats;
   std::exception_ptr error;
 };
@@ -71,10 +88,65 @@ std::size_t StreamEngine::shard_of(const Event& e) const {
 
 StreamEngine::StreamEngine(StreamEngineConfig config)
     : config_(std::move(config)) {
-  config_.validate();
+  // Only the common fields are checked here: the query set is not final
+  // until start() (add_query() may still register more), where the full
+  // validation runs.
+  ESPICE_REQUIRE(config_.shards > 0, "engine needs at least one shard");
+  ESPICE_REQUIRE(config_.ring_capacity > 0, "ring capacity must be positive");
+  if (config_.adaptive.has_value()) config_.adaptive->validate();
+}
+
+std::size_t StreamEngine::add_query(EngineQuery q) {
+  ESPICE_REQUIRE(!started_, "add_query() after the engine started");
+  ESPICE_REQUIRE(!config_.adaptive.has_value(),
+                 "the adaptive engine is single-query");
+  ESPICE_REQUIRE(queries_.size() < kMaxQueriesPerWindowManager,
+                 "too many queries for one engine");
+  queries_.push_back(std::move(q));
+  return queries_.size() - 1;
+}
+
+void StreamEngine::start() {
+  if (started_) return;
+  started_ = true;
+
+  if (!config_.adaptive.has_value()) {
+    if (queries_.empty()) {
+      // Legacy single-query path: adopt the config's query as query 0.
+      config_.validate();
+      EngineQuery q;
+      q.query = config_.query;
+      q.shedder_factory = config_.shedder_factory;
+      q.predicted_ws = config_.predicted_ws;
+      queries_.push_back(std::move(q));
+    }
+    for (std::size_t i = 0; i < queries_.size(); ++i) {
+      EngineQuery& q = queries_[i];
+      q.query.pattern.validate();
+      q.query.window.validate();
+      if (q.shedder_factory != nullptr) {
+        ESPICE_REQUIRE(q.predicted_ws > 0.0 ||
+                           q.query.window.span_kind == WindowSpan::kCount,
+                       "non-count windows need an explicit predicted_ws to "
+                       "shed (query " +
+                           std::to_string(i) + ")");
+      }
+      if (q.name.empty()) q.name = "q" + std::to_string(i);
+    }
+  }
+
+  const std::size_t num_queries = std::max<std::size_t>(queries_.size(), 1);
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(i, config_.ring_capacity));
+    shards_.push_back(
+        std::make_unique<Shard>(i, config_.ring_capacity, num_queries));
+    if (!config_.adaptive.has_value()) {
+      auto& shedders = shards_.back()->shedders;
+      shedders.reserve(queries_.size());
+      for (const EngineQuery& q : queries_) {
+        shedders.push_back(q.shedder_factory ? q.shedder_factory(i) : nullptr);
+      }
+    }
   }
   start_ = std::chrono::steady_clock::now();
   try {
@@ -107,6 +179,7 @@ StreamEngine::~StreamEngine() {
 
 void StreamEngine::push(const Event& e) {
   ESPICE_REQUIRE(!finished_, "push() after finish()");
+  if (!started_) start();
   Shard& s = *shards_[shard_of(e)];
   while (!s.ring.try_push(e)) {
     // Backpressure: the shard is the bottleneck; yield the router until a
@@ -119,23 +192,90 @@ void StreamEngine::push(const Event& e) {
 
 void StreamEngine::run_deterministic_shard(Shard& shard) {
   try {
-    WindowManager wm(config_.query.window);
-    const Matcher matcher(config_.query.pattern, config_.query.selection,
-                          config_.query.consumption,
-                          config_.query.max_matches_per_window);
-    std::unique_ptr<Shedder> shedder =
-        config_.shedder_factory ? config_.shedder_factory(shard.stats.shard)
-                                : nullptr;
-    double predicted_ws = config_.predicted_ws;
-    if (predicted_ws <= 0.0) {
-      predicted_ws = static_cast<double>(config_.query.window.span_events);
+    const std::size_t nq = queries_.size();
+
+    // Per-query runtime state.  `bit` is the query's bit inside its window
+    // group's keep masks.
+    struct QueryRuntime {
+      explicit QueryRuntime(Matcher m) : matcher(std::move(m)) {}
+      Matcher matcher;
+      std::unique_ptr<Shedder> shedder;
+      double predicted_ws = 0.0;
+      std::size_t bit = 0;
+      std::vector<KeptEntry> filter_scratch;
+      std::uint64_t memberships = 0;
+      std::uint64_t kept = 0;
+    };
+    std::vector<QueryRuntime> runtimes;
+    runtimes.reserve(nq);
+    for (std::size_t qi = 0; qi < nq; ++qi) {
+      const EngineQuery& q = queries_[qi];
+      QueryRuntime rt(Matcher(q.query.pattern, q.query.selection,
+                              q.query.consumption,
+                              q.query.max_matches_per_window));
+      rt.shedder = std::move(shard.shedders[qi]);
+      rt.predicted_ws =
+          q.predicted_ws > 0.0
+              ? q.predicted_ws
+              : static_cast<double>(q.query.window.span_events);
+      runtimes.push_back(std::move(rt));
     }
 
-    auto flush = [&] {
-      for (const WindowView& w : wm.drain_closed()) {
+    // Group queries by identical windowing: one WindowManager (and event
+    // store) per group.  Masks are only tracked where queries actually
+    // share, so the single-query hot path stays mask-free.
+    std::vector<std::vector<std::size_t>> group_members;
+    for (std::size_t qi = 0; qi < nq; ++qi) {
+      bool placed = false;
+      for (auto& members : group_members) {
+        if (same_windowing(queries_[members.front()].query.window,
+                           queries_[qi].query.window)) {
+          runtimes[qi].bit = members.size();
+          members.push_back(qi);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        runtimes[qi].bit = 0;
+        group_members.push_back({qi});
+      }
+    }
+    struct Group {
+      WindowManager wm;
+      std::vector<std::size_t> members;
+      /// Keep sets can only diverge between member queries when at least
+      /// one of them sheds; an all-keep group needs no masks and no
+      /// per-query filtering (every query sees the full window).
+      bool diverging;
+    };
+    std::vector<Group> groups;
+    groups.reserve(group_members.size());
+    for (auto& members : group_members) {
+      bool any_shedder = false;
+      for (const std::size_t qi : members) {
+        any_shedder = any_shedder || runtimes[qi].shedder != nullptr;
+      }
+      const bool diverging = members.size() > 1 && any_shedder;
+      groups.push_back(
+          Group{WindowManager(queries_[members.front()].query.window,
+                              /*track_masks=*/diverging),
+                std::move(members), diverging});
+    }
+
+    auto flush = [&](Group& g) {
+      for (const WindowView& w : g.wm.drain_closed()) {
         ++shard.stats.windows_closed;
-        auto matches = matcher.match_window(w);
-        for (auto& m : matches) shard.matches.push_back(std::move(m));
+        for (const std::size_t qi : g.members) {
+          QueryRuntime& rt = runtimes[qi];
+          const WindowView view =
+              g.diverging ? filter_view_for_query(w, rt.bit, rt.filter_scratch)
+                          : w;
+          auto matches = rt.matcher.match_window(view);
+          for (auto& m : matches) {
+            shard.query_matches[qi].push_back(std::move(m));
+          }
+        }
       }
     };
 
@@ -152,25 +292,71 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
         shard.stats.peak_queue_depth =
             std::max(shard.stats.peak_queue_depth, shard.ring.size());
       }
-      auto& memberships = wm.offer(e);
-      shard.stats.memberships += memberships.size();
-      for (const auto& m : memberships) {
-        if (shedder != nullptr &&
-            shedder->should_drop(e, m.position, predicted_ws)) {
-          continue;
+      for (Group& g : groups) {
+        auto& memberships = g.wm.offer(e);
+        shard.stats.memberships += memberships.size();
+        if (g.members.size() == 1) {
+          QueryRuntime& rt = runtimes[g.members.front()];
+          rt.memberships += memberships.size();
+          for (const auto& m : memberships) {
+            if (rt.shedder != nullptr &&
+                rt.shedder->should_drop(e, m.position, rt.predicted_ws)) {
+              continue;
+            }
+            g.wm.keep(m, e);
+            ++rt.kept;
+            ++shard.stats.memberships_kept;
+          }
+        } else if (!g.diverging) {
+          // Shared all-keep group: one mask-free keep covers every member
+          // query.
+          for (const auto& m : memberships) {
+            g.wm.keep(m, e);
+            ++shard.stats.memberships_kept;
+          }
+          for (const std::size_t qi : g.members) {
+            runtimes[qi].memberships += memberships.size();
+            runtimes[qi].kept += memberships.size();
+          }
+        } else {
+          for (const auto& m : memberships) {
+            QueryMask mask = 0;
+            for (const std::size_t qi : g.members) {
+              QueryRuntime& rt = runtimes[qi];
+              ++rt.memberships;
+              if (rt.shedder == nullptr ||
+                  !rt.shedder->should_drop(e, m.position, rt.predicted_ws)) {
+                mask |= QueryMask{1} << rt.bit;
+                ++rt.kept;
+              }
+            }
+            // Every query shed it -> physical drop (never buffered).
+            if (mask != 0) {
+              g.wm.keep(m, e, mask);
+              ++shard.stats.memberships_kept;
+            }
+          }
         }
-        wm.keep(m, e);
-        ++shard.stats.memberships_kept;
+        flush(g);
       }
-      flush();
     }
-    wm.close_all();
-    flush();
+    for (Group& g : groups) {
+      g.wm.close_all();
+      flush(g);
+    }
 
-    shard.stats.matches = shard.matches.size();
-    if (shedder != nullptr) {
-      shard.stats.shed_decisions = shedder->decisions();
-      shard.stats.shed_drops = shedder->drops();
+    for (std::size_t qi = 0; qi < nq; ++qi) {
+      const QueryRuntime& rt = runtimes[qi];
+      auto& qc = shard.query_counters[qi];
+      qc.memberships = rt.memberships;
+      qc.memberships_kept = rt.kept;
+      if (rt.shedder != nullptr) {
+        qc.shed_decisions = rt.shedder->decisions();
+        qc.shed_drops = rt.shedder->drops();
+      }
+      shard.stats.matches += shard.query_matches[qi].size();
+      shard.stats.shed_decisions += qc.shed_decisions;
+      shard.stats.shed_drops += qc.shed_drops;
     }
   } catch (...) {
     shard.error = std::current_exception();
@@ -185,7 +371,7 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
 void StreamEngine::run_adaptive_shard(Shard& shard) {
   try {
     EspiceOperator op(*config_.adaptive, [&shard](const ComplexEvent& ce) {
-      shard.matches.push_back(ce);
+      shard.query_matches[0].push_back(ce);
     });
     const double tick_period = config_.adaptive->detector.tick_period;
     double next_tick = tick_period;
@@ -222,10 +408,15 @@ void StreamEngine::run_adaptive_shard(Shard& shard) {
     shard.stats.memberships = s.memberships;
     shard.stats.memberships_kept = s.memberships_kept;
     shard.stats.windows_closed = s.windows_closed;
-    shard.stats.matches = shard.matches.size();
+    shard.stats.matches = shard.query_matches[0].size();
     shard.stats.shed_decisions = s.decisions;
     shard.stats.shed_drops = s.drops;
     shard.stats.retrains = s.retrains;
+    auto& qc = shard.query_counters[0];
+    qc.memberships = s.memberships;
+    qc.memberships_kept = s.memberships_kept;
+    qc.shed_decisions = s.decisions;
+    qc.shed_drops = s.drops;
   } catch (...) {
     shard.error = std::current_exception();
     Event e;
@@ -269,6 +460,7 @@ std::vector<ComplexEvent> StreamEngine::merge_matches(
 
 EngineReport StreamEngine::finish() {
   ESPICE_REQUIRE(!finished_, "finish() called twice");
+  if (!started_) start();  // empty run: still produce a (zero) report
   finished_ = true;
   for (auto& s : shards_) s->ring.close();
   for (auto& s : shards_) s->thread.join();
@@ -282,13 +474,39 @@ EngineReport StreamEngine::finish() {
   report.wall_seconds = wall;
   report.events_per_sec =
       wall > 0.0 ? static_cast<double>(pushed_) / wall : 0.0;
-  std::vector<std::vector<ComplexEvent>> per_shard;
-  per_shard.reserve(shards_.size());
-  for (auto& s : shards_) {
-    report.shards.push_back(s->stats);
-    per_shard.push_back(std::move(s->matches));
+  const std::size_t nq = std::max<std::size_t>(queries_.size(), 1);
+
+  // Canonical per-query merge: each query's matches across shards, ordered
+  // by (completing event seq, shard, in-shard index).
+  report.queries.resize(nq);
+  for (std::size_t qi = 0; qi < nq; ++qi) {
+    QueryReport& qr = report.queries[qi];
+    qr.name = qi < queries_.size() ? queries_[qi].name
+                                   : "q" + std::to_string(qi);
+    std::vector<std::vector<ComplexEvent>> per_shard;
+    per_shard.reserve(shards_.size());
+    for (auto& s : shards_) {
+      qr.memberships += s->query_counters[qi].memberships;
+      qr.memberships_kept += s->query_counters[qi].memberships_kept;
+      qr.shed_decisions += s->query_counters[qi].shed_decisions;
+      qr.shed_drops += s->query_counters[qi].shed_drops;
+      per_shard.push_back(std::move(s->query_matches[qi]));
+    }
+    qr.matches = merge_matches(std::move(per_shard));
   }
-  report.matches = merge_matches(std::move(per_shard));
+  for (auto& s : shards_) report.shards.push_back(s->stats);
+
+  // Engine-level canonical order: (completion seq, query, shard, index).
+  // Each per-query merged list is already (completion, shard, index)-sorted,
+  // so merging the lists in query order yields exactly that.
+  if (nq == 1) {
+    report.matches = report.queries.front().matches;
+  } else {
+    std::vector<std::vector<ComplexEvent>> per_query;
+    per_query.reserve(nq);
+    for (const auto& qr : report.queries) per_query.push_back(qr.matches);
+    report.matches = merge_matches(std::move(per_query));
+  }
   return report;
 }
 

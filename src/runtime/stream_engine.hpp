@@ -36,6 +36,19 @@
 // (the router); each shard's pipeline runs on its own thread; the report is
 // only handed out after every shard thread joined, so no synchronization
 // beyond the rings is needed.
+//
+// Multi-query execution: add_query() registers N queries before the first
+// push(); shard threads spawn lazily on the first push (or an explicit
+// start()).  Queries with identical windowing (same_windowing()) share one
+// WindowManager/EventStore per shard -- events are routed, buffered and
+// positioned once, and each query keeps its own subset of every window via
+// per-query keep masks (an event every query sheds is physically dropped).
+// Per-query shedders make the drop decisions, so one query shedding its
+// low-utility events never starves another query that values them.  The
+// per-query output is bit-identical to running that query alone in a
+// single-query engine over the same stream (the shared-window equivalence
+// guarantee; tests/runtime/multi_query_oracle_test.cpp enforces it against
+// N independent serial run_pipeline() goldens).
 #pragma once
 
 #include <chrono>
@@ -61,6 +74,20 @@ struct ShardQuery {
   SelectionPolicy selection = SelectionPolicy::kFirst;
   ConsumptionPolicy consumption = ConsumptionPolicy::kConsumed;
   std::size_t max_matches_per_window = 1;
+};
+
+/// One registered query of a (multi-query) engine run: the query itself
+/// plus its per-query shedding policy.
+struct EngineQuery {
+  /// Report label; empty = "q<index>".
+  std::string name;
+  ShardQuery query;
+  /// Per-shard shedder factory for THIS query; nullptr = keep everything.
+  /// Same determinism contract as StreamEngineConfig::shedder_factory.
+  std::function<std::unique_ptr<Shedder>(std::size_t shard)> shedder_factory;
+  /// Window size handed to this query's shedder (0 = derive from its
+  /// count-window span).
+  double predicted_ws = 0.0;
 };
 
 struct StreamEngineConfig {
@@ -116,10 +143,27 @@ struct ShardStats {
   bool shedding_ever_active = false;
 };
 
+/// Per-query outcome of one engine run.
+struct QueryReport {
+  std::string name;
+  /// This query's complex events in canonical per-query merge order --
+  /// bit-identical to a single-query engine (or the union of serial
+  /// run_pipeline() runs over the partitioned substreams) for this query.
+  std::vector<ComplexEvent> matches;
+  std::uint64_t memberships = 0;       ///< offered pairs in its window group
+  std::uint64_t memberships_kept = 0;  ///< pairs THIS query kept
+  std::uint64_t shed_decisions = 0;
+  std::uint64_t shed_drops = 0;
+};
+
 /// Aggregated result of one engine run (the SimResult analogue).
 struct EngineReport {
-  /// All shards' complex events in canonical merge order.
+  /// All shards' complex events in canonical merge order (multi-query runs:
+  /// ordered by completion seq, then query, shard, in-shard index).
   std::vector<ComplexEvent> matches;
+  /// Per registered query, in registration order (size 1 for single-query
+  /// runs; queries[0].matches == matches then).
+  std::vector<QueryReport> queries;
   std::vector<ShardStats> shards;
   std::uint64_t events = 0;
   double wall_seconds = 0.0;
@@ -138,6 +182,17 @@ class StreamEngine {
 
   StreamEngine(const StreamEngine&) = delete;
   StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Registers one more query (multi-query mode; deterministic only).  Must
+  /// be called before the first push().  When never called, the engine runs
+  /// the legacy single-query config (config.query / shedder_factory /
+  /// predicted_ws) as query 0.  Returns the query's index (its bit in the
+  /// keep masks and its slot in EngineReport::queries).
+  std::size_t add_query(EngineQuery q);
+
+  /// Spawns the shard threads.  Idempotent; called implicitly by the first
+  /// push() (and by finish() on an empty run).
+  void start();
 
   /// Routes one event to its shard, in stream order.  Blocks (spins) while
   /// the shard's ring is full -- backpressure instead of unbounded queues.
@@ -166,6 +221,8 @@ class StreamEngine {
   static std::vector<ComplexEvent> merge_matches(
       std::vector<std::vector<ComplexEvent>> per_shard);
 
+  std::size_t query_count() const { return queries_.size(); }
+
  private:
   struct Shard;
 
@@ -173,8 +230,12 @@ class StreamEngine {
   void run_adaptive_shard(Shard& shard);
 
   StreamEngineConfig config_;
+  /// Registered queries (adopted from the legacy config at start() when
+  /// add_query() was never called).
+  std::vector<EngineQuery> queries_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint64_t pushed_ = 0;
+  bool started_ = false;
   bool finished_ = false;
   std::chrono::steady_clock::time_point start_;
 };

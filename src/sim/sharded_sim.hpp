@@ -48,6 +48,19 @@ struct ShardedSimResult {
 std::vector<ComplexEvent> partitioned_serial_golden(
     const StreamEngineConfig& config, std::span<const Event> events);
 
+/// Per-query serial goldens for a multi-query deterministic engine run:
+/// for EACH query independently -- as if it ran alone -- hash-partition the
+/// stream into `shards` substreams with the engine's own partitioner
+/// (`key_of` nullptr = event type), run the serial single-query
+/// run_pipeline() over every substream with that query's own shedder, and
+/// canonically merge the per-shard match lists.  Element qi of the result
+/// must equal EngineReport::queries[qi].matches bit for bit (the
+/// shared-window equivalence guarantee;
+/// tests/runtime/multi_query_oracle_test.cpp holds the engine to it).
+std::vector<std::vector<ComplexEvent>> per_query_serial_goldens(
+    std::size_t shards, const std::function<std::uint64_t(const Event&)>& key_of,
+    std::span<const EngineQuery> queries, std::span<const Event> events);
+
 class ShardedSimulator {
  public:
   explicit ShardedSimulator(ShardedSimConfig config);

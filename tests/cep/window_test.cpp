@@ -309,5 +309,100 @@ TEST(WindowSpec, RejectsInvalidConfigurations) {
   EXPECT_THROW(spec.validate(), ConfigError);
 }
 
+// --- multi-query keep masks -------------------------------------------------
+
+TEST(WindowManagerMasks, FilterViewSelectsEachQuerysKeeps) {
+  // Two queries share tumbling 6-event windows: query 0 keeps even seqs,
+  // query 1 keeps multiples of 3.  Each filtered view must contain exactly
+  // that query's events, in arrival order, with unchanged positions.
+  WindowManager wm(count_slide_spec(6, 6), /*track_masks=*/true);
+  std::vector<std::vector<std::uint64_t>> q0_windows, q1_windows;
+  std::vector<KeptEntry> scratch;
+  auto drain = [&] {
+    for (const WindowView& w : wm.drain_closed()) {
+      const WindowView v0 = filter_view_for_query(w, 0, scratch);
+      std::vector<std::uint64_t> seqs0;
+      for (std::size_t i = 0; i < v0.kept_count(); ++i) {
+        EXPECT_EQ(v0.kept(i).seq % 2, 0u);
+        EXPECT_EQ(v0.pos(i), v0.kept(i).seq % 6);
+        seqs0.push_back(v0.kept(i).seq);
+      }
+      q0_windows.push_back(std::move(seqs0));
+      std::vector<KeptEntry> scratch1;
+      const WindowView v1 = filter_view_for_query(w, 1, scratch1);
+      std::vector<std::uint64_t> seqs1;
+      for (std::size_t i = 0; i < v1.kept_count(); ++i) {
+        EXPECT_EQ(v1.kept(i).seq % 3, 0u);
+        seqs1.push_back(v1.kept(i).seq);
+      }
+      q1_windows.push_back(std::move(seqs1));
+      EXPECT_EQ(v0.arrivals, w.arrivals) << "window metadata must not change";
+    }
+  };
+  for (std::uint64_t i = 0; i < 18; ++i) {
+    const Event e = make_event(i, static_cast<double>(i));
+    for (const auto& m : wm.offer(e)) {
+      QueryMask mask = 0;
+      if (i % 2 == 0) mask |= 1u;
+      if (i % 3 == 0) mask |= 2u;
+      if (mask != 0) wm.keep(m, e, mask);
+    }
+    drain();
+  }
+  wm.close_all();
+  drain();
+
+  ASSERT_EQ(q0_windows.size(), 3u);
+  EXPECT_EQ(q0_windows[0], (std::vector<std::uint64_t>{0, 2, 4}));
+  EXPECT_EQ(q1_windows[0], (std::vector<std::uint64_t>{0, 3}));
+  EXPECT_EQ(q0_windows[1], (std::vector<std::uint64_t>{6, 8, 10}));
+  EXPECT_EQ(q1_windows[1], (std::vector<std::uint64_t>{6, 9}));
+}
+
+TEST(WindowManagerMasks, UntrackedManagerViewsHaveNoMasks) {
+  WindowManager wm(count_slide_spec(4, 4));
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const Event e = make_event(i, static_cast<double>(i));
+    for (const auto& m : wm.offer(e)) wm.keep(m, e);
+  }
+  for (const WindowView& w : wm.drain_closed()) {
+    EXPECT_TRUE(w.kept_masks.empty());
+    std::vector<KeptEntry> scratch;
+    EXPECT_THROW(filter_view_for_query(w, 0, scratch), ConfigError);
+  }
+}
+
+TEST(WindowManagerMasks, AllQueriesMaskHelper) {
+  EXPECT_EQ(all_queries_mask(1), 0x1ull);
+  EXPECT_EQ(all_queries_mask(5), 0x1full);
+  EXPECT_EQ(all_queries_mask(64), ~0ull);
+}
+
+TEST(WindowSpecEquality, SameWindowingGroupsSpecsStructurally) {
+  const WindowSpec a = count_slide_spec(6, 3);
+  EXPECT_TRUE(same_windowing(a, count_slide_spec(6, 3)));
+  EXPECT_FALSE(same_windowing(a, count_slide_spec(6, 2)));
+  EXPECT_FALSE(same_windowing(a, count_slide_spec(8, 3)));
+
+  const WindowSpec t1 = predicate_time_spec(10.0, 2);
+  WindowSpec t2 = predicate_time_spec(10.0, 2);
+  t2.opener.name = "different-name";  // names are diagnostics only
+  EXPECT_TRUE(same_windowing(t1, t2));
+  EXPECT_FALSE(same_windowing(t1, predicate_time_spec(10.0, 3)));
+  EXPECT_FALSE(same_windowing(t1, predicate_time_spec(9.0, 2)));
+  EXPECT_FALSE(same_windowing(t1, a));
+
+  WindowSpec p1 = count_slide_spec(40, 7);
+  p1.span_kind = WindowSpan::kPredicate;
+  p1.closer = element("close", TypeSet{4}, DirectionFilter::kAny);
+  WindowSpec p2 = p1;
+  EXPECT_TRUE(same_windowing(p1, p2));
+  p2.closer = element("close", TypeSet{5}, DirectionFilter::kAny);
+  EXPECT_FALSE(same_windowing(p1, p2));
+  p2 = p1;
+  p2.closer.direction = DirectionFilter::kRising;
+  EXPECT_FALSE(same_windowing(p1, p2));
+}
+
 }  // namespace
 }  // namespace espice

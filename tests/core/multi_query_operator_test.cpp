@@ -1,0 +1,222 @@
+// MultiQueryOperator: N queries over one shared window engine -- lifecycle
+// (shared sizing/training/arming), per-query models, and the core promise:
+// under overload, the coordinator splits the shared drop budget so each
+// query sheds its OWN low-utility events, and one query's shedding never
+// starves another query's detections.
+#include "core/multi_query_operator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace espice {
+namespace {
+
+// Types: A,B feed query 0 (seq(A;B)); C,D feed query 1 (seq(C;D)); F is
+// filler no query values.
+constexpr EventTypeId A = 0;
+constexpr EventTypeId B = 1;
+constexpr EventTypeId C = 2;
+constexpr EventTypeId D = 3;
+constexpr EventTypeId F = 4;
+
+/// Blocks of 6 events: A B C D F F.  Every tumbling 6-event window holds
+/// exactly one q0 match (A then B) and one q1 match (C then D).
+Event block_event(std::uint64_t seq) {
+  static constexpr EventTypeId kLayout[6] = {A, B, C, D, F, F};
+  Event e;
+  e.type = kLayout[seq % 6];
+  e.seq = seq;
+  e.ts = static_cast<double>(seq);
+  e.value = 1.0;
+  return e;
+}
+
+MultiQueryOperatorConfig two_query_config() {
+  MultiQueryOperatorConfig c;
+  c.window.span_kind = WindowSpan::kCount;
+  c.window.span_events = 6;
+  c.window.open_kind = WindowOpen::kCountSlide;
+  c.window.slide_events = 6;
+  c.queries.push_back(MultiQuerySpec{
+      "pairAB",
+      make_sequence({element("A", TypeSet{A}), element("B", TypeSet{B})})});
+  c.queries.push_back(MultiQuerySpec{
+      "pairCD",
+      make_sequence({element("C", TypeSet{C}), element("D", TypeSet{D})})});
+  c.num_types = 5;
+  c.training_windows = 30;
+  c.detector.latency_bound = 1.0;
+  c.detector.ewma_alpha = 1.0;
+  return c;
+}
+
+struct Host {
+  std::vector<std::vector<ComplexEvent>> matches;
+  MultiQueryOperator op;
+  std::uint64_t next_seq = 0;
+
+  explicit Host(MultiQueryOperatorConfig config)
+      : matches(config.queries.size()),
+        op(std::move(config), [this](std::size_t q, const ComplexEvent& ce) {
+          matches[q].push_back(ce);
+        }) {}
+
+  void run(std::size_t n, std::size_t queue_size) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t seq = next_seq++;
+      op.observe_arrival(static_cast<double>(seq) / 1000.0);
+      op.observe_cost(1e-3);  // th = 1000 events/s -> qmax = 1000
+      op.push(block_event(seq));
+      if (i % 10 == 0) {
+        op.on_tick(static_cast<double>(seq) / 1000.0, queue_size);
+      }
+    }
+  }
+};
+
+TEST(MultiQueryOperator, SharedTrainingArmsEveryQuery) {
+  Host host(two_query_config());
+  // Count windows skip sizing; the shared window stream trains all queries.
+  ASSERT_EQ(host.op.phase(), MultiQueryOperator::Phase::kTraining);
+  EXPECT_EQ(host.op.model(0), nullptr);
+  EXPECT_EQ(host.op.model(1), nullptr);
+
+  host.run(31 * 6, 0);
+  ASSERT_EQ(host.op.phase(), MultiQueryOperator::Phase::kShedding);
+  ASSERT_NE(host.op.model(0), nullptr);
+  ASSERT_NE(host.op.model(1), nullptr);
+  EXPECT_EQ(host.op.model(0)->n_positions(), 6u);
+
+  // Each query learned ITS constituents: q0 protects A@0/B@1, q1 C@2/D@3.
+  EXPECT_EQ(host.op.model(0)->utility(A, 0, 6.0), 100);
+  EXPECT_EQ(host.op.model(0)->utility(B, 1, 6.0), 100);
+  EXPECT_EQ(host.op.model(0)->utility(C, 2, 6.0), 0);
+  EXPECT_EQ(host.op.model(1)->utility(C, 2, 6.0), 100);
+  EXPECT_EQ(host.op.model(1)->utility(D, 3, 6.0), 100);
+  EXPECT_EQ(host.op.model(1)->utility(A, 0, 6.0), 0);
+
+  // Both queries matched every closed window during training.
+  EXPECT_EQ(host.matches[0].size(), host.matches[1].size());
+  EXPECT_GT(host.matches[0].size(), 29u);
+}
+
+TEST(MultiQueryOperator, SizingPhaseIsSharedForTimeWindows) {
+  auto config = two_query_config();
+  config.window = WindowSpec{};
+  config.window.span_kind = WindowSpan::kTime;
+  config.window.span_seconds = 6.0;
+  config.window.open_kind = WindowOpen::kPredicate;
+  config.window.opener = element("A", TypeSet{A});
+  config.sizing_windows = 20;
+  Host host(std::move(config));
+  ASSERT_EQ(host.op.phase(), MultiQueryOperator::Phase::kSizing);
+
+  host.run(25 * 6, 0);
+  EXPECT_EQ(host.op.phase(), MultiQueryOperator::Phase::kTraining);
+  host.run(40 * 6, 0);
+  ASSERT_EQ(host.op.phase(), MultiQueryOperator::Phase::kShedding);
+  EXPECT_EQ(host.op.model(0)->n_positions(), 6u)
+      << "sizing must have measured the 6-event windows";
+}
+
+TEST(MultiQueryOperator, SheddingOneQueryNeverStarvesTheOther) {
+  Host host(two_query_config());
+  host.run(31 * 6, 0);  // train and arm
+  ASSERT_EQ(host.op.phase(), MultiQueryOperator::Phase::kShedding);
+  const std::size_t q0_before = host.matches[0].size();
+  const std::size_t q1_before = host.matches[1].size();
+
+  // Sustained overload: queue 900 sits over the 0.8 * 1000 watermark, so
+  // the shared detector keeps commanding drops.
+  constexpr std::size_t kBlocks = 100;
+  host.run(kBlocks * 6, 900);
+
+  const MultiQueryStats s = host.op.stats();
+  EXPECT_TRUE(s.shedding_active);
+  ASSERT_EQ(s.queries.size(), 2u);
+  // Both queries made drop decisions, and events worthless to BOTH queries
+  // (the filler F) were physically dropped -- never buffered.
+  EXPECT_GT(s.queries[0].drops + s.queries[1].drops, 0u);
+  EXPECT_GT(s.memberships, s.memberships_kept)
+      << "events shed by every query must be physically dropped";
+
+  // The core guarantee: each query sheds only what ITS model calls
+  // worthless (the other query's constituents and the filler), so both
+  // queries keep detecting every single match under shedding.
+  const std::size_t q0_during = host.matches[0].size() - q0_before;
+  const std::size_t q1_during = host.matches[1].size() - q1_before;
+  EXPECT_GE(q0_during, kBlocks - 1) << "query 0 lost matches to shedding";
+  EXPECT_GE(q1_during, kBlocks - 1) << "query 1 lost matches to shedding";
+
+  // The coordinator's split is live and covers both queries.
+  ASSERT_EQ(host.op.last_split().size(), 2u);
+  EXPECT_GE(host.op.last_split()[0], 0.0);
+  EXPECT_GE(host.op.last_split()[1], 0.0);
+}
+
+TEST(MultiQueryOperator, MultiPartitionCommandsKeepBothQueriesIntact) {
+  // Regression for the per-partition/per-window budget scaling: with
+  // l(p) = 0.04 s the detector's qmax is 25, the watermark 20 and the
+  // dropping-interval buffer 5 < N = 6, so commands carry rho = 2
+  // partitions.  The coordinator must scale the per-partition x to the
+  // per-window total before splitting (and back for the shedder commands);
+  // either direction wrong inflates one query's budget into its valuable
+  // mass and loses matches.
+  Host host(two_query_config());
+  auto run = [&](std::size_t n, std::size_t queue) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t seq = host.next_seq++;
+      host.op.observe_arrival(static_cast<double>(seq) * 0.04);
+      host.op.observe_cost(0.04);
+      host.op.push(block_event(seq));
+      if (i % 6 == 0) host.op.on_tick(static_cast<double>(seq) * 0.04, queue);
+    }
+  };
+  run(31 * 6, 0);
+  ASSERT_EQ(host.op.phase(), MultiQueryOperator::Phase::kShedding);
+  const std::size_t q0_before = host.matches[0].size();
+  const std::size_t q1_before = host.matches[1].size();
+
+  constexpr std::size_t kBlocks = 80;
+  run(kBlocks * 6, 22);  // queue above the watermark of 20
+  const MultiQueryStats s = host.op.stats();
+  EXPECT_TRUE(s.shedding_active);
+  EXPECT_GT(s.queries[0].drops + s.queries[1].drops, 0u);
+  EXPECT_GE(host.matches[0].size() - q0_before, kBlocks - 1)
+      << "query 0 lost matches under multi-partition shedding";
+  EXPECT_GE(host.matches[1].size() - q1_before, kBlocks - 1)
+      << "query 1 lost matches under multi-partition shedding";
+}
+
+TEST(MultiQueryOperator, FinishFlushesOpenWindows) {
+  Host host(two_query_config());
+  host.run(10 * 6 + 3, 0);  // 10 full blocks + a partial one
+  const MultiQueryStats before = host.op.stats();
+  host.op.finish();
+  const MultiQueryStats after = host.op.stats();
+  // The partial block becomes a window at finish (the 10th full one was
+  // already closed by the partial block's first offer).
+  EXPECT_EQ(after.windows_closed, before.windows_closed + 1);
+  EXPECT_EQ(after.events, 63u);
+}
+
+TEST(MultiQueryOperator, ValidatesConfig) {
+  MultiQueryOperatorConfig empty;
+  empty.num_types = 2;
+  empty.window.span_kind = WindowSpan::kCount;
+  empty.window.span_events = 4;
+  empty.window.open_kind = WindowOpen::kCountSlide;
+  empty.window.slide_events = 4;
+  EXPECT_THROW(MultiQueryOperator(empty, [](std::size_t, const ComplexEvent&) {}),
+               ConfigError);
+
+  auto weights = two_query_config();
+  weights.query_weights = {1.0};  // wrong arity
+  EXPECT_THROW(
+      MultiQueryOperator(weights, [](std::size_t, const ComplexEvent&) {}),
+      ConfigError);
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,130 @@
+// ShedCoordinator: the cross-query drop-budget split must equalize the
+// utility threshold -- drops land on the globally lowest-utility mass, and
+// a query whose events are all valuable is never starved by another
+// query's shedding.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/shed_coordinator.hpp"
+
+namespace espice {
+namespace {
+
+/// A 1-type, N-position model whose per-position utilities are given
+/// directly (shares: one event per position per window).
+std::shared_ptr<const UtilityModel> model_with_utilities(
+    const std::vector<int>& utilities) {
+  const std::size_t n = utilities.size();
+  std::vector<std::uint8_t> ut(n);
+  std::vector<double> shares(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ut[i] = static_cast<std::uint8_t>(utilities[i]);
+  }
+  return std::make_shared<UtilityModel>(/*num_types=*/1, /*n_positions=*/n,
+                                        /*bin_size=*/1, std::move(ut),
+                                        std::move(shares));
+}
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(ShedCoordinator, SplitsBudgetTowardLowUtilityQuery) {
+  // Query 0: eight worthless events per window.  Query 1: eight utility-100
+  // events.  The whole budget must land on query 0.
+  ShedCoordinator coord;
+  coord.set_models({model_with_utilities({0, 0, 0, 0, 0, 0, 0, 0}),
+                    model_with_utilities({100, 100, 100, 100, 100, 100, 100,
+                                          100})});
+  const auto split = coord.apportion(5.0);
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_DOUBLE_EQ(split[0], 5.0);
+  EXPECT_DOUBLE_EQ(split[1], 0.0);
+  EXPECT_NEAR(sum(split), 5.0, 1e-9);
+}
+
+TEST(ShedCoordinator, EqualQueriesSplitEqually) {
+  ShedCoordinator coord;
+  const std::vector<int> utils = {0, 10, 20, 30, 40, 50, 60, 70};
+  coord.set_models({model_with_utilities(utils), model_with_utilities(utils)});
+  const auto split = coord.apportion(4.0);
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_NEAR(split[0], 2.0, 1e-9);
+  EXPECT_NEAR(split[1], 2.0, 1e-9);
+}
+
+TEST(ShedCoordinator, ExpectedTotalIsExactlyX) {
+  // Mixed utility masses: interpolation at the threshold utility must make
+  // the summed split exactly x (not "at least x").
+  ShedCoordinator coord;
+  coord.set_models({model_with_utilities({0, 0, 5, 5, 90, 90}),
+                    model_with_utilities({5, 5, 5, 40, 40, 40})});
+  for (const double x : {0.5, 1.0, 2.5, 3.7, 6.0}) {
+    const auto split = coord.apportion(x);
+    EXPECT_NEAR(sum(split), x, 1e-9) << "x=" << x;
+    for (const double s : split) EXPECT_GE(s, 0.0);
+  }
+}
+
+TEST(ShedCoordinator, BudgetBeyondTotalDropsEverythingDroppable) {
+  ShedCoordinator coord;
+  coord.set_models({model_with_utilities({0, 50}),
+                    model_with_utilities({100, 100})});
+  const auto split = coord.apportion(100.0);
+  EXPECT_NEAR(split[0], 2.0, 1e-9);
+  EXPECT_NEAR(split[1], 2.0, 1e-9);  // even utility-100 mass is "droppable"
+}
+
+TEST(ShedCoordinator, UntrainedQueryGetsNoBudget) {
+  ShedCoordinator coord;
+  coord.set_models({model_with_utilities({0, 0, 0, 0}), nullptr});
+  const auto split = coord.apportion(3.0);
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_DOUBLE_EQ(split[0], 3.0);
+  EXPECT_DOUBLE_EQ(split[1], 0.0);
+  EXPECT_DOUBLE_EQ(coord.query_mass(1), 0.0);
+}
+
+TEST(ShedCoordinator, ZeroOrNegativeBudgetDropsNothing) {
+  ShedCoordinator coord;
+  coord.set_models({model_with_utilities({0, 10, 20})});
+  EXPECT_DOUBLE_EQ(coord.apportion(0.0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(coord.apportion(-1.0)[0], 0.0);
+}
+
+TEST(ShedCoordinator, WeightsShiftTheSplit) {
+  // Same utility profile, but query 1 is worth 3x: the budget moves to
+  // query 0 (its mass sits lower on the shared value axis).
+  ShedCoordinator coord;
+  const std::vector<int> utils = {10, 10, 10, 10};
+  coord.set_models({model_with_utilities(utils), model_with_utilities(utils)});
+  coord.set_weights({1.0, 3.0});
+  const auto split = coord.apportion(3.0);
+  EXPECT_NEAR(split[0], 3.0, 1e-9);
+  EXPECT_NEAR(split[1], 0.0, 1e-9);
+}
+
+TEST(ShedCoordinator, ThresholdEqualization) {
+  // The same utility threshold governs every query: no query is asked to
+  // drop events *above* the global threshold while another keeps events
+  // below it.
+  ShedCoordinator coord;
+  coord.set_models({model_with_utilities({0, 20, 40, 60}),
+                    model_with_utilities({10, 30, 50, 70})});
+  const double x = 3.0;
+  const int u_star = coord.threshold_for(x);
+  const auto split = coord.apportion(x);
+  // u* = 20: cumulative mass {q0: 0,20 -> 2} + {q1: 10 -> 1} covers x = 3,
+  // so query 0 sheds its two cells <= 20 and query 1 only its utility-10
+  // cell -- never its 30/50/70 events.
+  EXPECT_EQ(u_star, 20);
+  EXPECT_NEAR(split[0], 2.0, 1e-9);
+  EXPECT_NEAR(split[1], 1.0, 1e-9);
+  EXPECT_NEAR(sum(split), x, 1e-9);
+}
+
+}  // namespace
+}  // namespace espice

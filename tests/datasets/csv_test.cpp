@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -105,6 +106,122 @@ TEST(Csv, LoadFromMissingFileThrows) {
   TypeRegistry reg;
   EXPECT_THROW(load_events_csv("/nonexistent/path/events.csv", reg),
                ConfigError);
+}
+
+// --- edge cases: malformed rows, empty input, stream order ------------------
+
+TEST(Csv, EmptyInputYieldsNoEvents) {
+  TypeRegistry reg;
+  std::stringstream empty("");
+  EXPECT_TRUE(read_events_csv(empty, reg).empty());
+
+  std::stringstream header_only("type,seq,ts,value,aux\n");
+  EXPECT_TRUE(read_events_csv(header_only, reg).empty());
+
+  std::stringstream blank_lines("\n\n\n");
+  EXPECT_TRUE(read_events_csv(blank_lines, reg).empty());
+}
+
+TEST(Csv, EmptyFileOnDiskLoadsAsEmptyStream) {
+  const std::string path = testing::TempDir() + "/espice_csv_empty.csv";
+  { std::ofstream out(path); }
+  TypeRegistry reg;
+  EXPECT_TRUE(load_events_csv(path, reg).empty());
+}
+
+TEST(Csv, ShortRowsThrowNamingTheMissingColumn) {
+  TypeRegistry reg;
+  for (const char* row : {"X\n", "X,0\n", "X,0,1.0\n", "X,0,1.0,2.0\n"}) {
+    std::stringstream in(row);
+    EXPECT_THROW(read_events_csv(in, reg), ConfigError) << row;
+  }
+}
+
+TEST(Csv, ExtraFieldsThrow) {
+  TypeRegistry reg;
+  std::stringstream in("X,0,1.0,2.0,3.0,surprise\n");
+  EXPECT_THROW(read_events_csv(in, reg), ConfigError);
+}
+
+TEST(Csv, EmptyNumericFieldThrows) {
+  TypeRegistry reg;
+  std::stringstream in("X,,1.0,2.0,3.0\n");
+  EXPECT_THROW(read_events_csv(in, reg), ConfigError);
+}
+
+TEST(Csv, PartiallyNumericFieldThrows) {
+  // "1.5x" must be rejected as malformed, not silently read as 1.5.
+  TypeRegistry reg;
+  for (const char* row :
+       {"X,1x,1.0,2.0,3.0\n", "X,0,1.5x,2.0,3.0\n", "X,0,1.0,2.0,3.0z\n"}) {
+    std::stringstream in(row);
+    EXPECT_THROW(read_events_csv(in, reg), ConfigError) << row;
+  }
+}
+
+TEST(Csv, OutOfRangeNumericFieldThrows) {
+  TypeRegistry reg;
+  std::stringstream in("X,99999999999999999999999999,1.0,2.0,3.0\n");
+  EXPECT_THROW(read_events_csv(in, reg), ConfigError);
+}
+
+TEST(Csv, WindowsLineEndingsAreAccepted) {
+  TypeRegistry reg;
+  std::stringstream in("type,seq,ts,value,aux\r\nX,0,1.0,2.0,3.0\r\n");
+  const auto events = read_events_csv(in, reg);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].aux, 3.0);
+}
+
+TEST(Csv, OutOfOrderTimestampsRejectedWhenOrderRequired) {
+  // ts moves backwards between rows: fine by default (the loader is
+  // permissive), fatal under require_stream_order.
+  const std::string data = "X,0,5.0,1.0,0.0\nX,1,4.0,1.0,0.0\n";
+  TypeRegistry reg;
+  std::stringstream lenient(data);
+  EXPECT_EQ(read_events_csv(lenient, reg).size(), 2u);
+
+  std::stringstream strict(data);
+  EXPECT_THROW(read_events_csv(strict, reg, /*require_stream_order=*/true),
+               ConfigError);
+}
+
+TEST(Csv, NonIncreasingSeqRejectedWhenOrderRequired) {
+  for (const char* data : {"X,3,1.0,1.0,0.0\nX,3,2.0,1.0,0.0\n",    // equal
+                           "X,3,1.0,1.0,0.0\nX,2,2.0,1.0,0.0\n"}) {  // drop
+    TypeRegistry reg;
+    std::stringstream strict(data);
+    EXPECT_THROW(read_events_csv(strict, reg, /*require_stream_order=*/true),
+                 ConfigError)
+        << data;
+  }
+}
+
+TEST(Csv, ValidateStreamOrderAcceptsTiedTimestamps) {
+  // Equal timestamps are legal (seq breaks the tie); only seq must be
+  // strictly increasing.
+  TypeRegistry reg;
+  std::stringstream in("X,0,1.0,1.0,0.0\nX,1,1.0,1.0,0.0\nX,2,1.5,1.0,0.0\n");
+  const auto events = read_events_csv(in, reg, /*require_stream_order=*/true);
+  EXPECT_EQ(events.size(), 3u);
+  validate_stream_order(events);  // must not throw
+}
+
+TEST(Csv, GeneratorStreamsPassStrictOrderRoundTrip) {
+  // The bundled generators must produce streams the strict loader accepts.
+  TypeRegistry reg;
+  StockConfig c;
+  c.num_symbols = 12;
+  c.num_leaders = 2;
+  StockGenerator gen(c, reg);
+  const auto events = gen.generate(2000);
+
+  std::stringstream buffer;
+  write_events_csv(buffer, events, reg);
+  TypeRegistry reg2;
+  const auto loaded =
+      read_events_csv(buffer, reg2, /*require_stream_order=*/true);
+  EXPECT_EQ(loaded.size(), events.size());
 }
 
 TEST(Csv, SaveToUnwritablePathThrows) {

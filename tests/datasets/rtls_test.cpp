@@ -171,5 +171,80 @@ TEST(RtlsGenerator, RejectsInvalidConfig) {
   EXPECT_THROW(RtlsGenerator(c, reg2), ConfigError);
 }
 
+// --- edge cases -------------------------------------------------------------
+
+TEST(RtlsGenerator, GenerateZeroYieldsEmptyStream) {
+  TypeRegistry reg;
+  RtlsGenerator gen(small_config(), reg);
+  EXPECT_TRUE(gen.generate(0).empty());
+}
+
+TEST(RtlsGenerator, IncrementalGenerationContinuesTheStream) {
+  // Batched generation must equal one long run: seq gap-free across the
+  // call boundary, timestamps monotone, identical content for one seed.
+  TypeRegistry reg1, reg2;
+  const RtlsConfig c = small_config();
+  RtlsGenerator whole(c, reg1);
+  RtlsGenerator pieces(c, reg2);
+
+  const auto full = whole.generate(720);
+  std::vector<Event> stitched;
+  for (const std::size_t chunk : {240u, 240u, 240u}) {
+    const auto part = pieces.generate(chunk);
+    stitched.insert(stitched.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(stitched.size(), full.size());
+  for (std::size_t i = 0; i < stitched.size(); ++i) {
+    EXPECT_EQ(stitched[i].seq, i);
+    if (i > 0) {
+      EXPECT_GE(stitched[i].ts, stitched[i - 1].ts) << "index " << i;
+    }
+    EXPECT_EQ(stitched[i].type, full[i].type) << "index " << i;
+    EXPECT_DOUBLE_EQ(stitched[i].ts, full[i].ts) << "index " << i;
+  }
+}
+
+TEST(RtlsGenerator, StreamSatisfiesTheEventContract) {
+  TypeRegistry reg;
+  RtlsGenerator gen(small_config(), reg);
+  const auto events = gen.generate(2500);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    ASSERT_EQ(events[i].seq, events[i - 1].seq + 1);
+    ASSERT_GE(events[i].ts, events[i - 1].ts)
+        << "sub-second jitter broke stream order";
+  }
+  for (const Event& e : events) {
+    EXPECT_LT(e.type, gen.objects()) << "type outside the object universe";
+  }
+}
+
+TEST(RtlsGenerator, NoNoiseDefendsWhenDisabled) {
+  // With noise off, a defender only defends while marking its striker's
+  // possession: every rising defender event must fall inside an episode of
+  // its assigned striker.  (Edge configuration: probability exactly 0.)
+  TypeRegistry reg;
+  RtlsConfig c = small_config();
+  c.noise_defend_probability = 0.0;
+  c.marker_response = 1.0;
+  RtlsGenerator gen(c, reg);
+  const auto events = gen.generate(2000);
+
+  // Unassigned defenders must never defend.
+  std::vector<bool> assigned(gen.objects(), false);
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (EventTypeId d : gen.markers_of(s)) assigned[d] = true;
+  }
+  for (const Event& e : events) {
+    const auto& defenders = gen.defender_types();
+    const bool is_defender =
+        std::find(defenders.begin(), defenders.end(), e.type) !=
+        defenders.end();
+    if (is_defender && !assigned[e.type]) {
+      EXPECT_LE(e.value, 0.0)
+          << "unassigned defender " << e.type << " defended with noise off";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace espice

@@ -240,5 +240,69 @@ TEST(StockGenerator, RejectsInvalidConfig) {
   EXPECT_THROW(StockGenerator(c, reg2), ConfigError);
 }
 
+// --- edge cases -------------------------------------------------------------
+
+TEST(StockGenerator, GenerateZeroYieldsEmptyStream) {
+  TypeRegistry reg;
+  StockGenerator gen(small_config(), reg);
+  EXPECT_TRUE(gen.generate(0).empty());
+}
+
+TEST(StockGenerator, IncrementalGenerationContinuesTheStream) {
+  // generate() called repeatedly must behave like one long stream: seq
+  // gap-free across the call boundary, timestamps never moving backwards
+  // (the jitter sort must not leak across batches).
+  TypeRegistry reg1, reg2;
+  StockConfig c = small_config();
+  StockGenerator whole(c, reg1);
+  StockGenerator pieces(c, reg2);
+
+  const auto full = whole.generate(900);
+  std::vector<Event> stitched;
+  for (const std::size_t chunk : {300u, 300u, 300u}) {
+    const auto part = pieces.generate(chunk);
+    stitched.insert(stitched.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(stitched.size(), full.size());
+  for (std::size_t i = 0; i < stitched.size(); ++i) {
+    EXPECT_EQ(stitched[i].seq, i);
+    if (i > 0) {
+      EXPECT_GE(stitched[i].ts, stitched[i - 1].ts) << "index " << i;
+    }
+  }
+  // Same seed, same chunk total -> identical stream regardless of batching.
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(stitched[i].type, full[i].type) << "index " << i;
+    EXPECT_DOUBLE_EQ(stitched[i].ts, full[i].ts) << "index " << i;
+  }
+}
+
+TEST(StockGenerator, MinimalUniverseWorks) {
+  TypeRegistry reg;
+  StockConfig c;
+  c.num_symbols = 2;
+  c.num_leaders = 1;
+  c.hot_followers_per_leader = 0;
+  StockGenerator gen(c, reg);
+  const auto events = gen.generate(500);
+  ASSERT_EQ(events.size(), 500u);
+  for (const Event& e : events) {
+    EXPECT_LT(e.type, 2) << "type outside the 2-symbol universe";
+    EXPECT_NE(e.value, 0.0);
+  }
+}
+
+TEST(StockGenerator, StreamSatisfiesTheEventContract) {
+  // The contract time-based windowing relies on: strictly increasing seq,
+  // monotone non-decreasing ts -- despite per-quote timing jitter.
+  TypeRegistry reg;
+  StockGenerator gen(small_config(), reg);
+  const auto events = gen.generate(3000);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    ASSERT_EQ(events[i].seq, events[i - 1].seq + 1);
+    ASSERT_GE(events[i].ts, events[i - 1].ts) << "jitter broke stream order";
+  }
+}
+
 }  // namespace
 }  // namespace espice
