@@ -8,6 +8,7 @@
 // quantifies the difference in drop volume, quality and latency headroom.
 #include <iostream>
 
+#include "smoke.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
 
@@ -47,19 +48,20 @@ void run_family(const std::string& title, const QueryDef& query,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  espice::bench_support::init_smoke(argc, argv);
   std::cout << "Ablation: exact-amount vs literal threshold dropping\n";
 
   TypeRegistry rtls_reg;
   RtlsGenerator rtls(RtlsConfig{}, rtls_reg);
-  const auto rtls_events = rtls.generate(260'000);
+  const auto rtls_events = rtls.generate(espice::bench_support::scaled(260'000));
   run_family("Q1 (n=4, RTLS)", make_q1(rtls, 4), rtls_reg.size(), rtls_events,
-             130'000, 120'000, 1);
+             espice::bench_support::scaled(130'000), espice::bench_support::scaled(120'000), 1);
 
   TypeRegistry stock_reg;
   StockGenerator stock(StockConfig{}, stock_reg);
-  const auto stock_events = stock.generate(620'000);
+  const auto stock_events = stock.generate(espice::bench_support::scaled(620'000));
   run_family("Q2 (n=20, NYSE)", make_q2(stock, 20), stock_reg.size(),
-             stock_events, 470'000, 140'000, 4);
+             stock_events, espice::bench_support::scaled(470'000), espice::bench_support::scaled(140'000), 4);
   return 0;
 }

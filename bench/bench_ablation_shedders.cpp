@@ -5,6 +5,7 @@
 // latency bound.
 #include <iostream>
 
+#include "smoke.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
 
@@ -43,23 +44,24 @@ void run_dataset(const std::string& title, const QueryDef& query,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  espice::bench_support::init_smoke(argc, argv);
   std::cout << "Ablation: shedder comparison (eSPICE vs BL vs random)\n";
 
   {
     TypeRegistry registry;
     RtlsGenerator gen(RtlsConfig{}, registry);
-    const auto events = gen.generate(250'000);
+    const auto events = gen.generate(espice::bench_support::scaled(250'000));
     run_dataset("RTLS / Q1 (n=4, first selection)", make_q1(gen, 4),
-                registry.size(), events, 120'000, 120'000);
+                registry.size(), events, espice::bench_support::scaled(120'000), espice::bench_support::scaled(120'000));
   }
   {
     TypeRegistry registry;
     StockConfig sc;
     StockGenerator gen(sc, registry);
-    const auto events = gen.generate(300'000);
+    const auto events = gen.generate(espice::bench_support::scaled(300'000));
     run_dataset("NYSE / Q2 (n=20, first selection)", make_q2(gen, 20),
-                registry.size(), events, 150'000, 140'000);
+                registry.size(), events, espice::bench_support::scaled(150'000), espice::bench_support::scaled(140'000));
   }
   return 0;
 }

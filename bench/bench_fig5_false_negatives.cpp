@@ -7,6 +7,7 @@
 // queries Q3/Q4 are near zero for eSPICE.
 #include <iostream>
 
+#include "smoke.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
 
@@ -61,13 +62,14 @@ void run_sweep(const Sweep& sweep) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  espice::bench_support::init_smoke(argc, argv);
   std::cout << "Figure 5: false negatives (lower is better; eSPICE vs BL)\n";
 
   // --- RTLS / Q1 -----------------------------------------------------------
   TypeRegistry rtls_reg;
   RtlsGenerator rtls(RtlsConfig{}, rtls_reg);
-  const auto rtls_events = rtls.generate(260'000);
+  const auto rtls_events = rtls.generate(espice::bench_support::scaled(260'000));
   for (const auto sel : {SelectionPolicy::kFirst, SelectionPolicy::kLast}) {
     Sweep sweep;
     sweep.title = std::string("Fig 5") + (sel == SelectionPolicy::kFirst ? "a" : "b") +
@@ -81,15 +83,15 @@ int main() {
     sweep.x_name = "pattern size";
     sweep.num_types = rtls_reg.size();
     sweep.events = &rtls_events;
-    sweep.train = 130'000;
-    sweep.measure = 120'000;
+    sweep.train = espice::bench_support::scaled(130'000);
+    sweep.measure = espice::bench_support::scaled(120'000);
     run_sweep(sweep);
   }
 
   // --- NYSE / Q2 -----------------------------------------------------------
   TypeRegistry stock_reg;
   StockGenerator stock(StockConfig{}, stock_reg);
-  const auto stock_events = stock.generate(620'000);
+  const auto stock_events = stock.generate(espice::bench_support::scaled(620'000));
   for (const auto sel : {SelectionPolicy::kFirst, SelectionPolicy::kLast}) {
     Sweep sweep;
     sweep.title = std::string("Fig 5") + (sel == SelectionPolicy::kFirst ? "c" : "d") +
@@ -103,8 +105,8 @@ int main() {
     sweep.x_name = "pattern size";
     sweep.num_types = stock_reg.size();
     sweep.events = &stock_events;
-    sweep.train = 470'000;
-    sweep.measure = 140'000;
+    sweep.train = espice::bench_support::scaled(470'000);
+    sweep.measure = espice::bench_support::scaled(140'000);
     sweep.bin_size = 4;
     run_sweep(sweep);
   }
@@ -123,8 +125,8 @@ int main() {
     sweep.x_name = "window size";
     sweep.num_types = stock_reg.size();
     sweep.events = &stock_events;
-    sweep.train = 470'000;
-    sweep.measure = 140'000;
+    sweep.train = espice::bench_support::scaled(470'000);
+    sweep.measure = espice::bench_support::scaled(140'000);
     sweep.bin_size = 4;
     run_sweep(sweep);
   }
@@ -138,8 +140,8 @@ int main() {
     sweep.x_name = "window size";
     sweep.num_types = stock_reg.size();
     sweep.events = &stock_events;
-    sweep.train = 470'000;
-    sweep.measure = 140'000;
+    sweep.train = espice::bench_support::scaled(470'000);
+    sweep.measure = espice::bench_support::scaled(140'000);
     sweep.bin_size = 4;
     run_sweep(sweep);
   }

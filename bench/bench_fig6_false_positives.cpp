@@ -7,6 +7,7 @@
 // eSPICE near zero while BL's FP grows with the window size.
 #include <iostream>
 
+#include "smoke.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
 
@@ -48,12 +49,13 @@ void run_sweep(const std::string& title, const std::vector<QueryDef>& queries,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  espice::bench_support::init_smoke(argc, argv);
   std::cout << "Figure 6: false positives (lower is better; eSPICE vs BL)\n";
 
   TypeRegistry rtls_reg;
   RtlsGenerator rtls(RtlsConfig{}, rtls_reg);
-  const auto rtls_events = rtls.generate(260'000);
+  const auto rtls_events = rtls.generate(espice::bench_support::scaled(260'000));
   {
     std::vector<QueryDef> queries;
     std::vector<std::string> labels;
@@ -62,12 +64,12 @@ int main() {
       labels.push_back(std::to_string(n));
     }
     run_sweep("Fig 6a: Q1, first selection (RTLS)", queries, labels,
-              "pattern size", rtls_reg.size(), rtls_events, 130'000, 120'000, 1);
+              "pattern size", rtls_reg.size(), rtls_events, espice::bench_support::scaled(130'000), espice::bench_support::scaled(120'000), 1);
   }
 
   TypeRegistry stock_reg;
   StockGenerator stock(StockConfig{}, stock_reg);
-  const auto stock_events = stock.generate(620'000);
+  const auto stock_events = stock.generate(espice::bench_support::scaled(620'000));
   {
     std::vector<QueryDef> queries;
     std::vector<std::string> labels;
@@ -76,7 +78,7 @@ int main() {
       labels.push_back(std::to_string(ws));
     }
     run_sweep("Fig 6b: Q3, first selection (NYSE)", queries, labels,
-              "window size", stock_reg.size(), stock_events, 470'000, 140'000,
+              "window size", stock_reg.size(), stock_events, espice::bench_support::scaled(470'000), espice::bench_support::scaled(140'000),
               4);
   }
   return 0;

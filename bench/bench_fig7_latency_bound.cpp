@@ -6,20 +6,22 @@
 #include <algorithm>
 #include <iostream>
 
+#include "smoke.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
 
 using namespace espice;
 
-int main() {
+int main(int argc, char** argv) {
+  espice::bench_support::init_smoke(argc, argv);
   std::cout << "Figure 7: event latency over time (Q1, LB = 1 s, f = 0.8)\n";
 
   TypeRegistry reg;
   RtlsGenerator gen(RtlsConfig{}, reg);
-  const auto events = gen.generate(260'000);
+  const auto events = gen.generate(espice::bench_support::scaled(260'000));
 
-  const std::size_t train = 130'000;
-  const std::size_t measure = 120'000;
+  const std::size_t train = espice::bench_support::scaled(130'000);
+  const std::size_t measure = espice::bench_support::scaled(120'000);
   const QueryDef query = make_q1(gen, 4);
   const TrainedModel trained =
       train_model(query, reg.size(),

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "smoke.hpp"
 #include "core/model_builder.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
@@ -114,26 +115,27 @@ void run_family(const std::string& title, MakeQuery make_query,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  espice::bench_support::init_smoke(argc, argv);
   std::cout << "Figure 8: impact of variable window size on quality\n";
 
   TypeRegistry rtls_reg;
   RtlsGenerator rtls(RtlsConfig{}, rtls_reg);
-  const auto rtls_events = rtls.generate(260'000);
+  const auto rtls_events = rtls.generate(espice::bench_support::scaled(260'000));
   run_family(
       "Fig 8a: Q1 (n=5), window sizes 12..20 s (reference 16 s = 100%)",
       [&](double ws) { return make_q1(rtls, 5, ws); },
       {12.0, 14.0, 16.0, 18.0, 20.0}, 16.0, rtls_reg.size(), rtls_events,
-      130'000, 120'000, 1);
+      espice::bench_support::scaled(130'000), espice::bench_support::scaled(120'000), 1);
 
   TypeRegistry stock_reg;
   StockGenerator stock(StockConfig{}, stock_reg);
-  const auto stock_events = stock.generate(620'000);
+  const auto stock_events = stock.generate(espice::bench_support::scaled(620'000));
   run_family(
       "Fig 8b: Q2 (n=20), window sizes 180..300 s (reference 240 s = 100%)",
       [&](double ws) { return make_q2(stock, 20, ws); },
       {180.0, 200.0, 240.0, 260.0, 300.0}, 240.0, stock_reg.size(),
-      stock_events, 470'000, 140'000, 4);
+      stock_events, espice::bench_support::scaled(470'000), espice::bench_support::scaled(140'000), 4);
 
   return 0;
 }

@@ -9,6 +9,7 @@
 // reports is the right-hand branch.
 #include <iostream>
 
+#include "smoke.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
 
@@ -46,23 +47,24 @@ void run_family(const std::string& title, const QueryDef& query,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  espice::bench_support::init_smoke(argc, argv);
   std::cout << "Figure 9: impact of bin size on quality\n";
 
   TypeRegistry rtls_reg;
   RtlsGenerator rtls(RtlsConfig{}, rtls_reg);
-  const auto rtls_events = rtls.generate(260'000);
+  const auto rtls_events = rtls.generate(espice::bench_support::scaled(260'000));
   run_family("Fig 9a: Q1 (n=5, ws=15 s)", make_q1(rtls, 5), rtls_reg.size(),
-             rtls_events, 130'000, 120'000, {1, 2, 4, 8, 16, 32, 64});
+             rtls_events, espice::bench_support::scaled(130'000), espice::bench_support::scaled(120'000), {1, 2, 4, 8, 16, 32, 64});
 
   TypeRegistry stock_reg;
   StockGenerator stock(StockConfig{}, stock_reg);
-  const auto stock_events = stock.generate(620'000);
+  const auto stock_events = stock.generate(espice::bench_support::scaled(620'000));
   // The sweep extends past the paper's 64 to expose the blur-degradation
   // branch: with a finite synthetic training stream, small bins are
   // additionally penalized by statistical sparsity (see EXPERIMENTS.md).
   run_family("Fig 9b: Q2 (n=20, ws=240 s)", make_q2(stock, 20),
-             stock_reg.size(), stock_events, 470'000, 140'000,
+             stock_reg.size(), stock_events, espice::bench_support::scaled(470'000), espice::bench_support::scaled(140'000),
              {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
 
   return 0;

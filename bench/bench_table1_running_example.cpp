@@ -9,6 +9,7 @@
 // the learned UT concentrates utility on the positions that bind matches.
 #include <iostream>
 
+#include "smoke.hpp"
 #include "common/rng.hpp"
 #include "core/cdt.hpp"
 #include "core/model_builder.hpp"
@@ -104,7 +105,8 @@ void part2_learned_model() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  espice::bench_support::init_smoke(argc, argv);
   std::cout << "Table 1 / Figure 2: the paper's running example\n";
   part1_paper_numbers();
   part2_learned_model();

@@ -1,0 +1,43 @@
+// Shared --smoke / ESPICE_BENCH_SMOKE handling for the bench suite.
+//
+// CI runs every bench_* target in smoke mode (see the bench-smoke job):
+// streams and train/measure budgets shrink by a fixed factor so the whole
+// suite finishes in seconds while still exercising the full pipeline
+// (generate -> train -> shed -> score).  Smoke-mode QUALITY numbers are not
+// meaningful -- the paper-figure tables need the full budgets -- but every
+// bench must still run to completion and exit zero, and the parity-gated
+// benches (sharded / multi-query / batch-ingest) keep their exact-match
+// assertions at either size.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+
+namespace espice::bench_support {
+
+inline bool& smoke_flag() {
+  static bool smoke = false;
+  return smoke;
+}
+
+/// Call once at the top of main(); remembers the result for scaled().
+inline bool init_smoke(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (const char* env = std::getenv("ESPICE_BENCH_SMOKE");
+      env != nullptr && env[0] != '\0' && env[0] != '0') {
+    smoke = true;
+  }
+  smoke_flag() = smoke;
+  return smoke;
+}
+
+/// Event/train/measure budget under the current mode (smoke: 1/8th).
+inline std::size_t scaled(std::size_t n) {
+  return smoke_flag() ? n / 8 : n;
+}
+
+}  // namespace espice::bench_support

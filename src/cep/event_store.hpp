@@ -19,6 +19,7 @@
 // number of simultaneously live kept events, not the stream length.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -39,6 +40,23 @@ class EventStore {
     if (tail_ - head_ == ring_.size()) grow();
     ring_[tail_ & mask_] = e;
     return tail_++;
+  }
+
+  /// Stores copies of `events[0..n)` in consecutive slots and returns the
+  /// slot of the first (the block occupies [result, result + n)).  The copy
+  /// runs over at most two contiguous ring segments, so the per-event cost
+  /// is a plain memcpy share -- this is the bulk half of the batched
+  /// ingestion path (WindowManager::offer_keep_all_block).
+  Slot append_block(const Event* events, std::size_t n) {
+    while (tail_ - head_ + n > ring_.size()) grow();
+    const Slot base = tail_;
+    const std::size_t start = static_cast<std::size_t>(tail_ & mask_);
+    const std::size_t first = std::min(n, ring_.size() - start);
+    std::copy_n(events, first,
+                ring_.begin() + static_cast<std::ptrdiff_t>(start));
+    std::copy_n(events + first, n - first, ring_.begin());
+    tail_ += n;
+    return base;
   }
 
   /// The event stored at `slot`; the slot must be live.

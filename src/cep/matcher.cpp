@@ -18,6 +18,11 @@ Matcher::Matcher(Pattern pattern, SelectionPolicy selection,
   for (std::size_t i = 0; i < pattern_.negations.size(); ++i) {
     negation_idx_[pattern_.negations[i].gap] = static_cast<int>(i);
   }
+  // Pre-size the binding scratch to the pattern arity so the very first
+  // windows match without touching the heap (the remaining scratch sizes
+  // depend on window contents and stabilize after the first few windows).
+  bind_.reserve(pattern_.elements.size() + 1);
+  chosen_.reserve(pattern_.elements.size() + 1);
 }
 
 std::vector<ComplexEvent> Matcher::match_window(const WindowView& w) const {

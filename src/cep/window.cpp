@@ -197,6 +197,91 @@ void WindowManager::keep(const Membership& m, const Event& e, QueryMask mask) {
   if (track_masks_) w.kept_masks.push_back(mask);
 }
 
+std::uint64_t WindowManager::offer_keep_all_block(std::span<const Event> block,
+                                                 QueryMask mask) {
+  ESPICE_ASSERT(mask != 0, "block keep with an empty query mask");
+  ESPICE_ASSERT(track_masks_ || mask == ~QueryMask{0},
+                "partial query mask on a manager that does not track masks");
+  std::uint64_t memberships = 0;
+  const bool fast_spec = spec_.span_kind == WindowSpan::kCount &&
+                         spec_.open_kind == WindowOpen::kCountSlide;
+  const std::size_t n = block.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (fast_spec) {
+      // Boundary distance: the next window opens at the next offer index
+      // divisible by slide; the front window closes when it reaches span.
+      // Inside a run strictly before both, the open set is fixed.
+      const std::uint64_t rem = events_seen_ % spec_.slide_events;
+      std::uint64_t boundary = rem == 0 ? 0 : spec_.slide_events - rem;
+      if (open_head_ < open_.size()) {
+        const std::uint64_t until_close =
+            open_[open_head_].open_index + spec_.span_events - events_seen_;
+        boundary = std::min(boundary, until_close);
+      }
+      if (boundary > 0) {
+        const auto run = static_cast<std::size_t>(
+            std::min<std::uint64_t>(n - i, boundary));
+        const std::size_t open_count = open_.size() - open_head_;
+        if (open_count > 0) {
+          const EventStore::Slot base =
+              store_.append_block(block.data() + i, run);
+          for (std::size_t w = open_head_; w < open_.size(); ++w) {
+            WindowRecord& rec = open_[w];
+            const std::uint64_t off0 = base - rec.begin_slot;
+            const std::uint64_t pos0 = events_seen_ - rec.open_index;
+            ESPICE_ASSERT(off0 + run <= (1ULL << 32) &&
+                              pos0 + run <= (1ULL << 32),
+                          "window slot offset / position overflows 32 bits");
+            const std::size_t old = rec.kept.size();
+            rec.kept.resize(old + run);
+            KeptEntry* out = rec.kept.data() + old;
+            for (std::size_t j = 0; j < run; ++j) {
+              out[j] = KeptEntry{static_cast<std::uint32_t>(off0 + j),
+                                 static_cast<std::uint32_t>(pos0 + j)};
+            }
+            if (track_masks_) {
+              rec.kept_masks.insert(rec.kept_masks.end(), run, mask);
+            }
+          }
+          memberships += static_cast<std::uint64_t>(open_count) * run;
+        }
+        events_seen_ += run;
+        i += run;
+        continue;
+      }
+    }
+    // Boundary event (or non-count/count spec): the scalar path handles
+    // opening/closing exactly as per-event execution would.
+    const Event& e = block[i];
+    for (const Membership& m : offer(e)) {
+      keep(m, e, mask);
+      ++memberships;
+    }
+    ++i;
+  }
+  return memberships;
+}
+
+std::uint64_t WindowManager::close_free_horizon() const {
+  if (spec_.span_kind != WindowSpan::kCount) return 1;
+  std::uint64_t next_close;
+  if (open_head_ < open_.size()) {
+    next_close = open_[open_head_].open_index + spec_.span_events;
+  } else {
+    // No window is open: the earliest close is a full span after the
+    // earliest possible opening.
+    std::uint64_t next_open = events_seen_;
+    if (spec_.open_kind == WindowOpen::kCountSlide) {
+      const std::uint64_t rem = events_seen_ % spec_.slide_events;
+      if (rem != 0) next_open += spec_.slide_events - rem;
+    }
+    next_close = next_open + spec_.span_events;
+  }
+  ESPICE_ASSERT(next_close >= events_seen_, "close boundary in the past");
+  return next_close - events_seen_ + 1;
+}
+
 void WindowManager::close_record(WindowRecord&& w) {
   w.arrivals = static_cast<std::size_t>(events_seen_ - w.open_index);
   closed_size_sum_ += static_cast<double>(w.arrivals);

@@ -245,6 +245,34 @@ class WindowManager {
   /// the mask is all-ones (the single-query path above).
   void keep(const Membership& m, const Event& e, QueryMask mask);
 
+  /// Batched all-keep path: offers every event of `block` in stream order
+  /// and keeps each of its memberships with `mask` -- exactly equivalent to
+  /// `for (e : block) { for (m : offer(e)) keep(m, e, mask); }`, bit for
+  /// bit, but with the window-boundary checks hoisted out of the inner
+  /// loop.  For count-span/count-slide specs, runs of events between two
+  /// boundaries (a window opening or closing) see a FIXED set of open
+  /// windows, so the run's payloads land in the store via one bulk append
+  /// and each window's kept list grows by one contiguous (slot, position)
+  /// span; only the boundary events take the scalar path.  Other specs fall
+  /// back to the scalar path per event (still one call).  Returns the
+  /// number of memberships offered (all of them kept).
+  ///
+  /// Shedding callers cannot use this (decisions are per membership); the
+  /// no-shedder engine pipeline, and the sizing/training phases of the
+  /// adaptive operators, are all-keep and batch through here.
+  std::uint64_t offer_keep_all_block(std::span<const Event> block,
+                                     QueryMask mask = ~QueryMask{0});
+
+  /// Upper bound on how many upcoming events can be offered before -- and
+  /// including -- the next event whose offer() can close a window: offering
+  /// the next `close_free_horizon() - 1` events closes nothing.  Exact for
+  /// count-span specs (window closings are index-arithmetic there); a
+  /// conservative 1 for time/predicate spans, where any event may close.
+  /// Batched operator hosts chunk blocks with this so phase transitions
+  /// (which trigger on window closings) happen at the same event as in
+  /// per-event execution.
+  std::uint64_t close_free_horizon() const;
+
   /// Views of the windows closed since the last drain, in closing order.
   /// Views (and the store slots they reference) stay valid until the next
   /// offer()/drain_closed()/close_all() call; materialize() any window that

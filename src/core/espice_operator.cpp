@@ -51,19 +51,36 @@ void EspiceOperator::push(const Event& e) {
   auto& memberships = windows_.offer(e);
   ++events_;
   memberships_ += memberships.size();
-  const bool shedding = phase_ == Phase::kShedding;
-  for (const auto& m : memberships) {
-    if (shedding) {
-      // Statistics are fed *pre-drop* so the position shares (and the drift
-      // reference) stay unbiased by the shedder's own decisions.
-      builder_->observe_position(e.type, m.position, predicted_ws_);
-      if (drift_ && drift_->observe(e, m.position, predicted_ws_)) {
+  if (phase_ != Phase::kShedding) {
+    for (const auto& m : memberships) {
+      windows_.keep(m, e);
+      ++memberships_kept_;
+    }
+  } else if (!memberships.empty()) {
+    const std::size_t mcount = memberships.size();
+    pos_scratch_.resize(mcount);
+    for (std::size_t i = 0; i < mcount; ++i) {
+      pos_scratch_[i] = memberships[i].position;
+    }
+    // Statistics are fed *pre-drop* so the position shares (and the drift
+    // reference) stay unbiased by the shedder's own decisions.
+    for (std::size_t i = 0; i < mcount; ++i) {
+      builder_->observe_position(e.type, pos_scratch_[i], predicted_ws_);
+      if (drift_ && drift_->observe(e, pos_scratch_[i], predicted_ws_)) {
         drift_pending_ = true;  // retrain after this event's routing
       }
-      if (shedder_->should_drop(e, m.position, predicted_ws_)) continue;
     }
-    windows_.keep(m, e);
-    ++memberships_kept_;
+    // One block-scoring call decides the whole membership set (identical
+    // decisions, in order, to per-membership should_drop()).
+    keep_bits_.resize(keep_bitmap_words(mcount));
+    shedder_->score_block(e, pos_scratch_.data(), mcount, predicted_ws_,
+                          keep_bits_.data());
+    for (std::size_t i = 0; i < mcount; ++i) {
+      if (keep_bit(keep_bits_.data(), i)) {
+        windows_.keep(memberships[i], e);
+        ++memberships_kept_;
+      }
+    }
   }
   close_windows();
   if (drift_pending_) {

@@ -144,6 +144,9 @@ class EspiceOperator {
   std::optional<ModelBuilder> builder_;
   std::unique_ptr<EspiceShedder> shedder_;
   std::optional<DriftDetector> drift_;
+  /// Block-scoring scratch (one event's membership positions / keep bits).
+  std::vector<std::uint32_t> pos_scratch_;
+  std::vector<std::uint64_t> keep_bits_;
   double predicted_ws_ = 0.0;
   std::size_t retrains_ = 0;
   std::size_t windows_since_rebuild_ = 0;

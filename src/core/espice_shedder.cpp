@@ -8,6 +8,7 @@ EspiceShedder::EspiceShedder(std::shared_ptr<const UtilityModel> model,
                              bool exact_amount, std::uint64_t seed)
     : model_(std::move(model)), exact_amount_(exact_amount), rng_(seed) {
   ESPICE_REQUIRE(model_ != nullptr, "eSPICE shedder needs a utility model");
+  rebuild_ut_flat();
 }
 
 void EspiceShedder::set_exploration(double fraction) {
@@ -20,6 +21,7 @@ void EspiceShedder::set_model(std::shared_ptr<const UtilityModel> model) {
   ESPICE_REQUIRE(model != nullptr, "eSPICE shedder needs a utility model");
   model_ = std::move(model);
   cdt_cache_.clear();
+  rebuild_ut_flat();
   if (active_) {
     // Recompute thresholds under the new model with the last command.
     DropCommand cmd;
@@ -30,14 +32,48 @@ void EspiceShedder::set_model(std::shared_ptr<const UtilityModel> model) {
   }
 }
 
-const std::vector<Cdt>& EspiceShedder::cdts_for(std::size_t partitions) {
-  auto it = cdt_cache_.find(partitions);
-  if (it == cdt_cache_.end()) {
-    it = cdt_cache_.emplace(partitions,
-                            Cdt::build_partitions(*model_, partitions))
-             .first;
+void EspiceShedder::rebuild_ut_flat() {
+  // Pre-expand the UT's bin indirection: one byte per (type, normalized
+  // position).  For the fast-path ws (== N) an event at integral position p
+  // covers exactly cell p / bin_size, so this reproduces
+  // model_->utility(type, p, N) verbatim.
+  const std::size_t n = model_->n_positions();
+  const std::size_t types = model_->num_types();
+  n_as_ws_ = static_cast<double>(n);
+  ut_flat_.resize(types * n);
+  for (std::size_t t = 0; t < types; ++t) {
+    for (std::size_t p = 0; p < n; ++p) {
+      ut_flat_[t * n + p] = static_cast<std::uint8_t>(
+          model_->utility_cell(static_cast<EventTypeId>(t), p / model_->bin_size()));
+    }
   }
-  return it->second;
+}
+
+const std::vector<Cdt>& EspiceShedder::cdts_for(std::size_t partitions) {
+  if (cdt_cache_.size() <= partitions) cdt_cache_.resize(partitions + 1);
+  std::vector<Cdt>& slot = cdt_cache_[partitions];
+  if (slot.empty()) slot = Cdt::build_partitions(*model_, partitions);
+  return slot;
+}
+
+void EspiceShedder::rebuild_flat_thresholds() {
+  // Broadcast the per-partition thresholds over the normalized position
+  // space: partition of integral position p is the same expression the
+  // general path evaluates per event (partition boundaries can be
+  // fractional, but at integral norms the two agree exactly).
+  const std::size_t n = model_->n_positions();
+  pos_threshold_.resize(n);
+  pos_boundary_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    // Exactly the general path's expression, evaluated at norm == p.
+    const auto part = std::min(
+        static_cast<std::size_t>(static_cast<double>(p) *
+                                 static_cast<double>(partitions_) /
+                                 static_cast<double>(n)),
+        partitions_ - 1);
+    pos_threshold_[p] = thresholds_[part];
+    pos_boundary_[p] = boundary_drop_[part];
+  }
 }
 
 void EspiceShedder::on_command(const DropCommand& cmd) {
@@ -45,6 +81,8 @@ void EspiceShedder::on_command(const DropCommand& cmd) {
   if (!active_) {
     thresholds_.clear();
     boundary_drop_.clear();
+    pos_threshold_.clear();
+    pos_boundary_.clear();
     return;
   }
   ESPICE_ASSERT(cmd.partitions > 0, "command with zero partitions");
@@ -68,6 +106,48 @@ void EspiceShedder::on_command(const DropCommand& cmd) {
     }
     boundary_drop_[p] = frac;
   }
+  rebuild_flat_thresholds();
+}
+
+bool EspiceShedder::decide(EventTypeId type, std::uint32_t position,
+                           double predicted_ws) {
+  int u;
+  int threshold;
+  double frac;
+  const std::size_t n = model_->n_positions();
+  if (predicted_ws == n_as_ws_ && position < n) {
+    // Flat fast path: ws == N means the normalized position IS the
+    // position; utility and threshold are direct array loads.
+    u = ut_flat_[static_cast<std::size_t>(type) * n + position];
+    threshold = pos_threshold_[position];
+    frac = pos_boundary_[position];
+  } else {
+    // General path (ws != N, or an event beyond the predicted size):
+    // partition of the event computed over the normalized position space so
+    // that partition boundaries agree with the CDTs (Algorithm 2, line 12).
+    const double norm = model_->normalize_position(position, predicted_ws);
+    const auto part = std::min(
+        static_cast<std::size_t>(norm * static_cast<double>(partitions_) /
+                                 static_cast<double>(n)),
+        partitions_ - 1);
+    u = model_->utility(type, position, predicted_ws);
+    threshold = thresholds_[part];
+    frac = boundary_drop_[part];
+  }
+  bool drop;
+  if (u < threshold) {
+    drop = true;
+  } else if (u == threshold) {
+    // At the boundary utility, drop just the fraction needed for an expected
+    // amount of exactly x (1.0 when exact_amount is disabled).
+    drop = frac >= 1.0 || rng_.bernoulli(frac);
+  } else {
+    drop = false;
+  }
+  if (drop && exploration_ > 0.0 && rng_.bernoulli(exploration_)) {
+    drop = false;  // exploration: spare this event so the model can relearn
+  }
+  return drop;
 }
 
 bool EspiceShedder::should_drop(const Event& e, std::uint32_t position,
@@ -76,30 +156,35 @@ bool EspiceShedder::should_drop(const Event& e, std::uint32_t position,
     count_decision(false);
     return false;
   }
-  // Partition of the event: computed over the normalized position space so
-  // that partition boundaries agree with the CDTs (Algorithm 2, line 12).
-  const double norm = model_->normalize_position(position, predicted_ws);
-  const auto part = std::min(
-      static_cast<std::size_t>(norm * static_cast<double>(partitions_) /
-                               static_cast<double>(model_->n_positions())),
-      partitions_ - 1);
-  const int u = model_->utility(e.type, position, predicted_ws);
-  bool drop;
-  if (u < thresholds_[part]) {
-    drop = true;
-  } else if (u == thresholds_[part]) {
-    // At the boundary utility, drop just the fraction needed for an expected
-    // amount of exactly x (1.0 when exact_amount is disabled).
-    const double frac = boundary_drop_[part];
-    drop = frac >= 1.0 || rng_.bernoulli(frac);
-  } else {
-    drop = false;
-  }
-  if (drop && exploration_ > 0.0 && rng_.bernoulli(exploration_)) {
-    drop = false;  // exploration: spare this event so the model can relearn
-  }
+  const bool drop = decide(e.type, position, predicted_ws);
   count_decision(drop);
   return drop;
+}
+
+void EspiceShedder::score_block(const Event& e, const std::uint32_t* positions,
+                                std::size_t n, double predicted_ws,
+                                std::uint64_t* keep_bits) {
+  if (n == 0) return;
+  if (!active_) {
+    for (std::size_t w = 0; w < (n + 63) / 64; ++w) keep_bits[w] = ~0ULL;
+    count_block(n, 0);
+    return;
+  }
+  std::uint64_t dropped = 0;
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0 && i % 64 == 0) {
+      keep_bits[i / 64 - 1] = word;
+      word = 0;
+    }
+    if (decide(e.type, positions[i], predicted_ws)) {
+      ++dropped;
+    } else {
+      word |= std::uint64_t{1} << (i % 64);
+    }
+  }
+  keep_bits[(n - 1) / 64] = word;
+  count_block(n, dropped);
 }
 
 }  // namespace espice

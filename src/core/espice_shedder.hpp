@@ -1,10 +1,23 @@
 // The eSPICE load shedder (paper Section 3.5, Algorithm 2).
 //
 // Hot path: should_drop() performs one scaled position computation, one UT
-// lookup and one threshold comparison -- O(1), allocation-free.
+// lookup and one threshold comparison -- O(1), allocation-free.  When the
+// caller's predicted window size equals the model's N (the steady state of
+// every operator host: predicted_ws is derived from N after sizing), both
+// lookups collapse to loads from flat position-indexed arrays prepared by
+// the control plane: ut_flat_ (utility per (type, position), the UT with
+// the bin indirection pre-expanded) and pos_threshold_/pos_boundary_ (the
+// per-partition thresholds of Algorithm 2 pre-broadcast over positions).
+// The flat path computes exactly the same values as the general one; it
+// just removes the per-event divisions and the CDT/partition arithmetic.
+// score_block() scores a whole membership block (one event in n overlapping
+// windows) over those arrays into a keep bitmap -- one virtual call and
+// contiguous loads instead of n scalar should_drop() calls.
+//
 // Control plane: on_command() (re)computes the per-partition utility
-// thresholds from the CDTs; CDT sets are cached per partition count so a
-// command that only changes x is a cheap threshold re-scan.
+// thresholds from the CDTs and re-broadcasts the flat arrays; CDT sets are
+// cached per partition count (flat, partition-count-indexed) so a command
+// that only changes x is a cheap threshold re-scan.
 //
 // Exact-amount mode (optional, default off; DESIGN.md §5b): the paper's
 // Algorithm 2 drops *every* event with utility <= uth, which removes
@@ -21,7 +34,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -45,6 +57,9 @@ class EspiceShedder final : public Shedder {
 
   bool should_drop(const Event& e, std::uint32_t position,
                    double predicted_ws) override;
+  void score_block(const Event& e, const std::uint32_t* positions,
+                   std::size_t n, double predicted_ws,
+                   std::uint64_t* keep_bits) override;
   void on_command(const DropCommand& cmd) override;
   const char* name() const override { return "eSPICE"; }
 
@@ -59,13 +74,31 @@ class EspiceShedder final : public Shedder {
 
  private:
   const std::vector<Cdt>& cdts_for(std::size_t partitions);
+  void rebuild_ut_flat();
+  void rebuild_flat_thresholds();
+  /// The raw drop decision (no counters).  Flat fast path when the caller's
+  /// ws equals the model's N and the position is inside it; identical math
+  /// through the model/partition arithmetic otherwise.
+  bool decide(EventTypeId type, std::uint32_t position, double predicted_ws);
 
   std::shared_ptr<const UtilityModel> model_;
-  std::unordered_map<std::size_t, std::vector<Cdt>> cdt_cache_;
+  /// CDT sets per partition count, flat-indexed by the count (the counts in
+  /// play are the detector's rho values -- single digits); empty slot = not
+  /// built yet.
+  std::vector<std::vector<Cdt>> cdt_cache_;
   std::vector<int> thresholds_;
   /// Per partition: drop probability for events exactly at the threshold
   /// utility (1.0 unless exact_amount is enabled).
   std::vector<double> boundary_drop_;
+
+  // Flat position-indexed hot-path arrays (see file comment).  ut_flat_
+  // tracks the model (N x M, rebuilt on set_model); the threshold arrays
+  // track the active command (N each, rebuilt on on_command).
+  std::vector<std::uint8_t> ut_flat_;       ///< [type * N + position]
+  std::vector<int> pos_threshold_;          ///< threshold of pos's partition
+  std::vector<double> pos_boundary_;        ///< boundary drop of its partition
+  double n_as_ws_ = 0.0;                    ///< N as a double (ws fast-path key)
+
   std::size_t partitions_ = 1;
   double last_x_ = 0.0;
   double exploration_ = 0.0;

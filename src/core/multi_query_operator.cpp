@@ -45,36 +45,94 @@ void MultiQueryOperator::begin_training(std::size_t n_positions) {
 
 void MultiQueryOperator::push(const Event& e) {
   ESPICE_REQUIRE(e.type < config_.num_types, "event type outside the universe");
-  auto& memberships = windows_.offer(e);
-  ++events_;
-  memberships_ += memberships.size();
-  const bool shedding = phase_ == Phase::kShedding;
-  if (!shedding) {
+  if (phase_ != Phase::kShedding) {
     // Sizing/training: every query keeps everything.
+    auto& memberships = windows_.offer(e);
+    ++events_;
+    memberships_ += memberships.size();
     for (const auto& m : memberships) {
       windows_.keep(m, e, all_queries_mask(queries_.size()));
       ++memberships_kept_;
     }
   } else {
-    for (const auto& m : memberships) {
-      QueryMask mask = 0;
-      for (std::size_t q = 0; q < queries_.size(); ++q) {
-        // Position shares are fed *pre-drop* per query so they stay
-        // unbiased by the shedders' own decisions (same as EspiceOperator).
-        queries_[q].builder->observe_position(e.type, m.position,
-                                              predicted_ws_);
-        if (!queries_[q].shedder->should_drop(e, m.position, predicted_ws_)) {
-          mask |= QueryMask{1} << q;
-        }
-      }
-      // Every query shed it -> physical drop: never buffered, never matched.
-      if (mask != 0) {
-        windows_.keep(m, e, mask);
-        ++memberships_kept_;
-      }
-    }
+    push_shedding(e);
   }
   close_windows();
+}
+
+void MultiQueryOperator::push_shedding(const Event& e) {
+  auto& memberships = windows_.offer(e);
+  ++events_;
+  const std::size_t mcount = memberships.size();
+  memberships_ += mcount;
+  if (mcount == 0) return;
+  pos_scratch_.resize(mcount);
+  for (std::size_t i = 0; i < mcount; ++i) {
+    pos_scratch_[i] = memberships[i].position;
+  }
+  const std::size_t words = keep_bitmap_words(mcount);
+  bits_scratch_.resize(words * queries_.size());
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    // Position shares are fed *pre-drop* per query so they stay unbiased by
+    // the shedders' own decisions (same as EspiceOperator).
+    for (std::size_t i = 0; i < mcount; ++i) {
+      queries_[q].builder->observe_position(e.type, pos_scratch_[i],
+                                            predicted_ws_);
+    }
+    // One block-scoring call per query decides its whole membership set
+    // (identical decisions, in order, to per-membership should_drop()).
+    queries_[q].shedder->score_block(e, pos_scratch_.data(), mcount,
+                                     predicted_ws_,
+                                     bits_scratch_.data() + q * words);
+  }
+  // Transpose the per-query bitmaps into per-membership masks.
+  for (std::size_t i = 0; i < mcount; ++i) {
+    QueryMask mask = 0;
+    for (std::size_t q = 0; q < queries_.size(); ++q) {
+      if (keep_bit(bits_scratch_.data() + q * words, i)) {
+        mask |= QueryMask{1} << q;
+      }
+    }
+    // Every query shed it -> physical drop: never buffered, never matched.
+    if (mask != 0) {
+      windows_.keep(memberships[i], e, mask);
+      ++memberships_kept_;
+    }
+  }
+}
+
+void MultiQueryOperator::push_block(std::span<const Event> block) {
+  for (const Event& e : block) {
+    ESPICE_REQUIRE(e.type < config_.num_types,
+                   "event type outside the universe");
+  }
+  std::size_t i = 0;
+  while (i < block.size()) {
+    if (phase_ == Phase::kShedding) {
+      // Shedding is the terminal phase: score the rest of the block.
+      // Windows are drained per event so a mid-block model refresh
+      // (rebuild_every_windows) lands exactly where per-event execution
+      // puts it.
+      for (; i < block.size(); ++i) {
+        push_shedding(block[i]);
+        close_windows();
+      }
+      return;
+    }
+    // Sizing/training: all-keep, so the window manager's bulk path applies.
+    // Chunk at the close horizon -- close_windows() can flip the phase at a
+    // window boundary, and the flip must take effect for the very next
+    // event, exactly as in per-event execution.
+    const auto chunk = static_cast<std::size_t>(std::min<std::uint64_t>(
+        block.size() - i, windows_.close_free_horizon()));
+    const std::uint64_t kept = windows_.offer_keep_all_block(
+        block.subspan(i, chunk), all_queries_mask(queries_.size()));
+    events_ += chunk;
+    memberships_ += kept;
+    memberships_kept_ += kept;
+    close_windows();
+    i += chunk;
+  }
 }
 
 void MultiQueryOperator::close_windows() {

@@ -34,6 +34,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -124,6 +125,16 @@ class MultiQueryOperator {
   /// window manager, one keep/drop decision per (membership, query).
   void push(const Event& e);
 
+  /// Batched variant: consumes a whole block of stream events, bit-identical
+  /// in every output (matches, stats, model evolution) to pushing them one
+  /// by one.  Sizing/training blocks batch through the window manager's
+  /// all-keep bulk path, chunked at close_free_horizon() so phase
+  /// transitions (which trigger on window closings) land on the same event
+  /// as in per-event execution; shedding blocks score each event's
+  /// membership set per query with one EspiceShedder::score_block call over
+  /// flat arrays instead of a virtual should_drop() per (membership, query).
+  void push_block(std::span<const Event> block);
+
   /// Flushes all open windows (end of stream).
   void finish();
 
@@ -150,6 +161,7 @@ class MultiQueryOperator {
   void build_and_arm();
   void refresh_models();
   void close_windows();
+  void push_shedding(const Event& e);
 
   MultiQueryOperatorConfig config_;
   MatchCallback on_match_;
@@ -167,6 +179,11 @@ class MultiQueryOperator {
     std::uint64_t matches = 0;
   };
   std::vector<QueryState> queries_;
+
+  /// Block-scoring scratch: one event's membership positions and the
+  /// per-query keep bitmaps (queries x ceil(memberships / 64) words).
+  std::vector<std::uint32_t> pos_scratch_;
+  std::vector<std::uint64_t> bits_scratch_;
 
   Phase phase_ = Phase::kSizing;
   std::size_t sizing_count_ = 0;

@@ -25,6 +25,17 @@ struct DropCommand {
   std::size_t partitions = 1;
 };
 
+/// Keep-bitmap layout shared by Shedder::score_block() and its callers:
+/// membership i lives in word i / 64, bit i % 64.  Callers size their word
+/// buffers with keep_bitmap_words() and read decisions with keep_bit() so
+/// the layout has exactly one owner.
+constexpr std::size_t keep_bitmap_words(std::size_t n) {
+  return (n + 63) / 64;
+}
+inline bool keep_bit(const std::uint64_t* bits, std::size_t i) {
+  return (bits[i >> 6] >> (i & 63)) & 1;
+}
+
 class Shedder {
  public:
   virtual ~Shedder() = default;
@@ -35,6 +46,30 @@ class Shedder {
   /// allocate.
   virtual bool should_drop(const Event& e, std::uint32_t position,
                            double predicted_ws) = 0;
+
+  /// Block decision: one event offered to `n` overlapping windows at
+  /// `positions[0..n)`.  Sets bit i of `keep_bits` (word i/64, bit i%64)
+  /// when membership i is KEPT; the caller provides ceil(n/64) words and
+  /// need not zero them.  Must be bit-identical to calling should_drop()
+  /// once per position in order -- including the decision/drop counters and
+  /// any internal RNG consumption -- so block and per-event execution stay
+  /// interchangeable.  The default does exactly that loop; shedders with
+  /// cheaper batch scoring (EspiceShedder::score_block) override it.
+  virtual void score_block(const Event& e, const std::uint32_t* positions,
+                           std::size_t n, double predicted_ws,
+                           std::uint64_t* keep_bits) {
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != 0 && i % 64 == 0) {
+        keep_bits[i / 64 - 1] = word;
+        word = 0;
+      }
+      if (!should_drop(e, positions[i], predicted_ws)) {
+        word |= std::uint64_t{1} << (i % 64);
+      }
+    }
+    if (n > 0) keep_bits[(n - 1) / 64] = word;
+  }
 
   /// Applies a new command from the overload detector (control plane; may do
   /// non-trivial work such as recomputing utility thresholds).
@@ -50,6 +85,12 @@ class Shedder {
   void count_decision(bool dropped) {
     ++decisions_;
     if (dropped) ++drops_;
+  }
+
+  /// Bulk counter update for score_block() overrides.
+  void count_block(std::uint64_t decisions, std::uint64_t drops) {
+    decisions_ += decisions;
+    drops_ += drops;
   }
 
  private:

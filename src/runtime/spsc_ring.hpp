@@ -15,15 +15,23 @@
 // slot.  Capacity is rounded up to a power of two; slot index = cursor &
 // mask.
 //
+// Bulk transfer: try_push_bulk()/try_pop_bulk() move a whole block of items
+// under ONE acquire/release cursor pair, amortizing the synchronization and
+// the cache-line ping-pong that dominate the scalar ops at high rates.  The
+// batched ingestion path (StreamEngine::push_batch) is built on them.
+//
 // close() is the producer's end-of-stream signal.  The consumer must keep
 // draining after observing closed(): the release store in close() happens
 // after the producer's final push, so "closed and try_pop() failed" is the
 // only true termination condition (see pop_or_closed()).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -61,6 +69,28 @@ class SpscRing {
     return true;
   }
 
+  /// Producer side, bulk: pushes up to `n` items from `src` and returns how
+  /// many were enqueued (0 when full).  One release store publishes the
+  /// whole block, so the per-item synchronization cost is amortized over the
+  /// block; the copy itself runs over at most two contiguous slot segments.
+  /// Equivalent to calling try_push(src[i]) until it fails.
+  std::size_t try_push_bulk(const T* src, std::size_t n) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = capacity() - static_cast<std::size_t>(tail - head_cache_);
+    if (free < n) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = capacity() - static_cast<std::size_t>(tail - head_cache_);
+      if (free == 0) return 0;
+    }
+    const std::size_t count = std::min(n, free);
+    const std::size_t start = static_cast<std::size_t>(tail) & mask_;
+    const std::size_t first = std::min(count, capacity() - start);
+    std::copy_n(src, first, slots_.begin() + static_cast<std::ptrdiff_t>(start));
+    std::copy_n(src + first, count - first, slots_.begin());
+    tail_.store(tail + count, std::memory_order_release);
+    return count;
+  }
+
   /// Producer side: no further pushes will happen.  Idempotent.
   void close() { closed_.store(true, std::memory_order_release); }
   bool closed() const { return closed_.load(std::memory_order_acquire); }
@@ -77,6 +107,31 @@ class SpscRing {
     return true;
   }
 
+  /// Consumer side, bulk: pops up to `max` items into `dst` and returns how
+  /// many were dequeued (0 when empty).  One acquire load observes the
+  /// producer's cursor for the whole block; the move runs over at most two
+  /// contiguous slot segments.  Equivalent to calling try_pop() until it
+  /// fails.
+  std::size_t try_pop_bulk(T* dst, std::size_t max) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = static_cast<std::size_t>(tail_cache_ - head);
+    if (avail < max) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = static_cast<std::size_t>(tail_cache_ - head);
+      if (avail == 0) return 0;
+    }
+    const std::size_t count = std::min(max, avail);
+    const std::size_t start = static_cast<std::size_t>(head) & mask_;
+    const std::size_t first = std::min(count, capacity() - start);
+    auto from = std::make_move_iterator(slots_.begin() +
+                                        static_cast<std::ptrdiff_t>(start));
+    std::copy_n(from, first, dst);
+    std::copy_n(std::make_move_iterator(slots_.begin()), count - first,
+                dst + first);
+    head_.store(head + count, std::memory_order_release);
+    return count;
+  }
+
   /// Consumer side: pop, distinguishing "empty for now" from "drained and
   /// closed".  The closed check runs *before* the retry pop so the final
   /// push-then-close pair can never be missed.
@@ -87,6 +142,49 @@ class SpscRing {
     // Closed was observed (acquire) after a failed pop; anything the
     // producer pushed before close() is now visible -- one more pop decides.
     return try_pop(out) ? Pop::kItem : Pop::kDone;
+  }
+
+  /// Bulk analogue of pop_or_closed(): pops up to `max` items into `dst`.
+  /// Returns the count; a zero return sets `done` when the ring is closed
+  /// and fully drained (same never-miss-the-final-push ordering as the
+  /// scalar version).
+  std::size_t pop_bulk_or_closed(T* dst, std::size_t max, bool& done) {
+    done = false;
+    std::size_t n = try_pop_bulk(dst, max);
+    if (n > 0) return n;
+    if (!closed()) return 0;
+    n = try_pop_bulk(dst, max);
+    done = n == 0;
+    return n;
+  }
+
+  /// Consumer side, zero-copy bulk: a contiguous view of up to `max` queued
+  /// items starting at the oldest, WITHOUT dequeuing them.  The slots stay
+  /// owned by the consumer -- the producer cannot reuse them -- until
+  /// release() frees them, so the view can be processed in place (no
+  /// copy-out).  May return fewer than queued when the available span wraps
+  /// the ring edge; empty means "nothing queued right now".
+  std::span<const T> front_block(std::size_t max) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = static_cast<std::size_t>(tail_cache_ - head);
+    if (avail < max) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = static_cast<std::size_t>(tail_cache_ - head);
+      if (avail == 0) return {};
+    }
+    const std::size_t start = static_cast<std::size_t>(head) & mask_;
+    const std::size_t count =
+        std::min(std::min(avail, max), capacity() - start);
+    return {slots_.data() + start, count};
+  }
+
+  /// Consumer side: frees the oldest `n` slots (the prefix handed out by
+  /// front_block()).  One release store -- the bulk-dequeue commit.
+  void release(std::size_t n) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    ESPICE_ASSERT(n <= static_cast<std::size_t>(tail_cache_ - head),
+                  "releasing more slots than were handed out");
+    head_.store(head + n, std::memory_order_release);
   }
 
   /// Approximate occupancy; exact when called by the producer or consumer

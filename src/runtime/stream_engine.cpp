@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <span>
 #include <thread>
 #include <tuple>
 
@@ -11,9 +12,11 @@ namespace espice {
 
 namespace {
 
-/// Sampling stride for the peak-queue-depth gauge: reading both ring
-/// cursors on every pop would put two extra acquire loads on the hot path.
-constexpr std::uint64_t kDepthSampleStride = 32;
+/// Shard-side drain block: how many events one front_block() view exposes
+/// at most (one acquire per view, one release store per commit).  Also
+/// doubles as the depth-gauge sampling granularity: ring cursors are read
+/// once per block, not per event.
+constexpr std::size_t kShardBlock = 256;
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -136,6 +139,12 @@ void StreamEngine::start() {
   }
 
   const std::size_t num_queries = std::max<std::size_t>(queries_.size(), 1);
+  if (config_.shards > 1) {
+    staging_.resize(config_.shards);
+    // Seed each staging buffer's capacity so typical batches never allocate
+    // on the routing path (buffers keep growing to the largest batch seen).
+    for (auto& buf : staging_) buf.reserve(kShardBlock);
+  }
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
     shards_.push_back(
@@ -188,6 +197,39 @@ void StreamEngine::push(const Event& e) {
     std::this_thread::yield();
   }
   ++pushed_;
+}
+
+void StreamEngine::bulk_push_shard(Shard& s, const Event* data, std::size_t n) {
+  while (n > 0) {
+    const std::size_t pushed = s.ring.try_push_bulk(data, n);
+    if (pushed == 0) {
+      ++s.stats.router_backpressure_waits;
+      std::this_thread::yield();
+      continue;
+    }
+    data += pushed;
+    n -= pushed;
+  }
+}
+
+void StreamEngine::push_batch(std::span<const Event> events) {
+  ESPICE_REQUIRE(!finished_, "push_batch() after finish()");
+  if (events.empty()) return;
+  if (!started_) start();
+  if (config_.shards == 1) {
+    // Single shard: everything routes to shard 0 -- no hashing, no staging
+    // copy, bulk enqueue straight from the caller's span.
+    bulk_push_shard(*shards_[0], events.data(), events.size());
+  } else {
+    for (auto& buf : staging_) buf.clear();
+    for (const Event& e : events) staging_[shard_of(e)].push_back(e);
+    for (std::size_t s = 0; s < staging_.size(); ++s) {
+      if (!staging_[s].empty()) {
+        bulk_push_shard(*shards_[s], staging_[s].data(), staging_[s].size());
+      }
+    }
+  }
+  pushed_ += events.size();
 }
 
 void StreamEngine::run_deterministic_shard(Shard& shard) {
@@ -279,66 +321,129 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
       }
     };
 
-    Event e;
-    for (;;) {
-      const auto popped = shard.ring.pop_or_closed(e);
-      if (popped == SpscRing<Event>::Pop::kEmpty) {
-        std::this_thread::yield();
-        continue;
-      }
-      if (popped == SpscRing<Event>::Pop::kDone) break;
+    // Block drain: one zero-copy ring view per visit (events are processed
+    // in place; one release store commits the dequeue), then a block-wise
+    // pipeline pass per group.  Groups are independent (own WindowManager,
+    // own member queries), and within a group events are processed in
+    // stream order, so the output is bit-identical to the per-event loop
+    // this replaces -- only the loop nesting (group outside, event inside)
+    // and the flush granularity (per block, not per event; window views
+    // stay valid until the drain) change.
+    std::vector<std::uint32_t> pos_scratch;    // one event's membership positions
+    std::vector<std::uint64_t> bits_scratch;   // per-query keep bitmaps
+    pos_scratch.reserve(64);
+    bits_scratch.reserve(16);
 
-      if (++shard.stats.events % kDepthSampleStride == 0) {
-        shard.stats.peak_queue_depth =
-            std::max(shard.stats.peak_queue_depth, shard.ring.size());
+    auto positions_of = [&pos_scratch](const std::vector<WindowManager::Membership>& ms) {
+      pos_scratch.resize(ms.size());
+      for (std::size_t i = 0; i < ms.size(); ++i) {
+        pos_scratch[i] = ms[i].position;
       }
+    };
+
+    for (;;) {
+      std::span<const Event> blk = shard.ring.front_block(kShardBlock);
+      if (blk.empty()) {
+        if (!shard.ring.closed()) {
+          std::this_thread::yield();
+          continue;
+        }
+        // Same never-miss ordering as pop_or_closed(): closed was observed
+        // (acquire) after an empty view, so one more look decides.
+        blk = shard.ring.front_block(kShardBlock);
+        if (blk.empty()) break;
+      }
+      const std::size_t n = blk.size();
+      shard.stats.events += n;
+      // Depth gauge, one sample per block (the unreleased block still
+      // counts as queued).
+      shard.stats.peak_queue_depth =
+          std::max(shard.stats.peak_queue_depth, shard.ring.size());
       for (Group& g : groups) {
-        auto& memberships = g.wm.offer(e);
-        shard.stats.memberships += memberships.size();
         if (g.members.size() == 1) {
           QueryRuntime& rt = runtimes[g.members.front()];
-          rt.memberships += memberships.size();
-          for (const auto& m : memberships) {
-            if (rt.shedder != nullptr &&
-                rt.shedder->should_drop(e, m.position, rt.predicted_ws)) {
-              continue;
-            }
-            g.wm.keep(m, e);
-            ++rt.kept;
-            ++shard.stats.memberships_kept;
-          }
-        } else if (!g.diverging) {
-          // Shared all-keep group: one mask-free keep covers every member
-          // query.
-          for (const auto& m : memberships) {
-            g.wm.keep(m, e);
-            ++shard.stats.memberships_kept;
-          }
-          for (const std::size_t qi : g.members) {
-            runtimes[qi].memberships += memberships.size();
-            runtimes[qi].kept += memberships.size();
-          }
-        } else {
-          for (const auto& m : memberships) {
-            QueryMask mask = 0;
-            for (const std::size_t qi : g.members) {
-              QueryRuntime& rt = runtimes[qi];
-              ++rt.memberships;
-              if (rt.shedder == nullptr ||
-                  !rt.shedder->should_drop(e, m.position, rt.predicted_ws)) {
-                mask |= QueryMask{1} << rt.bit;
-                ++rt.kept;
+          if (rt.shedder == nullptr) {
+            // All-keep single query: the fully batched window path.
+            const std::uint64_t kept = g.wm.offer_keep_all_block(blk);
+            rt.memberships += kept;
+            rt.kept += kept;
+            shard.stats.memberships += kept;
+            shard.stats.memberships_kept += kept;
+          } else {
+            for (const Event& e : blk) {
+              auto& memberships = g.wm.offer(e);
+              const std::size_t mcount = memberships.size();
+              shard.stats.memberships += mcount;
+              rt.memberships += mcount;
+              if (mcount == 0) continue;
+              positions_of(memberships);
+              bits_scratch.resize(keep_bitmap_words(mcount));
+              rt.shedder->score_block(e, pos_scratch.data(), mcount,
+                                      rt.predicted_ws, bits_scratch.data());
+              for (std::size_t i = 0; i < mcount; ++i) {
+                if (keep_bit(bits_scratch.data(), i)) {
+                  g.wm.keep(memberships[i], e);
+                  ++rt.kept;
+                  ++shard.stats.memberships_kept;
+                }
               }
             }
-            // Every query shed it -> physical drop (never buffered).
-            if (mask != 0) {
-              g.wm.keep(m, e, mask);
-              ++shard.stats.memberships_kept;
+          }
+        } else if (!g.diverging) {
+          // Shared all-keep group: one mask-free batched pass covers every
+          // member query.
+          const std::uint64_t kept = g.wm.offer_keep_all_block(blk);
+          shard.stats.memberships += kept;
+          shard.stats.memberships_kept += kept;
+          for (const std::size_t qi : g.members) {
+            runtimes[qi].memberships += kept;
+            runtimes[qi].kept += kept;
+          }
+        } else {
+          for (const Event& e : blk) {
+            auto& memberships = g.wm.offer(e);
+            const std::size_t mcount = memberships.size();
+            shard.stats.memberships += mcount;
+            if (mcount == 0) continue;
+            positions_of(memberships);
+            const std::size_t words = keep_bitmap_words(mcount);
+            bits_scratch.resize(words * g.members.size());
+            for (std::size_t b = 0; b < g.members.size(); ++b) {
+              QueryRuntime& rt = runtimes[g.members[b]];
+              rt.memberships += mcount;
+              std::uint64_t* bits = bits_scratch.data() + b * words;
+              if (rt.shedder == nullptr) {
+                for (std::size_t w = 0; w < words; ++w) bits[w] = ~0ULL;
+                rt.kept += mcount;
+              } else {
+                rt.shedder->score_block(e, pos_scratch.data(), mcount,
+                                        rt.predicted_ws, bits);
+                std::uint64_t kept = 0;
+                for (std::size_t i = 0; i < mcount; ++i) {
+                  kept += keep_bit(bits, i);
+                }
+                rt.kept += kept;
+              }
+            }
+            // Transpose the per-query bitmaps into per-membership masks.
+            for (std::size_t i = 0; i < mcount; ++i) {
+              QueryMask mask = 0;
+              for (std::size_t b = 0; b < g.members.size(); ++b) {
+                if (keep_bit(bits_scratch.data() + b * words, i)) {
+                  mask |= QueryMask{1} << runtimes[g.members[b]].bit;
+                }
+              }
+              // Every query shed it -> physical drop (never buffered).
+              if (mask != 0) {
+                g.wm.keep(memberships[i], e, mask);
+                ++shard.stats.memberships_kept;
+              }
             }
           }
         }
         flush(g);
       }
+      shard.ring.release(n);
     }
     for (Group& g : groups) {
       g.wm.close_all();
@@ -376,30 +481,41 @@ void StreamEngine::run_adaptive_shard(Shard& shard) {
     const double tick_period = config_.adaptive->detector.tick_period;
     double next_tick = tick_period;
 
-    Event e;
     for (;;) {
-      const auto popped = shard.ring.pop_or_closed(e);
-      if (popped == SpscRing<Event>::Pop::kEmpty) {
-        std::this_thread::yield();
-        continue;
+      std::span<const Event> blk = shard.ring.front_block(kShardBlock);
+      if (blk.empty()) {
+        if (!shard.ring.closed()) {
+          std::this_thread::yield();
+          continue;
+        }
+        blk = shard.ring.front_block(kShardBlock);
+        if (blk.empty()) break;
       }
-      if (popped == SpscRing<Event>::Pop::kDone) break;
-
-      const auto before = std::chrono::steady_clock::now();
-      const double now = std::chrono::duration<double>(before - start_).count();
-      op.observe_arrival(now);
-      op.push(e);
-      op.observe_cost(seconds_since(before));
-      if (now >= next_tick) {
-        // The ring depth *is* the shard's input queue: the backpressure
-        // signal the overload detector steers shedding by.
-        op.on_tick(now, shard.ring.size());
-        ++shard.stats.detector_ticks;
-        shard.stats.peak_queue_depth =
-            std::max(shard.stats.peak_queue_depth, shard.ring.size());
-        if (op.shedding_active()) shard.stats.shedding_ever_active = true;
-        next_tick += tick_period;
+      const std::size_t n = blk.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const Event& e = blk[i];
+        const auto before = std::chrono::steady_clock::now();
+        const double now =
+            std::chrono::duration<double>(before - start_).count();
+        op.observe_arrival(now);
+        op.push(e);
+        op.observe_cost(seconds_since(before));
+        if (now >= next_tick) {
+          // The ring depth *is* the shard's input queue: the backpressure
+          // signal the overload detector steers shedding by.  The current
+          // block is still unreleased, so size() already counts its
+          // unprocessed tail (minus what this loop consumed).
+          const std::size_t depth =
+              shard.ring.size() >= i + 1 ? shard.ring.size() - (i + 1) : 0;
+          op.on_tick(now, depth);
+          ++shard.stats.detector_ticks;
+          shard.stats.peak_queue_depth =
+              std::max(shard.stats.peak_queue_depth, depth);
+          if (op.shedding_active()) shard.stats.shedding_ever_active = true;
+          next_tick += tick_period;
+        }
       }
+      shard.ring.release(n);
     }
     op.finish();
 

@@ -32,10 +32,22 @@
 // depth* as the queue-size (backpressure) signal -- adaptive results depend
 // on the wall clock and are not bit-stable.
 //
-// Threading contract: push() and finish() must be called from one thread
-// (the router); each shard's pipeline runs on its own thread; the report is
-// only handed out after every shard thread joined, so no synchronization
-// beyond the rings is needed.
+// Threading contract: push(), push_batch() and finish() must be called from
+// one thread (the router); each shard's pipeline runs on its own thread;
+// the report is only handed out after every shard thread joined, so no
+// synchronization beyond the rings is needed.
+//
+// Batched data path: push_batch() key-partitions a whole batch into
+// per-shard staging buffers and flushes each with one bulk ring enqueue per
+// block; shard threads symmetrically drain their ring in zero-copy blocks
+// (front_block()/release()) and run a block-wise pipeline loop -- the all-keep
+// window path batches through WindowManager::offer_keep_all_block (window-
+// boundary checks hoisted out of the inner loop, bulk store appends), and
+// shedding groups score each event's membership block through
+// Shedder::score_block into keep bitmaps instead of one virtual call per
+// membership.  The block path is output-bit-identical to per-event
+// execution (tests/runtime/batch_ingest_oracle_test.cpp enforces it), so
+// push() and push_batch() are interchangeable mid-stream.
 //
 // Multi-query execution: add_query() registers N queries before the first
 // push(); shard threads spawn lazily on the first push (or an explicit
@@ -56,6 +68,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "cep/matcher.hpp"
@@ -198,6 +211,17 @@ class StreamEngine {
   /// the shard's ring is full -- backpressure instead of unbounded queues.
   void push(const Event& e);
 
+  /// Batched ingestion: routes a whole batch, bit-identical in output to
+  /// `for (e : events) push(e)` but with the per-event costs amortized: the
+  /// batch is key-partitioned into per-shard staging buffers (one hash per
+  /// event, no ring touch) and each staging buffer is flushed with ONE bulk
+  /// ring enqueue per block -- one acquire/release cursor pair instead of
+  /// one per event.  A single-shard engine skips staging entirely and bulk-
+  /// pushes straight from the caller's span.  Same backpressure contract as
+  /// push(): blocks while a target ring stays full.  Batches may be mixed
+  /// freely with scalar push() calls.
+  void push_batch(std::span<const Event> events);
+
   /// End of stream: closes every ring, waits for the shards to drain and
   /// flush their open windows, joins the threads and merges the outputs.
   /// Terminal -- the engine cannot be reused afterwards.
@@ -228,12 +252,19 @@ class StreamEngine {
 
   void run_deterministic_shard(Shard& shard);
   void run_adaptive_shard(Shard& shard);
+  /// Bulk-pushes `n` events into one shard's ring, spinning (backpressure)
+  /// whenever the ring is full.
+  void bulk_push_shard(Shard& s, const Event* data, std::size_t n);
 
   StreamEngineConfig config_;
   /// Registered queries (adopted from the legacy config at start() when
   /// add_query() was never called).
   std::vector<EngineQuery> queries_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// push_batch() staging: per shard, the batch's events in stream order
+  /// (router-owned; reused across batches, so steady state allocates
+  /// nothing).
+  std::vector<std::vector<Event>> staging_;
   std::uint64_t pushed_ = 0;
   bool started_ = false;
   bool finished_ = false;

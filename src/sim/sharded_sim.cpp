@@ -79,6 +79,8 @@ ShardedSimulator::ShardedSimulator(ShardedSimConfig config)
   config_.engine.validate();
   ESPICE_REQUIRE(config_.replay_speed >= 0.0,
                  "replay speed must be non-negative");
+  ESPICE_REQUIRE(config_.batch_size == 0 || config_.replay_speed == 0.0,
+                 "batched replay is unpaced (throughput mode only)");
 }
 
 ShardedSimResult ShardedSimulator::run(std::span<const Event> events,
@@ -94,18 +96,27 @@ ShardedSimResult ShardedSimulator::run(std::span<const Event> events,
   ShardedSimResult result;
   StreamEngine engine(config_.engine);
   const auto t0 = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    if (config_.replay_speed > 0.0) {
-      // Pace the router: virtual arrival t maps to wall t / speed.  Spin
-      // with yields -- sleep granularity is far coarser than event gaps.
-      const double due = arrival_ts[i] / config_.replay_speed;
-      while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                           t0)
-                 .count() < due) {
-        std::this_thread::yield();
-      }
+  if (config_.batch_size > 0) {
+    // Batched throughput replay: hand the engine whole batches (validated
+    // unpaced in the constructor -- pacing is inherently per event).
+    for (std::size_t i = 0; i < events.size(); i += config_.batch_size) {
+      engine.push_batch(events.subspan(
+          i, std::min(config_.batch_size, events.size() - i)));
     }
-    engine.push(events[i]);
+  } else {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (config_.replay_speed > 0.0) {
+        // Pace the router: virtual arrival t maps to wall t / speed.  Spin
+        // with yields -- sleep granularity is far coarser than event gaps.
+        const double due = arrival_ts[i] / config_.replay_speed;
+        while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count() < due) {
+          std::this_thread::yield();
+        }
+      }
+      engine.push(events[i]);
+    }
   }
   result.report = engine.finish();
   if (!events.empty()) {

@@ -28,6 +28,11 @@ struct ShardedSimConfig {
   StreamEngineConfig engine;
   /// 0 = unpaced (push at full speed); > 0 = virtual-to-wall speed factor.
   double replay_speed = 0.0;
+  /// >= 1: replay through StreamEngine::push_batch() in batches of this
+  /// many events (unpaced mode only; output is bit-identical to per-event
+  /// replay; 1 measures the one-event-span API edge).  0 = scalar push()
+  /// per event.
+  std::size_t batch_size = 0;
 };
 
 struct ShardedSimResult {

@@ -218,5 +218,89 @@ TEST(EspiceShedder, NameIsStable) {
   EXPECT_STREQ(s.name(), "eSPICE");
 }
 
+// A richer model for the block/scalar differential: several types, bins
+// wider than 1, utilities that collide across cells (boundary fractions in
+// play when exact_amount is on).
+std::shared_ptr<const UtilityModel> block_model() {
+  constexpr std::size_t kTypes = 4;
+  constexpr std::size_t kN = 24;
+  constexpr std::size_t kBs = 3;
+  const std::size_t cols = (kN + kBs - 1) / kBs;
+  std::vector<std::uint8_t> ut(kTypes * cols);
+  std::vector<double> shares(kTypes * cols);
+  for (std::size_t i = 0; i < ut.size(); ++i) {
+    ut[i] = static_cast<std::uint8_t>((i * 17) % 101);
+    shares[i] = 0.5 + static_cast<double>(i % 5);
+  }
+  return std::make_shared<UtilityModel>(kTypes, kN, kBs, std::move(ut),
+                                        std::move(shares));
+}
+
+// score_block() must reproduce a scalar should_drop() sweep EXACTLY --
+// decisions, counters, and internal RNG evolution -- on twin shedders with
+// identical seeds.  Covers the flat fast path (ws == N), the general path
+// (ws != N), positions beyond the predicted size, exact-amount boundary
+// randomization and exploration.
+TEST(EspiceShedder, ScoreBlockMatchesScalarSweep) {
+  for (const bool exact : {false, true}) {
+    for (const double ws : {24.0, 30.0}) {
+      SCOPED_TRACE("exact_amount=" + std::to_string(exact) +
+                   " ws=" + std::to_string(ws));
+      EspiceShedder scalar(block_model(), exact, /*seed=*/77);
+      EspiceShedder block(block_model(), exact, /*seed=*/77);
+      scalar.set_exploration(0.25);
+      block.set_exploration(0.25);
+      scalar.on_command(active_command(20.0, 4));
+      block.on_command(active_command(20.0, 4));
+
+      // 3 rounds x 30 positions (6 beyond N = 24) x 4 types.
+      std::uint32_t positions[30];
+      for (std::uint32_t p = 0; p < 30; ++p) positions[p] = p;
+      for (int round = 0; round < 3; ++round) {
+        for (EventTypeId t = 0; t < 4; ++t) {
+          const Event e = make_event(t);
+          std::uint64_t bits[1 + 30 / 64] = {};
+          block.score_block(e, positions, 30, ws, bits);
+          for (std::uint32_t p = 0; p < 30; ++p) {
+            const bool scalar_keep = !scalar.should_drop(e, p, ws);
+            const bool block_keep = (bits[p / 64] >> (p % 64)) & 1;
+            EXPECT_EQ(block_keep, scalar_keep)
+                << "type " << t << " position " << p << " round " << round;
+          }
+        }
+      }
+      EXPECT_EQ(block.decisions(), scalar.decisions());
+      EXPECT_EQ(block.drops(), scalar.drops());
+      EXPECT_GT(block.drops(), 0u) << "nothing dropped: vacuous differential";
+    }
+  }
+}
+
+// Inactive shedders keep everything through the block API, and count the
+// decisions just like the scalar path does.
+TEST(EspiceShedder, ScoreBlockInactiveKeepsAllAndCounts) {
+  EspiceShedder s(ramp_model());
+  std::uint32_t positions[70];
+  for (std::uint32_t p = 0; p < 70; ++p) positions[p] = p % 10;
+  std::uint64_t bits[2] = {0, 0};
+  s.score_block(make_event(0), positions, 70, 10.0, bits);
+  for (std::uint32_t p = 0; p < 70; ++p) {
+    EXPECT_TRUE((bits[p / 64] >> (p % 64)) & 1);
+  }
+  EXPECT_EQ(s.decisions(), 70u);
+  EXPECT_EQ(s.drops(), 0u);
+}
+
+// The default (base-class) score_block loops should_drop, so any Shedder
+// implementation is block-callable with identical semantics.
+TEST(EspiceShedder, BaseClassScoreBlockLoopsShouldDrop) {
+  NullShedder null_shedder;
+  std::uint32_t positions[3] = {0, 1, 2};
+  std::uint64_t bits = 0;
+  null_shedder.score_block(make_event(0), positions, 3, 10.0, &bits);
+  EXPECT_EQ(bits, 0b111u);
+  EXPECT_EQ(null_shedder.decisions(), 3u);
+}
+
 }  // namespace
 }  // namespace espice

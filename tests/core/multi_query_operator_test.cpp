@@ -189,6 +189,85 @@ TEST(MultiQueryOperator, MultiPartitionCommandsKeepBothQueriesIntact) {
       << "query 1 lost matches under multi-partition shedding";
 }
 
+// Differential: push_block() must be bit-identical to per-event push()
+// through EVERY phase -- the all-keep bulk path during training (chunked at
+// close_free_horizon so the training->shedding flip lands on the same
+// event) and the per-query score_block path during shedding.  Ticks land on
+// the same event indices in both hosts, so the whole adaptive evolution
+// (models, thresholds, drops, matches) must coincide.
+TEST(MultiQueryOperator, PushBlockMatchesPerEventPush) {
+  Host per_event(two_query_config());
+  std::vector<std::vector<ComplexEvent>> block_matches(2);
+  MultiQueryOperator block_op(
+      two_query_config(), [&](std::size_t q, const ComplexEvent& ce) {
+        block_matches[q].push_back(ce);
+      });
+
+  // 31 training blocks, then sustained overload -- crossing the arming
+  // boundary INSIDE a pushed block on purpose.
+  constexpr std::size_t kEvents = 131 * 6;
+  constexpr std::size_t kChunk = 100;  // not divisible by the window span
+  std::vector<Event> stream;
+  stream.reserve(kEvents);
+  for (std::uint64_t seq = 0; seq < kEvents; ++seq) {
+    stream.push_back(block_event(seq));
+  }
+  auto queue_at = [](std::size_t i) -> std::size_t {
+    return i < 40 * 6 ? 0 : 900;  // overload after the training prefix
+  };
+
+  // Ticks land exactly at chunk boundaries in BOTH hosts -- a mid-chunk
+  // tick would change shedder commands for the chunk's own tail, which
+  // per-event execution would honor but a whole-chunk push cannot.
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    per_event.op.observe_arrival(static_cast<double>(i) / 1000.0);
+    per_event.op.observe_cost(1e-3);
+    per_event.op.push(stream[i]);
+    if ((i + 1) % kChunk == 0) {
+      per_event.op.on_tick(static_cast<double>(i) / 1000.0, queue_at(i));
+    }
+  }
+  for (std::size_t i = 0; i < kEvents; i += kChunk) {
+    const std::size_t n = std::min(kChunk, kEvents - i);
+    for (std::size_t j = i; j < i + n; ++j) {
+      block_op.observe_arrival(static_cast<double>(j) / 1000.0);
+      block_op.observe_cost(1e-3);
+    }
+    block_op.push_block(std::span(stream).subspan(i, n));
+    if (n == kChunk) {
+      block_op.on_tick(static_cast<double>(i + n - 1) / 1000.0,
+                       queue_at(i + n - 1));
+    }
+  }
+
+  const MultiQueryStats a = per_event.op.stats();
+  const MultiQueryStats b = block_op.stats();
+  EXPECT_EQ(b.events, a.events);
+  EXPECT_EQ(b.memberships, a.memberships);
+  EXPECT_EQ(b.memberships_kept, a.memberships_kept);
+  EXPECT_EQ(b.windows_closed, a.windows_closed);
+  ASSERT_EQ(b.queries.size(), a.queries.size());
+  for (std::size_t q = 0; q < a.queries.size(); ++q) {
+    EXPECT_EQ(b.queries[q].matches, a.queries[q].matches) << "query " << q;
+    EXPECT_EQ(b.queries[q].decisions, a.queries[q].decisions) << "query " << q;
+    EXPECT_EQ(b.queries[q].drops, a.queries[q].drops) << "query " << q;
+    ASSERT_EQ(block_matches[q].size(), per_event.matches[q].size())
+        << "query " << q;
+    for (std::size_t m = 0; m < block_matches[q].size(); ++m) {
+      ASSERT_EQ(block_matches[q][m].constituents.size(),
+                per_event.matches[q][m].constituents.size());
+      for (std::size_t c = 0; c < block_matches[q][m].constituents.size();
+           ++c) {
+        EXPECT_EQ(block_matches[q][m].constituents[c].event.seq,
+                  per_event.matches[q][m].constituents[c].event.seq)
+            << "query " << q << " match " << m;
+      }
+    }
+  }
+  EXPECT_GT(a.queries[0].drops + a.queries[1].drops, 0u)
+      << "no shedding happened: vacuous differential";
+}
+
 TEST(MultiQueryOperator, FinishFlushesOpenWindows) {
   Host host(two_query_config());
   host.run(10 * 6 + 3, 0);  // 10 full blocks + a partial one

@@ -1,0 +1,203 @@
+// Steady-state allocation audit of the per-event and block data paths.
+//
+// The hot-path contract (window routing, keep bookkeeping, shedder
+// decisions, bulk ring transfer) is "no heap allocation at steady state":
+// scratch buffers, kept-list pools and the event store all reach a stable
+// capacity during warmup and are reused afterwards.  These tests drive the
+// pipeline components single-threaded through a warmup phase, then assert
+// an allocation delta of ZERO over a long measured run, using the global
+// operator-new counting hook (tests/support/alloc_counter.hpp).
+//
+// Match emission is deliberately excluded: detected complex events are
+// output (they own their constituents), so the streams here use a pattern
+// that can never match (rising-first over an all-falling stream).
+#define ESPICE_TEST_COUNT_ALLOCATIONS
+#include "support/alloc_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cep/matcher.hpp"
+#include "cep/window.hpp"
+#include "common/rng.hpp"
+#include "core/espice_shedder.hpp"
+#include "core/utility_model.hpp"
+#include "runtime/spsc_ring.hpp"
+
+namespace espice {
+namespace {
+
+constexpr std::size_t kNumTypes = 8;
+
+/// A stream that can never satisfy a rising-first pattern: every value is
+/// strictly negative, so no matches (and no match allocations) ever happen.
+std::vector<Event> falling_stream(std::size_t n) {
+  Rng rng(0xa110c);
+  std::vector<Event> events;
+  events.reserve(n);
+  double ts = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Event e;
+    e.type = static_cast<EventTypeId>(rng.uniform_int(kNumTypes));
+    e.seq = i;
+    ts += 0.01;
+    e.ts = ts;
+    e.value = -1.0 - rng.uniform();
+    events.push_back(e);
+  }
+  return events;
+}
+
+Matcher make_unmatchable_matcher() {
+  return Matcher(make_sequence({element("up", TypeSet{}, DirectionFilter::kRising),
+                                element("dn", TypeSet{}, DirectionFilter::kFalling)}),
+                 SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed, 1);
+}
+
+WindowSpec overlap_spec() {
+  WindowSpec spec;
+  spec.span_kind = WindowSpan::kCount;
+  spec.span_events = 64;
+  spec.open_kind = WindowOpen::kCountSlide;
+  spec.slide_events = 8;  // overlap 8: several memberships per event
+  return spec;
+}
+
+std::shared_ptr<const UtilityModel> make_model(std::size_t n_positions) {
+  std::vector<std::uint8_t> ut(kNumTypes * n_positions);
+  std::vector<double> shares(kNumTypes * n_positions);
+  Rng rng(0x17eb);
+  for (std::size_t i = 0; i < ut.size(); ++i) {
+    ut[i] = static_cast<std::uint8_t>(rng.uniform_int(101));
+    shares[i] = rng.uniform();
+  }
+  return std::make_shared<UtilityModel>(kNumTypes, n_positions, /*bin_size=*/1,
+                                        std::move(ut), std::move(shares));
+}
+
+/// Drives the serial window+shedder+matcher pipeline over `events`,
+/// per-event (scalar offer/keep) or through the bulk all-keep block path.
+void drive_pipeline(WindowManager& wm, Matcher& matcher, Shedder* shedder,
+                    std::span<const Event> events, std::size_t block_size,
+                    std::vector<std::uint32_t>& pos_scratch,
+                    std::vector<std::uint64_t>& bits_scratch) {
+  for (std::size_t i = 0; i < events.size();) {
+    const std::size_t n = std::min(block_size, events.size() - i);
+    const std::span<const Event> blk = events.subspan(i, n);
+    if (shedder == nullptr) {
+      wm.offer_keep_all_block(blk);
+    } else {
+      for (const Event& e : blk) {
+        auto& ms = wm.offer(e);
+        if (!ms.empty()) {
+          pos_scratch.resize(ms.size());
+          for (std::size_t m = 0; m < ms.size(); ++m) {
+            pos_scratch[m] = ms[m].position;
+          }
+          bits_scratch.resize(keep_bitmap_words(ms.size()));
+          shedder->score_block(e, pos_scratch.data(), ms.size(), 64.0,
+                               bits_scratch.data());
+          for (std::size_t m = 0; m < ms.size(); ++m) {
+            if (keep_bit(bits_scratch.data(), m)) wm.keep(ms[m], e);
+          }
+        }
+      }
+    }
+    for (const WindowView& w : wm.drain_closed()) {
+      const auto matches = matcher.match_window(w);
+      ASSERT_TRUE(matches.empty()) << "stream must be unmatchable";
+    }
+    i += n;
+  }
+}
+
+TEST(SteadyStateAlloc, AllKeepBlockPipelineIsAllocationFree) {
+  const auto events = falling_stream(60'000);
+  WindowManager wm(overlap_spec());
+  Matcher matcher = make_unmatchable_matcher();
+  std::vector<std::uint32_t> pos_scratch;
+  std::vector<std::uint64_t> bits_scratch;
+
+  // Warmup: pools, scratch and the event store reach steady capacity.
+  drive_pipeline(wm, matcher, nullptr, std::span(events).first(20'000), 256,
+                 pos_scratch, bits_scratch);
+
+  test_support::AllocTally tally;
+  drive_pipeline(wm, matcher, nullptr,
+                 std::span(events).subspan(20'000, 40'000), 256, pos_scratch,
+                 bits_scratch);
+  const std::uint64_t allocs = tally.delta();
+  EXPECT_EQ(allocs, 0u)
+      << "all-keep block pipeline allocated on the steady-state hot path";
+}
+
+TEST(SteadyStateAlloc, ScalarPipelineIsAllocationFree) {
+  const auto events = falling_stream(60'000);
+  WindowManager wm(overlap_spec());
+  Matcher matcher = make_unmatchable_matcher();
+  std::vector<std::uint32_t> pos_scratch;
+  std::vector<std::uint64_t> bits_scratch;
+
+  // block_size 1 degenerates the block path to scalar offer/keep.
+  drive_pipeline(wm, matcher, nullptr, std::span(events).first(20'000), 1,
+                 pos_scratch, bits_scratch);
+
+  test_support::AllocTally tally;
+  drive_pipeline(wm, matcher, nullptr,
+                 std::span(events).subspan(20'000, 40'000), 1, pos_scratch,
+                 bits_scratch);
+  const std::uint64_t allocs = tally.delta();
+  EXPECT_EQ(allocs, 0u)
+      << "scalar pipeline allocated on the steady-state hot path";
+}
+
+TEST(SteadyStateAlloc, SheddingPipelineIsAllocationFree) {
+  const auto events = falling_stream(60'000);
+  WindowManager wm(overlap_spec());
+  Matcher matcher = make_unmatchable_matcher();
+  EspiceShedder shedder(make_model(64));
+  DropCommand cmd;
+  cmd.active = true;
+  cmd.x = 10.0;
+  cmd.partitions = 4;
+  shedder.on_command(cmd);
+  std::vector<std::uint32_t> pos_scratch;
+  std::vector<std::uint64_t> bits_scratch;
+
+  drive_pipeline(wm, matcher, &shedder, std::span(events).first(20'000), 256,
+                 pos_scratch, bits_scratch);
+
+  test_support::AllocTally tally;
+  drive_pipeline(wm, matcher, &shedder,
+                 std::span(events).subspan(20'000, 40'000), 256, pos_scratch,
+                 bits_scratch);
+  const std::uint64_t allocs = tally.delta();
+  EXPECT_EQ(allocs, 0u)
+      << "shedding (score_block) pipeline allocated on the steady-state "
+         "hot path";
+  EXPECT_GT(shedder.drops(), 0u) << "shedder never dropped: vacuous audit";
+}
+
+TEST(SteadyStateAlloc, BulkRingTransferIsAllocationFree) {
+  const auto events = falling_stream(8'192);
+  SpscRing<Event> ring(1024);
+  std::vector<Event> out(256);
+
+  test_support::AllocTally tally;
+  std::size_t pushed = 0, popped = 0;
+  while (popped < events.size()) {
+    if (pushed < events.size()) {
+      pushed += ring.try_push_bulk(events.data() + pushed,
+                                   std::min<std::size_t>(256, events.size() - pushed));
+    }
+    popped += ring.try_pop_bulk(out.data(), out.size());
+  }
+  const std::uint64_t allocs = tally.delta();
+  EXPECT_EQ(allocs, 0u) << "bulk ring ops allocated";
+  EXPECT_EQ(popped, events.size());
+}
+
+}  // namespace
+}  // namespace espice
