@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "json_out.hpp"
 #include "runtime/stream_engine.hpp"
 #include "sim/sharded_sim.hpp"
 
@@ -140,12 +141,11 @@ int main(int argc, char** argv) {
 
   double eps_per_event = 0.0, eps_b256 = 0.0;
   bool parity_all = true;
-  std::string json = "{\n  \"benchmark\": \"batch_ingest\",\n";
+  std::string json = bench_support::json_header("batch_ingest", g_smoke);
   json += "  \"events\": " + std::to_string(n_events) + ",\n";
   json += "  \"span_events\": " + std::to_string(kSpan) + ",\n";
   json += "  \"slide_events\": " + std::to_string(kSlide) + ",\n";
   json += "  \"shards\": 1,\n";
-  json += "  \"hardware_threads\": " + std::to_string(hw_threads) + ",\n";
   json += "  \"runs\": [\n";
 
   // batch 0 == the scalar per-event baseline.
@@ -185,14 +185,10 @@ int main(int argc, char** argv) {
           ", \"speedup_b256_ge_1p8x\": " + speedup_ok + "}\n}\n";
 
   const char* path = "BENCH_batch_ingest.json";
-  bool wrote = false;
-  if (FILE* f = std::fopen(path, "w")) {
-    wrote = std::fputs(json.c_str(), f) >= 0;
-    std::fclose(f);
+  const bool wrote = bench_support::write_json(path, json);
+  if (wrote) {
     std::printf("wrote %s (batch-256 speedup %.2fx, parity: %s)\n", path,
                 speedup, parity_all ? "ok" : "FAIL");
-  } else {
-    std::fprintf(stderr, "could not write %s\n", path);
   }
   if (hw_threads < 2 && speedup < 1.8) {
     std::printf(

@@ -24,18 +24,23 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "cep/incremental_matcher.hpp"
 #include "cep/reference_window.hpp"
 #include "common/rng.hpp"
 #include "core/espice_shedder.hpp"
 #include "datasets/stock.hpp"
 #include "harness/queries.hpp"
+#include "json_out.hpp"
+#include "metrics/quality.hpp"
 #include "sim/operator_sim.hpp"
 
 namespace espice {
@@ -230,9 +235,232 @@ EngineRunResult run_engine(const WindowSpec& spec, const Matcher& matcher,
   return best;
 }
 
+// ---------------------------------------------------------------------------
+// Incremental matcher vs per-close batch rescan: overlap sweep.
+//
+// Workload shaped so matching dominates: a sequence of two RARE types over a
+// long count window, slide swept so the overlap factor runs 1 / 8 / 32.
+// Most windows carry no match, so the per-close batch scan walks the whole
+// kept view once per window -- O(overlap) re-examinations per event -- while
+// the incremental engine advances each kept event through a handful of
+// stream-level runs exactly once, flat in the overlap.  Both pipelines share
+// the identical bulk window path, so the delta is matcher-only.
+// ---------------------------------------------------------------------------
+
+struct MatcherSweepRow {
+  std::size_t slide = 0;
+  std::size_t overlap = 0;
+  double baseline_ns = 0.0;     ///< windows only, no matching at all
+  double batch_ns = 0.0;        ///< e2e with per-close rescans
+  double incremental_ns = 0.0;  ///< e2e with feed + finalize
+  std::size_t matches = 0;
+
+  /// Matcher-only cost: e2e minus the shared window-maintenance baseline.
+  double batch_matcher_ns() const {
+    return std::max(batch_ns - baseline_ns, 0.0);
+  }
+  double incremental_matcher_ns() const {
+    return std::max(incremental_ns - baseline_ns, 0.0);
+  }
+  double matcher_speedup() const {
+    return incremental_matcher_ns() > 0.0
+               ? batch_matcher_ns() / incremental_matcher_ns()
+               : 0.0;
+  }
+};
+
+std::uint64_t mix_hash(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Order-sensitive digest over the canonical per-match identity the quality
+/// metrics already define (window + element/event bindings).
+std::uint64_t digest_matches(std::uint64_t h,
+                             const std::vector<ComplexEvent>& matches) {
+  for (const ComplexEvent& ce : matches) h = mix_hash(h, match_identity(ce));
+  return h;
+}
+
+/// One pipeline pass: bulk all-keep ingestion (identical for both sides),
+/// matching per closed window through `match`.  `wm` is caller-constructed
+/// so the incremental side can attach its feed before the first offer.
+template <typename MatchFn>
+double run_matcher_pipeline(WindowManager& wm, const std::vector<Event>& events,
+                            MatchFn&& match) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t i = 0;
+  const std::span<const Event> all(events);
+  while (i < events.size()) {
+    const auto chunk = static_cast<std::size_t>(std::min<std::uint64_t>(
+        events.size() - i, wm.close_free_horizon()));
+    wm.offer_keep_all_block(all.subspan(i, chunk));
+    for (const WindowView& w : wm.drain_closed()) match(w);
+    i += chunk;
+  }
+  wm.close_all();
+  for (const WindowView& w : wm.drain_closed()) match(w);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(events.size());
+}
+
+bool print_incremental_matcher_section(std::string& json_out) {
+  constexpr std::size_t kSpan = 2048;
+  const std::size_t n_events = g_smoke ? 60'000 : 400'000;
+
+  // Rare sequence head (one anchor per ~4 windows), tail following within
+  // ~quarter of a window: most windows carry no anchor at all, so the batch
+  // scan walks the whole kept view hunting element 0 once per close, while
+  // the run engine keeps almost no active runs.
+  Rng rng(77);
+  std::vector<Event> events(n_events);
+  for (std::size_t i = 0; i < n_events; ++i) {
+    const std::uint64_t roll = rng.uniform_int(8192);
+    Event& e = events[i];
+    e.type = roll < 1 ? 0 : (roll < 17 ? 1 : static_cast<EventTypeId>(
+                                             2 + rng.uniform_int(20)));
+    e.seq = i;
+    e.ts = static_cast<double>(i) * 1e-3;
+    e.value = 1.0;
+  }
+  const Pattern pattern =
+      make_sequence({element("a", TypeSet{0}), element("b", TypeSet{1})});
+  const Matcher batch(pattern, SelectionPolicy::kFirst,
+                      ConsumptionPolicy::kConsumed, 1);
+
+  std::printf(
+      "\n=== Matcher: stream-level runs vs per-close rescan (span = %zu) "
+      "===\n",
+      kSpan);
+  std::printf("| %-7s | %-12s | %-14s | %-14s | %-11s | %-11s | %-7s |\n",
+              "overlap", "windows only", "batch e2e", "incremental", "batch m.",
+              "increm. m.", "speedup");
+
+  const int reps = g_smoke ? 2 : 3;
+  const std::size_t slides[] = {kSpan, kSpan / 8, kSpan / 32};
+  std::vector<MatcherSweepRow> rows;
+  bool parity = true;
+  for (const std::size_t slide : slides) {
+    WindowSpec spec;
+    spec.span_kind = WindowSpan::kCount;
+    spec.span_events = kSpan;
+    spec.open_kind = WindowOpen::kCountSlide;
+    spec.slide_events = slide;
+
+    MatcherSweepRow row;
+    row.slide = slide;
+    row.overlap = kSpan / slide;
+    std::uint64_t batch_hash = 0, inc_hash = 0;
+    std::size_t batch_count = 0, inc_count = 0;
+    for (int r = 0; r < reps; ++r) {
+      WindowManager wm(spec);
+      const double ns = run_matcher_pipeline(wm, events, [](const WindowView&) {});
+      if (r == 0 || ns < row.baseline_ns) row.baseline_ns = ns;
+    }
+    for (int r = 0; r < reps; ++r) {
+      WindowManager wm(spec);
+      std::uint64_t h = 0;
+      std::size_t c = 0;
+      const double ns =
+          run_matcher_pipeline(wm, events, [&](const WindowView& w) {
+            const auto matches = batch.match_window(w);
+            c += matches.size();
+            h = digest_matches(h, matches);
+          });
+      if (r == 0 || ns < row.batch_ns) row.batch_ns = ns;
+      batch_hash = h;
+      batch_count = c;
+    }
+    for (int r = 0; r < reps; ++r) {
+      WindowManager wm(spec);
+      IncrementalMatcher inc(pattern, SelectionPolicy::kFirst,
+                             ConsumptionPolicy::kConsumed, 1);
+      MatcherFeed feed(&inc);
+      wm.set_kept_feed(&feed);
+      std::uint64_t h = 0;
+      std::size_t c = 0;
+      std::vector<ComplexEvent> scratch;
+      const double ns =
+          run_matcher_pipeline(wm, events, [&](const WindowView& w) {
+            scratch.clear();
+            inc.finalize(w, scratch);
+            c += scratch.size();
+            h = digest_matches(h, scratch);
+          });
+      if (r == 0 || ns < row.incremental_ns) row.incremental_ns = ns;
+      inc_hash = h;
+      inc_count = c;
+    }
+    if (batch_hash != inc_hash || batch_count != inc_count) {
+      parity = false;
+      std::fprintf(stderr,
+                   "matcher parity loss at overlap %zu (batch %zu/%016llx, "
+                   "incremental %zu/%016llx)\n",
+                   row.overlap, batch_count,
+                   static_cast<unsigned long long>(batch_hash), inc_count,
+                   static_cast<unsigned long long>(inc_hash));
+    }
+    row.matches = batch_count;
+    std::printf("| %-7zu | %-12.1f | %-14.1f | %-14.1f | %-11.1f | %-11.1f | "
+                "%-7.2f |\n",
+                row.overlap, row.baseline_ns, row.batch_ns, row.incremental_ns,
+                row.batch_matcher_ns(), row.incremental_matcher_ns(),
+                row.matcher_speedup());
+    rows.push_back(row);
+  }
+
+  const MatcherSweepRow& o1 = rows.front();
+  const MatcherSweepRow& o32 = rows.back();
+  const double overlap32_speedup = o32.matcher_speedup();
+  const double flatness =
+      o1.incremental_matcher_ns() > 0.0
+          ? o32.incremental_matcher_ns() / o1.incremental_matcher_ns()
+          : 0.0;
+
+  std::string json = "  \"matcher_overlap_sweep\": {\n";
+  json += "    \"span_events\": " + std::to_string(kSpan) + ",\n";
+  json += "    \"events\": " + std::to_string(n_events) + ",\n";
+  json += "    \"pattern\": \"seq(rare_a; rare_b), first/consumed, max 1\",\n";
+  json += "    \"workloads\": [\n";
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const MatcherSweepRow& r = rows[k];
+    json += "      {\"slide_events\": " + std::to_string(r.slide) +
+            ", \"overlap\": " + std::to_string(r.overlap) +
+            ", \"matches\": " + std::to_string(r.matches) +
+            ", \"windows_only_ns_per_event\": " + std::to_string(r.baseline_ns) +
+            ", \"batch_ns_per_event\": " + std::to_string(r.batch_ns) +
+            ", \"incremental_ns_per_event\": " +
+            std::to_string(r.incremental_ns) +
+            ", \"batch_matcher_ns_per_event\": " +
+            std::to_string(r.batch_matcher_ns()) +
+            ", \"incremental_matcher_ns_per_event\": " +
+            std::to_string(r.incremental_matcher_ns()) +
+            ", \"matcher_speedup\": " + std::to_string(r.matcher_speedup()) +
+            "}";
+    json += (k + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  json += "    ],\n";
+  json += "    \"acceptance\": {\"matcher_parity\": " +
+          bench_support::json_bool(parity) +
+          ", \"overlap32_matcher_speedup\": " +
+          std::to_string(overlap32_speedup) +
+          ", \"overlap32_matcher_speedup_ge_2x\": " +
+          bench_support::json_bool(overlap32_speedup >= 2.0) +
+          ", \"incremental_matcher_ns_overlap32_over_overlap1\": " +
+          std::to_string(flatness) + "}\n";
+  json += "  },\n";
+  json_out = std::move(json);
+  std::printf(
+      "overlap-32 matcher speedup %.2fx; incremental flatness (32x/1x) "
+      "%.2f\n",
+      overlap32_speedup, flatness);
+  return parity;
+}
+
 /// Returns false if the two engines disagreed on any workload (a
 /// correctness regression; the process exits nonzero so CI notices).
-bool print_window_engine_section() {
+bool print_window_engine_section(const std::string& matcher_sweep_json) {
   // Q4-shaped workload: count windows, slide << span.  The pattern is short
   // (first selection exits early), so the measurement is dominated by window
   // maintenance -- the thing this engine changed -- not by matching.
@@ -260,10 +488,11 @@ bool print_window_engine_section() {
               "overlap", "shared ns/event", "naive ns/event", "speedup",
               "shared KiB", "naive KiB", "index KiB");
 
-  std::string json = "{\n  \"benchmark\": \"window_engine_e2e\",\n";
+  std::string json = bench_support::json_header("window_engine_e2e", g_smoke);
   json += "  \"span_events\": " + std::to_string(kSpan) + ",\n";
   json += "  \"events\": " + std::to_string(n_events) + ",\n";
   json += "  \"event_bytes\": " + std::to_string(sizeof(Event)) + ",\n";
+  json += matcher_sweep_json;
   json += "  \"workloads\": [\n";
 
   double overlap8_speedup = 0.0;
@@ -327,15 +556,14 @@ bool print_window_engine_section() {
           (payload_flat ? std::string("true") : std::string("false")) + "}\n}\n";
 
   const char* path = "BENCH_window_engine.json";
-  if (FILE* f = std::fopen(path, "w")) {
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
+  const bool wrote = bench_support::write_json(path, json);
+  if (wrote) {
     std::printf("wrote %s (overlap-8 speedup %.2fx, payload flat: %s)\n", path,
                 overlap8_speedup, payload_flat ? "yes" : "no");
-  } else {
-    std::fprintf(stderr, "could not write %s\n", path);
   }
-  return engines_agree;
+  // The JSON artifact is the bench's deliverable: failing to write it must
+  // fail CI, same policy as the other parity-gated benches.
+  return engines_agree && wrote;
 }
 
 void print_overhead_table() {
@@ -391,7 +619,11 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  const bool engines_agree = espice::print_window_engine_section();
+  std::string matcher_sweep_json;
+  const bool matcher_parity =
+      espice::print_incremental_matcher_section(matcher_sweep_json);
+  const bool engines_agree =
+      espice::print_window_engine_section(matcher_sweep_json);
   espice::print_overhead_table();
-  return engines_agree ? 0 : 1;
+  return engines_agree && matcher_parity ? 0 : 1;
 }

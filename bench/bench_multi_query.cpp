@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "json_out.hpp"
 #include "runtime/stream_engine.hpp"
 #include "sim/sharded_sim.hpp"
 
@@ -176,13 +177,12 @@ int main(int argc, char** argv) {
       kQueries, kSpan, kSlide, kSpan / kSlide, n_events, hw_threads);
 
   bool parity_all = true;
-  std::string json = "{\n  \"benchmark\": \"multi_query_engine\",\n";
+  std::string json = bench_support::json_header("multi_query_engine", g_smoke);
   json += "  \"queries\": " + std::to_string(kQueries) + ",\n";
   json += "  \"events\": " + std::to_string(n_events) + ",\n";
   json += "  \"span_events\": " + std::to_string(kSpan) + ",\n";
   json += "  \"slide_events\": " + std::to_string(kSlide) + ",\n";
   json += "  \"overlap\": " + std::to_string(kSpan / kSlide) + ",\n";
-  json += "  \"hardware_threads\": " + std::to_string(hw_threads) + ",\n";
   json += "  \"runs\": [\n";
 
   std::printf("| %-8s | %-6s | %-14s | %-9s | %-8s | %-7s |\n", "mode",
@@ -243,13 +243,9 @@ int main(int argc, char** argv) {
               speedup, speedup >= 1.5 ? "(>= 1.5x: ok)" : "(< 1.5x)");
 
   const char* path = "BENCH_multi_query.json";
-  bool wrote = false;
-  if (FILE* f = std::fopen(path, "w")) {
-    wrote = std::fputs(json.c_str(), f) >= 0;
-    std::fclose(f);
+  const bool wrote = bench_support::write_json(path, json);
+  if (wrote) {
     std::printf("wrote %s (parity: %s)\n", path, parity_all ? "ok" : "FAIL");
-  } else {
-    std::fprintf(stderr, "could not write %s\n", path);
   }
   // Exact per-query parity is the contract; the JSON artifact is the
   // deliverable.  Either failing must fail CI.

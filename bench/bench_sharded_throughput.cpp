@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "json_out.hpp"
 #include "runtime/stream_engine.hpp"
 #include "sim/sharded_sim.hpp"
 
@@ -140,12 +141,11 @@ int main(int argc, char** argv) {
   const std::size_t ks[] = {1, 2, 4, 8};
   double eps_k1 = 0.0, eps_k4 = 0.0;
   bool parity_all = true;
-  std::string json = "{\n  \"benchmark\": \"sharded_engine\",\n";
+  std::string json = bench_support::json_header("sharded_engine", g_smoke);
   json += "  \"events\": " + std::to_string(n_events) + ",\n";
   json += "  \"span_events\": " + std::to_string(kSpan) + ",\n";
   json += "  \"slide_events\": " + std::to_string(kSlide) + ",\n";
   json += "  \"overlap\": " + std::to_string(kSpan / kSlide) + ",\n";
-  json += "  \"hardware_threads\": " + std::to_string(hw_threads) + ",\n";
   json += "  \"runs\": [\n";
 
   for (std::size_t k = 0; k < std::size(ks); ++k) {
@@ -183,14 +183,10 @@ int main(int argc, char** argv) {
           ", \"speedup_k4_ge_2x\": " + speedup_ok + "}\n}\n";
 
   const char* path = "BENCH_sharded_engine.json";
-  bool wrote = false;
-  if (FILE* f = std::fopen(path, "w")) {
-    wrote = std::fputs(json.c_str(), f) >= 0;
-    std::fclose(f);
+  const bool wrote = bench_support::write_json(path, json);
+  if (wrote) {
     std::printf("wrote %s (K=4 speedup %.2fx, parity: %s)\n", path, speedup_k4,
                 parity_all ? "ok" : "FAIL");
-  } else {
-    std::fprintf(stderr, "could not write %s\n", path);
   }
   if (hw_threads < 4 && speedup_k4 < 2.0) {
     std::printf(

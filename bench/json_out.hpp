@@ -1,0 +1,50 @@
+// Shared JSON emission for the BENCH_*.json artifacts.
+//
+// Every bench writes one machine-readable JSON artifact so CI can track the
+// perf trajectory per PR.  This header owns the uniform envelope all four
+// writers share -- schema_version, benchmark name, hardware_threads and the
+// smoke-mode flag -- so consumers can rely on one header shape instead of
+// four hand-rolled variants.  Benches append their own fields after the
+// header and close the object themselves.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+namespace espice::bench_support {
+
+/// Bump when the shared envelope changes shape.
+inline constexpr int kBenchSchemaVersion = 2;
+
+/// Opens a BENCH_*.json object with the uniform header fields.  The caller
+/// appends bench-specific fields (each line ending in ",\n" as usual) and
+/// the closing brace.
+inline std::string json_header(const std::string& benchmark, bool smoke) {
+  std::string json = "{\n";
+  json +=
+      "  \"schema_version\": " + std::to_string(kBenchSchemaVersion) + ",\n";
+  json += "  \"benchmark\": \"" + benchmark + "\",\n";
+  json += "  \"hardware_threads\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += std::string("  \"smoke\": ") + (smoke ? "true" : "false") + ",\n";
+  return json;
+}
+
+inline std::string json_bool(bool value) { return value ? "true" : "false"; }
+
+/// Writes the artifact; false (with a stderr note) when the write failed --
+/// the artifact is the bench's deliverable, so callers exit nonzero then.
+inline bool write_json(const char* path, const std::string& json) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "could not open %s\n", path);
+    return false;
+  }
+  const bool ok = std::fputs(json.c_str(), f) >= 0;
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "could not write %s\n", path);
+  return ok;
+}
+
+}  // namespace espice::bench_support

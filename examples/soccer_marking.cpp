@@ -1,17 +1,21 @@
 // Soccer man-marking analytics (the paper's Q1 scenario) with model
-// introspection.
+// introspection, hosted on the online operator API.
 //
 // A sports analyst detects "man marking": a striker possesses the ball and
-// n defenders engage him within the next 15 seconds.  This example trains
-// the utility model, then *inspects* it: which (defender, window-position)
-// cells did eSPICE learn to protect?  It finishes with the f-advisor's
-// recommendation for the watermark factor.
+// n defenders engage him within the next 15 seconds.  This example feeds
+// the stream through an EspiceOperator until its in-stream training
+// completes, then *inspects* the learned utility model: which (defender,
+// window-position) cells did eSPICE learn to protect?  It finishes with the
+// f-advisor's recommendation for the watermark factor.
 #include <algorithm>
 #include <iostream>
 
+#include "core/espice_operator.hpp"
 #include "core/f_advisor.hpp"
-#include "harness/experiment.hpp"
+#include "datasets/rtls.hpp"
+#include "harness/queries.hpp"
 #include "harness/report.hpp"
+#include "sim/operator_sim.hpp"
 #include "smoke.hpp"
 
 int main() {
@@ -23,14 +27,32 @@ int main() {
   const auto events = generator.generate(smoke_scaled(260'000, 60'000));
 
   const QueryDef query = make_q1(generator, /*n=*/4);
-  const TrainedModel trained =
-      train_model(query, registry.size(),
-                  std::span<const Event>(events).subspan(0, events.size() / 2),
-                  /*bin_size=*/1);
-  const UtilityModel& model = *trained.model;
 
-  std::cout << "trained on " << trained.windows << " windows, "
-            << trained.matches << " man-marking detections\n"
+  EspiceOperatorConfig config;
+  config.pattern = query.pattern;
+  config.window = query.window;
+  config.selection = query.selection;
+  config.consumption = query.consumption;
+  config.num_types = registry.size();
+  config.sizing_windows = smoke_scaled(100, 30);
+  config.training_windows = smoke_scaled(500, 100);
+  config.detector.latency_bound = 1.0;
+
+  std::size_t detections = 0;
+  EspiceOperator op(config, [&detections](const ComplexEvent&) { ++detections; });
+  for (const Event& e : events) {
+    op.push(e);
+    if (op.phase() == EspiceOperator::Phase::kShedding) break;  // trained
+  }
+  if (op.model() == nullptr) {
+    std::cerr << "training did not complete on this stream\n";
+    return 1;
+  }
+  const UtilityModel& model = *op.model();
+  const OperatorStats stats = op.stats();
+
+  std::cout << "trained on " << stats.windows_observed << " windows, "
+            << detections << " man-marking detections\n"
             << "utility table: " << model.num_types() << " types x "
             << model.cols() << " positions ("
             << model.footprint_bytes() / 1024 << " KiB)\n";
@@ -73,9 +95,14 @@ int main() {
                "possession event, reflecting the markers' reaction lags.\n";
 
   // --- f-advisor ------------------------------------------------------------
+  const double avg_windows_per_event =
+      stats.events > 0
+          ? static_cast<double>(stats.memberships) /
+                static_cast<double>(stats.events)
+          : 0.0;
   const double th = 1.0 / (OperatorCostModel{}.base_cost +
                            OperatorCostModel{}.per_window_cost *
-                               trained.avg_windows_per_event);
+                               avg_windows_per_event);
   const FAdvice advice =
       suggest_f(model, /*qmax=*/1.0 * th,
                 /*x=*/0.25 * static_cast<double>(model.n_positions()));

@@ -1,0 +1,217 @@
+#include "cep/incremental_matcher.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace espice {
+
+IncrementalMatcher::IncrementalMatcher(Pattern pattern,
+                                       SelectionPolicy selection,
+                                       ConsumptionPolicy consumption,
+                                       std::size_t max_matches_per_window)
+    : legacy_(std::move(pattern), selection, consumption,
+              max_matches_per_window) {
+  const Pattern& p = legacy_.pattern();
+  // The run engine's sharing argument needs the window match to be a pure
+  // function of the window's first anchor: first selection binds greedily
+  // forward, a single match per window never consults consumption state,
+  // and negated gaps would re-bind anchors (the fallback handles all of
+  // those).
+  eligible_ = max_matches_per_window == 1 &&
+              selection == SelectionPolicy::kFirst && p.negations.empty();
+  trigger_any_ = p.kind == PatternKind::kTriggerAny;
+  width_ = p.match_width();
+}
+
+void IncrementalMatcher::bind(Run& r, const Event& e,
+                              std::uint64_t offer_index) {
+  r.idx.push_back(offer_index);
+  r.ev.push_back(e);
+  r.last_index = offer_index;
+  r.max_ts = std::max(r.max_ts, e.ts);
+}
+
+void IncrementalMatcher::advance_runs(const Event& e,
+                                      std::uint64_t offer_index) {
+  const Pattern& p = legacy_.pattern();
+  for (std::size_t i = active_head_; i < active_.size(); ++i) {
+    Run& r = active_[i];
+    if (!trigger_any_) {
+      if (p.elements[r.idx.size()].matches(e)) bind(r, e, offer_index);
+    } else {
+      if (p.candidate_matches(e)) {
+        bool fresh = true;
+        if (p.any_distinct_types) {
+          for (std::size_t c = 1; c < r.ev.size(); ++c) {
+            if (r.ev[c].type == e.type) {
+              fresh = false;
+              break;
+            }
+          }
+        }
+        if (fresh) bind(r, e, offer_index);
+      }
+    }
+  }
+  // Completions form a prefix of the active queue: a later anchor binds
+  // pointwise later-or-equal events, so it is never further along than an
+  // earlier one.  Move the prefix; anchor order is preserved.
+  while (active_head_ < active_.size() &&
+         active_[active_head_].idx.size() == width_) {
+    done_.push_back(std::move(active_[active_head_]));
+    ++active_head_;
+  }
+  compact(active_, active_head_);
+#ifndef NDEBUG
+  for (std::size_t i = active_head_; i < active_.size(); ++i) {
+    ESPICE_ASSERT(active_[i].idx.size() < width_,
+                  "completed run stuck in the active queue");
+  }
+#endif
+}
+
+void IncrementalMatcher::start_run(const Event& e, std::uint64_t offer_index) {
+  Run r;
+  if (!pool_.empty()) {
+    r = std::move(pool_.back());
+    pool_.pop_back();
+    r.idx.clear();
+    r.ev.clear();
+  }
+  r.anchor = offer_index;
+  r.max_ts = 0.0;  // build_match parity: detection_ts starts at 0.0
+  bind(r, e, offer_index);
+  if (width_ == 1) {
+    // Single-element sequences complete at the anchor itself.
+    done_.push_back(std::move(r));
+  } else {
+    active_.push_back(std::move(r));
+  }
+}
+
+void IncrementalMatcher::on_partial_keep(std::uint64_t offer_index) {
+  feed_seen_ = true;
+  dirty_end_ = offer_index + 1;
+  if (!eligible_) return;
+  // Windows open now (open_index <= offer_index) are all dirty, and future
+  // windows open strictly later, so runs anchored at or below this event
+  // can never be consulted again.  retired_end_ advances to the same bound
+  // as dirty_end_, so no clean window gains an extra fallback.
+  if (offer_index + 1 > retired_end_) {
+    retired_end_ = offer_index + 1;
+    retire_through(offer_index);
+  }
+}
+
+void IncrementalMatcher::on_kept(const Event& e, std::uint64_t offer_index) {
+  if (!eligible_) return;
+  feed_seen_ = true;
+  // Existing runs first: an anchor event must not consume itself as its own
+  // run's second binding (greedy bindings are strictly increasing).
+  advance_runs(e, offer_index);
+  const ElementSpec& head = legacy_.pattern().elements[0];
+  if (head.matches(e)) {
+    // Spawn a run only where some window maps to this anchor: a window
+    // opened since the previous head match has this event as its first
+    // in-window anchor (earlier windows resolve to an earlier anchor's
+    // run, later windows to a later anchor).  This caps live runs at the
+    // open-window count even when every event matches the head.
+    if (window_seen_ &&
+        (!head_match_seen_ || last_window_open_ > last_head_match_)) {
+      start_run(e, offer_index);
+    }
+    last_head_match_ = offer_index;
+    head_match_seen_ = true;
+  }
+}
+
+void IncrementalMatcher::emit(const Run& r, const WindowView& w,
+                              std::vector<ComplexEvent>& out) const {
+  ComplexEvent ce;
+  ce.window = w.id;
+  ce.detection_ts = r.max_ts;
+  ce.constituents.reserve(width_);
+  const Pattern& p = legacy_.pattern();
+  for (std::size_t k = 0; k < width_; ++k) {
+    Constituent c;
+    c.element = p.binding_element(k);
+    ESPICE_ASSERT(r.idx[k] - w.open_index < (1ULL << 32),
+                  "window position overflows 32 bits");
+    c.position = static_cast<std::uint32_t>(r.idx[k] - w.open_index);
+    c.event = r.ev[k];
+    ce.constituents.push_back(std::move(c));
+  }
+  out.push_back(std::move(ce));
+}
+
+void IncrementalMatcher::pop_front(std::vector<Run>& runs, std::size_t& head) {
+  Run& r = runs[head];
+  r.idx.clear();
+  r.ev.clear();
+  pool_.push_back(std::move(r));
+  ++head;
+}
+
+void IncrementalMatcher::compact(std::vector<Run>& runs, std::size_t& head) {
+  // Erase the consumed prefix once it outgrows the live part (the open
+  // window list's idiom): amortized O(1) moves per retired run.
+  if (head == runs.size()) {
+    runs.clear();
+    head = 0;
+  } else if (head > 32 && head > runs.size() - head) {
+    runs.erase(runs.begin(), runs.begin() + static_cast<std::ptrdiff_t>(head));
+    head = 0;
+  }
+}
+
+void IncrementalMatcher::retire_through(std::uint64_t open_index) {
+  // Later windows open (strictly) later, so their first in-window anchor is
+  // strictly above open_index: runs anchored at or below it are dead.
+  while (done_head_ < done_.size() && done_[done_head_].anchor <= open_index) {
+    pop_front(done_, done_head_);
+  }
+  while (active_head_ < active_.size() &&
+         active_[active_head_].anchor <= open_index) {
+    pop_front(active_, active_head_);
+  }
+  compact(done_, done_head_);
+  compact(active_, active_head_);
+}
+
+void IncrementalMatcher::finalize(const WindowView& w,
+                                  std::vector<ComplexEvent>& out) {
+  const std::uint64_t open = w.open_index;
+  // feed_seen_ guards against a host that never wired the kept feed: with
+  // no feed the run state is empty, and silently reporting zero matches
+  // would mask the wiring bug -- the legacy scan of the view stays correct.
+  const bool clean = eligible_ && w.store != nullptr &&
+                     (feed_seen_ || w.kept_count() == 0) &&
+                     open >= dirty_end_ && open >= retired_end_;
+  if (!clean) {
+    // Window scan: configurations outside the run engine, windows whose
+    // kept set diverged from the uniform stream, direct-mode views,
+    // feed-less hosts, and out-of-order closes (retired runs).
+    auto matches = legacy_.match_window(w);
+    for (auto& ce : matches) out.push_back(std::move(ce));
+  } else if (w.arrivals > 0) {
+    const std::uint64_t end = open + w.arrivals - 1;
+    // The window's first in-window anchor: done_ anchors precede active_
+    // anchors, so the first done run at or above `open` is the global
+    // first.  An active first anchor means the greedy attempt has not
+    // completed by the window's last event -- no match (first selection
+    // makes exactly one attempt per window).
+    std::size_t i = done_head_;
+    while (i < done_.size() && done_[i].anchor < open) ++i;
+    if (i < done_.size()) {
+      const Run& r = done_[i];
+      if (r.anchor <= end && r.last_index <= end) emit(r, w, out);
+    }
+  }
+  if (open + 1 > retired_end_) {
+    retired_end_ = open + 1;
+    retire_through(open);
+  }
+}
+
+}  // namespace espice

@@ -1,0 +1,198 @@
+// Stream-level incremental pattern matcher.
+//
+// The legacy Matcher rescans every closed window from scratch, so with
+// slide << span each kept event is re-examined O(overlap) times -- exactly
+// the multiplicity the shared-store window engine eliminated for storage,
+// still paid in compute.  This class moves matching to the stream level:
+// each kept event advances compiled pattern *runs* exactly once, at offer
+// time, and window close becomes a finalize-and-emit lookup.
+//
+// Runs and window-validity intervals.  A run is the greedy binding chain
+// anchored at one kept occurrence of the pattern's first element (sequence
+// head or trigger).  Under first selection with max_matches_per_window == 1
+// the match of a window is a pure function of the window's first in-window
+// anchor: skip-till-next matching never looks backwards, so the greedy
+// continuation after an anchor is the same in every window that contains
+// it.  One run is therefore shared -- as a partial-match prefix while it
+// grows and as the whole match once complete -- by every window whose open
+// index falls in (previous anchor, anchor]: the run's validity interval.
+// Anchors with an empty validity interval (no window opened since the
+// previous head match) spawn no run at all, so the live run set is capped
+// at the open-window count even for anchor-dense patterns.  finalize()
+// resolves a closed window to its first in-window anchor's run and emits
+// the bindings iff the run completed before the window's last offered
+// event.  Advancing costs O(active runs) per kept event, *independent of
+// the overlap factor* (bench_fig10's overlap sweep holds the ns/event flat
+// where the per-close rescan grows linearly).
+//
+// Exactness and the legacy fallback.  The run engine serves first-selection
+// patterns (sequences without negated gaps, trigger-any) at
+// max_matches_per_window == 1 -- the paper's default setting and every
+// bench workload.  Every other configuration (last selection, negations,
+// max_matches > 1) keeps bit-identical semantics through the embedded
+// legacy Matcher, which scans the closed window's view at finalize()
+// exactly as before.  The same fallback covers *dirty* windows: when a
+// shedder keeps an event in only part of its windows (a partial keep, see
+// KeptFeed), the per-window kept sets diverge from the uniform stream the
+// runs were built from, so windows open at that instant take the window
+// scan; uniform keeps and uniform drops stay incremental, and windows
+// opened after the divergence are clean again.  Either way the output is
+// bit-identical to Matcher::match_window() on the window's kept view --
+// tests/property/incremental_matcher_oracle_test.cpp holds it to that
+// across randomized patterns, policies, shedding and window specs.
+//
+// Like the legacy matcher, one instance is single-threaded (runs are
+// mutable shared state); give each shard its own.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cep/matcher.hpp"
+#include "cep/pattern.hpp"
+#include "cep/window.hpp"
+
+namespace espice {
+
+class IncrementalMatcher {
+ public:
+  IncrementalMatcher(Pattern pattern, SelectionPolicy selection,
+                     ConsumptionPolicy consumption,
+                     std::size_t max_matches_per_window = 1);
+
+  /// True when this configuration advances stream-level runs (first
+  /// selection, no negations, max one match per window); false = every
+  /// window takes the legacy scan at finalize().
+  bool stream_incremental() const { return eligible_; }
+
+  /// Feed: `e` was kept in EVERY open window containing it (KeptFeed's
+  /// `uniform` bit).  Call once per such event, in offer order.
+  void on_kept(const Event& e, std::uint64_t offer_index);
+
+  /// Feed: a window opened at `open_index` (KeptFeed::on_window_open).
+  /// Anchors only spawn runs when some window maps to them -- a window
+  /// opened since the previous head match -- which caps the live run set
+  /// at the open-window count even for anchor-dense patterns (a common
+  /// head type would otherwise spawn a run per event and make advancing
+  /// O(span) instead of O(overlap)).
+  void on_window_open(std::uint64_t open_index) {
+    if (!eligible_) return;
+    last_window_open_ = open_index;
+    window_seen_ = true;
+  }
+
+  /// Feed: `e` was kept in only part of its windows (KeptFeed's `partial`
+  /// bit).  Windows open at `offer_index` fall back to the legacy window
+  /// scan at finalize(); windows opened later are clean again.  Runs
+  /// anchored at or before the divergence are dropped eagerly -- every
+  /// window they could serve is dirty -- so sustained partial shedding
+  /// (e.g. position-aware utility drops) keeps the run set near-empty
+  /// instead of paying maintenance for scans that happen anyway.
+  void on_partial_keep(std::uint64_t offer_index);
+
+  /// Appends the matches of the closed window `w` -- bit-identical to
+  /// Matcher(pattern, ...).match_window(w).  Call in window close order
+  /// (open order); `w` must come from the manager whose kept feed drives
+  /// this matcher (any other view falls back to the legacy scan, which
+  /// needs no feed).
+  void finalize(const WindowView& w, std::vector<ComplexEvent>& out);
+  std::vector<ComplexEvent> finalize(const WindowView& w) {
+    std::vector<ComplexEvent> out;
+    finalize(w, out);
+    return out;
+  }
+
+  const Pattern& pattern() const { return legacy_.pattern(); }
+  SelectionPolicy selection() const { return legacy_.selection(); }
+  ConsumptionPolicy consumption() const { return legacy_.consumption(); }
+
+  /// The embedded window-scan matcher (fallback engine; also what the
+  /// differential tests compare against).
+  const Matcher& window_scan() const { return legacy_; }
+
+ private:
+  /// One shared-prefix run: greedy bindings anchored at idx[0].
+  struct Run {
+    std::uint64_t anchor = 0;      ///< offer index of the first binding
+    std::uint64_t last_index = 0;  ///< offer index of the latest binding
+    double max_ts = 0.0;           ///< max constituent ts (detection_ts)
+    std::vector<std::uint64_t> idx;  ///< offer index per binding
+    std::vector<Event> ev;           ///< event copy per binding
+  };
+
+  void advance_runs(const Event& e, std::uint64_t offer_index);
+  void start_run(const Event& e, std::uint64_t offer_index);
+  void bind(Run& r, const Event& e, std::uint64_t offer_index);
+  void emit(const Run& r, const WindowView& w,
+            std::vector<ComplexEvent>& out) const;
+  void retire_through(std::uint64_t open_index);
+  void pop_front(std::vector<Run>& runs, std::size_t& head);
+  static void compact(std::vector<Run>& runs, std::size_t& head);
+
+  Matcher legacy_;
+  bool eligible_ = false;
+  bool trigger_any_ = false;
+  std::size_t width_ = 0;  ///< bindings in a full match (match_width)
+
+  // Anchor-ordered run queues (vector + head cursor, the open-window-list
+  // idiom).  Completed runs always precede active ones in anchor order: a
+  // later anchor binds pointwise later-or-equal events, so it can never
+  // out-run an earlier one.  Retired runs park in pool_ with their binding
+  // capacity intact, so steady state allocates nothing.
+  std::vector<Run> done_;
+  std::size_t done_head_ = 0;
+  std::vector<Run> active_;
+  std::size_t active_head_ = 0;
+  std::vector<Run> pool_;
+
+  /// True once any feed call arrived; a store-backed view reaching
+  /// finalize() with kept events but no feed ever seen means the host never
+  /// wired the KeptFeed -- fall back to the window scan instead of
+  /// silently reporting no matches.
+  bool feed_seen_ = false;
+  /// Open index of the newest window (opens are monotone) and the offer
+  /// index of the last kept head-matching event.  An anchor at t spawns a
+  /// run iff a window opened in (last_head_match_, t] -- i.e. iff
+  /// last_window_open_ > last_head_match_ -- because exactly those windows
+  /// have t as their first in-window anchor.
+  std::uint64_t last_window_open_ = 0;
+  bool window_seen_ = false;
+  std::uint64_t last_head_match_ = 0;
+  bool head_match_seen_ = false;
+  /// Windows with open_index < dirty_end_ saw a diverging keep: fallback.
+  std::uint64_t dirty_end_ = 0;
+  /// Runs anchored below this were retired (finalize is monotone in
+  /// open_index; an out-of-order close below it falls back too).
+  std::uint64_t retired_end_ = 0;
+};
+
+/// KeptFeed adapter fanning a manager's feed out to one IncrementalMatcher
+/// per query bit (bit b of the keep masks drives matchers()[b]).
+class MatcherFeed final : public KeptFeed {
+ public:
+  MatcherFeed() = default;
+  explicit MatcherFeed(IncrementalMatcher* single) { add(single); }
+
+  void add(IncrementalMatcher* matcher) { matchers_.push_back(matcher); }
+
+  void on_event_kept(const Event& e, std::uint64_t offer_index,
+                     QueryMask uniform, QueryMask partial) override {
+    for (std::size_t b = 0; b < matchers_.size(); ++b) {
+      const QueryMask bit = QueryMask{1} << b;
+      if ((uniform & bit) != 0) {
+        matchers_[b]->on_kept(e, offer_index);
+      } else if ((partial & bit) != 0) {
+        matchers_[b]->on_partial_keep(offer_index);
+      }
+    }
+  }
+
+  void on_window_open(std::uint64_t open_index) override {
+    for (IncrementalMatcher* m : matchers_) m->on_window_open(open_index);
+  }
+
+ private:
+  std::vector<IncrementalMatcher*> matchers_;
+};
+
+}  // namespace espice

@@ -7,7 +7,8 @@
 namespace espice {
 
 Matcher::Matcher(Pattern pattern, SelectionPolicy selection,
-                 ConsumptionPolicy consumption, std::size_t max_matches_per_window)
+                 ConsumptionPolicy consumption,
+                 std::size_t max_matches_per_window)
     : pattern_(std::move(pattern)),
       selection_(selection),
       consumption_(consumption),
@@ -52,9 +53,7 @@ ComplexEvent Matcher::build_match(const WindowView& w,
   for (std::size_t k = 0; k < event_indices.size(); ++k) {
     const std::size_t i = event_indices[k];
     Constituent c;
-    // Any-candidates are an interchangeable set: give them all element id 1
-    // so that match identity does not depend on enumeration order.
-    c.element = trigger_any ? (k == 0 ? 0u : 1u) : static_cast<std::uint32_t>(k);
+    c.element = pattern_.binding_element(k);
     c.position = w.pos(i);
     c.event = w.kept(i);
     ce.detection_ts = std::max(ce.detection_ts, c.event.ts);
@@ -244,19 +243,6 @@ void Matcher::match_trigger_any(const WindowView& w,
   if (exclude) consumed_.assign(n, 0);
   std::size_t trigger_from = 0;
 
-  auto candidate_matches = [&](const Event& e) {
-    if (!pattern_.any_candidates.matches(e.type)) return false;
-    switch (pattern_.any_direction) {
-      case DirectionFilter::kAny:
-        return true;
-      case DirectionFilter::kRising:
-        return e.direction() > 0;
-      case DirectionFilter::kFalling:
-        return e.direction() < 0;
-    }
-    return false;
-  };
-
   while (out.size() < max_matches_) {
     // 1. Find the next usable trigger.
     std::size_t ti = trigger_from;
@@ -271,7 +257,7 @@ void Matcher::match_trigger_any(const WindowView& w,
     auto try_take = [&](std::size_t i) {
       if (exclude && consumed_[i]) return;
       const Event& e = w.kept(i);
-      if (!candidate_matches(e)) return;
+      if (!pattern_.candidate_matches(e)) return;
       if (pattern_.any_distinct_types) {
         if (e.type >= type_used_.size()) type_used_.resize(e.type + 1, 0);
         if (type_used_[e.type]) return;
@@ -286,7 +272,8 @@ void Matcher::match_trigger_any(const WindowView& w,
         try_take(i);
       }
     } else {
-      for (std::size_t i = n; i-- > ti + 1 && chosen_.size() < pattern_.any_n;) {
+      for (std::size_t i = n;
+           i-- > ti + 1 && chosen_.size() < pattern_.any_n;) {
         try_take(i);
       }
       std::reverse(chosen_.begin(), chosen_.end());

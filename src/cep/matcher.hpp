@@ -59,7 +59,8 @@ struct ComplexEvent {
 class Matcher {
  public:
   Matcher(Pattern pattern, SelectionPolicy selection,
-          ConsumptionPolicy consumption, std::size_t max_matches_per_window = 1);
+          ConsumptionPolicy consumption,
+          std::size_t max_matches_per_window = 1);
 
   /// Matches the pattern against the window's kept events and returns up to
   /// `max_matches_per_window` complex events.  Not thread-safe per instance

@@ -14,7 +14,9 @@
 // paper's BL does.  The eSPICE shedder itself never looks at the pattern.
 #pragma once
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <string>
 #include <vector>
@@ -33,6 +35,10 @@ enum class ConsumptionPolicy { kConsumed, kZero };
 
 /// A set of event types, stored as a bitmap over the dense id space.
 /// An *empty* TypeSet means "any type" (used by Q2's `any stock symbol`).
+///
+/// The bitmap is flat uint64_t words, not std::vector<bool>: membership is
+/// one shift-and-mask on the matcher's hot path instead of the bit-reference
+/// proxy reads a packed bool vector does.
 class TypeSet {
  public:
   TypeSet() = default;
@@ -41,22 +47,22 @@ class TypeSet {
   }
 
   void insert(EventTypeId id) {
-    if (id >= mask_.size()) mask_.resize(id + 1, false);
-    if (!mask_[id]) {
-      mask_[id] = true;
+    const std::size_t word = id >> 6;
+    if (word >= words_.size()) words_.resize(word + 1, 0);
+    const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+    if ((words_[word] & bit) == 0) {
+      words_[word] |= bit;
       ++count_;
     }
   }
 
   /// True if the set matches `id`.  The empty set matches everything.
-  bool matches(EventTypeId id) const {
-    if (count_ == 0) return true;
-    return id < mask_.size() && mask_[id];
-  }
+  bool matches(EventTypeId id) const { return count_ == 0 || contains(id); }
 
   /// True if `id` is explicitly a member (empty set contains nothing).
   bool contains(EventTypeId id) const {
-    return id < mask_.size() && mask_[id];
+    const std::size_t word = id >> 6;
+    return word < words_.size() && ((words_[word] >> (id & 63)) & 1) != 0;
   }
 
   bool is_any() const { return count_ == 0; }
@@ -66,14 +72,19 @@ class TypeSet {
   std::vector<EventTypeId> members() const {
     std::vector<EventTypeId> out;
     out.reserve(count_);
-    for (std::size_t id = 0; id < mask_.size(); ++id) {
-      if (mask_[id]) out.push_back(static_cast<EventTypeId>(id));
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        out.push_back(static_cast<EventTypeId>((w << 6) + bit));
+        word &= word - 1;
+      }
     }
     return out;
   }
 
  private:
-  std::vector<bool> mask_;
+  std::vector<std::uint64_t> words_;  ///< one bit per type id, 64 per word
   std::size_t count_ = 0;
 };
 
@@ -84,6 +95,18 @@ enum class DirectionFilter : std::int8_t {
   kFalling = -1,  // value < 0
 };
 
+inline bool direction_passes(DirectionFilter filter, const Event& e) {
+  switch (filter) {
+    case DirectionFilter::kAny:
+      return true;
+    case DirectionFilter::kRising:
+      return e.direction() > 0;
+    case DirectionFilter::kFalling:
+      return e.direction() < 0;
+  }
+  return false;  // unreachable
+}
+
 /// One position in a pattern: "an event whose type is in `types` and whose
 /// direction passes `direction`".
 struct ElementSpec {
@@ -92,16 +115,7 @@ struct ElementSpec {
   DirectionFilter direction = DirectionFilter::kAny;
 
   bool matches(const Event& e) const {
-    if (!types.matches(e.type)) return false;
-    switch (direction) {
-      case DirectionFilter::kAny:
-        return true;
-      case DirectionFilter::kRising:
-        return e.direction() > 0;
-      case DirectionFilter::kFalling:
-        return e.direction() < 0;
-    }
-    return false;  // unreachable
+    return types.matches(e.type) && direction_passes(direction, e);
   }
 };
 
@@ -144,6 +158,22 @@ struct Pattern {
     return kind == PatternKind::kSequence ? elements.size() : 1 + any_n;
   }
 
+  /// Whether `e` is an any-operator candidate (kTriggerAny only).  Shared
+  /// by the legacy and the incremental matcher so candidate semantics have
+  /// exactly one definition.
+  bool candidate_matches(const Event& e) const {
+    return any_candidates.matches(e.type) && direction_passes(any_direction, e);
+  }
+
+  /// Pattern element id the k-th binding of a full match reports.  For
+  /// trigger-any the trigger is element 0 and every any-candidate is
+  /// element 1 (candidates are an interchangeable set, so match identity
+  /// must not depend on enumeration order).
+  std::uint32_t binding_element(std::size_t k) const {
+    if (kind == PatternKind::kTriggerAny) return k == 0 ? 0u : 1u;
+    return static_cast<std::uint32_t>(k);
+  }
+
   void validate() const {
     ESPICE_REQUIRE(!elements.empty(), "pattern needs at least one element");
     if (!negations.empty()) {
@@ -161,8 +191,9 @@ struct Pattern {
       }
     }
     if (kind == PatternKind::kTriggerAny) {
-      ESPICE_REQUIRE(elements.size() == 1,
-                     "trigger-any pattern must have exactly one trigger element");
+      ESPICE_REQUIRE(
+          elements.size() == 1,
+          "trigger-any pattern must have exactly one trigger element");
       ESPICE_REQUIRE(any_n > 0, "any(n, ...) needs n > 0");
       ESPICE_REQUIRE(
           any_candidates.is_any() || any_candidates.explicit_count() >= any_n ||
@@ -193,7 +224,8 @@ inline Pattern make_sequence(std::vector<ElementSpec> elements) {
 /// seq(e0; ...; ek-1) with negated gaps, e.g. seq(A; !C; B) ==
 /// make_sequence_with_negations({A, B}, {{0, C}}).
 inline Pattern make_sequence_with_negations(
-    std::vector<ElementSpec> elements, std::vector<SequenceNegation> negations) {
+    std::vector<ElementSpec> elements,
+    std::vector<SequenceNegation> negations) {
   Pattern p;
   p.kind = PatternKind::kSequence;
   p.elements = std::move(elements);
@@ -203,10 +235,10 @@ inline Pattern make_sequence_with_negations(
 }
 
 /// seq(trigger; any(n, candidates))
-inline Pattern make_trigger_any(ElementSpec trigger, TypeSet candidates,
-                                std::size_t n,
-                                DirectionFilter candidate_dir = DirectionFilter::kAny,
-                                bool distinct_types = true) {
+inline Pattern make_trigger_any(
+    ElementSpec trigger, TypeSet candidates, std::size_t n,
+    DirectionFilter candidate_dir = DirectionFilter::kAny,
+    bool distinct_types = true) {
   Pattern p;
   p.kind = PatternKind::kTriggerAny;
   p.elements.push_back(std::move(trigger));

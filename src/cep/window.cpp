@@ -9,6 +9,7 @@ Window materialize(const WindowView& v) {
   w.id = v.id;
   w.open_ts = v.open_ts;
   w.open_seq = v.open_seq;
+  w.open_index = v.open_index;
   w.arrivals = v.arrivals;
   const std::size_t n = v.kept_count();
   w.kept.reserve(n);
@@ -65,7 +66,9 @@ WindowView filter_view_for_query(const WindowView& full, std::size_t query,
   const QueryMask bit = QueryMask{1} << query;
   scratch.clear();
   for (std::size_t i = 0; i < full.kept_entries.size(); ++i) {
-    if ((full.kept_masks[i] & bit) != 0) scratch.push_back(full.kept_entries[i]);
+    if ((full.kept_masks[i] & bit) != 0) {
+      scratch.push_back(full.kept_entries[i]);
+    }
   }
   WindowView v = full;
   v.kept_entries = scratch;
@@ -78,7 +81,8 @@ WindowManager::WindowManager(WindowSpec spec, bool track_masks)
   spec_.validate();
 }
 
-bool WindowManager::record_expired(const WindowRecord& w, const Event& e) const {
+bool WindowManager::record_expired(const WindowRecord& w,
+                                   const Event& e) const {
   switch (spec_.span_kind) {
     case WindowSpan::kTime:
       return e.ts >= w.open_ts + spec_.span_seconds;
@@ -121,6 +125,9 @@ void WindowManager::compact_close_predicate(const Event& e) {
 }
 
 std::vector<WindowManager::Membership>& WindowManager::offer(const Event& e) {
+  // The previous event's keep fate is final now; report it before any
+  // window containing it can close below.
+  if (feed_ != nullptr) flush_feed();
   scratch_.clear();
   event_in_store_ = false;
   const std::uint64_t idx = events_seen_;
@@ -173,8 +180,30 @@ std::vector<WindowManager::Membership>& WindowManager::offer(const Event& e) {
     }
     any_close_pending_ = open_head_ < open_.size();
   }
+  if (feed_ != nullptr && !scratch_.empty()) {
+    // Arm the pending feed record; keep() calls below fill in the masks.
+    pending_valid_ = true;
+    pending_event_ = e;
+    pending_index_ = idx;
+    pending_mcount_ = scratch_.size();
+    pending_keeps_ = 0;
+    pending_and_ = ~QueryMask{0};
+    pending_or_ = 0;
+  }
   ++events_seen_;
   return scratch_;
+}
+
+void WindowManager::flush_feed() {
+  if (!pending_valid_) return;
+  pending_valid_ = false;
+  if (pending_or_ == 0) return;  // kept nowhere: not part of any window
+  // A query kept the event uniformly iff every membership was kept and the
+  // query's bit was set in every keep mask.
+  const QueryMask uniform =
+      pending_keeps_ == pending_mcount_ ? pending_and_ : QueryMask{0};
+  feed_->on_event_kept(pending_event_, pending_index_, uniform,
+                       pending_or_ & ~uniform);
 }
 
 void WindowManager::keep(const Membership& m, const Event& e, QueryMask mask) {
@@ -195,6 +224,11 @@ void WindowManager::keep(const Membership& m, const Event& e, QueryMask mask) {
   w.kept.push_back(KeptEntry{
       static_cast<std::uint32_t>(current_slot_ - w.begin_slot), m.position});
   if (track_masks_) w.kept_masks.push_back(mask);
+  if (pending_valid_) {
+    pending_and_ &= mask;
+    pending_or_ |= mask;
+    ++pending_keeps_;
+  }
 }
 
 std::uint64_t WindowManager::offer_keep_all_block(std::span<const Event> block,
@@ -223,6 +257,17 @@ std::uint64_t WindowManager::offer_keep_all_block(std::span<const Event> block,
         const auto run = static_cast<std::size_t>(
             std::min<std::uint64_t>(n - i, boundary));
         const std::size_t open_count = open_.size() - open_head_;
+        if (feed_ != nullptr) {
+          flush_feed();  // the last boundary event's record is final
+          if (open_count > 0) {
+            // Bulk keeps are uniform by construction: every event of the
+            // run lands in every open window with the same mask.
+            for (std::size_t j = 0; j < run; ++j) {
+              feed_->on_event_kept(block[i + j], events_seen_ + j, mask,
+                                   QueryMask{0});
+            }
+          }
+        }
         if (open_count > 0) {
           const EventStore::Slot base =
               store_.append_block(block.data() + i, run);
@@ -320,6 +365,7 @@ WindowView WindowManager::view_of(const WindowRecord& r) const {
   v.id = r.id;
   v.open_ts = r.open_ts;
   v.open_seq = r.open_seq;
+  v.open_index = r.open_index;
   v.arrivals = r.arrivals;
   v.store = &store_;
   v.begin_slot = r.begin_slot;
@@ -346,6 +392,7 @@ const std::vector<WindowView>& WindowManager::drain_closed() {
 }
 
 void WindowManager::close_all() {
+  if (feed_ != nullptr) flush_feed();
   for (std::size_t i = open_head_; i < open_.size(); ++i) {
     close_record(std::move(open_[i]));
   }
@@ -388,6 +435,9 @@ void WindowManager::open_window(const Event& e) {
   w.open_index = events_seen_;
   w.begin_slot = store_.end_slot();
   open_.push_back(std::move(w));
+  // The opening event's own keep is still pending (reported at the next
+  // offer), so the feed sees the open strictly before position 0's keep.
+  if (feed_ != nullptr) feed_->on_window_open(events_seen_);
 }
 
 }  // namespace espice

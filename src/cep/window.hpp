@@ -127,6 +127,10 @@ struct WindowView {
   WindowId id = 0;
   double open_ts = 0.0;
   std::uint64_t open_seq = 0;
+  /// Offer index of the opening event: the window contains exactly the
+  /// events offered at [open_index, open_index + arrivals).  Stream-level
+  /// consumers (the incremental matcher) anchor runs in this index space.
+  std::uint64_t open_index = 0;
   /// Number of events offered (== the window size ws used for scaling).
   std::size_t arrivals = 0;
 
@@ -160,6 +164,7 @@ struct Window {
   WindowId id = 0;
   double open_ts = 0.0;
   std::uint64_t open_seq = 0;
+  std::uint64_t open_index = 0;
   std::size_t arrivals = 0;
   std::vector<Event> kept;
   std::vector<std::uint32_t> kept_pos;
@@ -174,12 +179,25 @@ struct Window {
     v.id = id;
     v.open_ts = open_ts;
     v.open_seq = open_seq;
+    v.open_index = open_index;
     v.arrivals = arrivals;
     v.kept_direct = kept;
     v.kept_positions = kept_pos;
     return v;
   }
 };
+
+/// True when `spec` can ever have two windows open at once.  Count-span /
+/// count-slide specs with slide >= span are tumbling (or gapped): at most
+/// one window is open, each event belongs to at most one window, and
+/// stream-level run sharing has nothing to share -- hosts skip the kept
+/// feed then and let finalize() take the per-window scan, which is cheaper
+/// without overlap.
+inline bool windows_can_overlap(const WindowSpec& spec) {
+  return !(spec.span_kind == WindowSpan::kCount &&
+           spec.open_kind == WindowOpen::kCountSlide &&
+           spec.slide_events >= spec.span_events);
+}
 
 /// Structural equality of window-forming behavior (element names ignored):
 /// two specs comparing equal open and close identical windows on any
@@ -202,6 +220,31 @@ Window materialize(const WindowView& v);
 /// never on keep decisions.
 WindowView filter_view_for_query(const WindowView& full, std::size_t query,
                                  std::vector<KeptEntry>& scratch);
+
+/// Stream-level kept-event feed (see cep/incremental_matcher.hpp).  When a
+/// feed is attached, the manager calls on_event_kept() once per offered
+/// event that at least one query kept in at least one window -- in offer
+/// order, and always before any window containing the event is drained.
+/// `uniform` holds the queries that kept the event in EVERY window it was
+/// offered to (their per-window kept sets agree with the uniform kept
+/// stream); `partial` holds the queries that kept it in some windows but
+/// not all (stream-level matcher state cannot serve their windows open at
+/// this instant).  Single-query managers report an all-ones uniform mask.
+/// Events kept by no query are never reported.
+class KeptFeed {
+ public:
+  virtual ~KeptFeed() = default;
+  virtual void on_event_kept(const Event& e, std::uint64_t offer_index,
+                             QueryMask uniform, QueryMask partial) = 0;
+  /// A window opened at `open_index` (its position-0 offer index).  Called
+  /// in stream order relative to on_event_kept(): after the keeps of
+  /// earlier events, before the keep of the opening event itself.  The
+  /// incremental matcher uses this to anchor runs only where some window
+  /// actually maps to them.
+  virtual void on_window_open(std::uint64_t open_index) {
+    (void)open_index;
+  }
+};
 
 /// Drives window opening, event-to-window routing and window closing.
 ///
@@ -273,6 +316,16 @@ class WindowManager {
   /// per-event execution.
   std::uint64_t close_free_horizon() const;
 
+  /// Attaches the stream-level kept-event feed (nullptr detaches).  Must be
+  /// attached before the first offer() and outlive the manager's use; the
+  /// feed then observes every kept event exactly once, including through
+  /// the offer_keep_all_block() bulk path.
+  void set_kept_feed(KeptFeed* feed) {
+    ESPICE_REQUIRE(events_seen_ == 0,
+                   "kept feed must attach before the first offer()");
+    feed_ = feed;
+  }
+
   /// Views of the windows closed since the last drain, in closing order.
   /// Views (and the store slots they reference) stay valid until the next
   /// offer()/drain_closed()/close_all() call; materialize() any window that
@@ -316,6 +369,7 @@ class WindowManager {
   };
 
   void open_window(const Event& e);
+  void flush_feed();
   void close_record(WindowRecord&& w);
   void close_expired_front();
   void compact_close_predicate(const Event& e);
@@ -341,6 +395,17 @@ class WindowManager {
   std::vector<std::vector<KeptEntry>> kept_pool_;
   std::vector<std::vector<QueryMask>> mask_pool_;
   WindowId next_id_ = 0;
+  // Kept-event feed: per-event keep masks accumulate here and flush as one
+  // on_event_kept() call at the next offer() (or close_all()), once the
+  // event's full membership fate is known.
+  KeptFeed* feed_ = nullptr;
+  Event pending_event_{};
+  std::uint64_t pending_index_ = 0;
+  std::size_t pending_mcount_ = 0;
+  std::size_t pending_keeps_ = 0;
+  QueryMask pending_and_ = 0;
+  QueryMask pending_or_ = 0;
+  bool pending_valid_ = false;
   std::uint64_t events_seen_ = 0;
   bool any_close_pending_ = false;
   bool event_in_store_ = false;        ///< current event already appended?

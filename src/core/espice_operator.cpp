@@ -11,6 +11,7 @@ EspiceOperator::EspiceOperator(EspiceOperatorConfig config,
       on_match_(std::move(on_match)),
       matcher_(config_.pattern, config_.selection, config_.consumption,
                config_.max_matches_per_window),
+      feed_(&matcher_),
       windows_(config_.window),
       detector_([&] {
         // The detector's window size is refined once N is known; seed it
@@ -21,6 +22,13 @@ EspiceOperator::EspiceOperator(EspiceOperatorConfig config,
       }()) {
   config_.validate();
   ESPICE_REQUIRE(on_match_ != nullptr, "match callback must be set");
+  // Ineligible configurations (last selection, negations, multi-match)
+  // always take the window scan at finalize(), and tumbling windows have
+  // no overlap to share runs across; feeding either would be pure
+  // per-event overhead.
+  if (matcher_.stream_incremental() && windows_can_overlap(config_.window)) {
+    windows_.set_kept_feed(&feed_);
+  }
 
   // N known up front?  Count-based windows and explicit overrides skip the
   // sizing phase.
@@ -92,7 +100,7 @@ void EspiceOperator::push(const Event& e) {
 void EspiceOperator::close_windows() {
   for (const WindowView& w : windows_.drain_closed()) {
     ++windows_closed_;
-    const auto matches = matcher_.match_window(w);
+    const auto matches = matcher_.finalize(w);
     matches_ += matches.size();
     switch (phase_) {
       case Phase::kSizing: {

@@ -29,7 +29,7 @@
 #include <memory>
 #include <optional>
 
-#include "cep/matcher.hpp"
+#include "cep/incremental_matcher.hpp"
 #include "cep/pattern.hpp"
 #include "cep/window.hpp"
 #include "core/drift_detector.hpp"
@@ -91,6 +91,11 @@ class EspiceOperator {
 
   EspiceOperator(EspiceOperatorConfig config, MatchCallback on_match);
 
+  // The window manager's kept feed points at this object's matcher; moving
+  // the operator would dangle it.
+  EspiceOperator(const EspiceOperator&) = delete;
+  EspiceOperator& operator=(const EspiceOperator&) = delete;
+
   /// Consumes the next event of the stream (in order).  Window routing,
   /// shedding and matching happen inside; detected complex events are
   /// delivered through the callback.
@@ -133,7 +138,10 @@ class EspiceOperator {
 
   EspiceOperatorConfig config_;
   MatchCallback on_match_;
-  Matcher matcher_;
+  /// Stream-level matcher: kept events advance runs at offer time (fed by
+  /// the window manager's KeptFeed); window close is a finalize lookup.
+  IncrementalMatcher matcher_;
+  MatcherFeed feed_;
   WindowManager windows_;
   OverloadDetector detector_;
 

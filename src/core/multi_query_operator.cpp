@@ -20,8 +20,19 @@ MultiQueryOperator::MultiQueryOperator(MultiQueryOperatorConfig config,
 
   queries_.reserve(config_.queries.size());
   for (const auto& q : config_.queries) {
-    queries_.emplace_back(
-        Matcher(q.pattern, q.selection, q.consumption, q.max_matches_per_window));
+    queries_.emplace_back(IncrementalMatcher(
+        q.pattern, q.selection, q.consumption, q.max_matches_per_window));
+  }
+  bool any_incremental = false;
+  for (auto& q : queries_) {
+    feed_.add(&q.matcher);
+    any_incremental = any_incremental || q.matcher.stream_incremental();
+  }
+  // All-window-scan query sets take finalize()'s legacy path anyway, and
+  // tumbling windows have no overlap to share runs across; skip the
+  // per-event feed bookkeeping then.
+  if (any_incremental && windows_can_overlap(config_.window)) {
+    windows_.set_kept_feed(&feed_);
   }
 
   std::size_t n = config_.n_positions;
@@ -157,7 +168,7 @@ void MultiQueryOperator::close_windows() {
       // once per-query drops can differ.
       const WindowView view =
           shedding ? filter_view_for_query(w, q, state.filter_scratch) : w;
-      const auto matches = state.matcher.match_window(view);
+      const auto matches = state.matcher.finalize(view);
       state.matches += matches.size();
       if (phase_ == Phase::kTraining) {
         state.builder->observe_window(view);

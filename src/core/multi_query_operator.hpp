@@ -38,7 +38,7 @@
 #include <string>
 #include <vector>
 
-#include "cep/matcher.hpp"
+#include "cep/incremental_matcher.hpp"
 #include "cep/pattern.hpp"
 #include "cep/window.hpp"
 #include "core/espice_shedder.hpp"
@@ -121,6 +121,11 @@ class MultiQueryOperator {
 
   MultiQueryOperator(MultiQueryOperatorConfig config, MatchCallback on_match);
 
+  // The shared window manager's kept feed points at the per-query matchers;
+  // moving the operator would dangle it.
+  MultiQueryOperator(const MultiQueryOperator&) = delete;
+  MultiQueryOperator& operator=(const MultiQueryOperator&) = delete;
+
   /// Consumes the next stream event (in order): one offer() into the shared
   /// window manager, one keep/drop decision per (membership, query).
   void push(const Event& e);
@@ -171,14 +176,17 @@ class MultiQueryOperator {
 
   /// Everything owned per registered query.
   struct QueryState {
-    explicit QueryState(Matcher m) : matcher(std::move(m)) {}
-    Matcher matcher;
+    explicit QueryState(IncrementalMatcher m) : matcher(std::move(m)) {}
+    /// Stream-level matcher, fed this query's keep decisions (bit q of the
+    /// shared manager's masks) through feed_.
+    IncrementalMatcher matcher;
     std::optional<ModelBuilder> builder;
     std::unique_ptr<EspiceShedder> shedder;
     std::vector<KeptEntry> filter_scratch;  ///< backs the per-query view
     std::uint64_t matches = 0;
   };
   std::vector<QueryState> queries_;
+  MatcherFeed feed_;
 
   /// Block-scoring scratch: one event's membership positions and the
   /// per-query keep bitmaps (queries x ceil(memberships / 64) words).

@@ -6,6 +6,7 @@
 #include <thread>
 #include <tuple>
 
+#include "cep/incremental_matcher.hpp"
 #include "runtime/spsc_ring.hpp"
 
 namespace espice {
@@ -239,8 +240,10 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
     // Per-query runtime state.  `bit` is the query's bit inside its window
     // group's keep masks.
     struct QueryRuntime {
-      explicit QueryRuntime(Matcher m) : matcher(std::move(m)) {}
-      Matcher matcher;
+      explicit QueryRuntime(IncrementalMatcher m) : matcher(std::move(m)) {}
+      /// Stream-level matcher: fed this query's keep decisions through the
+      /// group's KeptFeed, finalized per closed window at flush.
+      IncrementalMatcher matcher;
       std::unique_ptr<Shedder> shedder;
       double predicted_ws = 0.0;
       std::size_t bit = 0;
@@ -252,9 +255,9 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
     runtimes.reserve(nq);
     for (std::size_t qi = 0; qi < nq; ++qi) {
       const EngineQuery& q = queries_[qi];
-      QueryRuntime rt(Matcher(q.query.pattern, q.query.selection,
-                              q.query.consumption,
-                              q.query.max_matches_per_window));
+      QueryRuntime rt(IncrementalMatcher(q.query.pattern, q.query.selection,
+                                         q.query.consumption,
+                                         q.query.max_matches_per_window));
       rt.shedder = std::move(shard.shedders[qi]);
       rt.predicted_ws =
           q.predicted_ws > 0.0
@@ -290,6 +293,9 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
       /// one of them sheds; an all-keep group needs no masks and no
       /// per-query filtering (every query sees the full window).
       bool diverging;
+      /// Fans the manager's kept feed out to the members' matchers (bit b
+      /// of the group's keep masks drives member b).
+      MatcherFeed feed;
     };
     std::vector<Group> groups;
     groups.reserve(group_members.size());
@@ -302,7 +308,23 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
       groups.push_back(
           Group{WindowManager(queries_[members.front()].query.window,
                               /*track_masks=*/diverging),
-                std::move(members), diverging});
+                std::move(members), diverging, MatcherFeed{}});
+    }
+    // Wire the feeds only once every group sits at its final address.  A
+    // group whose members all take the window scan (last selection,
+    // negations, multi-match), or whose windows never overlap (tumbling),
+    // skips the per-event feed bookkeeping.
+    for (Group& g : groups) {
+      bool any_incremental = false;
+      for (const std::size_t qi : g.members) {
+        g.feed.add(&runtimes[qi].matcher);
+        any_incremental =
+            any_incremental || runtimes[qi].matcher.stream_incremental();
+      }
+      const WindowSpec& spec = queries_[g.members.front()].query.window;
+      if (any_incremental && windows_can_overlap(spec)) {
+        g.wm.set_kept_feed(&g.feed);
+      }
     }
 
     auto flush = [&](Group& g) {
@@ -313,7 +335,7 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
           const WindowView view =
               g.diverging ? filter_view_for_query(w, rt.bit, rt.filter_scratch)
                           : w;
-          auto matches = rt.matcher.match_window(view);
+          auto matches = rt.matcher.finalize(view);
           for (auto& m : matches) {
             shard.query_matches[qi].push_back(std::move(m));
           }

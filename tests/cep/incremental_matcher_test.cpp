@@ -1,0 +1,210 @@
+// Deterministic unit coverage for the incremental matcher: engine
+// eligibility, shared runs across overlapping windows, the partial-keep
+// dirty fallback and run retirement.  The broad bit-identity guarantee
+// lives in tests/property/incremental_matcher_oracle_test.cpp.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cep/incremental_matcher.hpp"
+#include "cep/matcher.hpp"
+#include "cep/window.hpp"
+
+namespace espice {
+namespace {
+
+constexpr EventTypeId A = 0;
+constexpr EventTypeId B = 1;
+constexpr EventTypeId F = 2;  // filler
+
+Event ev(EventTypeId type, std::uint64_t seq, double value = 1.0) {
+  Event e;
+  e.type = type;
+  e.seq = seq;
+  e.ts = static_cast<double>(seq);
+  e.value = value;
+  return e;
+}
+
+Pattern ab() {
+  return make_sequence({element("a", TypeSet{A}), element("b", TypeSet{B})});
+}
+
+WindowSpec count_slide(std::size_t span, std::size_t slide) {
+  WindowSpec spec;
+  spec.span_kind = WindowSpan::kCount;
+  spec.span_events = span;
+  spec.open_kind = WindowOpen::kCountSlide;
+  spec.slide_events = slide;
+  return spec;
+}
+
+TEST(IncrementalMatcher, EligibilityCoversFirstSelectionMaxOne) {
+  EXPECT_TRUE(IncrementalMatcher(ab(), SelectionPolicy::kFirst,
+                                 ConsumptionPolicy::kConsumed, 1)
+                  .stream_incremental());
+  EXPECT_TRUE(IncrementalMatcher(
+                  make_trigger_any(element("t", TypeSet{A}), TypeSet{B, F}, 2),
+                  SelectionPolicy::kFirst, ConsumptionPolicy::kZero, 1)
+                  .stream_incremental());
+  // Last selection, multi-match and negated gaps take the window scan.
+  EXPECT_FALSE(IncrementalMatcher(ab(), SelectionPolicy::kLast,
+                                  ConsumptionPolicy::kConsumed, 1)
+                   .stream_incremental());
+  EXPECT_FALSE(IncrementalMatcher(ab(), SelectionPolicy::kFirst,
+                                  ConsumptionPolicy::kConsumed, 3)
+                   .stream_incremental());
+  EXPECT_FALSE(
+      IncrementalMatcher(
+          make_sequence_with_negations(
+              {element("a", TypeSet{A}), element("b", TypeSet{B})},
+              {{0, element("!f", TypeSet{F})}}),
+          SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed, 1)
+          .stream_incremental());
+}
+
+/// Drives a full manager + feed pipeline and returns (incremental, legacy)
+/// match lists for comparison.
+struct Pipeline {
+  WindowManager wm;
+  IncrementalMatcher matcher;
+  MatcherFeed feed;
+  Matcher legacy;
+  std::vector<ComplexEvent> incremental_out;
+  std::vector<ComplexEvent> legacy_out;
+
+  explicit Pipeline(const WindowSpec& spec)
+      : wm(spec),
+        matcher(ab(), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed,
+                1),
+        feed(&matcher),
+        legacy(ab(), SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed,
+               1) {
+    wm.set_kept_feed(&feed);
+  }
+
+  void flush() {
+    for (const WindowView& w : wm.drain_closed()) {
+      matcher.finalize(w, incremental_out);
+      for (auto& m : legacy.match_window(w)) {
+        legacy_out.push_back(std::move(m));
+      }
+    }
+  }
+
+  void offer_keep_all(const Event& e) {
+    for (const auto& m : wm.offer(e)) wm.keep(m, e);
+    flush();
+  }
+
+  /// Keeps the event only in windows at even positions: a diverging
+  /// (partial) keep whenever the event sits in both parities.
+  void offer_keep_even_positions(const Event& e) {
+    for (const auto& m : wm.offer(e)) {
+      if (m.position % 2 == 0) wm.keep(m, e);
+    }
+    flush();
+  }
+
+  void finish() {
+    wm.close_all();
+    flush();
+  }
+
+  void expect_agreement() const {
+    ASSERT_EQ(legacy_out.size(), incremental_out.size());
+    for (std::size_t i = 0; i < legacy_out.size(); ++i) {
+      ASSERT_EQ(legacy_out[i].window, incremental_out[i].window) << i;
+      ASSERT_EQ(legacy_out[i].constituents.size(),
+                incremental_out[i].constituents.size());
+      for (std::size_t k = 0; k < legacy_out[i].constituents.size(); ++k) {
+        EXPECT_EQ(legacy_out[i].constituents[k].position,
+                  incremental_out[i].constituents[k].position);
+        EXPECT_EQ(legacy_out[i].constituents[k].event.seq,
+                  incremental_out[i].constituents[k].event.seq);
+      }
+    }
+  }
+};
+
+TEST(IncrementalMatcher, OverlappingWindowsShareOneRun) {
+  // span 8, slide 2: every event sits in up to 4 windows, but the A at
+  // offer index 5 anchors exactly one run that serves every window
+  // containing it.
+  Pipeline p(count_slide(8, 2));
+  const EventTypeId types[] = {F, F, F, F, F, A, B, F, F, F, F, F, F, F, F, F};
+  for (std::uint64_t i = 0; i < std::size(types); ++i) {
+    p.offer_keep_all(ev(types[i], i));
+  }
+  p.finish();
+  p.expect_agreement();
+  // Windows opening at 0, 2 and 4 all contain (A@5, B@6): three matches
+  // from the one shared run.
+  EXPECT_EQ(p.incremental_out.size(), 3u);
+}
+
+TEST(IncrementalMatcher, RunCompletingBeyondWindowEndDoesNotMatch) {
+  // The window [0, 4) sees A@1 but its B arrives at offer 5 -- outside.
+  Pipeline p(count_slide(4, 4));
+  const EventTypeId types[] = {F, A, F, F, F, B, F, F};
+  for (std::uint64_t i = 0; i < std::size(types); ++i) {
+    p.offer_keep_all(ev(types[i], i));
+  }
+  p.finish();
+  p.expect_agreement();
+  EXPECT_TRUE(p.incremental_out.empty());
+}
+
+TEST(IncrementalMatcher, PartialKeepsFallBackAndStayIdentical) {
+  Pipeline p(count_slide(6, 2));
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    const EventTypeId t = i % 3 == 0 ? A : (i % 3 == 1 ? B : F);
+    if (i % 5 == 0) {
+      p.offer_keep_even_positions(ev(t, i));  // diverging keep
+    } else {
+      p.offer_keep_all(ev(t, i));
+    }
+  }
+  p.finish();
+  p.expect_agreement();
+}
+
+TEST(IncrementalMatcher, LongStreamRetiresRunsAndStaysIdentical) {
+  // Many windows over many anchors: exercises retirement of done and
+  // active runs as windows close in open order.
+  Pipeline p(count_slide(16, 4));
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    const EventTypeId t =
+        i % 7 == 0 ? A : (i % 11 == 0 ? B : F);
+    p.offer_keep_all(ev(t, i));
+  }
+  p.finish();
+  p.expect_agreement();
+  EXPECT_GT(p.incremental_out.size(), 0u);
+}
+
+TEST(IncrementalMatcher, SingleElementSequenceCompletesAtAnchor) {
+  WindowManager wm(count_slide(4, 2));
+  IncrementalMatcher m(make_sequence({element("a", TypeSet{A})}),
+                       SelectionPolicy::kFirst, ConsumptionPolicy::kConsumed,
+                       1);
+  MatcherFeed feed(&m);
+  wm.set_kept_feed(&feed);
+  std::vector<ComplexEvent> out;
+  const EventTypeId types[] = {F, A, F, F, A, F, F, F};
+  for (std::uint64_t i = 0; i < std::size(types); ++i) {
+    const Event e = ev(types[i], i);
+    for (const auto& mem : wm.offer(e)) wm.keep(mem, e);
+    for (const WindowView& w : wm.drain_closed()) m.finalize(w, out);
+  }
+  wm.close_all();
+  for (const WindowView& w : wm.drain_closed()) m.finalize(w, out);
+  // Windows at 0, 2, 4, 6: the first three contain an A, the last does not.
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].constituents[0].event.seq, 1u);
+  EXPECT_EQ(out[1].constituents[0].event.seq, 4u);
+  EXPECT_EQ(out[2].constituents[0].event.seq, 4u);
+}
+
+}  // namespace
+}  // namespace espice

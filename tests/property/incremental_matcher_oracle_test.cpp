@@ -1,0 +1,352 @@
+// Incremental-vs-legacy matcher differential over randomized patterns.
+//
+// A random pattern generator (random arity, negated gaps, trigger-any
+// n/distinct, both selection and both consumption policies,
+// max_matches_per_window in {1, 3}) drives full randomized pipelines --
+// window manager + kept feed + IncrementalMatcher::finalize() on one side,
+// the legacy per-close Matcher::match_window() scan on the other -- over
+// random streams, window specs and (deterministic) shedding.  Every run
+// must agree bit for bit: same matches, same constituents, same positions,
+// same detection timestamps.  This is the oracle guarantee the incremental
+// rearchitecture rests on; the legacy matcher stays in the tree exactly to
+// serve as this reference.
+//
+// Streams derive from ESPICE_TEST_SEED (see tests/support/test_seed.hpp),
+// so the CI property-seeds matrix replays five distinct universes per push.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "cep/incremental_matcher.hpp"
+#include "cep/matcher.hpp"
+#include "cep/window.hpp"
+#include "common/rng.hpp"
+#include "core/shedder.hpp"
+#include "support/test_seed.hpp"
+
+namespace espice {
+namespace {
+
+// Deterministic, stateless shedder (same idiom as the runtime oracle
+// tests): the decision is a pure hash of (event seq, window position), so
+// both pipelines see identical keep sets.  Exercises the per-membership
+// divergence path -- an event kept in some of its windows but not all.
+class HashShedder final : public Shedder {
+ public:
+  HashShedder(unsigned mod, unsigned salt) : mod_(mod), salt_(salt) {}
+
+  bool should_drop(const Event& e, std::uint32_t position, double) override {
+    const bool drop =
+        mod_ != 0 &&
+        (((e.seq + salt_) * 2654435761ULL) ^ (position * 40503ULL)) % mod_ !=
+            0;
+    count_decision(drop);
+    return drop;
+  }
+  void on_command(const DropCommand&) override {}
+  const char* name() const override { return "hash"; }
+
+ private:
+  unsigned mod_;
+  unsigned salt_;
+};
+
+struct RandomCase {
+  Pattern pattern;
+  WindowSpec window;
+  SelectionPolicy selection = SelectionPolicy::kFirst;
+  ConsumptionPolicy consumption = ConsumptionPolicy::kConsumed;
+  std::size_t max_matches = 1;
+  unsigned shed_mod = 0;  ///< 0 = keep everything
+  bool bulk_ingest = false;
+};
+
+TypeSet random_type_set(Rng& rng, std::size_t num_types, std::size_t min_size) {
+  TypeSet s;
+  const std::size_t size =
+      min_size + rng.uniform_int(num_types - min_size + 1);
+  while (s.explicit_count() < size) {
+    s.insert(static_cast<EventTypeId>(rng.uniform_int(num_types)));
+  }
+  return s;
+}
+
+DirectionFilter random_direction(Rng& rng) {
+  const auto roll = rng.uniform_int(10);
+  if (roll < 7) return DirectionFilter::kAny;
+  return roll < 9 ? DirectionFilter::kRising : DirectionFilter::kFalling;
+}
+
+ElementSpec random_element(Rng& rng, std::size_t num_types) {
+  // 1 in 6 elements is type-wildcarded ("any type"), the rest carry a
+  // small random type set; directions skew towards kAny.
+  TypeSet types;
+  if (rng.uniform_int(6) != 0) {
+    types = random_type_set(rng, num_types, 1);
+  }
+  return element("e", std::move(types), random_direction(rng));
+}
+
+Pattern random_pattern(Rng& rng, std::size_t num_types) {
+  if (rng.uniform_int(4) == 0) {
+    // Trigger-any: seq(trigger; any(n, candidates)).
+    const std::size_t n = 1 + rng.uniform_int(3);
+    const bool distinct = rng.bernoulli(0.5);
+    TypeSet candidates;  // empty = any type
+    if (rng.bernoulli(0.75)) {
+      candidates = random_type_set(rng, num_types, distinct ? n : 1);
+    }
+    return make_trigger_any(random_element(rng, num_types),
+                            std::move(candidates), n, random_direction(rng),
+                            distinct);
+  }
+  const std::size_t arity = 1 + rng.uniform_int(4);
+  std::vector<ElementSpec> elements;
+  elements.reserve(arity);
+  for (std::size_t i = 0; i < arity; ++i) {
+    elements.push_back(random_element(rng, num_types));
+  }
+  std::vector<SequenceNegation> negations;
+  if (arity >= 2 && rng.bernoulli(0.4)) {
+    // Random negated gaps on non-adjacent gaps (the validate() constraint).
+    for (std::size_t gap = 0; gap + 1 < arity; gap += 2) {
+      if (rng.bernoulli(0.6)) {
+        negations.push_back(
+            SequenceNegation{gap, random_element(rng, num_types)});
+      }
+    }
+  }
+  if (!negations.empty()) {
+    return make_sequence_with_negations(std::move(elements),
+                                        std::move(negations));
+  }
+  return make_sequence(std::move(elements));
+}
+
+WindowSpec random_window(Rng& rng, std::size_t num_types) {
+  WindowSpec spec;
+  const auto roll = rng.uniform_int(4);
+  if (roll < 2) {
+    // Count span, count slide: the run engine's home turf (slide can even
+    // exceed the span, leaving window-free gaps).
+    spec.span_kind = WindowSpan::kCount;
+    spec.span_events = 8 + rng.uniform_int(33);
+    spec.open_kind = WindowOpen::kCountSlide;
+    spec.slide_events =
+        1 + rng.uniform_int(spec.span_events + spec.span_events / 2);
+  } else if (roll == 2) {
+    // Time span, predicate-opened (Q1/Q2 shape).
+    spec.span_kind = WindowSpan::kTime;
+    spec.span_seconds = rng.uniform(2.0, 10.0);
+    spec.open_kind = WindowOpen::kPredicate;
+    spec.opener = element("open", TypeSet{static_cast<EventTypeId>(
+                                      rng.uniform_int(num_types))});
+  } else {
+    // Predicate span with a safety cap, predicate-opened.
+    spec.span_kind = WindowSpan::kPredicate;
+    spec.span_events = 16 + rng.uniform_int(32);
+    spec.closer = element("close", TypeSet{static_cast<EventTypeId>(
+                                       rng.uniform_int(num_types))});
+    spec.open_kind = WindowOpen::kPredicate;
+    spec.opener = element("open", TypeSet{static_cast<EventTypeId>(
+                                      rng.uniform_int(num_types))});
+  }
+  return spec;
+}
+
+std::vector<Event> random_stream(Rng& rng, std::size_t n,
+                                 std::size_t num_types) {
+  std::vector<Event> events;
+  events.reserve(n);
+  double ts = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Event e;
+    e.type = static_cast<EventTypeId>(rng.uniform_int(num_types));
+    e.seq = i;
+    ts += rng.uniform(0.0, 0.4);
+    e.ts = ts;
+    e.value = rng.uniform(-2.0, 2.0);
+    events.push_back(e);
+  }
+  return events;
+}
+
+constexpr double kPredictedWs = 16.0;
+
+/// Legacy side: per-close window scans, exactly the pre-refactor pipeline.
+std::vector<ComplexEvent> legacy_run(const RandomCase& c,
+                                     std::span<const Event> events) {
+  WindowManager wm(c.window);
+  const Matcher matcher(c.pattern, c.selection, c.consumption, c.max_matches);
+  HashShedder shedder(c.shed_mod, /*salt=*/7);
+  std::vector<ComplexEvent> out;
+  auto flush = [&] {
+    for (const WindowView& w : wm.drain_closed()) {
+      for (auto& m : matcher.match_window(w)) out.push_back(std::move(m));
+    }
+  };
+  for (const Event& e : events) {
+    for (const auto& m : wm.offer(e)) {
+      if (c.shed_mod == 0 || !shedder.should_drop(e, m.position, kPredictedWs)) {
+        wm.keep(m, e);
+      }
+    }
+    flush();
+  }
+  wm.close_all();
+  flush();
+  return out;
+}
+
+/// Incremental side: kept feed + finalize-and-emit at close.  With
+/// bulk_ingest (all-keep cases only) the stream flows through
+/// offer_keep_all_block chunked at close_free_horizon(), exercising the
+/// bulk feed path.
+std::vector<ComplexEvent> incremental_run(const RandomCase& c,
+                                          std::span<const Event> events) {
+  WindowManager wm(c.window);
+  IncrementalMatcher matcher(c.pattern, c.selection, c.consumption,
+                             c.max_matches);
+  MatcherFeed feed(&matcher);
+  wm.set_kept_feed(&feed);
+  HashShedder shedder(c.shed_mod, /*salt=*/7);
+  std::vector<ComplexEvent> out;
+  auto flush = [&] {
+    for (const WindowView& w : wm.drain_closed()) matcher.finalize(w, out);
+  };
+  if (c.bulk_ingest) {
+    std::size_t i = 0;
+    while (i < events.size()) {
+      const auto chunk = static_cast<std::size_t>(std::min<std::uint64_t>(
+          events.size() - i, wm.close_free_horizon()));
+      wm.offer_keep_all_block(events.subspan(i, chunk));
+      flush();
+      i += chunk;
+    }
+  } else {
+    for (const Event& e : events) {
+      for (const auto& m : wm.offer(e)) {
+        if (c.shed_mod == 0 ||
+            !shedder.should_drop(e, m.position, kPredictedWs)) {
+          wm.keep(m, e);
+        }
+      }
+      flush();
+    }
+  }
+  wm.close_all();
+  flush();
+  return out;
+}
+
+void expect_identical(const std::vector<ComplexEvent>& legacy,
+                      const std::vector<ComplexEvent>& incremental) {
+  ASSERT_EQ(legacy.size(), incremental.size()) << "match count differs";
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    const ComplexEvent& a = legacy[i];
+    const ComplexEvent& b = incremental[i];
+    ASSERT_EQ(a.window, b.window) << "match " << i;
+    ASSERT_EQ(a.detection_ts, b.detection_ts) << "match " << i;
+    ASSERT_EQ(a.constituents.size(), b.constituents.size()) << "match " << i;
+    for (std::size_t k = 0; k < a.constituents.size(); ++k) {
+      ASSERT_EQ(a.constituents[k].element, b.constituents[k].element)
+          << "match " << i << " constituent " << k;
+      ASSERT_EQ(a.constituents[k].position, b.constituents[k].position)
+          << "match " << i << " constituent " << k;
+      ASSERT_EQ(a.constituents[k].event.seq, b.constituents[k].event.seq)
+          << "match " << i << " constituent " << k;
+      ASSERT_EQ(a.constituents[k].event.ts, b.constituents[k].event.ts)
+          << "match " << i << " constituent " << k;
+    }
+  }
+}
+
+RandomCase random_case(Rng& rng, std::size_t num_types) {
+  RandomCase c;
+  c.pattern = random_pattern(rng, num_types);
+  c.window = random_window(rng, num_types);
+  c.selection =
+      rng.bernoulli(0.5) ? SelectionPolicy::kFirst : SelectionPolicy::kLast;
+  c.consumption = rng.bernoulli(0.5) ? ConsumptionPolicy::kConsumed
+                                     : ConsumptionPolicy::kZero;
+  c.max_matches = rng.bernoulli(0.5) ? 1 : 3;
+  c.shed_mod = rng.bernoulli(0.5) ? 0 : 2 + rng.uniform_int(3);
+  // The bulk all-keep path only applies without shedding.
+  c.bulk_ingest = c.shed_mod == 0 && rng.bernoulli(0.5);
+  return c;
+}
+
+TEST(IncrementalMatcherOracle, RandomizedPatternsMatchLegacyBitForBit) {
+  const std::uint64_t seed = test_support::test_seed(193);
+  SCOPED_TRACE(test_support::seed_trace(seed));
+  Rng rng(seed);
+  std::size_t stream_eligible = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const std::size_t num_types = 3 + rng.uniform_int(4);
+    const RandomCase c = random_case(rng, num_types);
+    const auto events = random_stream(rng, 600 + rng.uniform_int(900),
+                                      num_types);
+    const auto legacy = legacy_run(c, events);
+    const auto incremental = incremental_run(c, events);
+    expect_identical(legacy, incremental);
+    IncrementalMatcher probe(c.pattern, c.selection, c.consumption,
+                             c.max_matches);
+    if (probe.stream_incremental()) ++stream_eligible;
+  }
+  // The generator must keep exercising the run engine, not just the
+  // fallback scan.
+  EXPECT_GE(stream_eligible, 20u);
+}
+
+// Directed sweep of the run engine's own matrix: first selection, max 1,
+// across both pattern kinds and slides straddling the span, all-keep and
+// shed, scalar and bulk.  Cheap enough to enumerate exhaustively.
+TEST(IncrementalMatcherOracle, RunEngineMatrixMatchesLegacy) {
+  const std::uint64_t seed = test_support::test_seed(467);
+  SCOPED_TRACE(test_support::seed_trace(seed));
+  Rng rng(seed);
+  const std::size_t num_types = 5;
+  const auto events = random_stream(rng, 3000, num_types);
+
+  std::vector<Pattern> patterns;
+  patterns.push_back(make_sequence({element("a", TypeSet{0}),
+                                    element("b", TypeSet{1})}));
+  patterns.push_back(make_sequence(
+      {element("a", TypeSet{0}), element("a", TypeSet{0}),
+       element("b", TypeSet{1, 2}), element("c", TypeSet{3})}));
+  patterns.push_back(make_sequence(
+      {element("up", TypeSet{}, DirectionFilter::kRising),
+       element("down", TypeSet{}, DirectionFilter::kFalling)}));
+  patterns.push_back(make_trigger_any(element("t", TypeSet{0}),
+                                      TypeSet{1, 2, 3}, 2,
+                                      DirectionFilter::kAny, true));
+  patterns.push_back(make_trigger_any(element("t", TypeSet{0}), TypeSet{}, 3,
+                                      DirectionFilter::kRising, false));
+
+  for (const Pattern& pattern : patterns) {
+    for (const std::size_t slide : {1u, 7u, 24u, 40u}) {
+      for (const unsigned shed_mod : {0u, 3u}) {
+        for (const bool bulk : {false, true}) {
+          if (bulk && shed_mod != 0) continue;
+          RandomCase c;
+          c.pattern = pattern;
+          c.window.span_kind = WindowSpan::kCount;
+          c.window.span_events = 24;
+          c.window.open_kind = WindowOpen::kCountSlide;
+          c.window.slide_events = slide;
+          c.shed_mod = shed_mod;
+          c.bulk_ingest = bulk;
+          SCOPED_TRACE("slide " + std::to_string(slide) + " shed " +
+                       std::to_string(shed_mod) + " bulk " +
+                       std::to_string(bulk));
+          expect_identical(legacy_run(c, events), incremental_run(c, events));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace espice
