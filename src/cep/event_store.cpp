@@ -1,6 +1,30 @@
 #include "cep/event_store.hpp"
 
+#include "durability/serial.hpp"
+
 namespace espice {
+
+void EventStore::serialize(durability::SnapshotWriter& w) const {
+  w.u64(head_);
+  w.u64(tail_);
+  for (Slot s = head_; s != tail_; ++s) w.event(ring_[s & mask_]);
+}
+
+void EventStore::restore(durability::SnapshotReader& r) {
+  head_ = r.u64();
+  tail_ = r.u64();
+  ESPICE_CHECK(head_ <= tail_, ErrorCode::kCorruptSnapshot,
+               "event store span inverted");
+  // 34 bytes per packed event: a corrupt span cannot drive a huge reserve.
+  ESPICE_CHECK(tail_ - head_ <= r.remaining() / 34,
+               ErrorCode::kCorruptSnapshot,
+               "event store span exceeds snapshot payload");
+  std::size_t cap = kInitialCapacity;
+  while (tail_ - head_ > cap) cap *= 2;
+  ring_.assign(cap, Event{});
+  mask_ = cap - 1;
+  for (Slot s = head_; s != tail_; ++s) ring_[s & mask_] = r.event();
+}
 
 void EventStore::grow() {
   std::vector<Event> bigger(ring_.size() * 2);

@@ -26,6 +26,11 @@
 #include "cep/event.hpp"
 #include "common/error.hpp"
 
+namespace espice::durability {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace espice::durability
+
 namespace espice {
 
 class EventStore {
@@ -79,6 +84,12 @@ class EventStore {
   std::size_t capacity() const { return ring_.size(); }
   /// Bytes held by the ring allocation.
   std::size_t footprint_bytes() const { return ring_.size() * sizeof(Event); }
+
+  /// Snapshot / restore (durability layer): the live span [begin_slot,
+  /// end_slot) with its absolute slot ids, so window records referencing
+  /// slots stay valid across a restore.
+  void serialize(durability::SnapshotWriter& w) const;
+  void restore(durability::SnapshotReader& r);
 
  private:
   static constexpr std::size_t kInitialCapacity = 256;  // power of two

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "durability/serial.hpp"
 
 namespace espice {
 
@@ -212,6 +213,63 @@ void IncrementalMatcher::finalize(const WindowView& w,
     retired_end_ = open + 1;
     retire_through(open);
   }
+}
+
+void IncrementalMatcher::serialize(durability::SnapshotWriter& w) const {
+  w.boolean(eligible_);
+  const auto write_runs = [&](const std::vector<Run>& runs,
+                              std::size_t head) {
+    w.size(runs.size() - head);
+    for (std::size_t i = head; i < runs.size(); ++i) {
+      const Run& r = runs[i];
+      w.u64(r.anchor);
+      w.u64(r.last_index);
+      w.f64(r.max_ts);
+      w.vec_int(r.idx);
+      w.size(r.ev.size());
+      for (const Event& e : r.ev) w.event(e);
+    }
+  };
+  write_runs(done_, done_head_);
+  write_runs(active_, active_head_);
+  w.boolean(feed_seen_);
+  w.u64(last_window_open_);
+  w.boolean(window_seen_);
+  w.u64(last_head_match_);
+  w.boolean(head_match_seen_);
+  w.u64(dirty_end_);
+  w.u64(retired_end_);
+}
+
+void IncrementalMatcher::restore(durability::SnapshotReader& r) {
+  ESPICE_CHECK(r.boolean() == eligible_, ErrorCode::kCorruptSnapshot,
+               "matcher snapshot eligibility disagrees with the pattern");
+  const auto read_runs = [&](std::vector<Run>& runs, std::size_t& head) {
+    runs.clear();
+    head = 0;
+    const std::size_t n = r.size();
+    runs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Run run;
+      run.anchor = r.u64();
+      run.last_index = r.u64();
+      run.max_ts = r.f64();
+      run.idx = r.vec_int<std::uint64_t>();
+      const std::size_t events = r.size();
+      run.ev.reserve(events);
+      for (std::size_t j = 0; j < events; ++j) run.ev.push_back(r.event());
+      runs.push_back(std::move(run));
+    }
+  };
+  read_runs(done_, done_head_);
+  read_runs(active_, active_head_);
+  feed_seen_ = r.boolean();
+  last_window_open_ = r.u64();
+  window_seen_ = r.boolean();
+  last_head_match_ = r.u64();
+  head_match_seen_ = r.boolean();
+  dirty_end_ = r.u64();
+  retired_end_ = r.u64();
 }
 
 }  // namespace espice

@@ -110,6 +110,13 @@ class IncrementalMatcher {
   /// differential tests compare against).
   const Matcher& window_scan() const { return legacy_; }
 
+  /// Snapshot / restore of the stream-level run state (durability layer).
+  /// The restoring matcher must be constructed with the same pattern and
+  /// policies (the legacy engine holds only reusable scratch, so only run
+  /// and feed-cursor state travels).
+  void serialize(durability::SnapshotWriter& w) const;
+  void restore(durability::SnapshotReader& r);
+
  private:
   /// One shared-prefix run: greedy bindings anchored at idx[0].
   struct Run {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "durability/serial.hpp"
+
 namespace espice {
 
 Window materialize(const WindowView& v) {
@@ -438,6 +440,119 @@ void WindowManager::open_window(const Event& e) {
   // The opening event's own keep is still pending (reported at the next
   // offer), so the feed sees the open strictly before position 0's keep.
   if (feed_ != nullptr) feed_->on_window_open(events_seen_);
+}
+
+void WindowManager::serialize(durability::SnapshotWriter& w) {
+  // Views handed out by the last drain are dead by contract at a
+  // checkpoint; recycling them (and trimming the store) is unobservable
+  // and keeps the payload at the live working set.  The views must go with
+  // their records: drain_closed()'s empty-empty fast path returns views_
+  // as-is, so leaving them would replay dead windows after the checkpoint.
+  recycle_drained();
+  views_.clear();
+  if (closed_.empty()) trim_store();
+
+  w.boolean(track_masks_);
+  store_.serialize(w);
+
+  const auto write_record = [&](const WindowRecord& r) {
+    w.u64(r.id);
+    w.f64(r.open_ts);
+    w.u64(r.open_seq);
+    w.u64(r.open_index);
+    w.u64(r.begin_slot);
+    w.boolean(r.close_pending);
+    w.u64(r.arrivals);
+    w.size(r.kept.size());
+    for (const KeptEntry& k : r.kept) {
+      w.u32(k.slot_offset);
+      w.u32(k.position);
+    }
+    if (track_masks_) {
+      for (const QueryMask m : r.kept_masks) w.u64(m);
+    }
+  };
+  w.size(open_.size() - open_head_);
+  for (std::size_t i = open_head_; i < open_.size(); ++i) {
+    write_record(open_[i]);
+  }
+  w.size(closed_.size());
+  for (const WindowRecord& r : closed_) write_record(r);
+
+  w.u64(next_id_);
+  w.event(pending_event_);
+  w.u64(pending_index_);
+  w.u64(pending_mcount_);
+  w.u64(pending_keeps_);
+  w.u64(pending_and_);
+  w.u64(pending_or_);
+  w.boolean(pending_valid_);
+  w.u64(events_seen_);
+  w.boolean(any_close_pending_);
+  w.boolean(event_in_store_);
+  w.u64(current_slot_);
+  w.u64(closed_count_);
+  w.f64(closed_size_sum_);
+}
+
+void WindowManager::restore(durability::SnapshotReader& r) {
+  ESPICE_CHECK(r.boolean() == track_masks_,
+               ErrorCode::kCorruptSnapshot,
+               "window snapshot mask mode disagrees with the manager");
+  store_.restore(r);
+
+  const auto read_record = [&] {
+    WindowRecord rec;
+    rec.id = r.u64();
+    rec.open_ts = r.f64();
+    rec.open_seq = r.u64();
+    rec.open_index = r.u64();
+    rec.begin_slot = r.u64();
+    rec.close_pending = r.boolean();
+    rec.arrivals = static_cast<std::size_t>(r.u64());
+    const std::size_t kept = r.size();
+    rec.kept.reserve(kept);
+    for (std::size_t i = 0; i < kept; ++i) {
+      KeptEntry k;
+      k.slot_offset = r.u32();
+      k.position = r.u32();
+      rec.kept.push_back(k);
+    }
+    if (track_masks_) {
+      rec.kept_masks.reserve(kept);
+      for (std::size_t i = 0; i < kept; ++i) rec.kept_masks.push_back(r.u64());
+    }
+    return rec;
+  };
+  open_.clear();
+  open_head_ = 0;
+  const std::size_t open_count = r.size();
+  open_.reserve(open_count);
+  for (std::size_t i = 0; i < open_count; ++i) open_.push_back(read_record());
+  closed_.clear();
+  const std::size_t closed_count = r.size();
+  closed_.reserve(closed_count);
+  for (std::size_t i = 0; i < closed_count; ++i) {
+    closed_.push_back(read_record());
+  }
+  drained_.clear();
+  views_.clear();
+  scratch_.clear();
+
+  next_id_ = r.u64();
+  pending_event_ = r.event();
+  pending_index_ = r.u64();
+  pending_mcount_ = static_cast<std::size_t>(r.u64());
+  pending_keeps_ = static_cast<std::size_t>(r.u64());
+  pending_and_ = r.u64();
+  pending_or_ = r.u64();
+  pending_valid_ = r.boolean();
+  events_seen_ = r.u64();
+  any_close_pending_ = r.boolean();
+  event_in_store_ = r.boolean();
+  current_slot_ = r.u64();
+  closed_count_ = r.u64();
+  closed_size_sum_ = r.f64();
 }
 
 }  // namespace espice

@@ -353,6 +353,15 @@ class WindowManager {
   /// windows).  This is the only per-membership cost that remains.
   std::size_t resident_index_bytes() const;
 
+  /// Snapshot (durability layer): open and closed-but-undrained windows,
+  /// the shared store's live span, the pending feed state and every
+  /// counter.  Non-const because consumed drained views are recycled and
+  /// the store trimmed first (unobservable compaction).  The restoring
+  /// manager must be constructed with the same spec and track_masks, and
+  /// its kept feed (if any) must be attached before restore().
+  void serialize(durability::SnapshotWriter& w);
+  void restore(durability::SnapshotReader& r);
+
  private:
   /// An open (or closed-but-undrained) window: index spans into the shared
   /// store plus the (slot, position) list of its kept events.

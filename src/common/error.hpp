@@ -22,6 +22,45 @@ class ConfigError : public std::runtime_error {
   explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Machine-readable category of a recoverable runtime error.  Callers that
+/// need to branch on *what* went wrong (the CSV loader's bad-row policy,
+/// the durability layer's recovery path) switch on the code instead of
+/// parsing the message.
+enum class ErrorCode {
+  kGeneric,
+  kBadRow,           ///< malformed CSV row (missing/garbage/extra fields)
+  kStreamOrder,      ///< seq/ts ordering contract violated
+  kIo,               ///< file open/read/write/fsync/rename failure
+  kCorruptLog,       ///< event-log record/segment failed validation
+  kCorruptSnapshot,  ///< snapshot payload/manifest failed validation
+};
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kGeneric: return "generic";
+    case ErrorCode::kBadRow: return "bad_row";
+    case ErrorCode::kStreamOrder: return "stream_order";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kCorruptLog: return "corrupt_log";
+    case ErrorCode::kCorruptSnapshot: return "corrupt_snapshot";
+  }
+  return "unknown";
+}
+
+/// Typed recoverable error.  Derives from ConfigError so existing callers
+/// (and tests) that catch ConfigError keep working; new callers catch
+/// espice::Error and dispatch on code().
+class Error : public ConfigError {
+ public:
+  Error(ErrorCode code, const std::string& what)
+      : ConfigError(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
 namespace detail {
 [[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
                                      const char* msg) {
@@ -55,5 +94,14 @@ namespace detail {
   do {                                         \
     if (!(expr)) {                             \
       throw ::espice::ConfigError((msg));      \
+    }                                          \
+  } while (false)
+
+/// Validate a recoverable runtime condition; throws espice::Error with the
+/// given ErrorCode so callers can dispatch on the failure category.
+#define ESPICE_CHECK(expr, code, msg)          \
+  do {                                         \
+    if (!(expr)) {                             \
+      throw ::espice::Error((code), (msg));    \
     }                                          \
   } while (false)

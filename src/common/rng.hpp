@@ -7,6 +7,7 @@
 // seeded via SplitMix64, which is the recommended seeding procedure.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -100,6 +101,17 @@ class Rng {
 
   /// Poisson-distributed count (Knuth's method; fine for small means).
   std::uint64_t poisson(double mean);
+
+  /// Snapshot / restore of the full 256-bit generator state (durability
+  /// layer): restoring the state continues the exact stream the snapshot
+  /// interrupted, which the bit-identical recovery guarantee needs for
+  /// every stochastic shedder decision.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[static_cast<std::size_t>(i)];
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

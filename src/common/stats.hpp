@@ -22,6 +22,14 @@ class Ewma {
   bool seeded() const { return seeded_; }
   double value() const;
 
+  /// Snapshot / restore (durability layer): alpha comes from the owner's
+  /// config, so only the running estimate travels.
+  double raw_value() const { return value_; }
+  void restore(double value, bool seeded) {
+    value_ = value;
+    seeded_ = seeded;
+  }
+
  private:
   double alpha_;
   double value_ = 0.0;

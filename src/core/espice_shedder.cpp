@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "durability/serial.hpp"
+
 namespace espice {
 
 EspiceShedder::EspiceShedder(std::shared_ptr<const UtilityModel> model,
@@ -185,6 +187,42 @@ void EspiceShedder::score_block(const Event& e, const std::uint32_t* positions,
   }
   keep_bits[(n - 1) / 64] = word;
   count_block(n, dropped);
+}
+
+void EspiceShedder::serialize(durability::SnapshotWriter& w) const {
+  Shedder::serialize(w);
+  w.boolean(exact_amount_);
+  w.f64(exploration_);
+  model_->serialize(w);
+  w.boolean(active_);
+  w.u64(partitions_);
+  w.f64(last_x_);
+  for (const std::uint64_t s : rng_.state()) w.u64(s);
+}
+
+void EspiceShedder::restore(durability::SnapshotReader& r) {
+  Shedder::restore(r);
+  ESPICE_CHECK(r.boolean() == exact_amount_,
+               ErrorCode::kCorruptSnapshot,
+               "shedder snapshot exact_amount disagrees with the instance");
+  exploration_ = r.f64();
+  // Deactivate before swapping models so set_model() does not recompute
+  // thresholds against stale command state.
+  active_ = false;
+  set_model(UtilityModel::deserialize(r));
+  const bool active = r.boolean();
+  partitions_ = static_cast<std::size_t>(r.u64());
+  last_x_ = r.f64();
+  if (active) {
+    DropCommand cmd;
+    cmd.active = true;
+    cmd.partitions = partitions_;
+    cmd.x = last_x_;
+    on_command(cmd);
+  }
+  std::array<std::uint64_t, 4> state;
+  for (auto& s : state) s = r.u64();
+  rng_.set_state(state);
 }
 
 }  // namespace espice

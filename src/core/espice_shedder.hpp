@@ -68,9 +68,19 @@ class EspiceShedder final : public Shedder {
   void set_model(std::shared_ptr<const UtilityModel> model);
 
   const UtilityModel& model() const { return *model_; }
+  /// Shared handle to the current model (hosts rebinding a coordinator
+  /// after restore need the owning pointer, not just a reference).
+  std::shared_ptr<const UtilityModel> model_ptr() const { return model_; }
   bool active() const { return active_; }
   /// Current per-partition thresholds (empty while inactive).
   const std::vector<int>& thresholds() const { return thresholds_; }
+
+  /// Snapshot / restore (durability layer): counters, model tables,
+  /// command state and the RNG -- the flat hot-path arrays and CDT caches
+  /// are re-derived, so a restored shedder makes bit-identical decisions
+  /// without serializing derived state.
+  void serialize(durability::SnapshotWriter& w) const override;
+  void restore(durability::SnapshotReader& r) override;
 
  private:
   const std::vector<Cdt>& cdts_for(std::size_t partitions);

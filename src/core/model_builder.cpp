@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "durability/serial.hpp"
+
 namespace espice {
 
 ModelBuilder::ModelBuilder(ModelBuilderConfig config) : config_(config) {
@@ -126,6 +128,34 @@ std::shared_ptr<const UtilityModel> ModelBuilder::build() const {
   return std::make_shared<UtilityModel>(config_.num_types, config_.n_positions,
                                         config_.bin_size, std::move(ut),
                                         std::move(shares));
+}
+
+void ModelBuilder::serialize(durability::SnapshotWriter& w) const {
+  w.u64(config_.num_types);
+  w.u64(config_.n_positions);
+  w.u64(config_.bin_size);
+  w.vec_f64(match_counts_);
+  w.vec_f64(pos_counts_);
+  w.f64(windows_weight_);
+  w.u64(windows_observed_);
+  w.u64(matches_observed_);
+}
+
+void ModelBuilder::restore(durability::SnapshotReader& r) {
+  ESPICE_CHECK(r.u64() == config_.num_types &&
+                   r.u64() == config_.n_positions &&
+                   r.u64() == config_.bin_size,
+               ErrorCode::kCorruptSnapshot,
+               "model builder snapshot dimensions disagree with the config");
+  match_counts_ = r.vec_f64();
+  pos_counts_ = r.vec_f64();
+  ESPICE_CHECK(match_counts_.size() == config_.num_types * cols_ &&
+                   pos_counts_.size() == config_.num_types * cols_,
+               ErrorCode::kCorruptSnapshot,
+               "model builder snapshot table size mismatch");
+  windows_weight_ = r.f64();
+  windows_observed_ = static_cast<std::size_t>(r.u64());
+  matches_observed_ = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace espice

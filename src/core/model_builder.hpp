@@ -73,6 +73,11 @@ class ModelBuilder {
 
   const ModelBuilderConfig& config() const { return config_; }
 
+  /// Snapshot / restore of the accumulated statistics (durability layer).
+  /// The restoring builder must be constructed with the same config.
+  void serialize(durability::SnapshotWriter& w) const;
+  void restore(durability::SnapshotReader& r);
+
  private:
   /// Distributes `weight` of an event at `position` of a `ws`-sized window
   /// over the scaled bin columns it covers, invoking add(col, w).

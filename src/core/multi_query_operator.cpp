@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "durability/serial.hpp"
+
 namespace espice {
 
 MultiQueryOperator::MultiQueryOperator(MultiQueryOperatorConfig config,
@@ -300,6 +302,100 @@ MultiQueryStats MultiQueryOperator::stats() const {
     s.queries.push_back(std::move(pq));
   }
   return s;
+}
+
+void MultiQueryOperator::serialize(durability::SnapshotWriter& w) {
+  w.u8(static_cast<std::uint8_t>(phase_));
+  w.u64(sizing_count_);
+  w.f64(sizing_size_sum_);
+  w.f64(predicted_ws_);
+  w.u64(windows_since_rebuild_);
+  w.vec_f64(last_split_);
+  w.u64(events_);
+  w.u64(memberships_);
+  w.u64(memberships_kept_);
+  w.u64(windows_closed_);
+  windows_.serialize(w);
+  w.u64(queries_.size());
+  for (auto& q : queries_) {
+    q.matcher.serialize(w);
+    w.boolean(q.builder.has_value());
+    if (q.builder) q.builder->serialize(w);
+    w.boolean(q.shedder != nullptr);
+    if (q.shedder) q.shedder->serialize(w);
+    w.u64(q.matches);
+  }
+  // Last: the detector is re-instantiated from predicted_ws_ on restore
+  // (mirroring build_and_arm()), so its estimates must follow that state.
+  detector_.serialize(w);
+}
+
+void MultiQueryOperator::restore(durability::SnapshotReader& r) {
+  const std::uint8_t phase = r.u8();
+  ESPICE_CHECK(phase <= static_cast<std::uint8_t>(Phase::kShedding),
+               ErrorCode::kCorruptSnapshot, "unknown operator phase");
+  phase_ = static_cast<Phase>(phase);
+  sizing_count_ = static_cast<std::size_t>(r.u64());
+  sizing_size_sum_ = r.f64();
+  predicted_ws_ = r.f64();
+  windows_since_rebuild_ = static_cast<std::size_t>(r.u64());
+  last_split_ = r.vec_f64();
+  events_ = r.u64();
+  memberships_ = r.u64();
+  memberships_kept_ = r.u64();
+  windows_closed_ = r.u64();
+  windows_.restore(r);
+  ESPICE_CHECK(r.u64() == queries_.size(), ErrorCode::kCorruptSnapshot,
+               "operator snapshot query count disagrees with the config");
+  for (auto& q : queries_) {
+    q.matcher.restore(r);
+    if (r.boolean()) {
+      if (!q.builder) {
+        // Mirror begin_training(): the builder config derives from the
+        // (restored) normalized window size.
+        ModelBuilderConfig mb;
+        mb.num_types = config_.num_types;
+        mb.n_positions = static_cast<std::size_t>(predicted_ws_);
+        mb.bin_size = std::min(config_.bin_size, mb.n_positions);
+        q.builder.emplace(mb);
+      }
+      q.builder->restore(r);
+    } else {
+      q.builder.reset();
+    }
+    if (r.boolean()) {
+      if (!q.shedder) {
+        // Placeholder model; restore() swaps in the serialized one.
+        auto placeholder = std::make_shared<const UtilityModel>(
+            config_.num_types, 1, 1,
+            std::vector<std::uint8_t>(config_.num_types, 0),
+            std::vector<double>(config_.num_types, 0.0));
+        q.shedder = std::make_unique<EspiceShedder>(std::move(placeholder),
+                                                    config_.exact_amount);
+      }
+      q.shedder->restore(r);
+    } else {
+      q.shedder.reset();
+    }
+    q.matches = r.u64();
+  }
+  if (phase_ == Phase::kShedding) {
+    // Mirror build_and_arm(): detector sized to the shared window, then
+    // its running estimates restored; coordinator re-binds the restored
+    // per-query models.
+    auto detector_config = config_.detector;
+    detector_config.window_size_events =
+        static_cast<std::size_t>(predicted_ws_);
+    detector_ = OverloadDetector(detector_config);
+    std::vector<std::shared_ptr<const UtilityModel>> models;
+    models.reserve(queries_.size());
+    for (auto& q : queries_) models.push_back(q.shedder->model_ptr());
+    coordinator_.set_models(std::move(models));
+    if (!config_.query_weights.empty()) {
+      coordinator_.set_weights(config_.query_weights);
+    }
+  }
+  detector_.restore(r);
 }
 
 }  // namespace espice

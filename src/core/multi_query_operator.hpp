@@ -161,6 +161,15 @@ class MultiQueryOperator {
   const ShedCoordinator& coordinator() const { return coordinator_; }
   MultiQueryStats stats() const;
 
+  /// Snapshot / restore (durability layer): phase machinery, the shared
+  /// window manager, per-query matcher/builder/shedder state and the
+  /// detector estimates.  Non-const because the window manager compacts
+  /// consumed views first.  The restoring operator must be constructed
+  /// with the same config; the coordinator re-binds to the restored
+  /// models, so no derived state travels.
+  void serialize(durability::SnapshotWriter& w);
+  void restore(durability::SnapshotReader& r);
+
  private:
   void begin_training(std::size_t n_positions);
   void build_and_arm();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "durability/serial.hpp"
+
 namespace espice {
 
 OverloadDetector::OverloadDetector(OverloadDetectorConfig config)
@@ -74,6 +76,24 @@ DropCommand OverloadDetector::tick(std::size_t queue_size) {
   cmd.partitions = rho;
   cmd.x = x;
   return cmd;
+}
+
+void OverloadDetector::serialize(durability::SnapshotWriter& w) const {
+  w.f64(lp_.raw_value());
+  w.boolean(lp_.seeded());
+  w.f64(rate_.raw_value());
+  w.boolean(rate_.seeded());
+  w.f64(last_arrival_ts_);
+  w.boolean(active_);
+}
+
+void OverloadDetector::restore(durability::SnapshotReader& r) {
+  const double lp = r.f64();
+  lp_.restore(lp, r.boolean());
+  const double rate = r.f64();
+  rate_.restore(rate, r.boolean());
+  last_arrival_ts_ = r.f64();
+  active_ = r.boolean();
 }
 
 }  // namespace espice

@@ -73,6 +73,11 @@ class OverloadDetector {
   double qmax() const;
   const OverloadDetectorConfig& config() const { return config_; }
 
+  /// Snapshot / restore of the running estimates (durability layer).  The
+  /// restoring detector must be constructed with the same config.
+  void serialize(durability::SnapshotWriter& w) const;
+  void restore(durability::SnapshotReader& r);
+
  private:
   OverloadDetectorConfig config_;
   Ewma lp_;

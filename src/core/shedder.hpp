@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "cep/event.hpp"
+#include "durability/serial.hpp"
 
 namespace espice {
 
@@ -80,6 +81,20 @@ class Shedder {
   /// Statistics: how many decisions / drops this shedder has made.
   std::uint64_t decisions() const { return decisions_; }
   std::uint64_t drops() const { return drops_; }
+
+  /// Snapshot / restore (durability layer).  The base carries the decision
+  /// counters; stateful shedders override BOTH, call the base first, and
+  /// append their model / RNG state so a restored shedder continues the
+  /// exact decision stream.  The restoring instance must be constructed
+  /// with the same configuration (factories re-run on recovery).
+  virtual void serialize(durability::SnapshotWriter& w) const {
+    w.u64(decisions_);
+    w.u64(drops_);
+  }
+  virtual void restore(durability::SnapshotReader& r) {
+    decisions_ = r.u64();
+    drops_ = r.u64();
+  }
 
  protected:
   void count_decision(bool dropped) {

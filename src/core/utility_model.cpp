@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "durability/serial.hpp"
+
 namespace espice {
 
 std::size_t UtilityModel::checked_cols(std::size_t n_positions,
@@ -78,6 +80,35 @@ int UtilityModel::utility(EventTypeId type, std::uint32_t position,
   }
   if (total <= 0.0) return utility_cell(type, first_col);
   return static_cast<int>(std::lround(weighted / total));
+}
+
+void UtilityModel::serialize(durability::SnapshotWriter& w) const {
+  w.u64(num_types_);
+  w.u64(n_positions_);
+  w.u64(bin_size_);
+  w.vec_int(ut_);
+  w.vec_f64(shares_);
+}
+
+std::shared_ptr<const UtilityModel> UtilityModel::deserialize(
+    durability::SnapshotReader& r) {
+  // Plain dimension counts, not length prefixes (N can exceed the payload
+  // size in bytes when bins are wide), so u64, not size().
+  const auto num_types = static_cast<std::size_t>(r.u64());
+  const auto n_positions = static_cast<std::size_t>(r.u64());
+  const auto bin_size = static_cast<std::size_t>(r.u64());
+  std::vector<std::uint8_t> ut = r.vec_int<std::uint8_t>();
+  std::vector<double> shares = r.vec_f64();
+  try {
+    return std::make_shared<const UtilityModel>(num_types, n_positions,
+                                                bin_size, std::move(ut),
+                                                std::move(shares));
+  } catch (const ConfigError& e) {
+    // Corrupt dimensions surface as the ctor's validation error; map them
+    // to the snapshot-corruption category the recovery path dispatches on.
+    throw Error(ErrorCode::kCorruptSnapshot,
+                std::string("utility model snapshot invalid: ") + e.what());
+  }
 }
 
 }  // namespace espice

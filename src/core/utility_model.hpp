@@ -21,10 +21,16 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "cep/event.hpp"
 #include "common/error.hpp"
+
+namespace espice::durability {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace espice::durability
 
 namespace espice {
 
@@ -75,6 +81,12 @@ class UtilityModel {
   std::size_t footprint_bytes() const {
     return ut_.size() * sizeof(std::uint8_t) + shares_.size() * sizeof(double);
   }
+
+  /// Snapshot / restore (durability layer).  The model is immutable, so
+  /// deserialize() reconstructs a fresh instance.
+  void serialize(durability::SnapshotWriter& w) const;
+  static std::shared_ptr<const UtilityModel> deserialize(
+      durability::SnapshotReader& r);
 
  private:
   /// Validates n/bs before the column count is computed (so that a zero bin

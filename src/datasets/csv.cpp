@@ -7,6 +7,58 @@
 
 namespace espice {
 
+namespace {
+
+/// Parses one data line into `e` (type interned only on full success, so a
+/// bad row never pollutes the registry).  Throws Error{kBadRow} naming the
+/// line on any malformation.
+Event parse_row(const std::string& line, std::size_t line_no,
+                TypeRegistry& registry) {
+  std::istringstream row(line);
+  std::string field;
+  auto next = [&](const char* what) {
+    ESPICE_CHECK(static_cast<bool>(std::getline(row, field, ',')),
+                 ErrorCode::kBadRow,
+                 "CSV row " + std::to_string(line_no) + ": missing " + what);
+    return field;
+  };
+  // Numeric fields must parse in full: "1.5x" is malformed data, not 1.5.
+  auto whole = [&](std::size_t consumed) {
+    ESPICE_CHECK(consumed == field.size(), ErrorCode::kBadRow,
+                 "CSV row " + std::to_string(line_no) +
+                     ": trailing garbage in numeric field '" + field + "'");
+  };
+  Event e;
+  std::string type_name;
+  try {
+    std::size_t pos = 0;
+    type_name = next("type");
+    e.seq = std::stoull(next("seq"), &pos);
+    whole(pos);
+    e.ts = std::stod(next("ts"), &pos);
+    whole(pos);
+    e.value = std::stod(next("value"), &pos);
+    whole(pos);
+    e.aux = std::stod(next("aux"), &pos);
+    whole(pos);
+  } catch (const std::invalid_argument&) {
+    throw Error(ErrorCode::kBadRow, "CSV row " + std::to_string(line_no) +
+                                        ": malformed numeric field '" + field +
+                                        "'");
+  } catch (const std::out_of_range&) {
+    throw Error(ErrorCode::kBadRow, "CSV row " + std::to_string(line_no) +
+                                        ": numeric field out of range '" +
+                                        field + "'");
+  }
+  ESPICE_CHECK(!std::getline(row, field, ','), ErrorCode::kBadRow,
+               "CSV row " + std::to_string(line_no) + ": extra fields after "
+               "aux");
+  e.type = registry.intern(type_name);
+  return e;
+}
+
+}  // namespace
+
 void write_events_csv(std::ostream& out, const std::vector<Event>& events,
                       const TypeRegistry& registry) {
   out << "type,seq,ts,value,aux\n";
@@ -16,9 +68,9 @@ void write_events_csv(std::ostream& out, const std::vector<Event>& events,
   }
 }
 
-std::vector<Event> read_events_csv(std::istream& in, TypeRegistry& registry,
-                                   bool require_stream_order) {
-  std::vector<Event> events;
+CsvReadResult read_events_csv(std::istream& in, TypeRegistry& registry,
+                              const CsvReadOptions& options) {
+  CsvReadResult result;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -26,45 +78,27 @@ std::vector<Event> read_events_csv(std::istream& in, TypeRegistry& registry,
     if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
     if (line.empty()) continue;
     if (line_no == 1 && line.rfind("type,", 0) == 0) continue;  // header
-    std::istringstream row(line);
-    std::string field;
-    Event e;
-    auto next = [&](const char* what) {
-      ESPICE_REQUIRE(std::getline(row, field, ','),
-                     "CSV row " + std::to_string(line_no) + ": missing " + what);
-      return field;
-    };
-    // Numeric fields must parse in full: "1.5x" is malformed data, not 1.5.
-    auto whole = [&](std::size_t consumed) {
-      ESPICE_REQUIRE(consumed == field.size(),
-                     "CSV row " + std::to_string(line_no) +
-                         ": trailing garbage in numeric field '" + field + "'");
-    };
     try {
-      std::size_t pos = 0;
-      e.type = registry.intern(next("type"));
-      e.seq = std::stoull(next("seq"), &pos);
-      whole(pos);
-      e.ts = std::stod(next("ts"), &pos);
-      whole(pos);
-      e.value = std::stod(next("value"), &pos);
-      whole(pos);
-      e.aux = std::stod(next("aux"), &pos);
-      whole(pos);
-    } catch (const std::invalid_argument&) {
-      throw ConfigError("CSV row " + std::to_string(line_no) +
-                        ": malformed numeric field '" + field + "'");
-    } catch (const std::out_of_range&) {
-      throw ConfigError("CSV row " + std::to_string(line_no) +
-                        ": numeric field out of range '" + field + "'");
+      result.events.push_back(parse_row(line, line_no, registry));
+    } catch (const Error& err) {
+      if (options.on_bad_row == BadRowPolicy::kFail) throw;
+      ++result.bad_rows;
+      result.errors.push_back(err.what());
+      if (options.on_bad_row == BadRowPolicy::kStop) {
+        result.stopped_early = true;
+        break;
+      }
     }
-    ESPICE_REQUIRE(!std::getline(row, field, ','),
-                   "CSV row " + std::to_string(line_no) +
-                       ": extra fields after aux");
-    events.push_back(e);
   }
-  if (require_stream_order) validate_stream_order(events);
-  return events;
+  if (options.require_stream_order) validate_stream_order(result.events);
+  return result;
+}
+
+std::vector<Event> read_events_csv(std::istream& in, TypeRegistry& registry,
+                                   bool require_stream_order) {
+  CsvReadOptions options;
+  options.require_stream_order = require_stream_order;
+  return read_events_csv(in, registry, options).events;
 }
 
 void validate_stream_order(const std::vector<Event>& events) {
@@ -82,16 +116,23 @@ void validate_stream_order(const std::vector<Event>& events) {
 void save_events_csv(const std::string& path, const std::vector<Event>& events,
                      const TypeRegistry& registry) {
   std::ofstream out(path);
-  ESPICE_REQUIRE(out.good(), "cannot open for writing: " + path);
+  ESPICE_CHECK(out.good(), ErrorCode::kIo, "cannot open for writing: " + path);
   write_events_csv(out, events, registry);
-  ESPICE_REQUIRE(out.good(), "write failed: " + path);
+  ESPICE_CHECK(out.good(), ErrorCode::kIo, "write failed: " + path);
+}
+
+CsvReadResult load_events_csv(const std::string& path, TypeRegistry& registry,
+                              const CsvReadOptions& options) {
+  std::ifstream in(path);
+  ESPICE_CHECK(in.good(), ErrorCode::kIo, "cannot open for reading: " + path);
+  return read_events_csv(in, registry, options);
 }
 
 std::vector<Event> load_events_csv(const std::string& path,
                                    TypeRegistry& registry,
                                    bool require_stream_order) {
   std::ifstream in(path);
-  ESPICE_REQUIRE(in.good(), "cannot open for reading: " + path);
+  ESPICE_CHECK(in.good(), ErrorCode::kIo, "cannot open for reading: " + path);
   return read_events_csv(in, registry, require_stream_order);
 }
 

@@ -6,6 +6,7 @@
 //   type_name,seq,ts,value,aux
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -19,14 +20,44 @@ namespace espice {
 void write_events_csv(std::ostream& out, const std::vector<Event>& events,
                       const TypeRegistry& registry);
 
-/// Reads events, interning unseen type names into `registry`.  Rows must
-/// have exactly the five columns; numeric fields must parse completely
-/// (trailing garbage is an error, so "1.5x" is rejected rather than read as
-/// 1.5).  Windows line endings are accepted.  Throws ConfigError on
-/// malformed rows.  With `require_stream_order`, the loaded stream must
-/// satisfy the Event contract (strictly increasing seq, non-decreasing ts)
-/// -- out-of-order data fails fast instead of silently corrupting
-/// windowing downstream.
+/// What to do with a malformed row (wrong column count, non-parsing or
+/// trailing-garbage numeric field, truncated final line).
+enum class BadRowPolicy : std::uint8_t {
+  kFail,  ///< throw espice::Error{kBadRow} naming the first bad row
+  kSkip,  ///< drop the row, count it, keep reading
+  kStop,  ///< stop at the bad row; everything before it is returned
+};
+
+struct CsvReadOptions {
+  BadRowPolicy on_bad_row = BadRowPolicy::kFail;
+  /// Enforce the Event stream contract on the loaded events (strictly
+  /// increasing seq, non-decreasing ts); violations throw ConfigError --
+  /// out-of-order data fails fast instead of silently corrupting windowing
+  /// downstream.
+  bool require_stream_order = false;
+};
+
+struct CsvReadResult {
+  std::vector<Event> events;
+  /// Malformed rows encountered (skipped under kSkip; 1 under kStop when it
+  /// stopped early; always 0 under kFail, which throws instead).
+  std::uint64_t bad_rows = 0;
+  /// One human-readable message per bad row, in file order.
+  std::vector<std::string> errors;
+  /// kStop only: a bad row ended the read before end-of-stream.
+  bool stopped_early = false;
+};
+
+/// Reads events, interning unseen type names into `registry` (a row's type
+/// is only interned once the whole row parsed, so bad rows never pollute
+/// the registry).  Rows must have exactly the five columns; numeric fields
+/// must parse completely (trailing garbage is an error, so "1.5x" is
+/// rejected rather than read as 1.5).  Windows line endings are accepted.
+/// Malformed rows are handled per `options.on_bad_row`.
+CsvReadResult read_events_csv(std::istream& in, TypeRegistry& registry,
+                              const CsvReadOptions& options);
+
+/// Legacy strict wrapper: BadRowPolicy::kFail, returns just the events.
 std::vector<Event> read_events_csv(std::istream& in, TypeRegistry& registry,
                                    bool require_stream_order = false);
 
@@ -34,9 +65,11 @@ std::vector<Event> read_events_csv(std::istream& in, TypeRegistry& registry,
 /// non-decreasing ts); throws ConfigError naming the first offending index.
 void validate_stream_order(const std::vector<Event>& events);
 
-/// File-path convenience wrappers; throw ConfigError on I/O failure.
+/// File-path convenience wrappers; throw espice::Error{kIo} on I/O failure.
 void save_events_csv(const std::string& path, const std::vector<Event>& events,
                      const TypeRegistry& registry);
+CsvReadResult load_events_csv(const std::string& path, TypeRegistry& registry,
+                              const CsvReadOptions& options);
 std::vector<Event> load_events_csv(const std::string& path,
                                    TypeRegistry& registry,
                                    bool require_stream_order = false);

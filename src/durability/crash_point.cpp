@@ -1,0 +1,13 @@
+#include "durability/crash_point.hpp"
+
+namespace espice::durability {
+
+namespace detail {
+std::atomic<CrashHook> g_crash_hook{nullptr};
+}
+
+void set_crash_hook(CrashHook hook) {
+  detail::g_crash_hook.store(hook, std::memory_order_release);
+}
+
+}  // namespace espice::durability

@@ -1,0 +1,52 @@
+// Fault-injection instrumentation for the durability layer.
+//
+// The durability code (event log, snapshot store) marks every point where a
+// real process death would leave partially-written state on disk:
+//
+//   ESPICE_CRASH_POINT("log.append.mid_record");
+//
+// In production the marker is one relaxed load of a null function pointer
+// -- effectively free.  The fault-injection harness
+// (tests/support/crash_point.hpp) installs a hook that counts hits and, at
+// an armed (point, occurrence) pair, simulates the kill: either in-process
+// by throwing SimulatedCrash through an exception barrier (the engine's
+// destructor then observes exactly the bytes written so far, like a fresh
+// process opening the files), or for real via _exit(), leaving the kernel
+// to drop whatever was not yet written.
+//
+// Torn writes: writers that want a byte-level torn tail under test split
+// their write in two around a crash point only when a hook is installed
+// (crash_hook_armed()), so the production path keeps its single write().
+#pragma once
+
+#include <atomic>
+
+namespace espice::durability {
+
+/// Hook signature: called with the crash point's name; may throw (the
+/// simulated kill) or return normally (census / not the armed occurrence).
+using CrashHook = void (*)(const char* point);
+
+/// Installs (or clears, with nullptr) the process-wide crash hook.  Tests
+/// only; call from one thread while no durability code is running.
+void set_crash_hook(CrashHook hook);
+
+namespace detail {
+extern std::atomic<CrashHook> g_crash_hook;
+}
+
+/// True when a hook is installed (writers switch to split-write mode so a
+/// mid-write crash point produces a genuinely torn record).
+inline bool crash_hook_armed() {
+  return detail::g_crash_hook.load(std::memory_order_relaxed) != nullptr;
+}
+
+inline void crash_point(const char* name) {
+  if (CrashHook hook = detail::g_crash_hook.load(std::memory_order_relaxed)) {
+    hook(name);
+  }
+}
+
+}  // namespace espice::durability
+
+#define ESPICE_CRASH_POINT(name) ::espice::durability::crash_point(name)

@@ -1,0 +1,571 @@
+#include "durability/event_log.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "durability/checksum.hpp"
+#include "durability/crash_point.hpp"
+#include "durability/serial.hpp"
+
+namespace espice::durability {
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kSegmentMagic = 0x45534C47;  // "GLSE"
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kRecordKind = 0x52454331;  // "1CER"
+constexpr std::uint32_t kFooterKind = 0x464F4F31;  // "1OOF"
+
+// Sizes of the fixed-layout chunks (see encode_* below).
+constexpr std::size_t kSegmentHeaderBytes = 20;
+constexpr std::size_t kRecordHeaderBytes = 28;
+constexpr std::size_t kFooterBytes = 28;
+
+std::string errno_detail(const std::string& op, const std::string& path) {
+  return op + " failed for '" + path + "': " + std::strerror(errno);
+}
+
+std::string segment_path(const std::string& dir, std::uint64_t base) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "seg-%020llu.elog",
+                static_cast<unsigned long long>(base));
+  return (fs::path(dir) / name).string();
+}
+
+/// All `seg-*.elog` files in `dir`, sorted by their base event index.
+std::vector<std::pair<std::uint64_t, std::string>> list_segments(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  if (!fs::exists(dir)) return out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 10 || name.rfind("seg-", 0) != 0 ||
+        name.substr(name.size() - 5) != ".elog") {
+      continue;
+    }
+    const std::string digits = name.substr(4, name.size() - 9);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    out.emplace_back(std::stoull(digits), entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::byte> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ESPICE_CHECK(in.good(), ErrorCode::kIo, "cannot open '" + path + "'");
+  in.seekg(0, std::ios::end);
+  const auto len = static_cast<std::size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  std::vector<std::byte> buf(len);
+  if (len != 0) in.read(reinterpret_cast<char*>(buf.data()), len);
+  ESPICE_CHECK(in.good(), ErrorCode::kIo, "cannot read '" + path + "'");
+  return buf;
+}
+
+void encode_segment_header(SnapshotWriter& w, std::uint64_t base) {
+  w.u32(kSegmentMagic);
+  w.u32(kFormatVersion);
+  w.u64(base);
+  w.u32(crc32(w.buffer().data(), w.position()));
+}
+
+void encode_record_header(SnapshotWriter& w, std::uint32_t payload_len,
+                          std::uint32_t count, std::uint64_t base,
+                          std::uint32_t payload_crc) {
+  const std::size_t start = w.position();
+  w.u32(kRecordKind);
+  w.u32(payload_len);
+  w.u32(count);
+  w.u64(base);
+  w.u32(payload_crc);
+  w.u32(crc32(w.buffer().data() + start, w.position() - start));
+}
+
+void encode_footer(SnapshotWriter& w, std::uint64_t records,
+                   std::uint64_t end_index, std::uint32_t segment_crc) {
+  w.u32(kFooterKind);
+  w.u64(records);
+  w.u64(end_index);
+  w.u32(segment_crc);
+  w.u32(crc32(w.buffer().data(), w.position()));
+}
+
+void encode_events(SnapshotWriter& w, std::span<const Event> events) {
+  for (const Event& e : events) w.event(e);
+}
+
+std::vector<Event> decode_events(std::span<const std::byte> payload,
+                                 std::size_t count) {
+  SnapshotReader r(payload);
+  std::vector<Event> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) events.push_back(r.event());
+  r.expect_done();
+  return events;
+}
+
+/// Result of validating one segment file byte-by-byte.
+struct SegmentScan {
+  bool header_ok = false;
+  bool sealed = false;
+  std::uint64_t base = 0;
+  std::uint64_t end_index = 0;    ///< base + events in valid records
+  std::uint64_t records = 0;
+  std::size_t valid_bytes = 0;    ///< end of last valid chunk in the file
+  std::uint32_t running_crc = 0;  ///< CRC state over the record payload CRCs
+  std::vector<std::string> damage;
+};
+
+/// Walks the segment, accepting chunks until the first invalid byte; the
+/// durable part of the file is [0, valid_bytes).  Every rejection produces
+/// a damage report naming the file and byte offset.
+SegmentScan scan_segment(const std::string& path) {
+  SegmentScan scan;
+  const std::vector<std::byte> buf = read_file(path);
+  const auto bad = [&](std::size_t off, const std::string& why) {
+    scan.damage.push_back("'" + path + "' @" + std::to_string(off) + ": " +
+                          why);
+  };
+
+  if (buf.size() < kSegmentHeaderBytes) {
+    bad(0, "truncated segment header");
+    return scan;
+  }
+  {
+    SnapshotReader r(std::span(buf.data(), kSegmentHeaderBytes));
+    const std::uint32_t magic = r.u32();
+    const std::uint32_t version = r.u32();
+    const std::uint64_t base = r.u64();
+    const std::uint32_t crc = r.u32();
+    if (magic != kSegmentMagic || version != kFormatVersion ||
+        crc != crc32(buf.data(), kSegmentHeaderBytes - 4)) {
+      bad(0, "bad segment header (magic/version/crc)");
+      return scan;
+    }
+    scan.base = base;
+  }
+  scan.header_ok = true;
+  scan.end_index = scan.base;
+  scan.valid_bytes = kSegmentHeaderBytes;
+  scan.running_crc = crc32_init();
+
+  std::size_t pos = kSegmentHeaderBytes;
+  while (pos < buf.size()) {
+    const std::size_t left = buf.size() - pos;
+    if (left < sizeof(std::uint32_t)) {
+      bad(pos, "torn chunk kind (" + std::to_string(left) + " bytes)");
+      return scan;
+    }
+    SnapshotReader kind_r(std::span(buf.data() + pos, left));
+    const std::uint32_t kind = kind_r.u32();
+
+    if (kind == kRecordKind) {
+      if (left < kRecordHeaderBytes) {
+        bad(pos, "torn record header (" + std::to_string(left) + " bytes)");
+        return scan;
+      }
+      SnapshotReader r(std::span(buf.data() + pos, kRecordHeaderBytes));
+      r.u32();  // kind, already read
+      const std::uint32_t payload_len = r.u32();
+      const std::uint32_t count = r.u32();
+      const std::uint64_t base = r.u64();
+      const std::uint32_t payload_crc = r.u32();
+      const std::uint32_t header_crc = r.u32();
+      if (header_crc != crc32(buf.data() + pos, kRecordHeaderBytes - 4)) {
+        bad(pos, "record header CRC mismatch");
+        return scan;
+      }
+      if (payload_len != count * kLogEventBytes || count == 0) {
+        bad(pos, "record header inconsistent (len/count)");
+        return scan;
+      }
+      if (base != scan.end_index) {
+        bad(pos, "record base index " + std::to_string(base) +
+                     " breaks contiguity (expected " +
+                     std::to_string(scan.end_index) + ")");
+        return scan;
+      }
+      if (left < kRecordHeaderBytes + payload_len) {
+        bad(pos, "torn record payload (" +
+                     std::to_string(left - kRecordHeaderBytes) + " of " +
+                     std::to_string(payload_len) + " bytes)");
+        return scan;
+      }
+      const std::byte* payload = buf.data() + pos + kRecordHeaderBytes;
+      if (payload_crc != crc32(payload, payload_len)) {
+        bad(pos, "record payload CRC mismatch");
+        return scan;
+      }
+      // Hierarchical segment CRC: every payload byte is already covered by
+      // the record's own CRC (validated just above), so the footer chains
+      // the 4 on-disk CRC bytes per record instead of re-hashing payloads.
+      scan.running_crc =
+          crc32_update(scan.running_crc, buf.data() + pos + 20, 4);
+      scan.records += 1;
+      scan.end_index += count;
+      pos += kRecordHeaderBytes + payload_len;
+      scan.valid_bytes = pos;
+      continue;
+    }
+
+    if (kind == kFooterKind) {
+      if (left < kFooterBytes) {
+        bad(pos, "torn segment footer");
+        return scan;
+      }
+      SnapshotReader r(std::span(buf.data() + pos, kFooterBytes));
+      r.u32();  // kind
+      const std::uint64_t records = r.u64();
+      const std::uint64_t end_index = r.u64();
+      const std::uint32_t segment_crc = r.u32();
+      const std::uint32_t footer_crc = r.u32();
+      if (footer_crc != crc32(buf.data() + pos, kFooterBytes - 4)) {
+        bad(pos, "segment footer CRC mismatch");
+        return scan;
+      }
+      if (records != scan.records || end_index != scan.end_index ||
+          segment_crc != crc32_final(scan.running_crc)) {
+        bad(pos, "segment footer disagrees with records (whole-segment CRC "
+                 "or counts)");
+        return scan;
+      }
+      pos += kFooterBytes;
+      scan.valid_bytes = pos;
+      scan.sealed = true;
+      if (pos != buf.size()) {
+        bad(pos, "trailing bytes after segment footer");
+      }
+      return scan;
+    }
+
+    bad(pos, "unknown chunk kind");
+    return scan;
+  }
+  return scan;
+}
+
+/// Directory-level scan shared by writer (repairing) and reader
+/// (read-only): validates each segment in base order, enforces contiguity
+/// between segments, and stops the durable prefix at the first damage.
+struct DirScan {
+  std::vector<std::pair<std::string, SegmentScan>> valid;  ///< durable prefix
+  std::vector<std::string> dropped;  ///< paths past the damage point
+  LogOpenResult result;
+};
+
+DirScan scan_dir(const std::string& dir) {
+  DirScan out;
+  const auto segments = list_segments(dir);
+  bool stopped = false;
+  std::uint64_t expected_base = 0;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto& [base, path] = segments[i];
+    if (stopped) {
+      out.dropped.push_back(path);
+      continue;
+    }
+    if (!out.valid.empty() && base != expected_base) {
+      out.result.damage.push_back("'" + path + "': base index " +
+                                  std::to_string(base) +
+                                  " breaks segment contiguity (expected " +
+                                  std::to_string(expected_base) + ")");
+      out.dropped.push_back(path);
+      stopped = true;
+      continue;
+    }
+    SegmentScan scan = scan_segment(path);
+    for (auto& d : scan.damage) out.result.damage.push_back(std::move(d));
+    if (!scan.header_ok) {
+      out.dropped.push_back(path);
+      stopped = true;
+      continue;
+    }
+    const bool is_last = (i + 1 == segments.size());
+    if (!is_last && !scan.sealed) {
+      // A non-final segment must be sealed; if not, its tail (and every
+      // later segment) is not trustworthy.
+      out.result.damage.push_back("'" + path +
+                                  "': non-final segment is not sealed; "
+                                  "durable prefix ends at its last valid "
+                                  "record");
+      stopped = true;
+    }
+    if (!scan.damage.empty()) stopped = true;
+    expected_base = scan.end_index;
+    out.result.durable_events = scan.end_index;
+    out.valid.emplace_back(path, std::move(scan));
+  }
+  return out;
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+void EventLogConfig::validate() const {
+  ESPICE_REQUIRE(!dir.empty(), "event log: dir must be non-empty");
+  ESPICE_REQUIRE(segment_bytes >= 4096,
+                 "event log: segment_bytes must be >= 4096");
+  ESPICE_REQUIRE(fsync != FsyncPolicy::kInterval || fsync_interval_records > 0,
+                 "event log: fsync_interval_records must be > 0");
+}
+
+EventLogWriter::EventLogWriter(EventLogConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  ESPICE_CHECK(!ec, ErrorCode::kIo,
+               "cannot create log dir '" + config_.dir + "'");
+
+  DirScan scan = scan_dir(config_.dir);
+  open_result_ = scan.result;
+  next_index_ = open_result_.durable_events;
+
+  // Repair: drop everything past the damage point and truncate the last
+  // valid segment back to its last valid record.
+  for (const std::string& path : scan.dropped) {
+    open_result_.damage.push_back("'" + path + "': removed (past damage)");
+    fs::remove(path, ec);
+  }
+
+  if (scan.valid.empty()) {
+    open_segment(0);
+    return;
+  }
+
+  auto& [last_path, last] = scan.valid.back();
+  if (last.sealed) {
+    if (!last.damage.empty()) {
+      // Sealed but with trailing garbage after the footer: truncate the
+      // garbage away (never append after a footer -- scans would drop
+      // anything written there) and roll to a fresh segment.
+      const int fd = ::open(last_path.c_str(), O_WRONLY | O_CLOEXEC);
+      ESPICE_CHECK(fd >= 0, ErrorCode::kIo, errno_detail("open", last_path));
+      const int rc = ::ftruncate(fd, static_cast<off_t>(last.valid_bytes));
+      ::close(fd);
+      ESPICE_CHECK(rc == 0, ErrorCode::kIo,
+                   errno_detail("ftruncate", last_path));
+    }
+    open_segment(next_index_);
+    return;
+  }
+  // Resume appending into the unsealed (or torn) final segment.
+  fd_ = ::open(last_path.c_str(), O_WRONLY | O_CLOEXEC);
+  ESPICE_CHECK(fd_ >= 0, ErrorCode::kIo, errno_detail("open", last_path));
+  if (::ftruncate(fd_, static_cast<off_t>(last.valid_bytes)) != 0) {
+    throw Error(ErrorCode::kIo, errno_detail("ftruncate", last_path));
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    throw Error(ErrorCode::kIo, errno_detail("lseek", last_path));
+  }
+  active_path_ = last_path;
+  segment_base_ = last.base;
+  segment_records_ = last.records;
+  segment_size_ = last.valid_bytes;
+  segment_crc_ = last.running_crc;
+}
+
+EventLogWriter::~EventLogWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void EventLogWriter::open_segment(std::uint64_t base_index) {
+  ESPICE_CRASH_POINT("log.segment.open");
+  active_path_ = segment_path(config_.dir, base_index);
+  fd_ = ::open(active_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+               0644);
+  ESPICE_CHECK(fd_ >= 0, ErrorCode::kIo, errno_detail("open", active_path_));
+  SnapshotWriter w;
+  encode_segment_header(w, base_index);
+  write_all(w.buffer().data(), w.position());
+  segment_base_ = base_index;
+  segment_records_ = 0;
+  segment_size_ = w.position();
+  segment_crc_ = crc32_init();
+  // Directory-entry durability follows the same policy split as sealing.
+  if (config_.fsync != FsyncPolicy::kNone) fsync_dir(config_.dir);
+}
+
+void EventLogWriter::seal_segment() {
+  ESPICE_CRASH_POINT("log.segment.seal");
+  SnapshotWriter w;
+  encode_footer(w, segment_records_, next_index_, crc32_final(segment_crc_));
+  write_all(w.buffer().data(), w.position());
+  // kNone means NO fsync anywhere -- the policy promises process-crash
+  // durability only, and an fsync here would flush segment_bytes of dirty
+  // page cache on every roll, dwarfing the append path it rides on.  The
+  // syncing policies make the finished segment durable before moving on.
+  if (config_.fsync != FsyncPolicy::kNone) sync();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void EventLogWriter::write_all(const void* data, std::size_t len) {
+  const auto* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd_, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(ErrorCode::kIo, errno_detail("write", active_path_));
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void EventLogWriter::append_batch(std::span<const Event> events) {
+  if (events.empty()) return;
+  ESPICE_CRASH_POINT("log.append.before");
+
+  SnapshotWriter& payload = payload_scratch_;
+  payload.clear();
+  payload.reserve(events.size() * kLogEventBytes);
+  encode_events(payload, events);
+  const std::uint32_t payload_crc =
+      crc32(payload.buffer().data(), payload.position());
+
+  SnapshotWriter& rec = record_scratch_;
+  rec.clear();
+  rec.reserve(kRecordHeaderBytes + payload.position());
+  encode_record_header(rec, static_cast<std::uint32_t>(payload.position()),
+                       static_cast<std::uint32_t>(events.size()), next_index_,
+                       payload_crc);
+  rec.bytes(payload.buffer().data(), payload.position());
+
+  const std::vector<std::byte>& buf = rec.buffer();
+  if (crash_hook_armed()) {
+    // Split the write so a crash at the midpoint leaves a genuinely torn
+    // record on disk; the production path below stays one write().
+    const std::size_t half = buf.size() / 2;
+    write_all(buf.data(), half);
+    ESPICE_CRASH_POINT("log.append.mid_record");
+    write_all(buf.data() + half, buf.size() - half);
+  } else {
+    write_all(buf.data(), buf.size());
+  }
+
+  // Chain the record's own CRC into the segment CRC (see scan_segment: the
+  // footer covers record CRCs, not payload bytes, so sealing a segment
+  // never re-hashes data every record already protects).
+  segment_crc_ = crc32_update(segment_crc_, buf.data() + 20, 4);
+  segment_records_ += 1;
+  segment_size_ += buf.size();
+  next_index_ += events.size();
+
+  switch (config_.fsync) {
+    case FsyncPolicy::kNone:
+      break;
+    case FsyncPolicy::kEveryBatch:
+      sync();
+      break;
+    case FsyncPolicy::kInterval:
+      if (++records_since_sync_ >= config_.fsync_interval_records) sync();
+      break;
+  }
+  ESPICE_CRASH_POINT("log.append.done");
+
+  if (segment_size_ >= config_.segment_bytes) {
+    seal_segment();
+    open_segment(next_index_);
+  }
+}
+
+void EventLogWriter::sync() {
+  if (fd_ >= 0 && ::fsync(fd_) != 0) {
+    throw Error(ErrorCode::kIo, errno_detail("fsync", active_path_));
+  }
+  records_since_sync_ = 0;
+}
+
+std::size_t EventLogWriter::prune_segments_below(std::uint64_t index) {
+  const auto segments = list_segments(config_.dir);
+  std::size_t removed = 0;
+  // Segment i covers [base_i, base_{i+1}); only drop it when a later
+  // segment exists (so it is sealed, not active) and it ends at or below
+  // the requested index.
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    if (segments[i + 1].first > index) break;
+    if (segments[i].second == active_path_) break;
+    std::error_code ec;
+    if (fs::remove(segments[i].second, ec)) removed += 1;
+  }
+  if (removed != 0) fsync_dir(config_.dir);
+  return removed;
+}
+
+EventLogReader::EventLogReader(std::string dir) : dir_(std::move(dir)) {
+  DirScan scan = scan_dir(dir_);
+  open_result_ = std::move(scan.result);
+  segments_.reserve(scan.valid.size());
+  for (auto& [path, seg] : scan.valid) segments_.push_back(path);
+}
+
+void EventLogReader::replay(
+    std::uint64_t from,
+    const std::function<void(std::span<const Event>, std::uint64_t)>& fn)
+    const {
+  for (const std::string& path : segments_) {
+    // Re-scan to bound iteration to the validated prefix of the file (the
+    // writer may since have repaired or extended it; records are
+    // re-CRC-checked here so replay never decodes unvalidated bytes).
+    const SegmentScan scan = scan_segment(path);
+    if (scan.end_index <= from) continue;
+    const std::vector<std::byte> buf = read_file(path);
+    std::size_t pos = kSegmentHeaderBytes;
+    std::uint64_t index = scan.base;
+    while (pos < scan.valid_bytes) {
+      SnapshotReader r(
+          std::span(buf.data() + pos, scan.valid_bytes - pos));
+      const std::uint32_t kind = r.u32();
+      if (kind == kFooterKind) break;
+      ESPICE_CHECK(kind == kRecordKind, ErrorCode::kCorruptLog,
+                   "replay hit unknown chunk kind");
+      const std::uint32_t payload_len = r.u32();
+      const std::uint32_t count = r.u32();
+      r.u64();  // base (already tracked via `index`)
+      r.u32();  // payload crc (validated by scan_segment)
+      r.u32();  // header crc
+      const std::byte* payload = buf.data() + pos + kRecordHeaderBytes;
+      if (index + count > from) {
+        const std::vector<Event> events =
+            decode_events(std::span(payload, payload_len), count);
+        const std::uint64_t skip = from > index ? from - index : 0;
+        fn(std::span(events).subspan(static_cast<std::size_t>(skip)),
+           index + skip);
+      }
+      index += count;
+      pos += kRecordHeaderBytes + payload_len;
+    }
+  }
+}
+
+std::vector<Event> EventLogReader::read_from(std::uint64_t from) const {
+  std::vector<Event> out;
+  replay(from, [&](std::span<const Event> events, std::uint64_t) {
+    out.insert(out.end(), events.begin(), events.end());
+  });
+  return out;
+}
+
+}  // namespace espice::durability

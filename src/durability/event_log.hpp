@@ -1,0 +1,167 @@
+// Append-only segmented binary event log (the engine's durable ingestion
+// record).
+//
+// The StreamEngine writes every ingested batch here *before* partitioning
+// (write-ahead), so after a crash the stream prefix that reached the log is
+// replayable and -- because the whole deterministic pipeline is a pure
+// function of the stream -- the engine's state is reconstructible
+// bit-for-bit (snapshot + tail replay; see snapshot.hpp and
+// StreamEngine::recover_and_start()).
+//
+// On-disk layout: `<dir>/seg-<base>.elog`, one file per segment, where
+// <base> is the global index of the segment's first event.  A segment is
+//
+//   [header: magic, version, base_index, crc]
+//   [record]*                      -- one per appended batch
+//   [footer: counts, segment crc]  -- sealed segments only
+//
+// and a record is
+//
+//   [kind][payload_len][event_count][base_index][payload_crc][header_crc]
+//   [payload: event_count x 34-byte packed events]
+//
+// Every record carries its own CRC32 and the segment accumulates a running
+// CRC over the records' CRC values (hierarchical -- every payload byte is
+// already covered by its record CRC, so sealing never re-hashes payloads),
+// written into the footer when the segment seals (reaches segment_bytes).
+// Both are verified on open.
+//
+// Torn-tail recovery: a crash can leave the active segment ending in a
+// partial record (header without payload, or payload cut short).  open()
+// walks the segments, validates headers/CRCs/contiguity, and truncates the
+// file at the end of the last valid record -- the torn bytes are reported
+// (never silently ignored) and the durable prefix ends there.  Damage in a
+// *sealed* segment (bit rot, manual truncation) conservatively ends the
+// durable prefix at the last valid record before the damage.
+//
+// Durability knob: FsyncPolicy trades write latency for the crash window --
+// kNone never fsyncs (page cache only; in-process crashes lose nothing,
+// power loss may), kInterval fsyncs every fsync_interval_records appends,
+// kEveryBatch fsyncs per append.  bench_durability quantifies the cost.
+//
+// Threading: one writer, owned by the engine's router thread.  Readers are
+// independent (open the files read-only).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cep/event.hpp"
+#include "durability/serial.hpp"
+
+namespace espice::durability {
+
+enum class FsyncPolicy : std::uint8_t { kNone, kInterval, kEveryBatch };
+
+inline const char* fsync_policy_name(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kNone: return "none";
+    case FsyncPolicy::kInterval: return "interval";
+    case FsyncPolicy::kEveryBatch: return "every-batch";
+  }
+  return "unknown";
+}
+
+struct EventLogConfig {
+  std::string dir;
+  /// Segment seals (and a new file opens) once its size reaches this.
+  std::size_t segment_bytes = 4u << 20;
+  FsyncPolicy fsync = FsyncPolicy::kNone;
+  /// For kInterval: fsync every this many appended records.
+  std::uint64_t fsync_interval_records = 64;
+
+  void validate() const;
+};
+
+/// Outcome of opening (and recovering) a log directory.
+struct LogOpenResult {
+  /// Events in the durable, validated prefix; replay yields exactly these.
+  std::uint64_t durable_events = 0;
+  /// Human-readable reports of every torn tail / CRC mismatch found (and,
+  /// for the writer, repaired by truncation).  Empty = clean open.
+  std::vector<std::string> damage;
+};
+
+/// Bytes of one packed event on disk (type, seq, ts, value, aux).
+inline constexpr std::size_t kLogEventBytes = 34;
+
+class EventLogWriter {
+ public:
+  /// Opens (creating the directory if needed) and recovers: validates the
+  /// existing segments, truncates any torn tail, positions appends after
+  /// the last valid record.  open_result() reports what was found.
+  explicit EventLogWriter(EventLogConfig config);
+  ~EventLogWriter();
+
+  EventLogWriter(const EventLogWriter&) = delete;
+  EventLogWriter& operator=(const EventLogWriter&) = delete;
+
+  const LogOpenResult& open_result() const { return open_result_; }
+
+  /// Global index of the next event to append (== durable/appended events).
+  std::uint64_t next_index() const { return next_index_; }
+
+  /// Appends one batch as one record (one write() syscall on the production
+  /// path), applies the fsync policy, rolls the segment when full.
+  void append_batch(std::span<const Event> events);
+
+  /// Explicit fsync of the active segment (used by checkpointing: the log
+  /// must be durable up to the snapshot offset before the manifest swap).
+  void sync();
+
+  /// Deletes sealed segments whose every event index is < `index` (all
+  /// replay starts at or after the latest snapshot offset, so segments
+  /// wholly below it are dead).  Returns how many files were removed.
+  std::size_t prune_segments_below(std::uint64_t index);
+
+  const EventLogConfig& config() const { return config_; }
+
+ private:
+  void open_segment(std::uint64_t base_index);
+  void seal_segment();
+  void write_all(const void* data, std::size_t len);
+
+  EventLogConfig config_;
+  LogOpenResult open_result_;
+  int fd_ = -1;
+  std::string active_path_;
+  std::uint64_t next_index_ = 0;        ///< global event index
+  std::uint64_t segment_base_ = 0;      ///< first event index of active seg
+  std::uint64_t segment_records_ = 0;
+  std::uint64_t segment_size_ = 0;      ///< bytes written to active segment
+  std::uint32_t segment_crc_ = 0;       ///< running CRC over record CRCs
+  std::uint64_t records_since_sync_ = 0;
+  SnapshotWriter payload_scratch_;      ///< reused across appends: clear()
+  SnapshotWriter record_scratch_;       ///< keeps capacity, no realloc
+};
+
+class EventLogReader {
+ public:
+  /// Validates the directory's segments (CRCs, contiguity, torn tail) and
+  /// computes the durable prefix.  Never modifies the files.
+  explicit EventLogReader(std::string dir);
+
+  const LogOpenResult& open_result() const { return open_result_; }
+  std::uint64_t durable_events() const { return open_result_.durable_events; }
+
+  /// Replays the durable prefix from global event index `from` (inclusive):
+  /// decodes records in order and hands each batch tail to `fn` with the
+  /// global index of its first event.  Records wholly below `from` are
+  /// skipped; a record straddling it is trimmed.
+  void replay(std::uint64_t from,
+              const std::function<void(std::span<const Event>,
+                                       std::uint64_t base_index)>& fn) const;
+
+  /// Convenience: all events in [from, durable_events).
+  std::vector<Event> read_from(std::uint64_t from) const;
+
+ private:
+  std::string dir_;
+  LogOpenResult open_result_;
+  std::vector<std::string> segments_;  ///< valid segment paths, in order
+};
+
+}  // namespace espice::durability

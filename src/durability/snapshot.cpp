@@ -1,0 +1,285 @@
+#include "durability/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "durability/checksum.hpp"
+#include "durability/crash_point.hpp"
+#include "durability/serial.hpp"
+
+namespace espice::durability {
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x50414E53;   // "SNAP"
+constexpr std::uint32_t kManifestMagic = 0x53464E4D;   // "MNFS"
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kSnapshotHeaderBytes = 28;
+
+std::string errno_detail(const std::string& op, const std::string& path) {
+  return op + " failed for '" + path + "': " + std::strerror(errno);
+}
+
+std::string snapshot_name(std::uint64_t offset) {
+  char name[48];
+  std::snprintf(name, sizeof(name), "snap-%020llu.snap",
+                static_cast<unsigned long long>(offset));
+  return name;
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+/// Writes `buf` to `path` (O_TRUNC), fsyncs, closes.  When a crash hook is
+/// installed the write is split around `mid_point` so an in-flight kill
+/// leaves a genuinely partial file.
+void write_file_durable(const std::string& path,
+                        std::span<const std::byte> buf,
+                        const char* mid_point) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  ESPICE_CHECK(fd >= 0, ErrorCode::kIo, errno_detail("open", path));
+  const auto write_all = [&](const std::byte* p, std::size_t len) {
+    while (len > 0) {
+      const ssize_t n = ::write(fd, p, len);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        throw Error(ErrorCode::kIo, errno_detail("write", path));
+      }
+      p += n;
+      len -= static_cast<std::size_t>(n);
+    }
+  };
+  if (crash_hook_armed()) {
+    const std::size_t half = buf.size() / 2;
+    write_all(buf.data(), half);
+    ESPICE_CRASH_POINT(mid_point);
+    write_all(buf.data() + half, buf.size() - half);
+  } else {
+    write_all(buf.data(), buf.size());
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw Error(ErrorCode::kIo, errno_detail("fsync", path));
+  }
+  ::close(fd);
+}
+
+/// Validates and decodes one snap-*.snap file; nullopt (with a damage
+/// report) when the header, CRC, or length does not check out.
+std::optional<SnapshotStore::Loaded> read_snapshot_file(
+    const std::string& path, std::vector<std::string>* damage) {
+  const auto bad = [&](const std::string& why) {
+    if (damage) damage->push_back("'" + path + "': " + why);
+  };
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    bad("cannot open");
+    return std::nullopt;
+  }
+  in.seekg(0, std::ios::end);
+  const auto len = static_cast<std::size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  if (len < kSnapshotHeaderBytes) {
+    bad("truncated snapshot header");
+    return std::nullopt;
+  }
+  std::vector<std::byte> buf(len);
+  in.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(len));
+  if (!in.good()) {
+    bad("cannot read");
+    return std::nullopt;
+  }
+
+  SnapshotReader r(std::span(buf.data(), kSnapshotHeaderBytes));
+  const std::uint32_t magic = r.u32();
+  const std::uint32_t version = r.u32();
+  const std::uint64_t offset = r.u64();
+  const std::uint64_t payload_len = r.u64();
+  const std::uint32_t payload_crc = r.u32();
+  if (magic != kSnapshotMagic || version != kFormatVersion) {
+    bad("bad snapshot header (magic/version)");
+    return std::nullopt;
+  }
+  if (payload_len != len - kSnapshotHeaderBytes) {
+    bad("snapshot payload truncated (" +
+        std::to_string(len - kSnapshotHeaderBytes) + " of " +
+        std::to_string(payload_len) + " bytes)");
+    return std::nullopt;
+  }
+  if (payload_crc !=
+      crc32(buf.data() + kSnapshotHeaderBytes, payload_len)) {
+    bad("snapshot payload CRC mismatch");
+    return std::nullopt;
+  }
+  SnapshotStore::Loaded loaded;
+  loaded.log_offset = offset;
+  loaded.payload.assign(buf.begin() + kSnapshotHeaderBytes, buf.end());
+  return loaded;
+}
+
+/// The manifest names the latest published snapshot; nullopt (with a
+/// damage report) when missing or corrupt.
+std::optional<std::string> read_manifest(const std::string& dir,
+                                         std::vector<std::string>* damage) {
+  const std::string path = (fs::path(dir) / "MANIFEST").string();
+  const auto bad = [&](const std::string& why) {
+    if (damage) damage->push_back("'" + path + "': " + why);
+  };
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;  // no manifest yet: not damage
+  std::vector<std::byte> buf;
+  {
+    in.seekg(0, std::ios::end);
+    const auto len = static_cast<std::size_t>(in.tellg());
+    in.seekg(0, std::ios::beg);
+    buf.resize(len);
+    if (len != 0) {
+      in.read(reinterpret_cast<char*>(buf.data()),
+              static_cast<std::streamsize>(len));
+    }
+  }
+  if (!in.good() || buf.size() < 12) {
+    bad("truncated manifest");
+    return std::nullopt;
+  }
+  try {
+    SnapshotReader r(std::span(buf.data(), buf.size() - 4));
+    const std::uint32_t magic = r.u32();
+    const std::uint32_t version = r.u32();
+    if (magic != kManifestMagic || version != kFormatVersion) {
+      bad("bad manifest header (magic/version)");
+      return std::nullopt;
+    }
+    r.u64();  // log offset (informational; the snapshot header is canonical)
+    const std::string name = r.str();
+    r.expect_done();
+    SnapshotReader crc_r(
+        std::span(buf.data() + buf.size() - 4, std::size_t{4}));
+    if (crc_r.u32() != crc32(buf.data(), buf.size() - 4)) {
+      bad("manifest CRC mismatch");
+      return std::nullopt;
+    }
+    return name;
+  } catch (const Error&) {
+    bad("corrupt manifest body");
+    return std::nullopt;
+  }
+}
+
+/// All published snapshot files, sorted by offset descending.
+std::vector<std::pair<std::uint64_t, std::string>> list_snapshots(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  if (!fs::exists(dir)) return out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 11 || name.rfind("snap-", 0) != 0 ||
+        name.substr(name.size() - 5) != ".snap") {
+      continue;
+    }
+    const std::string digits = name.substr(5, name.size() - 10);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    out.emplace_back(std::stoull(digits), entry.path().string());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return out;
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(std::string dir) : dir_(std::move(dir)) {
+  ESPICE_REQUIRE(!dir_.empty(), "snapshot store: dir must be non-empty");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  ESPICE_CHECK(!ec, ErrorCode::kIo,
+               "cannot create snapshot dir '" + dir_ + "'");
+}
+
+void SnapshotStore::write(std::uint64_t log_offset,
+                          std::span<const std::byte> payload) {
+  SnapshotWriter w;
+  w.u32(kSnapshotMagic);
+  w.u32(kFormatVersion);
+  w.u64(log_offset);
+  w.u64(payload.size());
+  w.u32(crc32(payload.data(), payload.size()));
+  w.bytes(payload.data(), payload.size());
+
+  const std::string name = snapshot_name(log_offset);
+  const std::string final_path = (fs::path(dir_) / name).string();
+  const std::string tmp_path = final_path + ".tmp";
+  write_file_durable(tmp_path, std::span(w.buffer()), "snapshot.write.mid");
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  ESPICE_CHECK(!ec, ErrorCode::kIo, errno_detail("rename", tmp_path));
+  fsync_dir(dir_);
+
+  ESPICE_CRASH_POINT("snapshot.before_manifest");
+
+  SnapshotWriter m;
+  m.u32(kManifestMagic);
+  m.u32(kFormatVersion);
+  m.u64(log_offset);
+  m.str(name);
+  m.u32(crc32(m.buffer().data(), m.position()));
+  const std::string manifest = (fs::path(dir_) / "MANIFEST").string();
+  const std::string manifest_tmp = manifest + ".tmp";
+  write_file_durable(manifest_tmp, std::span(m.buffer()),
+                     "snapshot.manifest.mid");
+  fs::rename(manifest_tmp, manifest, ec);
+  ESPICE_CHECK(!ec, ErrorCode::kIo, errno_detail("rename", manifest_tmp));
+  fsync_dir(dir_);
+
+  ESPICE_CRASH_POINT("snapshot.after_manifest");
+}
+
+std::optional<SnapshotStore::Loaded> SnapshotStore::load_latest(
+    std::vector<std::string>* damage) const {
+  if (const auto name = read_manifest(dir_, damage)) {
+    const std::string path = (fs::path(dir_) / *name).string();
+    if (auto loaded = read_snapshot_file(path, damage)) return loaded;
+    if (damage) {
+      damage->push_back("manifest points at invalid snapshot '" + *name +
+                        "'; falling back to directory scan");
+    }
+  }
+  for (const auto& [offset, path] : list_snapshots(dir_)) {
+    if (auto loaded = read_snapshot_file(path, damage)) return loaded;
+  }
+  return std::nullopt;
+}
+
+std::size_t SnapshotStore::prune_below(std::uint64_t log_offset) {
+  std::size_t removed = 0;
+  for (const auto& [offset, path] : list_snapshots(dir_)) {
+    if (offset >= log_offset) continue;
+    std::error_code ec;
+    if (fs::remove(path, ec)) removed += 1;
+  }
+  if (removed != 0) fsync_dir(dir_);
+  return removed;
+}
+
+}  // namespace espice::durability

@@ -1,0 +1,58 @@
+// Snapshot store: checkpointed engine state, keyed by log offset.
+//
+// A snapshot is one opaque payload (the engine serializes every
+// Snapshotable component into it; see stream_engine.cpp) tagged with the
+// event-log offset at which it was cut: restoring the payload and replaying
+// the log from that offset reproduces the engine bit-for-bit.
+//
+// On-disk protocol (crash-safe at every step):
+//   1. payload -> `snap-<offset>.snap.tmp`   (header + CRC32 + payload)
+//   2. fsync, rename -> `snap-<offset>.snap` (atomic publish of the file)
+//   3. MANIFEST.tmp -> fsync -> rename -> MANIFEST (atomic pointer swap)
+// A crash before (3) leaves the previous MANIFEST intact; load_latest()
+// still finds the new file by directory scan if it is valid.  A crash
+// inside (1) leaves only a .tmp, which is ignored and cleaned up.  Every
+// fallback (corrupt manifest, corrupt snapshot file) is reported as
+// damage, never silently skipped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace espice::durability {
+
+class SnapshotStore {
+ public:
+  /// Creates the directory if needed.
+  explicit SnapshotStore(std::string dir);
+
+  /// Atomically publishes a snapshot cut at `log_offset`.
+  void write(std::uint64_t log_offset, std::span<const std::byte> payload);
+
+  struct Loaded {
+    std::uint64_t log_offset = 0;
+    std::vector<std::byte> payload;
+  };
+
+  /// Newest valid snapshot, or nullopt when none exists.  Prefers the
+  /// MANIFEST pointer; falls back to scanning `snap-*.snap` files (newest
+  /// offset first) when the manifest is missing, corrupt, or points at a
+  /// corrupt file.  Damage found along the way is appended to `damage`.
+  std::optional<Loaded> load_latest(
+      std::vector<std::string>* damage = nullptr) const;
+
+  /// Removes snapshots cut strictly below `log_offset` (superseded by a
+  /// newer checkpoint).  Returns how many files were removed.
+  std::size_t prune_below(std::uint64_t log_offset);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace espice::durability

@@ -1,0 +1,63 @@
+// Bounded backoff for the router's backpressure stalls.
+//
+// A full shard ring used to spin the router on sched_yield() until a slot
+// freed up -- correct, but a stalled shard (page fault, checkpoint hold, a
+// slow disk under the durability log) turns the router into a 100%-CPU
+// busy-wait that steals cycles from the very shard it is waiting on.  The
+// waiter escalates instead: a handful of yields first (the common case --
+// the consumer is one block away from freeing space -- stays cheap), then
+// exponentially growing sleeps capped at 1ms, so a long stall costs the
+// router ~0 CPU while the wakeup latency stays bounded.  reset() after any
+// progress de-escalates back to yielding.
+//
+// The waiter also meters itself (wait count + wall seconds stalled); the
+// engine surfaces the totals in EngineReport as the backpressure gauge.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace espice {
+
+class BackoffWaiter {
+ public:
+  /// Blocks once (yield or sleep, depending on how long we have been
+  /// waiting) and meters the time spent.
+  void wait() {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (rounds_ < kYieldRounds) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(sleep_);
+      sleep_ = std::min(sleep_ * 2, kMaxSleep);
+    }
+    ++rounds_;
+    ++waits_;
+    stall_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+
+  /// Progress was made: drop back to the cheap yield regime.
+  void reset() {
+    rounds_ = 0;
+    sleep_ = kMinSleep;
+  }
+
+  std::uint64_t waits() const { return waits_; }
+  double stall_seconds() const { return stall_seconds_; }
+
+ private:
+  static constexpr int kYieldRounds = 32;
+  static constexpr std::chrono::microseconds kMinSleep{1};
+  static constexpr std::chrono::microseconds kMaxSleep{1000};
+
+  int rounds_ = 0;
+  std::chrono::microseconds sleep_ = kMinSleep;
+  std::uint64_t waits_ = 0;
+  double stall_seconds_ = 0.0;
+};
+
+}  // namespace espice

@@ -1,12 +1,15 @@
 #include "runtime/stream_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <span>
 #include <thread>
 #include <tuple>
 
 #include "cep/incremental_matcher.hpp"
+#include "durability/serial.hpp"
+#include "runtime/backoff.hpp"
 #include "runtime/spsc_ring.hpp"
 
 namespace espice {
@@ -19,6 +22,9 @@ namespace {
 /// once per block, not per event.
 constexpr std::size_t kShardBlock = 256;
 
+/// checkpoint_target sentinel: no cut armed.
+constexpr std::uint64_t kNoCheckpoint = ~std::uint64_t{0};
+
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
@@ -29,6 +35,12 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 void StreamEngineConfig::validate() const {
   ESPICE_REQUIRE(shards > 0, "engine needs at least one shard");
   ESPICE_REQUIRE(ring_capacity > 0, "ring capacity must be positive");
+  if (durability.has_value()) {
+    ESPICE_REQUIRE(!adaptive.has_value(),
+                   "durability requires deterministic mode (adaptive results "
+                   "depend on the wall clock and are not replayable)");
+    ESPICE_REQUIRE(!durability->dir.empty(), "durability.dir must be set");
+  }
   if (adaptive.has_value()) {
     adaptive->validate();
     return;
@@ -69,6 +81,18 @@ struct StreamEngine::Shard {
   std::vector<QueryCounters> query_counters;
   ShardStats stats;
   std::exception_ptr error;
+
+  // --- durability checkpoint handshake (router <-> shard thread) ---------
+  /// The router arms this with the exact number of events the shard must
+  /// have consumed at the cut; the shard drains up to it (never past),
+  /// serializes its pipeline into `checkpoint_blob`, publishes via
+  /// `checkpoint_ready` and holds until the router clears the target.
+  std::atomic<std::uint64_t> checkpoint_target{kNoCheckpoint};
+  std::atomic<bool> checkpoint_ready{false};
+  std::vector<std::byte> checkpoint_blob;
+  /// Set (release) by a shard entering its failure drain, so the router's
+  /// checkpoint wait bails out instead of deadlocking on a dead pipeline.
+  std::atomic<bool> failed{false};
 };
 
 std::uint64_t StreamEngine::partition_hash(std::uint64_t key) {
@@ -97,6 +121,13 @@ StreamEngine::StreamEngine(StreamEngineConfig config)
   // validation runs.
   ESPICE_REQUIRE(config_.shards > 0, "engine needs at least one shard");
   ESPICE_REQUIRE(config_.ring_capacity > 0, "ring capacity must be positive");
+  if (config_.durability.has_value()) {
+    ESPICE_REQUIRE(!config_.adaptive.has_value(),
+                   "durability requires deterministic mode (adaptive results "
+                   "depend on the wall clock and are not replayable)");
+    ESPICE_REQUIRE(!config_.durability->dir.empty(),
+                   "durability.dir must be set");
+  }
   if (config_.adaptive.has_value()) config_.adaptive->validate();
 }
 
@@ -137,6 +168,13 @@ void StreamEngine::start() {
       }
       if (q.name.empty()) q.name = "q" + std::to_string(i);
     }
+  }
+
+  if (config_.durability.has_value()) {
+    // recover_and_start() opens the log itself (and seeds pushed_per_shard_
+    // from the snapshot); a cold start opens a fresh-or-existing log here.
+    if (log_ == nullptr) open_durability();
+    if (pushed_per_shard_.empty()) pushed_per_shard_.assign(config_.shards, 0);
   }
 
   const std::size_t num_queries = std::max<std::size_t>(queries_.size(), 1);
@@ -190,26 +228,51 @@ StreamEngine::~StreamEngine() {
 void StreamEngine::push(const Event& e) {
   ESPICE_REQUIRE(!finished_, "push() after finish()");
   if (!started_) start();
-  Shard& s = *shards_[shard_of(e)];
-  while (!s.ring.try_push(e)) {
-    // Backpressure: the shard is the bottleneck; yield the router until a
-    // slot frees up.  The counter is router-owned, so a plain increment.
-    ++s.stats.router_backpressure_waits;
-    std::this_thread::yield();
+  // Write-ahead: the event is in the log before any shard can observe it,
+  // so everything a recovered run may have partially processed is
+  // replayable.  Replay itself flows through here with appends suppressed
+  // (the events come *from* the log).
+  if (log_ != nullptr && !replaying_) {
+    log_->append_batch(std::span<const Event>(&e, 1));
+  }
+  const std::size_t si = shard_of(e);
+  Shard& s = *shards_[si];
+  if (!s.ring.try_push(e)) {
+    // Backpressure: the shard is the bottleneck; back the router off
+    // (yield, then bounded sleeps) until a slot frees up.  The counters
+    // are router-owned, so plain accumulation.
+    BackoffWaiter waiter;
+    do {
+      waiter.wait();
+    } while (!s.ring.try_push(e));
+    s.stats.router_backpressure_waits += waiter.waits();
+    s.stats.router_stall_seconds += waiter.stall_seconds();
   }
   ++pushed_;
+  if (log_ != nullptr) {
+    ++pushed_per_shard_[si];
+    if (!replaying_) {
+      ++events_since_snapshot_;
+      maybe_auto_checkpoint();
+    }
+  }
 }
 
 void StreamEngine::bulk_push_shard(Shard& s, const Event* data, std::size_t n) {
+  BackoffWaiter waiter;
   while (n > 0) {
     const std::size_t pushed = s.ring.try_push_bulk(data, n);
     if (pushed == 0) {
-      ++s.stats.router_backpressure_waits;
-      std::this_thread::yield();
+      waiter.wait();
       continue;
     }
+    waiter.reset();
     data += pushed;
     n -= pushed;
+  }
+  if (waiter.waits() > 0) {
+    s.stats.router_backpressure_waits += waiter.waits();
+    s.stats.router_stall_seconds += waiter.stall_seconds();
   }
 }
 
@@ -217,20 +280,27 @@ void StreamEngine::push_batch(std::span<const Event> events) {
   ESPICE_REQUIRE(!finished_, "push_batch() after finish()");
   if (events.empty()) return;
   if (!started_) start();
+  if (log_ != nullptr && !replaying_) log_->append_batch(events);
   if (config_.shards == 1) {
     // Single shard: everything routes to shard 0 -- no hashing, no staging
     // copy, bulk enqueue straight from the caller's span.
     bulk_push_shard(*shards_[0], events.data(), events.size());
+    if (log_ != nullptr) pushed_per_shard_[0] += events.size();
   } else {
     for (auto& buf : staging_) buf.clear();
     for (const Event& e : events) staging_[shard_of(e)].push_back(e);
     for (std::size_t s = 0; s < staging_.size(); ++s) {
       if (!staging_[s].empty()) {
         bulk_push_shard(*shards_[s], staging_[s].data(), staging_[s].size());
+        if (log_ != nullptr) pushed_per_shard_[s] += staging_[s].size();
       }
     }
   }
   pushed_ += events.size();
+  if (log_ != nullptr && !replaying_) {
+    events_since_snapshot_ += events.size();
+    maybe_auto_checkpoint();
+  }
 }
 
 void StreamEngine::run_deterministic_shard(Shard& shard) {
@@ -327,6 +397,105 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
       }
     }
 
+    // ---- durability: pipeline snapshot/restore + checkpoint service -----
+    // `consumed` counts the events this shard has drained over its whole
+    // lifetime (it resumes from the snapshot on recovery); the router cuts
+    // checkpoints at exact values of it.
+    std::uint64_t consumed = 0;
+
+    auto serialize_pipeline = [&](durability::SnapshotWriter& w) {
+      w.u64(consumed);
+      w.u64(shard.stats.events);
+      w.u64(shard.stats.memberships);
+      w.u64(shard.stats.memberships_kept);
+      w.u64(shard.stats.windows_closed);
+      for (Group& g : groups) g.wm.serialize(w);
+      for (std::size_t qi = 0; qi < nq; ++qi) {
+        QueryRuntime& rt = runtimes[qi];
+        rt.matcher.serialize(w);
+        w.boolean(rt.shedder != nullptr);
+        if (rt.shedder != nullptr) rt.shedder->serialize(w);
+        w.u64(rt.memberships);
+        w.u64(rt.kept);
+        const auto& matches = shard.query_matches[qi];
+        w.u64(matches.size());
+        for (const ComplexEvent& ce : matches) {
+          w.u64(ce.window);
+          w.f64(ce.detection_ts);
+          w.u64(ce.constituents.size());
+          for (const Constituent& c : ce.constituents) {
+            w.u32(c.element);
+            w.u32(c.position);
+            w.event(c.event);
+          }
+        }
+      }
+    };
+
+    auto restore_pipeline = [&](durability::SnapshotReader& r) {
+      consumed = r.u64();
+      shard.stats.events = r.u64();
+      shard.stats.memberships = r.u64();
+      shard.stats.memberships_kept = r.u64();
+      shard.stats.windows_closed = r.u64();
+      for (Group& g : groups) g.wm.restore(r);
+      for (std::size_t qi = 0; qi < nq; ++qi) {
+        QueryRuntime& rt = runtimes[qi];
+        rt.matcher.restore(r);
+        const bool has_shedder = r.boolean();
+        ESPICE_CHECK(has_shedder == (rt.shedder != nullptr),
+                     ErrorCode::kCorruptSnapshot,
+                     "snapshot shedder presence does not match the engine's "
+                     "query configuration");
+        if (rt.shedder != nullptr) rt.shedder->restore(r);
+        rt.memberships = r.u64();
+        rt.kept = r.u64();
+        const std::uint64_t n_matches = r.u64();
+        auto& matches = shard.query_matches[qi];
+        matches.clear();
+        for (std::uint64_t m = 0; m < n_matches; ++m) {
+          ComplexEvent ce;
+          ce.window = static_cast<WindowId>(r.u64());
+          ce.detection_ts = r.f64();
+          const std::uint64_t n_cons = r.u64();
+          for (std::uint64_t ci = 0; ci < n_cons; ++ci) {
+            Constituent c;
+            c.element = r.u32();
+            c.position = r.u32();
+            c.event = r.event();
+            ce.constituents.push_back(std::move(c));
+          }
+          matches.push_back(std::move(ce));
+        }
+      }
+    };
+
+    if (shard.stats.shard < recovery_blobs_.size() &&
+        !recovery_blobs_[shard.stats.shard].empty()) {
+      durability::SnapshotReader r(recovery_blobs_[shard.stats.shard]);
+      restore_pipeline(r);
+      r.expect_done();
+    }
+
+    // Serves an armed checkpoint the shard sits exactly at: serialize,
+    // publish, then hold the cut -- the blob buffer is shared with the
+    // router, and no event past the cut may be consumed before the
+    // snapshot is complete -- until the router collects it and clears the
+    // target.
+    auto service_checkpoint = [&]() {
+      const std::uint64_t target =
+          shard.checkpoint_target.load(std::memory_order_acquire);
+      if (target == kNoCheckpoint || consumed != target) return;
+      durability::SnapshotWriter w;
+      serialize_pipeline(w);
+      shard.checkpoint_blob = w.take();
+      shard.checkpoint_ready.store(true, std::memory_order_release);
+      while (shard.checkpoint_target.load(std::memory_order_acquire) ==
+             target) {
+        std::this_thread::yield();
+      }
+    };
+
     auto flush = [&](Group& g) {
       for (const WindowView& w : g.wm.drain_closed()) {
         ++shard.stats.windows_closed;
@@ -364,6 +533,7 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
     };
 
     for (;;) {
+      service_checkpoint();
       std::span<const Event> blk = shard.ring.front_block(kShardBlock);
       if (blk.empty()) {
         if (!shard.ring.closed()) {
@@ -374,6 +544,13 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
         // (acquire) after an empty view, so one more look decides.
         blk = shard.ring.front_block(kShardBlock);
         if (blk.empty()) break;
+      }
+      // An armed checkpoint cuts at an exact event count: trim the block so
+      // the shard lands on the cut (the loop head serves it), never past.
+      const std::uint64_t target =
+          shard.checkpoint_target.load(std::memory_order_acquire);
+      if (target != kNoCheckpoint && target - consumed < blk.size()) {
+        blk = blk.first(static_cast<std::size_t>(target - consumed));
       }
       const std::size_t n = blk.size();
       shard.stats.events += n;
@@ -465,6 +642,7 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
         }
         flush(g);
       }
+      consumed += n;
       shard.ring.release(n);
     }
     for (Group& g : groups) {
@@ -487,6 +665,7 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
     }
   } catch (...) {
     shard.error = std::current_exception();
+    shard.failed.store(true, std::memory_order_release);
     // Keep draining so the router cannot deadlock on a full ring.
     Event e;
     while (shard.ring.pop_or_closed(e) != SpscRing<Event>::Pop::kDone) {
@@ -557,11 +736,164 @@ void StreamEngine::run_adaptive_shard(Shard& shard) {
     qc.shed_drops = s.drops;
   } catch (...) {
     shard.error = std::current_exception();
+    shard.failed.store(true, std::memory_order_release);
     Event e;
     while (shard.ring.pop_or_closed(e) != SpscRing<Event>::Pop::kDone) {
       std::this_thread::yield();
     }
   }
+}
+
+void StreamEngine::open_durability() {
+  const DurabilityConfig& d = *config_.durability;
+  durability::EventLogConfig lc;
+  lc.dir = d.dir + "/log";
+  lc.segment_bytes = d.segment_bytes;
+  lc.fsync = d.fsync;
+  lc.fsync_interval_records = d.fsync_interval_records;
+  lc.validate();
+  log_ = std::make_unique<durability::EventLogWriter>(std::move(lc));
+  snaps_ = std::make_unique<durability::SnapshotStore>(d.dir + "/snapshots");
+}
+
+void StreamEngine::maybe_auto_checkpoint() {
+  const std::uint64_t every = config_.durability->snapshot_every_events;
+  if (every == 0 || events_since_snapshot_ < every) return;
+  checkpoint();
+}
+
+void StreamEngine::checkpoint() {
+  ESPICE_REQUIRE(config_.durability.has_value(),
+                 "checkpoint() needs durability configured");
+  ESPICE_REQUIRE(!finished_, "checkpoint() after finish()");
+  if (!started_) start();
+
+  // The log must be durable up to the cut before a snapshot keyed by it is
+  // published -- otherwise a power loss could leave a snapshot whose replay
+  // tail never reached the disk.
+  log_->sync();
+
+  durability::SnapshotWriter w;
+  w.u64(config_.shards);
+  w.u64(std::max<std::size_t>(queries_.size(), 1));
+  w.u64(pushed_);
+
+  // Arm every shard with its exact cut, then collect in shard order.  The
+  // shards quiesce at the cut only as long as it takes the router to copy
+  // their blob out -- each resumes as soon as its target clears.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    s.checkpoint_ready.store(false, std::memory_order_relaxed);
+    s.checkpoint_target.store(pushed_per_shard_[i], std::memory_order_release);
+  }
+  std::exception_ptr failure;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    BackoffWaiter waiter;
+    while (!s.checkpoint_ready.load(std::memory_order_acquire)) {
+      if (s.failed.load(std::memory_order_acquire)) {
+        failure = s.error;
+        break;
+      }
+      waiter.wait();
+    }
+    if (failure != nullptr) break;
+    w.u64(pushed_per_shard_[i]);
+    w.u64(s.checkpoint_blob.size());
+    w.bytes(s.checkpoint_blob.data(), s.checkpoint_blob.size());
+    s.checkpoint_target.store(kNoCheckpoint, std::memory_order_release);
+  }
+  if (failure != nullptr) {
+    // A shard died mid-checkpoint: release every cut (dead shards ignore
+    // them, live ones resume) and surface the shard's error now.
+    for (auto& s : shards_) {
+      s->checkpoint_target.store(kNoCheckpoint, std::memory_order_release);
+    }
+    std::rethrow_exception(failure);
+  }
+
+  snaps_->write(pushed_, w.buffer());
+  events_since_snapshot_ = 0;
+  // Everything strictly below the new cut is superseded: older snapshots
+  // and log segments wholly before it can never be read again.
+  snaps_->prune_below(pushed_);
+  log_->prune_segments_below(pushed_);
+}
+
+RecoveryReport StreamEngine::recover_and_start() {
+  ESPICE_REQUIRE(config_.durability.has_value(),
+                 "recover_and_start() needs durability configured");
+  ESPICE_REQUIRE(!started_ && !finished_ && pushed_ == 0,
+                 "recover_and_start() must be the first action on a fresh "
+                 "engine");
+  RecoveryReport rep;
+
+  // Opening the writer IS the log recovery: it validates every segment,
+  // truncates the torn tail and positions appends after the last valid
+  // record.  Everything it found wrong is part of the recovery report.
+  open_durability();
+  rep.damage = log_->open_result().damage;
+  rep.durable_events = log_->next_index();
+
+  auto loaded = snaps_->load_latest(&rep.damage);
+  if (loaded.has_value() && loaded->log_offset > rep.durable_events) {
+    // Can only happen under external tampering (the checkpoint protocol
+    // syncs the log before publishing): don't trust the snapshot.
+    rep.damage.push_back(
+        "snapshot at offset " + std::to_string(loaded->log_offset) +
+        " lies beyond the durable log end " +
+        std::to_string(rep.durable_events) + "; ignoring it");
+    loaded.reset();
+  }
+  if (loaded.has_value()) {
+    durability::SnapshotReader r(loaded->payload);
+    const std::uint64_t k = r.u64();
+    const std::uint64_t nq = r.u64();
+    const std::uint64_t offset = r.u64();
+    ESPICE_CHECK(k == config_.shards, ErrorCode::kCorruptSnapshot,
+                 "snapshot was cut with " + std::to_string(k) +
+                     " shards, engine is configured with " +
+                     std::to_string(config_.shards));
+    ESPICE_CHECK(nq == std::max<std::size_t>(queries_.size(), 1),
+                 ErrorCode::kCorruptSnapshot,
+                 "snapshot was cut with a different query count");
+    ESPICE_CHECK(offset == loaded->log_offset, ErrorCode::kCorruptSnapshot,
+                 "snapshot payload offset disagrees with its header");
+    pushed_per_shard_.assign(static_cast<std::size_t>(k), 0);
+    recovery_blobs_.resize(static_cast<std::size_t>(k));
+    for (std::size_t i = 0; i < k; ++i) {
+      pushed_per_shard_[i] = r.u64();
+      const std::size_t blob_len = r.size();
+      recovery_blobs_[i].resize(blob_len);
+      if (blob_len > 0) r.bytes(recovery_blobs_[i].data(), blob_len);
+    }
+    r.expect_done();
+    pushed_ = offset;
+    rep.snapshot_offset = offset;
+  }
+
+  start();  // shard threads restore from recovery_blobs_ as they spin up
+
+  if (rep.durable_events > pushed_) {
+    // Replay the log tail through the normal ingestion path (appends
+    // suppressed: these events are already in the log).  Routing is
+    // deterministic, so every event lands on the same shard as in the
+    // original run and pushed_per_shard_ advances consistently.
+    durability::EventLogReader reader(config_.durability->dir + "/log");
+    replaying_ = true;
+    try {
+      reader.replay(pushed_,
+                    [this](std::span<const Event> events, std::uint64_t) {
+                      push_batch(events);
+                    });
+    } catch (...) {
+      replaying_ = false;
+      throw;
+    }
+    replaying_ = false;
+  }
+  rep.replayed_events = pushed_ - rep.snapshot_offset;
+  return rep;
 }
 
 std::vector<ComplexEvent> StreamEngine::merge_matches(
@@ -600,6 +932,9 @@ EngineReport StreamEngine::finish() {
   ESPICE_REQUIRE(!finished_, "finish() called twice");
   if (!started_) start();  // empty run: still produce a (zero) report
   finished_ = true;
+  // End of stream: whatever was appended under a lazy fsync policy becomes
+  // durable now, so a clean shutdown never loses suffix events.
+  if (log_ != nullptr) log_->sync();
   for (auto& s : shards_) s->ring.close();
   for (auto& s : shards_) s->thread.join();
   const double wall = seconds_since(start_);
@@ -632,7 +967,11 @@ EngineReport StreamEngine::finish() {
     }
     qr.matches = merge_matches(std::move(per_shard));
   }
-  for (auto& s : shards_) report.shards.push_back(s->stats);
+  for (auto& s : shards_) {
+    report.router_backpressure_waits += s->stats.router_backpressure_waits;
+    report.router_stall_seconds += s->stats.router_stall_seconds;
+    report.shards.push_back(s->stats);
+  }
 
   // Engine-level canonical order: (completion seq, query, shard, index).
   // Each per-query merged list is already (completion, shard, index)-sorted,

@@ -76,6 +76,8 @@
 #include "cep/window.hpp"
 #include "core/espice_operator.hpp"
 #include "core/shedder.hpp"
+#include "durability/event_log.hpp"
+#include "durability/snapshot.hpp"
 
 namespace espice {
 
@@ -103,12 +105,34 @@ struct EngineQuery {
   double predicted_ws = 0.0;
 };
 
+/// Durability knobs of one engine run (deterministic mode only: the
+/// recovery guarantee -- restored snapshot + log-tail replay is
+/// bit-identical to the uninterrupted run -- rests on the pipeline being a
+/// pure function of the stream, which adaptive mode's wall-clock coupling
+/// breaks).  When set, every pushed batch is appended to a write-ahead
+/// event log under `dir` before it is partitioned, and checkpoint()
+/// publishes consistent snapshots keyed by log offset.
+struct DurabilityConfig {
+  /// Root directory; the engine keeps the log in `<dir>/log` and the
+  /// snapshots in `<dir>/snapshots`.
+  std::string dir;
+  durability::FsyncPolicy fsync = durability::FsyncPolicy::kNone;
+  /// For FsyncPolicy::kInterval: fsync every this many appended records.
+  std::uint64_t fsync_interval_records = 64;
+  /// Log segment size (a segment seals and a new file opens at this size).
+  std::size_t segment_bytes = 4u << 20;
+  /// Auto-checkpoint every this many ingested events (0 = only explicit
+  /// checkpoint() calls).
+  std::uint64_t snapshot_every_events = 0;
+};
+
 struct StreamEngineConfig {
   /// Number of shards (and shard threads).  1 is valid and useful: it is the
   /// serial pipeline behind one ring, the baseline every speedup is against.
   std::size_t shards = 1;
   /// Per-shard ring capacity (rounded up to a power of two).  A full ring
-  /// back-pressures the router (it spins), which bounds engine memory.
+  /// back-pressures the router (bounded yield->sleep backoff, see
+  /// runtime/backoff.hpp), which bounds engine memory.
   std::size_t ring_capacity = 4096;
   /// Partition key; nullptr = the event's type.  Events with equal keys land
   /// on the same shard in stream order.
@@ -133,6 +157,11 @@ struct StreamEngineConfig {
   /// `detector.tick_period` wall seconds.
   std::optional<EspiceOperatorConfig> adaptive;
 
+  // --- durability ----------------------------------------------------------
+  /// When set, the engine write-ahead-logs every ingested event and supports
+  /// checkpoint() / recover_and_start().  Deterministic mode only.
+  std::optional<DurabilityConfig> durability;
+
   void validate() const;
 };
 
@@ -150,6 +179,8 @@ struct ShardStats {
   std::size_t peak_queue_depth = 0;
   /// How often the router found this shard's ring full and had to wait.
   std::uint64_t router_backpressure_waits = 0;
+  /// Wall seconds the router spent stalled on this shard's full ring.
+  double router_stall_seconds = 0.0;
   // Adaptive mode only:
   std::size_t retrains = 0;
   std::size_t detector_ticks = 0;
@@ -181,10 +212,32 @@ struct EngineReport {
   std::uint64_t events = 0;
   double wall_seconds = 0.0;
   double events_per_sec = 0.0;
+  /// Router backpressure totals across shards: how often a push found a
+  /// ring full, and the wall seconds the router spent waiting (yield->sleep
+  /// backoff; see runtime/backoff.hpp).
+  std::uint64_t router_backpressure_waits = 0;
+  double router_stall_seconds = 0.0;
 
   std::uint64_t total_matches() const { return matches.size(); }
   std::uint64_t total_windows_closed() const;
   std::uint64_t total_shed_drops() const;
+};
+
+/// Outcome of recover_and_start(): what the engine found on disk and how it
+/// rebuilt itself.
+struct RecoveryReport {
+  /// Events in the log's validated durable prefix.  The engine resumes at
+  /// exactly this stream offset; events past it never reached the disk
+  /// before the crash and must be re-pushed by the source.
+  std::uint64_t durable_events = 0;
+  /// Log offset of the snapshot the engine restored from (0 when none was
+  /// found and the whole durable prefix was replayed).
+  std::uint64_t snapshot_offset = 0;
+  /// Events replayed from the log tail (durable_events - snapshot_offset).
+  std::uint64_t replayed_events = 0;
+  /// Damage found -- and repaired -- along the way: torn log tails, corrupt
+  /// segments or snapshots that were skipped.  Empty = clean recovery.
+  std::vector<std::string> damage;
 };
 
 class StreamEngine {
@@ -227,6 +280,29 @@ class StreamEngine {
   /// Terminal -- the engine cannot be reused afterwards.
   EngineReport finish();
 
+  // --- durability (config_.durability must be set) -------------------------
+
+  /// Synchronously checkpoints the whole engine at the current ingestion
+  /// offset: makes the log durable up to it, cuts every shard's pipeline at
+  /// exactly the events it was fed so far (shards drain up to the cut,
+  /// serialize, and hold until collected), and atomically publishes one
+  /// snapshot keyed by the offset.  Superseded snapshots and log segments
+  /// wholly below the new offset are pruned.  Router thread only.
+  void checkpoint();
+
+  /// Rebuilds the engine from `durability->dir` and starts it: opens the
+  /// log (truncating any torn tail), loads the newest valid snapshot,
+  /// restores every shard's pipeline from it and replays the log tail --
+  /// after which the engine is bit-identical to an uninterrupted run over
+  /// the durable prefix and accepts further push()/checkpoint()/finish()
+  /// calls.  Must be called instead of start()/first-push on a freshly
+  /// constructed engine with the same config and add_query() registrations
+  /// as the crashed run.
+  RecoveryReport recover_and_start();
+
+  /// Events ingested so far (== the durable log offset outside replay).
+  std::uint64_t pushed() const { return pushed_; }
+
   std::size_t shards() const { return config_.shards; }
   /// Which shard `e` routes to (fixed hash; usable before/after the run).
   std::size_t shard_of(const Event& e) const;
@@ -252,9 +328,13 @@ class StreamEngine {
 
   void run_deterministic_shard(Shard& shard);
   void run_adaptive_shard(Shard& shard);
-  /// Bulk-pushes `n` events into one shard's ring, spinning (backpressure)
-  /// whenever the ring is full.
+  /// Bulk-pushes `n` events into one shard's ring, backing off (bounded
+  /// yield->sleep) whenever the ring is full.
   void bulk_push_shard(Shard& s, const Event* data, std::size_t n);
+  /// Opens the event log (recovering/truncating) and the snapshot store.
+  void open_durability();
+  /// Runs checkpoint() when snapshot_every_events is due.
+  void maybe_auto_checkpoint();
 
   StreamEngineConfig config_;
   /// Registered queries (adopted from the legacy config at start() when
@@ -269,6 +349,20 @@ class StreamEngine {
   bool started_ = false;
   bool finished_ = false;
   std::chrono::steady_clock::time_point start_;
+
+  // --- durability state (null / empty when durability is off) --------------
+  std::unique_ptr<durability::EventLogWriter> log_;
+  std::unique_ptr<durability::SnapshotStore> snaps_;
+  /// Events routed to each shard so far -- the per-shard cut offsets a
+  /// checkpoint arms the shards with.
+  std::vector<std::uint64_t> pushed_per_shard_;
+  /// Per shard, the pipeline blob of the snapshot being recovered from
+  /// (consumed by the shard thread right after it builds its pipeline).
+  std::vector<std::vector<std::byte>> recovery_blobs_;
+  /// True while recover_and_start() re-pushes the log tail: events flowing
+  /// through push_batch() are already in the log, so appends are suppressed.
+  bool replaying_ = false;
+  std::uint64_t events_since_snapshot_ = 0;
 };
 
 }  // namespace espice

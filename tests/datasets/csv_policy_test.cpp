@@ -1,0 +1,158 @@
+// CSV loader bad-row policies: fail fast, skip-and-count, stop-at-first --
+// against the malformations real exports produce (junk numerics, wrong
+// column counts, CRLF line endings, truncated final lines).
+#include "datasets/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace espice {
+namespace {
+
+const std::string kHeader = "type,seq,ts,value,aux\n";
+
+CsvReadOptions with_policy(BadRowPolicy p) {
+  CsvReadOptions o;
+  o.on_bad_row = p;
+  return o;
+}
+
+TEST(CsvPolicy, FailPolicyThrowsTypedErrorNamingTheRow) {
+  std::istringstream in(kHeader +
+                        "A,0,0.0,1.0,0.0\n"
+                        "A,1,0.5,oops,0.0\n");
+  TypeRegistry reg;
+  try {
+    read_events_csv(in, reg, with_policy(BadRowPolicy::kFail));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRow);
+    EXPECT_NE(std::string(e.what()).find("row 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CsvPolicy, SkipPolicyCountsAndKeepsGoodRows) {
+  std::istringstream in(kHeader +
+                        "A,0,0.0,1.0,0.0\n"
+                        "B,1,0.5,nonsense,0.0\n"   // junk numeric
+                        "A,2,1.0\n"                // missing fields
+                        "A,3,1.5,2.0,0.0,extra\n"  // extra field
+                        "A,4,2.0,1.25x,0.0\n"      // trailing garbage
+                        "A,5,2.5,-1.0,0.5\n");
+  TypeRegistry reg;
+  const CsvReadResult r =
+      read_events_csv(in, reg, with_policy(BadRowPolicy::kSkip));
+  EXPECT_EQ(r.bad_rows, 4u);
+  EXPECT_EQ(r.errors.size(), 4u);
+  EXPECT_FALSE(r.stopped_early);
+  ASSERT_EQ(r.events.size(), 2u);
+  EXPECT_EQ(r.events[0].seq, 0u);
+  EXPECT_EQ(r.events[1].seq, 5u);
+  EXPECT_DOUBLE_EQ(r.events[1].value, -1.0);
+}
+
+TEST(CsvPolicy, StopPolicyKeepsThePrefix) {
+  std::istringstream in(kHeader +
+                        "A,0,0.0,1.0,0.0\n"
+                        "A,1,0.5,2.0,0.0\n"
+                        "A,broken\n"
+                        "A,3,1.5,2.0,0.0\n");
+  TypeRegistry reg;
+  const CsvReadResult r =
+      read_events_csv(in, reg, with_policy(BadRowPolicy::kStop));
+  EXPECT_TRUE(r.stopped_early);
+  EXPECT_EQ(r.bad_rows, 1u);
+  ASSERT_EQ(r.events.size(), 2u);
+  EXPECT_EQ(r.events.back().seq, 1u);
+}
+
+TEST(CsvPolicy, CrlfLineEndingsParseClean) {
+  std::istringstream in("type,seq,ts,value,aux\r\n"
+                        "A,0,0.0,1.0,0.5\r\n"
+                        "B,1,0.5,-2.0,0.25\r\n");
+  TypeRegistry reg;
+  const CsvReadResult r = read_events_csv(in, reg, CsvReadOptions{});
+  EXPECT_EQ(r.bad_rows, 0u);
+  ASSERT_EQ(r.events.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.events[0].aux, 0.5);
+  EXPECT_DOUBLE_EQ(r.events[1].value, -2.0);
+}
+
+TEST(CsvPolicy, TruncatedFinalLineIsOneBadRow) {
+  // Killed mid-write: the last line ends mid-field, no trailing newline.
+  std::istringstream in(kHeader +
+                        "A,0,0.0,1.0,0.0\n"
+                        "A,1,0.5,2.0,0.0\n"
+                        "A,2,1.0,3.");
+  TypeRegistry reg;
+  const CsvReadResult r =
+      read_events_csv(in, reg, with_policy(BadRowPolicy::kSkip));
+  ASSERT_EQ(r.events.size(), 2u);
+  EXPECT_EQ(r.bad_rows, 1u);
+  EXPECT_NE(r.errors[0].find("row 4"), std::string::npos) << r.errors[0];
+}
+
+TEST(CsvPolicy, BadRowNeverInternsItsType) {
+  // The bad row's type name must not leak into the registry: interning
+  // happens only after the whole row parsed.
+  std::istringstream in(kHeader +
+                        "Good,0,0.0,1.0,0.0\n"
+                        "Evil,1,0.5,junk,0.0\n");
+  TypeRegistry reg;
+  const CsvReadResult r =
+      read_events_csv(in, reg, with_policy(BadRowPolicy::kSkip));
+  EXPECT_EQ(r.events.size(), 1u);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.name_of(r.events[0].type), "Good");
+}
+
+TEST(CsvPolicy, StreamOrderViolationStillConfigError) {
+  std::istringstream in(kHeader +
+                        "A,5,1.0,1.0,0.0\n"
+                        "A,3,2.0,1.0,0.0\n");
+  TypeRegistry reg;
+  CsvReadOptions o;
+  o.require_stream_order = true;
+  EXPECT_THROW(read_events_csv(in, reg, o), ConfigError);
+}
+
+TEST(CsvPolicy, LegacyInterfaceStillThrowsOnBadRows) {
+  std::istringstream in(kHeader + "A,zero,0.0,1.0,0.0\n");
+  TypeRegistry reg;
+  // The legacy vector-returning reader keeps fail-fast semantics, and its
+  // Error still satisfies old catch(ConfigError) sites.
+  EXPECT_THROW(read_events_csv(in, reg), ConfigError);
+}
+
+TEST(CsvPolicy, RoundTripThroughWriteAndRead) {
+  TypeRegistry reg;
+  std::vector<Event> events;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Event e;
+    e.type = reg.intern(i % 2 == 0 ? "A" : "B");
+    e.seq = i;
+    e.ts = 0.5 * static_cast<double>(i);
+    e.value = static_cast<double>(i) - 2.0;
+    e.aux = 0.125;
+    events.push_back(e);
+  }
+  std::ostringstream out;
+  write_events_csv(out, events, reg);
+  std::istringstream in(out.str());
+  TypeRegistry reg2;
+  const CsvReadResult r = read_events_csv(in, reg2, CsvReadOptions{});
+  EXPECT_EQ(r.bad_rows, 0u);
+  ASSERT_EQ(r.events.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(r.events[i].seq, events[i].seq);
+    EXPECT_DOUBLE_EQ(r.events[i].value, events[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,326 @@
+// Event log units: append/replay round trips, segment rolling, reopen
+// resume, and the directed torn-tail/corruption recovery cases (the
+// kill-anywhere sweep lives in recovery_oracle_test.cpp; these pin down the
+// log layer's exact truncation semantics in isolation).
+#include "durability/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "support/crash_point.hpp"
+#include "support/temp_dir.hpp"
+
+namespace espice::durability {
+namespace {
+
+namespace fs = std::filesystem;
+using test_support::CrashHarness;
+using test_support::SimulatedCrash;
+using test_support::TempDir;
+
+std::vector<Event> make_events(std::size_t n, std::uint64_t first_seq = 0) {
+  std::vector<Event> events;
+  events.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Event e;
+    e.type = static_cast<EventTypeId>((first_seq + i) % 5);
+    e.seq = first_seq + i;
+    e.ts = 0.25 * static_cast<double>(first_seq + i);
+    e.value = static_cast<double>(i) - 3.5;
+    e.aux = 1e-3 * static_cast<double>(i);
+    events.push_back(e);
+  }
+  return events;
+}
+
+void expect_events_equal(const std::vector<Event>& actual,
+                         const std::vector<Event>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].type, expected[i].type) << "event " << i;
+    EXPECT_EQ(actual[i].seq, expected[i].seq) << "event " << i;
+    EXPECT_EQ(actual[i].ts, expected[i].ts) << "event " << i;
+    EXPECT_EQ(actual[i].value, expected[i].value) << "event " << i;
+    EXPECT_EQ(actual[i].aux, expected[i].aux) << "event " << i;
+  }
+}
+
+EventLogConfig small_segments(const std::string& dir) {
+  EventLogConfig c;
+  c.dir = dir;
+  c.segment_bytes = 4096;  // minimum: rolls after ~5 batches of 20
+  return c;
+}
+
+std::vector<std::string> segment_files(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    out.push_back(entry.path().filename().string());
+  }
+  return out;
+}
+
+/// Flips one byte of `path` at `offset` (from the end when negative).
+void flip_byte(const std::string& path, long long offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  if (offset < 0) {
+    f.seekg(0, std::ios::end);
+    offset += static_cast<long long>(f.tellg());
+  }
+  f.seekg(offset);
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x5A);
+  f.seekp(offset);
+  f.write(&b, 1);
+  ASSERT_TRUE(f.good()) << path;
+}
+
+TEST(EventLog, FreshDirOpensEmpty) {
+  TempDir dir("elog");
+  EventLogWriter w(small_segments(dir.str()));
+  EXPECT_EQ(w.next_index(), 0u);
+  EXPECT_TRUE(w.open_result().damage.empty());
+}
+
+TEST(EventLog, AppendReplayRoundTrip) {
+  TempDir dir("elog");
+  const auto events = make_events(23);
+  {
+    EventLogWriter w(small_segments(dir.str()));
+    w.append_batch(std::span(events).subspan(0, 1));
+    w.append_batch(std::span(events).subspan(1, 5));
+    w.append_batch(std::span(events).subspan(6, 17));
+    EXPECT_EQ(w.next_index(), 23u);
+  }
+  EventLogReader r(dir.str());
+  EXPECT_TRUE(r.open_result().damage.empty());
+  ASSERT_EQ(r.durable_events(), 23u);
+  expect_events_equal(r.read_from(0), events);
+  // Replay from mid-batch: the straddling record is trimmed, not repeated.
+  expect_events_equal(r.read_from(9),
+                      std::vector<Event>(events.begin() + 9, events.end()));
+  // Replay hands back correct global base indices.
+  std::uint64_t expect_base = 6;
+  r.replay(6, [&](std::span<const Event> batch, std::uint64_t base) {
+    EXPECT_EQ(base, expect_base);
+    expect_base += batch.size();
+  });
+  EXPECT_EQ(expect_base, 23u);
+}
+
+TEST(EventLog, RollsAndValidatesSegments) {
+  TempDir dir("elog");
+  const auto events = make_events(400);
+  {
+    EventLogWriter w(small_segments(dir.str()));
+    for (std::size_t i = 0; i < 400; i += 20) {
+      w.append_batch(std::span(events).subspan(i, 20));
+    }
+  }
+  EXPECT_GT(segment_files(dir.str()).size(), 2u);
+  EventLogReader r(dir.str());
+  EXPECT_TRUE(r.open_result().damage.empty());
+  ASSERT_EQ(r.durable_events(), 400u);
+  expect_events_equal(r.read_from(0), events);
+}
+
+TEST(EventLog, ReopenResumesAppend) {
+  TempDir dir("elog");
+  const auto events = make_events(50);
+  {
+    EventLogWriter w(small_segments(dir.str()));
+    w.append_batch(std::span(events).subspan(0, 30));
+  }
+  {
+    EventLogWriter w(small_segments(dir.str()));
+    EXPECT_TRUE(w.open_result().damage.empty());
+    ASSERT_EQ(w.next_index(), 30u);
+    w.append_batch(std::span(events).subspan(30, 20));
+  }
+  EventLogReader r(dir.str());
+  ASSERT_EQ(r.durable_events(), 50u);
+  expect_events_equal(r.read_from(0), events);
+}
+
+TEST(EventLog, FsyncPoliciesAppend) {
+  for (const FsyncPolicy policy :
+       {FsyncPolicy::kNone, FsyncPolicy::kInterval, FsyncPolicy::kEveryBatch}) {
+    TempDir dir("elog");
+    EventLogConfig c = small_segments(dir.str());
+    c.fsync = policy;
+    c.fsync_interval_records = 2;
+    const auto events = make_events(60);
+    {
+      EventLogWriter w(c);
+      for (std::size_t i = 0; i < 60; i += 10) {
+        w.append_batch(std::span(events).subspan(i, 10));
+      }
+      w.sync();
+    }
+    EventLogReader r(dir.str());
+    EXPECT_EQ(r.durable_events(), 60u) << fsync_policy_name(policy);
+  }
+}
+
+// --- crash-point directed cases --------------------------------------------
+
+TEST(EventLog, CrashBeforeAppendLosesWholeBatch) {
+  TempDir dir("elog");
+  const auto events = make_events(26);
+  {
+    CrashHarness crash;
+    EventLogWriter w(small_segments(dir.str()));
+    w.append_batch(std::span(events).subspan(0, 20));
+    crash.arm("log.append.before", 1);
+    EXPECT_THROW(w.append_batch(std::span(events).subspan(20, 6)),
+                 SimulatedCrash);
+    EXPECT_TRUE(crash.fired());
+  }
+  EventLogWriter w(small_segments(dir.str()));
+  EXPECT_EQ(w.next_index(), 20u);
+  EXPECT_TRUE(w.open_result().damage.empty());  // nothing was torn
+}
+
+TEST(EventLog, CrashMidRecordTruncatesTornTail) {
+  TempDir dir("elog");
+  const auto events = make_events(26);
+  {
+    CrashHarness crash;
+    EventLogWriter w(small_segments(dir.str()));
+    w.append_batch(std::span(events).subspan(0, 20));
+    crash.arm("log.append.mid_record", 1);
+    EXPECT_THROW(w.append_batch(std::span(events).subspan(20, 6)),
+                 SimulatedCrash);
+    EXPECT_TRUE(crash.fired());
+  }
+  // Reopen: the half-written record is detected, reported, truncated away.
+  EventLogWriter w(small_segments(dir.str()));
+  EXPECT_EQ(w.next_index(), 20u);
+  EXPECT_FALSE(w.open_result().damage.empty());
+  // And the repaired log accepts appends again, seamlessly.
+  w.append_batch(std::span(events).subspan(20, 6));
+  EXPECT_EQ(w.next_index(), 26u);
+}
+
+TEST(EventLog, CrashAfterAppendKeepsBatch) {
+  TempDir dir("elog");
+  const auto events = make_events(26);
+  {
+    CrashHarness crash;
+    EventLogWriter w(small_segments(dir.str()));
+    w.append_batch(std::span(events).subspan(0, 20));
+    crash.arm("log.append.done", 1);
+    EXPECT_THROW(w.append_batch(std::span(events).subspan(20, 6)),
+                 SimulatedCrash);
+    EXPECT_TRUE(crash.fired());
+  }
+  EventLogReader r(dir.str());
+  EXPECT_EQ(r.durable_events(), 26u);  // record completed before the kill
+  expect_events_equal(r.read_from(0), events);
+}
+
+// --- directed corruption (bit rot / external tampering) ---------------------
+
+TEST(EventLog, CorruptActiveTailTruncatesLastRecord) {
+  TempDir dir("elog");
+  const auto events = make_events(40);
+  {
+    EventLogWriter w(small_segments(dir.str()));
+    w.append_batch(std::span(events).subspan(0, 30));
+    w.append_batch(std::span(events).subspan(30, 10));
+  }
+  // Flip a byte inside the last record's payload.
+  const auto files = segment_files(dir.str());
+  ASSERT_EQ(files.size(), 1u);
+  flip_byte(dir.str() + "/" + files[0], -5);
+
+  EventLogWriter w(small_segments(dir.str()));
+  EXPECT_EQ(w.next_index(), 30u);  // last record gone, prefix intact
+  ASSERT_FALSE(w.open_result().damage.empty());
+  w.append_batch(std::span(events).subspan(30, 10));
+  EXPECT_EQ(w.next_index(), 40u);
+  EventLogReader r(dir.str());
+  expect_events_equal(r.read_from(0), events);
+}
+
+TEST(EventLog, CorruptSealedSegmentEndsDurablePrefixThere) {
+  TempDir dir("elog");
+  const auto events = make_events(400);
+  {
+    EventLogWriter w(small_segments(dir.str()));
+    for (std::size_t i = 0; i < 400; i += 20) {
+      w.append_batch(std::span(events).subspan(i, 20));
+    }
+  }
+  auto files = segment_files(dir.str());
+  ASSERT_GT(files.size(), 2u);
+  std::sort(files.begin(), files.end());
+  // Payload byte of the FIRST record of the FIRST (sealed) segment: the
+  // durable prefix conservatively ends before it; every later segment is
+  // reported and removed by the writer's repair pass.
+  flip_byte(dir.str() + "/" + files[0], 20 + 28 + 10);
+
+  EventLogWriter w(small_segments(dir.str()));
+  EXPECT_EQ(w.next_index(), 0u);
+  EXPECT_GE(w.open_result().damage.size(), files.size());
+  EXPECT_EQ(segment_files(dir.str()).size(), 1u);  // only the fresh active seg
+
+  // The repaired (now empty) log is fully usable.
+  w.append_batch(std::span(events).subspan(0, 20));
+  EXPECT_EQ(w.next_index(), 20u);
+}
+
+TEST(EventLog, PruneRemovesWhollyDeadSegments) {
+  TempDir dir("elog");
+  const auto events = make_events(400);
+  EventLogWriter w(small_segments(dir.str()));
+  for (std::size_t i = 0; i < 400; i += 20) {
+    w.append_batch(std::span(events).subspan(i, 20));
+  }
+  const std::size_t before = segment_files(dir.str()).size();
+  ASSERT_GT(before, 2u);
+  const std::size_t removed = w.prune_segments_below(250);
+  EXPECT_GT(removed, 0u);
+  EXPECT_EQ(segment_files(dir.str()).size(), before - removed);
+
+  // Replay from the prune point still works and is exact.
+  EventLogReader r(dir.str());
+  EXPECT_EQ(r.durable_events(), 400u);
+  expect_events_equal(r.read_from(250),
+                      std::vector<Event>(events.begin() + 250, events.end()));
+}
+
+// A real kill (SIGKILL-equivalent _exit) at the torn-write point, then
+// recovery by a fresh process image: proves the harness's in-process
+// simulation and the kernel-level death agree on the on-disk outcome.
+TEST(EventLogDeathTest, RealKillMidRecordRecovers) {
+  // Default ("fast") death-test style: the forked child shares this
+  // process's TempDir path, so the parent can inspect the torn file.
+  TempDir dir("elog");
+  const auto events = make_events(26);
+  {
+    EventLogWriter w(small_segments(dir.str()));
+    w.append_batch(std::span(events).subspan(0, 20));
+  }
+  EXPECT_EXIT(
+      {
+        CrashHarness crash;
+        crash.arm("log.append.mid_record", 1, /*exit_for_real=*/true);
+        EventLogWriter w(small_segments(dir.str()));
+        w.append_batch(std::span(events).subspan(20, 6));
+      },
+      ::testing::ExitedWithCode(137), "");
+  EventLogWriter w(small_segments(dir.str()));
+  EXPECT_EQ(w.next_index(), 20u);
+  EXPECT_FALSE(w.open_result().damage.empty());
+}
+
+}  // namespace
+}  // namespace espice::durability

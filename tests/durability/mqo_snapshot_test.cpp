@@ -1,0 +1,220 @@
+// Snapshot/restore round trip of the adaptive stack that the deterministic
+// engine's recovery path does not exercise: MultiQueryOperator carrying
+// EspiceShedder + ModelBuilder + OverloadDetector state.  A restored
+// operator must continue bit-identically with the original from the cut
+// onward -- through every phase boundary and under active shedding.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/multi_query_operator.hpp"
+#include "durability/serial.hpp"
+
+namespace espice {
+namespace {
+
+constexpr EventTypeId A = 0;
+constexpr EventTypeId B = 1;
+constexpr EventTypeId C = 2;
+constexpr EventTypeId D = 3;
+constexpr EventTypeId F = 4;
+
+/// Blocks of 6 events: A B C D F F (one q0 and one q1 match per tumbling
+/// window) -- same layout as the core multi_query_operator tests.
+Event block_event(std::uint64_t seq) {
+  static constexpr EventTypeId kLayout[6] = {A, B, C, D, F, F};
+  Event e;
+  e.type = kLayout[seq % 6];
+  e.seq = seq;
+  e.ts = static_cast<double>(seq);
+  e.value = 1.0;
+  return e;
+}
+
+MultiQueryOperatorConfig two_query_config() {
+  MultiQueryOperatorConfig c;
+  c.window.span_kind = WindowSpan::kCount;
+  c.window.span_events = 6;
+  c.window.open_kind = WindowOpen::kCountSlide;
+  c.window.slide_events = 6;
+  c.queries.push_back(MultiQuerySpec{
+      "pairAB",
+      make_sequence({element("A", TypeSet{A}), element("B", TypeSet{B})})});
+  c.queries.push_back(MultiQuerySpec{
+      "pairCD",
+      make_sequence({element("C", TypeSet{C}), element("D", TypeSet{D})})});
+  c.num_types = 5;
+  c.training_windows = 30;
+  c.detector.latency_bound = 1.0;
+  c.detector.ewma_alpha = 1.0;
+  return c;
+}
+
+struct Host {
+  std::vector<std::vector<ComplexEvent>> matches;
+  MultiQueryOperator op;
+  std::uint64_t next_seq = 0;
+
+  explicit Host(MultiQueryOperatorConfig config)
+      : matches(config.queries.size()),
+        op(std::move(config), [this](std::size_t q, const ComplexEvent& ce) {
+          matches[q].push_back(ce);
+        }) {}
+
+  /// Deterministic drive schedule shared by original and restored hosts:
+  /// the queue level is a pure function of the global sequence number.
+  void run(std::size_t n, std::size_t queue_size) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t seq = next_seq++;
+      op.observe_arrival(static_cast<double>(seq) / 1000.0);
+      op.observe_cost(1e-3);
+      op.push(block_event(seq));
+      if (seq % 10 == 0) {
+        op.on_tick(static_cast<double>(seq) / 1000.0, queue_size);
+      }
+    }
+  }
+};
+
+void expect_hosts_identical(Host& restored, Host& original) {
+  const MultiQueryStats a = original.op.stats();
+  const MultiQueryStats b = restored.op.stats();
+  EXPECT_EQ(b.events, a.events);
+  EXPECT_EQ(b.memberships, a.memberships);
+  EXPECT_EQ(b.memberships_kept, a.memberships_kept);
+  EXPECT_EQ(b.windows_closed, a.windows_closed);
+  EXPECT_EQ(b.shedding_active, a.shedding_active);
+  ASSERT_EQ(b.queries.size(), a.queries.size());
+  for (std::size_t q = 0; q < a.queries.size(); ++q) {
+    EXPECT_EQ(b.queries[q].matches, a.queries[q].matches) << "query " << q;
+    EXPECT_EQ(b.queries[q].decisions, a.queries[q].decisions) << "query " << q;
+    EXPECT_EQ(b.queries[q].drops, a.queries[q].drops) << "query " << q;
+    // The restored host only has post-cut matches; they must be a suffix of
+    // the original's.
+    ASSERT_LE(restored.matches[q].size(), original.matches[q].size())
+        << "query " << q;
+    const std::size_t skip =
+        original.matches[q].size() - restored.matches[q].size();
+    for (std::size_t m = 0; m < restored.matches[q].size(); ++m) {
+      const ComplexEvent& ra = restored.matches[q][m];
+      const ComplexEvent& oa = original.matches[q][skip + m];
+      EXPECT_EQ(ra.window, oa.window) << "query " << q << " match " << m;
+      ASSERT_EQ(ra.constituents.size(), oa.constituents.size());
+      for (std::size_t c = 0; c < ra.constituents.size(); ++c) {
+        EXPECT_EQ(ra.constituents[c].event.seq, oa.constituents[c].event.seq)
+            << "query " << q << " match " << m;
+        EXPECT_EQ(ra.constituents[c].position, oa.constituents[c].position)
+            << "query " << q << " match " << m;
+      }
+    }
+  }
+}
+
+/// Runs both hosts to `cut` events, snapshots the original into a fresh
+/// operator, then drives both through the same tail and compares.
+void round_trip_at(std::size_t cut, std::size_t cut_queue,
+                   std::size_t tail_blocks, std::size_t tail_queue) {
+  Host original(two_query_config());
+  original.run(cut, cut_queue);
+
+  durability::SnapshotWriter w;
+  original.op.serialize(w);
+
+  Host restored(two_query_config());
+  durability::SnapshotReader r(std::span(w.buffer()));
+  restored.op.restore(r);
+  r.expect_done();
+  restored.next_seq = original.next_seq;
+
+  original.run(tail_blocks * 6, tail_queue);
+  restored.run(tail_blocks * 6, tail_queue);
+  expect_hosts_identical(restored, original);
+}
+
+TEST(MqoSnapshot, CutDuringTraining) {
+  // Mid-training, mid-window (cut not a multiple of 6): the ModelBuilder's
+  // partial statistics and the half-filled window must both survive.
+  round_trip_at(15 * 6 + 3, 0, 40, 900);
+}
+
+TEST(MqoSnapshot, CutAtArmingBoundary) {
+  round_trip_at(31 * 6, 0, 60, 900);
+}
+
+TEST(MqoSnapshot, CutUnderActiveShedding) {
+  Host original(two_query_config());
+  original.run(31 * 6, 0);           // train and arm
+  original.run(40 * 6 + 2, 900);     // sustained overload, cut mid-window
+  ASSERT_EQ(original.op.phase(), MultiQueryOperator::Phase::kShedding);
+  ASSERT_TRUE(original.op.stats().shedding_active)
+      << "cut must land under live shedding or the test is vacuous";
+
+  durability::SnapshotWriter w;
+  original.op.serialize(w);
+  Host restored(two_query_config());
+  durability::SnapshotReader r(std::span(w.buffer()));
+  restored.op.restore(r);
+  r.expect_done();
+  restored.next_seq = original.next_seq;
+
+  // Tail crosses overload -> calm -> overload, so restored detector
+  // estimates and coordinator splits are all load-bearing.
+  for (const std::size_t queue : {std::size_t{900}, std::size_t{0},
+                                  std::size_t{900}}) {
+    original.run(20 * 6, queue);
+    restored.run(20 * 6, queue);
+  }
+  expect_hosts_identical(restored, original);
+
+  const MultiQueryStats s = restored.op.stats();
+  EXPECT_GT(s.queries[0].drops + s.queries[1].drops, 0u)
+      << "no drops at all: vacuous differential";
+}
+
+TEST(MqoSnapshot, SizingPhaseSurvivesForTimeWindows) {
+  auto make = [] {
+    auto config = two_query_config();
+    config.window = WindowSpec{};
+    config.window.span_kind = WindowSpan::kTime;
+    config.window.span_seconds = 6.0;
+    config.window.open_kind = WindowOpen::kPredicate;
+    config.window.opener = element("A", TypeSet{A});
+    config.sizing_windows = 20;
+    return config;
+  };
+  Host original(make());
+  original.run(10 * 6 + 1, 0);  // mid-sizing
+  ASSERT_EQ(original.op.phase(), MultiQueryOperator::Phase::kSizing);
+
+  durability::SnapshotWriter w;
+  original.op.serialize(w);
+  Host restored(make());
+  durability::SnapshotReader r(std::span(w.buffer()));
+  restored.op.restore(r);
+  r.expect_done();
+  restored.next_seq = original.next_seq;
+
+  original.run(60 * 6, 0);
+  restored.run(60 * 6, 0);
+  EXPECT_EQ(restored.op.phase(), original.op.phase());
+  expect_hosts_identical(restored, original);
+}
+
+TEST(MqoSnapshot, RestoreRejectsQueryCountMismatch) {
+  Host original(two_query_config());
+  original.run(10 * 6, 0);
+  durability::SnapshotWriter w;
+  original.op.serialize(w);
+
+  auto config = two_query_config();
+  config.queries.pop_back();  // one query instead of two
+  Host restored(std::move(config));
+  durability::SnapshotReader r(std::span(w.buffer()));
+  EXPECT_THROW(restored.op.restore(r), Error);
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,215 @@
+// SnapshotStore units: publish/load round trips and every documented crash
+// or corruption fallback (tmp-only, stale manifest, corrupt manifest,
+// corrupt payload) in isolation.
+#include "durability/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "support/crash_point.hpp"
+#include "support/temp_dir.hpp"
+
+namespace espice::durability {
+namespace {
+
+namespace fs = std::filesystem;
+using test_support::CrashHarness;
+using test_support::SimulatedCrash;
+using test_support::TempDir;
+
+std::vector<std::byte> make_payload(std::size_t n, int salt) {
+  std::vector<std::byte> p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<std::byte>((i * 31 + salt) & 0xFF);
+  }
+  return p;
+}
+
+void flip_byte(const std::string& path, long long offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  if (offset < 0) {
+    f.seekg(0, std::ios::end);
+    offset += static_cast<long long>(f.tellg());
+  }
+  f.seekg(offset);
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x5A);
+  f.seekp(offset);
+  f.write(&b, 1);
+  ASSERT_TRUE(f.good()) << path;
+}
+
+std::string only_snapshot_file(const std::string& dir) {
+  std::string found;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("snap-", 0) == 0 &&
+        name.substr(name.size() - 5) == ".snap") {
+      EXPECT_TRUE(found.empty()) << "expected exactly one snapshot";
+      found = entry.path().string();
+    }
+  }
+  EXPECT_FALSE(found.empty());
+  return found;
+}
+
+TEST(SnapshotStore, EmptyStoreLoadsNothing) {
+  TempDir dir("snap");
+  SnapshotStore store(dir.str());
+  std::vector<std::string> damage;
+  EXPECT_FALSE(store.load_latest(&damage).has_value());
+  EXPECT_TRUE(damage.empty());
+}
+
+TEST(SnapshotStore, WriteLoadRoundTrip) {
+  TempDir dir("snap");
+  SnapshotStore store(dir.str());
+  const auto payload = make_payload(1000, 7);
+  store.write(123, payload);
+
+  std::vector<std::string> damage;
+  const auto loaded = store.load_latest(&damage);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(damage.empty());
+  EXPECT_EQ(loaded->log_offset, 123u);
+  EXPECT_EQ(loaded->payload, payload);
+}
+
+TEST(SnapshotStore, NewestSnapshotWins) {
+  TempDir dir("snap");
+  SnapshotStore store(dir.str());
+  store.write(100, make_payload(64, 1));
+  store.write(250, make_payload(64, 2));
+
+  const auto loaded = store.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->log_offset, 250u);
+  EXPECT_EQ(loaded->payload, make_payload(64, 2));
+}
+
+TEST(SnapshotStore, PruneBelowKeepsLatest) {
+  TempDir dir("snap");
+  SnapshotStore store(dir.str());
+  store.write(100, make_payload(16, 1));
+  store.write(200, make_payload(16, 2));
+  store.write(300, make_payload(16, 3));
+  EXPECT_EQ(store.prune_below(300), 2u);
+  EXPECT_EQ(store.prune_below(300), 0u);  // idempotent
+
+  const auto loaded = store.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->log_offset, 300u);
+}
+
+TEST(SnapshotStore, CrashMidWriteLeavesOnlyIgnoredTmp) {
+  TempDir dir("snap");
+  SnapshotStore store(dir.str());
+  store.write(100, make_payload(64, 1));
+  {
+    CrashHarness crash;
+    crash.arm("snapshot.write.mid", 1);
+    EXPECT_THROW(store.write(200, make_payload(64, 2)), SimulatedCrash);
+    EXPECT_TRUE(crash.fired());
+  }
+  // The half-written .tmp was never renamed: the previous snapshot stands.
+  std::vector<std::string> damage;
+  const auto loaded = store.load_latest(&damage);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->log_offset, 100u);
+  EXPECT_TRUE(damage.empty());
+}
+
+TEST(SnapshotStore, CrashBeforeFirstManifestFoundByScan) {
+  TempDir dir("snap");
+  SnapshotStore store(dir.str());
+  {
+    CrashHarness crash;
+    crash.arm("snapshot.before_manifest", 1);
+    EXPECT_THROW(store.write(150, make_payload(64, 5)), SimulatedCrash);
+    EXPECT_TRUE(crash.fired());
+  }
+  // No MANIFEST exists, but the snapshot file itself was published
+  // atomically; the directory scan recovers it with no damage.
+  std::vector<std::string> damage;
+  const auto loaded = store.load_latest(&damage);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->log_offset, 150u);
+  EXPECT_EQ(loaded->payload, make_payload(64, 5));
+  EXPECT_TRUE(damage.empty());
+}
+
+TEST(SnapshotStore, CrashBeforeManifestUpdateYieldsValidSnapshot) {
+  TempDir dir("snap");
+  SnapshotStore store(dir.str());
+  store.write(100, make_payload(64, 1));
+  {
+    CrashHarness crash;
+    crash.arm("snapshot.before_manifest", 1);
+    EXPECT_THROW(store.write(200, make_payload(64, 2)), SimulatedCrash);
+    EXPECT_TRUE(crash.fired());
+  }
+  // The stale MANIFEST still points at offset 100, which remains valid:
+  // recovery gets an older-but-correct snapshot and simply replays more.
+  const auto loaded = store.load_latest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->log_offset, 100u);
+  EXPECT_EQ(loaded->payload, make_payload(64, 1));
+}
+
+TEST(SnapshotStore, CorruptManifestFallsBackToScan) {
+  TempDir dir("snap");
+  SnapshotStore store(dir.str());
+  store.write(100, make_payload(64, 9));
+  flip_byte((fs::path(dir.str()) / "MANIFEST").string(), -1);  // CRC tail
+
+  std::vector<std::string> damage;
+  const auto loaded = store.load_latest(&damage);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->log_offset, 100u);
+  EXPECT_EQ(loaded->payload, make_payload(64, 9));
+  ASSERT_FALSE(damage.empty());
+  EXPECT_NE(damage[0].find("manifest"), std::string::npos);
+}
+
+TEST(SnapshotStore, CorruptSnapshotPayloadFallsBackToOlder) {
+  TempDir dir("snap");
+  SnapshotStore store(dir.str());
+  store.write(100, make_payload(64, 1));
+  store.write(200, make_payload(64, 2));
+  store.prune_below(200);
+  flip_byte(only_snapshot_file(dir.str()), -3);  // payload byte
+  store.write(300, make_payload(64, 3));
+
+  // Corrupt the NEWEST (manifest-pointed) one too, then make sure fallback
+  // re-validates candidates newest-first and reports every rejection.
+  std::vector<std::string> damage;
+  auto loaded = store.load_latest(&damage);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->log_offset, 300u);
+  EXPECT_TRUE(damage.empty());
+
+  // Now corrupt 300 as well: both 200 and 300 are bad -> nothing loadable,
+  // and both rejections are reported as damage.
+  for (const auto& entry : fs::directory_iterator(dir.str())) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("snap-", 0) == 0 &&
+        name.substr(name.size() - 5) == ".snap" &&
+        name.find("00300") != std::string::npos) {
+      flip_byte(entry.path().string(), -3);
+    }
+  }
+  damage.clear();
+  loaded = store.load_latest(&damage);
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_GE(damage.size(), 2u);
+}
+
+}  // namespace
+}  // namespace espice::durability

@@ -1,0 +1,108 @@
+// Kill-anywhere fault-injection harness over the durability crash points.
+//
+// The durability layer marks every spot where a process death would leave
+// partially-written state (ESPICE_CRASH_POINT in src/durability/); this
+// harness drives them in two modes:
+//
+//   census  -- CrashHarness h;  <run workload>;  h.counts()
+//     counts how often each point fires for a given workload, so a test can
+//     enumerate every possible crash site (point, occurrence) instead of
+//     guessing.
+//
+//   armed   -- h.arm("log.append.mid_record", 3);  <run workload>
+//     the 3rd hit of that point dies: by default it throws SimulatedCrash
+//     through the exception barrier (the workload's destructors then see
+//     exactly the bytes written so far -- the same on-disk state a fresh
+//     process would find), or, with exit_for_real, via _exit() for death
+//     tests that want the kernel-level kill.
+//
+// Installing the harness flips the durability writers into split-write mode
+// (crash_hook_armed()), so a mid-write point produces a genuinely torn
+// record.  Census and armed runs therefore see identical point sequences.
+//
+// Threading: crash points fire only on the thread running durability code
+// (the engine's router thread); the harness state is deliberately
+// unsynchronized and must not be shared across concurrently-crashing
+// workloads.  Construct/destroy while no durability code runs.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "durability/crash_point.hpp"
+
+namespace espice::test_support {
+
+/// The simulated process death.  Deliberately NOT derived from
+/// std::exception: a workload's internal catch(const std::exception&)
+/// recovery paths must not be able to swallow a kill.
+struct SimulatedCrash {
+  const char* point;
+};
+
+namespace crash_detail {
+// The hook is a bare function pointer, so the harness state is global.
+inline std::map<std::string, std::uint64_t>& counts() {
+  static std::map<std::string, std::uint64_t> m;
+  return m;
+}
+struct Armed {
+  std::string point;
+  std::uint64_t occurrence = 0;  // 1-based; 0 = census only
+  bool exit_for_real = false;
+  bool fired = false;
+};
+inline Armed& armed() {
+  static Armed a;
+  return a;
+}
+
+inline void hook(const char* point) {
+  const std::uint64_t n = ++counts()[point];
+  Armed& a = armed();
+  if (a.occurrence != 0 && a.point == point && n == a.occurrence) {
+    a.fired = true;
+    if (a.exit_for_real) _exit(137);
+    throw SimulatedCrash{point};
+  }
+}
+}  // namespace crash_detail
+
+class CrashHarness {
+ public:
+  CrashHarness() {
+    crash_detail::counts().clear();
+    crash_detail::armed() = crash_detail::Armed{};
+    durability::set_crash_hook(&crash_detail::hook);
+  }
+  ~CrashHarness() { durability::set_crash_hook(nullptr); }
+
+  CrashHarness(const CrashHarness&) = delete;
+  CrashHarness& operator=(const CrashHarness&) = delete;
+
+  /// The Nth (1-based) hit of `point` dies.  Call before the workload.
+  void arm(std::string point, std::uint64_t occurrence,
+           bool exit_for_real = false) {
+    crash_detail::Armed& a = crash_detail::armed();
+    a.point = std::move(point);
+    a.occurrence = occurrence;
+    a.exit_for_real = exit_for_real;
+    a.fired = false;
+    crash_detail::counts().clear();
+  }
+
+  /// Did the armed site actually die?  A sweep asserts this so a stale
+  /// census (occurrence never reached) fails loudly instead of silently
+  /// testing nothing.
+  bool fired() const { return crash_detail::armed().fired; }
+
+  /// Census: hits per crash point since construction (or the last arm()).
+  const std::map<std::string, std::uint64_t>& counts() const {
+    return crash_detail::counts();
+  }
+};
+
+}  // namespace espice::test_support
