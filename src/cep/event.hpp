@@ -42,4 +42,28 @@ inline bool stream_order_less(const Event& a, const Event& b) {
   return a.seq < b.seq;
 }
 
+/// Reserved event type for in-band punctuation watermarks (event-time
+/// mode).  A punctuation asserts "no event with seq <= this.seq is still
+/// in flight"; `ts` optionally carries the matching event-time bound
+/// (value != 0 marks ts as meaningful -- heartbeats are seq-only).
+/// Watermarks are control records: operators and shedders must never
+/// treat them as data, and the engine's reorder stage consumes them.
+inline constexpr EventTypeId kWatermarkType = 0xFFFF;
+
+inline bool is_watermark(const Event& e) { return e.type == kWatermarkType; }
+
+/// Builds a punctuation watermark event.  `ts_valid` marks whether `ts`
+/// carries a meaningful event-time bound.
+inline Event make_watermark(std::uint64_t seq, double ts = 0.0,
+                            bool ts_valid = false) {
+  Event p;
+  p.type = kWatermarkType;
+  p.seq = seq;
+  p.ts = ts;
+  p.value = ts_valid ? 1.0 : 0.0;
+  return p;
+}
+
+inline bool watermark_has_ts(const Event& p) { return p.value != 0.0; }
+
 }  // namespace espice

@@ -1,0 +1,163 @@
+#include "cep/event_time.hpp"
+
+#include <algorithm>
+
+#include "durability/serial.hpp"
+
+namespace espice {
+
+std::uint64_t measure_disorder(std::span<const Event> events) {
+  std::uint64_t max_seq = 0;
+  bool any = false;
+  std::uint64_t worst = 0;
+  for (const Event& e : events) {
+    if (is_watermark(e)) continue;
+    if (any && e.seq < max_seq) {
+      worst = std::max(worst, max_seq - e.seq);
+    }
+    if (!any || e.seq > max_seq) {
+      max_seq = e.seq;
+      any = true;
+    }
+  }
+  return worst;
+}
+
+void ReorderBuffer::serialize(durability::SnapshotWriter& w) const {
+  w.u64(bound_);
+  // Buffered events in sequence order: restore re-heapifies, and a
+  // canonical order keeps snapshots byte-stable across heap layouts.
+  std::vector<Event> sorted(heap_);
+  std::sort(sorted.begin(), sorted.end(), stream_order_less);
+  w.size(sorted.size());
+  for (const Event& e : sorted) w.event(e);
+  w.boolean(max_valid_);
+  w.u64(max_seq_);
+  w.boolean(wm_valid_);
+  w.u64(wm_seq_);
+  // Plain scalar, not a length prefix: u64 (reader-side size() validates
+  // against the remaining payload).
+  w.u64(peak_buffered_);
+}
+
+void ReorderBuffer::restore(durability::SnapshotReader& r) {
+  const std::uint64_t bound = r.u64();
+  ESPICE_CHECK(bound == bound_, ErrorCode::kCorruptSnapshot,
+               "reorder-buffer disorder bound mismatch");
+  heap_.clear();
+  const std::size_t n = r.size();
+  heap_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) heap_.push_back(r.event());
+  std::make_heap(heap_.begin(), heap_.end(), seq_greater);
+  max_valid_ = r.boolean();
+  max_seq_ = r.u64();
+  wm_valid_ = r.boolean();
+  wm_seq_ = r.u64();
+  peak_buffered_ = static_cast<std::size_t>(r.u64());
+}
+
+void RetainedWindowStore::retain(const WindowView& v) {
+  if (capacity_ == 0) return;
+  RetainedWindow rw;
+  rw.win = materialize(v);
+  if (!v.kept_masks.empty()) {
+    rw.masks.assign(v.kept_masks.begin(), v.kept_masks.end());
+  }
+  for (const Event& e : rw.win.kept) {
+    rw.last_seq = std::max(rw.last_seq, e.seq);
+  }
+  ring_.push_back(std::move(rw));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<std::size_t> RetainedWindowStore::covering(
+    const Event& e) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const RetainedWindow& rw = ring_[i];
+    if (e.seq < rw.win.open_seq) continue;
+    if (spec_.span_kind == WindowSpan::kTime) {
+      if (e.ts >= rw.win.open_ts &&
+          e.ts < rw.win.open_ts + spec_.span_seconds) {
+        out.push_back(i);
+      }
+    } else {
+      // Count/predicate spans: the true membership is by offer index,
+      // which a late event no longer has; the kept-seq range is the
+      // best reconstruction.  Windows with nothing kept cannot bound
+      // their range and are skipped.
+      if (!rw.win.kept.empty() && e.seq <= rw.last_seq) {
+        out.push_back(i);
+      }
+    }
+  }
+  return out;
+}
+
+bool RetainedWindowStore::insert_event(std::size_t idx, const Event& e) {
+  RetainedWindow& rw = ring_[idx];
+  auto& kept = rw.win.kept;
+  auto& pos = rw.win.kept_pos;
+  std::size_t at = 0;
+  while (at < kept.size() && kept[at].seq < e.seq) ++at;
+  if (at < kept.size() && kept[at].seq == e.seq) return false;
+  // The late event takes the arrival position right after its seq
+  // predecessor; every later arrival shifts by one, and the window saw
+  // one more arrival -- exactly the in-order bookkeeping.
+  const std::uint32_t new_pos = at > 0 ? pos[at - 1] + 1 : 0;
+  for (std::size_t i = at; i < pos.size(); ++i) ++pos[i];
+  kept.insert(kept.begin() + static_cast<std::ptrdiff_t>(at), e);
+  pos.insert(pos.begin() + static_cast<std::ptrdiff_t>(at), new_pos);
+  if (!rw.masks.empty()) {
+    rw.masks.insert(rw.masks.begin() + static_cast<std::ptrdiff_t>(at),
+                    ~QueryMask{0});
+  }
+  rw.win.arrivals += 1;
+  rw.last_seq = std::max(rw.last_seq, e.seq);
+  rw.revisions += 1;
+  return true;
+}
+
+void RetainedWindowStore::serialize(durability::SnapshotWriter& w) const {
+  w.u64(capacity_);  // scalar, not a length prefix
+  w.size(ring_.size());
+  for (const RetainedWindow& rw : ring_) {
+    w.u64(rw.win.id);
+    w.f64(rw.win.open_ts);
+    w.u64(rw.win.open_seq);
+    w.u64(rw.win.open_index);
+    w.u64(rw.win.arrivals);  // scalar (>= kept count, not == )
+    w.size(rw.win.kept.size());
+    for (const Event& e : rw.win.kept) w.event(e);
+    w.vec_int(rw.win.kept_pos);
+    w.vec_int(rw.masks);
+    w.u64(rw.last_seq);
+    w.u64(rw.revisions);
+  }
+}
+
+void RetainedWindowStore::restore(durability::SnapshotReader& r) {
+  const auto cap = static_cast<std::size_t>(r.u64());
+  ESPICE_CHECK(cap == capacity_, ErrorCode::kCorruptSnapshot,
+               "retained-window capacity mismatch");
+  ring_.clear();
+  const std::size_t n = r.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    RetainedWindow rw;
+    rw.win.id = r.u64();
+    rw.win.open_ts = r.f64();
+    rw.win.open_seq = r.u64();
+    rw.win.open_index = r.u64();
+    rw.win.arrivals = static_cast<std::size_t>(r.u64());
+    const std::size_t k = r.size();
+    rw.win.kept.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) rw.win.kept.push_back(r.event());
+    rw.win.kept_pos = r.vec_int<std::uint32_t>();
+    rw.masks = r.vec_int<QueryMask>();
+    rw.last_seq = r.u64();
+    rw.revisions = r.u64();
+    ring_.push_back(std::move(rw));
+  }
+}
+
+}  // namespace espice

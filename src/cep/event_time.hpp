@@ -1,0 +1,255 @@
+// Event-time ingestion: bounded disorder buffering, watermarks and
+// late-event handling.
+//
+// Real streams arrive disordered.  The engine tolerates a bounded amount
+// of disorder D (the "disorder bound", measured in sequence numbers): an
+// event is ON TIME iff at most D events with larger sequence numbers
+// arrived before it, and LATE otherwise.  The reorder stage buffers
+// on-time events and releases them in sequence order once the watermark
+// passes them, so everything downstream (window routing, shedding, the
+// incremental matcher, the canonical shard merge) still observes an
+// in-order stream.
+//
+// Watermark model.  The stage maintains a sequence watermark W meaning
+// "every event with seq <= W has been released (or diverted as late)".
+//  * Progress watermark: once max_seq (largest sequence number seen) is
+//    at least D + 1, W advances to max_seq - D - 1 -- the newest event
+//    that can no longer be displaced by a within-bound straggler.
+//  * Punctuation watermark: an in-band kWatermarkType event with seq P
+//    raises W to max(W, P) immediately (the producer asserts nothing
+//    with seq <= P is still in flight).
+// W is monotone; every advance releases the buffered events with
+// seq <= W in sequence order.  An arriving data event with seq <= W is
+// late (its lateness exceeded D, or a punctuation overtook it) and is
+// diverted to the configured LatePolicy instead of entering the stream.
+//
+// Determinism contract: for any input that is a permutation of an
+// in-order stream with measured disorder <= D, the released stream is
+// exactly the sequence-sorted stream, there are zero late events, and
+// the downstream pipeline output is bit-identical to the in-order run.
+//
+// Late policies:
+//  * kDrop: count and discard.
+//  * kSideOutput: capture the event (with the watermark that convicted
+//    it and the retained windows it would have belonged to) in a side
+//    channel surfaced through the engine report.
+//  * kRevise: re-open the affected retained window(s), splice the late
+//    event in at its sequence position, re-finalize with the legacy
+//    matcher, and re-emit the window's matches under a monotonically
+//    increasing per-window revision tag.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "cep/event.hpp"
+#include "cep/matcher.hpp"
+#include "cep/window.hpp"
+#include "common/error.hpp"
+
+namespace espice {
+
+namespace durability {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace durability
+
+/// What happens to an event that arrives beyond the disorder bound.
+enum class LatePolicy : std::uint8_t {
+  kDrop = 0,        ///< count and discard
+  kSideOutput = 1,  ///< capture in a side channel (engine report)
+  kRevise = 2,      ///< re-finalize the affected retained window(s)
+};
+
+/// Event-time configuration (StreamEngineConfig::event_time).
+struct EventTimeConfig {
+  /// Maximum tolerated lateness D, in sequence numbers: an event
+  /// overtaken by at most D larger-seq events is still on time.  0
+  /// accepts only in-order input (any overtaken event is late).
+  std::uint64_t disorder_bound = 64;
+
+  /// Router heartbeat period: after every `heartbeat_events` data
+  /// events pushed, the router injects a seq-only punctuation at its
+  /// own watermark (max routed seq - D - 1) so idle shards keep
+  /// closing time windows.  0 disables heartbeats.
+  std::uint64_t heartbeat_events = 0;
+
+  LatePolicy late_policy = LatePolicy::kDrop;
+
+  /// Closed windows retained per windowing group for kSideOutput
+  /// attribution and kRevise re-finalization.  A late event older than
+  /// the retention horizon is counted as dropped.
+  std::size_t revise_horizon_windows = 8;
+
+  /// Shedding hook: utility boost applied by EspiceShedder while the
+  /// late policy is kRevise (events kept now cannot force a revision
+  /// later, so keeping is worth more).  0 leaves shedding untouched.
+  int revise_utility_boost = 0;
+
+  void validate() const {
+    ESPICE_REQUIRE(revise_horizon_windows > 0 ||
+                       late_policy == LatePolicy::kDrop,
+                   "side-output / revise need a retention horizon");
+    ESPICE_REQUIRE(revise_utility_boost >= 0,
+                   "revise utility boost must be non-negative");
+  }
+};
+
+/// Bounded-disorder reorder stage: buffers on-time events, releases
+/// them in sequence order as the watermark advances, classifies
+/// beyond-bound arrivals as late.  Single-threaded; one per shard.
+class ReorderBuffer {
+ public:
+  explicit ReorderBuffer(std::uint64_t disorder_bound)
+      : bound_(disorder_bound) {}
+
+  /// Outcome of offering one data event to the stage.
+  enum class Accept : std::uint8_t {
+    kBuffered,  ///< on time; buffered (some events may have released)
+    kLate,      ///< seq <= watermark: diverted to the late policy
+  };
+
+  /// Offers a data event.  Released events (in sequence order) are
+  /// appended to `released`; the offered event itself may be among
+  /// them.  Precondition: !is_watermark(e).
+  Accept accept(const Event& e, std::vector<Event>& released) {
+    ESPICE_ASSERT(!is_watermark(e), "watermarks take punctuate()");
+    if (wm_valid_ && e.seq <= wm_seq_) return Accept::kLate;
+    if (!max_valid_ || e.seq > max_seq_) {
+      max_seq_ = e.seq;
+      max_valid_ = true;
+    }
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), seq_greater);
+    if (heap_.size() > peak_buffered_) peak_buffered_ = heap_.size();
+    if (max_valid_ && max_seq_ >= bound_ + 1) {
+      raise_watermark(max_seq_ - bound_ - 1, released);
+    }
+    return Accept::kBuffered;
+  }
+
+  /// Punctuation watermark: raises W to max(W, seq) and releases.
+  void punctuate(std::uint64_t seq, std::vector<Event>& released) {
+    raise_watermark(seq, released);
+  }
+
+  /// End of stream: releases everything still buffered, in sequence
+  /// order.  The watermark advances past the last released event.
+  void flush(std::vector<Event>& released) {
+    while (!heap_.empty()) pop_min(released);
+  }
+
+  bool has_watermark() const { return wm_valid_; }
+  std::uint64_t watermark_seq() const { return wm_seq_; }
+  std::size_t buffered() const { return heap_.size(); }
+  std::size_t peak_buffered() const { return peak_buffered_; }
+  std::uint64_t disorder_bound() const { return bound_; }
+
+  void serialize(durability::SnapshotWriter& w) const;
+  void restore(durability::SnapshotReader& r);
+
+ private:
+  static bool seq_greater(const Event& a, const Event& b) {
+    return a.seq > b.seq;  // min-heap on seq
+  }
+
+  void pop_min(std::vector<Event>& released) {
+    std::pop_heap(heap_.begin(), heap_.end(), seq_greater);
+    released.push_back(heap_.back());
+    heap_.pop_back();
+    if (!wm_valid_ || released.back().seq > wm_seq_) {
+      wm_seq_ = released.back().seq;
+      wm_valid_ = true;
+    }
+  }
+
+  void raise_watermark(std::uint64_t seq, std::vector<Event>& rel) {
+    if (wm_valid_ && seq <= wm_seq_) return;
+    while (!heap_.empty() && heap_.front().seq <= seq) pop_min(rel);
+    wm_seq_ = seq;
+    wm_valid_ = true;
+  }
+
+  std::uint64_t bound_;
+  std::vector<Event> heap_;  // min-heap keyed on seq
+  std::uint64_t max_seq_ = 0;
+  bool max_valid_ = false;
+  std::uint64_t wm_seq_ = 0;
+  bool wm_valid_ = false;
+  std::size_t peak_buffered_ = 0;
+};
+
+/// Maximum lateness over `events` in arrival order: the largest value
+/// of (max seq seen so far) - e.seq over all events.  An engine with
+/// disorder_bound >= this value classifies no event of the stream as
+/// late.  Watermark punctuations are skipped.
+std::uint64_t measure_disorder(std::span<const Event> events);
+
+/// A closed window retained for late-event attribution / revision:
+/// the materialized window plus its per-kept-event query masks (empty
+/// when all queries agree) and the revision counter.
+struct RetainedWindow {
+  Window win;
+  std::vector<QueryMask> masks;  ///< parallel to win.kept; may be empty
+  std::uint64_t last_seq = 0;    ///< max kept seq (coverage bound)
+  std::uint64_t revisions = 0;   ///< revision tag counter (monotone)
+};
+
+/// One re-emission of a revised window for one query.
+struct RevisionRecord {
+  std::uint64_t late_seq = 0;  ///< seq of the triggering late event
+  WindowId window = 0;
+  std::uint64_t revision = 0;  ///< 1-based, monotone per window
+  std::vector<ComplexEvent> matches;  ///< full re-finalized match set
+};
+
+/// A late event captured by LatePolicy::kSideOutput, with the
+/// watermark that convicted it and the retained windows it would have
+/// belonged to (empty when it predates the retention horizon).
+struct SideOutputRecord {
+  Event event;
+  std::uint64_t watermark_seq = 0;
+  std::vector<WindowId> windows;
+};
+
+/// Bounded FIFO of retained closed windows for one windowing group.
+class RetainedWindowStore {
+ public:
+  RetainedWindowStore(WindowSpec spec, std::size_t capacity)
+      : spec_(spec), capacity_(capacity) {}
+
+  /// Materializes and retains a freshly closed window, evicting the
+  /// oldest beyond the horizon.
+  void retain(const WindowView& v);
+
+  /// Indexes (oldest first) of retained windows that would have
+  /// contained `e` had it arrived on time.  Time spans use the
+  /// [open_ts, open_ts + span) interval; count/predicate spans use the
+  /// [open_seq, last kept seq] range.
+  std::vector<std::size_t> covering(const Event& e) const;
+
+  /// Splices `e` into retained window `idx` at its sequence position,
+  /// exactly as if it had arrived on time and been kept by every
+  /// query: arrival positions at and after the insertion shift by one
+  /// and the window's arrival count grows by one.  Returns false (no
+  /// state change) if the seq is already present.  Bumps the revision
+  /// tag on success.
+  bool insert_event(std::size_t idx, const Event& e);
+
+  RetainedWindow& at(std::size_t idx) { return ring_[idx]; }
+  const RetainedWindow& at(std::size_t idx) const { return ring_[idx]; }
+  std::size_t size() const { return ring_.size(); }
+
+  void serialize(durability::SnapshotWriter& w) const;
+  void restore(durability::SnapshotReader& r);
+
+ private:
+  WindowSpec spec_;
+  std::size_t capacity_;
+  std::deque<RetainedWindow> ring_;  // oldest at front
+};
+
+}  // namespace espice

@@ -110,6 +110,18 @@ class IncrementalMatcher {
   /// differential tests compare against).
   const Matcher& window_scan() const { return legacy_; }
 
+  /// Full legacy re-scan of an arbitrary window view, independent of
+  /// this matcher's run state.  Event-time revision uses this: a late
+  /// event spliced into a retained window invalidates the runs that
+  /// finalized it, so the revision re-derives the match set from the
+  /// amended kept list.  (The engine's reorder stage guarantees the
+  /// incremental feed itself only ever sees in-sequence events; revised
+  /// windows are the one place out-of-anchor-order insertion happens,
+  /// and they always take this scan.)
+  std::vector<ComplexEvent> rematch_window(const WindowView& w) const {
+    return legacy_.match_window(w);
+  }
+
   /// Snapshot / restore of the stream-level run state (durability layer).
   /// The restoring matcher must be constructed with the same pattern and
   /// policies (the legacy engine holds only reusable scratch, so only run

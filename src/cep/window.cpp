@@ -393,6 +393,19 @@ const std::vector<WindowView>& WindowManager::drain_closed() {
   return views_;
 }
 
+void WindowManager::advance_time_watermark(double ts) {
+  if (spec_.span_kind != WindowSpan::kTime) return;
+  // The previous event's keep fate is final (the watermark orders after
+  // it); flush before its windows can close.
+  if (feed_ != nullptr) flush_feed();
+  while (open_head_ < open_.size() &&
+         ts >= open_[open_head_].open_ts + spec_.span_seconds) {
+    close_record(std::move(open_[open_head_]));
+    ++open_head_;
+  }
+  close_expired_front();
+}
+
 void WindowManager::close_all() {
   if (feed_ != nullptr) flush_feed();
   for (std::size_t i = open_head_; i < open_.size(); ++i) {

@@ -326,6 +326,18 @@ class WindowManager {
     feed_ = feed;
   }
 
+  /// Event-time watermark: closes every open time-span window whose
+  /// span ended at or before event-time `ts`, without offering an
+  /// event.  Bit-identical to the close the next offer() would have
+  /// performed (arrivals count only offered events, and any event the
+  /// watermark precedes would have closed the same windows first), so
+  /// watermark-driven close only ADDS earlier close points -- it never
+  /// changes window contents.  No-op for count/predicate spans, whose
+  /// boundaries are offer-index-based and close in offer() as before.
+  /// Call with a monotone ts (the engine's reorder stage guarantees
+  /// this).
+  void advance_time_watermark(double ts);
+
   /// Views of the windows closed since the last drain, in closing order.
   /// Views (and the store slots they reference) stay valid until the next
   /// offer()/drain_closed()/close_all() call; materialize() any window that

@@ -101,6 +101,7 @@ void BaselineShedder::recompute(double x_per_window) {
 
 bool BaselineShedder::should_drop(const Event& e, std::uint32_t /*position*/,
                                   double /*predicted_ws*/) {
+  if (is_watermark(e)) return false;  // punctuations are never shed
   if (!active_) {
     count_decision(false);
     return false;

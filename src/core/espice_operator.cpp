@@ -52,6 +52,9 @@ void EspiceOperator::begin_training(std::size_t n_positions) {
 }
 
 void EspiceOperator::push(const Event& e) {
+  // Watermark punctuations are control records owned by the engine's
+  // event-time stage; a window-level operator ignores them.
+  if (is_watermark(e)) return;
   // Always-on: the stream is external input, and everything downstream
   // (model statistics, utility lookups) indexes arrays by type.  Once per
   // event, not per membership, so the cost is irrelevant.

@@ -136,6 +136,7 @@ bool EspiceShedder::decide(EventTypeId type, std::uint32_t position,
     threshold = thresholds_[part];
     frac = boundary_drop_[part];
   }
+  u += revise_boost_;
   bool drop;
   if (u < threshold) {
     drop = true;
@@ -154,6 +155,7 @@ bool EspiceShedder::decide(EventTypeId type, std::uint32_t position,
 
 bool EspiceShedder::should_drop(const Event& e, std::uint32_t position,
                                 double predicted_ws) {
+  if (is_watermark(e)) return false;  // punctuations are never shed
   if (!active_) {
     count_decision(false);
     return false;
@@ -167,6 +169,10 @@ void EspiceShedder::score_block(const Event& e, const std::uint32_t* positions,
                                 std::size_t n, double predicted_ws,
                                 std::uint64_t* keep_bits) {
   if (n == 0) return;
+  if (is_watermark(e)) {  // punctuations are never shed (no decisions)
+    for (std::size_t w = 0; w < (n + 63) / 64; ++w) keep_bits[w] = ~0ULL;
+    return;
+  }
   if (!active_) {
     for (std::size_t w = 0; w < (n + 63) / 64; ++w) keep_bits[w] = ~0ULL;
     count_block(n, 0);

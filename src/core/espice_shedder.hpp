@@ -55,6 +55,16 @@ class EspiceShedder final : public Shedder {
   void set_exploration(double fraction);
   double exploration() const { return exploration_; }
 
+  /// Event-time revisability hook: while the engine's late policy is
+  /// kRevise, every on-time event's utility is raised by `boost` before
+  /// the threshold compare -- a kept event can never force a (full
+  /// legacy re-scan) window revision later, so keeping is worth more
+  /// than the model's match-contribution alone.  0 (default) leaves the
+  /// decision stream untouched.  Configuration, not state: hosts apply
+  /// it at construction (before restore()), so it is not serialized.
+  void set_revise_boost(int boost) { revise_boost_ = boost; }
+  int revise_boost() const { return revise_boost_; }
+
   bool should_drop(const Event& e, std::uint32_t position,
                    double predicted_ws) override;
   void score_block(const Event& e, const std::uint32_t* positions,
@@ -112,6 +122,7 @@ class EspiceShedder final : public Shedder {
   std::size_t partitions_ = 1;
   double last_x_ = 0.0;
   double exploration_ = 0.0;
+  int revise_boost_ = 0;
   bool exact_amount_;
   Rng rng_;
   bool active_ = false;

@@ -57,6 +57,9 @@ void MultiQueryOperator::begin_training(std::size_t n_positions) {
 }
 
 void MultiQueryOperator::push(const Event& e) {
+  // Watermark punctuations are control records owned by the engine's
+  // event-time stage; a window-level operator ignores them.
+  if (is_watermark(e)) return;
   ESPICE_REQUIRE(e.type < config_.num_types, "event type outside the universe");
   if (phase_ != Phase::kShedding) {
     // Sizing/training: every query keeps everything.
@@ -74,6 +77,7 @@ void MultiQueryOperator::push(const Event& e) {
 }
 
 void MultiQueryOperator::push_shedding(const Event& e) {
+  if (is_watermark(e)) return;
   auto& memberships = windows_.offer(e);
   ++events_;
   const std::size_t mcount = memberships.size();
@@ -115,9 +119,19 @@ void MultiQueryOperator::push_shedding(const Event& e) {
 }
 
 void MultiQueryOperator::push_block(std::span<const Event> block) {
+  bool any_watermark = false;
   for (const Event& e : block) {
-    ESPICE_REQUIRE(e.type < config_.num_types,
+    ESPICE_REQUIRE(is_watermark(e) || e.type < config_.num_types,
                    "event type outside the universe");
+    if (is_watermark(e)) any_watermark = true;
+  }
+  if (any_watermark) {
+    // Punctuations are control records the per-event path ignores; the
+    // bulk offer below must never route them into windows.  Rare (the
+    // engine's event-time stage consumes punctuations upstream), so the
+    // scalar path is fine.
+    for (const Event& e : block) push(e);
+    return;
   }
   std::size_t i = 0;
   while (i < block.size()) {

@@ -22,7 +22,8 @@ class RandomShedder final : public Shedder {
     ESPICE_REQUIRE(window_size_events_ > 0, "window size must be positive");
   }
 
-  bool should_drop(const Event&, std::uint32_t, double) override {
+  bool should_drop(const Event& e, std::uint32_t, double) override {
+    if (is_watermark(e)) return false;  // punctuations are never shed
     const bool drop = active_ && rng_.bernoulli(drop_prob_);
     count_decision(drop);
     return drop;

@@ -45,6 +45,12 @@ class Shedder {
   /// total size is `predicted_ws` events.  Called once per (event, window)
   /// membership on the hot path -- implementations must be O(1) and must not
   /// allocate.
+  ///
+  /// Contract: watermark punctuations (is_watermark(e)) are control
+  /// records, not data -- implementations must keep them (return false,
+  /// no decision counted, no RNG consumed).  The engine's reorder stage
+  /// consumes punctuations before shedding ever sees them; the guard is
+  /// defense in depth for hosts driving shedders directly.
   virtual bool should_drop(const Event& e, std::uint32_t position,
                            double predicted_ws) = 0;
 

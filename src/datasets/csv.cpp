@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "cep/event_time.hpp"
 #include "common/error.hpp"
 
 namespace espice {
@@ -91,6 +92,7 @@ CsvReadResult read_events_csv(std::istream& in, TypeRegistry& registry,
     }
   }
   if (options.require_stream_order) validate_stream_order(result.events);
+  result.max_disorder = measure_disorder(result.events);
   return result;
 }
 

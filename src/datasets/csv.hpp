@@ -33,7 +33,9 @@ struct CsvReadOptions {
   /// Enforce the Event stream contract on the loaded events (strictly
   /// increasing seq, non-decreasing ts); violations throw ConfigError --
   /// out-of-order data fails fast instead of silently corrupting windowing
-  /// downstream.
+  /// downstream.  Leave false for disordered captures and use the measured
+  /// `CsvReadResult::max_disorder` to size the engine's event-time
+  /// disorder bound instead (see cep/event_time.hpp).
   bool require_stream_order = false;
 };
 
@@ -46,6 +48,12 @@ struct CsvReadResult {
   std::vector<std::string> errors;
   /// kStop only: a bad row ended the read before end-of-stream.
   bool stopped_early = false;
+  /// Measured disorder of the loaded stream in file order: the maximum
+  /// lateness max(seq seen so far - e.seq) over all events (see
+  /// measure_disorder() in cep/event_time.hpp).  0 for in-order files.
+  /// An engine with disorder_bound >= max_disorder replays this file
+  /// with zero late events.
+  std::uint64_t max_disorder = 0;
 };
 
 /// Reads events, interning unseen type names into `registry` (a row's type

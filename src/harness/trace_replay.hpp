@@ -1,0 +1,80 @@
+// Trace-replay regression harness.
+//
+// Replays a committed disordered CSV trace (tests/data/trace_stream.csv)
+// through a canonical set of event-time engine configurations and digests
+// every observable output -- matches, per-query reports, late/revision
+// bookkeeping, watermarks, per-shard counters -- into a stable text form.
+// The digest is committed next to the trace (trace_golden.txt); any change
+// to the event-time pipeline's observable behaviour shows up as a golden
+// diff instead of slipping through unnoticed.
+//
+// The harness runs three sections per replay, one per window span kind
+// (count-slide, time-slide, predicate-delimited), so watermark-driven
+// time-window close and the count/predicate paths are all pinned by one
+// golden.  Only deterministic fields enter the digest: wall-clock rates,
+// backpressure and queue-depth gauges are excluded.
+//
+// Consumers: tools/trace_replay.cpp (CLI: generate / digest / check) and
+// tests/regression/trace_replay_test.cpp (ctest gate; regenerate the
+// golden with ESPICE_REGEN_GOLDEN=1 after an intended behaviour change).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cep/event.hpp"
+#include "cep/event_time.hpp"
+#include "runtime/stream_engine.hpp"
+
+namespace espice {
+
+/// Canonical replay configuration.  Defaults are the committed-fixture
+/// contract: changing them invalidates tests/data/trace_golden.txt.
+struct TraceReplayOptions {
+  std::size_t shards = 2;
+  std::size_t batch = 64;  ///< push_batch granularity
+  /// Reorder-stage bound.  The committed trace carries stragglers
+  /// displaced well past this bound, so the late path is exercised.
+  std::uint64_t disorder_bound = 32;
+  LatePolicy late_policy = LatePolicy::kRevise;
+  std::size_t revise_horizon_windows = 16;
+  std::uint64_t heartbeat_events = 0;
+  /// HashShedder modulus (keep seq-hash % mod == 0); 0 = keep all.
+  unsigned drop_mod = 3;
+};
+
+/// One replayed section (one window span kind).
+struct TraceReplaySection {
+  std::string name;
+  EngineReport report;
+};
+
+struct TraceReplayResult {
+  std::uint64_t trace_events = 0;
+  std::uint64_t measured_disorder = 0;
+  TraceReplayOptions options;
+  std::vector<TraceReplaySection> sections;
+};
+
+/// Builds the canonical regression trace: an in-order random stream
+/// (6 types, jittered timestamps) shuffled within blocks of 24 (disorder
+/// < 24, inside the default bound) plus two stragglers displaced 100
+/// positions (beyond the bound -> the late path fires).  Deterministic in
+/// `seed`; the committed fixture is seed 7, n 600.
+std::vector<Event> make_regression_trace(std::uint64_t seed, std::size_t n);
+
+/// Replays `events` through the three canonical sections.
+TraceReplayResult replay_trace(const std::vector<Event>& events,
+                               const TraceReplayOptions& options = {});
+
+/// Loads the trace from a CSV file (disordered rows allowed) and replays.
+/// Throws espice::Error on I/O or parse failure.
+TraceReplayResult replay_trace_csv(const std::string& csv_path,
+                                   const TraceReplayOptions& options = {});
+
+/// Renders the stable text digest (ends with an FNV-1a line over the
+/// digest body, so a one-glance comparison is possible).
+std::string replay_digest(const TraceReplayResult& result);
+
+}  // namespace espice

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <limits>
 #include <span>
 #include <thread>
 #include <tuple>
 
 #include "cep/incremental_matcher.hpp"
+#include "core/espice_shedder.hpp"
 #include "durability/serial.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/spsc_ring.hpp"
@@ -41,6 +43,11 @@ void StreamEngineConfig::validate() const {
                    "depend on the wall clock and are not replayable)");
     ESPICE_REQUIRE(!durability->dir.empty(), "durability.dir must be set");
   }
+  if (event_time.has_value()) {
+    ESPICE_REQUIRE(!adaptive.has_value(),
+                   "event time requires deterministic mode");
+    event_time->validate();
+  }
   if (adaptive.has_value()) {
     adaptive->validate();
     return;
@@ -60,6 +67,7 @@ struct StreamEngine::Shard {
     stats.shard = index_;
     query_matches.resize(num_queries);
     query_counters.resize(num_queries);
+    query_revisions.resize(num_queries);
   }
 
   /// Per-query outcome counters of this shard (summed into QueryReport).
@@ -79,6 +87,11 @@ struct StreamEngine::Shard {
   /// Per query, this shard's matches in shard-local detection order.
   std::vector<std::vector<ComplexEvent>> query_matches;
   std::vector<QueryCounters> query_counters;
+  /// Event-time kRevise: per query, this shard's window re-emissions in
+  /// shard-local detection order.
+  std::vector<std::vector<RevisionRecord>> query_revisions;
+  /// Event-time kSideOutput: late captures in shard-local arrival order.
+  std::vector<SideOutputRecord> side_outputs;
   ShardStats stats;
   std::exception_ptr error;
 
@@ -127,6 +140,11 @@ StreamEngine::StreamEngine(StreamEngineConfig config)
                    "depend on the wall clock and are not replayable)");
     ESPICE_REQUIRE(!config_.durability->dir.empty(),
                    "durability.dir must be set");
+  }
+  if (config_.event_time.has_value()) {
+    ESPICE_REQUIRE(!config_.adaptive.has_value(),
+                   "event time requires deterministic mode");
+    config_.event_time->validate();
   }
   if (config_.adaptive.has_value()) config_.adaptive->validate();
 }
@@ -235,6 +253,16 @@ void StreamEngine::push(const Event& e) {
   if (log_ != nullptr && !replaying_) {
     log_->append_batch(std::span<const Event>(&e, 1));
   }
+  if (is_watermark(e)) {
+    ESPICE_REQUIRE(config_.event_time.has_value(),
+                   "watermark pushed without event_time configured");
+    route_punctuation(e);
+    if (log_ != nullptr && !replaying_) {
+      ++events_since_snapshot_;
+      maybe_auto_checkpoint();
+    }
+    return;
+  }
   const std::size_t si = shard_of(e);
   Shard& s = *shards_[si];
   if (!s.ring.try_push(e)) {
@@ -249,12 +277,63 @@ void StreamEngine::push(const Event& e) {
     s.stats.router_stall_seconds += waiter.stall_seconds();
   }
   ++pushed_;
+  if (config_.event_time.has_value()) {
+    if (!router_max_valid_ || e.seq > router_max_seq_) {
+      router_max_seq_ = e.seq;
+      router_max_valid_ = true;
+    }
+    ++data_since_hb_;
+  }
   if (log_ != nullptr) {
     ++pushed_per_shard_[si];
     if (!replaying_) {
       ++events_since_snapshot_;
       maybe_auto_checkpoint();
     }
+  }
+  maybe_heartbeat();
+}
+
+void StreamEngine::route_punctuation(const Event& p) {
+  // Broadcast: every shard's substream carries the watermark at this
+  // point of its arrival order (the rings are FIFO, so it orders after
+  // everything routed before it and ahead of everything after).
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    if (!s.ring.try_push(p)) {
+      BackoffWaiter waiter;
+      do {
+        waiter.wait();
+      } while (!s.ring.try_push(p));
+      s.stats.router_backpressure_waits += waiter.waits();
+      s.stats.router_stall_seconds += waiter.stall_seconds();
+    }
+    if (log_ != nullptr) ++pushed_per_shard_[i];
+  }
+  ++pushed_;
+  ++punct_pushed_;
+  // Any watermark (user punctuation or heartbeat) restarts the heartbeat
+  // period -- also what makes replay reconstruct the counter exactly.
+  data_since_hb_ = 0;
+}
+
+void StreamEngine::maybe_heartbeat() {
+  if (!config_.event_time.has_value() || replaying_) return;
+  const EventTimeConfig& et = *config_.event_time;
+  if (et.heartbeat_events == 0 || data_since_hb_ < et.heartbeat_events) {
+    return;
+  }
+  // The router's own watermark: the newest seq no within-bound straggler
+  // can still precede.  Not yet meaningful below D + 1 events.
+  if (!router_max_valid_ || router_max_seq_ < et.disorder_bound + 1) return;
+  const Event p = make_watermark(router_max_seq_ - et.disorder_bound - 1);
+  // Heartbeats are logged like any record so replay reproduces them at
+  // the same stream position instead of re-synthesizing.
+  if (log_ != nullptr) log_->append_batch(std::span<const Event>(&p, 1));
+  route_punctuation(p);
+  if (log_ != nullptr) {
+    ++events_since_snapshot_;
+    maybe_auto_checkpoint();
   }
 }
 
@@ -276,11 +355,8 @@ void StreamEngine::bulk_push_shard(Shard& s, const Event* data, std::size_t n) {
   }
 }
 
-void StreamEngine::push_batch(std::span<const Event> events) {
-  ESPICE_REQUIRE(!finished_, "push_batch() after finish()");
+void StreamEngine::push_data_segment(std::span<const Event> events) {
   if (events.empty()) return;
-  if (!started_) start();
-  if (log_ != nullptr && !replaying_) log_->append_batch(events);
   if (config_.shards == 1) {
     // Single shard: everything routes to shard 0 -- no hashing, no staging
     // copy, bulk enqueue straight from the caller's span.
@@ -297,10 +373,46 @@ void StreamEngine::push_batch(std::span<const Event> events) {
     }
   }
   pushed_ += events.size();
+  if (config_.event_time.has_value()) {
+    for (const Event& e : events) {
+      if (!router_max_valid_ || e.seq > router_max_seq_) {
+        router_max_seq_ = e.seq;
+        router_max_valid_ = true;
+      }
+    }
+    data_since_hb_ += events.size();
+  }
+}
+
+void StreamEngine::push_batch(std::span<const Event> events) {
+  ESPICE_REQUIRE(!finished_, "push_batch() after finish()");
+  if (events.empty()) return;
+  if (!started_) start();
+  if (log_ != nullptr && !replaying_) log_->append_batch(events);
+  if (config_.event_time.has_value()) {
+    // Punctuations broadcast to every shard and must keep their arrival
+    // position relative to the data around them: split the batch at
+    // watermark records, flushing each punctuation-free run in bulk.
+    std::size_t i = 0;
+    while (i < events.size()) {
+      if (is_watermark(events[i])) {
+        route_punctuation(events[i]);
+        ++i;
+        continue;
+      }
+      std::size_t j = i + 1;
+      while (j < events.size() && !is_watermark(events[j])) ++j;
+      push_data_segment(events.subspan(i, j - i));
+      i = j;
+    }
+  } else {
+    push_data_segment(events);
+  }
   if (log_ != nullptr && !replaying_) {
     events_since_snapshot_ += events.size();
     maybe_auto_checkpoint();
   }
+  maybe_heartbeat();
 }
 
 void StreamEngine::run_deterministic_shard(Shard& shard) {
@@ -333,6 +445,16 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
           q.predicted_ws > 0.0
               ? q.predicted_ws
               : static_cast<double>(q.query.window.span_events);
+      // Revisability hook: under kRevise, kept events can never force a
+      // window revision later, so their utility gets the configured
+      // boost.  Applied before any restore (configuration, not state).
+      if (config_.event_time.has_value() &&
+          config_.event_time->late_policy == LatePolicy::kRevise &&
+          config_.event_time->revise_utility_boost != 0) {
+        if (auto* es = dynamic_cast<EspiceShedder*>(rt.shedder.get())) {
+          es->set_revise_boost(config_.event_time->revise_utility_boost);
+        }
+      }
       runtimes.push_back(std::move(rt));
     }
 
@@ -397,11 +519,57 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
       }
     }
 
+    // ---- event-time stage state -----------------------------------------
+    const bool et_on = config_.event_time.has_value();
+    const EventTimeConfig et_cfg =
+        et_on ? *config_.event_time : EventTimeConfig{};
+    ReorderBuffer reorder(et_cfg.disorder_bound);
+    std::vector<Event> released;  // reused release buffer
+    // Side-output attribution and revision both need recently closed
+    // windows kept around.
+    const bool retain_windows =
+        et_on && et_cfg.late_policy != LatePolicy::kDrop;
+    std::vector<RetainedWindowStore> retained;
+    if (retain_windows) {
+      retained.reserve(groups.size());
+      for (const Group& g : groups) {
+        retained.emplace_back(queries_[g.members.front()].query.window,
+                              et_cfg.revise_horizon_windows);
+      }
+    }
+
     // ---- durability: pipeline snapshot/restore + checkpoint service -----
-    // `consumed` counts the events this shard has drained over its whole
-    // lifetime (it resumes from the snapshot on recovery); the router cuts
-    // checkpoints at exact values of it.
+    // `consumed` counts the ring items (data events and punctuations)
+    // this shard has drained over its whole lifetime (it resumes from the
+    // snapshot on recovery); the router cuts checkpoints at exact values
+    // of it.
     std::uint64_t consumed = 0;
+
+    auto write_ce = [](durability::SnapshotWriter& w,
+                       const ComplexEvent& ce) {
+      w.u64(ce.window);
+      w.f64(ce.detection_ts);
+      w.u64(ce.constituents.size());
+      for (const Constituent& c : ce.constituents) {
+        w.u32(c.element);
+        w.u32(c.position);
+        w.event(c.event);
+      }
+    };
+    auto read_ce = [](durability::SnapshotReader& r) {
+      ComplexEvent ce;
+      ce.window = static_cast<WindowId>(r.u64());
+      ce.detection_ts = r.f64();
+      const std::uint64_t n_cons = r.u64();
+      for (std::uint64_t ci = 0; ci < n_cons; ++ci) {
+        Constituent c;
+        c.element = r.u32();
+        c.position = r.u32();
+        c.event = r.event();
+        ce.constituents.push_back(std::move(c));
+      }
+      return ce;
+    };
 
     auto serialize_pipeline = [&](durability::SnapshotWriter& w) {
       w.u64(consumed);
@@ -419,14 +587,35 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
         w.u64(rt.kept);
         const auto& matches = shard.query_matches[qi];
         w.u64(matches.size());
-        for (const ComplexEvent& ce : matches) {
-          w.u64(ce.window);
-          w.f64(ce.detection_ts);
-          w.u64(ce.constituents.size());
-          for (const Constituent& c : ce.constituents) {
-            w.u32(c.element);
-            w.u32(c.position);
-            w.event(c.event);
+        for (const ComplexEvent& ce : matches) write_ce(w, ce);
+      }
+      w.boolean(et_on);
+      if (et_on) {
+        reorder.serialize(w);
+        w.u64(shard.stats.punctuations);
+        w.u64(shard.stats.late_events);
+        w.u64(shard.stats.late_dropped);
+        w.u64(shard.stats.late_side_output);
+        w.u64(shard.stats.revisions);
+        w.u64(shard.stats.reorder_peak_buffered);  // scalar, not a prefix
+        if (retain_windows) {
+          for (const RetainedWindowStore& rs : retained) rs.serialize(w);
+        }
+        w.size(shard.side_outputs.size());
+        for (const SideOutputRecord& so : shard.side_outputs) {
+          w.event(so.event);
+          w.u64(so.watermark_seq);
+          w.vec_int(so.windows);
+        }
+        for (std::size_t qi = 0; qi < nq; ++qi) {
+          const auto& revs = shard.query_revisions[qi];
+          w.size(revs.size());
+          for (const RevisionRecord& rec : revs) {
+            w.u64(rec.late_seq);
+            w.u64(rec.window);
+            w.u64(rec.revision);
+            w.u64(rec.matches.size());
+            for (const ComplexEvent& ce : rec.matches) write_ce(w, ce);
           }
         }
       }
@@ -454,18 +643,48 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
         auto& matches = shard.query_matches[qi];
         matches.clear();
         for (std::uint64_t m = 0; m < n_matches; ++m) {
-          ComplexEvent ce;
-          ce.window = static_cast<WindowId>(r.u64());
-          ce.detection_ts = r.f64();
-          const std::uint64_t n_cons = r.u64();
-          for (std::uint64_t ci = 0; ci < n_cons; ++ci) {
-            Constituent c;
-            c.element = r.u32();
-            c.position = r.u32();
-            c.event = r.event();
-            ce.constituents.push_back(std::move(c));
+          matches.push_back(read_ce(r));
+        }
+      }
+      const bool had_et = r.boolean();
+      ESPICE_CHECK(had_et == et_on, ErrorCode::kCorruptSnapshot,
+                   "snapshot event-time mode does not match the engine's "
+                   "configuration");
+      if (et_on) {
+        reorder.restore(r);
+        shard.stats.punctuations = r.u64();
+        shard.stats.late_events = r.u64();
+        shard.stats.late_dropped = r.u64();
+        shard.stats.late_side_output = r.u64();
+        shard.stats.revisions = r.u64();
+        shard.stats.reorder_peak_buffered = static_cast<std::size_t>(r.u64());
+        if (retain_windows) {
+          for (RetainedWindowStore& rs : retained) rs.restore(r);
+        }
+        const std::size_t n_so = r.size();
+        shard.side_outputs.clear();
+        for (std::size_t i = 0; i < n_so; ++i) {
+          SideOutputRecord so;
+          so.event = r.event();
+          so.watermark_seq = r.u64();
+          so.windows = r.vec_int<WindowId>();
+          shard.side_outputs.push_back(std::move(so));
+        }
+        for (std::size_t qi = 0; qi < nq; ++qi) {
+          auto& revs = shard.query_revisions[qi];
+          revs.clear();
+          const std::size_t n_revs = r.size();
+          for (std::size_t i = 0; i < n_revs; ++i) {
+            RevisionRecord rec;
+            rec.late_seq = r.u64();
+            rec.window = r.u64();
+            rec.revision = r.u64();
+            const std::uint64_t nm = r.u64();
+            for (std::uint64_t m = 0; m < nm; ++m) {
+              rec.matches.push_back(read_ce(r));
+            }
+            revs.push_back(std::move(rec));
           }
-          matches.push_back(std::move(ce));
         }
       }
     };
@@ -497,6 +716,8 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
     };
 
     auto flush = [&](Group& g) {
+      const std::size_t gi =
+          static_cast<std::size_t>(&g - groups.data());
       for (const WindowView& w : g.wm.drain_closed()) {
         ++shard.stats.windows_closed;
         for (const std::size_t qi : g.members) {
@@ -508,6 +729,87 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
           for (auto& m : matches) {
             shard.query_matches[qi].push_back(std::move(m));
           }
+        }
+        // Event-time side-output / revise: keep the closed window (and
+        // its keep masks) within the retention horizon.
+        if (retain_windows) retained[gi].retain(w);
+      }
+    };
+
+    // Per-query view of a retained (revised) window: the full kept list
+    // for uniform groups, the query's masked subset otherwise.  The
+    // spliced late event carries an all-ones mask, so every member query
+    // sees it.
+    auto retained_view_for = [&](const RetainedWindow& rw,
+                                 const QueryRuntime& rt,
+                                 Window& scratch) -> WindowView {
+      if (rw.masks.empty()) return rw.win.view();
+      scratch.id = rw.win.id;
+      scratch.open_ts = rw.win.open_ts;
+      scratch.open_seq = rw.win.open_seq;
+      scratch.open_index = rw.win.open_index;
+      scratch.arrivals = rw.win.arrivals;
+      scratch.kept.clear();
+      scratch.kept_pos.clear();
+      for (std::size_t i = 0; i < rw.win.kept.size(); ++i) {
+        if ((rw.masks[i] >> rt.bit) & 1) {
+          scratch.kept.push_back(rw.win.kept[i]);
+          scratch.kept_pos.push_back(rw.win.kept_pos[i]);
+        }
+      }
+      return scratch.view();
+    };
+
+    // Late-event policies.  A late event never enters the stream: it is
+    // counted, side-channeled, or spliced into retained windows -- which
+    // re-finalize through the legacy matcher under a fresh revision tag.
+    Window revise_scratch;
+    auto handle_late = [&](const Event& e) {
+      ++shard.stats.late_events;
+      switch (et_cfg.late_policy) {
+        case LatePolicy::kDrop:
+          ++shard.stats.late_dropped;
+          break;
+        case LatePolicy::kSideOutput: {
+          SideOutputRecord rec;
+          rec.event = e;
+          rec.watermark_seq = reorder.watermark_seq();
+          for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+            for (const std::size_t idx : retained[gi].covering(e)) {
+              rec.windows.push_back(retained[gi].at(idx).win.id);
+            }
+          }
+          shard.side_outputs.push_back(std::move(rec));
+          ++shard.stats.late_side_output;
+          break;
+        }
+        case LatePolicy::kRevise: {
+          bool any = false;
+          for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+            Group& g = groups[gi];
+            for (const std::size_t idx : retained[gi].covering(e)) {
+              if (!retained[gi].insert_event(idx, e)) continue;
+              const RetainedWindow& rw = retained[gi].at(idx);
+              any = true;
+              ++shard.stats.revisions;
+              for (const std::size_t qi : g.members) {
+                QueryRuntime& rt = runtimes[qi];
+                RevisionRecord rec;
+                rec.late_seq = e.seq;
+                rec.window = rw.win.id;
+                rec.revision = rw.revisions;
+                // Revision bypasses shedding by design: the late event
+                // is already paid for, and a revision exists to restore
+                // accuracy, not to thin it.
+                rec.matches = rt.matcher.rematch_window(
+                    retained_view_for(rw, rt, revise_scratch));
+                shard.query_revisions[qi].push_back(std::move(rec));
+              }
+            }
+          }
+          // Beyond every retained horizon: nothing left to revise.
+          if (!any) ++shard.stats.late_dropped;
+          break;
         }
       }
     };
@@ -532,44 +834,24 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
       }
     };
 
-    for (;;) {
-      service_checkpoint();
-      std::span<const Event> blk = shard.ring.front_block(kShardBlock);
-      if (blk.empty()) {
-        if (!shard.ring.closed()) {
-          std::this_thread::yield();
-          continue;
-        }
-        // Same never-miss ordering as pop_or_closed(): closed was observed
-        // (acquire) after an empty view, so one more look decides.
-        blk = shard.ring.front_block(kShardBlock);
-        if (blk.empty()) break;
-      }
-      // An armed checkpoint cuts at an exact event count: trim the block so
-      // the shard lands on the cut (the loop head serves it), never past.
-      const std::uint64_t target =
-          shard.checkpoint_target.load(std::memory_order_acquire);
-      if (target != kNoCheckpoint && target - consumed < blk.size()) {
-        blk = blk.first(static_cast<std::size_t>(target - consumed));
-      }
-      const std::size_t n = blk.size();
-      shard.stats.events += n;
-      // Depth gauge, one sample per block (the unreleased block still
-      // counts as queued).
-      shard.stats.peak_queue_depth =
-          std::max(shard.stats.peak_queue_depth, shard.ring.size());
+    // One block-wise pipeline pass over an IN-ORDER run of data events:
+    // the whole pre-event-time data path, shared verbatim by both modes
+    // (event-time feeds it watermark-released runs instead of raw ring
+    // blocks).
+    auto process_data_block = [&](std::span<const Event> data) {
+      shard.stats.events += data.size();
       for (Group& g : groups) {
         if (g.members.size() == 1) {
           QueryRuntime& rt = runtimes[g.members.front()];
           if (rt.shedder == nullptr) {
             // All-keep single query: the fully batched window path.
-            const std::uint64_t kept = g.wm.offer_keep_all_block(blk);
+            const std::uint64_t kept = g.wm.offer_keep_all_block(data);
             rt.memberships += kept;
             rt.kept += kept;
             shard.stats.memberships += kept;
             shard.stats.memberships_kept += kept;
           } else {
-            for (const Event& e : blk) {
+            for (const Event& e : data) {
               auto& memberships = g.wm.offer(e);
               const std::size_t mcount = memberships.size();
               shard.stats.memberships += mcount;
@@ -591,7 +873,7 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
         } else if (!g.diverging) {
           // Shared all-keep group: one mask-free batched pass covers every
           // member query.
-          const std::uint64_t kept = g.wm.offer_keep_all_block(blk);
+          const std::uint64_t kept = g.wm.offer_keep_all_block(data);
           shard.stats.memberships += kept;
           shard.stats.memberships_kept += kept;
           for (const std::size_t qi : g.members) {
@@ -599,7 +881,7 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
             runtimes[qi].kept += kept;
           }
         } else {
-          for (const Event& e : blk) {
+          for (const Event& e : data) {
             auto& memberships = g.wm.offer(e);
             const std::size_t mcount = memberships.size();
             shard.stats.memberships += mcount;
@@ -642,8 +924,79 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
         }
         flush(g);
       }
+    };
+
+    for (;;) {
+      service_checkpoint();
+      std::span<const Event> blk = shard.ring.front_block(kShardBlock);
+      if (blk.empty()) {
+        if (!shard.ring.closed()) {
+          std::this_thread::yield();
+          continue;
+        }
+        // Same never-miss ordering as pop_or_closed(): closed was observed
+        // (acquire) after an empty view, so one more look decides.
+        blk = shard.ring.front_block(kShardBlock);
+        if (blk.empty()) break;
+      }
+      // An armed checkpoint cuts at an exact event count: trim the block so
+      // the shard lands on the cut (the loop head serves it), never past.
+      const std::uint64_t target =
+          shard.checkpoint_target.load(std::memory_order_acquire);
+      if (target != kNoCheckpoint && target - consumed < blk.size()) {
+        blk = blk.first(static_cast<std::size_t>(target - consumed));
+      }
+      const std::size_t n = blk.size();
+      // Depth gauge, one sample per block (the unreleased block still
+      // counts as queued).
+      shard.stats.peak_queue_depth =
+          std::max(shard.stats.peak_queue_depth, shard.ring.size());
+      if (!et_on) {
+        process_data_block(blk);
+      } else {
+        // Event-time stage: punctuations and stragglers are consumed
+        // here; only watermark-released IN-ORDER runs reach the data
+        // path, so everything downstream is bit-identical to an
+        // in-order run of the released stream.
+        for (const Event& e : blk) {
+          if (is_watermark(e)) {
+            ++shard.stats.punctuations;
+            released.clear();
+            reorder.punctuate(e.seq, released);
+            if (!released.empty()) process_data_block(released);
+            if (watermark_has_ts(e)) {
+              // Event-time close: time windows whose span ended at or
+              // before the watermark close NOW, without waiting for the
+              // next on-time arrival.
+              for (Group& g : groups) {
+                g.wm.advance_time_watermark(e.ts);
+                flush(g);
+              }
+            }
+          } else {
+            released.clear();
+            if (reorder.accept(e, released) ==
+                ReorderBuffer::Accept::kLate) {
+              handle_late(e);
+            } else if (!released.empty()) {
+              process_data_block(released);
+            }
+          }
+        }
+      }
       consumed += n;
       shard.ring.release(n);
+    }
+    if (et_on) {
+      // End of stream: everything still buffered is releasable (no more
+      // arrivals can precede it) -- drain the stage in sequence order
+      // before the windows close.
+      released.clear();
+      reorder.flush(released);
+      if (!released.empty()) process_data_block(released);
+      shard.stats.watermark_valid = reorder.has_watermark();
+      shard.stats.watermark_seq = reorder.watermark_seq();
+      shard.stats.reorder_peak_buffered = reorder.peak_buffered();
     }
     for (Group& g : groups) {
       g.wm.close_all();
@@ -777,6 +1130,13 @@ void StreamEngine::checkpoint() {
   w.u64(config_.shards);
   w.u64(std::max<std::size_t>(queries_.size(), 1));
   w.u64(pushed_);
+  // Router-side event-time state: replay after recovery must see the same
+  // heartbeat cadence and watermark base as the original run, so the
+  // trackers are part of the cut (harmless zeros when event time is off).
+  w.u64(punct_pushed_);
+  w.u64(data_since_hb_);
+  w.boolean(router_max_valid_);
+  w.u64(router_max_seq_);
 
   // Arm every shard with its exact cut, then collect in shard order.  The
   // shards quiesce at the cut only as long as it takes the router to copy
@@ -850,6 +1210,10 @@ RecoveryReport StreamEngine::recover_and_start() {
     const std::uint64_t k = r.u64();
     const std::uint64_t nq = r.u64();
     const std::uint64_t offset = r.u64();
+    const std::uint64_t snap_punct = r.u64();
+    const std::uint64_t snap_since_hb = r.u64();
+    const bool snap_max_valid = r.boolean();
+    const std::uint64_t snap_max_seq = r.u64();
     ESPICE_CHECK(k == config_.shards, ErrorCode::kCorruptSnapshot,
                  "snapshot was cut with " + std::to_string(k) +
                      " shards, engine is configured with " +
@@ -869,6 +1233,10 @@ RecoveryReport StreamEngine::recover_and_start() {
     }
     r.expect_done();
     pushed_ = offset;
+    punct_pushed_ = snap_punct;
+    data_since_hb_ = snap_since_hb;
+    router_max_valid_ = snap_max_valid;
+    router_max_seq_ = snap_max_seq;
     rep.snapshot_offset = offset;
   }
 
@@ -893,6 +1261,11 @@ RecoveryReport StreamEngine::recover_and_start() {
     replaying_ = false;
   }
   rep.replayed_events = pushed_ - rep.snapshot_offset;
+  // Replay suppresses heartbeat synthesis (the originals are in the log and
+  // replay through the normal path).  If the original run crashed between
+  // crossing the cadence threshold and logging the heartbeat, emit it now so
+  // live ingestion resumes with the same pending state as an unkilled run.
+  maybe_heartbeat();
   return rep;
 }
 
@@ -943,10 +1316,14 @@ EngineReport StreamEngine::finish() {
   }
 
   EngineReport report;
-  report.events = pushed_;
+  // `pushed_` counts everything that crossed the router, punctuations
+  // included (the durable-log offset contract); the report's event count
+  // is data events only.
+  report.events = pushed_ - punct_pushed_;
+  report.punctuations = punct_pushed_;
   report.wall_seconds = wall;
   report.events_per_sec =
-      wall > 0.0 ? static_cast<double>(pushed_) / wall : 0.0;
+      wall > 0.0 ? static_cast<double>(report.events) / wall : 0.0;
   const std::size_t nq = std::max<std::size_t>(queries_.size(), 1);
 
   // Canonical per-query merge: each query's matches across shards, ordered
@@ -966,11 +1343,84 @@ EngineReport StreamEngine::finish() {
       per_shard.push_back(std::move(s->query_matches[qi]));
     }
     qr.matches = merge_matches(std::move(per_shard));
+    // Canonical revision order: (late event seq, shard, in-shard index) --
+    // shard- and thread-schedule-independent, like the match merge.
+    {
+      struct TaggedRev {
+        std::uint64_t late_seq;
+        std::size_t shard;
+        std::size_t index;
+      };
+      std::vector<TaggedRev> order;
+      for (std::size_t si = 0; si < shards_.size(); ++si) {
+        const auto& revs = shards_[si]->query_revisions[qi];
+        for (std::size_t i = 0; i < revs.size(); ++i) {
+          order.push_back(TaggedRev{revs[i].late_seq, si, i});
+        }
+      }
+      std::sort(order.begin(), order.end(),
+                [](const TaggedRev& a, const TaggedRev& b) {
+                  return std::tie(a.late_seq, a.shard, a.index) <
+                         std::tie(b.late_seq, b.shard, b.index);
+                });
+      qr.revisions.reserve(order.size());
+      for (const TaggedRev& t : order) {
+        qr.revisions.push_back(
+            std::move(shards_[t.shard]->query_revisions[qi][t.index]));
+      }
+    }
   }
   for (auto& s : shards_) {
     report.router_backpressure_waits += s->stats.router_backpressure_waits;
     report.router_stall_seconds += s->stats.router_stall_seconds;
+    // punctuations stays the router broadcast count (set above); the
+    // per-shard consumption counts live in report.shards.
+    report.late_events += s->stats.late_events;
+    report.late_dropped += s->stats.late_dropped;
+    report.late_side_output += s->stats.late_side_output;
+    report.revisions += s->stats.revisions;
     report.shards.push_back(s->stats);
+  }
+  // Engine low watermark: the slowest shard's progress.  Valid only once
+  // every shard has one (a shard that never saw disorder_bound+1 events has
+  // no watermark yet, so the engine can't bound completeness).
+  if (config_.event_time.has_value() && !shards_.empty()) {
+    report.low_watermark_valid = true;
+    report.low_watermark_seq = std::numeric_limits<std::uint64_t>::max();
+    for (auto& s : shards_) {
+      if (!s->stats.watermark_valid) {
+        report.low_watermark_valid = false;
+        break;
+      }
+      report.low_watermark_seq =
+          std::min(report.low_watermark_seq, s->stats.watermark_seq);
+    }
+    if (!report.low_watermark_valid) report.low_watermark_seq = 0;
+  }
+  // Side outputs merged canonically by (late event seq, shard, index).
+  {
+    struct TaggedSo {
+      std::uint64_t seq;
+      std::size_t shard;
+      std::size_t index;
+    };
+    std::vector<TaggedSo> order;
+    for (std::size_t si = 0; si < shards_.size(); ++si) {
+      const auto& so = shards_[si]->side_outputs;
+      for (std::size_t i = 0; i < so.size(); ++i) {
+        order.push_back(TaggedSo{so[i].event.seq, si, i});
+      }
+    }
+    std::sort(order.begin(), order.end(),
+              [](const TaggedSo& a, const TaggedSo& b) {
+                return std::tie(a.seq, a.shard, a.index) <
+                       std::tie(b.seq, b.shard, b.index);
+              });
+    report.side_outputs.reserve(order.size());
+    for (const TaggedSo& t : order) {
+      report.side_outputs.push_back(
+          std::move(shards_[t.shard]->side_outputs[t.index]));
+    }
   }
 
   // Engine-level canonical order: (completion seq, query, shard, index).

@@ -71,6 +71,7 @@
 #include <span>
 #include <vector>
 
+#include "cep/event_time.hpp"
 #include "cep/matcher.hpp"
 #include "cep/pattern.hpp"
 #include "cep/window.hpp"
@@ -162,6 +163,16 @@ struct StreamEngineConfig {
   /// checkpoint() / recover_and_start().  Deterministic mode only.
   std::optional<DurabilityConfig> durability;
 
+  // --- event time ----------------------------------------------------------
+  /// When set, the engine accepts out-of-order input: each shard runs a
+  /// bounded reorder stage (cep/event_time.hpp) ahead of window routing,
+  /// watermarks (progress, punctuation, router heartbeat) drive release
+  /// and time-window close, and beyond-bound arrivals take the configured
+  /// late policy.  Deterministic mode only.  Contract: input shuffled
+  /// within `event_time->disorder_bound` of an in-order stream produces
+  /// output bit-identical to pushing that stream in order.
+  std::optional<EventTimeConfig> event_time;
+
   void validate() const;
 };
 
@@ -185,6 +196,15 @@ struct ShardStats {
   std::size_t retrains = 0;
   std::size_t detector_ticks = 0;
   bool shedding_ever_active = false;
+  // Event-time mode only (zero otherwise):
+  std::uint64_t punctuations = 0;  ///< watermarks consumed by the stage
+  std::uint64_t late_events = 0;   ///< arrivals beyond the disorder bound
+  std::uint64_t late_dropped = 0;  ///< late drops (incl. beyond-horizon)
+  std::uint64_t late_side_output = 0;  ///< late events side-channeled
+  std::uint64_t revisions = 0;     ///< retained-window re-finalizations
+  bool watermark_valid = false;    ///< the shard's watermark ever advanced
+  std::uint64_t watermark_seq = 0; ///< final per-shard watermark
+  std::size_t reorder_peak_buffered = 0;  ///< reorder stage high-water mark
 };
 
 /// Per-query outcome of one engine run.
@@ -198,6 +218,11 @@ struct QueryReport {
   std::uint64_t memberships_kept = 0;  ///< pairs THIS query kept
   std::uint64_t shed_decisions = 0;
   std::uint64_t shed_drops = 0;
+  /// Event-time kRevise only: this query's window re-emissions, in
+  /// canonical merge order (late seq, shard, in-shard revision index).
+  /// Each record carries the FULL re-finalized match set of the revised
+  /// window; consumers diff it against the window's original matches.
+  std::vector<RevisionRecord> revisions;
 };
 
 /// Aggregated result of one engine run (the SimResult analogue).
@@ -217,6 +242,23 @@ struct EngineReport {
   /// backoff; see runtime/backoff.hpp).
   std::uint64_t router_backpressure_waits = 0;
   double router_stall_seconds = 0.0;
+
+  // --- event-time mode (zero / empty otherwise) ---------------------------
+  /// Watermark punctuations the router broadcast (user + heartbeat).
+  std::uint64_t punctuations = 0;
+  std::uint64_t late_events = 0;
+  std::uint64_t late_dropped = 0;
+  std::uint64_t late_side_output = 0;
+  std::uint64_t revisions = 0;
+  /// Engine low watermark: the MIN of the per-shard watermarks (valid only
+  /// once every shard's watermark advanced).  Everything at or below it is
+  /// fully reflected in the output -- the cross-shard progress guarantee
+  /// that keeps the canonical merge deterministic.
+  bool low_watermark_valid = false;
+  std::uint64_t low_watermark_seq = 0;
+  /// LatePolicy::kSideOutput captures, in canonical order (event seq,
+  /// shard, in-shard capture index).
+  std::vector<SideOutputRecord> side_outputs;
 
   std::uint64_t total_matches() const { return matches.size(); }
   std::uint64_t total_windows_closed() const;
@@ -275,6 +317,17 @@ class StreamEngine {
   /// freely with scalar push() calls.
   void push_batch(std::span<const Event> events);
 
+  /// Injects a punctuation watermark (event_time must be configured):
+  /// asserts no event with seq <= `seq` is still in flight.  Broadcast to
+  /// every shard in arrival order; raises the reorder stages' watermarks
+  /// (releasing buffered events) and, with `ts`, closes time windows whose
+  /// span ended at or before event-time `ts`.  Equivalent to pushing
+  /// make_watermark(...) through push()/push_batch().
+  void push_watermark(std::uint64_t seq) { push(make_watermark(seq)); }
+  void push_watermark(std::uint64_t seq, double ts) {
+    push(make_watermark(seq, ts, /*ts_valid=*/true));
+  }
+
   /// End of stream: closes every ring, waits for the shards to drain and
   /// flush their open windows, joins the threads and merges the outputs.
   /// Terminal -- the engine cannot be reused afterwards.
@@ -302,6 +355,11 @@ class StreamEngine {
 
   /// Events ingested so far (== the durable log offset outside replay).
   std::uint64_t pushed() const { return pushed_; }
+
+  /// Data events pushed, excluding watermark punctuations: the resume
+  /// offset into a data-only source stream after recovery.  Equals
+  /// pushed() when event time is off.
+  std::uint64_t data_pushed() const { return pushed_ - punct_pushed_; }
 
   std::size_t shards() const { return config_.shards; }
   /// Which shard `e` routes to (fixed hash; usable before/after the run).
@@ -335,6 +393,18 @@ class StreamEngine {
   void open_durability();
   /// Runs checkpoint() when snapshot_every_events is due.
   void maybe_auto_checkpoint();
+  /// Partitions and flushes one punctuation-free run of data events (the
+  /// shared body of push_batch); advances pushed_ and the event-time
+  /// router trackers.
+  void push_data_segment(std::span<const Event> events);
+  /// Broadcasts a punctuation to every shard (arrival order preserved
+  /// relative to surrounding data); advances pushed_ / punct_pushed_.
+  void route_punctuation(const Event& p);
+  /// Synthesizes a router heartbeat punctuation once `heartbeat_events`
+  /// data events accumulated since the last watermark (event-time mode,
+  /// never during replay -- logged heartbeats replay through the normal
+  /// path instead).
+  void maybe_heartbeat();
 
   StreamEngineConfig config_;
   /// Registered queries (adopted from the legacy config at start() when
@@ -363,6 +433,16 @@ class StreamEngine {
   /// through push_batch() are already in the log, so appends are suppressed.
   bool replaying_ = false;
   std::uint64_t events_since_snapshot_ = 0;
+
+  // --- event-time router state (engine snapshot header; replay-stable) -----
+  /// Punctuations broadcast so far.  pushed_ counts them too (it is the
+  /// log offset), so reports subtract: events = pushed_ - punct_pushed_.
+  std::uint64_t punct_pushed_ = 0;
+  /// Data events since the last broadcast watermark (heartbeat trigger).
+  std::uint64_t data_since_hb_ = 0;
+  /// Largest data seq routed (the router's own watermark source).
+  std::uint64_t router_max_seq_ = 0;
+  bool router_max_valid_ = false;
 };
 
 }  // namespace espice

@@ -20,6 +20,7 @@
 // reproduce the golden.  Seeded via ESPICE_TEST_SEED (5-seed CI matrix).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <optional>
@@ -27,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "cep/event_time.hpp"
 #include "common/rng.hpp"
 #include "runtime/stream_engine.hpp"
 #include "support/crash_point.hpp"
@@ -135,6 +137,8 @@ struct Scenario {
   /// more = multi-query registration over the shared window spec.
   std::vector<unsigned> drop_mods = {3};
   std::uint64_t snapshot_every_events = 0;  // 0 = explicit checkpoints only
+  /// Event-time mode: reorder stage + watermarks ahead of the pipeline.
+  std::optional<EventTimeConfig> et;
 };
 
 StreamEngineConfig make_config(const Scenario& s, const std::string& dir) {
@@ -149,6 +153,7 @@ StreamEngineConfig make_config(const Scenario& s, const std::string& dir) {
       return std::make_unique<HashShedder>(mod, 0);
     };
   }
+  if (s.et.has_value()) config.event_time = s.et;
   if (!dir.empty()) {
     DurabilityConfig d;
     d.dir = dir;
@@ -232,6 +237,30 @@ void expect_same_reports(const EngineReport& actual,
     EXPECT_EQ(a.memberships_kept, b.memberships_kept) << "query " << q;
     EXPECT_EQ(a.shed_decisions, b.shed_decisions) << "query " << q;
     EXPECT_EQ(a.shed_drops, b.shed_drops) << "query " << q;
+    // Event-time revisions must survive recovery record for record.
+    ASSERT_EQ(a.revisions.size(), b.revisions.size()) << "query " << q;
+    for (std::size_t i = 0; i < b.revisions.size(); ++i) {
+      EXPECT_EQ(a.revisions[i].late_seq, b.revisions[i].late_seq);
+      EXPECT_EQ(a.revisions[i].window, b.revisions[i].window);
+      EXPECT_EQ(a.revisions[i].revision, b.revisions[i].revision);
+      expect_same_matches(a.revisions[i].matches, b.revisions[i].matches);
+    }
+  }
+  // Event-time classification and diversion are deterministic.  Punctuation
+  // counts and watermark seqs are NOT compared: router heartbeat cadence
+  // depends on push granularity (the recovery tail is re-pushed with
+  // different batch boundaries), and heartbeats are output-neutral by
+  // design.
+  EXPECT_EQ(actual.late_events, expected.late_events);
+  EXPECT_EQ(actual.late_dropped, expected.late_dropped);
+  EXPECT_EQ(actual.late_side_output, expected.late_side_output);
+  EXPECT_EQ(actual.revisions, expected.revisions);
+  ASSERT_EQ(actual.side_outputs.size(), expected.side_outputs.size());
+  for (std::size_t i = 0; i < expected.side_outputs.size(); ++i) {
+    EXPECT_EQ(actual.side_outputs[i].event.seq,
+              expected.side_outputs[i].event.seq);
+    EXPECT_EQ(actual.side_outputs[i].windows,
+              expected.side_outputs[i].windows);
   }
   ASSERT_EQ(actual.shards.size(), expected.shards.size());
   for (std::size_t i = 0; i < expected.shards.size(); ++i) {
@@ -244,6 +273,10 @@ void expect_same_reports(const EngineReport& actual,
     EXPECT_EQ(a.matches, b.matches) << "shard " << i;
     EXPECT_EQ(a.shed_decisions, b.shed_decisions) << "shard " << i;
     EXPECT_EQ(a.shed_drops, b.shed_drops) << "shard " << i;
+    EXPECT_EQ(a.late_events, b.late_events) << "shard " << i;
+    EXPECT_EQ(a.late_dropped, b.late_dropped) << "shard " << i;
+    EXPECT_EQ(a.late_side_output, b.late_side_output) << "shard " << i;
+    EXPECT_EQ(a.revisions, b.revisions) << "shard " << i;
   }
 }
 
@@ -298,7 +331,9 @@ EngineReport crash_and_recover(const Scenario& s,
 
   // The source re-pushes what never became durable.  No checkpoints on the
   // tail: recovery correctness must not depend on re-checkpointing.
-  drive(*engine, std::span(events).subspan(rep.durable_events),
+  // durable_events counts punctuation log records too, so the resume
+  // offset into the data-only `events` vector is data_pushed().
+  drive(*engine, std::span(events).subspan(engine->data_pushed()),
         /*checkpoints=*/false);
   return engine->finish();
 }
@@ -538,6 +573,127 @@ TEST(RecoveryOracle, SurvivesRepeatedCrashes) {
   drive(*engine, std::span(events).subspan(rep.durable_events),
         /*checkpoints=*/false);
   expect_same_reports(engine->finish(), golden);
+}
+
+// --- event-time recovery -----------------------------------------------------
+
+/// Bounded shuffle (Fisher-Yates within consecutive blocks), so the
+/// measured disorder stays < block.
+std::vector<Event> block_shuffle(std::vector<Event> events, std::size_t block,
+                                 std::uint64_t seed) {
+  Rng rng(seed ^ 0xd15c0de5ULL);
+  for (std::size_t base = 0; base < events.size(); base += block) {
+    const std::size_t end = std::min(base + block, events.size());
+    for (std::size_t i = end - 1; i > base; --i) {
+      const std::size_t j = base + rng.uniform_int(i - base + 1);
+      std::swap(events[i], events[j]);
+    }
+  }
+  return events;
+}
+
+/// Displaces the event with sequence number `seq` by `by` positions, so
+/// its lateness exceeds a disorder bound < `by` and it is classified late.
+void displace(std::vector<Event>& events, std::uint64_t seq, std::size_t by) {
+  const auto it = std::find_if(events.begin(), events.end(),
+                               [&](const Event& e) { return e.seq == seq; });
+  ASSERT_NE(it, events.end());
+  const Event straggler = *it;
+  const std::size_t at = static_cast<std::size_t>(it - events.begin());
+  events.erase(it);
+  events.insert(events.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        std::min(at + by, events.size())),
+                straggler);
+}
+
+// Kill-anywhere over a disordered stream with the revise policy armed:
+// checkpoints cut while the reorder stage holds buffered events and the
+// retained-window stores are populated, so recovery must round-trip the
+// full event-time state (buffer, counters, retained windows, emitted
+// revisions) to reproduce the golden bit for bit.
+TEST(RecoveryOracle, EventTimeDisorderedKillAnywhere) {
+  const std::uint64_t seed = test_support::test_seed(77);
+  SCOPED_TRACE(test_support::seed_trace(seed));
+  Scenario s;
+  s.spec = make_spec(WindowSpan::kCount, WindowOpen::kCountSlide);
+  s.et.emplace();
+  s.et->disorder_bound = 32;
+  s.et->late_policy = LatePolicy::kRevise;
+  s.et->revise_horizon_windows = 32;
+
+  auto events = block_shuffle(random_stream(seed, 1000), 24, seed);
+  // Two stragglers displaced far beyond the bound: genuinely late, still
+  // within the retention horizon when they land.
+  displace(events, 300, 100);
+  displace(events, 601, 100);
+
+  auto golden_engine = build_engine(s, "");
+  drive(*golden_engine, events, /*checkpoints=*/false);
+  const EngineReport golden = golden_engine->finish();
+  ASSERT_GT(golden.matches.size(), 0u) << "vacuous stream";
+  ASSERT_GT(golden.late_events, 0u) << "stragglers were not convicted";
+  ASSERT_GT(golden.revisions, 0u) << "revise path never exercised";
+  bool buffered = false;
+  for (const ShardStats& st : golden.shards) {
+    buffered |= st.reorder_peak_buffered > 0;
+  }
+  ASSERT_TRUE(buffered) << "reorder stage never held an event";
+
+  std::map<std::string, std::uint64_t> counts;
+  const EngineReport durable = census_run(s, events, counts);
+  expect_same_reports(durable, golden);
+  ASSERT_TRUE(counts.count("snapshot.before_manifest"))
+      << "no checkpoint cut while the stage was active";
+
+  for (const auto& [point, occurrence] : sweep_sites(counts)) {
+    SCOPED_TRACE(point + "#" + std::to_string(occurrence));
+    const EngineReport recovered =
+        crash_and_recover(s, events, point, occurrence);
+    expect_same_reports(recovered, golden);
+  }
+}
+
+// Heartbeat watermarks under crash/recovery: the router's heartbeat state
+// (cadence counter, max routed seq) is part of the snapshot header, logged
+// heartbeats replay through the normal path, and the output stays
+// bit-identical to the uninterrupted run even though the recovery tail is
+// re-pushed with different batch boundaries (heartbeats are output-neutral).
+TEST(RecoveryOracle, EventTimeHeartbeatRecovery) {
+  const std::uint64_t seed = test_support::test_seed(78);
+  SCOPED_TRACE(test_support::seed_trace(seed));
+  Scenario s;
+  s.spec = make_spec(WindowSpan::kTime, WindowOpen::kPredicate);
+  s.et.emplace();
+  s.et->disorder_bound = 32;
+  s.et->heartbeat_events = 150;
+
+  const auto events = block_shuffle(random_stream(seed, 800), 24, seed);
+
+  auto golden_engine = build_engine(s, "");
+  drive(*golden_engine, events, /*checkpoints=*/false);
+  const EngineReport golden = golden_engine->finish();
+  ASSERT_GT(golden.punctuations, 0u) << "heartbeats never fired";
+  EXPECT_EQ(golden.late_events, 0u) << "within-bound shuffle must stay on time";
+
+  std::map<std::string, std::uint64_t> counts;
+  const EngineReport durable = census_run(s, events, counts);
+  expect_same_reports(durable, golden);
+  EXPECT_EQ(durable.punctuations, golden.punctuations)
+      << "identical schedule, identical heartbeats";
+
+  const std::uint64_t mid_append = (counts["log.append.mid_record"] + 1) / 2;
+  for (const auto& [point, occurrence] :
+       {std::pair<std::string, std::uint64_t>{"log.append.mid_record",
+                                              mid_append},
+        {"snapshot.before_manifest", 1},
+        {"snapshot.manifest.mid", counts["snapshot.manifest.mid"]}}) {
+    ASSERT_GT(counts[point], 0u) << point << " never fired";
+    SCOPED_TRACE(point + "#" + std::to_string(occurrence));
+    const EngineReport recovered =
+        crash_and_recover(s, events, point, occurrence);
+    expect_same_reports(recovered, golden);
+  }
 }
 
 // Guard rails around the feature's contract.

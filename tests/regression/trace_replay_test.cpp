@@ -1,0 +1,89 @@
+// Trace-replay regression gate: the committed disordered trace
+// (tests/data/trace_stream.csv) replayed through the canonical event-time
+// configurations must digest EXACTLY to the committed golden
+// (tests/data/trace_golden.txt).  Any observable behaviour change in the
+// event-time pipeline -- matches, late handling, revisions, watermarks,
+// per-shard counters -- fails this test with a digest diff.
+//
+// After an INTENDED behaviour change, regenerate the golden:
+//   ESPICE_REGEN_GOLDEN=1 ./regression_trace_replay_test
+// (or `trace_replay regen` from the tools/ CLI) and commit the diff.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cep/type_registry.hpp"
+#include "datasets/csv.hpp"
+#include "harness/trace_replay.hpp"
+
+namespace espice {
+namespace {
+
+std::string data_path(const std::string& file) {
+  return std::string(ESPICE_SOURCE_DIR) + "/tests/data/" + file;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(TraceReplay, CommittedTraceMatchesGolden) {
+  const TraceReplayResult result =
+      replay_trace_csv(data_path("trace_stream.csv"));
+  const std::string digest = replay_digest(result);
+
+  if (std::getenv("ESPICE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(data_path("trace_golden.txt"),
+                      std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good());
+    out << digest;
+    GTEST_SKIP() << "golden regenerated; commit tests/data/trace_golden.txt";
+  }
+
+  const std::string golden = read_file(data_path("trace_golden.txt"));
+  EXPECT_EQ(digest, golden)
+      << "event-time pipeline output changed; if intended, regenerate with "
+         "ESPICE_REGEN_GOLDEN=1 and commit the golden diff";
+}
+
+TEST(TraceReplay, CommittedTraceExercisesTheLatePath) {
+  // The fixture's whole point: stragglers displaced beyond the bound, so
+  // the golden pins the revise path, not just the happy path.
+  const TraceReplayResult result =
+      replay_trace_csv(data_path("trace_stream.csv"));
+  ASSERT_EQ(result.sections.size(), 3u);
+  EXPECT_GT(result.measured_disorder, result.options.disorder_bound);
+  for (const TraceReplaySection& s : result.sections) {
+    EXPECT_GT(s.report.matches.size(), 0u) << s.name;
+    EXPECT_GT(s.report.late_events, 0u) << s.name;
+  }
+}
+
+TEST(TraceReplay, ReplayIsDeterministic) {
+  const auto events = make_regression_trace(7, 600);
+  const std::string a = replay_digest(replay_trace(events));
+  const std::string b = replay_digest(replay_trace(events));
+  EXPECT_EQ(a, b);
+}
+
+TEST(TraceReplay, GeneratorIsStable) {
+  // The committed CSV was produced by make_regression_trace(7, 600); the
+  // generator drifting silently would make `trace_replay generate`
+  // disagree with the committed fixture.
+  const auto events = make_regression_trace(7, 600);
+  TypeRegistry registry;
+  for (int t = 0; t < 6; ++t) registry.intern("t" + std::to_string(t));
+  std::ostringstream csv;
+  write_events_csv(csv, events, registry);
+  EXPECT_EQ(csv.str(), read_file(data_path("trace_stream.csv")));
+}
+
+}  // namespace
+}  // namespace espice

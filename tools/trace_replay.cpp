@@ -1,0 +1,112 @@
+// Trace-replay CLI: generate / digest / check the committed event-time
+// regression fixture (see src/harness/trace_replay.hpp).
+//
+//   trace_replay generate <trace.csv>          write the canonical trace
+//   trace_replay digest   <trace.csv>          print the replay digest
+//   trace_replay regen    <trace.csv> <golden> digest -> golden file
+//   trace_replay check    <trace.csv> <golden> exit 1 on digest mismatch
+//
+// With no arguments it checks the committed fixture pair under the source
+// tree (tests/data/trace_stream.csv vs trace_golden.txt) -- the same gate
+// tests/regression/trace_replay_test.cpp runs under ctest.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "datasets/csv.hpp"
+#include "harness/trace_replay.hpp"
+
+namespace {
+
+constexpr std::uint64_t kTraceSeed = 7;
+constexpr std::size_t kTraceEvents = 600;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw espice::Error(espice::ErrorCode::kIo, "cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw espice::Error(espice::ErrorCode::kIo, "cannot write " + path);
+  }
+  out << content;
+}
+
+int generate(const std::string& trace_path) {
+  const auto events = espice::make_regression_trace(kTraceSeed, kTraceEvents);
+  espice::TypeRegistry registry;
+  for (int t = 0; t < 6; ++t) registry.intern("t" + std::to_string(t));
+  espice::save_events_csv(trace_path, events, registry);
+  std::cout << "wrote " << events.size() << " events (measured disorder "
+            << espice::measure_disorder(events) << ") to " << trace_path
+            << "\n";
+  return 0;
+}
+
+int check(const std::string& trace_path, const std::string& golden_path,
+          bool regen) {
+  const auto result = espice::replay_trace_csv(trace_path);
+  const std::string digest = espice::replay_digest(result);
+  if (regen) {
+    write_file(golden_path, digest);
+    std::cout << "wrote golden to " << golden_path << "\n";
+    return 0;
+  }
+  const std::string golden = read_file(golden_path);
+  if (digest == golden) {
+    std::cout << "trace-replay digest matches " << golden_path << "\n";
+    return 0;
+  }
+  std::cerr << "trace-replay digest MISMATCH vs " << golden_path << "\n"
+            << "--- expected ---\n"
+            << golden << "--- actual ---\n"
+            << digest
+            << "(regenerate with: trace_replay regen <trace> <golden> "
+               "after an intended behaviour change)\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string mode = argc > 1 ? argv[1] : "check";
+    if (mode == "generate" && argc == 3) {
+      return generate(argv[2]);
+    }
+    if (mode == "digest" && argc == 3) {
+      const auto result = espice::replay_trace_csv(argv[2]);
+      std::cout << espice::replay_digest(result);
+      return 0;
+    }
+    if ((mode == "check" || mode == "regen") && (argc == 4 || argc <= 2)) {
+      std::string trace = std::string(ESPICE_SOURCE_DIR) +
+                          "/tests/data/trace_stream.csv";
+      std::string golden = std::string(ESPICE_SOURCE_DIR) +
+                           "/tests/data/trace_golden.txt";
+      if (argc == 4) {
+        trace = argv[2];
+        golden = argv[3];
+      }
+      return check(trace, golden, mode == "regen");
+    }
+    std::cerr << "usage: trace_replay generate <trace.csv>\n"
+                 "       trace_replay digest   <trace.csv>\n"
+                 "       trace_replay check    [<trace.csv> <golden.txt>]\n"
+                 "       trace_replay regen    [<trace.csv> <golden.txt>]\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "trace_replay: " << e.what() << "\n";
+    return 1;
+  }
+}
