@@ -163,8 +163,8 @@ int main(int argc, char** argv) {
     json += "    {\"mode\": \"" +
             std::string(batches[b] == 0 ? "per_event" : "batch") +
             "\", \"batch_size\": " + std::to_string(batches[b]) +
-            ", \"events_per_sec\": " + std::to_string(r.events_per_sec) +
-            ", \"wall_seconds\": " + std::to_string(r.wall_seconds) +
+            ", \"events_per_sec\": " + bench_support::json_double(r.events_per_sec) +
+            ", \"wall_seconds\": " + bench_support::json_double(r.wall_seconds) +
             ", \"matches\": " + std::to_string(r.matches) +
             ", \"parity\": " + (r.parity ? "true" : "false") + "}";
     json += (b + 1 < std::size(batches)) ? ",\n" : "\n";
@@ -181,7 +181,7 @@ int main(int argc, char** argv) {
           : (hw_threads >= 2 ? "false" : "\"skipped_insufficient_cores\"");
   json += "  ],\n  \"acceptance\": {\"parity_all\": " +
           std::string(parity_all ? "true" : "false") +
-          ", \"speedup_b256_vs_per_event\": " + std::to_string(speedup) +
+          ", \"speedup_b256_vs_per_event\": " + bench_support::json_double(speedup) +
           ", \"speedup_b256_ge_1p8x\": " + speedup_ok + "}\n}\n";
 
   const char* path = "BENCH_batch_ingest.json";

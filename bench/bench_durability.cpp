@@ -288,8 +288,8 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
     json += "    {\"mode\": \"" + std::string(row.mode) +
-            "\", \"events_per_sec\": " + std::to_string(row.r.events_per_sec) +
-            ", \"wall_seconds\": " + std::to_string(row.r.wall_seconds) +
+            "\", \"events_per_sec\": " + bench_support::json_double(row.r.events_per_sec) +
+            ", \"wall_seconds\": " + bench_support::json_double(row.r.wall_seconds) +
             ", \"matches\": " + std::to_string(row.r.matches) +
             ", \"parity\": " + bench_support::json_bool(row.r.parity) + "}";
     json += (i + 1 < rows.size()) ? ",\n" : "\n";
@@ -297,13 +297,13 @@ int main(int argc, char** argv) {
   json += "  ],\n";
   json += "  \"recovery\": {\n";
   json += "    \"replay_events_per_sec\": " +
-          std::to_string(replay.replay_events_per_sec) + ",\n";
+          bench_support::json_double(replay.replay_events_per_sec) + ",\n";
   json += "    \"replay_events\": " + std::to_string(replay.replayed_events) +
           ",\n";
-  json += "    \"replay_seconds\": " + std::to_string(replay.recover_seconds) +
+  json += "    \"replay_seconds\": " + bench_support::json_double(replay.recover_seconds) +
           ",\n";
   json += "    \"snapshot_recovery_seconds\": " +
-          std::to_string(snap_recovery.recover_seconds) + ",\n";
+          bench_support::json_double(snap_recovery.recover_seconds) + ",\n";
   json += "    \"snapshot_offset\": " +
           std::to_string(snap_recovery.snapshot_offset) + ",\n";
   json += "    \"snapshot_tail_events\": " +
@@ -313,7 +313,7 @@ int main(int argc, char** argv) {
           "\n  },\n";
   json += "  \"acceptance\": {\"parity_all\": " +
           bench_support::json_bool(parity_all) +
-          ", \"wal_none_overhead_pct\": " + std::to_string(overhead_pct) +
+          ", \"wal_none_overhead_pct\": " + bench_support::json_double(overhead_pct) +
           ", \"wal_none_overhead_le_15pct\": " + overhead_json + "}\n}\n";
 
   const char* path = "BENCH_durability.json";

@@ -217,11 +217,11 @@ int main(int argc, char** argv) {
     json += "    {\"label\": \"" + std::string(k.label) +
             "\", \"disorder_bound\": " + std::to_string(k.bound) +
             ", \"shuffled\": " + bench_support::json_bool(k.shuffled) +
-            ", \"events_per_sec\": " + std::to_string(r.events_per_sec) +
-            ", \"wall_seconds\": " + std::to_string(r.wall_seconds) +
+            ", \"events_per_sec\": " + bench_support::json_double(r.events_per_sec) +
+            ", \"wall_seconds\": " + bench_support::json_double(r.wall_seconds) +
             ", \"matches\": " + std::to_string(r.matches) +
             ", \"late_events\": " + std::to_string(r.late) +
-            ", \"reorder_ns_per_event\": " + std::to_string(ns_per_event) +
+            ", \"reorder_ns_per_event\": " + bench_support::json_double(ns_per_event) +
             ", \"parity\": " + bench_support::json_bool(r.parity) + "}";
     json += (c + 1 < std::size(cases)) ? ",\n" : "\n";
   }

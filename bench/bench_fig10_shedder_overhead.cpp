@@ -428,15 +428,15 @@ bool print_incremental_matcher_section(std::string& json_out) {
     json += "      {\"slide_events\": " + std::to_string(r.slide) +
             ", \"overlap\": " + std::to_string(r.overlap) +
             ", \"matches\": " + std::to_string(r.matches) +
-            ", \"windows_only_ns_per_event\": " + std::to_string(r.baseline_ns) +
-            ", \"batch_ns_per_event\": " + std::to_string(r.batch_ns) +
+            ", \"windows_only_ns_per_event\": " + bench_support::json_double(r.baseline_ns) +
+            ", \"batch_ns_per_event\": " + bench_support::json_double(r.batch_ns) +
             ", \"incremental_ns_per_event\": " +
-            std::to_string(r.incremental_ns) +
+            bench_support::json_double(r.incremental_ns) +
             ", \"batch_matcher_ns_per_event\": " +
-            std::to_string(r.batch_matcher_ns()) +
+            bench_support::json_double(r.batch_matcher_ns()) +
             ", \"incremental_matcher_ns_per_event\": " +
-            std::to_string(r.incremental_matcher_ns()) +
-            ", \"matcher_speedup\": " + std::to_string(r.matcher_speedup()) +
+            bench_support::json_double(r.incremental_matcher_ns()) +
+            ", \"matcher_speedup\": " + bench_support::json_double(r.matcher_speedup()) +
             "}";
     json += (k + 1 < rows.size()) ? ",\n" : "\n";
   }
@@ -444,11 +444,11 @@ bool print_incremental_matcher_section(std::string& json_out) {
   json += "    \"acceptance\": {\"matcher_parity\": " +
           bench_support::json_bool(parity) +
           ", \"overlap32_matcher_speedup\": " +
-          std::to_string(overlap32_speedup) +
+          bench_support::json_double(overlap32_speedup) +
           ", \"overlap32_matcher_speedup_ge_2x\": " +
           bench_support::json_bool(overlap32_speedup >= 2.0) +
           ", \"incremental_matcher_ns_overlap32_over_overlap1\": " +
-          std::to_string(flatness) + "}\n";
+          bench_support::json_double(flatness) + "}\n";
   json += "  },\n";
   json_out = std::move(json);
   std::printf(
@@ -531,16 +531,16 @@ bool print_window_engine_section(const std::string& matcher_sweep_json) {
     json += "    {\"slide_events\": " + std::to_string(slides[k]) +
             ", \"overlap\": " + std::to_string(overlap) +
             ", \"shared_store\": {\"ns_per_event\": " +
-            std::to_string(shared.ns_per_event) +
+            bench_support::json_double(shared.ns_per_event) +
             ", \"peak_payload_bytes\": " +
             std::to_string(shared.peak_payload_bytes) +
             ", \"peak_index_bytes\": " +
             std::to_string(shared.peak_index_bytes) +
             "}, \"reference\": {\"ns_per_event\": " +
-            std::to_string(naive.ns_per_event) +
+            bench_support::json_double(naive.ns_per_event) +
             ", \"peak_payload_bytes\": " +
             std::to_string(naive.peak_payload_bytes) +
-            "}, \"speedup\": " + std::to_string(speedup) + "}";
+            "}, \"speedup\": " + bench_support::json_double(speedup) + "}";
     json += (k + 1 < std::size(slides)) ? ",\n" : "\n";
   }
   // Payload is "flat" when the spread across overlap 2..32 stays within the
@@ -549,7 +549,7 @@ bool print_window_engine_section(const std::string& matcher_sweep_json) {
   const bool payload_flat = max_payload <= 2 * std::max<std::size_t>(min_payload, 1);
   json += "  ],\n  \"acceptance\": {\"engines_agree\": " +
           std::string(engines_agree ? "true" : "false") +
-          ", \"overlap8_speedup\": " + std::to_string(overlap8_speedup) +
+          ", \"overlap8_speedup\": " + bench_support::json_double(overlap8_speedup) +
           ", \"overlap8_speedup_ge_2x\": " +
           (overlap8_speedup >= 2.0 ? std::string("true") : std::string("false")) +
           ", \"payload_flat_across_overlap\": " +

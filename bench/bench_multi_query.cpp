@@ -221,8 +221,8 @@ int main(int argc, char** argv) {
       first_row = false;
       json += "    {\"mode\": \"" + std::string(mode) +
               "\", \"shards\": " + std::to_string(k) +
-              ", \"events_per_sec\": " + std::to_string(best.events_per_sec) +
-              ", \"wall_seconds\": " + std::to_string(best.wall_seconds) +
+              ", \"events_per_sec\": " + bench_support::json_double(best.events_per_sec) +
+              ", \"wall_seconds\": " + bench_support::json_double(best.wall_seconds) +
               ", \"matches\": " + std::to_string(best.matches) +
               ", \"parity\": " + (best.parity ? "true" : "false") + "}";
     }
@@ -234,7 +234,7 @@ int main(int argc, char** argv) {
                              : 0.0;
   json += "  \"acceptance\": {\"parity_all\": " +
           std::string(parity_all ? "true" : "false") +
-          ", \"speedup_shared_vs_independent_k1\": " + std::to_string(speedup) +
+          ", \"speedup_shared_vs_independent_k1\": " + bench_support::json_double(speedup) +
           ", \"speedup_ge_1_5x\": " +
           (speedup >= 1.5 ? std::string("true") : std::string("false")) +
           "}\n}\n";

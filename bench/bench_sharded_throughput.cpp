@@ -83,6 +83,10 @@ struct RunResult {
   std::size_t matches = 0;
   std::uint64_t backpressure_waits = 0;
   bool parity = false;
+  std::uint64_t latency_samples = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
 };
 
 RunResult run_at(const std::vector<Event>& events, std::size_t shards,
@@ -91,6 +95,9 @@ RunResult run_at(const std::vector<Event>& events, std::size_t shards,
   config.engine.shards = shards;
   config.engine.ring_capacity = 4096;
   config.engine.query = make_query();
+  // Sampled end-to-end latency (enqueue -> block released): every 64th
+  // enqueue per shard, cheap enough not to perturb the throughput numbers.
+  config.engine.latency_sample_every = 64;
   const auto golden_sig =
       signature(partitioned_serial_golden(config.engine, events));
   RunResult best;
@@ -108,6 +115,11 @@ RunResult run_at(const std::vector<Event>& events, std::size_t shards,
       best.wall_seconds = result.report.wall_seconds;
       best.matches = result.report.matches.size();
       best.backpressure_waits = waits;
+      const LatencyHistogram& lat = result.report.latency;
+      best.latency_samples = lat.count();
+      best.p50_ns = lat.quantile(0.50);
+      best.p99_ns = lat.quantile(0.99);
+      best.p999_ns = lat.quantile(0.999);
     }
     best.parity = (r == 0) ? parity : (best.parity && parity);
   }
@@ -135,8 +147,9 @@ int main(int argc, char** argv) {
       "=== Sharded StreamEngine throughput (span %zu, slide %zu, overlap "
       "%zu, %zu events, %u hw threads) ===\n",
       kSpan, kSlide, kSpan / kSlide, n_events, hw_threads);
-  std::printf("| %-6s | %-14s | %-9s | %-8s | %-7s | %-12s |\n", "shards",
-              "events/sec", "wall (s)", "matches", "parity", "router waits");
+  std::printf("| %-6s | %-14s | %-9s | %-8s | %-7s | %-12s | %-9s | %-9s |\n",
+              "shards", "events/sec", "wall (s)", "matches", "parity",
+              "router waits", "p50 (us)", "p99 (us)");
 
   const std::size_t ks[] = {1, 2, 4, 8};
   double eps_k1 = 0.0, eps_k4 = 0.0;
@@ -153,16 +166,24 @@ int main(int argc, char** argv) {
     parity_all = parity_all && r.parity;
     if (ks[k] == 1) eps_k1 = r.events_per_sec;
     if (ks[k] == 4) eps_k4 = r.events_per_sec;
-    std::printf("| %-6zu | %-14.0f | %-9.3f | %-8zu | %-7s | %-12llu |\n",
-                ks[k], r.events_per_sec, r.wall_seconds, r.matches,
-                r.parity ? "ok" : "FAIL",
-                static_cast<unsigned long long>(r.backpressure_waits));
+    std::printf(
+        "| %-6zu | %-14.0f | %-9.3f | %-8zu | %-7s | %-12llu | %-9.1f "
+        "| %-9.1f |\n",
+        ks[k], r.events_per_sec, r.wall_seconds, r.matches,
+        r.parity ? "ok" : "FAIL",
+        static_cast<unsigned long long>(r.backpressure_waits),
+        static_cast<double>(r.p50_ns) / 1000.0,
+        static_cast<double>(r.p99_ns) / 1000.0);
     json += "    {\"shards\": " + std::to_string(ks[k]) +
-            ", \"events_per_sec\": " + std::to_string(r.events_per_sec) +
-            ", \"wall_seconds\": " + std::to_string(r.wall_seconds) +
+            ", \"events_per_sec\": " + bench_support::json_double(r.events_per_sec) +
+            ", \"wall_seconds\": " + bench_support::json_double(r.wall_seconds) +
             ", \"matches\": " + std::to_string(r.matches) +
             ", \"router_backpressure_waits\": " +
             std::to_string(r.backpressure_waits) +
+            ", \"latency_samples\": " + std::to_string(r.latency_samples) +
+            ", \"latency_p50_ns\": " + std::to_string(r.p50_ns) +
+            ", \"latency_p99_ns\": " + std::to_string(r.p99_ns) +
+            ", \"latency_p999_ns\": " + std::to_string(r.p999_ns) +
             ", \"parity\": " + (r.parity ? "true" : "false") + "}";
     json += (k + 1 < std::size(ks)) ? ",\n" : "\n";
   }
@@ -179,7 +200,7 @@ int main(int argc, char** argv) {
           : (hw_threads >= 4 ? "false" : "\"skipped_insufficient_cores\"");
   json += "  ],\n  \"acceptance\": {\"parity_all\": " +
           std::string(parity_all ? "true" : "false") +
-          ", \"speedup_k4_vs_k1\": " + std::to_string(speedup_k4) +
+          ", \"speedup_k4_vs_k1\": " + bench_support::json_double(speedup_k4) +
           ", \"speedup_k4_ge_2x\": " + speedup_ok + "}\n}\n";
 
   const char* path = "BENCH_sharded_engine.json";

@@ -8,6 +8,8 @@
 // header and close the object themselves.
 #pragma once
 
+#include <array>
+#include <charconv>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -32,6 +34,28 @@ inline std::string json_header(const std::string& benchmark, bool smoke) {
 }
 
 inline std::string json_bool(bool value) { return value ? "true" : "false"; }
+
+/// Locale-independent double formatting.  std::to_string(double) and the
+/// printf %f family honor LC_NUMERIC, so under e.g. de_DE they emit a ','
+/// decimal separator -- which is not valid JSON.  std::to_chars is defined
+/// to use the C locale regardless of the global one.  Non-finite values
+/// (which JSON cannot represent) are emitted as null.
+inline std::string json_double(double value) {
+  if (value != value || value == __builtin_huge_val() ||
+      value == -__builtin_huge_val()) {
+    return "null";
+  }
+  std::array<char, 64> buf;
+  const auto res = std::to_chars(buf.data(), buf.data() + buf.size(), value,
+                                 std::chars_format::fixed, 6);
+  if (res.ec != std::errc{}) {
+    // Out of range for fixed notation (|value| astronomically large):
+    // fall back to shortest round-trip scientific form, still C-locale.
+    const auto sci = std::to_chars(buf.data(), buf.data() + buf.size(), value);
+    return std::string(buf.data(), sci.ptr);
+  }
+  return std::string(buf.data(), res.ptr);
+}
 
 /// Writes the artifact; false (with a stderr note) when the write failed --
 /// the artifact is the bench's deliverable, so callers exit nonzero then.

@@ -119,6 +119,32 @@ struct ElementSpec {
   }
 };
 
+/// Batched type-mask classification: sets bit j of `match_bits` (word
+/// j / 64, bit j % 64 -- the keep-bitmap layout) when `spec` matches
+/// events[j].  Bit-identical to calling spec.matches() once per event;
+/// the empty-set ("any type") test is hoisted out of the loop and the
+/// per-event work is a branch-free mask-word probe over the contiguous
+/// block, so block consumers (the window router) classify a whole block
+/// into a bitmap and scan runs between matches instead of re-testing
+/// every event.  The caller provides ceil(n / 64) words, not zeroed.
+inline void classify_block(const ElementSpec& spec, const Event* events,
+                           std::size_t n, std::uint64_t* match_bits) {
+  const bool any_type = spec.types.is_any();
+  const DirectionFilter dir = spec.direction;
+  std::uint64_t word = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j != 0 && j % 64 == 0) {
+      match_bits[j / 64 - 1] = word;
+      word = 0;
+    }
+    const Event& e = events[j];
+    const bool m = (any_type || spec.types.contains(e.type)) &&
+                   direction_passes(dir, e);
+    word |= static_cast<std::uint64_t>(m) << (j % 64);
+  }
+  if (n > 0) match_bits[(n - 1) / 64] = word;
+}
+
 /// Pattern kinds supported by the matcher.
 enum class PatternKind {
   kSequence,    ///< seq(e0; e1; ...; ek-1), elements may repeat (Q3, Q4)

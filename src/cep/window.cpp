@@ -1,6 +1,7 @@
 #include "cep/window.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "durability/serial.hpp"
 
@@ -29,6 +30,23 @@ namespace {
 bool same_element_filter(const ElementSpec& a, const ElementSpec& b) {
   return a.direction == b.direction && a.types.is_any() == b.types.is_any() &&
          a.types.members() == b.types.members();
+}
+
+/// Index of the first set bit at or after `from` in an n-bit bitmap
+/// (keep-bitmap layout: bit j lives in word j / 64); n when none.
+std::size_t next_set_bit(const std::uint64_t* bits, std::size_t from,
+                         std::size_t n) {
+  if (from >= n) return n;
+  const std::size_t words = (n + 63) / 64;
+  std::size_t w = from >> 6;
+  std::uint64_t word = bits[w] & (~std::uint64_t{0} << (from & 63));
+  while (word == 0) {
+    if (++w >= words) return n;
+    word = bits[w];
+  }
+  const std::size_t bit =
+      (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+  return bit < n ? bit : n;
 }
 
 }  // namespace
@@ -239,17 +257,43 @@ std::uint64_t WindowManager::offer_keep_all_block(std::span<const Event> block,
   ESPICE_ASSERT(track_masks_ || mask == ~QueryMask{0},
                 "partial query mask on a manager that does not track masks");
   std::uint64_t memberships = 0;
-  const bool fast_spec = spec_.span_kind == WindowSpan::kCount &&
-                         spec_.open_kind == WindowOpen::kCountSlide;
   const std::size_t n = block.size();
+  // Bulk runs need boundaries known without touching window state: index
+  // arithmetic for count spans/slides, classified match bitmaps for
+  // predicate openers/closers.  Time spans close on timestamps and stay
+  // scalar.
+  const bool bulk_ok = spec_.span_kind != WindowSpan::kTime;
+  const bool pred_open = spec_.open_kind == WindowOpen::kPredicate;
+  const bool pred_span = spec_.span_kind == WindowSpan::kPredicate;
+  if (bulk_ok && pred_open) {
+    opener_bits_.resize((n + 63) / 64);
+    classify_block(spec_.opener, block.data(), n, opener_bits_.data());
+  }
+  if (bulk_ok && pred_span) {
+    closer_bits_.resize((n + 63) / 64);
+    classify_block(spec_.closer, block.data(), n, closer_bits_.data());
+  }
   std::size_t i = 0;
   while (i < n) {
-    if (fast_spec) {
-      // Boundary distance: the next window opens at the next offer index
-      // divisible by slide; the front window closes when it reaches span.
-      // Inside a run strictly before both, the open set is fixed.
-      const std::uint64_t rem = events_seen_ % spec_.slide_events;
-      std::uint64_t boundary = rem == 0 ? 0 : spec_.slide_events - rem;
+    // A deferred predicate close (the event after a closer fired) must run
+    // the scalar close/compaction pass before bulk runs can resume.
+    if (bulk_ok && !any_close_pending_) {
+      // Boundary distance: the next window opening (slide arithmetic, or
+      // the next opener-matching event), the next closer-matching event
+      // (scalar: it marks every open window close-pending), and the front
+      // window's span / safety-cap close.  Inside a run strictly before
+      // all of these, the open set is fixed.
+      std::uint64_t boundary;
+      if (pred_open) {
+        boundary = next_set_bit(opener_bits_.data(), i, n) - i;
+      } else {
+        const std::uint64_t rem = events_seen_ % spec_.slide_events;
+        boundary = rem == 0 ? 0 : spec_.slide_events - rem;
+      }
+      if (pred_span) {
+        boundary = std::min<std::uint64_t>(
+            boundary, next_set_bit(closer_bits_.data(), i, n) - i);
+      }
       if (open_head_ < open_.size()) {
         const std::uint64_t until_close =
             open_[open_head_].open_index + spec_.span_events - events_seen_;
@@ -298,7 +342,7 @@ std::uint64_t WindowManager::offer_keep_all_block(std::span<const Event> block,
         continue;
       }
     }
-    // Boundary event (or non-count/count spec): the scalar path handles
+    // Boundary event (or time-span spec): the scalar path handles
     // opening/closing exactly as per-event execution would.
     const Event& e = block[i];
     for (const Membership& m : offer(e)) {

@@ -292,13 +292,18 @@ class WindowManager {
   /// and keeps each of its memberships with `mask` -- exactly equivalent to
   /// `for (e : block) { for (m : offer(e)) keep(m, e, mask); }`, bit for
   /// bit, but with the window-boundary checks hoisted out of the inner
-  /// loop.  For count-span/count-slide specs, runs of events between two
-  /// boundaries (a window opening or closing) see a FIXED set of open
-  /// windows, so the run's payloads land in the store via one bulk append
-  /// and each window's kept list grows by one contiguous (slot, position)
-  /// span; only the boundary events take the scalar path.  Other specs fall
-  /// back to the scalar path per event (still one call).  Returns the
-  /// number of memberships offered (all of them kept).
+  /// loop.  Runs of events between two boundaries (a window opening or
+  /// closing) see a FIXED set of open windows, so the run's payloads land
+  /// in the store via one bulk append and each window's kept list grows by
+  /// one contiguous (slot, position) span; only the boundary events take
+  /// the scalar path.  For count-span/count-slide specs boundaries are
+  /// index arithmetic; for predicate openers/closers the block is first
+  /// classified against the opener/closer element (classify_block, one
+  /// bitmap per block) and boundaries are the match bits -- so
+  /// predicate-windowed streams batch exactly like count-slide ones
+  /// between pattern events.  Time spans close on timestamps, not offer
+  /// indices, and stay per-event scalar.  Returns the number of
+  /// memberships offered (all of them kept).
   ///
   /// Shedding callers cannot use this (decisions are per membership); the
   /// no-shedder engine pipeline, and the sizing/training phases of the
@@ -412,6 +417,10 @@ class WindowManager {
   std::vector<WindowRecord> drained_;  // handed out by the last drain
   std::vector<WindowView> views_;      // drain_closed() return buffer
   std::vector<Membership> scratch_;    // reused membership buffer
+  // Per-block opener/closer classification bitmaps (offer_keep_all_block
+  // scratch; see classify_block in pattern.hpp).
+  std::vector<std::uint64_t> opener_bits_;
+  std::vector<std::uint64_t> closer_bits_;
   // Recycled kept lists so open_window() stops allocating at steady state.
   std::vector<std::vector<KeptEntry>> kept_pool_;
   std::vector<std::vector<QueryMask>> mask_pool_;

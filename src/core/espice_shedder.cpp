@@ -1,10 +1,90 @@
 #include "core/espice_shedder.hpp"
 
 #include <algorithm>
+#include <climits>
 
 #include "durability/serial.hpp"
 
+// The vectorized score_block kernel targets AVX2 on x86-64 with GCC/Clang
+// function-level target attributes, so the translation unit itself builds
+// without -mavx2 and the binary still runs on pre-AVX2 machines (runtime
+// cpuid dispatch, scalar path retained).
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define ESPICE_X86_SIMD 1
+#include <immintrin.h>
+#endif
+
 namespace espice {
+
+namespace {
+
+#if ESPICE_X86_SIMD
+/// AVX2 flat-path block scorer.  Keep iff ut[base + pos] > thr[pos] - boost
+/// -- exactly decide()'s fast path when no RNG can be consumed (boundary
+/// fraction 1.0 everywhere because exact_amount is off, exploration off):
+/// decide() drops on u + boost < thr and on u + boost == thr (frac >= 1.0
+/// short-circuits the Bernoulli draw), i.e. keeps strictly above.  Eight
+/// positions per iteration: gather the utility bytes (scale-1 gather reads
+/// 4 bytes per lane, so ut carries 3 bytes of tail padding; low byte
+/// masked out) and the per-position thresholds, one signed 32-bit compare,
+/// sign-bit movemask straight into the keep word.  Returns false without
+/// touching counters when any position falls outside the flat arrays --
+/// the general path's math differs there, so the caller reruns the whole
+/// block scalar.
+__attribute__((target("avx2"))) bool score_flat_avx2(
+    const std::uint8_t* ut, const int* thr, std::uint32_t base,
+    std::uint32_t np, int boost, const std::uint32_t* positions,
+    std::size_t n, std::uint64_t* keep_bits, std::uint64_t* dropped) {
+  const __m256i vbase = _mm256_set1_epi32(static_cast<int>(base));
+  const __m256i vnpm1 = _mm256_set1_epi32(static_cast<int>(np - 1));
+  const __m256i vboost = _mm256_set1_epi32(boost);
+  const __m256i vff = _mm256_set1_epi32(0xFF);
+  std::uint64_t word = 0;
+  std::uint64_t drops = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    if (i != 0 && i % 64 == 0) {
+      keep_bits[i / 64 - 1] = word;
+      word = 0;
+    }
+    const __m256i pos = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(positions + i));
+    // Unsigned pos <= np - 1 via min-equality; any lane beyond the flat
+    // arrays aborts to the scalar path.
+    const __m256i inrange =
+        _mm256_cmpeq_epi32(_mm256_min_epu32(pos, vnpm1), pos);
+    if (_mm256_movemask_epi8(inrange) != -1) return false;
+    const __m256i idx = _mm256_add_epi32(pos, vbase);
+    const __m256i u = _mm256_and_si256(
+        _mm256_i32gather_epi32(reinterpret_cast<const int*>(ut), idx, 1),
+        vff);
+    const __m256i t =
+        _mm256_sub_epi32(_mm256_i32gather_epi32(thr, pos, 4), vboost);
+    const auto keep = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(u, t))));
+    word |= static_cast<std::uint64_t>(keep) << (i % 64);
+    drops += 8u - static_cast<unsigned>(__builtin_popcount(keep));
+  }
+  for (; i < n; ++i) {  // scalar tail, same compare as the vector lanes
+    if (i != 0 && i % 64 == 0) {
+      keep_bits[i / 64 - 1] = word;
+      word = 0;
+    }
+    const std::uint32_t p = positions[i];
+    if (p >= np) return false;
+    if (static_cast<int>(ut[base + p]) > thr[p] - boost) {
+      word |= std::uint64_t{1} << (i % 64);
+    } else {
+      ++drops;
+    }
+  }
+  keep_bits[(n - 1) / 64] = word;
+  *dropped = drops;
+  return true;
+}
+#endif  // ESPICE_X86_SIMD
+
+}  // namespace
 
 EspiceShedder::EspiceShedder(std::shared_ptr<const UtilityModel> model,
                              bool exact_amount, std::uint64_t seed)
@@ -42,13 +122,28 @@ void EspiceShedder::rebuild_ut_flat() {
   const std::size_t n = model_->n_positions();
   const std::size_t types = model_->num_types();
   n_as_ws_ = static_cast<double>(n);
-  ut_flat_.resize(types * n);
+  // 3 tail bytes keep the AVX2 kernel's 4-byte scale-1 gathers of the last
+  // entries inside the allocation (values never read: low byte masked).
+  ut_flat_.assign(types * n + 3, 0);
   for (std::size_t t = 0; t < types; ++t) {
     for (std::size_t p = 0; p < n; ++p) {
       ut_flat_[t * n + p] = static_cast<std::uint8_t>(
           model_->utility_cell(static_cast<EventTypeId>(t), p / model_->bin_size()));
     }
   }
+  // The kernel's gather indices are signed 32-bit; a model too large for
+  // them (no realistic UT is) just pins the instance to the scalar path.
+  flat_simd_ok_ =
+      n > 0 && types * n + 3 <= static_cast<std::size_t>(INT_MAX);
+}
+
+bool EspiceShedder::simd_supported() {
+#if ESPICE_X86_SIMD
+  static const bool ok = __builtin_cpu_supports("avx2") != 0;
+  return ok;
+#else
+  return false;
+#endif
 }
 
 const std::vector<Cdt>& EspiceShedder::cdts_for(std::size_t partitions) {
@@ -178,6 +273,31 @@ void EspiceShedder::score_block(const Event& e, const std::uint32_t* positions,
     count_block(n, 0);
     return;
   }
+#if ESPICE_X86_SIMD
+  // Vector fast path.  Eligible only when the decision is branch-free and
+  // RNG-free, so vector and scalar execution consume identical state:
+  // flat arrays apply (ws == N), boundary fractions are all 1.0 (no
+  // exact_amount Bernoulli draw) and exploration is off (no un-drop
+  // draw).  The boost-range guard keeps the kernel's int32 threshold
+  // subtraction away from wraparound (utilities are 8-bit, thresholds
+  // single digits past them; only an absurd set_revise_boost could wrap).
+  // Bails (false) on any position outside the flat arrays, and the block
+  // reruns scalar -- the kernel touches no counters until it commits.
+  if (!force_scalar_ && flat_simd_ok_ && predicted_ws == n_as_ws_ &&
+      !exact_amount_ && exploration_ == 0.0 && revise_boost_ > INT_MIN / 2 &&
+      revise_boost_ < INT_MAX / 2 && simd_supported()) {
+    const std::size_t np = model_->n_positions();
+    std::uint64_t dropped_simd = 0;
+    if (score_flat_avx2(ut_flat_.data(), pos_threshold_.data(),
+                        static_cast<std::uint32_t>(e.type) *
+                            static_cast<std::uint32_t>(np),
+                        static_cast<std::uint32_t>(np), revise_boost_,
+                        positions, n, keep_bits, &dropped_simd)) {
+      count_block(n, dropped_simd);
+      return;
+    }
+  }
+#endif
   std::uint64_t dropped = 0;
   std::uint64_t word = 0;
   for (std::size_t i = 0; i < n; ++i) {

@@ -12,7 +12,16 @@
 // just removes the per-event divisions and the CDT/partition arithmetic.
 // score_block() scores a whole membership block (one event in n overlapping
 // windows) over those arrays into a keep bitmap -- one virtual call and
-// contiguous loads instead of n scalar should_drop() calls.
+// contiguous loads instead of n scalar should_drop() calls.  On x86-64 the
+// block scorer additionally runs an AVX2 kernel (runtime cpuid dispatch,
+// function-level target attribute, scalar path retained): 8 positions per
+// iteration, utility-byte and threshold gathers, one broadcast compare,
+// sign-mask straight into the keep word.  The kernel is only eligible when
+// the decision stream is RNG-free (no exact_amount boundary sampling, no
+// exploration), so its results -- keep bits, decision/drop counters, RNG
+// state -- are bit-identical to scalar execution by construction, and a
+// differential twin test (tests/property/shedder_simd_oracle_test) holds
+// it to that.
 //
 // Control plane: on_command() (re)computes the per-partition utility
 // thresholds from the CDTs and re-broadcasts the flat arrays; CDT sets are
@@ -73,6 +82,19 @@ class EspiceShedder final : public Shedder {
   void on_command(const DropCommand& cmd) override;
   const char* name() const override { return "eSPICE"; }
 
+  /// True when this build + CPU can run the vectorized score_block kernel
+  /// (AVX2, checked once at runtime).  The kernel is an implementation
+  /// detail -- results are bit-identical either way -- but tests and
+  /// benches use this to report which path actually ran.
+  static bool simd_supported();
+
+  /// Test hook: pin this instance to the scalar score_block path even
+  /// where the SIMD kernel is eligible, so differential twin tests can
+  /// compare vector vs scalar decisions in one process.  Configuration,
+  /// not state (like set_revise_boost): not serialized.
+  void set_force_scalar(bool force) { force_scalar_ = force; }
+  bool force_scalar() const { return force_scalar_; }
+
   /// Swaps in a retrained model; invalidates cached CDTs and recomputes the
   /// thresholds of the current command.
   void set_model(std::shared_ptr<const UtilityModel> model);
@@ -113,11 +135,17 @@ class EspiceShedder final : public Shedder {
 
   // Flat position-indexed hot-path arrays (see file comment).  ut_flat_
   // tracks the model (N x M, rebuilt on set_model); the threshold arrays
-  // track the active command (N each, rebuilt on on_command).
+  // track the active command (N each, rebuilt on on_command).  ut_flat_
+  // carries 3 bytes of tail padding so the AVX2 kernel's 4-byte scale-1
+  // gathers of the last entries stay inside the allocation.
   std::vector<std::uint8_t> ut_flat_;       ///< [type * N + position]
   std::vector<int> pos_threshold_;          ///< threshold of pos's partition
   std::vector<double> pos_boundary_;        ///< boundary drop of its partition
   double n_as_ws_ = 0.0;                    ///< N as a double (ws fast-path key)
+  /// Flat index space fits the kernel's signed 32-bit gather indices
+  /// (set by rebuild_ut_flat; practically always true).
+  bool flat_simd_ok_ = false;
+  bool force_scalar_ = false;               ///< test hook, see above
 
   std::size_t partitions_ = 1;
   double last_x_ = 0.0;

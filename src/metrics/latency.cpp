@@ -2,10 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "common/error.hpp"
 
 namespace espice {
+
+namespace {
+
+/// Bucket index of a completion timestamp.  Clamps non-finite / negative
+/// timestamps to bucket 0 -- casting a negative double to an unsigned
+/// integer is undefined behavior, so the clamp happens in floating point
+/// BEFORE the cast -- and saturates indices beyond the uint64 range.
+std::uint64_t bucket_of(double completion_ts, double bucket_seconds) {
+  if (!(completion_ts > 0.0)) return 0;  // negatives and NaN land in bucket 0
+  const double ratio = completion_ts / bucket_seconds;
+  // 2^63 is exactly representable; anything at or above it saturates.
+  constexpr double kSaturate = 9223372036854775808.0;
+  if (ratio >= kSaturate) return std::uint64_t{1} << 63;
+  return static_cast<std::uint64_t>(ratio);
+}
+
+}  // namespace
 
 LatencySummary summarize_latency(const std::vector<LatencySample>& samples,
                                  double bound, double bucket_seconds) {
@@ -17,31 +35,31 @@ LatencySummary summarize_latency(const std::vector<LatencySample>& samples,
   PercentileTracker tracker;
   RunningStats overall;
 
-  double horizon = 0.0;
-  for (const auto& s : samples) horizon = std::max(horizon, s.completion_ts);
-  const auto n_buckets =
-      static_cast<std::size_t>(std::floor(horizon / bucket_seconds)) + 1;
-  std::vector<RunningStats> per_bucket(n_buckets);
+  // Sparse buckets: keyed by index, ordered, O(occupied) space.  A trace
+  // whose completion timestamps span a huge horizon (sparse simulator
+  // output, epoch-style timestamps) must not allocate horizon/bucket
+  // RunningStats slots.
+  std::map<std::uint64_t, RunningStats> per_bucket;
 
   for (const auto& s : samples) {
     overall.observe(s.latency);
     tracker.observe(s.latency);
     if (s.latency > bound) ++summary.violations;
-    const auto b = static_cast<std::size_t>(s.completion_ts / bucket_seconds);
-    per_bucket[std::min(b, n_buckets - 1)].observe(s.latency);
+    per_bucket[bucket_of(s.completion_ts, bucket_seconds)].observe(s.latency);
   }
 
   summary.mean = overall.mean();
   summary.max = overall.max();
+  summary.p50 = tracker.percentile(0.50);
   summary.p99 = tracker.percentile(0.99);
-  summary.buckets.reserve(n_buckets);
-  for (std::size_t b = 0; b < n_buckets; ++b) {
-    if (per_bucket[b].count() == 0) continue;
+  summary.p999 = tracker.percentile(0.999);
+  summary.buckets.reserve(per_bucket.size());
+  for (const auto& [b, stats] : per_bucket) {
     LatencyBucket bucket;
     bucket.start_ts = static_cast<double>(b) * bucket_seconds;
-    bucket.mean = per_bucket[b].mean();
-    bucket.max = per_bucket[b].max();
-    bucket.events = per_bucket[b].count();
+    bucket.mean = stats.mean();
+    bucket.max = stats.max();
+    bucket.events = stats.count();
     summary.buckets.push_back(bucket);
   }
   return summary;

@@ -23,7 +23,9 @@ struct LatencyBucket {
 struct LatencySummary {
   std::vector<LatencyBucket> buckets;
   double mean = 0.0;
+  double p50 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
   double max = 0.0;
   std::size_t violations = 0;  ///< events with latency > bound
   std::size_t events = 0;
@@ -36,7 +38,11 @@ struct LatencySummary {
 };
 
 /// Buckets `samples` by completion time into `bucket_seconds` slices and
-/// summarizes against the latency bound.
+/// summarizes against the latency bound.  Non-finite or negative completion
+/// timestamps are clamped into the first bucket (a float-to-unsigned cast
+/// of a negative value is UB, and a simulator restart can legitimately
+/// emit ts <= 0); bucketing is sparse, so a trace with a handful of
+/// samples at a huge horizon costs O(samples), not O(horizon / bucket).
 LatencySummary summarize_latency(const std::vector<LatencySample>& samples,
                                  double bound, double bucket_seconds = 1.0);
 

@@ -61,13 +61,53 @@ void StreamEngineConfig::validate() const {
   }
 }
 
+/// One latency sample in flight: the router's enqueue-count high-water mark
+/// at emission plus its timestamp.  The shard records the sample once its
+/// consumed counter passes `count` -- the marked event's block has been
+/// fully processed and released by then.
+struct LatencyMark {
+  std::uint64_t count = 0;
+  std::chrono::steady_clock::time_point t0;
+};
+
 struct StreamEngine::Shard {
+  /// Capacity of the latency-mark side ring.  Small on purpose: marks are
+  /// best-effort samples (the router drops one when the ring is full, it
+  /// never blocks), so a lagging shard costs coverage, not throughput.
+  static constexpr std::size_t kMarkRingCapacity = 256;
+
   Shard(std::size_t index_, std::size_t ring_capacity, std::size_t num_queries)
-      : ring(ring_capacity) {
+      : ring(ring_capacity), marks(kMarkRingCapacity) {
     stats.shard = index_;
     query_matches.resize(num_queries);
     query_counters.resize(num_queries);
     query_revisions.resize(num_queries);
+  }
+
+  /// Router side: account `n` ring enqueues and emit a latency mark when
+  /// the sampling threshold is crossed.  Punctuation enqueues pass
+  /// data=false -- they advance `routed` (so mark counts stay aligned with
+  /// the shard's consumed counter, which counts them too) but never carry
+  /// a mark.  Callers gate on latency_sample_every != 0, keeping the
+  /// disabled hot path free of this entirely.
+  void note_enqueued(std::size_t n, bool data, std::size_t sample_every) {
+    routed += n;
+    if (data && routed >= next_mark) {
+      marks.try_push(LatencyMark{routed, std::chrono::steady_clock::now()});
+      next_mark = routed + sample_every;
+    }
+  }
+
+  /// Shard side: record every mark whose event is inside a released block.
+  void drain_marks(std::uint64_t consumed) {
+    for (;;) {
+      const std::span<const LatencyMark> m = marks.front_block(1);
+      if (m.empty() || m[0].count > consumed) break;
+      const auto dt = std::chrono::steady_clock::now() - m[0].t0;
+      stats.latency.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+      marks.release(1);
+    }
   }
 
   /// Per-query outcome counters of this shard (summed into QueryReport).
@@ -94,6 +134,14 @@ struct StreamEngine::Shard {
   std::vector<SideOutputRecord> side_outputs;
   ShardStats stats;
   std::exception_ptr error;
+
+  // --- latency sampling (router produces, shard consumes) ----------------
+  /// Every-Nth-enqueue timestamp marks; tiny and best-effort by design.
+  SpscRing<LatencyMark> marks;
+  /// Router-owned: total ring enqueues (data + punctuations) and the
+  /// routed-count threshold that triggers the next mark.
+  std::uint64_t routed = 0;
+  std::uint64_t next_mark = 0;
 
   // --- durability checkpoint handshake (router <-> shard thread) ---------
   /// The router arms this with the exact number of events the shard must
@@ -276,6 +324,9 @@ void StreamEngine::push(const Event& e) {
     s.stats.router_backpressure_waits += waiter.waits();
     s.stats.router_stall_seconds += waiter.stall_seconds();
   }
+  if (config_.latency_sample_every != 0) {
+    s.note_enqueued(1, /*data=*/true, config_.latency_sample_every);
+  }
   ++pushed_;
   if (config_.event_time.has_value()) {
     if (!router_max_valid_ || e.seq > router_max_seq_) {
@@ -308,6 +359,9 @@ void StreamEngine::route_punctuation(const Event& p) {
       s.stats.router_backpressure_waits += waiter.waits();
       s.stats.router_stall_seconds += waiter.stall_seconds();
     }
+    if (config_.latency_sample_every != 0) {
+      s.note_enqueued(1, /*data=*/false, config_.latency_sample_every);
+    }
     if (log_ != nullptr) ++pushed_per_shard_[i];
   }
   ++pushed_;
@@ -338,6 +392,7 @@ void StreamEngine::maybe_heartbeat() {
 }
 
 void StreamEngine::bulk_push_shard(Shard& s, const Event* data, std::size_t n) {
+  const std::size_t total = n;
   BackoffWaiter waiter;
   while (n > 0) {
     const std::size_t pushed = s.ring.try_push_bulk(data, n);
@@ -352,6 +407,11 @@ void StreamEngine::bulk_push_shard(Shard& s, const Event* data, std::size_t n) {
   if (waiter.waits() > 0) {
     s.stats.router_backpressure_waits += waiter.waits();
     s.stats.router_stall_seconds += waiter.stall_seconds();
+  }
+  // One mark per crossed threshold at most: the mark tags the bulk's LAST
+  // event, which is what the shard's consumed counter passes.
+  if (config_.latency_sample_every != 0) {
+    s.note_enqueued(total, /*data=*/true, config_.latency_sample_every);
   }
 }
 
@@ -986,6 +1046,7 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
       }
       consumed += n;
       shard.ring.release(n);
+      if (config_.latency_sample_every != 0) shard.drain_marks(consumed);
     }
     if (et_on) {
       // End of stream: everything still buffered is releasable (no more
@@ -1034,6 +1095,7 @@ void StreamEngine::run_adaptive_shard(Shard& shard) {
     });
     const double tick_period = config_.adaptive->detector.tick_period;
     double next_tick = tick_period;
+    std::uint64_t consumed = 0;
 
     for (;;) {
       std::span<const Event> blk = shard.ring.front_block(kShardBlock);
@@ -1069,7 +1131,9 @@ void StreamEngine::run_adaptive_shard(Shard& shard) {
           next_tick += tick_period;
         }
       }
+      consumed += n;
       shard.ring.release(n);
+      if (config_.latency_sample_every != 0) shard.drain_marks(consumed);
     }
     op.finish();
 
@@ -1379,6 +1443,7 @@ EngineReport StreamEngine::finish() {
     report.late_dropped += s->stats.late_dropped;
     report.late_side_output += s->stats.late_side_output;
     report.revisions += s->stats.revisions;
+    report.latency.merge(s->stats.latency);
     report.shards.push_back(s->stats);
   }
   // Engine low watermark: the slowest shard's progress.  Valid only once

@@ -79,6 +79,7 @@
 #include "core/shedder.hpp"
 #include "durability/event_log.hpp"
 #include "durability/snapshot.hpp"
+#include "metrics/histogram.hpp"
 
 namespace espice {
 
@@ -163,6 +164,16 @@ struct StreamEngineConfig {
   /// checkpoint() / recover_and_start().  Deterministic mode only.
   std::optional<DurabilityConfig> durability;
 
+  // --- latency sampling ----------------------------------------------------
+  /// Sample every Nth ring enqueue per shard for end-to-end latency
+  /// (steady-clock at enqueue -> the shard released the block containing
+  /// it), recorded into ShardStats::latency / EngineReport::latency.
+  /// 0 (default) disables sampling entirely: the data hot path is
+  /// untouched.  Sampling piggybacks on a tiny side ring per shard and
+  /// degrades gracefully (a mark is dropped, never blocked on) when the
+  /// shard lags more than the side ring's capacity worth of samples.
+  std::size_t latency_sample_every = 0;
+
   // --- event time ----------------------------------------------------------
   /// When set, the engine accepts out-of-order input: each shard runs a
   /// bounded reorder stage (cep/event_time.hpp) ahead of window routing,
@@ -205,6 +216,9 @@ struct ShardStats {
   bool watermark_valid = false;    ///< the shard's watermark ever advanced
   std::uint64_t watermark_seq = 0; ///< final per-shard watermark
   std::size_t reorder_peak_buffered = 0;  ///< reorder stage high-water mark
+  /// Sampled end-to-end event latency, ns (enqueue -> block released), when
+  /// StreamEngineConfig::latency_sample_every > 0; empty otherwise.
+  LatencyHistogram latency;
 };
 
 /// Per-query outcome of one engine run.
@@ -259,6 +273,10 @@ struct EngineReport {
   /// LatePolicy::kSideOutput captures, in canonical order (event seq,
   /// shard, in-shard capture index).
   std::vector<SideOutputRecord> side_outputs;
+
+  /// Sampled end-to-end event latency merged across shards, ns (enqueue ->
+  /// block released); empty unless latency_sample_every was set.
+  LatencyHistogram latency;
 
   std::uint64_t total_matches() const { return matches.size(); }
   std::uint64_t total_windows_closed() const;

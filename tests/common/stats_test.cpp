@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "common/error.hpp"
+
 namespace espice {
 namespace {
 
@@ -48,6 +50,35 @@ TEST(Ewma, ResetClearsSeed) {
   EXPECT_DOUBLE_EQ(e.value(), 7.0);
 }
 
+// Snapshot/restore round-trip (the durability layer serializes only the
+// running estimate; alpha comes from config): a restored EWMA continues
+// the sequence exactly where the original left off.
+TEST(Ewma, RestoreRoundTripContinuesExactly) {
+  Ewma original(0.3);
+  original.observe(4.0);
+  original.observe(8.0);
+  Ewma restored(0.3);
+  restored.restore(original.raw_value(), original.seeded());
+  EXPECT_TRUE(restored.seeded());
+  EXPECT_DOUBLE_EQ(restored.value(), original.value());
+  original.observe(-2.0);
+  restored.observe(-2.0);
+  EXPECT_DOUBLE_EQ(restored.value(), original.value());
+  // Restoring the unseeded state keeps the fallback semantics.
+  Ewma blank(0.3);
+  Ewma blank_restored(0.3);
+  blank_restored.restore(blank.raw_value(), blank.seeded());
+  EXPECT_FALSE(blank_restored.seeded());
+  EXPECT_DOUBLE_EQ(blank_restored.value_or(9.0), 9.0);
+}
+
+TEST(Ewma, RejectsOutOfRangeAlpha) {
+  EXPECT_THROW(Ewma(0.0), ConfigError);
+  EXPECT_THROW(Ewma(-0.5), ConfigError);
+  EXPECT_THROW(Ewma(1.5), ConfigError);
+  EXPECT_NO_THROW(Ewma(1.0));
+}
+
 TEST(RunningStats, MeanOfKnownValues) {
   RunningStats s;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.observe(v);
@@ -68,6 +99,23 @@ TEST(RunningStats, SingleValueHasZeroVariance) {
   s.observe(5.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
   EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+// The n < 2 edge cases: variance/stddev are defined (0) on empty and
+// single-sample trackers, while mean/min/max on empty are contract errors.
+TEST(RunningStats, FewerThanTwoSamplesHaveZeroVariance) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_THROW(s.mean(), ConfigError);
+  EXPECT_THROW(s.min(), ConfigError);
+  EXPECT_THROW(s.max(), ConfigError);
+  s.observe(-3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.5);
+  EXPECT_DOUBLE_EQ(s.max(), -3.5);
 }
 
 TEST(RunningStats, ResetRestoresEmptyState) {
@@ -125,6 +173,26 @@ TEST(PercentileTracker, ObservationsAfterQueryAreIncluded) {
   t.observe(100.0);  // must re-sort internally
   EXPECT_DOUBLE_EQ(t.max(), 100.0);
   EXPECT_DOUBLE_EQ(t.median(), 2.0);
+}
+
+// Contract edges: q must be in [0, 1] and the tracker non-empty; the
+// boundary quantiles are exactly min/max with no interpolation wobble.
+TEST(PercentileTracker, BoundaryAndErrorContract) {
+  PercentileTracker empty;
+  EXPECT_THROW(empty.percentile(0.5), ConfigError);
+  PercentileTracker t;
+  for (double v : {10.0, -5.0, 3.0, 3.0, 8.0}) t.observe(v);
+  EXPECT_THROW(t.percentile(-0.01), ConfigError);
+  EXPECT_THROW(t.percentile(1.01), ConfigError);
+  EXPECT_DOUBLE_EQ(t.percentile(0.0), -5.0);
+  EXPECT_DOUBLE_EQ(t.percentile(1.0), 10.0);
+  // Monotone in q.
+  double prev = t.percentile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = t.percentile(q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
 }
 
 TEST(PercentileTracker, CountReflectsObservations) {

@@ -291,6 +291,69 @@ TEST(EspiceShedder, ScoreBlockInactiveKeepsAllAndCounts) {
   EXPECT_EQ(s.drops(), 0u);
 }
 
+// Flat-path invalidation hardening: the position-indexed hot-path arrays
+// (ut_flat_ / pos_threshold_) are derived state that MUST track every
+// control-plane transition.  This directed command sequence -- partition
+// resize up, resize down, re-arm after deactivation, model swap -- checks
+// after each step that the flat fast path (ws == N) agrees with the
+// general path (ws == 2N, where positions 2p and 2p+1 scale back to cell
+// p and the flat arrays are bypassed) on twin shedders.
+TEST(EspiceShedder, FlatPathTracksCommandResizesAndRearm) {
+  auto model = block_model();  // 4 types x 24 positions, bin size 3
+  const std::size_t n = model->n_positions();
+  EspiceShedder flat(model);     // queried at ws == N: flat arrays
+  EspiceShedder general(model);  // queried at ws == 2N: general math
+
+  auto expect_agree = [&](const char* step) {
+    SCOPED_TRACE(step);
+    for (EventTypeId t = 0; t < 4; ++t) {
+      for (std::uint32_t p = 0; p < n; ++p) {
+        const bool f = flat.should_drop(make_event(t), p,
+                                        static_cast<double>(n));
+        const bool g = general.should_drop(make_event(t), 2 * p,
+                                           2.0 * static_cast<double>(n));
+        EXPECT_EQ(f, g) << "type " << t << " position " << p;
+      }
+    }
+  };
+
+  expect_agree("inactive");
+  flat.on_command(active_command(8.0, 1));
+  general.on_command(active_command(8.0, 1));
+  expect_agree("armed, 1 partition");
+  // Resize up: more partitions than before -> per-partition thresholds and
+  // the position->threshold broadcast must be rebuilt, not reused.
+  flat.on_command(active_command(8.0, 6));
+  general.on_command(active_command(8.0, 6));
+  expect_agree("resized up to 6 partitions");
+  // Resize down.
+  flat.on_command(active_command(5.0, 2));
+  general.on_command(active_command(5.0, 2));
+  expect_agree("resized down to 2 partitions");
+  // Deactivate, then re-arm: the flat threshold arrays must come back
+  // armed, not stay in their keep-all state.
+  DropCommand off;
+  off.active = false;
+  flat.on_command(off);
+  general.on_command(off);
+  expect_agree("deactivated");
+  flat.on_command(active_command(10.0, 3));
+  general.on_command(active_command(10.0, 3));
+  expect_agree("re-armed, 3 partitions");
+  // Model swap under an active command: ut_flat_ is model-derived and the
+  // thresholds depend on both -- everything must refresh together.
+  std::vector<std::uint8_t> ut(4 * 8, 0);
+  std::vector<double> shares(4 * 8, 1.0);
+  for (std::size_t i = 0; i < ut.size(); ++i) {
+    ut[i] = static_cast<std::uint8_t>((i * 31) % 101);
+  }
+  auto swapped = std::make_shared<UtilityModel>(4, n, 3, std::move(ut),
+                                                std::move(shares));
+  flat.set_model(swapped);
+  general.set_model(swapped);
+  expect_agree("model swapped while armed");
+}
+
 // The default (base-class) score_block loops should_drop, so any Shedder
 // implementation is block-callable with identical semantics.
 TEST(EspiceShedder, BaseClassScoreBlockLoopsShouldDrop) {

@@ -1,0 +1,146 @@
+#include "metrics/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "support/test_seed.hpp"
+
+namespace espice {
+namespace {
+
+using test_support::seed_trace;
+using test_support::test_seed;
+
+TEST(LatencyHistogram, EmptyHistogramIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, ExactCountersRideAlong) {
+  LatencyHistogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+// Values below 2^kSubBits land in unit-width buckets: exact recovery.
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_upper_bound(
+                  LatencyHistogram::bucket_index(v)),
+              v);
+  }
+}
+
+// bucket_upper_bound(bucket_index(v)) >= v always, and the relative
+// overshoot is bounded by the sub-bucket resolution (1/64).
+TEST(LatencyHistogram, BucketRoundTripBoundsRelativeError) {
+  const std::uint64_t probes[] = {
+      0,   1,   63,  64,  65,  100, 127, 128, 1000, 4095, 4096,
+      1u << 20, (1u << 20) + 17, 123456789u, std::uint64_t{1} << 40,
+      (std::uint64_t{1} << 40) + 12345, std::uint64_t{1} << 62,
+      ~std::uint64_t{0}};
+  for (const std::uint64_t v : probes) {
+    const std::size_t idx = LatencyHistogram::bucket_index(v);
+    ASSERT_LT(idx, LatencyHistogram::kBuckets) << v;
+    const std::uint64_t ub = LatencyHistogram::bucket_upper_bound(idx);
+    EXPECT_GE(ub, v) << v;
+    if (v >= 64) {
+      // Bucket width is 2^(group-1) = v's magnitude / 64: <= ~1.6% error.
+      EXPECT_LE(static_cast<double>(ub - v),
+                static_cast<double>(v) / 64.0 + 1.0)
+          << v;
+    }
+    // Monotone: the next value's bucket never sorts before v's.
+    if (v < ~std::uint64_t{0}) {
+      EXPECT_LE(idx, LatencyHistogram::bucket_index(v + 1)) << v;
+    }
+  }
+}
+
+TEST(LatencyHistogram, QuantileTracksExactNearestRank) {
+  const std::uint64_t seed = test_seed(0x41517u);
+  SCOPED_TRACE(seed_trace(seed));
+  Rng rng(seed);
+  LatencyHistogram h;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform-ish spread: the regime percentile recorders live in.
+    const std::uint64_t v = rng.next() >> (rng.uniform_int(40));
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    std::size_t rank = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(q * static_cast<double>(values.size()))));
+    rank = std::min(rank, values.size());
+    const double exact = static_cast<double>(values[rank - 1]);
+    const double est = static_cast<double>(h.quantile(q));
+    // Within one sub-bucket of relative error (plus slack for ties at
+    // bucket edges), and never below the exact nearest-rank value's
+    // bucket floor.
+    EXPECT_LE(std::abs(est - exact), exact / 32.0 + 1.0) << "q=" << q;
+  }
+  EXPECT_EQ(h.quantile(0.0), h.min());
+  EXPECT_EQ(h.quantile(1.0), h.max());
+}
+
+TEST(LatencyHistogram, MergeEqualsRecordingEverythingInOne) {
+  const std::uint64_t seed = test_seed(0x6e46u);
+  SCOPED_TRACE(seed_trace(seed));
+  Rng rng(seed);
+  LatencyHistogram a, b, all;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next() >> 20;
+    ((i % 2 == 0) ? a : b).record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (const double q : {0.5, 0.99, 0.999}) {
+    EXPECT_EQ(a.quantile(q), all.quantile(q)) << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentity) {
+  LatencyHistogram h, empty;
+  h.record(42);
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  empty.merge(h);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.quantile(0.5), 42u);
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(7);
+  h.record(1000);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.quantile(0.99), 0u);
+}
+
+}  // namespace
+}  // namespace espice

@@ -74,5 +74,56 @@ TEST(LatencySummary, RejectsNonPositiveBucket) {
   EXPECT_THROW(summarize_latency(samples({{0.1, 0.1}}), 1.0, 0.0), ConfigError);
 }
 
+// Regression: a negative completion timestamp used to flow into a raw
+// float->unsigned cast (undefined behavior; UBSan flags it on the old
+// code).  Negative and NaN timestamps now clamp into the first bucket and
+// the summary stays well-defined.
+TEST(LatencySummary, NegativeCompletionTimestampsClampToFirstBucket) {
+  const auto s = summarize_latency(
+      samples({{-3.7, 0.2}, {-0.1, 0.4}, {0.5, 0.6}}), 1.0);
+  EXPECT_EQ(s.events, 3u);
+  ASSERT_EQ(s.buckets.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.buckets[0].start_ts, 0.0);
+  EXPECT_EQ(s.buckets[0].events, 3u);
+  EXPECT_NEAR(s.mean, 0.4, 1e-12);
+}
+
+// Regression: bucketing used to allocate O(horizon / bucket_seconds)
+// dense slots, so one straggler at a huge timestamp exploded memory.
+// Sparse bucketing makes this O(samples); the test would OOM (or time
+// out) on the dense implementation.
+TEST(LatencySummary, SparseBucketingHandlesHugeHorizons) {
+  const auto s = summarize_latency(
+      samples({{0.5, 0.1}, {1.0e15, 0.2}, {2.5e15, 0.3}}), 1.0);
+  EXPECT_EQ(s.events, 3u);
+  ASSERT_EQ(s.buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.buckets[0].start_ts, 0.0);
+  EXPECT_DOUBLE_EQ(s.buckets[1].start_ts, 1.0e15);
+  EXPECT_DOUBLE_EQ(s.buckets[2].start_ts, 2.5e15);
+}
+
+// Timestamps past 2^63 seconds saturate instead of overflowing the cast.
+TEST(LatencySummary, AstronomicalTimestampsSaturate) {
+  const auto s = summarize_latency(
+      samples({{1.0e300, 0.1}, {1.5e300, 0.2}}), 1.0);
+  EXPECT_EQ(s.events, 2u);
+  EXPECT_EQ(s.buckets.size(), 1u);  // both in the saturation bucket
+}
+
+TEST(LatencySummary, P50AndP999ArePopulated) {
+  // Latency ramp 0.001..2.0 over 2000 samples: the percentiles are known.
+  std::vector<LatencySample> input;
+  for (int i = 0; i < 2000; ++i) {
+    input.push_back({0.001 * i, 0.001 * (i + 1)});
+  }
+  const auto s = summarize_latency(input, 10.0);
+  EXPECT_NEAR(s.p50, 1.0, 0.01);
+  EXPECT_NEAR(s.p99, 1.98, 0.01);
+  EXPECT_NEAR(s.p999, 1.998, 0.01);
+  EXPECT_LT(s.p50, s.p99);
+  EXPECT_LE(s.p99, s.p999);
+  EXPECT_LE(s.p999, s.max);
+}
+
 }  // namespace
 }  // namespace espice

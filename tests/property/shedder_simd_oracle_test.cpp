@@ -1,0 +1,190 @@
+// Differential twin oracle for the vectorized EspiceShedder block scorer.
+//
+// Two shedders, identical seeds and command history: one free to take the
+// AVX2 score_block kernel, the twin pinned to the scalar path via
+// set_force_scalar(true).  The contract under test is BIT-IDENTITY -- not
+// just the same keep bitmaps, but the same decision/drop counters and the
+// same serialized state (which embeds the RNG) after every regime, because
+// the engine's determinism and the durability layer's replay guarantee
+// both sit on score_block being an exact drop-in for the scalar sweep.
+//
+// The sweep deliberately crosses every dispatch boundary: partition counts
+// {1,2,3,7}, ws == N (flat/SIMD-eligible) vs ws != N (general path),
+// positions beyond N (the kernel must bail to scalar BEFORE any counter
+// moves), exact-amount boundary sampling and exploration (RNG-consuming ->
+// SIMD-ineligible), revise_boost, inactive and re-armed phases, and block
+// sizes that straddle the 64-bit keep-word boundary.  CI runs this under
+// 5 seeds (ESPICE_TEST_SEED) and both sanitizers.
+#include "core/espice_shedder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "durability/serial.hpp"
+#include "support/test_seed.hpp"
+
+namespace espice {
+namespace {
+
+using test_support::seed_trace;
+using test_support::test_seed;
+
+std::shared_ptr<const UtilityModel> random_model(Rng& rng) {
+  const std::size_t types = 1 + rng.uniform_int(5);
+  const std::size_t n = 16 + rng.uniform_int(65);  // 16..80
+  const std::size_t bs = 1 + rng.uniform_int(4);
+  const std::size_t cols = (n + bs - 1) / bs;
+  std::vector<std::uint8_t> ut(types * cols);
+  std::vector<double> shares(types * cols);
+  for (std::size_t i = 0; i < ut.size(); ++i) {
+    ut[i] = static_cast<std::uint8_t>(rng.uniform_int(101));
+    shares[i] = 0.25 + rng.uniform(0.0, 4.0);
+  }
+  return std::make_shared<UtilityModel>(types, n, bs, std::move(ut),
+                                        std::move(shares));
+}
+
+std::vector<std::byte> serialized(const EspiceShedder& s) {
+  durability::SnapshotWriter w;
+  s.serialize(w);
+  return w.take();
+}
+
+struct Regime {
+  bool exact_amount;
+  double exploration;
+  int revise_boost;
+  bool oversized_ws;       ///< query with ws != N (general path)
+  bool out_of_range_pos;   ///< include positions >= N (kernel must bail)
+};
+
+/// Runs one full command+score history through both twins and asserts
+/// bit-identity at every block.
+void run_twin(std::uint64_t seed, const Regime& reg) {
+  Rng rng(seed);
+  auto model = random_model(rng);
+  const std::size_t n_pos = model->n_positions();
+  const std::size_t n_types = model->num_types();
+  const double ws = reg.oversized_ws ? static_cast<double>(n_pos) + 6.0
+                                     : static_cast<double>(n_pos);
+
+  const std::uint64_t shedder_seed = rng.next();
+  EspiceShedder simd(model, reg.exact_amount, shedder_seed);
+  EspiceShedder scalar(model, reg.exact_amount, shedder_seed);
+  scalar.set_force_scalar(true);
+  ASSERT_FALSE(simd.force_scalar());
+  ASSERT_TRUE(scalar.force_scalar());
+  if (reg.exploration > 0.0) {
+    simd.set_exploration(reg.exploration);
+    scalar.set_exploration(reg.exploration);
+  }
+  simd.set_revise_boost(reg.revise_boost);
+  scalar.set_revise_boost(reg.revise_boost);
+
+  const std::size_t partition_plan[] = {1, 2, 3, 7};
+  const std::size_t block_sizes[] = {1, 7, 63, 64, 65, 127, 128, 130, 200};
+
+  // Phase plan: inactive -> armed (each partition count) -> deactivated ->
+  // re-armed, scoring a batch of random blocks after every command.
+  auto run_blocks = [&](const char* label) {
+    SCOPED_TRACE(label);
+    std::vector<std::uint32_t> positions;
+    std::vector<std::uint64_t> bits_simd;
+    std::vector<std::uint64_t> bits_scalar;
+    for (const std::size_t bn : block_sizes) {
+      Event e;
+      e.type = static_cast<EventTypeId>(rng.uniform_int(n_types));
+      e.value = rng.uniform(-1.0, 1.0);
+      positions.clear();
+      for (std::size_t i = 0; i < bn; ++i) {
+        // Mostly in-range; the out-of-range regime salts in positions past
+        // N, which must kick the whole SIMD block back to scalar with no
+        // counter/bitmap divergence.
+        std::uint32_t p = static_cast<std::uint32_t>(rng.uniform_int(n_pos));
+        if (reg.out_of_range_pos && rng.uniform_int(8) == 0) {
+          p = static_cast<std::uint32_t>(n_pos + rng.uniform_int(4));
+        }
+        positions.push_back(p);
+      }
+      const std::size_t words = (bn + 63) / 64;
+      bits_simd.assign(words, ~std::uint64_t{0});
+      bits_scalar.assign(words, 0);
+      simd.score_block(e, positions.data(), bn, ws, bits_simd.data());
+      scalar.score_block(e, positions.data(), bn, ws, bits_scalar.data());
+      for (std::size_t i = 0; i < bn; ++i) {
+        const bool ks = (bits_simd[i / 64] >> (i % 64)) & 1;
+        const bool kc = (bits_scalar[i / 64] >> (i % 64)) & 1;
+        ASSERT_EQ(ks, kc) << "block size " << bn << " slot " << i
+                          << " type " << e.type << " pos " << positions[i];
+      }
+      ASSERT_EQ(simd.decisions(), scalar.decisions());
+      ASSERT_EQ(simd.drops(), scalar.drops());
+    }
+    // Full-state bit-identity: counters, command state, model tables, RNG.
+    ASSERT_EQ(serialized(simd), serialized(scalar));
+  };
+
+  run_blocks("inactive");
+  for (const std::size_t parts : partition_plan) {
+    DropCommand cmd;
+    cmd.active = true;
+    cmd.partitions = parts;
+    cmd.x = rng.uniform(0.5, static_cast<double>(n_pos));
+    simd.on_command(cmd);
+    scalar.on_command(cmd);
+    run_blocks("armed");
+  }
+  DropCommand off;
+  off.active = false;
+  simd.on_command(off);
+  scalar.on_command(off);
+  run_blocks("deactivated");
+  DropCommand rearm;
+  rearm.active = true;
+  rearm.partitions = 2;
+  rearm.x = rng.uniform(1.0, static_cast<double>(n_pos));
+  simd.on_command(rearm);
+  scalar.on_command(rearm);
+  run_blocks("re-armed");
+}
+
+class ShedderSimdOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShedderSimdOracle, VectorPathIsBitIdenticalToScalar) {
+  // Vacuously scalar-vs-scalar on machines without AVX2 (still a valid
+  // force-scalar consistency check); record which it was.
+  ::testing::Test::RecordProperty("simd_supported",
+                                  EspiceShedder::simd_supported() ? 1 : 0);
+  const std::uint64_t seed =
+      test_seed(0x51d0u + static_cast<std::uint64_t>(GetParam()) * 0x9e37u);
+  SCOPED_TRACE(seed_trace(seed));
+
+  const Regime regimes[] = {
+      // The SIMD-eligible steady state: RNG-free, ws == N, in-range.
+      {false, 0.0, 0, false, false},
+      // Same but with a revise boost folded into the compare.
+      {false, 0.0, 17, false, false},
+      // Out-of-range positions force the per-block scalar bail.
+      {false, 0.0, 0, false, true},
+      // General path (ws != N): never SIMD, still must agree.
+      {false, 0.0, 0, true, false},
+      // RNG-consuming regimes: dispatch must decline, twins stay in step.
+      {true, 0.0, 0, false, false},
+      {false, 0.2, 0, false, false},
+      {true, 0.2, 5, true, true},
+  };
+  int i = 0;
+  for (const Regime& reg : regimes) {
+    SCOPED_TRACE("regime " + std::to_string(i++));
+    run_twin(seed ^ (0xabcdefULL * static_cast<std::uint64_t>(i)), reg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShedderSimdOracle, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace espice
