@@ -33,6 +33,8 @@ enum class ErrorCode {
   kIo,               ///< file open/read/write/fsync/rename failure
   kCorruptLog,       ///< event-log record/segment failed validation
   kCorruptSnapshot,  ///< snapshot payload/manifest failed validation
+  kShardFailed,      ///< a shard pipeline thread died with an exception
+  kEngineFailed,     ///< operation on an engine already in the failed state
 };
 
 inline const char* error_code_name(ErrorCode code) {
@@ -43,6 +45,8 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kIo: return "io";
     case ErrorCode::kCorruptLog: return "corrupt_log";
     case ErrorCode::kCorruptSnapshot: return "corrupt_snapshot";
+    case ErrorCode::kShardFailed: return "shard_failed";
+    case ErrorCode::kEngineFailed: return "engine_failed";
   }
   return "unknown";
 }

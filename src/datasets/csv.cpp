@@ -5,6 +5,7 @@
 
 #include "cep/event_time.hpp"
 #include "common/error.hpp"
+#include "durability/io_env.hpp"
 
 namespace espice {
 
@@ -123,18 +124,24 @@ void save_events_csv(const std::string& path, const std::vector<Event>& events,
   ESPICE_CHECK(out.good(), ErrorCode::kIo, "write failed: " + path);
 }
 
+// File reads go through the IoEnv seam (durability::read_file_bytes) so an
+// injected open/read failure surfaces as a typed Error{kIo} -- an I/O fault
+// mid-read is NOT a bad row, so on_bad_row never swallows it (see
+// tests/datasets/csv_io_fault_test.cpp).
 CsvReadResult load_events_csv(const std::string& path, TypeRegistry& registry,
                               const CsvReadOptions& options) {
-  std::ifstream in(path);
-  ESPICE_CHECK(in.good(), ErrorCode::kIo, "cannot open for reading: " + path);
+  const std::vector<char> bytes =
+      durability::read_file_bytes("csv.open", "csv.read", path);
+  std::istringstream in(std::string(bytes.begin(), bytes.end()));
   return read_events_csv(in, registry, options);
 }
 
 std::vector<Event> load_events_csv(const std::string& path,
                                    TypeRegistry& registry,
                                    bool require_stream_order) {
-  std::ifstream in(path);
-  ESPICE_CHECK(in.good(), ErrorCode::kIo, "cannot open for reading: " + path);
+  const std::vector<char> bytes =
+      durability::read_file_bytes("csv.open", "csv.read", path);
+  std::istringstream in(std::string(bytes.begin(), bytes.end()));
   return read_events_csv(in, registry, require_stream_order);
 }
 

@@ -14,6 +14,7 @@
 #include "common/error.hpp"
 #include "durability/checksum.hpp"
 #include "durability/crash_point.hpp"
+#include "durability/io_env.hpp"
 #include "durability/serial.hpp"
 
 namespace espice::durability {
@@ -312,14 +313,6 @@ DirScan scan_dir(const std::string& dir) {
   return out;
 }
 
-void fsync_dir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
-}
-
 }  // namespace
 
 void EventLogConfig::validate() const {
@@ -360,9 +353,11 @@ EventLogWriter::EventLogWriter(EventLogConfig config)
       // Sealed but with trailing garbage after the footer: truncate the
       // garbage away (never append after a footer -- scans would drop
       // anything written there) and roll to a fresh segment.
-      const int fd = ::open(last_path.c_str(), O_WRONLY | O_CLOEXEC);
+      const int fd =
+          io_env().open("log.open", last_path.c_str(), O_WRONLY | O_CLOEXEC, 0);
       ESPICE_CHECK(fd >= 0, ErrorCode::kIo, errno_detail("open", last_path));
-      const int rc = ::ftruncate(fd, static_cast<off_t>(last.valid_bytes));
+      const int rc = io_env().ftruncate(
+          "log.ftruncate", fd, static_cast<std::int64_t>(last.valid_bytes));
       ::close(fd);
       ESPICE_CHECK(rc == 0, ErrorCode::kIo,
                    errno_detail("ftruncate", last_path));
@@ -371,9 +366,10 @@ EventLogWriter::EventLogWriter(EventLogConfig config)
     return;
   }
   // Resume appending into the unsealed (or torn) final segment.
-  fd_ = ::open(last_path.c_str(), O_WRONLY | O_CLOEXEC);
+  fd_ = io_env().open("log.open", last_path.c_str(), O_WRONLY | O_CLOEXEC, 0);
   ESPICE_CHECK(fd_ >= 0, ErrorCode::kIo, errno_detail("open", last_path));
-  if (::ftruncate(fd_, static_cast<off_t>(last.valid_bytes)) != 0) {
+  if (io_env().ftruncate("log.ftruncate", fd_,
+                         static_cast<std::int64_t>(last.valid_bytes)) != 0) {
     throw Error(ErrorCode::kIo, errno_detail("ftruncate", last_path));
   }
   if (::lseek(fd_, 0, SEEK_END) < 0) {
@@ -393,8 +389,8 @@ EventLogWriter::~EventLogWriter() {
 void EventLogWriter::open_segment(std::uint64_t base_index) {
   ESPICE_CRASH_POINT("log.segment.open");
   active_path_ = segment_path(config_.dir, base_index);
-  fd_ = ::open(active_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
-               0644);
+  fd_ = io_env().open("log.open", active_path_.c_str(),
+                      O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   ESPICE_CHECK(fd_ >= 0, ErrorCode::kIo, errno_detail("open", active_path_));
   SnapshotWriter w;
   encode_segment_header(w, base_index);
@@ -404,7 +400,9 @@ void EventLogWriter::open_segment(std::uint64_t base_index) {
   segment_size_ = w.position();
   segment_crc_ = crc32_init();
   // Directory-entry durability follows the same policy split as sealing.
-  if (config_.fsync != FsyncPolicy::kNone) fsync_dir(config_.dir);
+  if (config_.fsync != FsyncPolicy::kNone) {
+    fsync_dir("log.dir.fsync", config_.dir);
+  }
 }
 
 void EventLogWriter::seal_segment() {
@@ -424,7 +422,7 @@ void EventLogWriter::seal_segment() {
 void EventLogWriter::write_all(const void* data, std::size_t len) {
   const auto* p = static_cast<const char*>(data);
   while (len > 0) {
-    const ssize_t n = ::write(fd_, p, len);
+    const long n = io_env().write("log.write", fd_, p, len);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw Error(ErrorCode::kIo, errno_detail("write", active_path_));
@@ -434,8 +432,27 @@ void EventLogWriter::write_all(const void* data, std::size_t len) {
   }
 }
 
+void EventLogWriter::repair_torn_tail() {
+  // Best effort: put the file back to the end of the last complete record
+  // so a retried append lands cleanly instead of after torn bytes (which a
+  // recovery scan would truncate -- along with every record appended after
+  // them).  If even the truncate fails the disk is gone for good: poison
+  // the writer so later appends fail fast; the on-disk durable prefix
+  // still ends at the last valid record after recovery's own scan.
+  if (fd_ < 0 ||
+      io_env().ftruncate("log.ftruncate", fd_,
+                         static_cast<std::int64_t>(segment_size_)) != 0 ||
+      ::lseek(fd_, 0, SEEK_END) < 0) {
+    poisoned_ = true;
+  }
+}
+
 void EventLogWriter::append_batch(std::span<const Event> events) {
   if (events.empty()) return;
+  ESPICE_CHECK(!poisoned_, ErrorCode::kIo,
+               "event log writer poisoned by an earlier unrepaired I/O "
+               "failure on '" +
+                   active_path_ + "'");
   ESPICE_CRASH_POINT("log.append.before");
 
   SnapshotWriter& payload = payload_scratch_;
@@ -454,15 +471,23 @@ void EventLogWriter::append_batch(std::span<const Event> events) {
   rec.bytes(payload.buffer().data(), payload.position());
 
   const std::vector<std::byte>& buf = rec.buffer();
-  if (crash_hook_armed()) {
-    // Split the write so a crash at the midpoint leaves a genuinely torn
-    // record on disk; the production path below stays one write().
-    const std::size_t half = buf.size() / 2;
-    write_all(buf.data(), half);
-    ESPICE_CRASH_POINT("log.append.mid_record");
-    write_all(buf.data() + half, buf.size() - half);
-  } else {
-    write_all(buf.data(), buf.size());
+  // Catch espice::Error only: a SimulatedCrash escaping the crash points
+  // must leave its torn bytes on disk untouched -- that torn tail IS the
+  // kill being simulated, and the recovery oracle asserts it is found.
+  try {
+    if (crash_hook_armed()) {
+      // Split the write so a crash at the midpoint leaves a genuinely torn
+      // record on disk; the production path below stays one write().
+      const std::size_t half = buf.size() / 2;
+      write_all(buf.data(), half);
+      ESPICE_CRASH_POINT("log.append.mid_record");
+      write_all(buf.data() + half, buf.size() - half);
+    } else {
+      write_all(buf.data(), buf.size());
+    }
+  } catch (const Error&) {
+    repair_torn_tail();
+    throw;
   }
 
   // Chain the record's own CRC into the segment CRC (see scan_segment: the
@@ -486,13 +511,21 @@ void EventLogWriter::append_batch(std::span<const Event> events) {
   ESPICE_CRASH_POINT("log.append.done");
 
   if (segment_size_ >= config_.segment_bytes) {
-    seal_segment();
-    open_segment(next_index_);
+    // A failure anywhere in the roll leaves footer / fresh-header state
+    // unknowable from here; poison rather than risk appending after a torn
+    // footer (a scan would silently drop everything written past it).
+    try {
+      seal_segment();
+      open_segment(next_index_);
+    } catch (const Error&) {
+      poisoned_ = true;
+      throw;
+    }
   }
 }
 
 void EventLogWriter::sync() {
-  if (fd_ >= 0 && ::fsync(fd_) != 0) {
+  if (fd_ >= 0 && io_env().fsync("log.fsync", fd_) != 0) {
     throw Error(ErrorCode::kIo, errno_detail("fsync", active_path_));
   }
   records_since_sync_ = 0;
@@ -510,7 +543,7 @@ std::size_t EventLogWriter::prune_segments_below(std::uint64_t index) {
     std::error_code ec;
     if (fs::remove(segments[i].second, ec)) removed += 1;
   }
-  if (removed != 0) fsync_dir(config_.dir);
+  if (removed != 0) fsync_dir("log.dir.fsync", config_.dir);
   return removed;
 }
 

@@ -106,7 +106,20 @@ class EventLogWriter {
 
   /// Appends one batch as one record (one write() syscall on the production
   /// path), applies the fsync policy, rolls the segment when full.
+  ///
+  /// I/O failures throw espice::Error{kIo} with the writer left in a
+  /// retryable state where possible: a torn record is truncated away so a
+  /// retry appends cleanly, and a failed fsync leaves the record in place
+  /// (retry sync() instead of re-appending -- next_index() tells the two
+  /// apart).  When the failure cannot be repaired (the truncate itself
+  /// fails, or a segment seal/roll goes down mid-footer) the writer is
+  /// poisoned: every later append throws immediately, and the on-disk
+  /// durable prefix still ends at the last valid record (recovery scans
+  /// truncate the rest).
   void append_batch(std::span<const Event> events);
+
+  /// False once an unrepairable I/O failure poisoned the writer.
+  bool healthy() const { return !poisoned_; }
 
   /// Explicit fsync of the active segment (used by checkpointing: the log
   /// must be durable up to the snapshot offset before the manifest swap).
@@ -123,9 +136,11 @@ class EventLogWriter {
   void open_segment(std::uint64_t base_index);
   void seal_segment();
   void write_all(const void* data, std::size_t len);
+  void repair_torn_tail();
 
   EventLogConfig config_;
   LogOpenResult open_result_;
+  bool poisoned_ = false;
   int fd_ = -1;
   std::string active_path_;
   std::uint64_t next_index_ = 0;        ///< global event index

@@ -1,0 +1,88 @@
+#include "durability/io_env.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace espice::durability {
+
+namespace {
+
+std::string errno_detail() {
+  return std::string(std::strerror(errno)) + " (errno " +
+         std::to_string(errno) + ")";
+}
+
+// IoEnv's virtual defaults ARE the real environment, so the default
+// instance is just a plain IoEnv and fault environments override only the
+// operations they care about.
+IoEnv g_real_env;
+std::atomic<IoEnv*> g_env{&g_real_env};
+
+}  // namespace
+
+int IoEnv::open(const char*, const char* path, int flags, unsigned mode) {
+  return ::open(path, flags, mode);
+}
+
+long IoEnv::read(const char*, int fd, void* buf, std::size_t len) {
+  return ::read(fd, buf, len);
+}
+
+long IoEnv::write(const char*, int fd, const void* buf, std::size_t len) {
+  return ::write(fd, buf, len);
+}
+
+int IoEnv::fsync(const char*, int fd) { return ::fsync(fd); }
+
+int IoEnv::ftruncate(const char*, int fd, std::int64_t len) {
+  return ::ftruncate(fd, static_cast<off_t>(len));
+}
+
+int IoEnv::rename(const char*, const char* from, const char* to) {
+  return ::rename(from, to);
+}
+
+IoEnv& io_env() { return *g_env.load(std::memory_order_acquire); }
+
+void set_io_env(IoEnv* env) {
+  g_env.store(env != nullptr ? env : &g_real_env, std::memory_order_release);
+}
+
+void fsync_dir(const char* site, const std::string& dir) {
+  IoEnv& env = io_env();
+  const int fd = env.open(site, dir.c_str(), O_RDONLY | O_DIRECTORY, 0);
+  if (fd < 0) return;
+  (void)env.fsync(site, fd);
+  ::close(fd);
+}
+
+std::vector<char> read_file_bytes(const char* open_site, const char* read_site,
+                                  const std::string& path) {
+  IoEnv& env = io_env();
+  const int fd = env.open(open_site, path.c_str(), O_RDONLY, 0);
+  ESPICE_CHECK(fd >= 0, ErrorCode::kIo,
+               "cannot open " + path + ": " + errno_detail());
+  std::vector<char> bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const long n = env.read(read_site, fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string detail = errno_detail();
+      ::close(fd);
+      throw Error(ErrorCode::kIo, "read failed on " + path + ": " + detail);
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+}  // namespace espice::durability

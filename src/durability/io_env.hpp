@@ -1,0 +1,77 @@
+// Pluggable I/O environment: the seam between the durability layer and the
+// operating system.
+//
+// Every file operation issued by EventLogWriter, SnapshotStore and the CSV
+// loader goes through the process-wide IoEnv -- open / read / write / fsync
+// / ftruncate / rename, each tagged with a stable *site* name such as
+// "log.write" or "snapshot.fsync".  The default environment is the raw
+// syscalls (one virtual dispatch per syscall, invisible next to the syscall
+// itself); tests swap in a fault-injecting environment
+// (tests/support/io_fault.hpp) that fails a chosen site on its N-th
+// occurrence with a chosen errno, which is how the chaos oracle drives
+// ENOSPC / EIO / short-write / fsync-failure schedules through the engine
+// without touching the durability code itself.
+//
+// Sites are census-enumerable the same way crash points are (see
+// crash_point.hpp): run a workload under a counting environment once,
+// enumerate the (site, count) pairs it touched, then sweep faults over
+// them.  Site names in use today:
+//
+//   log.open  log.write  log.fsync  log.ftruncate  log.dir.fsync
+//   snapshot.open  snapshot.write  snapshot.fsync  snapshot.rename
+//   manifest.open  manifest.write  manifest.fsync  manifest.rename
+//   snapshot.dir.fsync  csv.open  csv.read
+//
+// Contract for overrides: behave like the syscall -- return the syscall's
+// result convention (-1 + errno on failure, short counts allowed for
+// read/write).  Callers keep their own EINTR loops and error translation,
+// so an override never needs to throw.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace espice::durability {
+
+class IoEnv {
+ public:
+  virtual ~IoEnv() = default;
+
+  /// ::open(path, flags, mode).  `site` tags the call location.
+  virtual int open(const char* site, const char* path, int flags,
+                   unsigned mode);
+  /// ::read(fd, buf, len); may return a short count.
+  virtual long read(const char* site, int fd, void* buf, std::size_t len);
+  /// ::write(fd, buf, len); may return a short count.
+  virtual long write(const char* site, int fd, const void* buf,
+                     std::size_t len);
+  /// ::fsync(fd).
+  virtual int fsync(const char* site, int fd);
+  /// ::ftruncate(fd, len).
+  virtual int ftruncate(const char* site, int fd, std::int64_t len);
+  /// ::rename(from, to).
+  virtual int rename(const char* site, const char* from, const char* to);
+};
+
+/// The process-wide environment.  Returns the real-syscall environment
+/// unless a test installed an override via set_io_env().
+IoEnv& io_env();
+
+/// Installs `env` as the process-wide environment; nullptr restores the
+/// real-syscall default.  Pair install/restore around each test (RAII in
+/// tests/support/io_fault.hpp) -- the pointer must outlive its installation.
+void set_io_env(IoEnv* env);
+
+/// Best-effort directory sync (makes a just-created/renamed entry durable).
+/// Failures are ignored by design: every caller pairs it with a durable
+/// write of the entry's *content*, and a lost directory entry is exactly
+/// the torn state recovery already tolerates.
+void fsync_dir(const char* site, const std::string& dir);
+
+/// Reads a whole file through the environment (EINTR-safe read loop).
+/// Throws espice::Error{kIo} with the errno detail on open/read failure.
+std::vector<char> read_file_bytes(const char* open_site, const char* read_site,
+                                  const std::string& path);
+
+}  // namespace espice::durability

@@ -14,6 +14,7 @@
 #include "common/error.hpp"
 #include "durability/checksum.hpp"
 #include "durability/crash_point.hpp"
+#include "durability/io_env.hpp"
 #include "durability/serial.hpp"
 
 namespace espice::durability {
@@ -37,26 +38,26 @@ std::string snapshot_name(std::uint64_t offset) {
   return name;
 }
 
-void fsync_dir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
-}
+/// IoEnv site names for one durable file write, so the fault-injection
+/// census can distinguish snapshot payloads from manifest swaps.
+struct IoSites {
+  const char* open;
+  const char* write;
+  const char* fsync;
+};
 
 /// Writes `buf` to `path` (O_TRUNC), fsyncs, closes.  When a crash hook is
 /// installed the write is split around `mid_point` so an in-flight kill
 /// leaves a genuinely partial file.
 void write_file_durable(const std::string& path,
-                        std::span<const std::byte> buf,
-                        const char* mid_point) {
-  const int fd =
-      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+                        std::span<const std::byte> buf, const char* mid_point,
+                        const IoSites& sites) {
+  const int fd = io_env().open(sites.open, path.c_str(),
+                               O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   ESPICE_CHECK(fd >= 0, ErrorCode::kIo, errno_detail("open", path));
   const auto write_all = [&](const std::byte* p, std::size_t len) {
     while (len > 0) {
-      const ssize_t n = ::write(fd, p, len);
+      const long n = io_env().write(sites.write, fd, p, len);
       if (n < 0) {
         if (errno == EINTR) continue;
         ::close(fd);
@@ -74,11 +75,20 @@ void write_file_durable(const std::string& path,
   } else {
     write_all(buf.data(), buf.size());
   }
-  if (::fsync(fd) != 0) {
+  if (io_env().fsync(sites.fsync, fd) != 0) {
     ::close(fd);
     throw Error(ErrorCode::kIo, errno_detail("fsync", path));
   }
   ::close(fd);
+}
+
+/// fs::rename through the IoEnv seam; throws espice::Error{kIo} on failure
+/// (an injected EIO on the publish step must surface typed, not silently).
+void rename_durable(const char* site, const std::string& from,
+                    const std::string& to) {
+  if (io_env().rename(site, from.c_str(), to.c_str()) != 0) {
+    throw Error(ErrorCode::kIo, errno_detail("rename", from));
+  }
 }
 
 /// Validates and decodes one snap-*.snap file; nullopt (with a damage
@@ -230,11 +240,10 @@ void SnapshotStore::write(std::uint64_t log_offset,
   const std::string name = snapshot_name(log_offset);
   const std::string final_path = (fs::path(dir_) / name).string();
   const std::string tmp_path = final_path + ".tmp";
-  write_file_durable(tmp_path, std::span(w.buffer()), "snapshot.write.mid");
-  std::error_code ec;
-  fs::rename(tmp_path, final_path, ec);
-  ESPICE_CHECK(!ec, ErrorCode::kIo, errno_detail("rename", tmp_path));
-  fsync_dir(dir_);
+  write_file_durable(tmp_path, std::span(w.buffer()), "snapshot.write.mid",
+                     {"snapshot.open", "snapshot.write", "snapshot.fsync"});
+  rename_durable("snapshot.rename", tmp_path, final_path);
+  fsync_dir("snapshot.dir.fsync", dir_);
 
   ESPICE_CRASH_POINT("snapshot.before_manifest");
 
@@ -247,10 +256,10 @@ void SnapshotStore::write(std::uint64_t log_offset,
   const std::string manifest = (fs::path(dir_) / "MANIFEST").string();
   const std::string manifest_tmp = manifest + ".tmp";
   write_file_durable(manifest_tmp, std::span(m.buffer()),
-                     "snapshot.manifest.mid");
-  fs::rename(manifest_tmp, manifest, ec);
-  ESPICE_CHECK(!ec, ErrorCode::kIo, errno_detail("rename", manifest_tmp));
-  fsync_dir(dir_);
+                     "snapshot.manifest.mid",
+                     {"manifest.open", "manifest.write", "manifest.fsync"});
+  rename_durable("manifest.rename", manifest_tmp, manifest);
+  fsync_dir("snapshot.dir.fsync", dir_);
 
   ESPICE_CRASH_POINT("snapshot.after_manifest");
 }
@@ -278,7 +287,7 @@ std::size_t SnapshotStore::prune_below(std::uint64_t log_offset) {
     std::error_code ec;
     if (fs::remove(path, ec)) removed += 1;
   }
-  if (removed != 0) fsync_dir(dir_);
+  if (removed != 0) fsync_dir("snapshot.dir.fsync", dir_);
   return removed;
 }
 

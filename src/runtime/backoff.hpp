@@ -6,9 +6,18 @@
 // busy-wait that steals cycles from the very shard it is waiting on.  The
 // waiter escalates instead: a handful of yields first (the common case --
 // the consumer is one block away from freeing space -- stays cheap), then
-// exponentially growing sleeps capped at 1ms, so a long stall costs the
-// router ~0 CPU while the wakeup latency stays bounded.  reset() after any
-// progress de-escalates back to yielding.
+// jittered sleeps under a ceiling that doubles per sleep up to a 1ms cap,
+// so a long stall costs the router ~0 CPU while the wakeup latency stays
+// bounded.  The jitter (each sleep drawn uniformly from [min, ceiling] by
+// a seeded SplitMix64) decorrelates concurrent waiters -- seed each from
+// its shard index and they stop waking in lockstep to collide on the same
+// just-freed slot.  reset() after any progress de-escalates back to
+// yielding.
+//
+// Determinism: the sleep schedule is a pure function of the seed, so tests
+// derive seeds from ESPICE_TEST_SEED and replay exact schedules (the
+// schedule is exposed via next_sleep_us() precisely so unit tests can walk
+// it without sleeping; see tests/runtime/backoff_test.cpp).
 //
 // The waiter also meters itself (wait count + wall seconds stalled); the
 // engine surfaces the totals in EngineReport as the backpressure gauge.
@@ -23,6 +32,13 @@ namespace espice {
 
 class BackoffWaiter {
  public:
+  static constexpr int kYieldRounds = 32;
+  static constexpr std::uint64_t kMinSleepUs = 1;
+  static constexpr std::uint64_t kMaxSleepUs = 1000;
+
+  explicit BackoffWaiter(std::uint64_t seed = 0)
+      : rng_(seed + 0x9e3779b97f4a7c15ULL) {}
+
   /// Blocks once (yield or sleep, depending on how long we have been
   /// waiting) and meters the time spent.
   void wait() {
@@ -30,8 +46,7 @@ class BackoffWaiter {
     if (rounds_ < kYieldRounds) {
       std::this_thread::yield();
     } else {
-      std::this_thread::sleep_for(sleep_);
-      sleep_ = std::min(sleep_ * 2, kMaxSleep);
+      std::this_thread::sleep_for(std::chrono::microseconds(next_sleep_us()));
     }
     ++rounds_;
     ++waits_;
@@ -40,22 +55,43 @@ class BackoffWaiter {
             .count();
   }
 
+  /// Draws the next sleep duration and advances the schedule: uniform in
+  /// [kMinSleepUs, ceiling], after which the ceiling doubles (capped at
+  /// kMaxSleepUs).  Called by wait() in the sleep regime; public so tests
+  /// can verify cap / escalation / determinism without timing real sleeps.
+  std::uint64_t next_sleep_us() {
+    const std::uint64_t span = ceiling_us_ - kMinSleepUs + 1;
+    const std::uint64_t sleep_us = kMinSleepUs + next_random() % span;
+    ceiling_us_ = std::min(ceiling_us_ * 2, kMaxSleepUs);
+    return sleep_us;
+  }
+
   /// Progress was made: drop back to the cheap yield regime.
   void reset() {
     rounds_ = 0;
-    sleep_ = kMinSleep;
+    ceiling_us_ = kMinSleepUs;
   }
+
+  /// Current draw ceiling in microseconds (monotone per-episode: doubles
+  /// every sleep until the cap, reset() drops it back to the minimum).
+  std::uint64_t sleep_ceiling_us() const { return ceiling_us_; }
 
   std::uint64_t waits() const { return waits_; }
   double stall_seconds() const { return stall_seconds_; }
 
  private:
-  static constexpr int kYieldRounds = 32;
-  static constexpr std::chrono::microseconds kMinSleep{1};
-  static constexpr std::chrono::microseconds kMaxSleep{1000};
+  // SplitMix64: one add + two xor-shift-multiplies per draw; plenty for
+  // decorrelating sleep phases and cheap enough to sit on a stall path.
+  std::uint64_t next_random() {
+    std::uint64_t z = (rng_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
 
+  std::uint64_t rng_;
   int rounds_ = 0;
-  std::chrono::microseconds sleep_ = kMinSleep;
+  std::uint64_t ceiling_us_ = kMinSleepUs;
   std::uint64_t waits_ = 0;
   double stall_seconds_ = 0.0;
 };

@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "cep/incremental_matcher.hpp"
+#include "common/error.hpp"
 #include "core/espice_shedder.hpp"
 #include "durability/serial.hpp"
 #include "runtime/backoff.hpp"
@@ -154,6 +155,10 @@ struct StreamEngine::Shard {
   /// Set (release) by a shard entering its failure drain, so the router's
   /// checkpoint wait bails out instead of deadlocking on a dead pipeline.
   std::atomic<bool> failed{false};
+  /// Ring items the pipeline consumed so far (one relaxed store per drained
+  /// block) -- the last-progress gauge EngineHealth reports, and the only
+  /// shard-side state the router may read before joining.
+  std::atomic<std::uint64_t> progress{0};
 };
 
 std::uint64_t StreamEngine::partition_hash(std::uint64_t key) {
@@ -239,7 +244,17 @@ void StreamEngine::start() {
   if (config_.durability.has_value()) {
     // recover_and_start() opens the log itself (and seeds pushed_per_shard_
     // from the snapshot); a cold start opens a fresh-or-existing log here.
-    if (log_ == nullptr) open_durability();
+    // A failure to OPEN the log is fatal under every on_wal_error policy:
+    // there is no durable prefix to seal and nothing to retry against.
+    if (log_ == nullptr) {
+      try {
+        open_durability();
+      } catch (const Error& e) {
+        state_ = EngineState::kFailed;
+        last_error_ = std::string("cannot open durability: ") + e.what();
+        throw;
+      }
+    }
     if (pushed_per_shard_.empty()) pushed_per_shard_.assign(config_.shards, 0);
   }
 
@@ -283,23 +298,99 @@ void StreamEngine::start() {
 }
 
 StreamEngine::~StreamEngine() {
-  if (!finished_) {
-    for (auto& s : shards_) s->ring.close();
+  if (!finished_) teardown();
+}
+
+void StreamEngine::teardown() noexcept {
+  // Release any armed checkpoint cut first: a shard holding a cut waits for
+  // the router to clear its target and would never observe the ring close.
+  for (auto& s : shards_) {
+    s->checkpoint_target.store(kNoCheckpoint, std::memory_order_release);
+  }
+  for (auto& s : shards_) s->ring.close();
+  for (auto& s : shards_) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+}
+
+void StreamEngine::abort() noexcept {
+  if (aborted_) return;
+  aborted_ = true;
+  finished_ = true;  // terminal: push/checkpoint/finish are rejected now
+  teardown();
+}
+
+EngineHealth StreamEngine::health() const {
+  EngineHealth h;
+  h.state = state_;
+  h.wal_errors = wal_errors_;
+  h.wal_degraded = wal_degraded_;
+  h.degraded_at_offset = degraded_at_offset_;
+  h.last_error = last_error_;
+  h.shards.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    ShardHealth sh;
+    sh.shard = s->stats.shard;
+    sh.failed = s->failed.load(std::memory_order_acquire);
+    sh.last_progress = s->progress.load(std::memory_order_relaxed);
+    if (sh.failed) {
+      h.state = EngineState::kFailed;  // even if the router has not noticed
+      if (s->error != nullptr) {
+        try {
+          std::rethrow_exception(s->error);
+        } catch (const std::exception& e) {
+          sh.error = e.what();
+        } catch (...) {
+          sh.error = "non-standard exception";
+        }
+      }
+    }
+    h.shards.push_back(std::move(sh));
+  }
+  return h;
+}
+
+void StreamEngine::ensure_accepting(const char* op) {
+  if (state_ == EngineState::kFailed) {
+    throw Error(ErrorCode::kEngineFailed,
+                std::string(op) + " on a failed engine: " + last_error_);
+  }
+  if (any_shard_failed_.load(std::memory_order_relaxed)) {
     for (auto& s : shards_) {
-      if (s->thread.joinable()) s->thread.join();
+      if (s->failed.load(std::memory_order_acquire)) fail_for_shard(*s);
     }
   }
 }
 
+void StreamEngine::fail_for_shard(Shard& s) {
+  state_ = EngineState::kFailed;
+  std::string what = "unknown error";
+  if (s.error != nullptr) {  // published before failed (release/acquire)
+    try {
+      std::rethrow_exception(s.error);
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+      what = "non-standard exception";
+    }
+  }
+  last_error_ = "shard " + std::to_string(s.stats.shard) +
+                " failed after consuming " +
+                std::to_string(s.progress.load(std::memory_order_relaxed)) +
+                " events: " + what;
+  throw Error(ErrorCode::kShardFailed, last_error_);
+}
+
 void StreamEngine::push(const Event& e) {
   ESPICE_REQUIRE(!finished_, "push() after finish()");
+  ensure_accepting("push()");
   if (!started_) start();
   // Write-ahead: the event is in the log before any shard can observe it,
   // so everything a recovered run may have partially processed is
   // replayable.  Replay itself flows through here with appends suppressed
   // (the events come *from* the log).
   if (log_ != nullptr && !replaying_) {
-    log_->append_batch(std::span<const Event>(&e, 1));
+    wal_append(std::span<const Event>(&e, 1));
   }
   if (is_watermark(e)) {
     ESPICE_REQUIRE(config_.event_time.has_value(),
@@ -316,9 +407,12 @@ void StreamEngine::push(const Event& e) {
   if (!s.ring.try_push(e)) {
     // Backpressure: the shard is the bottleneck; back the router off
     // (yield, then bounded sleeps) until a slot frees up.  The counters
-    // are router-owned, so plain accumulation.
-    BackoffWaiter waiter;
+    // are router-owned, so plain accumulation.  Every pass polls the
+    // shard's failure flag -- a dead consumer never frees slots, so a
+    // waiter that did not would hang the router forever.
+    BackoffWaiter waiter(s.stats.shard);
     do {
+      if (s.failed.load(std::memory_order_acquire)) fail_for_shard(s);
       waiter.wait();
     } while (!s.ring.try_push(e));
     s.stats.router_backpressure_waits += waiter.waits();
@@ -352,8 +446,9 @@ void StreamEngine::route_punctuation(const Event& p) {
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     Shard& s = *shards_[i];
     if (!s.ring.try_push(p)) {
-      BackoffWaiter waiter;
+      BackoffWaiter waiter(s.stats.shard);
       do {
+        if (s.failed.load(std::memory_order_acquire)) fail_for_shard(s);
         waiter.wait();
       } while (!s.ring.try_push(p));
       s.stats.router_backpressure_waits += waiter.waits();
@@ -383,7 +478,7 @@ void StreamEngine::maybe_heartbeat() {
   const Event p = make_watermark(router_max_seq_ - et.disorder_bound - 1);
   // Heartbeats are logged like any record so replay reproduces them at
   // the same stream position instead of re-synthesizing.
-  if (log_ != nullptr) log_->append_batch(std::span<const Event>(&p, 1));
+  if (log_ != nullptr) wal_append(std::span<const Event>(&p, 1));
   route_punctuation(p);
   if (log_ != nullptr) {
     ++events_since_snapshot_;
@@ -393,10 +488,11 @@ void StreamEngine::maybe_heartbeat() {
 
 void StreamEngine::bulk_push_shard(Shard& s, const Event* data, std::size_t n) {
   const std::size_t total = n;
-  BackoffWaiter waiter;
+  BackoffWaiter waiter(s.stats.shard);
   while (n > 0) {
     const std::size_t pushed = s.ring.try_push_bulk(data, n);
     if (pushed == 0) {
+      if (s.failed.load(std::memory_order_acquire)) fail_for_shard(s);
       waiter.wait();
       continue;
     }
@@ -446,9 +542,10 @@ void StreamEngine::push_data_segment(std::span<const Event> events) {
 
 void StreamEngine::push_batch(std::span<const Event> events) {
   ESPICE_REQUIRE(!finished_, "push_batch() after finish()");
+  ensure_accepting("push_batch()");
   if (events.empty()) return;
   if (!started_) start();
-  if (log_ != nullptr && !replaying_) log_->append_batch(events);
+  if (log_ != nullptr && !replaying_) wal_append(events);
   if (config_.event_time.has_value()) {
     // Punctuations broadcast to every shard and must keep their arrival
     // position relative to the data around them: split the batch at
@@ -683,6 +780,7 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
 
     auto restore_pipeline = [&](durability::SnapshotReader& r) {
       consumed = r.u64();
+      shard.progress.store(consumed, std::memory_order_relaxed);
       shard.stats.events = r.u64();
       shard.stats.memberships = r.u64();
       shard.stats.memberships_kept = r.u64();
@@ -1045,6 +1143,7 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
         }
       }
       consumed += n;
+      shard.progress.store(consumed, std::memory_order_relaxed);
       shard.ring.release(n);
       if (config_.latency_sample_every != 0) shard.drain_marks(consumed);
     }
@@ -1080,6 +1179,7 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
   } catch (...) {
     shard.error = std::current_exception();
     shard.failed.store(true, std::memory_order_release);
+    any_shard_failed_.store(true, std::memory_order_release);
     // Keep draining so the router cannot deadlock on a full ring.
     Event e;
     while (shard.ring.pop_or_closed(e) != SpscRing<Event>::Pop::kDone) {
@@ -1132,6 +1232,7 @@ void StreamEngine::run_adaptive_shard(Shard& shard) {
         }
       }
       consumed += n;
+      shard.progress.store(consumed, std::memory_order_relaxed);
       shard.ring.release(n);
       if (config_.latency_sample_every != 0) shard.drain_marks(consumed);
     }
@@ -1154,6 +1255,7 @@ void StreamEngine::run_adaptive_shard(Shard& shard) {
   } catch (...) {
     shard.error = std::current_exception();
     shard.failed.store(true, std::memory_order_release);
+    any_shard_failed_.store(true, std::memory_order_release);
     Event e;
     while (shard.ring.pop_or_closed(e) != SpscRing<Event>::Pop::kDone) {
       std::this_thread::yield();
@@ -1173,9 +1275,99 @@ void StreamEngine::open_durability() {
   snaps_ = std::make_unique<durability::SnapshotStore>(d.dir + "/snapshots");
 }
 
+bool StreamEngine::wal_retry(const std::function<void()>& op,
+                             std::string& detail) {
+  const DurabilityConfig& d = *config_.durability;
+  std::uint64_t sleep_us = d.wal_retry_backoff_us;
+  for (std::uint64_t attempt = 0; attempt < d.wal_retry_max; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    sleep_us = std::min<std::uint64_t>(sleep_us * 2, 100000);  // cap 100ms
+    try {
+      op();
+      return true;
+    } catch (const Error& e) {
+      ++wal_errors_;
+      detail = e.what();
+    }
+  }
+  return false;
+}
+
+void StreamEngine::degrade_wal(const std::string& detail) {
+  wal_degraded_ = true;
+  degraded_at_offset_ = log_->next_index();
+  if (state_ != EngineState::kFailed) state_ = EngineState::kDegraded;
+  last_error_ = "WAL degraded to memory-only at offset " +
+                std::to_string(degraded_at_offset_) + ": " + detail;
+}
+
+void StreamEngine::wal_append(std::span<const Event> events) {
+  if (wal_degraded_) return;  // durable prefix sealed; memory-only from here
+  const std::uint64_t before = log_->next_index();
+  std::string detail;
+  try {
+    log_->append_batch(events);
+    return;
+  } catch (const Error& e) {
+    ++wal_errors_;
+    detail = e.what();
+  }
+  const DurabilityConfig& d = *config_.durability;
+  if (d.on_wal_error == WalErrorPolicy::kRetryBackoff) {
+    // Discriminate where the failure hit: if next_index() advanced, the
+    // records landed and only the policy fsync failed -- retry sync(), not
+    // a re-append (which would duplicate the batch).  Otherwise the append
+    // itself failed (torn tail already repaired by the writer) and the
+    // whole batch is retried.
+    const bool landed = log_->next_index() != before;
+    const bool ok = wal_retry(
+        [&] {
+          if (landed) {
+            log_->sync();
+          } else {
+            log_->append_batch(events);
+          }
+        },
+        detail);
+    if (ok) return;
+    // fall through: retries exhausted, fail stop
+  } else if (d.on_wal_error == WalErrorPolicy::kDegradeToMemory) {
+    degrade_wal(detail);
+    return;
+  }
+  state_ = EngineState::kFailed;
+  last_error_ = "WAL append failed (fail-stop): " + detail;
+  throw Error(ErrorCode::kIo, last_error_);
+}
+
+void StreamEngine::wal_sync_for_checkpoint() {
+  std::string detail;
+  try {
+    log_->sync();
+    return;
+  } catch (const Error& e) {
+    ++wal_errors_;
+    detail = e.what();
+  }
+  const DurabilityConfig& d = *config_.durability;
+  if (d.on_wal_error == WalErrorPolicy::kRetryBackoff) {
+    if (wal_retry([&] { log_->sync(); }, detail)) return;
+  } else if (d.on_wal_error == WalErrorPolicy::kDegradeToMemory) {
+    // The log can no longer be made durable up to the cut, so the snapshot
+    // must not be published: seal the durable prefix and abort this
+    // checkpoint (typed), while ingestion itself continues memory-only.
+    degrade_wal(detail);
+    throw Error(ErrorCode::kIo, "checkpoint aborted: " + last_error_);
+  }
+  state_ = EngineState::kFailed;
+  last_error_ = "WAL sync failed before checkpoint (fail-stop): " + detail;
+  throw Error(ErrorCode::kIo, last_error_);
+}
+
 void StreamEngine::maybe_auto_checkpoint() {
   const std::uint64_t every = config_.durability->snapshot_every_events;
   if (every == 0 || events_since_snapshot_ < every) return;
+  if (wal_degraded_) return;  // no durable log to key a snapshot against
   checkpoint();
 }
 
@@ -1183,12 +1375,18 @@ void StreamEngine::checkpoint() {
   ESPICE_REQUIRE(config_.durability.has_value(),
                  "checkpoint() needs durability configured");
   ESPICE_REQUIRE(!finished_, "checkpoint() after finish()");
+  ensure_accepting("checkpoint()");
+  ESPICE_CHECK(!wal_degraded_, ErrorCode::kIo,
+               "checkpoint() on a WAL-degraded engine: the durable prefix is "
+               "sealed at offset " + std::to_string(degraded_at_offset_) +
+               " and cannot cover new events");
   if (!started_) start();
 
   // The log must be durable up to the cut before a snapshot keyed by it is
   // published -- otherwise a power loss could leave a snapshot whose replay
-  // tail never reached the disk.
-  log_->sync();
+  // tail never reached the disk.  An fsync failure here is routed through
+  // the on_wal_error policy (retry / degrade-and-abort / fail-stop).
+  wal_sync_for_checkpoint();
 
   durability::SnapshotWriter w;
   w.u64(config_.shards);
@@ -1233,10 +1431,21 @@ void StreamEngine::checkpoint() {
     for (auto& s : shards_) {
       s->checkpoint_target.store(kNoCheckpoint, std::memory_order_release);
     }
+    state_ = EngineState::kFailed;
     std::rethrow_exception(failure);
   }
 
-  snaps_->write(pushed_, w.buffer());
+  try {
+    snaps_->write(pushed_, w.buffer());
+  } catch (const Error& e) {
+    // The store publishes atomically (tmp -> fsync -> rename), so a failed
+    // write leaves the previous snapshot intact and nothing corrupt on
+    // disk.  The engine stays kRunning: the log still covers everything,
+    // only this checkpoint is lost.
+    ++wal_errors_;
+    last_error_ = std::string("snapshot write failed: ") + e.what();
+    throw;
+  }
   events_since_snapshot_ = 0;
   // Everything strictly below the new cut is superseded: older snapshots
   // and log segments wholly before it can never be read again.
@@ -1369,17 +1578,60 @@ EngineReport StreamEngine::finish() {
   ESPICE_REQUIRE(!finished_, "finish() called twice");
   if (!started_) start();  // empty run: still produce a (zero) report
   finished_ = true;
-  // End of stream: whatever was appended under a lazy fsync policy becomes
-  // durable now, so a clean shutdown never loses suffix events.
-  if (log_ != nullptr) log_->sync();
+  // Join FIRST: everything below may throw, and throwing while shard
+  // threads still run would leave them orphaned (the old order synced the
+  // log before closing the rings, so a sync failure hung the shutdown).
   for (auto& s : shards_) s->ring.close();
   for (auto& s : shards_) s->thread.join();
   const double wall = seconds_since(start_);
   for (auto& s : shards_) {
-    if (s->error) std::rethrow_exception(s->error);
+    if (s->error) {
+      state_ = EngineState::kFailed;
+      if (last_error_.empty()) {
+        last_error_ = "shard " + std::to_string(s->stats.shard) +
+                      " died with an exception";
+      }
+      std::rethrow_exception(s->error);  // the original, not a wrapper
+    }
+  }
+  if (state_ == EngineState::kFailed) {
+    // An earlier WAL fail-stop already poisoned the engine; there is no
+    // coherent report to build.
+    throw Error(ErrorCode::kEngineFailed,
+                "finish() on a failed engine: " + last_error_);
+  }
+  // End of stream: whatever was appended under a lazy fsync policy becomes
+  // durable now, so a clean shutdown never loses suffix events.  Safe to
+  // throw here -- the threads are already joined.
+  if (log_ != nullptr && !wal_degraded_) {
+    std::string detail;
+    try {
+      log_->sync();
+    } catch (const Error& e) {
+      ++wal_errors_;
+      detail = e.what();
+      const DurabilityConfig& d = *config_.durability;
+      bool recovered = false;
+      if (d.on_wal_error == WalErrorPolicy::kRetryBackoff) {
+        recovered = wal_retry([&] { log_->sync(); }, detail);
+      }
+      if (!recovered) {
+        if (d.on_wal_error == WalErrorPolicy::kDegradeToMemory) {
+          // The run's output is complete and correct; only the tail's
+          // durability is lost.  Finish normally and flag the report.
+          degrade_wal(detail);
+        } else {
+          // kFailStop, and kRetryBackoff once retries are exhausted.
+          state_ = EngineState::kFailed;
+          last_error_ = "end-of-stream WAL sync failed (fail-stop): " + detail;
+          throw Error(ErrorCode::kIo, last_error_);
+        }
+      }
+    }
   }
 
   EngineReport report;
+  report.health = health();
   // `pushed_` counts everything that crossed the router, punctuations
   // included (the durable-log offset contract); the report's event count
   // is data events only.

@@ -63,12 +63,14 @@
 // N independent serial run_pipeline() goldens).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "cep/event_time.hpp"
@@ -107,6 +109,38 @@ struct EngineQuery {
   double predicted_ws = 0.0;
 };
 
+/// What the engine does when a write-ahead-log append or sync fails at
+/// runtime (ENOSPC, EIO, a failed fsync) -- the non-fatal-fault analogue of
+/// the crash-kill story.  Whatever the policy, the durable prefix on disk
+/// always ends at a valid record and recover_and_start() from it is
+/// bit-identical (the chaos oracle in tests/chaos/ proves this under
+/// randomized injected fault schedules).
+enum class WalErrorPolicy : std::uint8_t {
+  /// Fail fast: the engine moves to EngineState::kFailed and the failing
+  /// push/checkpoint throws espice::Error; later calls throw typed
+  /// errors instead of touching the pipeline.  Use abort() to tear down,
+  /// then recover_and_start() on a fresh engine once the disk is back.
+  kFailStop,
+  /// Seal the durable prefix at the last valid offset and keep running
+  /// memory-only (EngineState::kDegraded): ingestion and output continue
+  /// bit-identically, checkpoint() refuses (it could no longer be made
+  /// durable), and EngineReport::health flags the degradation.
+  kDegradeToMemory,
+  /// Retry the failed operation with bounded exponential backoff
+  /// (wal_retry_max attempts starting at wal_retry_backoff_us) -- rides
+  /// out transient faults; exhausted retries fall through to kFailStop.
+  kRetryBackoff,
+};
+
+inline const char* wal_error_policy_name(WalErrorPolicy p) {
+  switch (p) {
+    case WalErrorPolicy::kFailStop: return "fail-stop";
+    case WalErrorPolicy::kDegradeToMemory: return "degrade-to-memory";
+    case WalErrorPolicy::kRetryBackoff: return "retry-backoff";
+  }
+  return "unknown";
+}
+
 /// Durability knobs of one engine run (deterministic mode only: the
 /// recovery guarantee -- restored snapshot + log-tail replay is
 /// bit-identical to the uninterrupted run -- rests on the pipeline being a
@@ -126,6 +160,57 @@ struct DurabilityConfig {
   /// Auto-checkpoint every this many ingested events (0 = only explicit
   /// checkpoint() calls).
   std::uint64_t snapshot_every_events = 0;
+  /// Runtime WAL fault handling (see WalErrorPolicy).
+  WalErrorPolicy on_wal_error = WalErrorPolicy::kFailStop;
+  /// kRetryBackoff: attempts before falling through to fail-stop.
+  std::uint64_t wal_retry_max = 8;
+  /// kRetryBackoff: first retry delay; doubles per attempt (capped at
+  /// 100ms).  Keep small in tests -- retries run on the router thread.
+  std::uint64_t wal_retry_backoff_us = 100;
+};
+
+/// Failure state machine of a running engine.  kRunning -> kDegraded on a
+/// WAL fault under WalErrorPolicy::kDegradeToMemory (still serving,
+/// memory-only); kRunning/kDegraded -> kFailed on a shard-thread death or a
+/// fail-stop WAL fault (terminal: push/push_batch/checkpoint/finish throw
+/// typed espice::Error; abort() tears down idempotently).
+enum class EngineState : std::uint8_t { kRunning, kDegraded, kFailed };
+
+inline const char* engine_state_name(EngineState s) {
+  switch (s) {
+    case EngineState::kRunning: return "running";
+    case EngineState::kDegraded: return "degraded";
+    case EngineState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+/// Liveness/health of one shard pipeline (EngineHealth::shards).
+struct ShardHealth {
+  std::size_t shard = 0;
+  /// The shard thread died with an exception (captured in `error`).
+  bool failed = false;
+  /// Ring items the pipeline had consumed when last observed -- after a
+  /// failure, where the shard died; on success, its total intake.
+  std::uint64_t last_progress = 0;
+  std::string error;  ///< empty while healthy
+};
+
+/// Health section of EngineReport (also queryable mid-run / post-failure
+/// via StreamEngine::health(); router thread only).
+struct EngineHealth {
+  EngineState state = EngineState::kRunning;
+  /// Durability-layer I/O errors absorbed so far (WAL append/sync retries
+  /// and degradations, failed snapshot publishes).
+  std::uint64_t wal_errors = 0;
+  /// kDegradeToMemory fired: the WAL is sealed and the engine runs
+  /// memory-only.
+  bool wal_degraded = false;
+  /// Where the durable prefix ends when wal_degraded (recover_and_start()
+  /// replays exactly this many events once faults clear).
+  std::uint64_t degraded_at_offset = 0;
+  std::string last_error;  ///< most recent failure detail; empty = none
+  std::vector<ShardHealth> shards;
 };
 
 struct StreamEngineConfig {
@@ -278,6 +363,12 @@ struct EngineReport {
   /// block released); empty unless latency_sample_every was set.
   LatencyHistogram latency;
 
+  /// Failure-state summary of the run: kRunning for a clean run, kDegraded
+  /// when a WAL fault sealed the durable prefix mid-run (output is still
+  /// complete and bit-identical; durability is not).  finish() never
+  /// returns a kFailed report -- it throws instead.
+  EngineHealth health;
+
   std::uint64_t total_matches() const { return matches.size(); }
   std::uint64_t total_windows_closed() const;
   std::uint64_t total_shed_drops() const;
@@ -348,8 +439,27 @@ class StreamEngine {
 
   /// End of stream: closes every ring, waits for the shards to drain and
   /// flush their open windows, joins the threads and merges the outputs.
-  /// Terminal -- the engine cannot be reused afterwards.
+  /// Terminal -- the engine cannot be reused afterwards.  Hang-free under
+  /// failure: shard threads are always joined first, then a shard death or
+  /// fail-stop WAL state surfaces as a thrown error (shard deaths rethrow
+  /// the shard's original exception; engine-level failures throw typed
+  /// espice::Error).  A kDegraded engine finishes normally with the
+  /// degradation flagged in EngineReport::health.
   EngineReport finish();
+
+  /// Tears the engine down without a report: releases any armed checkpoint
+  /// cut, closes every ring, joins the shard threads.  Idempotent, never
+  /// throws, safe in any state -- THE cleanup path after push/checkpoint
+  /// threw.  The engine is terminal afterwards (like finish()).
+  void abort() noexcept;
+
+  /// Failure state (router thread only; see EngineState).
+  EngineState state() const { return state_; }
+
+  /// Snapshot of the engine's health: state, durability error counters,
+  /// per-shard liveness/progress.  Router thread only; also valid after a
+  /// failure (unlike finish(), which throws then).
+  EngineHealth health() const;
 
   // --- durability (config_.durability must be set) -------------------------
 
@@ -423,6 +533,26 @@ class StreamEngine {
   /// never during replay -- logged heartbeats replay through the normal
   /// path instead).
   void maybe_heartbeat();
+  /// Entry guard for push/push_batch/checkpoint: throws typed Error when
+  /// the engine already failed or a shard thread has died.
+  void ensure_accepting(const char* op);
+  /// Records shard `s`'s death, moves the engine to kFailed, and throws
+  /// Error{kShardFailed} carrying the shard's own error message.
+  [[noreturn]] void fail_for_shard(Shard& s);
+  /// WAL append with the configured WalErrorPolicy applied: retries
+  /// (distinguishing record-written-fsync-failed from record-never-landed
+  /// via next_index()), degrades to memory-only, or fail-stops typed.
+  void wal_append(std::span<const Event> events);
+  /// checkpoint()'s pre-snapshot log sync under the same policy; throws
+  /// when the checkpoint cannot be made durable.
+  void wal_sync_for_checkpoint();
+  /// Bounded exponential-backoff retry loop of kRetryBackoff; true once
+  /// `op` succeeded, false when exhausted (detail = last error).
+  bool wal_retry(const std::function<void()>& op, std::string& detail);
+  /// Seals the durable prefix and switches to memory-only ingestion.
+  void degrade_wal(const std::string& detail);
+  /// abort()/destructor body: release checkpoint cuts, close rings, join.
+  void teardown() noexcept;
 
   StreamEngineConfig config_;
   /// Registered queries (adopted from the legacy config at start() when
@@ -436,7 +566,20 @@ class StreamEngine {
   std::uint64_t pushed_ = 0;
   bool started_ = false;
   bool finished_ = false;
+  bool aborted_ = false;
   std::chrono::steady_clock::time_point start_;
+
+  // --- failure state machine (router thread; see EngineState) --------------
+  EngineState state_ = EngineState::kRunning;
+  /// Cheap push-entry signal that some shard died (shards set it with
+  /// release right after publishing their error; the router's relaxed read
+  /// races benignly -- a miss is caught by the next push or the
+  /// backpressure polls).
+  std::atomic<bool> any_shard_failed_{false};
+  std::uint64_t wal_errors_ = 0;
+  bool wal_degraded_ = false;
+  std::uint64_t degraded_at_offset_ = 0;
+  std::string last_error_;
 
   // --- durability state (null / empty when durability is off) --------------
   std::unique_ptr<durability::EventLogWriter> log_;

@@ -1,0 +1,121 @@
+// CSV loader under injected I/O faults: file reads go through the IoEnv
+// seam, so a mid-read EIO or a failed open surfaces as a typed
+// espice::Error{kIo} -- an I/O fault is NOT a bad row, and no on_bad_row
+// policy may swallow it.  With the fault env installed but nothing armed,
+// loading is bit-identical to the real-syscall path (seam transparency).
+#include "datasets/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "support/io_fault.hpp"
+#include "support/temp_dir.hpp"
+
+namespace espice {
+namespace {
+
+using test_support::IoFaultHarness;
+using test_support::TempDir;
+
+CsvReadOptions with_policy(BadRowPolicy p) {
+  CsvReadOptions o;
+  o.on_bad_row = p;
+  return o;
+}
+
+/// Writes a CSV large enough that read_file_bytes needs several 64 KiB
+/// read() chunks, so a fault can land genuinely mid-file.
+std::string write_large_csv(const TempDir& dir, std::size_t rows,
+                            std::size_t bad_row_every = 0) {
+  const std::string path = (dir.path() / "events.csv").string();
+  std::ofstream out(path);
+  out << "type,seq,ts,value,aux\n";
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (bad_row_every != 0 && i % bad_row_every == bad_row_every - 1) {
+      out << "T" << i % 7 << "," << i << ",garbage,1.0,0.0\n";
+    } else {
+      out << "T" << i % 7 << "," << i << "," << static_cast<double>(i) * 0.25
+          << ",1.5,0.0\n";
+    }
+  }
+  out.close();
+  return path;
+}
+
+TEST(CsvIoFault, MidReadFaultIsTypedIoUnderEveryBadRowPolicy) {
+  TempDir dir("csv-io");
+  // ~8000 rows x ~18 bytes ≈ 140 KiB: at least three read chunks.
+  const std::string path = write_large_csv(dir, 8000);
+  for (const BadRowPolicy policy :
+       {BadRowPolicy::kFail, BadRowPolicy::kSkip, BadRowPolicy::kStop}) {
+    SCOPED_TRACE("policy=" + std::to_string(static_cast<int>(policy)));
+    IoFaultHarness harness;
+    harness.arm({"csv.read", 2, EIO, false, false, 0});  // second chunk
+    TypeRegistry reg;
+    try {
+      load_events_csv(path, reg, with_policy(policy));
+      FAIL() << "a mid-read I/O fault must throw, not be policy-swallowed";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kIo);
+      EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+          << e.what();
+    }
+    EXPECT_EQ(harness.fired(), 1u);
+    EXPECT_GE(harness.counts().at("csv.read"), 2u)
+        << "file too small: the fault never landed mid-read";
+  }
+}
+
+TEST(CsvIoFault, OpenFaultIsTypedIo) {
+  TempDir dir("csv-open");
+  const std::string path = write_large_csv(dir, 10);
+  IoFaultHarness harness;
+  harness.arm({"csv.open", 1, EACCES, false, false, 0});
+  TypeRegistry reg;
+  try {
+    load_events_csv(path, reg, CsvReadOptions{});
+    FAIL() << "an open failure must throw typed";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+  // The legacy bool overload routes through the same seam.
+  harness.arm({"csv.open", 1, EACCES, false, false, 0});
+  EXPECT_THROW(load_events_csv(path, reg, /*require_stream_order=*/true),
+               Error);
+}
+
+TEST(CsvIoFault, NoFaultEnvIsTransparentAndBadRowPolicyStillApplies) {
+  TempDir dir("csv-clean");
+  // A bad row every 100: the on_bad_row machinery must keep working
+  // exactly as before with the seam installed.
+  const std::string path = write_large_csv(dir, 2000, /*bad_row_every=*/100);
+
+  TypeRegistry reg_plain;
+  const CsvReadResult plain =
+      load_events_csv(path, reg_plain, with_policy(BadRowPolicy::kSkip));
+
+  IoFaultHarness harness;
+  TypeRegistry reg_seam;
+  const CsvReadResult seam =
+      load_events_csv(path, reg_seam, with_policy(BadRowPolicy::kSkip));
+  EXPECT_EQ(seam.bad_rows, plain.bad_rows);
+  EXPECT_EQ(seam.bad_rows, 20u);
+  ASSERT_EQ(seam.events.size(), plain.events.size());
+  for (std::size_t i = 0; i < seam.events.size(); ++i) {
+    EXPECT_EQ(seam.events[i].seq, plain.events[i].seq);
+    EXPECT_EQ(seam.events[i].type, plain.events[i].type);
+    EXPECT_DOUBLE_EQ(seam.events[i].ts, plain.events[i].ts);
+  }
+  const auto counts = harness.counts();
+  EXPECT_EQ(counts.at("csv.open"), 1u);
+  EXPECT_GE(counts.at("csv.read"), 2u) << "single-chunk read: file too small";
+}
+
+}  // namespace
+}  // namespace espice

@@ -1,0 +1,95 @@
+// BackoffWaiter schedule unit tests -- sleep-free: the jittered schedule
+// is exposed via next_sleep_us()/sleep_ceiling_us() exactly so the cap,
+// the monotone ceiling escalation, reset de-escalation, and the
+// seed-determinism contract can be verified without timing real sleeps.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/backoff.hpp"
+#include "support/test_seed.hpp"
+
+namespace espice {
+namespace {
+
+TEST(BackoffWaiter, EveryDrawRespectsBoundsAndCap) {
+  const std::uint64_t seed = test_support::test_seed(81);
+  SCOPED_TRACE(test_support::seed_trace(seed));
+  BackoffWaiter w(seed);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t ceiling = w.sleep_ceiling_us();
+    const std::uint64_t us = w.next_sleep_us();
+    EXPECT_GE(us, BackoffWaiter::kMinSleepUs);
+    EXPECT_LE(us, ceiling) << "draw " << i << " exceeded its own ceiling";
+    EXPECT_LE(us, BackoffWaiter::kMaxSleepUs) << "draw " << i << " over cap";
+  }
+  EXPECT_EQ(w.sleep_ceiling_us(), BackoffWaiter::kMaxSleepUs)
+      << "1000 draws must saturate the ceiling at the cap";
+}
+
+TEST(BackoffWaiter, CeilingEscalatesMonotonicallyThenSaturates) {
+  BackoffWaiter w(7);
+  std::uint64_t prev = w.sleep_ceiling_us();
+  EXPECT_EQ(prev, BackoffWaiter::kMinSleepUs) << "episodes start cheap";
+  // Doubling from 1us reaches the 1ms cap in ~10 draws; escalation must be
+  // monotone the whole way and then pin at the cap.
+  for (int i = 0; i < 64; ++i) {
+    w.next_sleep_us();
+    const std::uint64_t cur = w.sleep_ceiling_us();
+    EXPECT_GE(cur, prev) << "ceiling regressed mid-episode at draw " << i;
+    prev = cur;
+  }
+  EXPECT_EQ(prev, BackoffWaiter::kMaxSleepUs);
+}
+
+TEST(BackoffWaiter, ResetDropsBackToYieldRegime) {
+  BackoffWaiter w(13);
+  for (int i = 0; i < 20; ++i) w.next_sleep_us();
+  ASSERT_GT(w.sleep_ceiling_us(), BackoffWaiter::kMinSleepUs);
+  w.reset();
+  EXPECT_EQ(w.sleep_ceiling_us(), BackoffWaiter::kMinSleepUs)
+      << "reset() must de-escalate the ceiling";
+  // And the escalation restarts from the bottom.
+  const std::uint64_t first = w.next_sleep_us();
+  EXPECT_LE(first, 2 * BackoffWaiter::kMinSleepUs);
+}
+
+TEST(BackoffWaiter, ScheduleIsAPureFunctionOfTheSeed) {
+  const std::uint64_t seed = test_support::test_seed(82);
+  SCOPED_TRACE(test_support::seed_trace(seed));
+  BackoffWaiter a(seed);
+  BackoffWaiter b(seed);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.next_sleep_us(), b.next_sleep_us())
+        << "same seed diverged at draw " << i;
+  }
+  // Different seeds decorrelate: the schedules must not be identical
+  // (that lockstep is exactly what per-shard seeding exists to break).
+  BackoffWaiter c(seed);
+  BackoffWaiter d(seed + 1);
+  bool diverged = false;
+  for (int i = 0; i < 200 && !diverged; ++i) {
+    diverged = c.next_sleep_us() != d.next_sleep_us();
+  }
+  EXPECT_TRUE(diverged) << "adjacent seeds produced identical schedules";
+}
+
+TEST(BackoffWaiter, WaitMetersItselfAndYieldsFirst) {
+  BackoffWaiter w(0);
+  // The first kYieldRounds waits are yields (cheap); they still count.
+  for (int i = 0; i < BackoffWaiter::kYieldRounds; ++i) w.wait();
+  EXPECT_EQ(w.waits(), static_cast<std::uint64_t>(BackoffWaiter::kYieldRounds));
+  EXPECT_EQ(w.sleep_ceiling_us(), BackoffWaiter::kMinSleepUs)
+      << "yield rounds must not escalate the sleep ceiling";
+  // The next wait enters the sleep regime and starts escalating.
+  w.wait();
+  EXPECT_GE(w.sleep_ceiling_us(), BackoffWaiter::kMinSleepUs);
+  EXPECT_GT(w.stall_seconds(), 0.0);
+  w.reset();
+  for (int i = 0; i < 3; ++i) w.wait();  // back to cheap yields
+  EXPECT_EQ(w.sleep_ceiling_us(), BackoffWaiter::kMinSleepUs);
+}
+
+}  // namespace
+}  // namespace espice

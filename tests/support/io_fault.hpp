@@ -1,0 +1,203 @@
+// errno-level I/O fault injection over the IoEnv seam.
+//
+// The durability layer routes every file operation through the process-wide
+// IoEnv with a stable site name (src/durability/io_env.hpp); this harness
+// swaps in an environment that counts and fails them, in the same two modes
+// as the crash-point harness (crash_point.hpp):
+//
+//   census  -- IoFaultHarness h;  <run workload>;  h.counts()
+//     counts how often each (site) fires for a given workload, so a sweep
+//     can enumerate every possible fault site (site, occurrence) instead of
+//     guessing.
+//
+//   armed   -- h.arm({.site = "log.write", .occurrence = 3, .err = ENOSPC});
+//     the 3rd hit of that site fails with the chosen errno, exactly as the
+//     kernel would report it: the op returns -1 (or a short count first,
+//     for short_write) and sets errno.  The durability code's own error
+//     translation then turns it into a typed espice::Error.
+//
+// Fault shapes:
+//   err         -- errno returned at the armed occurrence (ENOSPC, EIO, ...)
+//   short_write -- the armed write succeeds for half its bytes, then the
+//                  NEXT write at the same site fails with `err`; the
+//                  caller's write-all loop thus leaves a genuinely torn
+//                  record, the disk-full-mid-record shape.
+//   sticky      -- the site keeps failing from the armed occurrence on
+//                  (a dead disk, not a transient hiccup).  Non-sticky
+//                  faults fire once and the site heals, which is what the
+//                  retry-backoff policy needs to observe recovery.
+//
+// disarm() heals everything while keeping the env installed -- the chaos
+// oracle uses it to model "faults clear, then recovery runs".
+//
+// Threading: all durability I/O runs on the thread driving the engine (the
+// router); state is mutex-guarded anyway so the sanitizer jobs can run the
+// chaos label without races even if that changes.
+#pragma once
+
+#include <cerrno>
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "durability/io_env.hpp"
+
+namespace espice::test_support {
+
+class FaultyIoEnv : public durability::IoEnv {
+ public:
+  struct Fault {
+    std::string site;
+    std::uint64_t occurrence = 1;  // 1-based hit count at which to fail
+    int err = EIO;
+    bool short_write = false;  // write half, then fail the next write there
+    bool sticky = false;       // keep failing from `occurrence` on
+    std::uint64_t fired = 0;   // how many times this fault injected
+  };
+
+  int open(const char* site, const char* path, int flags,
+           unsigned mode) override {
+    if (should_fail(site)) return -1;
+    return IoEnv::open(site, path, flags, mode);
+  }
+
+  long read(const char* site, int fd, void* buf, std::size_t len) override {
+    if (should_fail(site)) return -1;
+    return IoEnv::read(site, fd, buf, len);
+  }
+
+  long write(const char* site, int fd, const void* buf,
+             std::size_t len) override {
+    bool fail = false;
+    bool shorten = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const std::uint64_t n = ++counts_[site];
+      for (Fault& f : faults_) {
+        if (f.site != site) continue;
+        if (pending_short_fail_ == &f) {
+          // Second half of a short-write fault: the torn record is on disk,
+          // now the disk "fills up".
+          pending_short_fail_ = nullptr;
+          ++f.fired;
+          errno = f.err;
+          fail = true;
+          break;
+        }
+        if (!hits(f, n)) continue;
+        ++f.fired;
+        if (f.short_write && len >= 2) {
+          pending_short_fail_ = &f;
+          shorten = true;
+        } else {
+          errno = f.err;
+          fail = true;
+        }
+        break;
+      }
+    }
+    if (fail) return -1;
+    if (shorten) return IoEnv::write(site, fd, buf, len / 2);
+    return IoEnv::write(site, fd, buf, len);
+  }
+
+  int fsync(const char* site, int fd) override {
+    if (should_fail(site)) return -1;
+    return IoEnv::fsync(site, fd);
+  }
+
+  int ftruncate(const char* site, int fd, std::int64_t len) override {
+    if (should_fail(site)) return -1;
+    return IoEnv::ftruncate(site, fd, len);
+  }
+
+  int rename(const char* site, const char* from, const char* to) override {
+    if (should_fail(site)) return -1;
+    return IoEnv::rename(site, from, to);
+  }
+
+  /// Arms one fault.  Call before the workload; multiple faults may be
+  /// armed at once (distinct sites, or the same site at distinct
+  /// occurrences).  Arming resets the census so occurrence numbers always
+  /// count from the workload start, like CrashHarness::arm.
+  void arm(Fault f) {
+    std::lock_guard<std::mutex> lock(mu_);
+    faults_.push_back(std::move(f));
+    counts_.clear();
+    pending_short_fail_ = nullptr;
+  }
+
+  /// Heals every fault (keeps the env installed and counting): the
+  /// disk works again, as after an operator freed space.
+  void disarm() {
+    std::lock_guard<std::mutex> lock(mu_);
+    faults_.clear();
+    pending_short_fail_ = nullptr;
+  }
+
+  /// Total injected failures across all armed faults.  A sweep asserts
+  /// this is nonzero so a stale census (occurrence never reached) fails
+  /// loudly instead of silently testing nothing.
+  std::uint64_t fired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t n = 0;
+    for (const Fault& f : faults_) n += f.fired;
+    return n;
+  }
+
+  /// Census: hits per site since construction (or the last arm()).
+  std::map<std::string, std::uint64_t> counts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counts_;
+  }
+
+ private:
+  static bool hits(const Fault& f, std::uint64_t n) {
+    return f.sticky ? n >= f.occurrence : n == f.occurrence;
+  }
+
+  // Count the hit and decide failure for every op except write (which
+  // needs the short-write special case inline).
+  bool should_fail(const char* site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t n = ++counts_[site];
+    for (Fault& f : faults_) {
+      if (f.site != site || !hits(f, n)) continue;
+      ++f.fired;
+      errno = f.err;
+      return true;
+    }
+    return false;
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> counts_;
+  std::vector<Fault> faults_;
+  const Fault* pending_short_fail_ = nullptr;
+};
+
+/// RAII install/restore of a FaultyIoEnv as the process-wide environment.
+class IoFaultHarness {
+ public:
+  IoFaultHarness() { durability::set_io_env(&env_); }
+  ~IoFaultHarness() { durability::set_io_env(nullptr); }
+
+  IoFaultHarness(const IoFaultHarness&) = delete;
+  IoFaultHarness& operator=(const IoFaultHarness&) = delete;
+
+  FaultyIoEnv& env() { return env_; }
+
+  // Convenience pass-throughs mirroring CrashHarness.
+  void arm(FaultyIoEnv::Fault f) { env_.arm(std::move(f)); }
+  void disarm() { env_.disarm(); }
+  std::uint64_t fired() const { return env_.fired(); }
+  std::map<std::string, std::uint64_t> counts() const { return env_.counts(); }
+
+ private:
+  FaultyIoEnv env_;
+};
+
+}  // namespace espice::test_support
