@@ -124,24 +124,40 @@ void save_events_csv(const std::string& path, const std::vector<Event>& events,
   ESPICE_CHECK(out.good(), ErrorCode::kIo, "write failed: " + path);
 }
 
+namespace {
+
+/// Zero-copy istream over the whole-file buffer read through the IoEnv
+/// seam -- parsing views the bytes in place instead of duplicating them
+/// into a string and again into an istringstream.
+class MemBuf : public std::streambuf {
+ public:
+  explicit MemBuf(std::vector<char>& bytes) {
+    setg(bytes.data(), bytes.data(), bytes.data() + bytes.size());
+  }
+};
+
+}  // namespace
+
 // File reads go through the IoEnv seam (durability::read_file_bytes) so an
 // injected open/read failure surfaces as a typed Error{kIo} -- an I/O fault
 // mid-read is NOT a bad row, so on_bad_row never swallows it (see
 // tests/datasets/csv_io_fault_test.cpp).
 CsvReadResult load_events_csv(const std::string& path, TypeRegistry& registry,
                               const CsvReadOptions& options) {
-  const std::vector<char> bytes =
+  std::vector<char> bytes =
       durability::read_file_bytes("csv.open", "csv.read", path);
-  std::istringstream in(std::string(bytes.begin(), bytes.end()));
+  MemBuf buf(bytes);
+  std::istream in(&buf);
   return read_events_csv(in, registry, options);
 }
 
 std::vector<Event> load_events_csv(const std::string& path,
                                    TypeRegistry& registry,
                                    bool require_stream_order) {
-  const std::vector<char> bytes =
+  std::vector<char> bytes =
       durability::read_file_bytes("csv.open", "csv.read", path);
-  std::istringstream in(std::string(bytes.begin(), bytes.end()));
+  MemBuf buf(bytes);
+  std::istream in(&buf);
   return read_events_csv(in, registry, require_stream_order);
 }
 

@@ -334,6 +334,7 @@ EventLogWriter::EventLogWriter(EventLogConfig config)
   DirScan scan = scan_dir(config_.dir);
   open_result_ = scan.result;
   next_index_ = open_result_.durable_events;
+  synced_index_ = next_index_;  // the validated on-disk prefix
 
   // Repair: drop everything past the damage point and truncate the last
   // valid segment back to its last valid record.
@@ -525,8 +526,14 @@ void EventLogWriter::append_batch(std::span<const Event> events) {
 }
 
 void EventLogWriter::sync() {
-  if (fd_ >= 0 && io_env().fsync("log.fsync", fd_) != 0) {
-    throw Error(ErrorCode::kIo, errno_detail("fsync", active_path_));
+  if (fd_ >= 0) {
+    if (io_env().fsync("log.fsync", fd_) != 0) {
+      throw Error(ErrorCode::kIo, errno_detail("fsync", active_path_));
+    }
+    // Prior segments were synced when sealed (syncing policies seal via
+    // sync()), so a successful active-segment fsync makes the whole
+    // appended prefix durable.
+    synced_index_ = next_index_;
   }
   records_since_sync_ = 0;
 }

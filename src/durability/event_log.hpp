@@ -104,6 +104,17 @@ class EventLogWriter {
   /// Global index of the next event to append (== durable/appended events).
   std::uint64_t next_index() const { return next_index_; }
 
+  /// Events covered by the last *successful* fsync: the prefix promised to
+  /// survive a power loss.  Starts at the validated on-disk prefix found by
+  /// open() and advances when sync() succeeds.  Exact under the syncing
+  /// policies (sealing a segment syncs it before moving on); best-effort
+  /// under FsyncPolicy::kNone, whose contract is process-crash durability
+  /// only -- there a forced sync (checkpoint, degrade seal) covers the
+  /// active segment but not previously sealed ones, and in-process the
+  /// full appended prefix in [synced, next_index) is still on disk and
+  /// recoverable either way.
+  std::uint64_t synced_index() const { return synced_index_; }
+
   /// Appends one batch as one record (one write() syscall on the production
   /// path), applies the fsync policy, rolls the segment when full.
   ///
@@ -144,6 +155,7 @@ class EventLogWriter {
   int fd_ = -1;
   std::string active_path_;
   std::uint64_t next_index_ = 0;        ///< global event index
+  std::uint64_t synced_index_ = 0;      ///< events behind the last good fsync
   std::uint64_t segment_base_ = 0;      ///< first event index of active seg
   std::uint64_t segment_records_ = 0;
   std::uint64_t segment_size_ = 0;      ///< bytes written to active segment

@@ -56,7 +56,8 @@ void set_io_env(IoEnv* env) {
 
 void fsync_dir(const char* site, const std::string& dir) {
   IoEnv& env = io_env();
-  const int fd = env.open(site, dir.c_str(), O_RDONLY | O_DIRECTORY, 0);
+  const int fd =
+      env.open(site, dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC, 0);
   if (fd < 0) return;
   (void)env.fsync(site, fd);
   ::close(fd);
@@ -65,7 +66,7 @@ void fsync_dir(const char* site, const std::string& dir) {
 std::vector<char> read_file_bytes(const char* open_site, const char* read_site,
                                   const std::string& path) {
   IoEnv& env = io_env();
-  const int fd = env.open(open_site, path.c_str(), O_RDONLY, 0);
+  const int fd = env.open(open_site, path.c_str(), O_RDONLY | O_CLOEXEC, 0);
   ESPICE_CHECK(fd >= 0, ErrorCode::kIo,
                "cannot open " + path + ": " + errno_detail());
   std::vector<char> bytes;

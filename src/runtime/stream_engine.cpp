@@ -1295,7 +1295,23 @@ bool StreamEngine::wal_retry(const std::function<void()>& op,
 
 void StreamEngine::degrade_wal(const std::string& detail) {
   wal_degraded_ = true;
-  degraded_at_offset_ = log_->next_index();
+  // Seal the durable prefix at an offset the log can actually honor after
+  // a power loss: a best-effort final sync promotes everything appended so
+  // far; if that sync also fails, fall back to the last offset a
+  // successful fsync covered.  (Under FsyncPolicy::kNone -- process-crash
+  // durability only, nothing is synced by policy -- the full appended
+  // prefix is reported: it is on disk and recovery replays it as long as
+  // the power stayed on, which is all that policy ever promised.)
+  std::uint64_t sealed = log_->next_index();
+  try {
+    log_->sync();
+  } catch (const Error&) {
+    ++wal_errors_;
+    if (config_.durability->fsync != durability::FsyncPolicy::kNone) {
+      sealed = log_->synced_index();
+    }
+  }
+  degraded_at_offset_ = sealed;
   if (state_ != EngineState::kFailed) state_ = EngineState::kDegraded;
   last_error_ = "WAL degraded to memory-only at offset " +
                 std::to_string(degraded_at_offset_) + ": " + detail;
@@ -1314,15 +1330,17 @@ void StreamEngine::wal_append(std::span<const Event> events) {
   }
   const DurabilityConfig& d = *config_.durability;
   if (d.on_wal_error == WalErrorPolicy::kRetryBackoff) {
-    // Discriminate where the failure hit: if next_index() advanced, the
-    // records landed and only the policy fsync failed -- retry sync(), not
-    // a re-append (which would duplicate the batch).  Otherwise the append
-    // itself failed (torn tail already repaired by the writer) and the
-    // whole batch is retried.
-    const bool landed = log_->next_index() != before;
+    // Discriminate where the failure hit: if next_index() advanced past the
+    // pre-append mark, the records landed and only the policy fsync failed
+    // -- retry sync(), not a re-append (which would duplicate the batch).
+    // Otherwise the append itself failed (torn tail already repaired by the
+    // writer) and the whole batch is retried.  The discrimination runs
+    // inside the lambda, on EVERY attempt: a retried append can itself land
+    // the records and then die in its policy fsync, after which the next
+    // attempt must sync, not append the batch a second time.
     const bool ok = wal_retry(
         [&] {
-          if (landed) {
+          if (log_->next_index() != before) {
             log_->sync();
           } else {
             log_->append_batch(events);
@@ -1575,6 +1593,14 @@ std::vector<ComplexEvent> StreamEngine::merge_matches(
 }
 
 EngineReport StreamEngine::finish() {
+  // abort() marks the engine finished too; distinguish it so the caller is
+  // told the engine was torn down, not that they double-finished.
+  if (aborted_) {
+    throw Error(ErrorCode::kEngineFailed,
+                last_error_.empty()
+                    ? "finish() on an aborted engine"
+                    : "finish() on an aborted engine: " + last_error_);
+  }
   ESPICE_REQUIRE(!finished_, "finish() called twice");
   if (!started_) start();  // empty run: still produce a (zero) report
   finished_ = true;

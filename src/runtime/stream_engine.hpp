@@ -206,8 +206,13 @@ struct EngineHealth {
   /// kDegradeToMemory fired: the WAL is sealed and the engine runs
   /// memory-only.
   bool wal_degraded = false;
-  /// Where the durable prefix ends when wal_degraded (recover_and_start()
-  /// replays exactly this many events once faults clear).
+  /// Where the sealed durable prefix ends when wal_degraded.  Sealed at
+  /// degrade time by a best-effort final fsync; if that sync also fails the
+  /// offset falls back to the last successfully fsynced prefix, so the
+  /// value never promises more than survives a power loss.
+  /// recover_and_start() replays at least this many events once faults
+  /// clear (appended-but-unsynced records past it also survive when the
+  /// machine did not lose power).
   std::uint64_t degraded_at_offset = 0;
   std::string last_error;  ///< most recent failure detail; empty = none
   std::vector<ShardHealth> shards;

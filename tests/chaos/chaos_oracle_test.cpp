@@ -30,6 +30,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "durability/event_log.hpp"
 #include "runtime/stream_engine.hpp"
 #include "support/io_fault.hpp"
 #include "support/temp_dir.hpp"
@@ -394,6 +395,46 @@ TEST_F(ChaosDirectedTest, RetryRecoversTransientFault) {
   EXPECT_EQ(run.report.health.state, EngineState::kRunning);
   EXPECT_GE(run.report.health.wal_errors, 1u);
   EXPECT_FALSE(run.report.health.wal_degraded);
+}
+
+// Regression: under kRetryBackoff the write-vs-fsync discrimination must
+// run on EVERY attempt.  When the original append dies at the write and the
+// retry lands the record but dies in its policy fsync, the next attempt has
+// to sync the landed record -- re-appending would duplicate the batch in
+// the WAL and recovery would replay it twice.
+TEST_F(ChaosDirectedTest, RetryAfterFsyncFaultDoesNotDuplicateBatch) {
+  SCOPED_TRACE(test_support::seed_trace(seed));
+  Scenario s;
+  s.shards = 1;
+  s.policy = WalErrorPolicy::kRetryBackoff;
+  s.fsync = FsyncPolicy::kEveryBatch;
+  TempDir dir("retry-fsync");
+  StreamEngineConfig config = make_config(s, dir.str());
+  config.durability->segment_bytes = 1u << 20;  // no mid-run segment rolls
+  IoFaultHarness harness;
+  // Occurrence map (kEveryBatch, no rolls): log.write #1 is the segment
+  // header, #(1+i) is batch i's record, log.fsync #i is batch i's policy
+  // sync.  Batch 2: the first append dies at the write (nothing lands),
+  // retry 1 lands the record (write #4) and dies in its policy fsync
+  // (fsync #2), so retry 2 must observe the landed record and sync it.
+  harness.arm({"log.write", 3, ENOSPC, false, false, 0});
+  harness.arm({"log.fsync", 2, EIO, false, false, 0});
+  StreamEngine engine(config);
+  for (std::size_t b = 0; b < 3; ++b) {
+    engine.push_batch(std::span(events).subspan(b * kBatch, kBatch));
+  }
+  const EngineReport report = engine.finish();
+  EXPECT_EQ(harness.fired(), 2u);
+  EXPECT_EQ(report.health.state, EngineState::kRunning);
+  EXPECT_GE(report.health.wal_errors, 2u);
+  // The WAL holds every pushed event exactly once, in stream order; a
+  // duplicated batch would both inflate the count and repeat seqs.
+  durability::EventLogReader reader(dir.str() + "/log");
+  const std::vector<Event> logged = reader.read_from(0);
+  ASSERT_EQ(logged.size(), 3 * kBatch);
+  for (std::size_t i = 0; i < logged.size(); ++i) {
+    EXPECT_EQ(logged[i].seq, events[i].seq) << "index " << i;
+  }
 }
 
 // A dead disk under kRetryBackoff exhausts the bounded retries and falls

@@ -203,6 +203,16 @@ TEST(ShardFailure, PostFailureOperationsAreTypedAndAbortIdempotent) {
 
   engine.abort();
   engine.abort();  // idempotent: second call is a no-op, no double-join
+
+  // finish() after abort() names the abort, not a phantom double-finish.
+  try {
+    engine.finish();
+    FAIL() << "finish() on an aborted engine must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kEngineFailed);
+    EXPECT_NE(std::string(e.what()).find("aborted"), std::string::npos)
+        << e.what();
+  }
 }
 
 // A healthy run with the failure machinery in place: state stays kRunning,
