@@ -10,6 +10,16 @@
 // core count next to the measured ratios so the trajectory is
 // interpretable.
 //
+// The single-core K=4/K=1 ratio is its own acceptance field
+// (k4_vs_k1_ratio): sharding must not COST throughput when the threads
+// merely time-slice one core.  The measurement is best-of-6 per K over a
+// 2M-event stream -- cross-K ratios from best-of-2 over short runs swing
+// +-10% from scheduler noise alone.  With the pow2-mask router, hoisted
+// key extraction and the shards' idle backoff the ratio sits around 0.9x
+// here; the remaining gap is consumer-side (per-shard busy_seconds grows
+// ~10% at K=4: four pipelines' window/matcher state exceeds what one
+// core's cache holds), not router overhead.
+//
 // Writes BENCH_sharded_engine.json.  --smoke (or ESPICE_BENCH_SMOKE=1)
 // shrinks the stream for CI smoke runs.
 #include <algorithm>
@@ -139,7 +149,7 @@ int main(int argc, char** argv) {
     g_smoke = true;
   }
 
-  const std::size_t n_events = g_smoke ? 60'000 : 400'000;
+  const std::size_t n_events = g_smoke ? 60'000 : 2'000'000;
   const auto events = make_stream(n_events);
   const unsigned hw_threads = std::thread::hardware_concurrency();
 
@@ -162,7 +172,7 @@ int main(int argc, char** argv) {
   json += "  \"runs\": [\n";
 
   for (std::size_t k = 0; k < std::size(ks); ++k) {
-    const auto r = run_at(events, ks[k], /*repeats=*/2);
+    const auto r = run_at(events, ks[k], /*repeats=*/6);
     parity_all = parity_all && r.parity;
     if (ks[k] == 1) eps_k1 = r.events_per_sec;
     if (ks[k] == 4) eps_k4 = r.events_per_sec;
@@ -201,7 +211,10 @@ int main(int argc, char** argv) {
   json += "  ],\n  \"acceptance\": {\"parity_all\": " +
           std::string(parity_all ? "true" : "false") +
           ", \"speedup_k4_vs_k1\": " + bench_support::json_double(speedup_k4) +
-          ", \"speedup_k4_ge_2x\": " + speedup_ok + "}\n}\n";
+          ", \"speedup_k4_ge_2x\": " + speedup_ok +
+          ", \"k4_vs_k1_ratio\": " + bench_support::json_double(speedup_k4) +
+          ", \"k4_vs_k1_ge_095\": " +
+          std::string(speedup_k4 >= 0.95 ? "true" : "false") + "}\n}\n";
 
   const char* path = "BENCH_sharded_engine.json";
   const bool wrote = bench_support::write_json(path, json);

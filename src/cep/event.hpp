@@ -66,4 +66,32 @@ inline Event make_watermark(std::uint64_t seq, double ts = 0.0,
 
 inline bool watermark_has_ts(const Event& p) { return p.value != 0.0; }
 
+/// Reserved type for partition-migration control markers (rebalance mode).
+/// Like watermarks, these are in-band records the router threads through
+/// the shard rings so migrations order exactly against the data around
+/// them; they never reach a window or matcher.
+inline constexpr EventTypeId kPartitionControlType = 0xFFFE;
+
+inline bool is_partition_control(const Event& e) {
+  return e.type == kPartitionControlType;
+}
+
+enum class PartitionControl : int { kExport = 1, kImport = 2 };
+
+/// Builds a migration marker: `seq` carries the logical partition id,
+/// `value` the action.  kExport tells the current owner to hand the
+/// partition's pipeline off; kImport tells the new owner to adopt it.
+inline Event make_partition_control(PartitionControl action,
+                                    std::uint64_t partition) {
+  Event c;
+  c.type = kPartitionControlType;
+  c.seq = partition;
+  c.value = static_cast<double>(static_cast<int>(action));
+  return c;
+}
+
+inline PartitionControl partition_control_action(const Event& c) {
+  return static_cast<PartitionControl>(static_cast<int>(c.value));
+}
+
 }  // namespace espice

@@ -36,8 +36,13 @@ class BackoffWaiter {
   static constexpr std::uint64_t kMinSleepUs = 1;
   static constexpr std::uint64_t kMaxSleepUs = 1000;
 
-  explicit BackoffWaiter(std::uint64_t seed = 0)
-      : rng_(seed + 0x9e3779b97f4a7c15ULL) {}
+  /// `max_sleep_us` caps the escalation ceiling; shard idle loops use a
+  /// lower cap than the router's backpressure stall so a sleeping shard
+  /// picks up fresh work with bounded latency.
+  explicit BackoffWaiter(std::uint64_t seed = 0,
+                         std::uint64_t max_sleep_us = kMaxSleepUs)
+      : rng_(seed + 0x9e3779b97f4a7c15ULL),
+        max_sleep_us_(std::max(max_sleep_us, kMinSleepUs)) {}
 
   /// Blocks once (yield or sleep, depending on how long we have been
   /// waiting) and meters the time spent.
@@ -62,7 +67,7 @@ class BackoffWaiter {
   std::uint64_t next_sleep_us() {
     const std::uint64_t span = ceiling_us_ - kMinSleepUs + 1;
     const std::uint64_t sleep_us = kMinSleepUs + next_random() % span;
-    ceiling_us_ = std::min(ceiling_us_ * 2, kMaxSleepUs);
+    ceiling_us_ = std::min(ceiling_us_ * 2, max_sleep_us_);
     return sleep_us;
   }
 
@@ -90,6 +95,7 @@ class BackoffWaiter {
   }
 
   std::uint64_t rng_;
+  std::uint64_t max_sleep_us_ = kMaxSleepUs;
   int rounds_ = 0;
   std::uint64_t ceiling_us_ = kMinSleepUs;
   std::uint64_t waits_ = 0;

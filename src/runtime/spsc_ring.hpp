@@ -211,4 +211,154 @@ class SpscRing {
   std::size_t mask_ = 0;
 };
 
+/// A bank of P single-producer lanes feeding ONE consumer, merged back into
+/// the global stream order by sequence number.  This is the multi-producer
+/// ingestion stage: each producer thread owns exactly one lane (a plain
+/// SpscRing, so every push stays wait-free and lock-free), and the consumer
+/// runs a deterministic P-way merge, emitting items in strictly increasing
+/// `.seq` order regardless of how producer pushes interleave in real time.
+///
+/// Requirements on T and the producers:
+///   - T has a public integral `seq` field;
+///   - each producer pushes its items in strictly increasing seq order;
+///   - seqs are unique across ALL lanes (the merge output is then a total
+///     order and bit-identical run to run).
+///
+/// The merge must never emit seq s while another lane could still produce
+/// an item with seq < s.  An empty lane alone cannot decide this -- the
+/// producer might simply be between batches -- so each lane carries a
+/// "floor": a producer-maintained promise that every FUTURE push on that
+/// lane has seq >= floor.  Producers advance it after each batch
+/// (set_floor(last_seq + 1)) and close() raises it to infinity.  The merge
+/// emits the smallest visible head seq only when every other lane either
+/// shows a head above it or promises (floor / closed) never to go below it;
+/// otherwise it reports kStall and the caller decides how to wait.
+///
+/// Memory-ordering note: a floor value may only be trusted against an
+/// emptiness observation made AFTER the floor was read.  The producer
+/// stores the floor (release) after its batch pushes; the consumer
+/// therefore re-reads the lane head after acquiring the floor, so any push
+/// the floor "covers" is visible before the lane is judged empty.
+template <typename T>
+class SpscLaneSet {
+ public:
+  SpscLaneSet(std::size_t lanes, std::size_t capacity_per_lane) {
+    ESPICE_REQUIRE(lanes > 0, "lane set needs at least one lane");
+    lanes_.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i)
+      lanes_.push_back(std::make_unique<Lane>(capacity_per_lane));
+  }
+
+  std::size_t lane_count() const { return lanes_.size(); }
+
+  /// Producer side: lane `p` belongs exclusively to producer p.
+  SpscRing<T>& lane(std::size_t p) { return lanes_[p]->ring; }
+
+  /// Producer side: promise that every future push on lane `p` has
+  /// seq >= `bound`.  Must be monotonically non-decreasing.
+  void set_floor(std::size_t p, std::uint64_t bound) {
+    lanes_[p]->floor.store(bound, std::memory_order_release);
+  }
+
+  /// Producer side: end of stream on lane `p` (floor becomes infinite).
+  void close_lane(std::size_t p) {
+    Lane& ln = *lanes_[p];
+    ln.floor.store(~std::uint64_t{0}, std::memory_order_release);
+    ln.ring.close();
+  }
+
+  enum class Merge { kItems, kStall, kDone };
+
+  /// Consumer side: pops up to `max` items into `dst` in global seq order.
+  /// kItems  -> out_n > 0 items were emitted (more may be ready);
+  /// kStall  -> nothing emittable right now: some open lane is empty with a
+  ///            floor at or below the smallest visible head, so emitting
+  ///            would race a slower producer.  Wait and retry.
+  /// kDone   -> every lane is closed and drained; the stream is complete.
+  Merge merge_pop(T* dst, std::size_t max, std::size_t& out_n) {
+    out_n = 0;
+    while (out_n < max) {
+      std::uint64_t best_seq = ~std::uint64_t{0};
+      std::uint64_t second = ~std::uint64_t{0};
+      std::uint64_t stall_bound = ~std::uint64_t{0};
+      Lane* best = nullptr;
+      bool all_done = true;
+      for (auto& lp : lanes_) {
+        Lane& ln = *lp;
+        refresh(ln);
+        if (ln.done) continue;
+        all_done = false;
+        if (ln.pos < ln.view.size()) {
+          const std::uint64_t s =
+              static_cast<std::uint64_t>(ln.view[ln.pos].seq);
+          if (s < best_seq) {
+            second = best_seq;
+            best_seq = s;
+            best = &ln;
+          } else if (s < second) {
+            second = s;
+          }
+        } else {
+          stall_bound = std::min(stall_bound, ln.bound);
+        }
+      }
+      if (all_done) return out_n > 0 ? Merge::kItems : Merge::kDone;
+      if (best == nullptr || stall_bound <= best_seq)
+        return out_n > 0 ? Merge::kItems : Merge::kStall;
+      // Drain the winning lane while it provably stays the minimum: its
+      // items are below every other visible head AND below every empty
+      // lane's floor.
+      const std::uint64_t limit = std::min(second, stall_bound);
+      while (out_n < max && best->pos < best->view.size()) {
+        const T& item = best->view[best->pos];
+        if (static_cast<std::uint64_t>(item.seq) >= limit) break;
+        dst[out_n++] = item;
+        ++best->pos;
+      }
+    }
+    return Merge::kItems;
+  }
+
+  /// Approximate total occupancy across lanes (queue-depth signal).
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& lp : lanes_) n += lp->ring.size();
+    return n;
+  }
+
+ private:
+  struct Lane {
+    explicit Lane(std::size_t cap) : ring(cap) {}
+    SpscRing<T> ring;
+    alignas(64) std::atomic<std::uint64_t> floor{0};
+    // Consumer-owned merge state.
+    std::span<const T> view{};
+    std::size_t pos = 0;
+    std::uint64_t bound = 0;  // floor snapshot valid for the current view
+    bool done = false;
+  };
+
+  /// Consumer side: make the lane's head visible, or establish a trustable
+  /// (floor, empty) observation, or mark it done.
+  void refresh(Lane& ln) {
+    if (ln.done || ln.pos < ln.view.size()) return;
+    if (ln.pos > 0) {
+      ln.ring.release(ln.pos);
+      ln.view = {};
+      ln.pos = 0;
+    }
+    ln.view = ln.ring.front_block(ln.ring.capacity());
+    if (!ln.view.empty()) return;
+    // Empty: acquire the floor FIRST, then look again -- every push made
+    // before that floor value was published is visible to the second look.
+    ln.bound = ln.floor.load(std::memory_order_acquire);
+    const bool was_closed = ln.ring.closed();
+    ln.view = ln.ring.front_block(ln.ring.capacity());
+    if (!ln.view.empty()) return;
+    if (was_closed) ln.done = true;
+  }
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
 }  // namespace espice

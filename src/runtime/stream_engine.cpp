@@ -8,11 +8,10 @@
 #include <thread>
 #include <tuple>
 
-#include "cep/incremental_matcher.hpp"
 #include "common/error.hpp"
-#include "core/espice_shedder.hpp"
 #include "durability/serial.hpp"
 #include "runtime/backoff.hpp"
+#include "runtime/shard_pipeline.hpp"
 #include "runtime/spsc_ring.hpp"
 
 namespace espice {
@@ -33,11 +32,71 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Escalation cap for shard IDLE waits (an empty ring, an open lane with no
+/// input yet).  Lower than the router's 1ms backpressure cap: an idle shard
+/// must notice fresh work quickly, and on an undersubscribed box the sleeps
+/// are what return the core to whoever produces that work.
+constexpr std::uint64_t kShardIdleSleepUs = 200;
+
+/// One depth/peak sample per drained block plus a busy-time stamp around its
+/// processing -- shared by all three deterministic runner loops.
+struct OccupancyMeter {
+  ShardStats& stats;
+  std::chrono::steady_clock::time_point t0{};
+  void sample_depth(std::size_t depth) {
+    stats.peak_queue_depth = std::max(stats.peak_queue_depth, depth);
+    stats.depth_sum += depth;
+    ++stats.depth_samples;
+    t0 = std::chrono::steady_clock::now();
+  }
+  void block_done() { stats.busy_seconds += seconds_since(t0); }
+};
+
+/// Mode-exclusion rules for multi-producer ingestion and rebalancing
+/// (shared by the constructor's fail-fast checks and validate()).
+void validate_modes(const StreamEngineConfig& c) {
+  if (c.producers > 0) {
+    ESPICE_REQUIRE(!c.adaptive.has_value(),
+                   "multi-producer ingestion requires deterministic mode");
+    ESPICE_REQUIRE(!c.event_time.has_value(),
+                   "multi-producer ingestion excludes event time (watermark "
+                   "broadcast assumes one router)");
+    ESPICE_REQUIRE(!c.rebalance.has_value(),
+                   "multi-producer ingestion excludes rebalancing");
+    ESPICE_REQUIRE(c.latency_sample_every == 0,
+                   "latency sampling assumes a single router thread");
+    if (c.durability.has_value()) {
+      ESPICE_REQUIRE(c.durability->snapshot_every_events == 0,
+                     "multi-producer mode cannot auto-checkpoint: the events "
+                     "pushed so far are not a seq-prefix, so no consistent "
+                     "mid-stream cut exists");
+    }
+  }
+  if (c.rebalance.has_value()) {
+    ESPICE_REQUIRE(c.rebalance->partitions >= c.shards,
+                   "rebalance.partitions must be >= shards (a partition is "
+                   "the migration granularity)");
+    ESPICE_REQUIRE(!c.adaptive.has_value(),
+                   "rebalancing requires deterministic mode");
+    ESPICE_REQUIRE(!c.event_time.has_value(),
+                   "rebalancing excludes event time (reorder state does not "
+                   "migrate)");
+    ESPICE_REQUIRE(!c.durability.has_value(),
+                   "rebalancing excludes durability (per-shard checkpoint "
+                   "cuts assume a fixed placement)");
+    ESPICE_REQUIRE(c.latency_sample_every == 0,
+                   "latency marks do not follow migrating partitions");
+    ESPICE_REQUIRE(c.rebalance->hot_factor >= 1.0,
+                   "rebalance.hot_factor below 1 would thrash");
+  }
+}
+
 }  // namespace
 
 void StreamEngineConfig::validate() const {
   ESPICE_REQUIRE(shards > 0, "engine needs at least one shard");
   ESPICE_REQUIRE(ring_capacity > 0, "ring capacity must be positive");
+  validate_modes(*this);
   if (durability.has_value()) {
     ESPICE_REQUIRE(!adaptive.has_value(),
                    "durability requires deterministic mode (adaptive results "
@@ -120,7 +179,17 @@ struct StreamEngine::Shard {
   };
 
   SpscRing<Event> ring;
+  /// Multi-producer mode only: P producer-private lanes replacing `ring`
+  /// as the shard's input (merged deterministically on seq).
+  std::unique_ptr<SpscLaneSet<Event>> lanes;
   std::thread thread;
+  /// Classic / multi-producer mode: the shard's single pipeline (built on
+  /// the shard thread, read by finish() after the join).
+  std::unique_ptr<DetPipeline> pipeline;
+  /// Rebalance mode: resident partition pipelines, indexed by partition
+  /// (null when the partition lives elsewhere).  A migration moves the
+  /// unique_ptr between shards through the engine's mailbox.
+  std::vector<std::unique_ptr<DetPipeline>> parts;
   /// Per-query shedders, built by the factories on the router thread at
   /// start() (the documented factory contract); each is then owned and
   /// driven by this shard's thread only.
@@ -177,7 +246,12 @@ std::size_t StreamEngine::shard_index(std::uint64_t key, std::size_t shards) {
 std::size_t StreamEngine::shard_of(const Event& e) const {
   const std::uint64_t key =
       config_.key_of ? config_.key_of(e) : static_cast<std::uint64_t>(e.type);
-  return shard_index(key, config_.shards);
+  // Same mapping as shard_index(), with the modulo replaced by a mask when
+  // the shard count is a power of two (h % K == h & (K-1) for such K).
+  const std::uint64_t h = partition_hash(key);
+  const std::size_t k = config_.shards;
+  return static_cast<std::size_t>((k & (k - 1)) == 0 ? (h & (k - 1))
+                                                     : (h % k));
 }
 
 StreamEngine::StreamEngine(StreamEngineConfig config)
@@ -187,6 +261,7 @@ StreamEngine::StreamEngine(StreamEngineConfig config)
   // validation runs.
   ESPICE_REQUIRE(config_.shards > 0, "engine needs at least one shard");
   ESPICE_REQUIRE(config_.ring_capacity > 0, "ring capacity must be positive");
+  validate_modes(config_);
   if (config_.durability.has_value()) {
     ESPICE_REQUIRE(!config_.adaptive.has_value(),
                    "durability requires deterministic mode (adaptive results "
@@ -259,17 +334,23 @@ void StreamEngine::start() {
   }
 
   const std::size_t num_queries = std::max<std::size_t>(queries_.size(), 1);
-  if (config_.shards > 1) {
+  const bool rebalancing = config_.rebalance.has_value();
+  if (config_.shards > 1 || rebalancing) {
     staging_.resize(config_.shards);
     // Seed each staging buffer's capacity so typical batches never allocate
     // on the routing path (buffers keep growing to the largest batch seen).
     for (auto& buf : staging_) buf.reserve(kShardBlock);
+    staging_off_.assign(config_.shards, 0);
   }
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
     shards_.push_back(
         std::make_unique<Shard>(i, config_.ring_capacity, num_queries));
-    if (!config_.adaptive.has_value()) {
+    if (config_.producers > 0) {
+      shards_.back()->lanes = std::make_unique<SpscLaneSet<Event>>(
+          config_.producers, config_.ring_capacity);
+    }
+    if (!config_.adaptive.has_value() && !rebalancing) {
       auto& shedders = shards_.back()->shedders;
       shedders.reserve(queries_.size());
       for (const EngineQuery& q : queries_) {
@@ -277,19 +358,64 @@ void StreamEngine::start() {
       }
     }
   }
+  if (config_.producers > 0) {
+    mp_staging_.resize(config_.producers);
+    for (auto& per_shard : mp_staging_) {
+      per_shard.resize(config_.shards);
+      for (auto& buf : per_shard) buf.reserve(kShardBlock);
+    }
+    mp_off_.assign(config_.producers,
+                   std::vector<std::size_t>(config_.shards, 0));
+  }
+  if (rebalancing) {
+    const std::size_t nparts = config_.rebalance->partitions;
+    // Initial placement: round-robin, so every shard starts with an equal
+    // slice of the partition space.
+    placement_.resize(nparts);
+    for (std::size_t p = 0; p < nparts; ++p) placement_[p] = p % config_.shards;
+    part_counts_.assign(nparts, 0);
+    mailbox_ = std::make_unique<std::atomic<DetPipeline*>[]>(nparts);
+    for (std::size_t p = 0; p < nparts; ++p) {
+      mailbox_[p].store(nullptr, std::memory_order_relaxed);
+    }
+    // Shedders are per PARTITION here (the factory's "shard" argument is
+    // the partition index): a partition's shedding state migrates with it.
+    part_shedders_.resize(nparts);
+    for (std::size_t p = 0; p < nparts; ++p) {
+      auto& shedders = part_shedders_[p];
+      shedders.reserve(queries_.size());
+      for (const EngineQuery& q : queries_) {
+        shedders.push_back(q.shedder_factory ? q.shedder_factory(p) : nullptr);
+      }
+    }
+    for (auto& s : shards_) s->parts.resize(nparts);
+  }
   start_ = std::chrono::steady_clock::now();
   try {
     for (auto& shard : shards_) {
       Shard* s = shard.get();
-      s->thread = config_.adaptive.has_value()
-                      ? std::thread([this, s] { run_adaptive_shard(*s); })
-                      : std::thread([this, s] { run_deterministic_shard(*s); });
+      if (config_.adaptive.has_value()) {
+        s->thread = std::thread([this, s] { run_adaptive_shard(*s); });
+      } else if (config_.producers > 0) {
+        s->thread = std::thread([this, s] { run_merged_shard(*s); });
+      } else if (rebalancing) {
+        s->thread = std::thread([this, s] { run_partitioned_shard(*s); });
+      } else {
+        s->thread = std::thread([this, s] { run_deterministic_shard(*s); });
+      }
     }
   } catch (...) {
     // Thread spawn failed mid-loop: release the shards already running
     // (close their rings, join) before rethrowing -- destroying a joinable
     // std::thread would terminate the process.
-    for (auto& s : shards_) s->ring.close();
+    for (auto& s : shards_) {
+      s->ring.close();
+      if (s->lanes != nullptr) {
+        for (std::size_t p = 0; p < s->lanes->lane_count(); ++p) {
+          s->lanes->close_lane(p);
+        }
+      }
+    }
     for (auto& s : shards_) {
       if (s->thread.joinable()) s->thread.join();
     }
@@ -307,9 +433,23 @@ void StreamEngine::teardown() noexcept {
   for (auto& s : shards_) {
     s->checkpoint_target.store(kNoCheckpoint, std::memory_order_release);
   }
-  for (auto& s : shards_) s->ring.close();
+  for (auto& s : shards_) {
+    s->ring.close();
+    if (s->lanes != nullptr) {
+      for (std::size_t p = 0; p < s->lanes->lane_count(); ++p) {
+        s->lanes->close_lane(p);
+      }
+    }
+  }
   for (auto& s : shards_) {
     if (s->thread.joinable()) s->thread.join();
+  }
+  // An aborted migration can leave a pipeline parked in the mailbox (the
+  // exporter handed it off, the importer died or never ran): reclaim it.
+  if (mailbox_ != nullptr) {
+    for (std::size_t p = 0; p < placement_.size(); ++p) {
+      delete mailbox_[p].exchange(nullptr, std::memory_order_acquire);
+    }
   }
 }
 
@@ -383,6 +523,8 @@ void StreamEngine::fail_for_shard(Shard& s) {
 
 void StreamEngine::push(const Event& e) {
   ESPICE_REQUIRE(!finished_, "push() after finish()");
+  ESPICE_REQUIRE(config_.producers == 0,
+                 "multi-producer mode: use push_batch_concurrent()");
   ensure_accepting("push()");
   if (!started_) start();
   // Write-ahead: the event is in the log before any shard can observe it,
@@ -402,7 +544,15 @@ void StreamEngine::push(const Event& e) {
     }
     return;
   }
-  const std::size_t si = shard_of(e);
+  std::size_t si;
+  if (!placement_.empty()) {
+    const std::size_t p = partition_of(e);
+    ++part_counts_[p];
+    ++window_routed_;
+    si = placement_[p];
+  } else {
+    si = shard_of(e);
+  }
   Shard& s = *shards_[si];
   if (!s.ring.try_push(e)) {
     // Backpressure: the shard is the bottleneck; back the router off
@@ -435,6 +585,10 @@ void StreamEngine::push(const Event& e) {
       ++events_since_snapshot_;
       maybe_auto_checkpoint();
     }
+  }
+  if (!placement_.empty() &&
+      window_routed_ >= config_.rebalance->interval_events) {
+    decide_moves();
   }
   maybe_heartbeat();
 }
@@ -511,20 +665,149 @@ void StreamEngine::bulk_push_shard(Shard& s, const Event* data, std::size_t n) {
   }
 }
 
+void StreamEngine::flush_staged() {
+  // Round-robin flush of the staging buffers: push what fits into each
+  // pending ring, rotate, repeat.  The old shard-by-shard loop drained one
+  // full ring to completion before touching the next -- on an
+  // undersubscribed box that parks the router in a backpressure sleep
+  // against shard s while shards s+1..K-1 sit EMPTY and idle, serializing
+  // the whole engine on one ring.  Here the router only waits when every
+  // pending ring is full.
+  std::size_t pending = 0;
+  for (std::size_t s = 0; s < staging_.size(); ++s) {
+    staging_off_[s] = 0;
+    if (!staging_[s].empty()) ++pending;
+  }
+  if (pending == 0) return;
+  Shard* bottleneck = nullptr;
+  BackoffWaiter waiter;
+  while (pending > 0) {
+    bool progress = false;
+    for (std::size_t s = 0; s < staging_.size(); ++s) {
+      const std::size_t size = staging_[s].size();
+      std::size_t& off = staging_off_[s];
+      if (off >= size) continue;
+      Shard& sh = *shards_[s];
+      const std::size_t n =
+          sh.ring.try_push_bulk(staging_[s].data() + off, size - off);
+      if (n == 0) continue;
+      progress = true;
+      off += n;
+      if (config_.latency_sample_every != 0) {
+        sh.note_enqueued(n, /*data=*/true, config_.latency_sample_every);
+      }
+      if (off >= size) --pending;
+    }
+    if (pending == 0) break;
+    if (!progress) {
+      // Every pending ring is full: poll for dead shards (a dead consumer
+      // never frees slots), then back off.  The stall is attributed to one
+      // still-full shard -- with all pending rings full, any of them is
+      // the bottleneck.
+      for (std::size_t s = 0; s < staging_.size(); ++s) {
+        if (staging_off_[s] >= staging_[s].size()) continue;
+        Shard& sh = *shards_[s];
+        if (sh.failed.load(std::memory_order_acquire)) fail_for_shard(sh);
+        bottleneck = &sh;
+      }
+      waiter.wait();
+    } else {
+      waiter.reset();
+    }
+  }
+  if (waiter.waits() > 0 && bottleneck != nullptr) {
+    bottleneck->stats.router_backpressure_waits += waiter.waits();
+    bottleneck->stats.router_stall_seconds += waiter.stall_seconds();
+  }
+}
+
 void StreamEngine::push_data_segment(std::span<const Event> events) {
   if (events.empty()) return;
-  if (config_.shards == 1) {
+  if (config_.shards == 1 && placement_.empty()) {
     // Single shard: everything routes to shard 0 -- no hashing, no staging
     // copy, bulk enqueue straight from the caller's span.
     bulk_push_shard(*shards_[0], events.data(), events.size());
     if (log_ != nullptr) pushed_per_shard_[0] += events.size();
+  } else if (!placement_.empty()) {
+    // Rebalance routing must interleave with the decision cadence even
+    // inside one large batch: route in chunks that stop exactly at the
+    // interval boundary, flush, then let decide_moves() emit its migration
+    // markers.  Flushing BEFORE deciding is load-bearing -- markers go
+    // straight into the rings, so any event still staged under the old
+    // placement would otherwise arrive at its old shard behind the export
+    // marker, after the pipeline left.
+    const std::uint64_t interval = config_.rebalance->interval_events;
+    const std::size_t nparts = placement_.size();
+    std::size_t i = 0;
+    while (i < events.size()) {
+      const std::uint64_t room =
+          interval > window_routed_ ? interval - window_routed_ : 1;
+      const std::size_t take = static_cast<std::size_t>(
+          std::min<std::uint64_t>(events.size() - i, room));
+      const std::span<const Event> chunk = events.subspan(i, take);
+      for (auto& buf : staging_) buf.clear();
+      if (config_.key_of) {
+        const auto& key_of = config_.key_of;
+        for (const Event& e : chunk) {
+          const auto p =
+              static_cast<std::size_t>(partition_hash(key_of(e)) % nparts);
+          ++part_counts_[p];
+          staging_[placement_[p]].push_back(e);
+        }
+      } else {
+        for (const Event& e : chunk) {
+          const auto p =
+              static_cast<std::size_t>(partition_hash(e.type) % nparts);
+          ++part_counts_[p];
+          staging_[placement_[p]].push_back(e);
+        }
+      }
+      window_routed_ += take;
+      flush_staged();
+      if (log_ != nullptr) {
+        for (std::size_t s = 0; s < staging_.size(); ++s) {
+          pushed_per_shard_[s] += staging_[s].size();
+        }
+      }
+      i += take;
+      if (window_routed_ >= interval) decide_moves();
+    }
   } else {
     for (auto& buf : staging_) buf.clear();
-    for (const Event& e : events) staging_[shard_of(e)].push_back(e);
-    for (std::size_t s = 0; s < staging_.size(); ++s) {
-      if (!staging_[s].empty()) {
-        bulk_push_shard(*shards_[s], staging_[s].data(), staging_[s].size());
-        if (log_ != nullptr) pushed_per_shard_[s] += staging_[s].size();
+    {
+      // Routing hot loop.  The key_of null check is hoisted out of the
+      // per-event loop, and a power-of-two shard count replaces the modulo
+      // with a mask -- an IDENTICAL mapping (hash % K == hash & (K-1) for
+      // K a power of two), so goldens are unaffected.
+      const std::size_t k = config_.shards;
+      const std::uint64_t mask = k - 1;
+      if (config_.key_of) {
+        const auto& key_of = config_.key_of;
+        if ((k & (k - 1)) == 0) {
+          for (const Event& e : events) {
+            staging_[partition_hash(key_of(e)) & mask].push_back(e);
+          }
+        } else {
+          for (const Event& e : events) {
+            staging_[partition_hash(key_of(e)) % k].push_back(e);
+          }
+        }
+      } else {
+        if ((k & (k - 1)) == 0) {
+          for (const Event& e : events) {
+            staging_[partition_hash(e.type) & mask].push_back(e);
+          }
+        } else {
+          for (const Event& e : events) {
+            staging_[partition_hash(e.type) % k].push_back(e);
+          }
+        }
+      }
+    }
+    flush_staged();
+    if (log_ != nullptr) {
+      for (std::size_t s = 0; s < staging_.size(); ++s) {
+        pushed_per_shard_[s] += staging_[s].size();
       }
     }
   }
@@ -542,6 +825,8 @@ void StreamEngine::push_data_segment(std::span<const Event> events) {
 
 void StreamEngine::push_batch(std::span<const Event> events) {
   ESPICE_REQUIRE(!finished_, "push_batch() after finish()");
+  ESPICE_REQUIRE(config_.producers == 0,
+                 "multi-producer mode: use push_batch_concurrent()");
   ensure_accepting("push_batch()");
   if (events.empty()) return;
   if (!started_) start();
@@ -575,106 +860,15 @@ void StreamEngine::push_batch(std::span<const Event> events) {
 void StreamEngine::run_deterministic_shard(Shard& shard) {
   try {
     const std::size_t nq = queries_.size();
-
-    // Per-query runtime state.  `bit` is the query's bit inside its window
-    // group's keep masks.
-    struct QueryRuntime {
-      explicit QueryRuntime(IncrementalMatcher m) : matcher(std::move(m)) {}
-      /// Stream-level matcher: fed this query's keep decisions through the
-      /// group's KeptFeed, finalized per closed window at flush.
-      IncrementalMatcher matcher;
-      std::unique_ptr<Shedder> shedder;
-      double predicted_ws = 0.0;
-      std::size_t bit = 0;
-      std::vector<KeptEntry> filter_scratch;
-      std::uint64_t memberships = 0;
-      std::uint64_t kept = 0;
-    };
-    std::vector<QueryRuntime> runtimes;
-    runtimes.reserve(nq);
-    for (std::size_t qi = 0; qi < nq; ++qi) {
-      const EngineQuery& q = queries_[qi];
-      QueryRuntime rt(IncrementalMatcher(q.query.pattern, q.query.selection,
-                                         q.query.consumption,
-                                         q.query.max_matches_per_window));
-      rt.shedder = std::move(shard.shedders[qi]);
-      rt.predicted_ws =
-          q.predicted_ws > 0.0
-              ? q.predicted_ws
-              : static_cast<double>(q.query.window.span_events);
-      // Revisability hook: under kRevise, kept events can never force a
-      // window revision later, so their utility gets the configured
-      // boost.  Applied before any restore (configuration, not state).
-      if (config_.event_time.has_value() &&
-          config_.event_time->late_policy == LatePolicy::kRevise &&
-          config_.event_time->revise_utility_boost != 0) {
-        if (auto* es = dynamic_cast<EspiceShedder*>(rt.shedder.get())) {
-          es->set_revise_boost(config_.event_time->revise_utility_boost);
-        }
-      }
-      runtimes.push_back(std::move(rt));
-    }
-
-    // Group queries by identical windowing: one WindowManager (and event
-    // store) per group.  Masks are only tracked where queries actually
-    // share, so the single-query hot path stays mask-free.
-    std::vector<std::vector<std::size_t>> group_members;
-    for (std::size_t qi = 0; qi < nq; ++qi) {
-      bool placed = false;
-      for (auto& members : group_members) {
-        if (same_windowing(queries_[members.front()].query.window,
-                           queries_[qi].query.window)) {
-          runtimes[qi].bit = members.size();
-          members.push_back(qi);
-          placed = true;
-          break;
-        }
-      }
-      if (!placed) {
-        runtimes[qi].bit = 0;
-        group_members.push_back({qi});
-      }
-    }
-    struct Group {
-      WindowManager wm;
-      std::vector<std::size_t> members;
-      /// Keep sets can only diverge between member queries when at least
-      /// one of them sheds; an all-keep group needs no masks and no
-      /// per-query filtering (every query sees the full window).
-      bool diverging;
-      /// Fans the manager's kept feed out to the members' matchers (bit b
-      /// of the group's keep masks drives member b).
-      MatcherFeed feed;
-    };
-    std::vector<Group> groups;
-    groups.reserve(group_members.size());
-    for (auto& members : group_members) {
-      bool any_shedder = false;
-      for (const std::size_t qi : members) {
-        any_shedder = any_shedder || runtimes[qi].shedder != nullptr;
-      }
-      const bool diverging = members.size() > 1 && any_shedder;
-      groups.push_back(
-          Group{WindowManager(queries_[members.front()].query.window,
-                              /*track_masks=*/diverging),
-                std::move(members), diverging, MatcherFeed{}});
-    }
-    // Wire the feeds only once every group sits at its final address.  A
-    // group whose members all take the window scan (last selection,
-    // negations, multi-match), or whose windows never overlap (tumbling),
-    // skips the per-event feed bookkeeping.
-    for (Group& g : groups) {
-      bool any_incremental = false;
-      for (const std::size_t qi : g.members) {
-        g.feed.add(&runtimes[qi].matcher);
-        any_incremental =
-            any_incremental || runtimes[qi].matcher.stream_incremental();
-      }
-      const WindowSpec& spec = queries_[g.members.front()].query.window;
-      if (any_incremental && windows_can_overlap(spec)) {
-        g.wm.set_kept_feed(&g.feed);
-      }
-    }
+    // The whole window/matcher/shedder body lives in DetPipeline (see
+    // runtime/shard_pipeline.hpp) -- this runner owns only what is tied to
+    // the SHARD rather than the pipeline: the ring drain, the event-time
+    // reorder stage, the checkpoint handshake and the latency marks.
+    shard.pipeline = std::make_unique<DetPipeline>(
+        std::span<const EngineQuery>(queries_.data(), queries_.size()),
+        std::move(shard.shedders),
+        config_.event_time.has_value() ? &*config_.event_time : nullptr);
+    DetPipeline& pipe = *shard.pipeline;
 
     // ---- event-time stage state -----------------------------------------
     const bool et_on = config_.event_time.has_value();
@@ -682,18 +876,6 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
         et_on ? *config_.event_time : EventTimeConfig{};
     ReorderBuffer reorder(et_cfg.disorder_bound);
     std::vector<Event> released;  // reused release buffer
-    // Side-output attribution and revision both need recently closed
-    // windows kept around.
-    const bool retain_windows =
-        et_on && et_cfg.late_policy != LatePolicy::kDrop;
-    std::vector<RetainedWindowStore> retained;
-    if (retain_windows) {
-      retained.reserve(groups.size());
-      for (const Group& g : groups) {
-        retained.emplace_back(queries_[g.members.front()].query.window,
-                              et_cfg.revise_horizon_windows);
-      }
-    }
 
     // ---- durability: pipeline snapshot/restore + checkpoint service -----
     // `consumed` counts the ring items (data events and punctuations)
@@ -702,50 +884,13 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
     // of it.
     std::uint64_t consumed = 0;
 
-    auto write_ce = [](durability::SnapshotWriter& w,
-                       const ComplexEvent& ce) {
-      w.u64(ce.window);
-      w.f64(ce.detection_ts);
-      w.u64(ce.constituents.size());
-      for (const Constituent& c : ce.constituents) {
-        w.u32(c.element);
-        w.u32(c.position);
-        w.event(c.event);
-      }
-    };
-    auto read_ce = [](durability::SnapshotReader& r) {
-      ComplexEvent ce;
-      ce.window = static_cast<WindowId>(r.u64());
-      ce.detection_ts = r.f64();
-      const std::uint64_t n_cons = r.u64();
-      for (std::uint64_t ci = 0; ci < n_cons; ++ci) {
-        Constituent c;
-        c.element = r.u32();
-        c.position = r.u32();
-        c.event = r.event();
-        ce.constituents.push_back(std::move(c));
-      }
-      return ce;
-    };
-
     auto serialize_pipeline = [&](durability::SnapshotWriter& w) {
       w.u64(consumed);
       w.u64(shard.stats.events);
       w.u64(shard.stats.memberships);
       w.u64(shard.stats.memberships_kept);
       w.u64(shard.stats.windows_closed);
-      for (Group& g : groups) g.wm.serialize(w);
-      for (std::size_t qi = 0; qi < nq; ++qi) {
-        QueryRuntime& rt = runtimes[qi];
-        rt.matcher.serialize(w);
-        w.boolean(rt.shedder != nullptr);
-        if (rt.shedder != nullptr) rt.shedder->serialize(w);
-        w.u64(rt.memberships);
-        w.u64(rt.kept);
-        const auto& matches = shard.query_matches[qi];
-        w.u64(matches.size());
-        for (const ComplexEvent& ce : matches) write_ce(w, ce);
-      }
+      pipe.serialize_core(w);
       w.boolean(et_on);
       if (et_on) {
         reorder.serialize(w);
@@ -755,26 +900,7 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
         w.u64(shard.stats.late_side_output);
         w.u64(shard.stats.revisions);
         w.u64(shard.stats.reorder_peak_buffered);  // scalar, not a prefix
-        if (retain_windows) {
-          for (const RetainedWindowStore& rs : retained) rs.serialize(w);
-        }
-        w.size(shard.side_outputs.size());
-        for (const SideOutputRecord& so : shard.side_outputs) {
-          w.event(so.event);
-          w.u64(so.watermark_seq);
-          w.vec_int(so.windows);
-        }
-        for (std::size_t qi = 0; qi < nq; ++qi) {
-          const auto& revs = shard.query_revisions[qi];
-          w.size(revs.size());
-          for (const RevisionRecord& rec : revs) {
-            w.u64(rec.late_seq);
-            w.u64(rec.window);
-            w.u64(rec.revision);
-            w.u64(rec.matches.size());
-            for (const ComplexEvent& ce : rec.matches) write_ce(w, ce);
-          }
-        }
+        pipe.serialize_event_time(w);
       }
     };
 
@@ -785,25 +911,7 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
       shard.stats.memberships = r.u64();
       shard.stats.memberships_kept = r.u64();
       shard.stats.windows_closed = r.u64();
-      for (Group& g : groups) g.wm.restore(r);
-      for (std::size_t qi = 0; qi < nq; ++qi) {
-        QueryRuntime& rt = runtimes[qi];
-        rt.matcher.restore(r);
-        const bool has_shedder = r.boolean();
-        ESPICE_CHECK(has_shedder == (rt.shedder != nullptr),
-                     ErrorCode::kCorruptSnapshot,
-                     "snapshot shedder presence does not match the engine's "
-                     "query configuration");
-        if (rt.shedder != nullptr) rt.shedder->restore(r);
-        rt.memberships = r.u64();
-        rt.kept = r.u64();
-        const std::uint64_t n_matches = r.u64();
-        auto& matches = shard.query_matches[qi];
-        matches.clear();
-        for (std::uint64_t m = 0; m < n_matches; ++m) {
-          matches.push_back(read_ce(r));
-        }
-      }
+      pipe.restore_core(r);
       const bool had_et = r.boolean();
       ESPICE_CHECK(had_et == et_on, ErrorCode::kCorruptSnapshot,
                    "snapshot event-time mode does not match the engine's "
@@ -816,34 +924,7 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
         shard.stats.late_side_output = r.u64();
         shard.stats.revisions = r.u64();
         shard.stats.reorder_peak_buffered = static_cast<std::size_t>(r.u64());
-        if (retain_windows) {
-          for (RetainedWindowStore& rs : retained) rs.restore(r);
-        }
-        const std::size_t n_so = r.size();
-        shard.side_outputs.clear();
-        for (std::size_t i = 0; i < n_so; ++i) {
-          SideOutputRecord so;
-          so.event = r.event();
-          so.watermark_seq = r.u64();
-          so.windows = r.vec_int<WindowId>();
-          shard.side_outputs.push_back(std::move(so));
-        }
-        for (std::size_t qi = 0; qi < nq; ++qi) {
-          auto& revs = shard.query_revisions[qi];
-          revs.clear();
-          const std::size_t n_revs = r.size();
-          for (std::size_t i = 0; i < n_revs; ++i) {
-            RevisionRecord rec;
-            rec.late_seq = r.u64();
-            rec.window = r.u64();
-            rec.revision = r.u64();
-            const std::uint64_t nm = r.u64();
-            for (std::uint64_t m = 0; m < nm; ++m) {
-              rec.matches.push_back(read_ce(r));
-            }
-            revs.push_back(std::move(rec));
-          }
-        }
+        pipe.restore_event_time(r);
       }
     };
 
@@ -873,223 +954,21 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
       }
     };
 
-    auto flush = [&](Group& g) {
-      const std::size_t gi =
-          static_cast<std::size_t>(&g - groups.data());
-      for (const WindowView& w : g.wm.drain_closed()) {
-        ++shard.stats.windows_closed;
-        for (const std::size_t qi : g.members) {
-          QueryRuntime& rt = runtimes[qi];
-          const WindowView view =
-              g.diverging ? filter_view_for_query(w, rt.bit, rt.filter_scratch)
-                          : w;
-          auto matches = rt.matcher.finalize(view);
-          for (auto& m : matches) {
-            shard.query_matches[qi].push_back(std::move(m));
-          }
-        }
-        // Event-time side-output / revise: keep the closed window (and
-        // its keep masks) within the retention horizon.
-        if (retain_windows) retained[gi].retain(w);
-      }
-    };
-
-    // Per-query view of a retained (revised) window: the full kept list
-    // for uniform groups, the query's masked subset otherwise.  The
-    // spliced late event carries an all-ones mask, so every member query
-    // sees it.
-    auto retained_view_for = [&](const RetainedWindow& rw,
-                                 const QueryRuntime& rt,
-                                 Window& scratch) -> WindowView {
-      if (rw.masks.empty()) return rw.win.view();
-      scratch.id = rw.win.id;
-      scratch.open_ts = rw.win.open_ts;
-      scratch.open_seq = rw.win.open_seq;
-      scratch.open_index = rw.win.open_index;
-      scratch.arrivals = rw.win.arrivals;
-      scratch.kept.clear();
-      scratch.kept_pos.clear();
-      for (std::size_t i = 0; i < rw.win.kept.size(); ++i) {
-        if ((rw.masks[i] >> rt.bit) & 1) {
-          scratch.kept.push_back(rw.win.kept[i]);
-          scratch.kept_pos.push_back(rw.win.kept_pos[i]);
-        }
-      }
-      return scratch.view();
-    };
-
-    // Late-event policies.  A late event never enters the stream: it is
-    // counted, side-channeled, or spliced into retained windows -- which
-    // re-finalize through the legacy matcher under a fresh revision tag.
-    Window revise_scratch;
-    auto handle_late = [&](const Event& e) {
-      ++shard.stats.late_events;
-      switch (et_cfg.late_policy) {
-        case LatePolicy::kDrop:
-          ++shard.stats.late_dropped;
-          break;
-        case LatePolicy::kSideOutput: {
-          SideOutputRecord rec;
-          rec.event = e;
-          rec.watermark_seq = reorder.watermark_seq();
-          for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-            for (const std::size_t idx : retained[gi].covering(e)) {
-              rec.windows.push_back(retained[gi].at(idx).win.id);
-            }
-          }
-          shard.side_outputs.push_back(std::move(rec));
-          ++shard.stats.late_side_output;
-          break;
-        }
-        case LatePolicy::kRevise: {
-          bool any = false;
-          for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-            Group& g = groups[gi];
-            for (const std::size_t idx : retained[gi].covering(e)) {
-              if (!retained[gi].insert_event(idx, e)) continue;
-              const RetainedWindow& rw = retained[gi].at(idx);
-              any = true;
-              ++shard.stats.revisions;
-              for (const std::size_t qi : g.members) {
-                QueryRuntime& rt = runtimes[qi];
-                RevisionRecord rec;
-                rec.late_seq = e.seq;
-                rec.window = rw.win.id;
-                rec.revision = rw.revisions;
-                // Revision bypasses shedding by design: the late event
-                // is already paid for, and a revision exists to restore
-                // accuracy, not to thin it.
-                rec.matches = rt.matcher.rematch_window(
-                    retained_view_for(rw, rt, revise_scratch));
-                shard.query_revisions[qi].push_back(std::move(rec));
-              }
-            }
-          }
-          // Beyond every retained horizon: nothing left to revise.
-          if (!any) ++shard.stats.late_dropped;
-          break;
-        }
-      }
-    };
-
     // Block drain: one zero-copy ring view per visit (events are processed
     // in place; one release store commits the dequeue), then a block-wise
-    // pipeline pass per group.  Groups are independent (own WindowManager,
-    // own member queries), and within a group events are processed in
-    // stream order, so the output is bit-identical to the per-event loop
-    // this replaces -- only the loop nesting (group outside, event inside)
-    // and the flush granularity (per block, not per event; window views
-    // stay valid until the drain) change.
-    std::vector<std::uint32_t> pos_scratch;    // one event's membership positions
-    std::vector<std::uint64_t> bits_scratch;   // per-query keep bitmaps
-    pos_scratch.reserve(64);
-    bits_scratch.reserve(16);
-
-    auto positions_of = [&pos_scratch](const std::vector<WindowManager::Membership>& ms) {
-      pos_scratch.resize(ms.size());
-      for (std::size_t i = 0; i < ms.size(); ++i) {
-        pos_scratch[i] = ms[i].position;
-      }
-    };
-
-    // One block-wise pipeline pass over an IN-ORDER run of data events:
-    // the whole pre-event-time data path, shared verbatim by both modes
-    // (event-time feeds it watermark-released runs instead of raw ring
-    // blocks).
-    auto process_data_block = [&](std::span<const Event> data) {
-      shard.stats.events += data.size();
-      for (Group& g : groups) {
-        if (g.members.size() == 1) {
-          QueryRuntime& rt = runtimes[g.members.front()];
-          if (rt.shedder == nullptr) {
-            // All-keep single query: the fully batched window path.
-            const std::uint64_t kept = g.wm.offer_keep_all_block(data);
-            rt.memberships += kept;
-            rt.kept += kept;
-            shard.stats.memberships += kept;
-            shard.stats.memberships_kept += kept;
-          } else {
-            for (const Event& e : data) {
-              auto& memberships = g.wm.offer(e);
-              const std::size_t mcount = memberships.size();
-              shard.stats.memberships += mcount;
-              rt.memberships += mcount;
-              if (mcount == 0) continue;
-              positions_of(memberships);
-              bits_scratch.resize(keep_bitmap_words(mcount));
-              rt.shedder->score_block(e, pos_scratch.data(), mcount,
-                                      rt.predicted_ws, bits_scratch.data());
-              for (std::size_t i = 0; i < mcount; ++i) {
-                if (keep_bit(bits_scratch.data(), i)) {
-                  g.wm.keep(memberships[i], e);
-                  ++rt.kept;
-                  ++shard.stats.memberships_kept;
-                }
-              }
-            }
-          }
-        } else if (!g.diverging) {
-          // Shared all-keep group: one mask-free batched pass covers every
-          // member query.
-          const std::uint64_t kept = g.wm.offer_keep_all_block(data);
-          shard.stats.memberships += kept;
-          shard.stats.memberships_kept += kept;
-          for (const std::size_t qi : g.members) {
-            runtimes[qi].memberships += kept;
-            runtimes[qi].kept += kept;
-          }
-        } else {
-          for (const Event& e : data) {
-            auto& memberships = g.wm.offer(e);
-            const std::size_t mcount = memberships.size();
-            shard.stats.memberships += mcount;
-            if (mcount == 0) continue;
-            positions_of(memberships);
-            const std::size_t words = keep_bitmap_words(mcount);
-            bits_scratch.resize(words * g.members.size());
-            for (std::size_t b = 0; b < g.members.size(); ++b) {
-              QueryRuntime& rt = runtimes[g.members[b]];
-              rt.memberships += mcount;
-              std::uint64_t* bits = bits_scratch.data() + b * words;
-              if (rt.shedder == nullptr) {
-                for (std::size_t w = 0; w < words; ++w) bits[w] = ~0ULL;
-                rt.kept += mcount;
-              } else {
-                rt.shedder->score_block(e, pos_scratch.data(), mcount,
-                                        rt.predicted_ws, bits);
-                std::uint64_t kept = 0;
-                for (std::size_t i = 0; i < mcount; ++i) {
-                  kept += keep_bit(bits, i);
-                }
-                rt.kept += kept;
-              }
-            }
-            // Transpose the per-query bitmaps into per-membership masks.
-            for (std::size_t i = 0; i < mcount; ++i) {
-              QueryMask mask = 0;
-              for (std::size_t b = 0; b < g.members.size(); ++b) {
-                if (keep_bit(bits_scratch.data() + b * words, i)) {
-                  mask |= QueryMask{1} << runtimes[g.members[b]].bit;
-                }
-              }
-              // Every query shed it -> physical drop (never buffered).
-              if (mask != 0) {
-                g.wm.keep(memberships[i], e, mask);
-                ++shard.stats.memberships_kept;
-              }
-            }
-          }
-        }
-        flush(g);
-      }
-    };
-
+    // pipeline pass.
+    OccupancyMeter meter{shard.stats};
+    BackoffWaiter idle(shard.stats.shard, kShardIdleSleepUs);
     for (;;) {
       service_checkpoint();
       std::span<const Event> blk = shard.ring.front_block(kShardBlock);
       if (blk.empty()) {
         if (!shard.ring.closed()) {
-          std::this_thread::yield();
+          // Idle: escalate yield -> bounded sleep instead of spinning the
+          // core (reset on any progress).  Matters most when shards
+          // outnumber cores -- a spinning idle shard steals exactly the
+          // cycles the busy ones need.
+          idle.wait();
           continue;
         }
         // Same never-miss ordering as pop_or_closed(): closed was observed
@@ -1097,6 +976,7 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
         blk = shard.ring.front_block(kShardBlock);
         if (blk.empty()) break;
       }
+      idle.reset();
       // An armed checkpoint cuts at an exact event count: trim the block so
       // the shard lands on the cut (the loop head serves it), never past.
       const std::uint64_t target =
@@ -1107,10 +987,9 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
       const std::size_t n = blk.size();
       // Depth gauge, one sample per block (the unreleased block still
       // counts as queued).
-      shard.stats.peak_queue_depth =
-          std::max(shard.stats.peak_queue_depth, shard.ring.size());
+      meter.sample_depth(shard.ring.size());
       if (!et_on) {
-        process_data_block(blk);
+        pipe.process_data_block(blk, shard.stats);
       } else {
         // Event-time stage: punctuations and stragglers are consumed
         // here; only watermark-released IN-ORDER runs reach the data
@@ -1121,27 +1000,27 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
             ++shard.stats.punctuations;
             released.clear();
             reorder.punctuate(e.seq, released);
-            if (!released.empty()) process_data_block(released);
+            if (!released.empty()) {
+              pipe.process_data_block(released, shard.stats);
+            }
             if (watermark_has_ts(e)) {
               // Event-time close: time windows whose span ended at or
               // before the watermark close NOW, without waiting for the
               // next on-time arrival.
-              for (Group& g : groups) {
-                g.wm.advance_time_watermark(e.ts);
-                flush(g);
-              }
+              pipe.advance_time_watermark(e.ts, shard.stats);
             }
           } else {
             released.clear();
             if (reorder.accept(e, released) ==
                 ReorderBuffer::Accept::kLate) {
-              handle_late(e);
+              pipe.handle_late(e, reorder.watermark_seq(), shard.stats);
             } else if (!released.empty()) {
-              process_data_block(released);
+              pipe.process_data_block(released, shard.stats);
             }
           }
         }
       }
+      meter.block_done();
       consumed += n;
       shard.progress.store(consumed, std::memory_order_relaxed);
       shard.ring.release(n);
@@ -1153,34 +1032,406 @@ void StreamEngine::run_deterministic_shard(Shard& shard) {
       // before the windows close.
       released.clear();
       reorder.flush(released);
-      if (!released.empty()) process_data_block(released);
+      if (!released.empty()) pipe.process_data_block(released, shard.stats);
       shard.stats.watermark_valid = reorder.has_watermark();
       shard.stats.watermark_seq = reorder.watermark_seq();
       shard.stats.reorder_peak_buffered = reorder.peak_buffered();
     }
-    for (Group& g : groups) {
-      g.wm.close_all();
-      flush(g);
-    }
+    pipe.close_all(shard.stats);
 
     for (std::size_t qi = 0; qi < nq; ++qi) {
-      const QueryRuntime& rt = runtimes[qi];
+      const DetPipeline::QueryOutcome o = pipe.outcome(qi);
       auto& qc = shard.query_counters[qi];
-      qc.memberships = rt.memberships;
-      qc.memberships_kept = rt.kept;
-      if (rt.shedder != nullptr) {
-        qc.shed_decisions = rt.shedder->decisions();
-        qc.shed_drops = rt.shedder->drops();
-      }
-      shard.stats.matches += shard.query_matches[qi].size();
-      shard.stats.shed_decisions += qc.shed_decisions;
-      shard.stats.shed_drops += qc.shed_drops;
+      qc.memberships = o.memberships;
+      qc.memberships_kept = o.memberships_kept;
+      qc.shed_decisions = o.shed_decisions;
+      qc.shed_drops = o.shed_drops;
+      shard.stats.matches += pipe.query_matches[qi].size();
+      shard.stats.shed_decisions += o.shed_decisions;
+      shard.stats.shed_drops += o.shed_drops;
+      shard.query_matches[qi] = std::move(pipe.query_matches[qi]);
+      shard.query_revisions[qi] = std::move(pipe.query_revisions[qi]);
     }
+    shard.side_outputs = std::move(pipe.side_outputs);
   } catch (...) {
     shard.error = std::current_exception();
     shard.failed.store(true, std::memory_order_release);
     any_shard_failed_.store(true, std::memory_order_release);
     // Keep draining so the router cannot deadlock on a full ring.
+    Event e;
+    while (shard.ring.pop_or_closed(e) != SpscRing<Event>::Pop::kDone) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void StreamEngine::push_batch_concurrent(std::size_t producer,
+                                         std::span<const Event> events) {
+  ESPICE_REQUIRE(config_.producers > 0,
+                 "push_batch_concurrent() needs config.producers > 0");
+  ESPICE_REQUIRE(producer < config_.producers, "producer index out of range");
+  // Implicit start would race: the first concurrent pushes would all try to
+  // spawn the shards.  The owner must start() (or recover_and_start())
+  // before releasing the producer threads.
+  ESPICE_REQUIRE(started_,
+                 "push_batch_concurrent() before start(): multi-producer "
+                 "engines must be started explicitly");
+  ESPICE_REQUIRE(!finished_, "push_batch_concurrent() after finish()");
+  if (events.empty()) return;
+  if (any_shard_failed_.load(std::memory_order_acquire)) {
+    // The full fail_for_shard() protocol mutates router-owned state and is
+    // not safe from P threads; a typed error is -- health() has the detail.
+    throw Error(ErrorCode::kShardFailed,
+                "push_batch_concurrent() on an engine with a failed shard");
+  }
+
+  // Stage producer-privately: one hash pass splitting the batch by shard.
+  // Same mapping as the single-producer router (shard_of), with the
+  // power-of-two mask fast path.
+  auto& stage = mp_staging_[producer];
+  for (auto& buf : stage) buf.clear();
+  const std::size_t k = config_.shards;
+  const std::uint64_t mask = k - 1;
+  const bool pow2 = (k & (k - 1)) == 0;
+  std::uint64_t max_seq = 0;
+  if (config_.key_of) {
+    const auto& key_of = config_.key_of;
+    for (const Event& e : events) {
+      ESPICE_REQUIRE(!is_watermark(e),
+                     "watermarks are not supported in multi-producer mode");
+      max_seq = std::max(max_seq, e.seq);
+      const std::uint64_t h = partition_hash(key_of(e));
+      stage[pow2 ? (h & mask) : (h % k)].push_back(e);
+    }
+  } else {
+    for (const Event& e : events) {
+      ESPICE_REQUIRE(!is_watermark(e),
+                     "watermarks are not supported in multi-producer mode");
+      max_seq = std::max(max_seq, e.seq);
+      const std::uint64_t h = partition_hash(e.type);
+      stage[pow2 ? (h & mask) : (h % k)].push_back(e);
+    }
+  }
+
+  // Sequencer: one lock serializes the WAL append and the global ingest
+  // count across producers -- "producers stage, one sequencer owns the WAL
+  // offset".  The shard rings are NOT touched under the lock.
+  {
+    std::lock_guard<std::mutex> lk(sequencer_mu_);
+    if (log_ != nullptr && !replaying_) wal_append(events);
+    mp_pushed_.fetch_add(events.size(), std::memory_order_relaxed);
+  }
+
+  // Flush round-robin across shards into this producer's private lanes.
+  // Round-robin (not shard-by-shard) is a LIVENESS requirement, not a
+  // nicety: shard A's merge can stall on this producer's empty lane-A floor
+  // while the producer sits blocked on shard B's full lane, whose consumer
+  // in turn stalls on a floor another blocked producer owes it.  Rotating
+  // guarantees every producer keeps feeding (or flooring) every shard.
+  auto& offs = mp_off_[producer];
+  offs.assign(k, 0);
+  std::size_t pending = 0;
+  for (std::size_t s = 0; s < k; ++s) {
+    if (!stage[s].empty()) ++pending;
+  }
+  BackoffWaiter waiter(producer);
+  while (pending > 0) {
+    bool progress = false;
+    for (std::size_t s = 0; s < k; ++s) {
+      const auto& buf = stage[s];
+      std::size_t& off = offs[s];
+      if (off >= buf.size()) continue;
+      SpscRing<Event>& lane = shards_[s]->lanes->lane(producer);
+      const std::size_t n =
+          lane.try_push_bulk(buf.data() + off, buf.size() - off);
+      if (n == 0) continue;
+      progress = true;
+      off += n;
+      if (off >= buf.size()) --pending;
+    }
+    if (pending == 0) break;
+    if (!progress) {
+      if (any_shard_failed_.load(std::memory_order_acquire)) {
+        throw Error(ErrorCode::kShardFailed,
+                    "push_batch_concurrent() stalled on a failed shard");
+      }
+      waiter.wait();
+    } else {
+      waiter.reset();
+    }
+  }
+
+  // Advance this producer's sequence floor on EVERY shard (including the
+  // ones that received nothing): each shard's merge may now emit past
+  // max_seq without waiting on this lane.  Valid because each producer's
+  // seqs are strictly increasing (the documented contract).
+  for (std::size_t s = 0; s < k; ++s) {
+    shards_[s]->lanes->set_floor(producer, max_seq + 1);
+  }
+}
+
+void StreamEngine::producer_done(std::size_t producer) {
+  ESPICE_REQUIRE(config_.producers > 0,
+                 "producer_done() needs config.producers > 0");
+  ESPICE_REQUIRE(producer < config_.producers, "producer index out of range");
+  if (!started_) return;  // no lanes exist yet, nothing to close
+  for (auto& s : shards_) s->lanes->close_lane(producer);
+}
+
+void StreamEngine::run_merged_shard(Shard& shard) {
+  try {
+    const std::size_t nq = queries_.size();
+    shard.pipeline = std::make_unique<DetPipeline>(
+        std::span<const EngineQuery>(queries_.data(), queries_.size()),
+        std::move(shard.shedders), /*event_time=*/nullptr);
+    DetPipeline& pipe = *shard.pipeline;
+
+    std::vector<Event> buf(kShardBlock);
+    std::uint64_t consumed = 0;
+    OccupancyMeter meter{shard.stats};
+    BackoffWaiter idle(shard.stats.shard, kShardIdleSleepUs);
+    for (;;) {
+      std::size_t n = 0;
+      const SpscLaneSet<Event>::Merge st =
+          shard.lanes->merge_pop(buf.data(), kShardBlock, n);
+      if (n > 0) {
+        // merge_pop consumed the block from the lanes already; count it
+        // back into the depth sample so the gauge matches the classic
+        // runner's "unreleased block still queued" convention.
+        meter.sample_depth(shard.lanes->size() + n);
+        pipe.process_data_block(std::span<const Event>(buf.data(), n),
+                                shard.stats);
+        meter.block_done();
+        consumed += n;
+        shard.progress.store(consumed, std::memory_order_relaxed);
+        idle.reset();
+      } else if (st == SpscLaneSet<Event>::Merge::kDone) {
+        break;
+      } else {
+        // kStall: some open lane's floor is the bound -- its producer has
+        // neither pushed nor advanced past the merge head yet.
+        idle.wait();
+      }
+    }
+    pipe.close_all(shard.stats);
+
+    for (std::size_t qi = 0; qi < nq; ++qi) {
+      const DetPipeline::QueryOutcome o = pipe.outcome(qi);
+      auto& qc = shard.query_counters[qi];
+      qc.memberships = o.memberships;
+      qc.memberships_kept = o.memberships_kept;
+      qc.shed_decisions = o.shed_decisions;
+      qc.shed_drops = o.shed_drops;
+      shard.stats.matches += pipe.query_matches[qi].size();
+      shard.stats.shed_decisions += o.shed_decisions;
+      shard.stats.shed_drops += o.shed_drops;
+      shard.query_matches[qi] = std::move(pipe.query_matches[qi]);
+    }
+  } catch (...) {
+    shard.error = std::current_exception();
+    shard.failed.store(true, std::memory_order_release);
+    any_shard_failed_.store(true, std::memory_order_release);
+    // Keep every lane draining so no producer deadlocks on a full lane
+    // (producers poll any_shard_failed_ and bail on their next pass).
+    Event e;
+    for (std::size_t p = 0; p < shard.lanes->lane_count(); ++p) {
+      while (shard.lanes->lane(p).pop_or_closed(e) !=
+             SpscRing<Event>::Pop::kDone) {
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+
+std::size_t StreamEngine::partition_of(const Event& e) const {
+  ESPICE_REQUIRE(config_.rebalance.has_value(),
+                 "partition_of() needs rebalance configured");
+  const std::uint64_t key =
+      config_.key_of ? config_.key_of(e) : static_cast<std::uint64_t>(e.type);
+  return shard_index(key, config_.rebalance->partitions);
+}
+
+std::size_t StreamEngine::shard_of_partition(std::size_t partition) const {
+  ESPICE_REQUIRE(partition < placement_.size(),
+                 "shard_of_partition() needs a started rebalancing engine");
+  return placement_[partition];
+}
+
+void StreamEngine::push_control(Shard& s, const Event& marker) {
+  if (s.ring.try_push(marker)) return;
+  BackoffWaiter waiter(s.stats.shard);
+  do {
+    if (s.failed.load(std::memory_order_acquire)) fail_for_shard(s);
+    waiter.wait();
+  } while (!s.ring.try_push(marker));
+}
+
+void StreamEngine::move_partition(std::size_t partition, std::size_t to_shard) {
+  ESPICE_REQUIRE(config_.rebalance.has_value(),
+                 "move_partition() needs rebalance configured");
+  if (!started_) start();
+  ESPICE_REQUIRE(partition < placement_.size(), "partition out of range");
+  ESPICE_REQUIRE(to_shard < config_.shards, "target shard out of range");
+  const std::size_t from = placement_[partition];
+  if (from == to_shard) return;
+  // Exactness by FIFO bracketing, all from this one router thread: the
+  // export marker queues BEHIND everything already routed to the old owner,
+  // placement flips (so all later events route to the new owner), and the
+  // import marker queues AHEAD of all of them -- the partition's substream
+  // is replayed gap-free, in order, across the handoff.  Deadlock-free
+  // across chained moves: an exporter never waits (it just parks the
+  // pipeline in the mailbox), so marker chains resolve in router order.
+  push_control(*shards_[from],
+               make_partition_control(PartitionControl::kExport, partition));
+  placement_[partition] = to_shard;
+  push_control(*shards_[to_shard],
+               make_partition_control(PartitionControl::kImport, partition));
+  ++rebalance_moves_;
+  ++shards_[from]->stats.rebalance_moves_out;
+  ++shards_[to_shard]->stats.rebalance_moves_in;
+}
+
+void StreamEngine::decide_moves() {
+  const RebalanceConfig& rb = *config_.rebalance;
+  window_routed_ = 0;
+  // Shard loads under the CURRENT placement from this window's routing
+  // counts -- a pure function of the stream prefix, so every run (and the
+  // determinism oracle) decides the exact same moves.
+  std::vector<std::uint64_t> load(config_.shards, 0);
+  std::uint64_t total = 0;
+  for (std::size_t p = 0; p < placement_.size(); ++p) {
+    load[placement_[p]] += part_counts_[p];
+    total += part_counts_[p];
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(config_.shards);
+  for (std::size_t m = 0; total > 0 && m < rb.max_moves_per_interval; ++m) {
+    std::size_t hot = 0;
+    std::size_t cold = 0;
+    for (std::size_t s = 1; s < config_.shards; ++s) {
+      if (load[s] > load[hot]) hot = s;
+      if (load[s] < load[cold]) cold = s;
+    }
+    if (hot == cold ||
+        static_cast<double>(load[hot]) <= rb.hot_factor * mean) {
+      break;
+    }
+    // Largest partition on the hot shard that fits in half the gap (moving
+    // more than the gap's half would just flip the imbalance).
+    const std::uint64_t fit = (load[hot] - load[cold]) / 2;
+    std::size_t best = placement_.size();
+    for (std::size_t p = 0; p < placement_.size(); ++p) {
+      if (placement_[p] != hot) continue;
+      if (part_counts_[p] == 0 || part_counts_[p] > fit) continue;
+      if (best == placement_.size() || part_counts_[p] > part_counts_[best]) {
+        best = p;
+      }
+    }
+    if (best == placement_.size()) break;  // one indivisible hot partition
+    move_partition(best, cold);
+    load[hot] -= part_counts_[best];
+    load[cold] += part_counts_[best];
+  }
+  std::fill(part_counts_.begin(), part_counts_.end(), 0);
+}
+
+void StreamEngine::run_partitioned_shard(Shard& shard) {
+  try {
+    const std::size_t nq = queries_.size();
+    const std::size_t me = shard.stats.shard;
+    const std::size_t nparts = config_.rebalance->partitions;
+    // Build the initially resident pipelines.  The initial placement is the
+    // fixed function p % K -- recomputed here rather than read from
+    // placement_, which is router-owned and already mutating.
+    for (std::size_t p = me; p < nparts; p += config_.shards) {
+      shard.parts[p] = std::make_unique<DetPipeline>(
+          std::span<const EngineQuery>(queries_.data(), queries_.size()),
+          std::move(part_shedders_[p]), /*event_time=*/nullptr);
+    }
+
+    std::uint64_t consumed = 0;
+    OccupancyMeter meter{shard.stats};
+    BackoffWaiter idle(me, kShardIdleSleepUs);
+    for (;;) {
+      std::span<const Event> blk = shard.ring.front_block(kShardBlock);
+      if (blk.empty()) {
+        if (!shard.ring.closed()) {
+          idle.wait();
+          continue;
+        }
+        blk = shard.ring.front_block(kShardBlock);
+        if (blk.empty()) break;
+      }
+      idle.reset();
+      const std::size_t n = blk.size();
+      meter.sample_depth(shard.ring.size());
+      // Split the block at migration markers; between them, run-length
+      // group consecutive same-partition events so a skewed stream (long
+      // same-key runs) still takes the block-wise pipeline path.
+      std::size_t i = 0;
+      while (i < n) {
+        const Event& head = blk[i];
+        if (is_partition_control(head)) {
+          const auto p = static_cast<std::size_t>(head.seq);
+          if (partition_control_action(head) == PartitionControl::kExport) {
+            // Hand off: park the pipeline (release publishes everything it
+            // processed) and keep going -- an exporter never waits.
+            mailbox_[p].store(shard.parts[p].release(),
+                              std::memory_order_release);
+          } else {
+            // Adopt: the matching export marker is already queued at the
+            // old owner (the router pushed it first), so spin until that
+            // shard parks the pipeline.  Bail out if any shard died --
+            // a dead exporter would otherwise hang this import forever.
+            DetPipeline* adopted =
+                mailbox_[p].exchange(nullptr, std::memory_order_acquire);
+            while (adopted == nullptr) {
+              if (any_shard_failed_.load(std::memory_order_acquire)) {
+                throw Error(ErrorCode::kShardFailed,
+                            "partition import abandoned: a shard failed "
+                            "mid-migration");
+              }
+              std::this_thread::yield();
+              adopted = mailbox_[p].exchange(nullptr, std::memory_order_acquire);
+            }
+            shard.parts[p].reset(adopted);
+          }
+          ++i;
+          continue;
+        }
+        const std::size_t p = partition_of(head);
+        std::size_t j = i + 1;
+        while (j < n && !is_partition_control(blk[j]) &&
+               partition_of(blk[j]) == p) {
+          ++j;
+        }
+        shard.parts[p]->process_data_block(blk.subspan(i, j - i), shard.stats);
+        i = j;
+      }
+      meter.block_done();
+      consumed += n;
+      shard.progress.store(consumed, std::memory_order_relaxed);
+      shard.ring.release(n);
+    }
+    // End of stream: close every partition that ended up resident here.
+    // finish() collects matches per PARTITION from wherever each one
+    // landed; the per-shard stats rollup below attributes a partition's
+    // totals to its final host (informational -- the canonical per-query
+    // numbers come from the pipelines themselves).
+    for (std::size_t p = 0; p < nparts; ++p) {
+      if (shard.parts[p] == nullptr) continue;
+      shard.parts[p]->close_all(shard.stats);
+      for (std::size_t qi = 0; qi < nq; ++qi) {
+        const DetPipeline::QueryOutcome o = shard.parts[p]->outcome(qi);
+        shard.stats.matches += shard.parts[p]->query_matches[qi].size();
+        shard.stats.shed_decisions += o.shed_decisions;
+        shard.stats.shed_drops += o.shed_drops;
+      }
+    }
+  } catch (...) {
+    shard.error = std::current_exception();
+    shard.failed.store(true, std::memory_order_release);
+    any_shard_failed_.store(true, std::memory_order_release);
     Event e;
     while (shard.ring.pop_or_closed(e) != SpscRing<Event>::Pop::kDone) {
       std::this_thread::yield();
@@ -1392,6 +1643,13 @@ void StreamEngine::maybe_auto_checkpoint() {
 void StreamEngine::checkpoint() {
   ESPICE_REQUIRE(config_.durability.has_value(),
                  "checkpoint() needs durability configured");
+  // No consistent cut exists mid-stream under concurrent producers (the
+  // sequencer orders the WAL, but in-flight lane contents are not a prefix
+  // of it), and a migrating pipeline may be in a mailbox between shards.
+  ESPICE_REQUIRE(config_.producers == 0,
+                 "checkpoint() is not supported in multi-producer mode");
+  ESPICE_REQUIRE(!config_.rebalance.has_value(),
+                 "checkpoint() is not supported with rebalancing");
   ESPICE_REQUIRE(!finished_, "checkpoint() after finish()");
   ensure_accepting("checkpoint()");
   ESPICE_CHECK(!wal_degraded_, ErrorCode::kIo,
@@ -1541,17 +1799,51 @@ RecoveryReport StreamEngine::recover_and_start() {
     durability::EventLogReader reader(config_.durability->dir + "/log");
     replaying_ = true;
     try {
-      reader.replay(pushed_,
-                    [this](std::span<const Event> events, std::uint64_t) {
-                      push_batch(events);
-                    });
+      if (config_.producers > 0) {
+        // Multi-producer recovery: checkpoints don't exist in this mode
+        // (checkpoint() refuses), so the tail is the WHOLE log.  Batches
+        // were appended in sequencer order, which interleaves producers
+        // arbitrarily -- sort the tail by seq (unique by contract) and
+        // replay it as one producer.  Equivalent to the original run
+        // because the per-shard merge orders by seq either way.
+        std::vector<Event> tail;
+        reader.replay(0, [&tail](std::span<const Event> events,
+                                 std::uint64_t) {
+          tail.insert(tail.end(), events.begin(), events.end());
+        });
+        std::sort(tail.begin(), tail.end(),
+                  [](const Event& a, const Event& b) { return a.seq < b.seq; });
+        // Replay flows through producer 0's lanes only; the others' floors
+        // would stay 0 and stall every shard merge (a floor-0 lane might
+        // still deliver a smaller seq), wedging replay once a lane fills.
+        // No producer thread exists yet -- recovery is the first action on
+        // a fresh engine -- and live pushes must continue above the durable
+        // log, so promising seq > tail max on every other lane is sound.
+        if (!tail.empty()) {
+          for (auto& shard : shards_) {
+            for (std::size_t p = 1; p < config_.producers; ++p) {
+              shard->lanes->set_floor(p, tail.back().seq + 1);
+            }
+          }
+        }
+        for (std::size_t off = 0; off < tail.size(); off += kShardBlock) {
+          const std::size_t n = std::min(kShardBlock, tail.size() - off);
+          push_batch_concurrent(
+              0, std::span<const Event>(tail.data() + off, n));
+        }
+      } else {
+        reader.replay(pushed_,
+                      [this](std::span<const Event> events, std::uint64_t) {
+                        push_batch(events);
+                      });
+      }
     } catch (...) {
       replaying_ = false;
       throw;
     }
     replaying_ = false;
   }
-  rep.replayed_events = pushed_ - rep.snapshot_offset;
+  rep.replayed_events = pushed() - rep.snapshot_offset;
   // Replay suppresses heartbeat synthesis (the originals are in the log and
   // replay through the normal path).  If the original run crashed between
   // crossing the cadence threshold and logging the heartbeat, emit it now so
@@ -1607,9 +1899,28 @@ EngineReport StreamEngine::finish() {
   // Join FIRST: everything below may throw, and throwing while shard
   // threads still run would leave them orphaned (the old order synced the
   // log before closing the rings, so a sync failure hung the shutdown).
-  for (auto& s : shards_) s->ring.close();
+  for (auto& s : shards_) {
+    s->ring.close();
+    if (s->lanes != nullptr) {
+      // Close every lane a producer left open (close_lane is idempotent, so
+      // producers that already called producer_done() cost nothing).  The
+      // caller's contract: every producer has RETURNED from its last
+      // push_batch_concurrent() before finish() is called.
+      for (std::size_t p = 0; p < s->lanes->lane_count(); ++p) {
+        s->lanes->close_lane(p);
+      }
+    }
+  }
   for (auto& s : shards_) s->thread.join();
   const double wall = seconds_since(start_);
+  // Reclaim any pipeline stranded in a migration mailbox (only possible
+  // when a shard died between an export and its import -- the success path
+  // always drains both markers before the rings close).
+  if (mailbox_ != nullptr) {
+    for (std::size_t p = 0; p < placement_.size(); ++p) {
+      delete mailbox_[p].exchange(nullptr, std::memory_order_acquire);
+    }
+  }
   for (auto& s : shards_) {
     if (s->error) {
       state_ = EngineState::kFailed;
@@ -1658,31 +1969,65 @@ EngineReport StreamEngine::finish() {
 
   EngineReport report;
   report.health = health();
-  // `pushed_` counts everything that crossed the router, punctuations
-  // included (the durable-log offset contract); the report's event count
-  // is data events only.
-  report.events = pushed_ - punct_pushed_;
+  // pushed() counts everything that crossed the router or the sequencer,
+  // punctuations included (the durable-log offset contract); the report's
+  // event count is data events only.
+  report.events = pushed() - punct_pushed_;
   report.punctuations = punct_pushed_;
   report.wall_seconds = wall;
   report.events_per_sec =
       wall > 0.0 ? static_cast<double>(report.events) / wall : 0.0;
   const std::size_t nq = std::max<std::size_t>(queries_.size(), 1);
 
-  // Canonical per-query merge: each query's matches across shards, ordered
-  // by (completing event seq, shard, in-shard index).
+  // Rebalancing: the merge unit is the PARTITION, not the shard -- a
+  // partition's pipeline (with all its outputs) may have migrated, but it
+  // ends the run resident on exactly one shard.  Collect each partition's
+  // final pipeline; merging per partition makes the output independent of
+  // the move schedule (and bit-identical to a serial run with one "shard"
+  // per partition).
+  std::vector<DetPipeline*> final_parts;
+  if (!placement_.empty()) {
+    final_parts.assign(placement_.size(), nullptr);
+    for (auto& s : shards_) {
+      for (std::size_t p = 0; p < s->parts.size(); ++p) {
+        if (s->parts[p] != nullptr) final_parts[p] = s->parts[p].get();
+      }
+    }
+    for (std::size_t p = 0; p < final_parts.size(); ++p) {
+      ESPICE_CHECK(final_parts[p] != nullptr, ErrorCode::kEngineFailed,
+                   "partition " + std::to_string(p) +
+                       " has no final host after the run");
+    }
+  }
+
+  // Canonical per-query merge: each query's matches across merge units
+  // (shards, or partitions when rebalancing), ordered by (completing event
+  // seq, unit, in-unit index).
   report.queries.resize(nq);
   for (std::size_t qi = 0; qi < nq; ++qi) {
     QueryReport& qr = report.queries[qi];
     qr.name = qi < queries_.size() ? queries_[qi].name
                                    : "q" + std::to_string(qi);
     std::vector<std::vector<ComplexEvent>> per_shard;
-    per_shard.reserve(shards_.size());
-    for (auto& s : shards_) {
-      qr.memberships += s->query_counters[qi].memberships;
-      qr.memberships_kept += s->query_counters[qi].memberships_kept;
-      qr.shed_decisions += s->query_counters[qi].shed_decisions;
-      qr.shed_drops += s->query_counters[qi].shed_drops;
-      per_shard.push_back(std::move(s->query_matches[qi]));
+    if (!final_parts.empty()) {
+      per_shard.reserve(final_parts.size());
+      for (DetPipeline* pp : final_parts) {
+        const DetPipeline::QueryOutcome o = pp->outcome(qi);
+        qr.memberships += o.memberships;
+        qr.memberships_kept += o.memberships_kept;
+        qr.shed_decisions += o.shed_decisions;
+        qr.shed_drops += o.shed_drops;
+        per_shard.push_back(std::move(pp->query_matches[qi]));
+      }
+    } else {
+      per_shard.reserve(shards_.size());
+      for (auto& s : shards_) {
+        qr.memberships += s->query_counters[qi].memberships;
+        qr.memberships_kept += s->query_counters[qi].memberships_kept;
+        qr.shed_decisions += s->query_counters[qi].shed_decisions;
+        qr.shed_drops += s->query_counters[qi].shed_drops;
+        per_shard.push_back(std::move(s->query_matches[qi]));
+      }
     }
     qr.matches = merge_matches(std::move(per_shard));
     // Canonical revision order: (late event seq, shard, in-shard index) --
@@ -1712,6 +2057,7 @@ EngineReport StreamEngine::finish() {
       }
     }
   }
+  report.rebalance_moves = rebalance_moves_;
   for (auto& s : shards_) {
     report.router_backpressure_waits += s->stats.router_backpressure_waits;
     report.router_stall_seconds += s->stats.router_stall_seconds;
@@ -1782,6 +2128,7 @@ EngineReport StreamEngine::finish() {
 
 std::size_t StreamEngine::queue_depth(std::size_t shard) const {
   ESPICE_REQUIRE(shard < shards_.size(), "shard index out of range");
+  if (shards_[shard]->lanes != nullptr) return shards_[shard]->lanes->size();
   return shards_[shard]->ring.size();
 }
 

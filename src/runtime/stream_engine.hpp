@@ -68,6 +68,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -84,6 +85,8 @@
 #include "metrics/histogram.hpp"
 
 namespace espice {
+
+class DetPipeline;
 
 /// The query one shard executes in deterministic mode (mirrors QueryDef
 /// without depending on the harness layer).
@@ -218,10 +221,48 @@ struct EngineHealth {
   std::vector<ShardHealth> shards;
 };
 
+/// Dynamic hot-partition rebalancing (deterministic single-producer mode
+/// only).  The key space is hashed onto `partitions` LOGICAL partitions
+/// (>= shards); each partition runs its own complete pipeline (windows are
+/// per partition), and the router maintains a partition->shard placement it
+/// re-decides every `interval_events` routed events from the per-partition
+/// routing counts.  A migration moves the partition's WHOLE pipeline object
+/// between shard threads through in-band control markers, so output stays
+/// bit-identical to the serial per-partition golden under ANY move schedule
+/// -- rebalancing changes WHERE a partition runs, never WHAT it computes.
+struct RebalanceConfig {
+  /// Logical partitions L (the migration granularity).  More partitions =
+  /// finer load balancing; a single hot KEY still cannot be split below one
+  /// partition (its share of the stream is the skew floor).
+  std::size_t partitions = 0;
+  /// Routed events between placement decisions.
+  std::uint64_t interval_events = 8192;
+  /// Only move when the hottest shard's window load exceeds this factor
+  /// times the mean (hysteresis against churn).
+  double hot_factor = 1.25;
+  /// Migration budget per decision.
+  std::size_t max_moves_per_interval = 4;
+};
+
 struct StreamEngineConfig {
   /// Number of shards (and shard threads).  1 is valid and useful: it is the
   /// serial pipeline behind one ring, the baseline every speedup is against.
   std::size_t shards = 1;
+  /// Multi-producer ingestion: when > 0, `producers` threads may call
+  /// push_batch_concurrent() concurrently and the classic single-router
+  /// entries (push()/push_batch()) are disabled.  Each shard is fed through
+  /// P producer-private SPSC lanes merged deterministically on sequence
+  /// numbers (see SpscLaneSet), so output is bit-identical to the serial
+  /// golden regardless of producer interleaving.  Deterministic mode only;
+  /// excludes adaptive / event-time / rebalance / latency sampling, and
+  /// durability is limited to WAL + recovery (no mid-stream checkpoints:
+  /// the set of events "pushed so far" is not a seq-prefix under concurrent
+  /// producers, so no consistent cut exists until the stream ends).
+  std::size_t producers = 0;
+  /// Dynamic hot-partition rebalancing (see RebalanceConfig).  Deterministic
+  /// single-producer mode only; excludes adaptive / event-time / durability /
+  /// latency sampling.
+  std::optional<RebalanceConfig> rebalance;
   /// Per-shard ring capacity (rounded up to a power of two).  A full ring
   /// back-pressures the router (bounded yield->sleep backoff, see
   /// runtime/backoff.hpp), which bounds engine memory.
@@ -293,6 +334,22 @@ struct ShardStats {
   std::uint64_t router_backpressure_waits = 0;
   /// Wall seconds the router spent stalled on this shard's full ring.
   double router_stall_seconds = 0.0;
+  // Occupancy metering (all engine modes).  Ring depth is sampled once per
+  // drained block; busy_seconds is the wall time the shard thread spent
+  // PROCESSING blocks (excluding idle waits), so busy_seconds / report wall
+  // is the shard's busy fraction -- the signal that makes skew visible.
+  std::uint64_t depth_samples = 0;
+  std::uint64_t depth_sum = 0;
+  double busy_seconds = 0.0;
+  double mean_queue_depth() const {
+    return depth_samples == 0
+               ? 0.0
+               : static_cast<double>(depth_sum) /
+                     static_cast<double>(depth_samples);
+  }
+  // Rebalance mode only: partition pipelines this shard adopted / handed off.
+  std::uint64_t rebalance_moves_in = 0;
+  std::uint64_t rebalance_moves_out = 0;
   // Adaptive mode only:
   std::size_t retrains = 0;
   std::size_t detector_ticks = 0;
@@ -346,6 +403,8 @@ struct EngineReport {
   /// backoff; see runtime/backoff.hpp).
   std::uint64_t router_backpressure_waits = 0;
   double router_stall_seconds = 0.0;
+  /// Rebalance mode: total partition migrations executed over the run.
+  std::uint64_t rebalance_moves = 0;
 
   // --- event-time mode (zero / empty otherwise) ---------------------------
   /// Watermark punctuations the router broadcast (user + heartbeat).
@@ -431,6 +490,43 @@ class StreamEngine {
   /// freely with scalar push() calls.
   void push_batch(std::span<const Event> events);
 
+  // --- multi-producer ingestion (config_.producers > 0) --------------------
+
+  /// Routes a batch from producer thread `producer` (0 <= producer <
+  /// config.producers).  Distinct producers may call concurrently; one
+  /// producer's calls must be serial.  Requirements for the determinism
+  /// guarantee: sequence numbers are unique across producers and strictly
+  /// increasing within each producer's successive events.  Liveness: every
+  /// producer must eventually push again or call producer_done() -- a shard
+  /// cannot emit past an open lane's sequence floor (see SpscLaneSet).
+  /// start() must have been called explicitly before the first concurrent
+  /// push.  Blocks (bounded backoff) while every pending lane is full.
+  void push_batch_concurrent(std::size_t producer,
+                             std::span<const Event> events);
+
+  /// Producer `producer` will push no more events: closes its lanes so the
+  /// shards' merges can run ahead / terminate without it.  Idempotent;
+  /// finish() closes any lane whose producer never called it (all producers
+  /// must have RETURNED from their last push by then).
+  void producer_done(std::size_t producer);
+
+  // --- rebalancing (config_.rebalance set) ---------------------------------
+
+  /// Logical partition `e` routes to (fixed hash over config.rebalance->
+  /// partitions; usable before/after the run).
+  std::size_t partition_of(const Event& e) const;
+
+  /// Current shard hosting `partition` (router thread only).
+  std::size_t shard_of_partition(std::size_t partition) const;
+
+  /// Forces a migration of `partition` onto `to_shard` (router thread only;
+  /// the test hook behind the automatic rebalancer).  The move is exact: an
+  /// export marker is queued behind everything already routed to the old
+  /// shard, placement flips, and an import marker precedes everything routed
+  /// to the new shard afterwards, so the partition's pipeline sees its
+  /// substream gap-free and in order.  No-op when already placed there.
+  void move_partition(std::size_t partition, std::size_t to_shard);
+
   /// Injects a punctuation watermark (event_time must be configured):
   /// asserts no event with seq <= `seq` is still in flight.  Broadcast to
   /// every shard in arrival order; raises the reorder stages' watermarks
@@ -487,12 +583,14 @@ class StreamEngine {
   RecoveryReport recover_and_start();
 
   /// Events ingested so far (== the durable log offset outside replay).
-  std::uint64_t pushed() const { return pushed_; }
+  std::uint64_t pushed() const {
+    return pushed_ + mp_pushed_.load(std::memory_order_relaxed);
+  }
 
   /// Data events pushed, excluding watermark punctuations: the resume
   /// offset into a data-only source stream after recovery.  Equals
   /// pushed() when event time is off.
-  std::uint64_t data_pushed() const { return pushed_ - punct_pushed_; }
+  std::uint64_t data_pushed() const { return pushed() - punct_pushed_; }
 
   std::size_t shards() const { return config_.shards; }
   /// Which shard `e` routes to (fixed hash; usable before/after the run).
@@ -519,9 +617,24 @@ class StreamEngine {
 
   void run_deterministic_shard(Shard& shard);
   void run_adaptive_shard(Shard& shard);
+  /// Multi-producer shard loop: drains the shard's P-lane merge.
+  void run_merged_shard(Shard& shard);
+  /// Rebalance-mode shard loop: one pipeline per resident partition,
+  /// migration markers handled in-band.
+  void run_partitioned_shard(Shard& shard);
   /// Bulk-pushes `n` events into one shard's ring, backing off (bounded
   /// yield->sleep) whenever the ring is full.
   void bulk_push_shard(Shard& s, const Event* data, std::size_t n);
+  /// Flushes the per-shard staging buffers round-robin: pushes what fits
+  /// into each pending ring and rotates, waiting only when EVERY pending
+  /// ring is full -- one full shard no longer serializes the others.
+  void flush_staged();
+  /// Pushes one control marker into shard `s`'s ring (backpressure waits).
+  void push_control(Shard& s, const Event& marker);
+  /// Rebalance decision: greedily moves the largest partitions off the
+  /// most loaded shard while the imbalance exceeds hot_factor.  Pure
+  /// function of the routing counts -> deterministic.
+  void decide_moves();
   /// Opens the event log (recovering/truncating) and the snapshot store.
   void open_durability();
   /// Runs checkpoint() when snapshot_every_events is due.
@@ -568,6 +681,36 @@ class StreamEngine {
   /// (router-owned; reused across batches, so steady state allocates
   /// nothing).
   std::vector<std::vector<Event>> staging_;
+  /// flush_staged(): per-shard resume offset into staging_ (router-owned).
+  std::vector<std::size_t> staging_off_;
+
+  // --- multi-producer state (empty when producers == 0) --------------------
+  /// Serializes the WAL append + global ingest count across producers: the
+  /// "producers stage, one sequencer owns the WAL offset" contract.
+  std::mutex sequencer_mu_;
+  /// Events ingested through push_batch_concurrent (atomic: producers add
+  /// under sequencer_mu_, the router reads in pushed()).
+  std::atomic<std::uint64_t> mp_pushed_{0};
+  /// Per producer, per shard: the batch slice staged for that shard
+  /// (producer-private; reused across batches).
+  std::vector<std::vector<std::vector<Event>>> mp_staging_;
+  /// Per producer, per shard: round-robin flush resume offsets into
+  /// mp_staging_ (producer-private; reused across batches).
+  std::vector<std::vector<std::size_t>> mp_off_;
+
+  // --- rebalance state (empty when rebalance is off; router thread) --------
+  std::vector<std::size_t> placement_;     ///< partition -> hosting shard
+  std::vector<std::uint64_t> part_counts_; ///< events routed, this window
+  std::uint64_t window_routed_ = 0;        ///< window progress
+  std::uint64_t rebalance_moves_ = 0;
+  /// Migration handoff: the exporter publishes the partition's pipeline
+  /// here (release), the importer spins and adopts it (acquire).  One slot
+  /// per partition; slot p is only live between p's export/import markers.
+  std::unique_ptr<std::atomic<DetPipeline*>[]> mailbox_;
+  /// Per-partition shedders, built on the router thread at start() and
+  /// adopted by whichever shard constructs the partition's pipeline.
+  std::vector<std::vector<std::unique_ptr<Shedder>>> part_shedders_;
+
   std::uint64_t pushed_ = 0;
   bool started_ = false;
   bool finished_ = false;

@@ -1,0 +1,96 @@
+// Zipf-keyed workload generation for skew experiments.
+//
+// The sharded engine's hash routing balances UNIFORM key traffic well; the
+// interesting regime is skew.  Real key popularity is heavy-tailed, and the
+// standard model is the Zipf distribution: key rank k (1-based) is drawn
+// with probability (1/k^s) / H_{n,s}, where H_{n,s} is the generalized
+// harmonic number.  s = 0 degenerates to uniform; s ~= 0.9 matches typical
+// web/cache traces; s >= 1.2 is aggressive hot-key skew (the top key alone
+// carries ~23% of a 1000-key stream at s = 1.2).
+//
+// Sampling is inverse-CDF over a precomputed cumulative table (binary
+// search, O(log n) per draw) driven by the repo's deterministic Rng, so a
+// (seed, n_keys, s) triple always replays the identical stream -- the
+// multi-producer oracles and the skew bench rely on that.
+//
+// make_zipf_stream() materializes the standard test stream shape (type =
+// sampled key, seq = index, jittered source timestamps, values in [-1, 1])
+// so benches and tests share one generator instead of each rolling a
+// slightly different one.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cep/event.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace espice {
+
+class ZipfGenerator {
+ public:
+  /// `n_keys` ranks, exponent `s >= 0` (0 = uniform).  Keys are returned
+  /// 0-based, in rank order: key 0 is the hottest.
+  ZipfGenerator(std::size_t n_keys, double s) {
+    ESPICE_REQUIRE(n_keys > 0, "ZipfGenerator needs at least one key");
+    ESPICE_REQUIRE(s >= 0.0, "Zipf exponent must be non-negative");
+    cdf_.reserve(n_keys);
+    double sum = 0.0;
+    for (std::size_t k = 1; k <= n_keys; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k), s);
+      cdf_.push_back(sum);
+    }
+    const double inv = 1.0 / sum;
+    for (double& c : cdf_) c *= inv;
+    // Guard the top of the table against accumulated rounding: a draw of
+    // u ~= 1.0 must still land on the last key, never past it.
+    cdf_.back() = 1.0;
+  }
+
+  std::size_t n_keys() const { return cdf_.size(); }
+
+  /// Probability mass of key k (0-based rank).
+  double share(std::size_t k) const {
+    ESPICE_REQUIRE(k < cdf_.size(), "key rank out of range");
+    return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+  }
+
+  /// Draws one key (0-based rank) from the distribution.
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[k] = P(key <= k), strictly increasing
+};
+
+/// The standard skew-experiment stream: `n` events whose types are Zipf(s)
+/// draws over `n_keys` keys, seq = index, source timestamps advancing by a
+/// jittered ~5ms step, values uniform in [-1, 1].  Deterministic in
+/// (n, n_keys, s, seed).
+inline std::vector<Event> make_zipf_stream(std::size_t n, std::size_t n_keys,
+                                           double s, std::uint64_t seed) {
+  ZipfGenerator zipf(n_keys, s);
+  Rng rng(seed);
+  std::vector<Event> events;
+  events.reserve(n);
+  double ts = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Event e;
+    e.type = static_cast<EventTypeId>(zipf.sample(rng));
+    e.seq = i;
+    ts += rng.uniform(0.0, 0.01);
+    e.ts = ts;
+    e.value = rng.uniform(-1.0, 1.0);
+    events.push_back(e);
+  }
+  return events;
+}
+
+}  // namespace espice

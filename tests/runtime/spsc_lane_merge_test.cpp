@@ -1,0 +1,251 @@
+// SpscLaneSet: deterministic seq-order merge over per-producer SPSC lanes.
+//
+// The lane set is the multi-producer ingestion substrate: P producers each
+// own one SPSC lane per shard, and the shard's consumer merges the lanes
+// back into one globally seq-ordered stream.  These tests pin the merge
+// contract single-threaded first (order, stalls, floors, close edges,
+// wrap-around) and then stress it with 2-4 real producer threads pushing
+// bulk batches through small rings -- completeness and strict global seq
+// order must survive wrap, full-ring retries and partial bulk acceptance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "cep/event.hpp"
+#include "common/rng.hpp"
+#include "runtime/spsc_ring.hpp"
+#include "support/test_seed.hpp"
+
+namespace espice {
+namespace {
+
+Event ev(std::uint64_t seq) {
+  Event e;
+  e.seq = seq;
+  e.type = static_cast<EventTypeId>(seq % 7);
+  e.value = static_cast<double>(seq) * 0.5;
+  return e;
+}
+
+/// Drains the set to completion (spinning through stalls) and returns
+/// everything popped, in emission order.
+std::vector<Event> drain_all(SpscLaneSet<Event>& set, std::size_t block = 8) {
+  std::vector<Event> out;
+  std::vector<Event> buf(block);
+  for (;;) {
+    std::size_t n = 0;
+    const auto st = set.merge_pop(buf.data(), block, n);
+    out.insert(out.end(), buf.begin(), buf.begin() + n);
+    if (st == SpscLaneSet<Event>::Merge::kDone) return out;
+    if (n == 0) std::this_thread::yield();
+  }
+}
+
+TEST(SpscLaneMerge, SingleLaneBehavesLikeRing) {
+  SpscLaneSet<Event> set(1, 8);
+  for (std::uint64_t s : {0, 1, 2, 3, 4}) {
+    ASSERT_TRUE(set.lane(0).try_push(ev(s)));
+  }
+  set.close_lane(0);
+  const auto out = drain_all(set);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::uint64_t s = 0; s < 5; ++s) EXPECT_EQ(out[s].seq, s);
+}
+
+TEST(SpscLaneMerge, TwoLanesMergeBySeq) {
+  SpscLaneSet<Event> set(2, 8);
+  // Lane 0 holds the evens, lane 1 the odds; each lane is internally
+  // seq-increasing, the merge must interleave them perfectly.
+  for (std::uint64_t s : {0, 2, 4, 6}) ASSERT_TRUE(set.lane(0).try_push(ev(s)));
+  for (std::uint64_t s : {1, 3, 5}) ASSERT_TRUE(set.lane(1).try_push(ev(s)));
+  set.close_lane(0);
+  set.close_lane(1);
+  const auto out = drain_all(set, 3);  // smaller than total: several passes
+  ASSERT_EQ(out.size(), 7u);
+  for (std::uint64_t s = 0; s < 7; ++s) EXPECT_EQ(out[s].seq, s);
+}
+
+TEST(SpscLaneMerge, EmptyOpenLaneStallsTheMerge) {
+  SpscLaneSet<Event> set(2, 8);
+  ASSERT_TRUE(set.lane(0).try_push(ev(5)));
+  // Lane 1 is empty with floor 0: a future push there could carry seq < 5,
+  // so emitting 5 now would break global order.
+  Event buf[4];
+  std::size_t n = 0;
+  EXPECT_EQ(set.merge_pop(buf, 4, n), SpscLaneSet<Event>::Merge::kStall);
+  EXPECT_EQ(n, 0u);
+
+  // Raising lane 1's floor past 5 unblocks exactly the head.
+  set.set_floor(1, 6);
+  EXPECT_EQ(set.merge_pop(buf, 4, n), SpscLaneSet<Event>::Merge::kItems);
+  ASSERT_EQ(n, 1u);
+  EXPECT_EQ(buf[0].seq, 5u);
+
+  // ...and only the head: nothing further is visible or promised.
+  EXPECT_EQ(set.merge_pop(buf, 4, n), SpscLaneSet<Event>::Merge::kStall);
+}
+
+TEST(SpscLaneMerge, FloorBoundsEmissionFromOtherLanes) {
+  SpscLaneSet<Event> set(2, 16);
+  for (std::uint64_t s : {1, 3, 8, 12}) {
+    ASSERT_TRUE(set.lane(0).try_push(ev(s)));
+  }
+  set.set_floor(1, 9);  // lane 1 promises: future pushes have seq >= 9
+  Event buf[8];
+  std::size_t n = 0;
+  // 1, 3, 8 are emittable (all < 9); 12 must wait behind the floor.
+  EXPECT_EQ(set.merge_pop(buf, 8, n), SpscLaneSet<Event>::Merge::kItems);
+  ASSERT_EQ(n, 3u);
+  EXPECT_EQ(buf[0].seq, 1u);
+  EXPECT_EQ(buf[1].seq, 3u);
+  EXPECT_EQ(buf[2].seq, 8u);
+
+  // A push on lane 1 honoring its floor merges ahead of the held-back 12.
+  ASSERT_TRUE(set.lane(1).try_push(ev(9)));
+  set.close_lane(1);
+  set.close_lane(0);
+  const auto rest = drain_all(set);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].seq, 9u);
+  EXPECT_EQ(rest[1].seq, 12u);
+}
+
+TEST(SpscLaneMerge, CloseEdges) {
+  // Closing an empty never-used lane set completes immediately.
+  {
+    SpscLaneSet<Event> set(3, 8);
+    for (std::size_t p = 0; p < 3; ++p) set.close_lane(p);
+    Event buf[4];
+    std::size_t n = 0;
+    EXPECT_EQ(set.merge_pop(buf, 4, n), SpscLaneSet<Event>::Merge::kDone);
+    EXPECT_EQ(n, 0u);
+  }
+  // Items pushed before close are still drained after it ("closed observed
+  // after empty view, one more look decides").
+  {
+    SpscLaneSet<Event> set(2, 8);
+    ASSERT_TRUE(set.lane(0).try_push(ev(0)));
+    ASSERT_TRUE(set.lane(1).try_push(ev(1)));
+    set.close_lane(0);
+    set.close_lane(1);
+    const auto out = drain_all(set);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].seq, 0u);
+    EXPECT_EQ(out[1].seq, 1u);
+  }
+}
+
+TEST(SpscLaneMerge, SizeCountsAllLanes) {
+  SpscLaneSet<Event> set(2, 8);
+  EXPECT_EQ(set.size(), 0u);
+  ASSERT_TRUE(set.lane(0).try_push(ev(0)));
+  ASSERT_TRUE(set.lane(1).try_push(ev(1)));
+  ASSERT_TRUE(set.lane(1).try_push(ev(3)));
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(SpscLaneMerge, WrapAroundWithTinyRings) {
+  // Capacity 4 lanes, 64 events per lane: the merge must survive many
+  // wraps, with the producer refilling as the consumer frees slots.
+  SpscLaneSet<Event> set(2, 4);
+  const std::size_t kPerLane = 64;
+  std::size_t pushed0 = 0;
+  std::size_t pushed1 = 0;
+  std::vector<Event> out;
+  Event buf[4];
+  while (out.size() < 2 * kPerLane) {
+    while (pushed0 < kPerLane && set.lane(0).try_push(ev(2 * pushed0))) {
+      ++pushed0;
+      if (pushed0 == kPerLane) set.close_lane(0);
+    }
+    while (pushed1 < kPerLane && set.lane(1).try_push(ev(2 * pushed1 + 1))) {
+      ++pushed1;
+      if (pushed1 == kPerLane) set.close_lane(1);
+    }
+    std::size_t n = 0;
+    set.merge_pop(buf, 4, n);
+    out.insert(out.end(), buf, buf + n);
+  }
+  ASSERT_EQ(out.size(), 2 * kPerLane);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].seq, i);
+}
+
+/// Multi-threaded stress: P producer threads bulk-push disjoint
+/// seq-increasing subsequences (randomly sized batches, partial bulk
+/// acceptance, full-ring retries, floors advanced after every batch) while
+/// the consumer merges.  The output must be exactly 0..n-1 in order.
+void run_stress(std::size_t producers, std::uint64_t salt) {
+  const std::uint64_t seed = test_support::test_seed(salt);
+  SCOPED_TRACE(test_support::seed_trace(seed));
+  const std::size_t kTotal = 20'000;
+
+  // Pre-assign each seq to a producer (seeded): per lane the subsequence is
+  // increasing, which is all the merge requires.
+  std::vector<std::vector<std::uint64_t>> plan(producers);
+  {
+    Rng rng(seed);
+    for (std::uint64_t s = 0; s < kTotal; ++s) {
+      plan[rng.uniform_int(static_cast<std::uint64_t>(producers))].push_back(s);
+    }
+  }
+
+  SpscLaneSet<Event> set(producers, 64);
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      Rng rng(seed ^ (0x9e37 + p));
+      const auto& mine = plan[p];
+      std::vector<Event> batch;
+      std::size_t i = 0;
+      while (i < mine.size()) {
+        const std::size_t take = std::min<std::size_t>(
+            1 + rng.uniform_int(std::uint64_t{96}), mine.size() - i);
+        batch.clear();
+        for (std::size_t j = 0; j < take; ++j) batch.push_back(ev(mine[i + j]));
+        std::size_t off = 0;
+        while (off < batch.size()) {
+          const std::size_t n =
+              set.lane(p).try_push_bulk(batch.data() + off, batch.size() - off);
+          if (n == 0) {
+            std::this_thread::yield();
+          } else {
+            off += n;
+          }
+        }
+        i += take;
+        // Floor: every future push on this lane is > the last pushed seq.
+        set.set_floor(p, mine[i - 1] + 1);
+      }
+      set.close_lane(p);
+    });
+  }
+
+  std::vector<Event> out;
+  out.reserve(kTotal);
+  std::vector<Event> buf(256);
+  for (;;) {
+    std::size_t n = 0;
+    const auto st = set.merge_pop(buf.data(), buf.size(), n);
+    out.insert(out.end(), buf.begin(), buf.begin() + n);
+    if (st == SpscLaneSet<Event>::Merge::kDone) break;
+    if (n == 0) std::this_thread::yield();
+  }
+  for (auto& t : threads) t.join();
+
+  ASSERT_EQ(out.size(), kTotal);
+  for (std::uint64_t s = 0; s < kTotal; ++s) {
+    ASSERT_EQ(out[s].seq, s) << "merge emitted out of order at " << s;
+  }
+}
+
+TEST(SpscLaneMergeStress, TwoProducers) { run_stress(2, 211); }
+TEST(SpscLaneMergeStress, ThreeProducers) { run_stress(3, 223); }
+TEST(SpscLaneMergeStress, FourProducers) { run_stress(4, 227); }
+
+}  // namespace
+}  // namespace espice
